@@ -1,0 +1,70 @@
+// Shared helpers for the experiment harness (bench/).
+//
+// Every bench binary is one experiment from DESIGN.md's index: it prints
+// the paper claim, the measured rows, and an explicit agreement verdict so
+// EXPERIMENTS.md can quote the output verbatim.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "util/random.hpp"
+
+namespace defender::bench {
+
+/// A named board for family sweeps.
+struct Board {
+  std::string name;
+  graph::Graph g;
+};
+
+/// The standard bipartite board family used across experiments.
+inline std::vector<Board> bipartite_boards() {
+  util::Rng rng(2006);
+  return {
+      {"path P12", graph::path_graph(12)},
+      {"cycle C12", graph::cycle_graph(12)},
+      {"star S10", graph::star_graph(10)},
+      {"grid 4x5", graph::grid_graph(4, 5)},
+      {"hypercube Q4", graph::hypercube_graph(4)},
+      {"ladder L6", graph::ladder_graph(6)},
+      {"tree n=14", graph::random_tree(14, rng)},
+      {"K_{4,8}", graph::complete_bipartite(4, 8)},
+      {"bip 6x8 p=.3", graph::random_bipartite(6, 8, 0.3, rng)},
+  };
+}
+
+/// The general (not necessarily bipartite) board family.
+inline std::vector<Board> general_boards() {
+  util::Rng rng(1907);
+  return {
+      {"path P9", graph::path_graph(9)},
+      {"cycle C9", graph::cycle_graph(9)},
+      {"star S7", graph::star_graph(7)},
+      {"wheel W6", graph::wheel_graph(6)},
+      {"K6", graph::complete_graph(6)},
+      {"Petersen", graph::petersen_graph()},
+      {"gnp n=10 p=.3", graph::gnp_graph(10, 0.3, rng)},
+      {"tree n=10", graph::random_tree(10, rng)},
+  };
+}
+
+/// Prints the experiment banner.
+inline void banner(const std::string& id, const std::string& claim) {
+  std::cout << "==============================================================="
+               "=\n"
+            << id << '\n'
+            << "Claim: " << claim << '\n'
+            << "==============================================================="
+               "=\n\n";
+}
+
+/// Prints the final verdict line parsed by EXPERIMENTS.md.
+inline void verdict(bool ok, const std::string& summary) {
+  std::cout << "\nVERDICT: " << (ok ? "AGREES" : "DISAGREES") << " — "
+            << summary << "\n\n";
+}
+
+}  // namespace defender::bench

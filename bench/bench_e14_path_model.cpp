@@ -1,0 +1,90 @@
+// Experiment E14 (extension) — the Path model versus the Tuple model.
+//
+// Two claims quantified here:
+//  (a) pure-NE existence flips complexity class: the Tuple model's
+//      certificate is a polynomial edge cover (Gallai), the Path model's is
+//      a Hamiltonian path (NP-complete; decided by Held-Karp 2^n DP) — the
+//      harness shows the decision-time gap growing with n;
+//  (b) per scanned link a path defender is about half a tuple defender: on
+//      C_n the equilibrium hit probabilities are (k+1)/n (rotation mix) vs
+//      2k/n (matching-window mix).
+#include "bench_common.hpp"
+#include "core/path_model.hpp"
+#include "core/perfect_matching_ne.hpp"
+#include "core/pure_ne.hpp"
+#include "graph/hamiltonian.hpp"
+#include "matching/edge_cover.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace defender;
+  bench::banner("E14 — Path model vs Tuple model",
+                "pure NE: polynomial edge cover vs NP-complete Hamiltonian "
+                "path; mixed: path hit (k+1)/n vs tuple hit 2k/n on cycles");
+
+  bool all_ok = true;
+
+  // Part (a): decision-time gap on near-grid boards of growing size.
+  std::cout << "(a) pure-NE existence decision time\n";
+  util::Table decision({"board", "n", "tuple: Gallai ms", "tuple pure NE?",
+                        "path: Held-Karp ms", "path pure NE?"});
+  util::Rng rng(14);
+  for (std::size_t n : {8, 12, 16, 20, 22}) {
+    const graph::Graph g = graph::random_connected(n, 0.25, rng);
+    util::Stopwatch w1;
+    const bool tuple_exists = core::pure_ne_exists(
+        core::TupleGame(g, std::min(g.num_edges(),
+                                    matching::min_edge_cover_size(g)),
+                        1));
+    const double gallai_ms = w1.millis();
+    util::Stopwatch w2;
+    const bool path_exists =
+        core::pure_ne_exists(core::PathGame(g, n - 1, 1));
+    const double hk_ms = w2.millis();
+    if (!tuple_exists) all_ok = false;  // k = min cover always works
+    decision.add("gnp-connected", n, util::fixed(gallai_ms, 3), tuple_exists,
+                 util::fixed(hk_ms, 3), path_exists);
+  }
+  decision.print(std::cout);
+  std::cout << "Held-Karp time grows ~2^n; the Gallai certificate stays "
+               "polynomial. (Claim (a))\n\n";
+
+  // Part (b): equilibrium hit probabilities on cycles.
+  std::cout << "(b) hit probability per scanned link on C_n\n";
+  util::Table mixed({"n", "k", "path hit (k+1)/n", "tuple hit 2k/n",
+                     "tuple/path advantage"});
+  for (std::size_t n : {8, 12, 16, 24}) {
+    const graph::Graph g = graph::cycle_graph(n);
+    for (std::size_t k : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      if (k > n - 2 || k > n / 2) continue;
+      const core::PathGame path_game(g, k, 1);
+      const core::TupleGame tuple_game(g, k, 1);
+      const double path_hit = core::cycle_rotation_hit_probability(path_game);
+      const auto pm = core::find_perfect_matching_ne(tuple_game);
+      if (!pm) {
+        all_ok = false;
+        continue;
+      }
+      const double tuple_hit =
+          core::analytic_hit_probability(tuple_game, *pm);
+      // Sanity: closed forms.
+      if (std::abs(path_hit - double(k + 1) / double(n)) > 1e-12)
+        all_ok = false;
+      if (std::abs(tuple_hit - 2.0 * double(k) / double(n)) > 1e-12)
+        all_ok = false;
+      if (tuple_hit + 1e-12 < path_hit) all_ok = false;  // tuples never worse
+      mixed.add(n, k, util::fixed(path_hit, 4), util::fixed(tuple_hit, 4),
+                util::fixed(tuple_hit / path_hit, 3));
+    }
+  }
+  mixed.print(std::cout);
+  std::cout << "The advantage 2k/(k+1) approaches 2 as k grows: scattering "
+               "k independent links protects nearly twice as much as one "
+               "contiguous path. (Claim (b))\n";
+
+  bench::verdict(all_ok,
+                 "closed forms hold on every row; tuple defender weakly "
+                 "dominates the path defender, with advantage 2k/(k+1)");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,85 @@
+// Experiment E17 (extension) — double-oracle equilibria beyond
+// enumeration.
+//
+// Claim: the double-oracle loop (restricted simplex + branch-and-bound
+// best-response oracles) computes the exact zero-sum value of Π_k(G) on
+// boards whose tuple space C(m,k) is far beyond enumeration, with tiny
+// working sets — and the values coincide with the combinatorial
+// predictions (k/|IS| on bipartite boards, 2k/n on perfect-matching
+// boards) wherever those families exist.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/atuple.hpp"
+#include "core/double_oracle.hpp"
+#include "core/k_matching.hpp"
+#include "core/perfect_matching_ne.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace defender;
+  bench::banner("E17 — double-oracle solving of astronomically large E^k",
+                "exact values with working sets of a few dozen strategies "
+                "where C(m,k) reaches the trillions");
+
+  bool all_ok = true;
+  util::Rng rng(17);
+  util::Table table({"board", "n", "m", "k", "C(m,k)", "DO value",
+                     "analytic", "gap", "iters", "|T|/|V| sets", "ms"});
+
+  struct Case {
+    std::string name;
+    graph::Graph g;
+    std::size_t k;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"grid 5x5", graph::grid_graph(5, 5), 5});
+  cases.push_back({"grid 6x6", graph::grid_graph(6, 6), 6});
+  cases.push_back({"grid 8x8", graph::grid_graph(8, 8), 8});
+  cases.push_back({"hypercube Q5", graph::hypercube_graph(5), 8});
+  cases.push_back({"K_{8,12}", graph::complete_bipartite(8, 12), 6});
+  cases.push_back({"Petersen", graph::petersen_graph(), 3});
+  cases.push_back({"tree n=40", graph::random_tree(40, rng), 7});
+  cases.push_back({"bip 12x16 p=.2",
+                   graph::random_bipartite(12, 16, 0.2, rng), 6});
+  cases.push_back({"BA n=48 m0=2", graph::barabasi_albert(48, 2, rng), 5});
+  cases.push_back({"WS n=40 k=4", graph::watts_strogatz(40, 4, 0.2, rng), 4});
+
+  for (auto& [name, g, k] : cases) {
+    const core::TupleGame game(g, k, 1);
+    util::Stopwatch watch;
+    const core::DoubleOracleResult dor = core::solve_double_oracle(game);
+    const double ms = watch.millis();
+
+    // Analytic reference where a structural family exists.
+    std::string analytic = "-";
+    double reference = -1;
+    if (const auto km = core::find_k_matching_ne(game)) {
+      reference = core::analytic_hit_probability(game, km->k_matching_ne);
+    } else if (core::has_perfect_matching(g) && k <= g.num_vertices() / 2) {
+      if (const auto pm = core::find_perfect_matching_ne(game))
+        reference = core::analytic_hit_probability(game, *pm);
+    }
+    if (reference >= 0) {
+      analytic = util::fixed(reference, 5);
+      if (std::abs(dor.value - reference) > 1e-4 + dor.gap) all_ok = false;
+    }
+
+    const std::uint64_t tuples = game.num_tuples();
+    const std::string count =
+        tuples == UINT64_MAX ? ">1e19" : std::to_string(tuples);
+    table.add(name, g.num_vertices(), g.num_edges(), k, count,
+              util::fixed(dor.value, 5), analytic, util::fixed(dor.gap, 7),
+              dor.iterations,
+              std::to_string(dor.defender_set_size) + "/" +
+                  std::to_string(dor.attacker_set_size),
+              util::fixed(ms, 1));
+  }
+  table.print(std::cout);
+  bench::verdict(all_ok,
+                 "double-oracle values match every available combinatorial "
+                 "prediction within the certified duality gap (<= 1e-4) "
+                 "while touching only dozens of the C(m,k) tuples");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,93 @@
+// Micro-benchmarks of the library's hot paths (google-benchmark).
+//
+// Not tied to a paper claim; these track the cost of the primitive
+// operations the experiment harness composes: graph construction, payoff
+// evaluation, equilibrium construction, verification, and the LP baseline.
+#include <benchmark/benchmark.h>
+
+#include "core/atuple.hpp"
+#include "core/characterization.hpp"
+#include "core/payoff.hpp"
+#include "core/zero_sum.hpp"
+#include "graph/generators.hpp"
+#include "sim/playout.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace defender;
+
+void BM_GraphBuild_Grid(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::grid_graph(side, side).num_edges());
+  }
+}
+BENCHMARK(BM_GraphBuild_Grid)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ATuple_EndToEnd(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const graph::Graph g = graph::grid_graph(side, side);
+  const core::TupleGame game(g, 8, 4);
+  for (auto _ : state) {
+    auto result = core::a_tuple_bipartite(game);
+    benchmark::DoNotOptimize(result->support_size);
+  }
+}
+BENCHMARK(BM_ATuple_EndToEnd)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_HitProbabilities(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const graph::Graph g = graph::grid_graph(side, side);
+  const core::TupleGame game(g, 8, 4);
+  const auto result = core::a_tuple_bipartite(game);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::hit_probabilities(game, result->configuration).size());
+  }
+}
+BENCHMARK(BM_HitProbabilities)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_VerifyMixedNe_BranchAndBound(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const graph::Graph g = graph::grid_graph(side, side);
+  const core::TupleGame game(g, 4, 4);
+  const auto result = core::a_tuple_bipartite(game);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::verify_mixed_ne(game, result->configuration,
+                              core::Oracle::kBranchAndBound)
+            .is_ne());
+  }
+}
+BENCHMARK(BM_VerifyMixedNe_BranchAndBound)->Arg(4)->Arg(8);
+
+void BM_ZeroSumLp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const graph::Graph g = graph::cycle_graph(n);
+  const core::TupleGame game(g, 2, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_zero_sum(game).value);
+  }
+  state.counters["tuples"] = static_cast<double>(game.num_tuples());
+}
+BENCHMARK(BM_ZeroSumLp)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_Playouts(benchmark::State& state) {
+  const graph::Graph g = graph::grid_graph(8, 8);
+  const core::TupleGame game(g, 4, 8);
+  const auto result = core::a_tuple_bipartite(game);
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::run_playouts(game, result->configuration, 10000, rng)
+            .defender_profit_mean);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10000);
+}
+BENCHMARK(BM_Playouts);
+
+}  // namespace
+
+BENCHMARK_MAIN();

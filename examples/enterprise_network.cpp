@@ -1,0 +1,95 @@
+// Enterprise-network scenario: how much security does one more scanned
+// link buy?
+//
+// Models a three-tier enterprise network (core routers -> department
+// switches -> workstations; a tree, hence bipartite) under the Tuple model
+// and sweeps the defender's power k. For each k it reports the k-matching
+// equilibrium's hit probability, the expected number of arrested attackers,
+// and the pure-NE threshold of Theorem 3.1 — the point where the security
+// software becomes strong enough to deterministically cover the whole
+// network.
+#include <iostream>
+#include <vector>
+
+#include "core/atuple.hpp"
+#include "core/payoff.hpp"
+#include "core/pure_ne.hpp"
+#include "graph/graph.hpp"
+#include "matching/edge_cover.hpp"
+#include "util/chart.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+/// Three-tier tree: 2 core routers, 3 department switches per core, 4
+/// workstations per switch. 2 + 6 + 24 = 32 hosts, 31 links.
+defender::graph::Graph enterprise_topology() {
+  using defender::graph::GraphBuilder;
+  using defender::graph::Vertex;
+  GraphBuilder b(32);
+  // Core routers 0-1 (linked to each other).
+  b.add_edge(0, 1);
+  // Department switches 2..7: three per core.
+  for (Vertex s = 0; s < 6; ++s) b.add_edge(s < 3 ? 0 : 1, 2 + s);
+  // Workstations 8..31: four per switch.
+  for (Vertex w = 0; w < 24; ++w) b.add_edge(2 + w / 4, 8 + w);
+  return b.build();
+}
+
+}  // namespace
+
+int main() {
+  using namespace defender;
+  const graph::Graph g = enterprise_topology();
+  constexpr std::size_t kNu = 12;  // estimated simultaneous attackers
+
+  std::cout << "Enterprise network: n=" << g.num_vertices()
+            << " hosts, m=" << g.num_edges() << " links, nu=" << kNu
+            << " attackers\n\n";
+
+  const std::size_t pure_threshold = matching::min_edge_cover_size(g);
+  std::cout << "Theorem 3.1: a pure (deterministic) defence exists iff the\n"
+            << "defender can scan k >= " << pure_threshold
+            << " links (minimum edge cover).\n\n";
+
+  const auto partition = core::find_partition_bipartite(g);
+  if (!partition) {
+    std::cerr << "topology unexpectedly non-bipartite\n";
+    return 1;
+  }
+  const std::size_t kmax = partition->independent_set.size();
+
+  util::Table table({"k", "|D(tp)|", "alpha", "P(Hit)", "arrests E[IP_tp]",
+                     "escape prob", "pure NE?"});
+  std::vector<double> ks, gains;
+  for (std::size_t k = 1; k <= kmax; ++k) {
+    const core::TupleGame game(g, k, kNu);
+    const auto result = core::a_tuple(game, *partition);
+    if (!result) break;
+    const double hit =
+        core::analytic_hit_probability(game, result->k_matching_ne);
+    const double gain =
+        core::analytic_defender_profit(game, result->k_matching_ne);
+    table.add(k, result->support_size, result->tuples_per_edge,
+              util::fixed(hit, 4), util::fixed(gain, 3),
+              util::fixed(1.0 - hit, 4), core::pure_ne_exists(game));
+    ks.push_back(static_cast<double>(k));
+    gains.push_back(gain);
+  }
+  table.print(std::cout);
+
+  std::cout << "Defender gain vs k (linear, slope nu/|IS| — Theorem 4.5):\n";
+  util::AsciiChart chart(60, 14);
+  chart.add_series({"E[arrests]", ks, gains});
+  chart.set_labels("k (links scanned)", "expected arrests");
+  std::cout << chart.to_string() << '\n';
+
+  // Where does randomized defence meet deterministic defence?
+  std::cout << "Reading: each extra scanned link adds "
+            << gains[1] - gains[0]
+            << " expected arrests; at k=" << pure_threshold
+            << " the defender can switch to a deterministic cover and catch "
+               "all "
+            << kNu << " attackers.\n";
+  return 0;
+}

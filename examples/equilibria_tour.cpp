@@ -1,0 +1,79 @@
+// A tour of the paper's equilibrium landscape across graph families.
+//
+// For each board the tour reports:
+//   * Theorem 3.1: the pure-NE threshold (minimum edge cover size);
+//   * Corollary 4.11: whether a k-matching NE exists (expander partition);
+//   * the equilibrium hit probability and defender gain when it does;
+//   * the exact zero-sum game value from the LP baseline on enumerable
+//     instances, cross-checking Claim 4.3.
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/atuple.hpp"
+#include "core/k_matching.hpp"
+#include "core/pure_ne.hpp"
+#include "core/zero_sum.hpp"
+#include "graph/generators.hpp"
+#include "matching/edge_cover.hpp"
+#include "util/random.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace defender;
+  util::Rng rng(2006);  // ICDCS 2006
+
+  struct Board {
+    std::string name;
+    graph::Graph g;
+  };
+  const std::vector<Board> boards = {
+      {"path P10", graph::path_graph(10)},
+      {"cycle C12", graph::cycle_graph(12)},
+      {"cycle C9 (odd)", graph::cycle_graph(9)},
+      {"star S8", graph::star_graph(8)},
+      {"grid 4x4", graph::grid_graph(4, 4)},
+      {"hypercube Q3", graph::hypercube_graph(3)},
+      {"complete K6", graph::complete_graph(6)},
+      {"Petersen", graph::petersen_graph()},
+      {"random tree (n=12)", graph::random_tree(12, rng)},
+      {"random bipartite 5x7", graph::random_bipartite(5, 7, 0.35, rng)},
+  };
+
+  constexpr std::size_t kK = 2;
+  constexpr std::size_t kNu = 6;
+
+  util::Table table({"board", "n", "m", "pure NE at k>=", "k-matching NE?",
+                     "P(Hit) @k=2", "gain @k=2", "LP value @k=2"});
+  for (const auto& [name, g] : boards) {
+    const std::size_t threshold = matching::min_edge_cover_size(g);
+    std::string kmatch = "no";
+    std::string hit = "-", gain = "-", lp_value = "-";
+    if (g.num_edges() >= kK) {
+      const core::TupleGame game(g, kK, kNu);
+      if (const auto result = core::find_k_matching_ne(game)) {
+        kmatch = "yes";
+        hit = util::fixed(
+            core::analytic_hit_probability(game, result->k_matching_ne), 4);
+        gain = util::fixed(
+            core::analytic_defender_profit(game, result->k_matching_ne), 3);
+      }
+      if (game.num_tuples() <= 5000 && kmatch == "yes")
+        lp_value = util::fixed(core::solve_zero_sum(game).value, 4);
+    }
+    table.add(name, g.num_vertices(), g.num_edges(), threshold, kmatch, hit,
+              gain, lp_value);
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "Readings:\n"
+      << "  * bipartite boards (paths, even cycles, stars, grids, cubes,\n"
+      << "    trees) always admit k-matching NE (Theorem 5.1);\n"
+      << "  * K6, Petersen and odd cycles have no expander partition, so no\n"
+      << "    k-matching NE exists (Corollary 4.11);\n"
+      << "  * where the LP value is shown it equals k/|E(D(tp))| — the\n"
+      << "    zero-sum value is unique across equilibria (Claim 4.3).\n";
+  return 0;
+}

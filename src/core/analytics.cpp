@@ -1,0 +1,25 @@
+#include "core/analytics.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace defender::core {
+
+double defense_ratio(const TupleGame& game, double defender_profit) {
+  DEF_REQUIRE(defender_profit > 0, "defense ratio needs a positive profit");
+  return static_cast<double>(game.num_attackers()) / defender_profit;
+}
+
+double coverage_ceiling(const TupleGame& game) {
+  return std::min(1.0, 2.0 * static_cast<double>(game.k()) /
+                           static_cast<double>(game.graph().num_vertices()));
+}
+
+double defense_optimality(const TupleGame& game, double hit_probability) {
+  DEF_REQUIRE(hit_probability >= 0 && hit_probability <= 1.0 + 1e-12,
+              "hit probability must be in [0, 1]");
+  return hit_probability / coverage_ceiling(game);
+}
+
+}  // namespace defender::core

@@ -1,0 +1,29 @@
+// Protection-quality metrics for comparing equilibria and defender models.
+//
+// The paper's quantitative message is that the defender's gain grows
+// linearly in k; these helpers normalize that gain so different equilibrium
+// families and boards can be compared:
+//   * defense ratio  ν / IP_tp — how far from catching everything (>= 1,
+//     lower is better for the defender);
+//   * coverage ceiling min(1, 2k/n) — no mixed defender strategy can hit a
+//     uniform attacker with higher probability, so no equilibrium value of
+//     Π_k(G) exceeds it;
+//   * optimality gap — achieved hit probability relative to the ceiling.
+#pragma once
+
+#include "core/game.hpp"
+
+namespace defender::core {
+
+/// ν / defender_profit; requires a positive profit.
+double defense_ratio(const TupleGame& game, double defender_profit);
+
+/// The absolute hit-probability ceiling min(1, 2k/n): a tuple of k edges
+/// covers at most 2k of the n vertices.
+double coverage_ceiling(const TupleGame& game);
+
+/// hit_probability / coverage_ceiling in (0, 1]; 1 means defense-optimal
+/// (perfect-matching boards achieve it).
+double defense_optimality(const TupleGame& game, double hit_probability);
+
+}  // namespace defender::core

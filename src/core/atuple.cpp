@@ -1,0 +1,46 @@
+#include "core/atuple.hpp"
+
+#include "util/assert.hpp"
+
+namespace defender::core {
+
+namespace {
+
+std::optional<ATupleResult> run_with_partition(const TupleGame& game,
+                                               const Partition& partition) {
+  // Step 1: algorithm A on the Edge-model instance.
+  auto edge_ne = compute_matching_ne(game.graph(), partition);
+  if (!edge_ne) return std::nullopt;
+
+  // Steps 2-3: label the defended edges and lift cyclically (Lemma 4.8).
+  KMatchingNe lifted = lift_to_k_matching(game, *edge_ne);
+
+  // Steps 4-5: uniform distributions on the lifted supports.
+  MixedConfiguration configuration = to_configuration(game, lifted);
+  const std::size_t support_size = lifted.tp_support.size();
+  const std::size_t alpha =
+      lifted_tuples_per_edge(edge_ne->tp_support.size(), game.k());
+  return ATupleResult{std::move(*edge_ne), std::move(lifted),
+                      std::move(configuration), support_size, alpha};
+}
+
+}  // namespace
+
+std::optional<ATupleResult> a_tuple(const TupleGame& game,
+                                    const Partition& partition) {
+  return run_with_partition(game, partition);
+}
+
+std::optional<ATupleResult> a_tuple_bipartite(const TupleGame& game) {
+  auto partition = find_partition_bipartite(game.graph());
+  if (!partition) return std::nullopt;
+  return run_with_partition(game, *partition);
+}
+
+std::optional<ATupleResult> find_k_matching_ne(const TupleGame& game) {
+  auto partition = find_partition(game.graph());
+  if (!partition) return std::nullopt;
+  return run_with_partition(game, *partition);
+}
+
+}  // namespace defender::core

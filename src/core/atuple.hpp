@@ -1,0 +1,54 @@
+// Algorithm A_tuple (Figure 1) and the bipartite application (Theorem 5.1).
+//
+// A_tuple(Π_k(G), IS, VC):
+//   1. run algorithm A on Π_1(G) to obtain a matching NE s';
+//   2. label the defended edges e_0, e_1, ...;
+//   3. lift s' through the cyclic tuple construction of Lemma 4.8;
+//   4. play uniform distributions (equations (3)-(4)).
+// Correctness is Theorem 4.12; the lift itself costs O(k·n) (Theorem 4.13)
+// on top of algorithm A's matching computation.
+//
+// Theorem 5.1: on bipartite graphs the required (IS, VC) partition always
+// exists — König's minimum vertex cover — so a k-matching NE is computable
+// end to end in max{O(k·n), O(m·sqrt(n))} time.
+#pragma once
+
+#include <optional>
+
+#include "core/game.hpp"
+#include "core/k_matching.hpp"
+#include "core/matching_ne.hpp"
+#include "core/reduction.hpp"
+
+namespace defender::core {
+
+/// Everything A_tuple produced, with the intermediates exposed for
+/// inspection and experiments.
+struct ATupleResult {
+  /// The Edge-model matching NE of step 1.
+  MatchingNe edge_model_ne;
+  /// The lifted k-matching NE (support structure).
+  KMatchingNe k_matching_ne;
+  /// The uniform mixed configuration of step 5.
+  MixedConfiguration configuration;
+  /// δ = |D(tp)| of the lifted support.
+  std::size_t support_size = 0;
+  /// α = tuples per edge (Claim 4.9).
+  std::size_t tuples_per_edge = 0;
+};
+
+/// Algorithm A_tuple on a caller-supplied partition. Returns nullopt when
+/// the partition violates the expander condition. Requires
+/// game.k() <= |IS| (see reduction.hpp on the Lemma 4.8 bound).
+std::optional<ATupleResult> a_tuple(const TupleGame& game,
+                                    const Partition& partition);
+
+/// Theorem 5.1: A_tuple seeded with König's partition. Returns nullopt when
+/// the board is not bipartite.
+std::optional<ATupleResult> a_tuple_bipartite(const TupleGame& game);
+
+/// Convenience dispatch: bipartite route, then greedy/exhaustive partition
+/// discovery (find_partition).
+std::optional<ATupleResult> find_k_matching_ne(const TupleGame& game);
+
+}  // namespace defender::core

@@ -1,0 +1,186 @@
+#include "core/best_response.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/payoff.hpp"
+#include "util/assert.hpp"
+#include "util/combinatorics.hpp"
+
+namespace defender::core {
+
+BestTuple best_tuple_exhaustive(const TupleGame& game,
+                                const std::vector<double>& masses) {
+  DEF_REQUIRE(game.num_tuples() <= 2'000'000,
+              "exhaustive tuple oracle limited to 2e6 tuples");
+  const graph::Graph& g = game.graph();
+  BestTuple best;
+  best.mass = -1;
+  util::for_each_combination(
+      g.num_edges(), game.k(),
+      [&](const std::vector<std::size_t>& combo) {
+        Tuple t(combo.begin(), combo.end());
+        const double m = tuple_mass(g, masses, t);
+        if (m > best.mass) {
+          best.mass = m;
+          best.tuple = std::move(t);
+        }
+        return true;
+      });
+  DEF_ENSURE(best.mass >= 0, "tuple enumeration visited no tuple");
+  return best;
+}
+
+namespace {
+
+/// Depth-first branch and bound over edges sorted by per-edge mass.
+class TupleSearch {
+ public:
+  TupleSearch(const graph::Graph& g, std::size_t k,
+              const std::vector<double>& masses)
+      : g_(g), k_(k), masses_(masses) {
+    total_mass_ = 0;
+    for (double m : masses) total_mass_ += m;
+    order_.resize(g.num_edges());
+    edge_mass_.resize(g.num_edges());
+    for (graph::EdgeId id = 0; id < g.num_edges(); ++id) {
+      order_[id] = id;
+      const graph::Edge& e = g.edge(id);
+      edge_mass_[id] = masses[e.u] + masses[e.v];
+    }
+    std::sort(order_.begin(), order_.end(),
+              [&](graph::EdgeId a, graph::EdgeId b) {
+                return edge_mass_[a] > edge_mass_[b];
+              });
+    covered_.assign(g.num_vertices(), 0);
+  }
+
+  BestTuple run() {
+    // Seed the incumbent with a greedy marginal-gain solution; combined with
+    // the <=-pruning below, instances whose greedy solution already meets
+    // the overlap-ignoring bound (e.g. uniform masses) terminate at the
+    // root instead of exploring the full tree.
+    seed_greedy();
+    current_.reserve(k_);
+    descend(0, 0.0);
+    return best_;
+  }
+
+ private:
+  /// Greedy incumbent: k rounds, each taking the edge of maximum marginal
+  /// coverage gain. O(k·m); a feasible tuple, so a valid lower bound.
+  void seed_greedy() {
+    std::vector<char> taken(order_.size(), 0);
+    std::vector<char> cov(covered_.size(), 0);
+    Tuple t;
+    double total = 0;
+    for (std::size_t round = 0; round < k_; ++round) {
+      std::size_t best_i = order_.size();
+      double best_delta = -1;
+      for (std::size_t i = 0; i < order_.size(); ++i) {
+        if (taken[i]) continue;
+        const graph::Edge& e = g_.edge(order_[i]);
+        const double delta =
+            (cov[e.u] ? 0.0 : masses_[e.u]) + (cov[e.v] ? 0.0 : masses_[e.v]);
+        if (delta > best_delta) {
+          best_delta = delta;
+          best_i = i;
+        }
+      }
+      taken[best_i] = 1;
+      const graph::Edge& e = g_.edge(order_[best_i]);
+      cov[e.u] = 1;
+      cov[e.v] = 1;
+      t.push_back(order_[best_i]);
+      total += best_delta;
+    }
+    std::sort(t.begin(), t.end());
+    best_.tuple = std::move(t);
+    best_.mass = total;
+  }
+
+  /// Upper bound for completing `current_` with `need` edges drawn from
+  /// order_[from:]: the sum of the `need` largest remaining edge masses,
+  /// capped by the total mass still uncovered (a tuple can never gain more
+  /// than what remains on the board — much tighter when masses are diffuse
+  /// and 2k approaches the number of massive vertices).
+  double completion_bound(std::size_t from, std::size_t need,
+                          double gained) const {
+    double bound = 0;
+    for (std::size_t i = from; i < order_.size() && need > 0; ++i, --need)
+      bound += edge_mass_[order_[i]];
+    if (need != 0) return -std::numeric_limits<double>::infinity();
+    return std::min(bound, total_mass_ - gained);
+  }
+
+  void descend(std::size_t from, double gained) {
+    if (current_.size() == k_) {
+      if (gained > best_.mass) {
+        best_.mass = gained;
+        best_.tuple = current_;
+        std::sort(best_.tuple.begin(), best_.tuple.end());
+      }
+      return;
+    }
+    const std::size_t need = k_ - current_.size();
+    if (order_.size() - from < need) return;
+    // The 1e-9 slack trades at most 1e-9 of optimality for pruning the
+    // exponentially many near-ties symmetric boards produce; every caller
+    // tolerance is coarser.
+    if (gained + completion_bound(from, need, gained) <= best_.mass + 1e-9)
+      return;
+
+    // Branch on including/excluding order_[from].
+    const graph::EdgeId id = order_[from];
+    const graph::Edge& e = g_.edge(id);
+    double delta = 0;
+    if (!covered_[e.u]) delta += masses_[e.u];
+    if (!covered_[e.v]) delta += masses_[e.v];
+    ++covered_[e.u];
+    ++covered_[e.v];
+    current_.push_back(id);
+    descend(from + 1, gained + delta);
+    current_.pop_back();
+    --covered_[e.u];
+    --covered_[e.v];
+    descend(from + 1, gained);
+  }
+
+  const graph::Graph& g_;
+  std::size_t k_;
+  const std::vector<double>& masses_;
+  std::vector<graph::EdgeId> order_;
+  std::vector<double> edge_mass_;
+  double total_mass_ = 0;
+  std::vector<int> covered_;
+  Tuple current_;
+  BestTuple best_;
+};
+
+}  // namespace
+
+BestTuple best_tuple_branch_and_bound(const TupleGame& game,
+                                      const std::vector<double>& masses) {
+  DEF_REQUIRE(masses.size() == game.graph().num_vertices(),
+              "mass vector must cover every vertex");
+  return TupleSearch(game.graph(), game.k(), masses).run();
+}
+
+BestTuple best_tuple(const TupleGame& game,
+                     const std::vector<double>& masses) {
+  if (game.num_tuples() <= 100'000)
+    return best_tuple_exhaustive(game, masses);
+  return best_tuple_branch_and_bound(game, masses);
+}
+
+graph::VertexSet min_hit_vertices(const std::vector<double>& hit,
+                                  double tolerance) {
+  DEF_REQUIRE(!hit.empty(), "hit vector must be nonempty");
+  const double lo = *std::min_element(hit.begin(), hit.end());
+  graph::VertexSet out;
+  for (graph::Vertex v = 0; v < hit.size(); ++v)
+    if (hit[v] <= lo + tolerance) out.push_back(v);
+  return out;
+}
+
+}  // namespace defender::core

@@ -1,0 +1,46 @@
+// Best-response oracles.
+//
+// Verifying Theorem 3.4's condition 3(a) — every support tuple attains
+// max_{t ∈ E^k} m_s(t) — requires maximizing the attacker mass covered by k
+// distinct edges, a weighted-coverage problem that is NP-hard in general.
+// The library offers two oracles:
+//   * an exhaustive one over all C(m, k) tuples (ground truth, small games);
+//   * a branch-and-bound maximizer whose upper bound ignores endpoint
+//     overlap (sum of the top remaining per-edge masses), exact but fast on
+//     the medium instances the test sweeps use.
+// The attacker's best response is trivial: any vertex of minimum hit
+// probability.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/configuration.hpp"
+#include "core/game.hpp"
+
+namespace defender::core {
+
+/// A best (or witnessed-optimal) defender tuple and its covered mass.
+struct BestTuple {
+  Tuple tuple;
+  double mass = 0;
+};
+
+/// Exhaustive maximization of m_s(t) over E^k. Requires
+/// game.num_tuples() <= 2'000'000.
+BestTuple best_tuple_exhaustive(const TupleGame& game,
+                                const std::vector<double>& masses);
+
+/// Branch-and-bound maximization of m_s(t) over E^k; exact on all inputs.
+BestTuple best_tuple_branch_and_bound(const TupleGame& game,
+                                      const std::vector<double>& masses);
+
+/// Picks the cheaper exact oracle for the instance size.
+BestTuple best_tuple(const TupleGame& game,
+                     const std::vector<double>& masses);
+
+/// Vertices of minimum hit probability (the attackers' best responses).
+graph::VertexSet min_hit_vertices(const std::vector<double>& hit,
+                                  double tolerance = 1e-9);
+
+}  // namespace defender::core

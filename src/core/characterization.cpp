@@ -1,0 +1,122 @@
+#include "core/characterization.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "core/payoff.hpp"
+#include "graph/properties.hpp"
+#include "util/assert.hpp"
+
+namespace defender::core {
+
+namespace {
+
+BestTuple run_oracle(const TupleGame& game, const std::vector<double>& masses,
+                     Oracle oracle) {
+  switch (oracle) {
+    case Oracle::kExhaustive:
+      return best_tuple_exhaustive(game, masses);
+    case Oracle::kBranchAndBound:
+      return best_tuple_branch_and_bound(game, masses);
+    case Oracle::kAuto:
+      return best_tuple(game, masses);
+  }
+  DEF_ENSURE(false, "unreachable oracle mode");
+  return {};
+}
+
+}  // namespace
+
+bool CharacterizationReport::is_ne() const {
+  return edge_cover && vertex_cover_of_support && hits_uniform_minimum &&
+         defender_probs_sum_to_one && support_tuples_maximal &&
+         support_mass_is_nu;
+}
+
+std::string CharacterizationReport::describe() const {
+  auto mark = [](bool b) { return b ? "PASS" : "FAIL"; };
+  std::ostringstream os;
+  os << "1.  E(D(tp)) edge cover of G:            " << mark(edge_cover) << '\n'
+     << "1.  D(VP) vertex cover of G_{E(D(tp))}:  "
+     << mark(vertex_cover_of_support) << '\n'
+     << "2a. hits uniform & minimum on D(VP):     "
+     << mark(hits_uniform_minimum) << " (min hit = " << min_hit << ")\n"
+     << "2b. defender probabilities sum to 1:     "
+     << mark(defender_probs_sum_to_one) << '\n'
+     << "3a. support tuples attain max m(t):      "
+     << mark(support_tuples_maximal) << " (support mass ["
+     << min_support_tuple_mass << ", " << max_support_tuple_mass
+     << "], max over E^k = " << max_tuple_mass << ")\n"
+     << "3b. attacker mass on V(D(tp)) equals nu: "
+     << mark(support_mass_is_nu) << '\n';
+  return os.str();
+}
+
+CharacterizationReport verify_mixed_ne(const TupleGame& game,
+                                       const MixedConfiguration& config,
+                                       Oracle oracle, double tolerance) {
+  validate(game, config);
+  const graph::Graph& g = game.graph();
+  CharacterizationReport r;
+
+  // Condition 1.
+  const graph::EdgeSet support_edges = config.defender.edge_union();
+  r.edge_cover = graph::is_edge_cover(g, support_edges);
+  const graph::VertexSet vp_support = config.attacker_support_union();
+  r.vertex_cover_of_support =
+      graph::covers_edge_set(g, vp_support, support_edges);
+
+  // Condition 2: hit probabilities.
+  const std::vector<double> hit = hit_probabilities(game, config);
+  r.min_hit = *std::min_element(hit.begin(), hit.end());
+  r.hits_uniform_minimum = true;
+  for (graph::Vertex v : vp_support)
+    if (hit[v] > r.min_hit + tolerance) r.hits_uniform_minimum = false;
+  double def_sum = 0;
+  for (double p : config.defender.probs()) def_sum += p;
+  r.defender_probs_sum_to_one = std::abs(def_sum - 1.0) <= tolerance;
+
+  // Condition 3: tuple masses.
+  const std::vector<double> masses = vertex_mass(game, config);
+  const BestTuple best = run_oracle(game, masses, oracle);
+  r.max_tuple_mass = best.mass;
+  r.min_support_tuple_mass = std::numeric_limits<double>::infinity();
+  r.max_support_tuple_mass = -r.min_support_tuple_mass;
+  for (const Tuple& t : config.defender.support()) {
+    const double m = tuple_mass(g, masses, t);
+    r.min_support_tuple_mass = std::min(r.min_support_tuple_mass, m);
+    r.max_support_tuple_mass = std::max(r.max_support_tuple_mass, m);
+  }
+  r.support_tuples_maximal =
+      r.min_support_tuple_mass >= r.max_tuple_mass - tolerance;
+
+  double mass_on_support = 0;
+  for (graph::Vertex v : graph::endpoints_of(g, support_edges))
+    mass_on_support += masses[v];
+  r.support_mass_is_nu =
+      std::abs(mass_on_support - static_cast<double>(game.num_attackers())) <=
+      tolerance * static_cast<double>(game.num_attackers());
+  return r;
+}
+
+bool is_mixed_ne_by_best_response(const TupleGame& game,
+                                  const MixedConfiguration& config,
+                                  Oracle oracle, double tolerance) {
+  validate(game, config);
+  const std::vector<double> hit = hit_probabilities(game, config);
+  const double min_hit = *std::min_element(hit.begin(), hit.end());
+  for (const VertexDistribution& d : config.attackers)
+    for (graph::Vertex v : d.support())
+      if (hit[v] > min_hit + tolerance) return false;
+
+  const std::vector<double> masses = vertex_mass(game, config);
+  const BestTuple best = run_oracle(game, masses, oracle);
+  for (const Tuple& t : config.defender.support())
+    if (tuple_mass(game.graph(), masses, t) < best.mass - tolerance)
+      return false;
+  return true;
+}
+
+}  // namespace defender::core

@@ -1,0 +1,68 @@
+// Graph-theoretic characterization of mixed Nash equilibria (Theorem 3.4).
+//
+// A mixed configuration s of Π_k(G) is a NE iff:
+//   1. E(D(tp)) is an edge cover of G, and D(VP) is a vertex cover of the
+//      graph obtained by E(D(tp));
+//   2. (a) every vertex of D(VP) attains the minimum hit probability over V,
+//      (b) the defender's probabilities sum to one;
+//   3. (a) every support tuple attains max_{t ∈ E^k} m_s(t),
+//      (b) the attacker mass inside V(D(tp)) is ν.
+// Conditions 2(b)/3(b) hold for every well-formed configuration (the
+// distribution invariants plus Claim 3.7 once 1 holds); the verifier still
+// reports them so a failed report pinpoints which clause broke.
+//
+// Theorem 3.4 also states that 2(a) + 3(a) alone (mutual best responses)
+// already characterize NE — is_mixed_ne_by_best_response checks exactly
+// those two, and the property suite asserts both checks agree.
+#pragma once
+
+#include <string>
+
+#include "core/best_response.hpp"
+#include "core/configuration.hpp"
+#include "core/game.hpp"
+
+namespace defender::core {
+
+/// Which best-response oracle verify_mixed_ne uses for condition 3(a).
+enum class Oracle { kExhaustive, kBranchAndBound, kAuto };
+
+/// Clause-by-clause outcome of the Theorem 3.4 characterization.
+struct CharacterizationReport {
+  bool edge_cover = false;           // condition 1, first half
+  bool vertex_cover_of_support = false;  // condition 1, second half
+  bool hits_uniform_minimum = false;     // condition 2(a)
+  bool defender_probs_sum_to_one = false;  // condition 2(b)
+  bool support_tuples_maximal = false;     // condition 3(a)
+  bool support_mass_is_nu = false;         // condition 3(b)
+
+  /// Maximum m_s(t) over E^k found by the oracle, and the extremes over the
+  /// defender's support — for diagnostics.
+  double max_tuple_mass = 0;
+  double min_support_tuple_mass = 0;
+  double max_support_tuple_mass = 0;
+  double min_hit = 0;
+
+  /// All six clauses hold.
+  bool is_ne() const;
+
+  /// One line per clause, with the measured values.
+  std::string describe() const;
+};
+
+/// Evaluates every clause of Theorem 3.4 on `config`.
+CharacterizationReport verify_mixed_ne(const TupleGame& game,
+                                       const MixedConfiguration& config,
+                                       Oracle oracle = Oracle::kAuto,
+                                       double tolerance = 1e-9);
+
+/// Definition-level mixed-NE test: every attacker's support lies on
+/// minimum-hit vertices and every defender support tuple attains the
+/// maximum tuple mass (mutual best responses). Theorem 3.4 proves this is
+/// equivalent to the full characterization.
+bool is_mixed_ne_by_best_response(const TupleGame& game,
+                                  const MixedConfiguration& config,
+                                  Oracle oracle = Oracle::kAuto,
+                                  double tolerance = 1e-9);
+
+}  // namespace defender::core

@@ -1,0 +1,184 @@
+#include "core/configuration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace defender::core {
+
+namespace {
+
+constexpr double kProbEps = 1e-9;
+
+void check_distribution(std::span<const double> probs) {
+  double sum = 0;
+  for (double p : probs) {
+    DEF_REQUIRE(p > 0, "support probabilities must be strictly positive");
+    sum += p;
+  }
+  DEF_REQUIRE(std::abs(sum - 1.0) <= kProbEps,
+              "probabilities must sum to 1");
+}
+
+}  // namespace
+
+Tuple make_tuple(const TupleGame& game, Tuple edges) {
+  std::sort(edges.begin(), edges.end());
+  DEF_REQUIRE(edges.size() == game.k(),
+              "a defender tuple must contain exactly k edges");
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    DEF_REQUIRE(edges[i] < game.graph().num_edges(), "edge id out of range");
+    DEF_REQUIRE(i == 0 || edges[i] != edges[i - 1],
+                "a tuple's edges must be distinct");
+  }
+  return edges;
+}
+
+graph::VertexSet tuple_vertices(const graph::Graph& g, const Tuple& t) {
+  return graph::endpoints_of(g, t);
+}
+
+VertexDistribution VertexDistribution::uniform(graph::VertexSet support) {
+  graph::normalize(support);
+  DEF_REQUIRE(!support.empty(), "a distribution needs a nonempty support");
+  std::vector<double> probs(support.size(),
+                            1.0 / static_cast<double>(support.size()));
+  return VertexDistribution(std::move(support), std::move(probs));
+}
+
+VertexDistribution::VertexDistribution(graph::VertexSet support,
+                                       std::vector<double> probs)
+    : support_(std::move(support)), probs_(std::move(probs)) {
+  DEF_REQUIRE(!support_.empty(), "a distribution needs a nonempty support");
+  DEF_REQUIRE(support_.size() == probs_.size(),
+              "support and probability sizes must match");
+  DEF_REQUIRE(std::is_sorted(support_.begin(), support_.end()) &&
+                  std::adjacent_find(support_.begin(), support_.end()) ==
+                      support_.end(),
+              "support must be sorted and distinct");
+  check_distribution(probs_);
+}
+
+double VertexDistribution::prob(graph::Vertex v) const {
+  auto it = std::lower_bound(support_.begin(), support_.end(), v);
+  if (it == support_.end() || *it != v) return 0.0;
+  return probs_[static_cast<std::size_t>(it - support_.begin())];
+}
+
+TupleDistribution TupleDistribution::uniform(std::vector<Tuple> support) {
+  DEF_REQUIRE(!support.empty(), "a distribution needs a nonempty support");
+  std::vector<double> probs(support.size(),
+                            1.0 / static_cast<double>(support.size()));
+  return TupleDistribution(std::move(support), std::move(probs));
+}
+
+TupleDistribution::TupleDistribution(std::vector<Tuple> support,
+                                     std::vector<double> probs)
+    : support_(std::move(support)), probs_(std::move(probs)) {
+  DEF_REQUIRE(!support_.empty(), "a distribution needs a nonempty support");
+  DEF_REQUIRE(support_.size() == probs_.size(),
+              "support and probability sizes must match");
+  for (const Tuple& t : support_) {
+    DEF_REQUIRE(std::is_sorted(t.begin(), t.end()) &&
+                    std::adjacent_find(t.begin(), t.end()) == t.end(),
+                "each tuple must be sorted with distinct edges");
+  }
+  auto sorted = support_;
+  std::sort(sorted.begin(), sorted.end());
+  DEF_REQUIRE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                  sorted.end(),
+              "support tuples must be pairwise distinct");
+  check_distribution(probs_);
+}
+
+graph::EdgeSet TupleDistribution::edge_union() const {
+  graph::EdgeSet all;
+  for (const Tuple& t : support_) all.insert(all.end(), t.begin(), t.end());
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+graph::VertexSet MixedConfiguration::attacker_support_union() const {
+  graph::VertexSet all;
+  for (const VertexDistribution& d : attackers)
+    all.insert(all.end(), d.support().begin(), d.support().end());
+  graph::normalize(all);
+  return all;
+}
+
+void validate(const TupleGame& game, const MixedConfiguration& config) {
+  DEF_REQUIRE(config.attackers.size() == game.num_attackers(),
+              "configuration must contain one distribution per attacker");
+  const std::size_t n = game.graph().num_vertices();
+  for (const VertexDistribution& d : config.attackers)
+    for (graph::Vertex v : d.support())
+      DEF_REQUIRE(v < n, "attacker support vertex out of range");
+  for (const Tuple& t : config.defender.support()) {
+    DEF_REQUIRE(t.size() == game.k(),
+                "defender tuples must contain exactly k edges");
+    for (graph::EdgeId e : t)
+      DEF_REQUIRE(e < game.graph().num_edges(),
+                  "defender tuple edge out of range");
+  }
+}
+
+MixedConfiguration symmetric_configuration(const TupleGame& game,
+                                           VertexDistribution attacker,
+                                           TupleDistribution defender) {
+  MixedConfiguration config{
+      std::vector<VertexDistribution>(game.num_attackers(), attacker),
+      std::move(defender)};
+  validate(game, config);
+  return config;
+}
+
+MixedConfiguration to_mixed(const TupleGame& game,
+                            const PureConfiguration& pure) {
+  DEF_REQUIRE(pure.attacker_vertices.size() == game.num_attackers(),
+              "pure configuration must fix one vertex per attacker");
+  std::vector<VertexDistribution> attackers;
+  attackers.reserve(pure.attacker_vertices.size());
+  for (graph::Vertex v : pure.attacker_vertices)
+    attackers.push_back(VertexDistribution::uniform({v}));
+  MixedConfiguration config{
+      std::move(attackers),
+      TupleDistribution::uniform({make_tuple(game, pure.defender_tuple)})};
+  validate(game, config);
+  return config;
+}
+
+std::string describe(const TupleGame& game,
+                     const MixedConfiguration& config) {
+  std::ostringstream os;
+  os << "Pi_" << game.k() << "(G): n=" << game.graph().num_vertices()
+     << " m=" << game.graph().num_edges() << " nu=" << game.num_attackers()
+     << "\n";
+  for (std::size_t i = 0; i < config.attackers.size(); ++i) {
+    const auto& d = config.attackers[i];
+    os << "  vp_" << i + 1 << ": {";
+    for (std::size_t j = 0; j < d.support().size(); ++j) {
+      if (j) os << ", ";
+      os << d.support()[j] << ":" << d.probs()[j];
+    }
+    os << "}\n";
+  }
+  os << "  tp: {";
+  for (std::size_t j = 0; j < config.defender.support().size(); ++j) {
+    if (j) os << ", ";
+    os << "(";
+    const Tuple& t = config.defender.support()[j];
+    for (std::size_t e = 0; e < t.size(); ++e) {
+      if (e) os << " ";
+      const graph::Edge& edge = game.graph().edge(t[e]);
+      os << edge.u << "-" << edge.v;
+    }
+    os << "):" << config.defender.probs()[j];
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace defender::core

@@ -1,0 +1,110 @@
+// Configurations (strategy profiles) of the Tuple model.
+//
+// A pure configuration fixes one vertex per attacker and one k-tuple of
+// edges for the defender. A mixed configuration gives every player a
+// probability distribution over its pure strategies (Section 2). Tuples are
+// stored as sorted vectors of distinct edge ids, so equality of tuples is
+// plain vector equality.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/game.hpp"
+#include "graph/properties.hpp"
+
+namespace defender::core {
+
+/// A defender pure strategy: k distinct edges, stored sorted.
+using Tuple = std::vector<graph::EdgeId>;
+
+/// Normalizes (sorts) a tuple and validates it against the game: exactly
+/// game.k() distinct edge ids in range. Returns the normalized tuple.
+Tuple make_tuple(const TupleGame& game, Tuple edges);
+
+/// The distinct endpoints V(t) of a tuple, sorted ascending.
+graph::VertexSet tuple_vertices(const graph::Graph& g, const Tuple& t);
+
+/// A pure configuration (s_1, ..., s_ν, s_tp).
+struct PureConfiguration {
+  /// attacker_vertices[i] = the vertex chosen by vertex player i.
+  std::vector<graph::Vertex> attacker_vertices;
+  /// The defender's tuple (sorted, k distinct edges).
+  Tuple defender_tuple;
+};
+
+/// A probability distribution over vertices with explicit support.
+/// Invariants (validated on construction): support sorted and distinct,
+/// probabilities positive and summing to 1 (within 1e-9).
+class VertexDistribution {
+ public:
+  /// Uniform distribution over `support`.
+  static VertexDistribution uniform(graph::VertexSet support);
+
+  /// General distribution; `probs[i]` is the probability of `support[i]`.
+  VertexDistribution(graph::VertexSet support, std::vector<double> probs);
+
+  std::span<const graph::Vertex> support() const { return support_; }
+  std::span<const double> probs() const { return probs_; }
+
+  /// Probability assigned to vertex `v` (0 when outside the support).
+  double prob(graph::Vertex v) const;
+
+ private:
+  graph::VertexSet support_;   // sorted, distinct
+  std::vector<double> probs_;  // aligned with support_
+};
+
+/// A probability distribution over defender tuples with explicit support.
+/// Invariants: tuples normalized, pairwise distinct; probabilities positive
+/// and summing to 1 (within 1e-9).
+class TupleDistribution {
+ public:
+  /// Uniform distribution over `support`.
+  static TupleDistribution uniform(std::vector<Tuple> support);
+
+  TupleDistribution(std::vector<Tuple> support, std::vector<double> probs);
+
+  std::span<const Tuple> support() const { return support_; }
+  std::span<const double> probs() const { return probs_; }
+
+  /// The edge set E(D(tp)): distinct edges appearing in any support tuple,
+  /// sorted ascending.
+  graph::EdgeSet edge_union() const;
+
+ private:
+  std::vector<Tuple> support_;  // pairwise distinct, each sorted
+  std::vector<double> probs_;
+};
+
+/// A mixed configuration: one VertexDistribution per attacker plus the
+/// defender's TupleDistribution.
+struct MixedConfiguration {
+  std::vector<VertexDistribution> attackers;
+  TupleDistribution defender;
+
+  /// D(VP): the union of the attackers' supports, sorted ascending.
+  graph::VertexSet attacker_support_union() const;
+};
+
+/// Validates a mixed configuration against a game: attacker count matches ν,
+/// vertices in range, every tuple has exactly k in-range edges. Throws
+/// ContractViolation on violation.
+void validate(const TupleGame& game, const MixedConfiguration& config);
+
+/// Builds the symmetric mixed configuration where all ν attackers play
+/// `attacker` and the defender plays `defender`.
+MixedConfiguration symmetric_configuration(const TupleGame& game,
+                                           VertexDistribution attacker,
+                                           TupleDistribution defender);
+
+/// Lifts a pure configuration to the equivalent degenerate mixed one.
+MixedConfiguration to_mixed(const TupleGame& game,
+                            const PureConfiguration& pure);
+
+/// Human-readable rendering of a mixed configuration (supports and
+/// probabilities), for examples and debugging.
+std::string describe(const TupleGame& game, const MixedConfiguration& config);
+
+}  // namespace defender::core

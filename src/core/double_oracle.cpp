@@ -1,0 +1,278 @@
+#include "core/double_oracle.hpp"
+
+#include <algorithm>
+
+#include "core/best_response.hpp"
+#include "core/payoff.hpp"
+#include "lp/matrix_game.hpp"
+#include "util/assert.hpp"
+
+namespace defender::core {
+
+namespace {
+
+/// Residual duality gap below which a stalled loop (both oracles already
+/// in the working sets) is accepted as numerically converged.
+constexpr double kStallSlack = 1e-4;
+
+/// Restricted coverage matrix over working sets: rows = tuples (defender,
+/// maximizer), cols = vertices (attacker, minimizer).
+lp::Matrix restricted_matrix(const graph::Graph& g,
+                             const std::vector<Tuple>& tuples,
+                             const std::vector<graph::Vertex>& vertices) {
+  lp::Matrix a(tuples.size(), vertices.size());
+  for (std::size_t t = 0; t < tuples.size(); ++t) {
+    const graph::VertexSet covered = tuple_vertices(g, tuples[t]);
+    for (std::size_t v = 0; v < vertices.size(); ++v)
+      if (graph::contains(covered, vertices[v])) a.at(t, v) = 1.0;
+  }
+  return a;
+}
+
+}  // namespace
+
+DoubleOracleResult solve_double_oracle(const TupleGame& game,
+                                       double tolerance,
+                                       std::size_t max_iterations) {
+  const graph::Graph& g = game.graph();
+  const std::size_t n = g.num_vertices();
+
+  // Seed: the defender's best response to a uniform attacker, and one
+  // uncovered-if-possible vertex.
+  std::vector<double> uniform_mass(n, 1.0 / static_cast<double>(n));
+  std::vector<Tuple> tuples{
+      best_tuple_branch_and_bound(game, uniform_mass).tuple};
+  std::vector<graph::Vertex> vertices{0};
+
+  for (std::size_t iter = 1; iter <= max_iterations; ++iter) {
+    const lp::Matrix a = restricted_matrix(g, tuples, vertices);
+    const lp::MatrixGameSolution restricted = lp::solve_matrix_game(a);
+
+    // Defender oracle: best tuple against the attacker's restricted mix.
+    std::vector<double> masses(n, 0.0);
+    for (std::size_t v = 0; v < vertices.size(); ++v)
+      masses[vertices[v]] += restricted.col_strategy[v];
+    const BestTuple br_tuple = best_tuple_branch_and_bound(game, masses);
+
+    // Attacker oracle: minimum-hit vertex against the defender's mix.
+    std::vector<double> hit(n, 0.0);
+    for (std::size_t t = 0; t < tuples.size(); ++t) {
+      if (restricted.row_strategy[t] <= 0) continue;
+      for (graph::Vertex v : tuple_vertices(g, tuples[t]))
+        hit[v] += restricted.row_strategy[t];
+    }
+    const auto min_it = std::min_element(hit.begin(), hit.end());
+    const double attacker_br_value = *min_it;
+    const auto br_vertex =
+        static_cast<graph::Vertex>(min_it - hit.begin());
+
+    const bool defender_closed =
+        br_tuple.mass <= restricted.value + tolerance;
+    const bool attacker_closed =
+        attacker_br_value >= restricted.value - tolerance;
+
+    // When an "improving" best response is already in the working set the
+    // residual gap is pure LP round-off (the restricted LP should have
+    // priced that strategy in); accept the equilibrium if the gap is
+    // negligible.
+    const bool defender_stalled =
+        !defender_closed && std::find(tuples.begin(), tuples.end(),
+                                      br_tuple.tuple) != tuples.end();
+    const bool attacker_stalled =
+        !attacker_closed && std::find(vertices.begin(), vertices.end(),
+                                      br_vertex) != vertices.end();
+    const double gap = std::max(br_tuple.mass - restricted.value,
+                                restricted.value - attacker_br_value);
+    const bool converged =
+        (defender_closed || defender_stalled) &&
+        (attacker_closed || attacker_stalled) && gap <= kStallSlack;
+    if (converged) {
+      // Extract the supports (drop zero-probability strategies).
+      std::vector<Tuple> def_support;
+      std::vector<double> def_probs;
+      for (std::size_t t = 0; t < tuples.size(); ++t) {
+        if (restricted.row_strategy[t] <= 1e-12) continue;
+        def_support.push_back(tuples[t]);
+        def_probs.push_back(restricted.row_strategy[t]);
+      }
+      double def_sum = 0;
+      for (double p : def_probs) def_sum += p;
+      for (double& p : def_probs) p /= def_sum;
+
+      graph::VertexSet att_support;
+      std::vector<double> att_probs;
+      // Vertices must be sorted for VertexDistribution; gather then sort.
+      std::vector<std::pair<graph::Vertex, double>> att;
+      for (std::size_t v = 0; v < vertices.size(); ++v)
+        if (restricted.col_strategy[v] > 1e-12)
+          att.emplace_back(vertices[v], restricted.col_strategy[v]);
+      std::sort(att.begin(), att.end());
+      double att_sum = 0;
+      for (const auto& [vtx, p] : att) {
+        att_support.push_back(vtx);
+        att_probs.push_back(p);
+        att_sum += p;
+      }
+      for (double& p : att_probs) p /= att_sum;
+
+      return DoubleOracleResult{
+          restricted.value, std::max(0.0, gap),
+          TupleDistribution(std::move(def_support), std::move(def_probs)),
+          VertexDistribution(std::move(att_support), std::move(att_probs)),
+          iter, tuples.size(), vertices.size()};
+    }
+
+    // Grow the working sets with the improving best responses.
+    bool grew = false;
+    if (!defender_closed &&
+        std::find(tuples.begin(), tuples.end(), br_tuple.tuple) ==
+            tuples.end()) {
+      tuples.push_back(br_tuple.tuple);
+      grew = true;
+    }
+    if (!attacker_closed &&
+        std::find(vertices.begin(), vertices.end(), br_vertex) ==
+            vertices.end()) {
+      vertices.push_back(br_vertex);
+      grew = true;
+    }
+    DEF_ENSURE(grew,
+               "double oracle stalled: an improving best response was "
+               "already in the working set (numerical tolerance too tight)");
+  }
+  DEF_ENSURE(false, "double oracle failed to converge within the iteration "
+                    "budget");
+  // Unreachable; DEF_ENSURE(false, ...) always throws.
+  throw ContractViolation("unreachable");
+}
+
+DoubleOracleResult solve_weighted_double_oracle(
+    const TupleGame& game, std::span<const double> weights, double tolerance,
+    std::size_t max_iterations) {
+  const graph::Graph& g = game.graph();
+  const std::size_t n = g.num_vertices();
+  DEF_REQUIRE(weights.size() == n, "one damage weight per vertex");
+  for (double w : weights)
+    DEF_REQUIRE(w > 0, "damage weights must be strictly positive");
+
+  // Seed with the defender's best response to a uniform attacker and the
+  // most valuable vertex (the attacker's first instinct).
+  std::vector<double> seed_mass(n);
+  for (std::size_t v = 0; v < n; ++v)
+    seed_mass[v] = weights[v] / static_cast<double>(n);
+  std::vector<Tuple> tuples{
+      best_tuple_branch_and_bound(game, seed_mass).tuple};
+  std::vector<graph::Vertex> vertices{static_cast<graph::Vertex>(
+      std::max_element(weights.begin(), weights.end()) - weights.begin())};
+
+  for (std::size_t iter = 1; iter <= max_iterations; ++iter) {
+    // Restricted damage game: rows = working vertices (attacker,
+    // maximizer), cols = working tuples (defender, minimizer).
+    lp::Matrix damage(vertices.size(), tuples.size());
+    for (std::size_t t = 0; t < tuples.size(); ++t) {
+      const graph::VertexSet covered = tuple_vertices(g, tuples[t]);
+      for (std::size_t v = 0; v < vertices.size(); ++v)
+        damage.at(v, t) = graph::contains(covered, vertices[v])
+                              ? 0.0
+                              : weights[vertices[v]];
+    }
+    const lp::MatrixGameSolution restricted = lp::solve_matrix_game(damage);
+
+    // Defender oracle: concede the least damage against the attacker's
+    // restricted mix = maximize covered weighted mass.
+    std::vector<double> masses(n, 0.0);
+    double total_weighted = 0;
+    for (std::size_t v = 0; v < vertices.size(); ++v) {
+      masses[vertices[v]] += weights[vertices[v]] * restricted.row_strategy[v];
+      total_weighted += weights[vertices[v]] * restricted.row_strategy[v];
+    }
+    const BestTuple br_tuple = best_tuple_branch_and_bound(game, masses);
+    const double defender_br_damage = total_weighted - br_tuple.mass;
+
+    // Attacker oracle: the most damaging vertex against the defender mix.
+    std::vector<double> hit(n, 0.0);
+    for (std::size_t t = 0; t < tuples.size(); ++t) {
+      if (restricted.col_strategy[t] <= 0) continue;
+      for (graph::Vertex v : tuple_vertices(g, tuples[t]))
+        hit[v] += restricted.col_strategy[t];
+    }
+    double attacker_br_damage = -1;
+    graph::Vertex br_vertex = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      const double d = weights[v] * (1.0 - hit[v]);
+      if (d > attacker_br_damage) {
+        attacker_br_damage = d;
+        br_vertex = static_cast<graph::Vertex>(v);
+      }
+    }
+
+    const bool attacker_closed =
+        attacker_br_damage <= restricted.value + tolerance;
+    const bool defender_closed =
+        defender_br_damage >= restricted.value - tolerance;
+    const bool attacker_stalled =
+        !attacker_closed && std::find(vertices.begin(), vertices.end(),
+                                      br_vertex) != vertices.end();
+    const bool defender_stalled =
+        !defender_closed && std::find(tuples.begin(), tuples.end(),
+                                      br_tuple.tuple) != tuples.end();
+    const double gap = std::max(attacker_br_damage - restricted.value,
+                                restricted.value - defender_br_damage);
+    if ((attacker_closed || attacker_stalled) &&
+        (defender_closed || defender_stalled) && gap <= kStallSlack) {
+      std::vector<Tuple> def_support;
+      std::vector<double> def_probs;
+      for (std::size_t t = 0; t < tuples.size(); ++t) {
+        if (restricted.col_strategy[t] <= 1e-12) continue;
+        def_support.push_back(tuples[t]);
+        def_probs.push_back(restricted.col_strategy[t]);
+      }
+      double def_sum = 0;
+      for (double p : def_probs) def_sum += p;
+      for (double& p : def_probs) p /= def_sum;
+
+      std::vector<std::pair<graph::Vertex, double>> att;
+      for (std::size_t v = 0; v < vertices.size(); ++v)
+        if (restricted.row_strategy[v] > 1e-12)
+          att.emplace_back(vertices[v], restricted.row_strategy[v]);
+      std::sort(att.begin(), att.end());
+      graph::VertexSet att_support;
+      std::vector<double> att_probs;
+      double att_sum = 0;
+      for (const auto& [vtx, p] : att) {
+        att_support.push_back(vtx);
+        att_probs.push_back(p);
+        att_sum += p;
+      }
+      for (double& p : att_probs) p /= att_sum;
+
+      return DoubleOracleResult{
+          restricted.value, std::max(0.0, gap),
+          TupleDistribution(std::move(def_support), std::move(def_probs)),
+          VertexDistribution(std::move(att_support), std::move(att_probs)),
+          iter, tuples.size(), vertices.size()};
+    }
+
+    bool grew = false;
+    if (!defender_closed &&
+        std::find(tuples.begin(), tuples.end(), br_tuple.tuple) ==
+            tuples.end()) {
+      tuples.push_back(br_tuple.tuple);
+      grew = true;
+    }
+    if (!attacker_closed &&
+        std::find(vertices.begin(), vertices.end(), br_vertex) ==
+            vertices.end()) {
+      vertices.push_back(br_vertex);
+      grew = true;
+    }
+    DEF_ENSURE(grew,
+               "weighted double oracle stalled outside the accepted gap");
+  }
+  DEF_ENSURE(false, "weighted double oracle failed to converge within the "
+                    "iteration budget");
+  throw ContractViolation("unreachable");
+}
+
+}  // namespace defender::core
+

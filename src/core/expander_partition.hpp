@@ -1,0 +1,62 @@
+// Vertex partitions (IS, VC) with the VC-expander property.
+//
+// Theorem 2.2 / Corollary 4.11: Π_k(G) admits a (k-)matching NE iff V(G)
+// partitions into an independent set IS and VC = V \ IS such that G is a
+// VC-expander. Per DESIGN.md interpretation note 1, "VC-expander" is
+// implemented as Hall's condition on the VC–IS bipartite subgraph —
+// ∀X ⊆ VC: |Neigh(X) ∩ IS| ≥ |X| — decided in polynomial time through a
+// VC-saturating maximum matching (König–Hall), not by subset enumeration.
+//
+// Partition discovery:
+//   * bipartite graphs: König's minimum vertex cover (Theorem 5.1's route);
+//   * general small graphs: exhaustive search over independent sets;
+//   * a greedy heuristic for larger non-bipartite instances (may miss).
+#pragma once
+
+#include <optional>
+
+#include "graph/graph.hpp"
+#include "graph/properties.hpp"
+#include "matching/matching.hpp"
+
+namespace defender::core {
+
+/// A partition of V(G) into an independent set and its complement.
+struct Partition {
+  graph::VertexSet independent_set;  // IS, sorted
+  graph::VertexSet vertex_cover;     // VC = V \ IS, sorted
+};
+
+/// Builds the partition with IS = `independent_set`, VC = complement.
+/// Validates that IS is independent and in range.
+Partition make_partition(const graph::Graph& g,
+                         graph::VertexSet independent_set);
+
+/// Polynomial VC-expander test (Hall's condition into IS): true iff a
+/// matching of the VC–IS bipartite subgraph saturates VC.
+bool is_vc_expander(const graph::Graph& g, const Partition& partition);
+
+/// A VC-saturating matching of the VC–IS bipartite subgraph, or nullopt
+/// when none exists. The witness behind is_vc_expander.
+std::optional<matching::Matching> vc_saturating_matching(
+    const graph::Graph& g, const Partition& partition);
+
+/// Theorem 2.2 existence test: some partition satisfies the expander
+/// condition. Exhaustive over independent sets; requires n <= 24.
+std::optional<Partition> find_partition_exhaustive(const graph::Graph& g);
+
+/// Theorem 5.1's constructive route for bipartite graphs: IS = maximum
+/// independent set from König's theorem. Returns nullopt when `g` is not
+/// bipartite. Always succeeds on bipartite graphs (Theorem 5.1).
+std::optional<Partition> find_partition_bipartite(const graph::Graph& g);
+
+/// Greedy heuristic for general graphs: grows IS from low-degree vertices
+/// and validates the expander condition. Returns nullopt when the greedy
+/// IS fails (which does NOT prove non-existence).
+std::optional<Partition> find_partition_greedy(const graph::Graph& g);
+
+/// Dispatch: bipartite route when possible, otherwise greedy, otherwise
+/// (n <= 24) exhaustive.
+std::optional<Partition> find_partition(const graph::Graph& g);
+
+}  // namespace defender::core

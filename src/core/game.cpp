@@ -1,0 +1,26 @@
+#include "core/game.hpp"
+
+#include "util/assert.hpp"
+#include "util/combinatorics.hpp"
+
+namespace defender::core {
+
+TupleGame::TupleGame(graph::Graph g, std::size_t k, std::size_t num_attackers)
+    : g_(std::move(g)), k_(k), num_attackers_(num_attackers) {
+  DEF_REQUIRE(g_.num_vertices() >= 2, "the board needs at least two vertices");
+  DEF_REQUIRE(!g_.has_isolated_vertex(),
+              "the model forbids isolated vertices (Section 2)");
+  DEF_REQUIRE(k_ >= 1 && k_ <= g_.num_edges(),
+              "the defender's power k must satisfy 1 <= k <= |E|");
+  DEF_REQUIRE(num_attackers_ >= 1, "the game needs at least one attacker");
+}
+
+std::uint64_t TupleGame::num_tuples() const {
+  return util::binomial(g_.num_edges(), k_);
+}
+
+TupleGame TupleGame::edge_model_instance() const {
+  return TupleGame(g_, 1, num_attackers_);
+}
+
+}  // namespace defender::core

@@ -1,0 +1,49 @@
+// The Tuple model Π_k(G) (Definition 2.1).
+//
+// A non-cooperative game on an undirected graph G with no isolated vertices:
+//   * ν "vertex players" (attackers), each choosing a vertex of G;
+//   * one "tuple player" (the defender), choosing a tuple of k distinct
+//     edges of G.
+// An attacker earns 1 when it escapes (its vertex is not an endpoint of any
+// chosen edge) and 0 otherwise; the defender earns the number of attackers
+// it catches. For k = 1 the game coincides with the Edge model of
+// Mavronicolas et al. [7].
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace defender::core {
+
+/// An instance Π_k(G) of the Tuple model.
+class TupleGame {
+ public:
+  /// Builds Π_k(G) with `num_attackers` vertex players.
+  /// Requires: G nonempty with no isolated vertices (Section 2),
+  /// 1 <= k <= |E(G)|, and at least one attacker.
+  TupleGame(graph::Graph g, std::size_t k, std::size_t num_attackers);
+
+  /// The board G.
+  const graph::Graph& graph() const { return g_; }
+
+  /// The defender's power k: how many edges one tuple contains.
+  std::size_t k() const { return k_; }
+
+  /// ν, the number of vertex players.
+  std::size_t num_attackers() const { return num_attackers_; }
+
+  /// The size C(m, k) of the defender's pure strategy set E^k, saturating
+  /// at UINT64_MAX. Exhaustive oracles are gated on this being small.
+  std::uint64_t num_tuples() const;
+
+  /// The Edge-model instance Π_1(G) on the same board and attacker count.
+  TupleGame edge_model_instance() const;
+
+ private:
+  graph::Graph g_;
+  std::size_t k_;
+  std::size_t num_attackers_;
+};
+
+}  // namespace defender::core

@@ -1,0 +1,87 @@
+#include "core/k_matching.hpp"
+
+#include <algorithm>
+
+#include "graph/properties.hpp"
+#include "util/assert.hpp"
+
+namespace defender::core {
+
+namespace {
+
+/// Distinct edges across the support tuples, sorted.
+graph::EdgeSet support_edge_union(const std::vector<Tuple>& tp_support) {
+  graph::EdgeSet all;
+  for (const Tuple& t : tp_support) all.insert(all.end(), t.begin(), t.end());
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+}  // namespace
+
+bool is_k_matching_configuration(const TupleGame& game,
+                                 const graph::VertexSet& vp_support,
+                                 const std::vector<Tuple>& tp_support) {
+  const graph::Graph& g = game.graph();
+  // Condition (1): D(VP) independent.
+  if (!graph::is_independent_set(g, vp_support)) return false;
+  // Condition (2): each support vertex incident to exactly one edge of
+  // E(D(tp)).
+  const graph::EdgeSet edges = support_edge_union(tp_support);
+  std::vector<std::size_t> incident(g.num_vertices(), 0);
+  for (graph::EdgeId id : edges) {
+    const graph::Edge& e = g.edge(id);
+    ++incident[e.u];
+    ++incident[e.v];
+  }
+  for (graph::Vertex v : vp_support)
+    if (incident[v] != 1) return false;
+  // Condition (3): uniform per-edge tuple counts.
+  return tuples_per_edge(game, tp_support).has_value();
+}
+
+std::optional<std::size_t> tuples_per_edge(
+    const TupleGame& game, const std::vector<Tuple>& tp_support) {
+  DEF_REQUIRE(!tp_support.empty(), "the defender support must be nonempty");
+  std::vector<std::size_t> count(game.graph().num_edges(), 0);
+  for (const Tuple& t : tp_support) {
+    DEF_REQUIRE(t.size() == game.k(), "tuples must contain exactly k edges");
+    for (graph::EdgeId id : t) ++count[id];
+  }
+  std::optional<std::size_t> alpha;
+  for (std::size_t c : count) {
+    if (c == 0) continue;
+    if (!alpha) alpha = c;
+    if (*alpha != c) return std::nullopt;
+  }
+  return alpha;
+}
+
+bool satisfies_cover_conditions(const TupleGame& game, const KMatchingNe& ne) {
+  const graph::EdgeSet edges = support_edge_union(ne.tp_support);
+  return graph::is_edge_cover(game.graph(), edges) &&
+         graph::covers_edge_set(game.graph(), ne.vp_support, edges);
+}
+
+MixedConfiguration to_configuration(const TupleGame& game,
+                                    const KMatchingNe& ne) {
+  return symmetric_configuration(
+      game, VertexDistribution::uniform(ne.vp_support),
+      TupleDistribution::uniform(ne.tp_support));
+}
+
+double analytic_hit_probability(const TupleGame& game, const KMatchingNe& ne) {
+  const graph::EdgeSet edges = support_edge_union(ne.tp_support);
+  DEF_REQUIRE(!edges.empty(), "the defender support must contain edges");
+  return static_cast<double>(game.k()) / static_cast<double>(edges.size());
+}
+
+double analytic_defender_profit(const TupleGame& game, const KMatchingNe& ne) {
+  DEF_REQUIRE(!ne.vp_support.empty(), "the attacker support must be nonempty");
+  return static_cast<double>(game.k()) *
+         static_cast<double>(game.num_attackers()) /
+         static_cast<double>(ne.vp_support.size());
+}
+
+}  // namespace defender::core

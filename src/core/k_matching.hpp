@@ -1,0 +1,55 @@
+// k-matching configurations and Nash equilibria (Section 4).
+//
+// Definition 4.1: a k-matching configuration of Π_k(G) has
+//   (1) D(VP) an independent set of G,
+//   (2) every vertex of D(VP) incident to exactly one edge of E(D(tp)),
+//   (3) every edge of E(D(tp)) contained in the same number α of support
+//       tuples.
+// Lemma 4.1: when condition 1 of Theorem 3.4 also holds (E(D(tp)) an edge
+// cover, D(VP) a vertex cover of the obtained graph), the uniform
+// distributions of equations (3)–(4) are a mixed NE — a k-matching NE —
+// with P(Hit(v)) = k / |E(D(tp))| on the attacker support (Claim 4.3).
+#pragma once
+
+#include <optional>
+
+#include "core/configuration.hpp"
+#include "core/game.hpp"
+
+namespace defender::core {
+
+/// The support structure of a k-matching NE; distributions are uniform.
+struct KMatchingNe {
+  /// D(VP): common attacker support, sorted.
+  graph::VertexSet vp_support;
+  /// D(tp): the defender's support tuples (each sorted, pairwise distinct).
+  std::vector<Tuple> tp_support;
+};
+
+/// Definition 4.1 check on raw supports. `tp_support` tuples must each hold
+/// k distinct edges; pass the game for k and the board.
+bool is_k_matching_configuration(const TupleGame& game,
+                                 const graph::VertexSet& vp_support,
+                                 const std::vector<Tuple>& tp_support);
+
+/// The common per-edge tuple count α of Definition 4.1's condition (3), or
+/// nullopt when the counts are not uniform across E(D(tp)).
+std::optional<std::size_t> tuples_per_edge(const TupleGame& game,
+                                           const std::vector<Tuple>& tp_support);
+
+/// Condition 1 of Theorem 3.4 on the supports (the extra premises that turn
+/// a k-matching configuration into a NE, Definition 4.2).
+bool satisfies_cover_conditions(const TupleGame& game,
+                                const KMatchingNe& ne);
+
+/// Materializes Lemma 4.1's uniform mixed configuration (equations (3)-(4)).
+MixedConfiguration to_configuration(const TupleGame& game,
+                                    const KMatchingNe& ne);
+
+/// Claim 4.3: the equilibrium hit probability k / |E(D(tp))|.
+double analytic_hit_probability(const TupleGame& game, const KMatchingNe& ne);
+
+/// Corollary 4.10: the defender's equilibrium profit k·ν / |D(VP)|.
+double analytic_defender_profit(const TupleGame& game, const KMatchingNe& ne);
+
+}  // namespace defender::core

@@ -1,0 +1,75 @@
+#include "core/matching_ne.hpp"
+
+#include <algorithm>
+
+#include "graph/properties.hpp"
+#include "util/assert.hpp"
+
+namespace defender::core {
+
+bool is_matching_configuration(const graph::Graph& g,
+                               const graph::VertexSet& vp_support,
+                               const graph::EdgeSet& tp_support) {
+  if (!graph::is_independent_set(g, vp_support)) return false;
+  std::vector<std::size_t> incident(g.num_vertices(), 0);
+  for (graph::EdgeId id : tp_support) {
+    const graph::Edge& e = g.edge(id);
+    ++incident[e.u];
+    ++incident[e.v];
+  }
+  return std::all_of(vp_support.begin(), vp_support.end(),
+                     [&](graph::Vertex v) { return incident[v] == 1; });
+}
+
+bool satisfies_cover_conditions(const graph::Graph& g,
+                                const graph::VertexSet& vp_support,
+                                const graph::EdgeSet& tp_support) {
+  return graph::is_edge_cover(g, tp_support) &&
+         graph::covers_edge_set(g, vp_support, tp_support);
+}
+
+std::optional<MatchingNe> compute_matching_ne(const graph::Graph& g,
+                                              const Partition& partition) {
+  auto saturating = vc_saturating_matching(g, partition);
+  if (!saturating) return std::nullopt;
+
+  MatchingNe ne;
+  ne.vp_support = partition.independent_set;
+  ne.tp_support.reserve(ne.vp_support.size());
+  for (graph::Vertex v : partition.independent_set) {
+    const graph::Vertex partner = saturating->mate(v);
+    if (partner != matching::kUnmatched) {
+      ne.tp_support.push_back(*g.edge_id(v, partner));
+    } else {
+      // Unmatched IS vertices point at any neighbour; independence of IS
+      // puts every neighbour in VC, so the star-forest shape is preserved.
+      ne.tp_support.push_back(g.neighbors(v).front().edge);
+    }
+  }
+  std::sort(ne.tp_support.begin(), ne.tp_support.end());
+  DEF_ENSURE(is_matching_configuration(g, ne.vp_support, ne.tp_support),
+             "algorithm A must produce a matching configuration");
+  DEF_ENSURE(satisfies_cover_conditions(g, ne.vp_support, ne.tp_support),
+             "algorithm A must satisfy Lemma 2.1's cover conditions");
+  return ne;
+}
+
+std::optional<MatchingNe> find_matching_ne(const graph::Graph& g) {
+  auto partition = find_partition(g);
+  if (!partition) return std::nullopt;
+  return compute_matching_ne(g, *partition);
+}
+
+MixedConfiguration to_configuration(const TupleGame& game,
+                                    const MatchingNe& ne) {
+  DEF_REQUIRE(game.k() == 1,
+              "matching NE configurations live on the Edge model (k = 1)");
+  std::vector<Tuple> tuples;
+  tuples.reserve(ne.tp_support.size());
+  for (graph::EdgeId id : ne.tp_support) tuples.push_back(Tuple{id});
+  return symmetric_configuration(
+      game, VertexDistribution::uniform(ne.vp_support),
+      TupleDistribution::uniform(std::move(tuples)));
+}
+
+}  // namespace defender::core

@@ -1,0 +1,62 @@
+// Matching Nash equilibria of the Edge model Π_1(G) (Section 2.1).
+//
+// Definition 2.2: a matching configuration has (1) D(vp) an independent set
+// and (2) every support vertex incident to exactly one support edge.
+// Lemma 2.1: if additionally D(tp) is an edge cover of G and D(vp) a vertex
+// cover of the graph obtained by D(tp), uniform distributions give a mixed
+// NE — a "matching NE". Theorem 2.2 characterizes existence through the
+// (IS, VC) expander partitions of core/expander_partition.
+//
+// compute_matching_ne is the library's re-derivation of algorithm A of [7]
+// (DESIGN.md interpretation note 2): orient every IS vertex to exactly one
+// VC neighbour — its partner in a VC-saturating matching when matched, an
+// arbitrary neighbour otherwise — and defend the resulting star forest.
+#pragma once
+
+#include <optional>
+
+#include "core/configuration.hpp"
+#include "core/expander_partition.hpp"
+#include "core/game.hpp"
+
+namespace defender::core {
+
+/// The support structure of a matching NE of Π_1(G); distributions are
+/// uniform by Lemma 2.1.
+struct MatchingNe {
+  /// D(vp): the common attacker support (= IS), sorted.
+  graph::VertexSet vp_support;
+  /// D(tp): the defended edges, sorted. |tp_support| == |vp_support|.
+  graph::EdgeSet tp_support;
+};
+
+/// Definition 2.2 check: `vp_support` independent and each of its vertices
+/// incident to exactly one edge of `tp_support`.
+bool is_matching_configuration(const graph::Graph& g,
+                               const graph::VertexSet& vp_support,
+                               const graph::EdgeSet& tp_support);
+
+/// Lemma 2.1's additional conditions: `tp_support` an edge cover of G and
+/// `vp_support` a vertex cover of the graph obtained by `tp_support`.
+bool satisfies_cover_conditions(const graph::Graph& g,
+                                const graph::VertexSet& vp_support,
+                                const graph::EdgeSet& tp_support);
+
+/// Algorithm A: computes a matching NE of Π_1(G) from an expander
+/// partition. Returns nullopt when the partition fails the expander
+/// condition. O(m sqrt(n)).
+std::optional<MatchingNe> compute_matching_ne(const graph::Graph& g,
+                                              const Partition& partition);
+
+/// Theorem 2.2: Π_1(G) admits a matching NE iff some (IS, VC) partition
+/// satisfies the expander condition. Uses find_partition (exact on
+/// bipartite or small graphs; greedy in between, which may return a false
+/// negative there — see expander_partition.hpp).
+std::optional<MatchingNe> find_matching_ne(const graph::Graph& g);
+
+/// Materializes the uniform mixed configuration of Lemma 2.1 on Π_1(G).
+/// Requires game.k() == 1.
+MixedConfiguration to_configuration(const TupleGame& game,
+                                    const MatchingNe& ne);
+
+}  // namespace defender::core

@@ -1,0 +1,111 @@
+#include "core/path_model.hpp"
+
+#include <algorithm>
+
+#include "graph/hamiltonian.hpp"
+#include "graph/properties.hpp"
+#include "graph/traversal.hpp"
+#include "util/assert.hpp"
+
+namespace defender::core {
+
+PathGame::PathGame(graph::Graph g, std::size_t k, std::size_t num_attackers)
+    : g_(std::move(g)), k_(k), num_attackers_(num_attackers) {
+  DEF_REQUIRE(g_.num_vertices() >= 2, "the board needs at least two vertices");
+  DEF_REQUIRE(!g_.has_isolated_vertex(),
+              "the model forbids isolated vertices");
+  DEF_REQUIRE(k_ >= 1 && k_ <= g_.num_vertices() - 1,
+              "a simple path has between 1 and n-1 edges");
+  DEF_REQUIRE(num_attackers_ >= 1, "the game needs at least one attacker");
+}
+
+void validate_path(const PathGame& game,
+                   std::span<const graph::Vertex> path) {
+  DEF_REQUIRE(path.size() == game.k() + 1,
+              "the defender's path must have exactly k edges (k+1 vertices)");
+  DEF_REQUIRE(graph::is_simple_path(game.graph(), path),
+              "the defender's strategy must be a simple path of G");
+}
+
+bool is_pure_ne(const PathGame& game, const PurePathConfiguration& config) {
+  DEF_REQUIRE(config.attacker_vertices.size() == game.num_attackers(),
+              "pure configuration must fix one vertex per attacker");
+  validate_path(game, config.defender_path);
+  // Same argument as Theorem 3.1: if some vertex escapes the path, every
+  // attacker flees there and the defender could re-aim; if none does, all
+  // attackers are caught wherever they stand.
+  return config.defender_path.size() == game.graph().num_vertices();
+}
+
+bool pure_ne_exists(const PathGame& game) {
+  if (game.k() != game.graph().num_vertices() - 1) return false;
+  return graph::has_hamiltonian_path(game.graph());
+}
+
+std::optional<PurePathConfiguration> find_pure_ne(const PathGame& game) {
+  if (game.k() != game.graph().num_vertices() - 1) return std::nullopt;
+  auto path = graph::find_hamiltonian_path(game.graph());
+  if (!path) return std::nullopt;
+  PurePathConfiguration config;
+  config.defender_path = std::move(*path);
+  config.attacker_vertices.assign(game.num_attackers(), 0);
+  DEF_ENSURE(is_pure_ne(game, config),
+             "a Hamiltonian path must yield a pure NE");
+  return config;
+}
+
+bool is_cycle(const graph::Graph& g) {
+  if (g.num_vertices() < 3 || g.num_edges() != g.num_vertices()) return false;
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v)
+    if (g.degree(v) != 2) return false;
+  return graph::is_connected(g);
+}
+
+std::vector<std::vector<graph::Vertex>> cycle_rotation_support(
+    const PathGame& game) {
+  const graph::Graph& g = game.graph();
+  DEF_REQUIRE(is_cycle(g), "rotation equilibria live on cycle boards");
+  DEF_REQUIRE(game.k() <= g.num_vertices() - 2,
+              "a k-edge arc of C_n needs k <= n-2 to stay a path");
+  // Walk the cycle once to get the cyclic vertex order.
+  const std::size_t n = g.num_vertices();
+  std::vector<graph::Vertex> order{0};
+  graph::Vertex prev = 0;
+  graph::Vertex current = g.neighbors(0).front().to;
+  while (current != 0) {
+    order.push_back(current);
+    for (const graph::Incidence& inc : g.neighbors(current)) {
+      if (inc.to != prev) {
+        prev = current;
+        current = inc.to;
+        break;
+      }
+    }
+  }
+  DEF_ENSURE(order.size() == n, "cycle walk must visit every vertex once");
+
+  std::vector<std::vector<graph::Vertex>> support;
+  support.reserve(n);
+  for (std::size_t start = 0; start < n; ++start) {
+    std::vector<graph::Vertex> arc;
+    arc.reserve(game.k() + 1);
+    for (std::size_t i = 0; i <= game.k(); ++i)
+      arc.push_back(order[(start + i) % n]);
+    validate_path(game, arc);
+    support.push_back(std::move(arc));
+  }
+  return support;
+}
+
+double cycle_rotation_hit_probability(const PathGame& game) {
+  DEF_REQUIRE(is_cycle(game.graph()), "rotation equilibria live on cycles");
+  return static_cast<double>(game.k() + 1) /
+         static_cast<double>(game.graph().num_vertices());
+}
+
+double cycle_rotation_defender_profit(const PathGame& game) {
+  return cycle_rotation_hit_probability(game) *
+         static_cast<double>(game.num_attackers());
+}
+
+}  // namespace defender::core

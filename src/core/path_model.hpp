@@ -1,0 +1,84 @@
+// The Path model: a defender that cleans a path instead of a tuple.
+//
+// Extension drawn from the paper's related work ([8] studies "a generalized
+// variation of the Edge model, where the defender is able to clean a path
+// of the graph"). The defender's pure strategies are the simple paths of G
+// with exactly k edges (k+1 vertices); attackers are as in the Tuple model.
+//
+// The headline contrast with Theorem 3.1: a pure NE of the Path model
+// requires the defender's path to cover every vertex — a Hamiltonian path —
+// so deciding pure-NE existence is NP-complete here, while the Tuple
+// model's certificate (an edge cover of size k) is polynomial. And where a
+// k-edge tuple covers up to 2k vertices, a k-edge path covers exactly k+1:
+// per scanned link, a path defender is roughly half as powerful, which the
+// E14 harness quantifies on cycles where both models have closed-form
+// equilibria (rotation-invariant mixes).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/configuration.hpp"
+#include "graph/graph.hpp"
+
+namespace defender::core {
+
+/// An instance of the Path model: ν attackers versus one path defender.
+class PathGame {
+ public:
+  /// Requires a board without isolated vertices, 1 <= k <= n-1 path edges,
+  /// and at least one attacker.
+  PathGame(graph::Graph g, std::size_t k, std::size_t num_attackers);
+
+  const graph::Graph& graph() const { return g_; }
+  /// Number of edges in the defender's path.
+  std::size_t k() const { return k_; }
+  std::size_t num_attackers() const { return num_attackers_; }
+
+ private:
+  graph::Graph g_;
+  std::size_t k_;
+  std::size_t num_attackers_;
+};
+
+/// A pure configuration of the Path model.
+struct PurePathConfiguration {
+  std::vector<graph::Vertex> attacker_vertices;
+  /// The defender's path as a vertex sequence (k+1 vertices).
+  std::vector<graph::Vertex> defender_path;
+};
+
+/// Validates that `path` is a simple path of exactly game.k() edges.
+void validate_path(const PathGame& game,
+                   std::span<const graph::Vertex> path);
+
+/// Pure-NE test (the Theorem 3.1 analogue): a pure configuration is a NE
+/// iff the defender's path covers every vertex of G.
+bool is_pure_ne(const PathGame& game, const PurePathConfiguration& config);
+
+/// Pure-NE existence: true iff k = n-1 and G has a Hamiltonian path
+/// (NP-complete in general; decided exactly for n <= 24).
+bool pure_ne_exists(const PathGame& game);
+
+/// Constructs a pure NE when one exists (Hamiltonian path + arbitrary
+/// attacker placement), nullopt otherwise. Requires n <= 24.
+std::optional<PurePathConfiguration> find_pure_ne(const PathGame& game);
+
+/// A mixed equilibrium of the Path model on the cycle C_n: the defender
+/// mixes uniformly over all n rotations of a k-edge arc, every attacker
+/// mixes uniformly over all vertices. Support + probabilities are uniform,
+/// hit probability (k+1)/n everywhere. Returns the defender's support as
+/// vertex sequences. Requires the board to be exactly C_n with k <= n-2.
+std::vector<std::vector<graph::Vertex>> cycle_rotation_support(
+    const PathGame& game);
+
+/// The equilibrium hit probability of the cycle rotation mix: (k+1)/n.
+double cycle_rotation_hit_probability(const PathGame& game);
+
+/// The defender's equilibrium profit on C_n: (k+1) * nu / n.
+double cycle_rotation_defender_profit(const PathGame& game);
+
+/// True when `g` is a cycle (connected and 2-regular).
+bool is_cycle(const graph::Graph& g);
+
+}  // namespace defender::core

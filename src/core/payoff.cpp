@@ -1,0 +1,88 @@
+#include "core/payoff.hpp"
+
+#include "util/assert.hpp"
+
+namespace defender::core {
+
+std::vector<double> vertex_mass(const TupleGame& game,
+                                const MixedConfiguration& config) {
+  validate(game, config);
+  std::vector<double> mass(game.graph().num_vertices(), 0.0);
+  for (const VertexDistribution& d : config.attackers)
+    for (std::size_t j = 0; j < d.support().size(); ++j)
+      mass[d.support()[j]] += d.probs()[j];
+  return mass;
+}
+
+std::vector<double> hit_probabilities(const TupleGame& game,
+                                      const MixedConfiguration& config) {
+  validate(game, config);
+  std::vector<double> hit(game.graph().num_vertices(), 0.0);
+  const auto& def = config.defender;
+  for (std::size_t j = 0; j < def.support().size(); ++j) {
+    const double p = def.probs()[j];
+    // Accumulate over the *distinct* endpoints of the tuple so a vertex
+    // covered by two edges of one tuple is counted once.
+    for (graph::Vertex v :
+         tuple_vertices(game.graph(), def.support()[j]))
+      hit[v] += p;
+  }
+  return hit;
+}
+
+double tuple_mass(const graph::Graph& g, const std::vector<double>& masses,
+                  const Tuple& t) {
+  DEF_REQUIRE(masses.size() == g.num_vertices(),
+              "mass vector must cover every vertex");
+  double total = 0;
+  for (graph::Vertex v : tuple_vertices(g, t)) total += masses[v];
+  return total;
+}
+
+double attacker_profit(const TupleGame& game,
+                       const MixedConfiguration& config,
+                       std::size_t attacker_index) {
+  DEF_REQUIRE(attacker_index < config.attackers.size(),
+              "attacker index out of range");
+  const std::vector<double> hit = hit_probabilities(game, config);
+  const VertexDistribution& d = config.attackers[attacker_index];
+  double profit = 0;
+  for (std::size_t j = 0; j < d.support().size(); ++j)
+    profit += d.probs()[j] * (1.0 - hit[d.support()[j]]);
+  return profit;
+}
+
+double defender_profit(const TupleGame& game,
+                       const MixedConfiguration& config) {
+  const std::vector<double> mass = vertex_mass(game, config);
+  const auto& def = config.defender;
+  double profit = 0;
+  for (std::size_t j = 0; j < def.support().size(); ++j)
+    profit +=
+        def.probs()[j] * tuple_mass(game.graph(), mass, def.support()[j]);
+  return profit;
+}
+
+PureProfits pure_profits(const TupleGame& game,
+                         const PureConfiguration& config) {
+  DEF_REQUIRE(config.attacker_vertices.size() == game.num_attackers(),
+              "pure configuration must fix one vertex per attacker");
+  const Tuple t = config.defender_tuple;
+  std::vector<char> covered(game.graph().num_vertices(), 0);
+  for (graph::EdgeId id : t) {
+    const graph::Edge& e = game.graph().edge(id);
+    covered[e.u] = 1;
+    covered[e.v] = 1;
+  }
+  PureProfits out;
+  out.attackers.reserve(config.attacker_vertices.size());
+  for (graph::Vertex v : config.attacker_vertices) {
+    DEF_REQUIRE(v < game.graph().num_vertices(), "attacker vertex out of range");
+    const bool caught = covered[v] != 0;
+    out.defender += caught ? 1 : 0;
+    out.attackers.push_back(caught ? 0 : 1);
+  }
+  return out;
+}
+
+}  // namespace defender::core

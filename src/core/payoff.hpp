@@ -1,0 +1,53 @@
+// Expected individual profits (Section 2, equations (1) and (2)).
+//
+// For a mixed configuration s:
+//   * m_s(v)      — expected number of attackers on vertex v;
+//   * m_s(t)      — expected number of attackers on the endpoints V(t);
+//   * P(Hit(v))   — probability the defender's tuple covers v;
+//   * IP_i(s)     — attacker i's expected profit (escape probability),
+//                   equation (1);
+//   * IP_tp(s)    — the defender's expected profit (expected number of
+//                   arrests), equation (2).
+#pragma once
+
+#include <vector>
+
+#include "core/configuration.hpp"
+#include "core/game.hpp"
+
+namespace defender::core {
+
+/// m_s(v) for every vertex: vertex_mass(...)[v] = Σ_i P_s(vp_i, v).
+std::vector<double> vertex_mass(const TupleGame& game,
+                                const MixedConfiguration& config);
+
+/// P(Hit(v)) for every vertex: the probability that the defender's tuple
+/// has v among its endpoints.
+std::vector<double> hit_probabilities(const TupleGame& game,
+                                      const MixedConfiguration& config);
+
+/// m_s(t): the expected number of attackers over the distinct endpoints of
+/// tuple `t`, given the precomputed vertex masses.
+double tuple_mass(const graph::Graph& g, const std::vector<double>& masses,
+                  const Tuple& t);
+
+/// IP_i(s) for attacker `i` (equation (1)).
+double attacker_profit(const TupleGame& game, const MixedConfiguration& config,
+                       std::size_t attacker_index);
+
+/// IP_tp(s) (equation (2)): Σ_t P(tp, t) · m_s(t).
+double defender_profit(const TupleGame& game,
+                       const MixedConfiguration& config);
+
+/// Pure-strategy payoffs (Definition 2.1): the defender's arrest count and
+/// each attacker's 0/1 escape indicator.
+struct PureProfits {
+  std::size_t defender = 0;
+  std::vector<std::uint8_t> attackers;
+};
+
+/// Profits of a pure configuration.
+PureProfits pure_profits(const TupleGame& game,
+                         const PureConfiguration& config);
+
+}  // namespace defender::core

@@ -1,0 +1,63 @@
+// Perfect-matching Nash equilibria: defense-optimal boards.
+//
+// Extension drawn from the paper's related work ([8] proves structural NE
+// for "graphs with perfect matchings"). On a board with a perfect matching
+// M the following symmetric profile is a mixed NE of Π_k(G) for every
+// k <= |M| = n/2:
+//   * every attacker plays uniformly over ALL vertices;
+//   * the defender plays uniformly over the cyclic k-windows of M's edges
+//     (the Lemma 4.8 construction applied to M).
+// Correctness: each vertex is covered by exactly one M-edge, so hits are a
+// uniform 2k/n and every vertex is an attacker best response; every window
+// consists of k pairwise-disjoint edges covering 2k vertices of mass ν/n,
+// and no tuple can cover more than 2k vertices — so every support tuple
+// attains the maximum. The defender profit 2k·ν/n meets the absolute
+// ceiling of the game (no mixed strategy catches more than 2k/n of a
+// uniform attacker), which makes perfect-matching boards *defense-optimal*;
+// a k-matching NE only reaches k·ν/|IS| <= 2k·ν/n.
+//
+// Note these profiles are NOT k-matching configurations: D(VP) = V is not
+// independent. They form a second, disjoint structural equilibrium family.
+#pragma once
+
+#include <optional>
+
+#include "core/configuration.hpp"
+#include "core/game.hpp"
+#include "matching/matching.hpp"
+
+namespace defender::core {
+
+/// The support structure of a perfect-matching NE.
+struct PerfectMatchingNe {
+  /// The perfect matching the defender rotates over (edge ids, sorted).
+  graph::EdgeSet matching;
+  /// The defender's cyclic-window support tuples.
+  std::vector<Tuple> tp_support;
+};
+
+/// True when `g` has a perfect matching (blossom algorithm).
+bool has_perfect_matching(const graph::Graph& g);
+
+/// Builds the perfect-matching NE of Π_k(G), or nullopt when G has no
+/// perfect matching. Requires game.k() <= n/2 when a matching exists.
+std::optional<PerfectMatchingNe> find_perfect_matching_ne(
+    const TupleGame& game);
+
+/// As above, but rotating over a caller-supplied perfect matching.
+PerfectMatchingNe perfect_matching_ne_from(const TupleGame& game,
+                                           const matching::Matching& m);
+
+/// Materializes the uniform-over-V / uniform-over-windows configuration.
+MixedConfiguration to_configuration(const TupleGame& game,
+                                    const PerfectMatchingNe& ne);
+
+/// The equilibrium hit probability 2k/n.
+double analytic_hit_probability(const TupleGame& game,
+                                const PerfectMatchingNe& ne);
+
+/// The defender's equilibrium profit 2k·ν/n.
+double analytic_defender_profit(const TupleGame& game,
+                                const PerfectMatchingNe& ne);
+
+}  // namespace defender::core

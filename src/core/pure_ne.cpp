@@ -1,0 +1,68 @@
+#include "core/pure_ne.hpp"
+
+#include "core/best_response.hpp"
+#include "core/payoff.hpp"
+#include "graph/properties.hpp"
+#include "matching/edge_cover.hpp"
+#include "util/assert.hpp"
+
+namespace defender::core {
+
+bool pure_ne_exists(const TupleGame& game) {
+  return matching::min_edge_cover_size(game.graph()) <= game.k();
+}
+
+std::optional<PureConfiguration> find_pure_ne(const TupleGame& game) {
+  const graph::Graph& g = game.graph();
+  graph::EdgeSet cover = matching::min_edge_cover(g);
+  if (cover.size() > game.k()) return std::nullopt;
+  // Pad with arbitrary unused edges up to exactly k (k <= m, so enough
+  // edges exist; a superset of an edge cover is an edge cover).
+  std::vector<char> used(g.num_edges(), 0);
+  for (graph::EdgeId id : cover) used[id] = 1;
+  for (graph::EdgeId id = 0; cover.size() < game.k(); ++id) {
+    DEF_ENSURE(id < g.num_edges(), "ran out of edges while padding the cover");
+    if (!used[id]) cover.push_back(id);
+  }
+  PureConfiguration config;
+  config.defender_tuple = make_tuple(game, std::move(cover));
+  config.attacker_vertices.assign(game.num_attackers(), 0);
+  DEF_ENSURE(is_pure_ne(game, config),
+             "constructed configuration must be a pure NE (Theorem 3.1)");
+  return config;
+}
+
+bool is_pure_ne(const TupleGame& game, const PureConfiguration& config) {
+  DEF_REQUIRE(config.attacker_vertices.size() == game.num_attackers(),
+              "pure configuration must fix one vertex per attacker");
+  return graph::is_edge_cover(game.graph(), config.defender_tuple);
+}
+
+bool is_pure_ne_by_deviation(const TupleGame& game,
+                             const PureConfiguration& config) {
+  const graph::Graph& g = game.graph();
+  const PureProfits base = pure_profits(game, config);
+
+  // Attacker deviations: attacker i can improve iff it is currently caught
+  // and some vertex escapes the defender's tuple.
+  std::vector<char> covered(g.num_vertices(), 0);
+  for (graph::EdgeId id : config.defender_tuple) {
+    const graph::Edge& e = g.edge(id);
+    covered[e.u] = 1;
+    covered[e.v] = 1;
+  }
+  bool escape_exists = false;
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v)
+    if (!covered[v]) escape_exists = true;
+  for (std::size_t i = 0; i < game.num_attackers(); ++i)
+    if (base.attackers[i] == 0 && escape_exists) return false;
+
+  // Defender deviations: compare against the best tuple for the current
+  // attacker placement (exhaustive over E^k).
+  std::vector<double> mass(g.num_vertices(), 0.0);
+  for (graph::Vertex v : config.attacker_vertices) mass[v] += 1.0;
+  const BestTuple best = best_tuple_exhaustive(game, mass);
+  return static_cast<double>(base.defender) >= best.mass - 1e-9;
+}
+
+}  // namespace defender::core

@@ -1,0 +1,39 @@
+// Pure Nash equilibria of the Tuple model (Theorem 3.1, Corollaries
+// 3.2–3.3).
+//
+// Theorem 3.1: Π_k(G) has a pure NE iff G contains an edge cover of size k.
+// The proof shows more: a pure configuration is a NE exactly when the
+// defender's tuple covers *every* vertex (then all attackers are caught
+// wherever they stand), which yields an O(n + k) pure-NE test. Existence is
+// decided through Gallai's identity (Corollary 3.2: polynomial time), and
+// Corollary 3.3 follows since any edge cover has at least n/2 edges.
+#pragma once
+
+#include <optional>
+
+#include "core/configuration.hpp"
+#include "core/game.hpp"
+
+namespace defender::core {
+
+/// Corollary 3.2: decides in polynomial time whether Π_k(G) has a pure NE
+/// (minimum edge cover size <= k, padded up to exactly k — any superset of
+/// an edge cover is an edge cover and k <= m tuples always exist).
+bool pure_ne_exists(const TupleGame& game);
+
+/// Constructs a pure NE when one exists: an edge cover of size exactly k
+/// for the defender (minimum cover padded with arbitrary further edges) and
+/// an arbitrary vertex for every attacker. Returns nullopt otherwise.
+std::optional<PureConfiguration> find_pure_ne(const TupleGame& game);
+
+/// Exact pure-NE test from the proof of Theorem 3.1: `config` is a pure NE
+/// iff V(defender_tuple) = V(G). O(n + k).
+bool is_pure_ne(const TupleGame& game, const PureConfiguration& config);
+
+/// Definition-level pure-NE test used as ground truth in tests: checks every
+/// unilateral pure deviation of every player. The defender side enumerates
+/// all C(m, k) tuples — requires game.num_tuples() <= 2'000'000.
+bool is_pure_ne_by_deviation(const TupleGame& game,
+                             const PureConfiguration& config);
+
+}  // namespace defender::core

@@ -1,0 +1,37 @@
+#include "core/regular_ne.hpp"
+
+#include "util/assert.hpp"
+
+namespace defender::core {
+
+std::optional<std::size_t> regularity(const graph::Graph& g) {
+  const std::size_t r = g.degree(0);
+  for (graph::Vertex v = 1; v < g.num_vertices(); ++v)
+    if (g.degree(v) != r) return std::nullopt;
+  return r;
+}
+
+std::optional<MixedConfiguration> edge_uniform_ne(const TupleGame& game) {
+  DEF_REQUIRE(game.k() == 1,
+              "the edge-uniform family lives on the Edge model (k = 1)");
+  if (!regularity(game.graph())) return std::nullopt;
+  graph::VertexSet all_vertices;
+  all_vertices.reserve(game.graph().num_vertices());
+  for (graph::Vertex v = 0; v < game.graph().num_vertices(); ++v)
+    all_vertices.push_back(v);
+  std::vector<Tuple> all_edges;
+  all_edges.reserve(game.graph().num_edges());
+  for (graph::EdgeId e = 0; e < game.graph().num_edges(); ++e)
+    all_edges.push_back(Tuple{e});
+  return symmetric_configuration(
+      game, VertexDistribution::uniform(std::move(all_vertices)),
+      TupleDistribution::uniform(std::move(all_edges)));
+}
+
+double edge_uniform_hit_probability(const TupleGame& game) {
+  DEF_REQUIRE(regularity(game.graph()).has_value(),
+              "the edge-uniform value 2/n needs a regular board");
+  return 2.0 / static_cast<double>(game.graph().num_vertices());
+}
+
+}  // namespace defender::core

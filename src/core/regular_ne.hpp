@@ -1,0 +1,33 @@
+// Edge-uniform Nash equilibria on regular graphs.
+//
+// Extension drawn from the paper's related work ([8] proves structural NE
+// for "regular graphs"). On an r-regular board the fully symmetric profile
+//   * every attacker uniform over V,
+//   * the defender uniform over E (k = 1),
+// is a mixed NE of the Edge model: hits are a uniform r/m = 2/n (so every
+// vertex is a best response) and every edge carries the same mass 2ν/n (so
+// every edge is a best response). Its value 2/n meets the k = 1 coverage
+// ceiling, making ALL regular graphs defense-optimal for the Edge model —
+// including boards with no perfect matching and no expander partition
+// (e.g. odd cycles), where neither of the library's other families exists.
+#pragma once
+
+#include <optional>
+
+#include "core/configuration.hpp"
+#include "core/game.hpp"
+
+namespace defender::core {
+
+/// The common degree of `g`, or nullopt when `g` is not regular.
+std::optional<std::size_t> regularity(const graph::Graph& g);
+
+/// The edge-uniform NE of Π_1(G) on a regular board: attackers uniform
+/// over V, defender uniform over single-edge tuples. Returns nullopt when
+/// the board is not regular. Requires game.k() == 1.
+std::optional<MixedConfiguration> edge_uniform_ne(const TupleGame& game);
+
+/// The equilibrium hit probability of the edge-uniform NE: 2/n.
+double edge_uniform_hit_probability(const TupleGame& game);
+
+}  // namespace defender::core

@@ -1,0 +1,101 @@
+#include "core/serialization.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace defender::core {
+
+void write_configuration(std::ostream& os, const TupleGame& game,
+                         const MixedConfiguration& config) {
+  validate(game, config);
+  os << "defender-configuration v1\n";
+  os << "game " << game.graph().num_vertices() << ' '
+     << game.graph().num_edges() << ' ' << game.k() << ' '
+     << game.num_attackers() << '\n';
+  os << std::setprecision(17);
+  for (std::size_t i = 0; i < config.attackers.size(); ++i) {
+    const VertexDistribution& d = config.attackers[i];
+    os << "attacker " << i << ' ' << d.support().size();
+    for (std::size_t j = 0; j < d.support().size(); ++j)
+      os << ' ' << d.support()[j] << ' ' << d.probs()[j];
+    os << '\n';
+  }
+  os << "defender " << config.defender.support().size() << '\n';
+  for (std::size_t j = 0; j < config.defender.support().size(); ++j) {
+    os << "tuple " << config.defender.probs()[j];
+    for (graph::EdgeId e : config.defender.support()[j]) os << ' ' << e;
+    os << '\n';
+  }
+}
+
+std::string to_text(const TupleGame& game, const MixedConfiguration& config) {
+  std::ostringstream os;
+  write_configuration(os, game, config);
+  return os.str();
+}
+
+MixedConfiguration read_configuration(std::istream& is,
+                                      const TupleGame& game) {
+  std::string header;
+  DEF_REQUIRE(static_cast<bool>(std::getline(is, header)) &&
+                  header == "defender-configuration v1",
+              "missing or unsupported configuration header");
+  std::string tag;
+  std::size_t n = 0, m = 0, k = 0, nu = 0;
+  DEF_REQUIRE(static_cast<bool>(is >> tag >> n >> m >> k >> nu) &&
+                  tag == "game",
+              "malformed game line");
+  DEF_REQUIRE(n == game.graph().num_vertices() &&
+                  m == game.graph().num_edges() && k == game.k() &&
+                  nu == game.num_attackers(),
+              "configuration was written for a different game instance");
+
+  std::vector<VertexDistribution> attackers;
+  attackers.reserve(nu);
+  for (std::size_t i = 0; i < nu; ++i) {
+    std::size_t index = 0, size = 0;
+    DEF_REQUIRE(static_cast<bool>(is >> tag >> index >> size) &&
+                    tag == "attacker" && index == i,
+                "malformed attacker line");
+    graph::VertexSet support(size);
+    std::vector<double> probs(size);
+    for (std::size_t j = 0; j < size; ++j)
+      DEF_REQUIRE(static_cast<bool>(is >> support[j] >> probs[j]),
+                  "truncated attacker distribution");
+    attackers.emplace_back(std::move(support), std::move(probs));
+  }
+
+  std::size_t tuples = 0;
+  DEF_REQUIRE(static_cast<bool>(is >> tag >> tuples) && tag == "defender",
+              "malformed defender line");
+  DEF_REQUIRE(tuples >= 1, "defender support must be nonempty");
+  std::vector<Tuple> support;
+  std::vector<double> probs;
+  support.reserve(tuples);
+  probs.reserve(tuples);
+  for (std::size_t t = 0; t < tuples; ++t) {
+    double p = 0;
+    DEF_REQUIRE(static_cast<bool>(is >> tag >> p) && tag == "tuple",
+                "malformed tuple line");
+    Tuple edges(k);
+    for (std::size_t j = 0; j < k; ++j)
+      DEF_REQUIRE(static_cast<bool>(is >> edges[j]), "truncated tuple");
+    support.push_back(make_tuple(game, std::move(edges)));
+    probs.push_back(p);
+  }
+
+  MixedConfiguration config{std::move(attackers),
+                            TupleDistribution(std::move(support),
+                                              std::move(probs))};
+  validate(game, config);
+  return config;
+}
+
+MixedConfiguration from_text(const TupleGame& game, const std::string& text) {
+  std::istringstream is(text);
+  return read_configuration(is, game);
+}
+
+}  // namespace defender::core

@@ -1,0 +1,39 @@
+// Text serialization of mixed configurations.
+//
+// Lets users persist an equilibrium computed by A_tuple (or any other
+// pipeline) and reload it later for verification, simulation, or
+// deployment — the configurational analogue of graph/io. The format is
+// line-oriented and human-diffable:
+//
+//   defender-configuration v1
+//   game <n> <m> <k> <nu>
+//   attacker <i> <support size> {<vertex> <prob>}...
+//   defender <support size>
+//   tuple <prob> <edge>...          (one line per support tuple)
+//
+// Probabilities are written with 17 significant digits so round-trips are
+// bit-exact for the uniform distributions the constructions produce.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/configuration.hpp"
+#include "core/game.hpp"
+
+namespace defender::core {
+
+/// Serializes `config` (validated against `game`).
+std::string to_text(const TupleGame& game, const MixedConfiguration& config);
+
+/// Parses a configuration and validates it against `game`; throws
+/// ContractViolation on malformed input or game mismatch.
+MixedConfiguration from_text(const TupleGame& game, const std::string& text);
+
+/// Stream variants.
+void write_configuration(std::ostream& os, const TupleGame& game,
+                         const MixedConfiguration& config);
+MixedConfiguration read_configuration(std::istream& is,
+                                      const TupleGame& game);
+
+}  // namespace defender::core

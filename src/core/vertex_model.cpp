@@ -1,0 +1,59 @@
+#include "core/vertex_model.hpp"
+
+#include "util/assert.hpp"
+
+namespace defender::core {
+
+VertexGame::VertexGame(graph::Graph g, std::size_t k,
+                       std::size_t num_attackers)
+    : g_(std::move(g)), k_(k), num_attackers_(num_attackers) {
+  DEF_REQUIRE(g_.num_vertices() >= 2, "the board needs at least two vertices");
+  DEF_REQUIRE(!g_.has_isolated_vertex(),
+              "the model forbids isolated vertices");
+  DEF_REQUIRE(k_ >= 1 && k_ <= g_.num_vertices(),
+              "a vertex scan covers between 1 and n hosts");
+  DEF_REQUIRE(num_attackers_ >= 1, "the game needs at least one attacker");
+}
+
+std::vector<graph::VertexSet> rotation_scan_support(const VertexGame& game) {
+  const std::size_t n = game.graph().num_vertices();
+  std::vector<graph::VertexSet> support;
+  support.reserve(n);
+  for (std::size_t start = 0; start < n; ++start) {
+    graph::VertexSet window;
+    window.reserve(game.k());
+    for (std::size_t i = 0; i < game.k(); ++i)
+      window.push_back(static_cast<graph::Vertex>((start + i) % n));
+    graph::normalize(window);
+    support.push_back(std::move(window));
+  }
+  return support;
+}
+
+double vertex_scan_hit_probability(const VertexGame& game) {
+  return static_cast<double>(game.k()) /
+         static_cast<double>(game.graph().num_vertices());
+}
+
+double vertex_scan_defender_profit(const VertexGame& game) {
+  return vertex_scan_hit_probability(game) *
+         static_cast<double>(game.num_attackers());
+}
+
+bool rotation_scan_is_equilibrium(const VertexGame& game) {
+  const std::size_t n = game.graph().num_vertices();
+  const auto support = rotation_scan_support(game);
+  // Attacker side: every vertex scanned by exactly k of the n windows.
+  std::vector<std::size_t> scans(n, 0);
+  for (const auto& window : support)
+    for (graph::Vertex v : window) ++scans[v];
+  for (std::size_t s : scans)
+    if (s != game.k()) return false;
+  // Defender side: under uniform attackers every k-subset covers exactly
+  // k·ν/n mass — windows included — so every window is a best response.
+  for (const auto& window : support)
+    if (window.size() != game.k()) return false;
+  return true;
+}
+
+}  // namespace defender::core

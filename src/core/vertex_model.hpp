@@ -1,0 +1,62 @@
+// The Vertex model: a defender that scans k hosts instead of k links.
+//
+// Completing the defender-technology spectrum around the paper's Tuple
+// model: a security process pinned to k vertices catches exactly the
+// attackers standing on them. For ANY board the fully uniform profile —
+// attackers uniform over V, defender uniform over all rotations of a fixed
+// k-subset (or over all C(n,k) subsets) — is a mixed NE with hit
+// probability exactly k/n: every k-set covers mass k·ν/n, no set covers
+// more, and hits are uniform by symmetry of the rotation support.
+//
+// Comparison on the same budget k (experiment E15):
+//     vertex scan   k/n      (k vertices protected)
+//     path scan     (k+1)/n  (k edges, contiguous — Path model, on cycles)
+//     tuple scan    2k/n     (k edges, unconstrained — the paper's model,
+//                             ceiling achieved on perfect-matching boards)
+// Link-level scanning dominates host-level scanning two-to-one: an edge
+// guards both endpoints.
+#pragma once
+
+#include <vector>
+
+#include "core/configuration.hpp"
+#include "graph/graph.hpp"
+
+namespace defender::core {
+
+/// An instance of the Vertex model: ν attackers versus a k-vertex scanner.
+class VertexGame {
+ public:
+  /// Requires a board without isolated vertices, 1 <= k <= n, nu >= 1.
+  VertexGame(graph::Graph g, std::size_t k, std::size_t num_attackers);
+
+  const graph::Graph& graph() const { return g_; }
+  /// Number of vertices one scan covers.
+  std::size_t k() const { return k_; }
+  std::size_t num_attackers() const { return num_attackers_; }
+
+ private:
+  graph::Graph g_;
+  std::size_t k_;
+  std::size_t num_attackers_;
+};
+
+/// The n cyclic rotations {i, i+1, ..., i+k-1 mod n} of a k-window over
+/// vertex ids — a size-n uniform support under which every vertex is
+/// scanned with probability exactly k/n. (Vertex ids need no adjacency, so
+/// this works on every board.)
+std::vector<graph::VertexSet> rotation_scan_support(const VertexGame& game);
+
+/// The equilibrium hit probability of the Vertex model: k/n.
+double vertex_scan_hit_probability(const VertexGame& game);
+
+/// The defender's equilibrium profit: k·ν/n.
+double vertex_scan_defender_profit(const VertexGame& game);
+
+/// Verifies the defining equilibrium property of the rotation mix
+/// directly: uniform scan frequency k/n per vertex, and no k-subset of
+/// vertices covers more attacker mass than any window under uniform
+/// attackers. Cheap (O(n·k)) and exact.
+bool rotation_scan_is_equilibrium(const VertexGame& game);
+
+}  // namespace defender::core

@@ -1,0 +1,66 @@
+#include "core/weighted.hpp"
+
+#include "core/payoff.hpp"
+#include "core/zero_sum.hpp"
+#include "util/assert.hpp"
+#include "util/combinatorics.hpp"
+
+namespace defender::core {
+
+void validate_weights(const TupleGame& game,
+                      std::span<const double> weights) {
+  DEF_REQUIRE(weights.size() == game.graph().num_vertices(),
+              "one damage weight per vertex is required");
+  for (double w : weights)
+    DEF_REQUIRE(w > 0, "damage weights must be strictly positive");
+}
+
+std::vector<double> weighted_masses(std::span<const double> weights,
+                                    std::span<const double> masses) {
+  DEF_REQUIRE(weights.size() == masses.size(),
+              "weights and masses must have equal length");
+  std::vector<double> out(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i)
+    out[i] = weights[i] * masses[i];
+  return out;
+}
+
+lp::Matrix damage_matrix(const TupleGame& game,
+                         std::span<const double> weights,
+                         std::uint64_t max_tuples) {
+  validate_weights(game, weights);
+  // Start from the coverage matrix (tuples x vertices) and flip it into
+  // damage form (vertices x tuples).
+  const lp::Matrix coverage = coverage_matrix(game, max_tuples);
+  lp::Matrix damage(coverage.cols(), coverage.rows());
+  for (std::size_t t = 0; t < coverage.rows(); ++t)
+    for (std::size_t v = 0; v < coverage.cols(); ++v)
+      damage.at(v, t) = weights[v] * (1.0 - coverage.at(t, v));
+  return damage;
+}
+
+WeightedSolution solve_weighted_zero_sum(const TupleGame& game,
+                                         std::span<const double> weights,
+                                         std::uint64_t max_tuples) {
+  const lp::MatrixGameSolution s =
+      lp::solve_matrix_game(damage_matrix(game, weights, max_tuples));
+  WeightedSolution out;
+  out.damage_value = s.value;
+  out.attacker_strategy = s.row_strategy;
+  out.defender_strategy = s.col_strategy;
+  return out;
+}
+
+double expected_damage(const TupleGame& game,
+                       const MixedConfiguration& config,
+                       std::span<const double> weights) {
+  validate_weights(game, weights);
+  const std::vector<double> mass = vertex_mass(game, config);
+  const std::vector<double> hit = hit_probabilities(game, config);
+  double damage = 0;
+  for (graph::Vertex v = 0; v < mass.size(); ++v)
+    damage += weights[v] * mass[v] * (1.0 - hit[v]);
+  return damage;
+}
+
+}  // namespace defender::core

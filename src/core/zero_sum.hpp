@@ -1,0 +1,45 @@
+// Zero-sum view of the Tuple model, solved exactly by LP (experiment E8).
+//
+// With attackers symmetric, a mixed NE of Π_k(G) induces a pair of optimal
+// strategies of the two-player zero-sum game "defender picks a tuple,
+// attacker picks a vertex, defender wins 1 on coverage": the attacker side
+// plays a minimum-hit distribution and the defender a maximum-mass one, and
+// the zero-sum value — unique across all equilibria — equals the
+// equilibrium hit probability. Lemma 4.1 therefore predicts
+//     value(Π_k(G)) = k / |E(D(tp))|
+// on every instance with a k-matching NE, which this module checks against
+// the simplex baseline.
+#pragma once
+
+#include <cstdint>
+
+#include "core/configuration.hpp"
+#include "core/game.hpp"
+#include "lp/dense_matrix.hpp"
+#include "lp/matrix_game.hpp"
+
+namespace defender::core {
+
+/// The 0/1 coverage matrix: rows = all C(m, k) tuples in lexicographic
+/// order, columns = vertices; entry 1 iff the tuple covers the vertex.
+/// Requires game.num_tuples() <= `max_tuples`.
+lp::Matrix coverage_matrix(const TupleGame& game,
+                           std::uint64_t max_tuples = 20'000);
+
+/// The tuple at lexicographic `rank` of E^k (row index of coverage_matrix).
+Tuple tuple_at_rank(const TupleGame& game, std::uint64_t rank);
+
+/// Exact zero-sum solution: `value` is the equilibrium hit probability,
+/// `row_strategy` an optimal defender mix over lexicographic tuples,
+/// `col_strategy` an optimal attacker mix over vertices.
+lp::MatrixGameSolution solve_zero_sum(const TupleGame& game,
+                                      std::uint64_t max_tuples = 20'000);
+
+/// Converts a zero-sum solution into a symmetric mixed configuration of the
+/// full ν-attacker game (drops strategies below `prob_floor` and
+/// renormalizes, so the supports stay exact).
+MixedConfiguration to_configuration(const TupleGame& game,
+                                    const lp::MatrixGameSolution& solution,
+                                    double prob_floor = 1e-9);
+
+}  // namespace defender::core

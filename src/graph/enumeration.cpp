@@ -1,0 +1,90 @@
+#include "graph/enumeration.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "graph/properties.hpp"
+#include "util/assert.hpp"
+
+namespace defender::graph {
+
+namespace {
+
+/// Index of the unordered pair (u, v), u < v, in the fixed pair ordering.
+std::size_t pair_index(std::size_t n, std::size_t u, std::size_t v) {
+  if (u > v) std::swap(u, v);
+  // Pairs ordered lexicographically: (0,1), (0,2), ..., (0,n-1), (1,2), ...
+  return u * n - u * (u + 1) / 2 + (v - u - 1);
+}
+
+/// Applies a vertex permutation to an edge bitmask.
+std::uint32_t permute_mask(std::uint32_t mask, std::size_t n,
+                           const std::vector<std::size_t>& perm) {
+  std::uint32_t out = 0;
+  std::size_t bit = 0;
+  for (std::size_t u = 0; u < n; ++u)
+    for (std::size_t v = u + 1; v < n; ++v, ++bit)
+      if ((mask >> bit) & 1U)
+        out |= 1U << pair_index(n, perm[u], perm[v]);
+  return out;
+}
+
+Graph mask_to_graph(std::uint32_t mask, std::size_t n) {
+  GraphBuilder b(n);
+  std::size_t bit = 0;
+  for (std::size_t u = 0; u < n; ++u)
+    for (std::size_t v = u + 1; v < n; ++v, ++bit)
+      if ((mask >> bit) & 1U)
+        b.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(v));
+  return b.build();
+}
+
+std::uint32_t canonical_of(std::uint32_t mask, std::size_t n) {
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::uint32_t best = mask;
+  while (std::next_permutation(perm.begin(), perm.end()))
+    best = std::min(best, permute_mask(mask, n, perm));
+  return best;
+}
+
+}  // namespace
+
+std::uint32_t canonical_mask(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  DEF_REQUIRE(n <= 6, "canonical_mask limited to n <= 6");
+  std::uint32_t mask = 0;
+  for (const Edge& e : g.edges())
+    mask |= 1U << pair_index(n, e.u, e.v);
+  return canonical_of(mask, n);
+}
+
+std::vector<Graph> all_connected_graphs(std::size_t n) {
+  DEF_REQUIRE(n >= 2 && n <= 6, "enumeration limited to 2 <= n <= 6");
+  const std::size_t pairs = n * (n - 1) / 2;
+  std::set<std::uint32_t> canon;
+  for (std::uint32_t mask = 1; mask < (1U << pairs); ++mask) {
+    // Cheap pre-filters before the expensive canonicalization: enough edges
+    // to possibly connect, and no isolated vertex.
+    if (static_cast<std::size_t>(__builtin_popcount(mask)) < n - 1) continue;
+    std::uint32_t touched = 0;
+    std::size_t bit = 0;
+    for (std::size_t u = 0; u < n; ++u)
+      for (std::size_t v = u + 1; v < n; ++v, ++bit)
+        if ((mask >> bit) & 1U) touched |= (1U << u) | (1U << v);
+    if (touched != (1U << n) - 1) continue;
+    const std::uint32_t c = canonical_of(mask, n);
+    if (c != mask) continue;  // only keep canonical representatives
+    canon.insert(mask);
+  }
+  std::vector<Graph> out;
+  out.reserve(canon.size());
+  for (std::uint32_t mask : canon) {
+    Graph g = mask_to_graph(mask, n);
+    if (is_connected(g)) out.push_back(std::move(g));
+  }
+  return out;
+}
+
+}  // namespace defender::graph

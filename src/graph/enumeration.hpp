@@ -1,0 +1,27 @@
+// Exhaustive enumeration of small graphs up to isomorphism.
+//
+// The census experiment (E18) validates the paper's characterizations over
+// the ENTIRE universe of small boards, not just sampled families. Graphs
+// on n <= 6 vertices are represented as bitmasks over the C(n,2) vertex
+// pairs; the canonical form is the minimum mask over all n! vertex
+// relabellings, so isomorphic graphs collapse to one representative.
+// Counts match the catalogue: 1, 2, 6, 21, 112 connected graphs on
+// n = 2..6 vertices.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace defender::graph {
+
+/// All connected simple graphs on exactly `n` vertices, one per
+/// isomorphism class, in increasing canonical-mask order. Requires
+/// 2 <= n <= 6.
+std::vector<Graph> all_connected_graphs(std::size_t n);
+
+/// The canonical bitmask (minimum over vertex permutations) of `g`'s edge
+/// set; equal masks <=> isomorphic graphs. Requires n <= 6.
+std::uint32_t canonical_mask(const Graph& g);
+
+}  // namespace defender::graph

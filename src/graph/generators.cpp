@@ -1,0 +1,302 @@
+#include "graph/generators.hpp"
+
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace defender::graph {
+
+Graph path_graph(std::size_t n) {
+  DEF_REQUIRE(n >= 2, "a path needs at least two vertices");
+  GraphBuilder b(n);
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    b.add_edge(static_cast<Vertex>(i), static_cast<Vertex>(i + 1));
+  return b.build();
+}
+
+Graph cycle_graph(std::size_t n) {
+  DEF_REQUIRE(n >= 3, "a cycle needs at least three vertices");
+  GraphBuilder b(n);
+  for (std::size_t i = 0; i < n; ++i)
+    b.add_edge(static_cast<Vertex>(i), static_cast<Vertex>((i + 1) % n));
+  return b.build();
+}
+
+Graph complete_graph(std::size_t n) {
+  DEF_REQUIRE(n >= 2, "K_n needs at least two vertices");
+  GraphBuilder b(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      b.add_edge(static_cast<Vertex>(i), static_cast<Vertex>(j));
+  return b.build();
+}
+
+Graph complete_bipartite(std::size_t a, std::size_t b) {
+  DEF_REQUIRE(a >= 1 && b >= 1, "K_{a,b} needs nonempty parts");
+  GraphBuilder builder(a + b);
+  for (std::size_t i = 0; i < a; ++i)
+    for (std::size_t j = 0; j < b; ++j)
+      builder.add_edge(static_cast<Vertex>(i), static_cast<Vertex>(a + j));
+  return builder.build();
+}
+
+Graph star_graph(std::size_t leaves) {
+  DEF_REQUIRE(leaves >= 1, "a star needs at least one leaf");
+  GraphBuilder b(leaves + 1);
+  for (std::size_t i = 1; i <= leaves; ++i)
+    b.add_edge(0, static_cast<Vertex>(i));
+  return b.build();
+}
+
+Graph grid_graph(std::size_t rows, std::size_t cols) {
+  DEF_REQUIRE(rows >= 1 && cols >= 1 && rows * cols >= 2,
+              "a grid needs at least two vertices");
+  GraphBuilder b(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<Vertex>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return b.build();
+}
+
+Graph hypercube_graph(std::size_t dimension) {
+  DEF_REQUIRE(dimension >= 1 && dimension <= 20,
+              "hypercube dimension must be in [1, 20]");
+  const std::size_t n = std::size_t{1} << dimension;
+  GraphBuilder b(n);
+  for (std::size_t v = 0; v < n; ++v)
+    for (std::size_t bit = 0; bit < dimension; ++bit) {
+      const std::size_t w = v ^ (std::size_t{1} << bit);
+      if (v < w) b.add_edge(static_cast<Vertex>(v), static_cast<Vertex>(w));
+    }
+  return b.build();
+}
+
+Graph wheel_graph(std::size_t rim) {
+  DEF_REQUIRE(rim >= 3, "a wheel needs a rim of at least three vertices");
+  GraphBuilder b(rim + 1);  // vertex `rim` is the hub
+  for (std::size_t i = 0; i < rim; ++i) {
+    b.add_edge(static_cast<Vertex>(i), static_cast<Vertex>((i + 1) % rim));
+    b.add_edge(static_cast<Vertex>(i), static_cast<Vertex>(rim));
+  }
+  return b.build();
+}
+
+Graph petersen_graph() {
+  GraphBuilder b(10);
+  // Outer 5-cycle 0..4, inner pentagram 5..9, spokes i -> i+5.
+  for (Vertex i = 0; i < 5; ++i) {
+    b.add_edge(i, (i + 1) % 5);
+    b.add_edge(5 + i, 5 + (i + 2) % 5);
+    b.add_edge(i, 5 + i);
+  }
+  return b.build();
+}
+
+Graph ladder_graph(std::size_t rungs) {
+  DEF_REQUIRE(rungs >= 2, "a ladder needs at least two rungs");
+  GraphBuilder b(2 * rungs);
+  for (std::size_t i = 0; i < rungs; ++i) {
+    b.add_edge(static_cast<Vertex>(i), static_cast<Vertex>(rungs + i));
+    if (i + 1 < rungs) {
+      b.add_edge(static_cast<Vertex>(i), static_cast<Vertex>(i + 1));
+      b.add_edge(static_cast<Vertex>(rungs + i),
+                 static_cast<Vertex>(rungs + i + 1));
+    }
+  }
+  return b.build();
+}
+
+Graph binary_tree(std::size_t levels) {
+  DEF_REQUIRE(levels >= 2, "a binary tree needs at least two levels");
+  const std::size_t n = (std::size_t{1} << levels) - 1;
+  GraphBuilder b(n);
+  for (std::size_t v = 1; v < n; ++v)
+    b.add_edge(static_cast<Vertex>(v), static_cast<Vertex>((v - 1) / 2));
+  return b.build();
+}
+
+Graph random_tree(std::size_t n, util::Rng& rng) {
+  DEF_REQUIRE(n >= 2, "a tree needs at least two vertices");
+  if (n == 2) return path_graph(2);
+  // Decode a uniformly random Prüfer sequence of length n-2.
+  std::vector<std::size_t> prufer(n - 2);
+  for (auto& p : prufer) p = rng.below(n);
+  std::vector<std::size_t> degree(n, 1);
+  for (std::size_t p : prufer) ++degree[p];
+  GraphBuilder b(n);
+  // Min-leaf extraction without a heap: sweep a pointer over vertices.
+  std::size_t ptr = 0;
+  while (degree[ptr] != 1) ++ptr;
+  std::size_t leaf = ptr;
+  for (std::size_t p : prufer) {
+    b.add_edge(static_cast<Vertex>(leaf), static_cast<Vertex>(p));
+    if (--degree[p] == 1 && p < ptr) {
+      leaf = p;
+    } else {
+      ++ptr;
+      while (degree[ptr] != 1) ++ptr;
+      leaf = ptr;
+    }
+  }
+  // Join the final leaf to the last remaining vertex (always n-1).
+  b.add_edge(static_cast<Vertex>(leaf), static_cast<Vertex>(n - 1));
+  return b.build();
+}
+
+namespace {
+
+/// Attaches every isolated vertex of the edge list to a random partner drawn
+/// from [lo, hi) \ {v}.
+void attach_isolated(GraphBuilder& b, std::size_t n,
+                     const std::vector<std::size_t>& degree, std::size_t lo,
+                     std::size_t hi, util::Rng& rng) {
+  for (std::size_t v = 0; v < n; ++v) {
+    if (degree[v] != 0) continue;
+    std::size_t w = lo + rng.below(hi - lo);
+    while (w == v) w = lo + rng.below(hi - lo);
+    b.add_edge(static_cast<Vertex>(v), static_cast<Vertex>(w));
+  }
+}
+
+}  // namespace
+
+Graph gnp_graph(std::size_t n, double p, util::Rng& rng,
+                bool forbid_isolated) {
+  DEF_REQUIRE(n >= 2, "G(n, p) needs at least two vertices");
+  DEF_REQUIRE(p >= 0.0 && p <= 1.0, "edge probability must lie in [0, 1]");
+  GraphBuilder b(n);
+  std::vector<std::size_t> degree(n, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      if (rng.bernoulli(p)) {
+        b.add_edge(static_cast<Vertex>(i), static_cast<Vertex>(j));
+        ++degree[i];
+        ++degree[j];
+      }
+  if (forbid_isolated) attach_isolated(b, n, degree, 0, n, rng);
+  return b.build();
+}
+
+Graph random_bipartite(std::size_t a, std::size_t b, double p, util::Rng& rng,
+                       bool forbid_isolated) {
+  DEF_REQUIRE(a >= 1 && b >= 1, "bipartite parts must be nonempty");
+  DEF_REQUIRE(p >= 0.0 && p <= 1.0, "edge probability must lie in [0, 1]");
+  GraphBuilder builder(a + b);
+  std::vector<std::size_t> degree(a + b, 0);
+  for (std::size_t i = 0; i < a; ++i)
+    for (std::size_t j = 0; j < b; ++j)
+      if (rng.bernoulli(p)) {
+        builder.add_edge(static_cast<Vertex>(i), static_cast<Vertex>(a + j));
+        ++degree[i];
+        ++degree[a + j];
+      }
+  if (forbid_isolated) {
+    // Attach isolated left vertices to the right part and vice versa so the
+    // graph stays bipartite.
+    for (std::size_t v = 0; v < a; ++v)
+      if (degree[v] == 0)
+        builder.add_edge(static_cast<Vertex>(v),
+                         static_cast<Vertex>(a + rng.below(b)));
+    for (std::size_t v = a; v < a + b; ++v)
+      if (degree[v] == 0)
+        builder.add_edge(static_cast<Vertex>(v),
+                         static_cast<Vertex>(rng.below(a)));
+  }
+  return builder.build();
+}
+
+Graph random_connected(std::size_t n, double p, util::Rng& rng) {
+  DEF_REQUIRE(n >= 2, "a connected graph needs at least two vertices");
+  DEF_REQUIRE(p >= 0.0 && p <= 1.0, "edge probability must lie in [0, 1]");
+  // Random spanning tree (random attachment to an already-connected prefix
+  // of a random permutation) plus G(n, p) extra edges.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  util::shuffle(order, rng);
+  GraphBuilder b(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t parent = order[rng.below(i)];
+    b.add_edge(static_cast<Vertex>(order[i]), static_cast<Vertex>(parent));
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      if (rng.bernoulli(p))
+        b.add_edge(static_cast<Vertex>(i), static_cast<Vertex>(j));
+  return b.build();
+}
+
+Graph barabasi_albert(std::size_t n, std::size_t attach, util::Rng& rng) {
+  DEF_REQUIRE(attach >= 1 && n > attach,
+              "preferential attachment needs n > attach >= 1");
+  GraphBuilder b(n);
+  // Endpoint pool: each edge contributes both endpoints, so sampling the
+  // pool uniformly is degree-proportional sampling.
+  std::vector<Vertex> pool;
+  const std::size_t seed = attach + 1;
+  for (Vertex leaf = 1; leaf < seed; ++leaf) {
+    b.add_edge(0, leaf);
+    pool.push_back(0);
+    pool.push_back(leaf);
+  }
+  std::vector<char> used(n, 0);
+  for (std::size_t v = seed; v < n; ++v) {
+    std::vector<Vertex> targets;
+    while (targets.size() < attach) {
+      const Vertex t = pool[rng.below(pool.size())];
+      if (used[t]) continue;
+      used[t] = 1;
+      targets.push_back(t);
+    }
+    for (Vertex t : targets) {
+      used[t] = 0;
+      b.add_edge(static_cast<Vertex>(v), t);
+      pool.push_back(static_cast<Vertex>(v));
+      pool.push_back(t);
+    }
+  }
+  return b.build();
+}
+
+Graph watts_strogatz(std::size_t n, std::size_t neighbors, double beta,
+                     util::Rng& rng) {
+  DEF_REQUIRE(neighbors >= 2 && neighbors % 2 == 0 && neighbors < n,
+              "small world needs even 2 <= neighbors < n");
+  DEF_REQUIRE(beta >= 0.0 && beta <= 1.0, "beta must lie in [0, 1]");
+  // Track the adjacency explicitly so rewiring can avoid duplicates.
+  std::vector<std::vector<char>> adj(n, std::vector<char>(n, 0));
+  auto connect = [&](std::size_t u, std::size_t v) {
+    adj[u][v] = adj[v][u] = 1;
+  };
+  for (std::size_t v = 0; v < n; ++v)
+    for (std::size_t d = 1; d <= neighbors / 2; ++d)
+      connect(v, (v + d) % n);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t d = 1; d <= neighbors / 2; ++d) {
+      const std::size_t w = (v + d) % n;
+      if (!adj[v][w] || !rng.bernoulli(beta)) continue;
+      // Rewire (v, w) to (v, fresh) when a fresh endpoint exists.
+      std::size_t fresh = rng.below(n);
+      std::size_t attempts = 0;
+      while ((fresh == v || adj[v][fresh]) && attempts < 4 * n) {
+        fresh = rng.below(n);
+        ++attempts;
+      }
+      if (fresh == v || adj[v][fresh]) continue;  // saturated vertex
+      adj[v][w] = adj[w][v] = 0;
+      connect(v, fresh);
+    }
+  }
+  GraphBuilder b(n);
+  for (std::size_t u = 0; u < n; ++u)
+    for (std::size_t v = u + 1; v < n; ++v)
+      if (adj[u][v]) b.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(v));
+  return b.build();
+}
+
+}  // namespace defender::graph

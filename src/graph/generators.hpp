@@ -1,0 +1,84 @@
+// Graph generators: the workload families of the experiment harness.
+//
+// The paper names no datasets; every experiment runs on standard generated
+// families. All random generators take an explicit Rng so sweeps are
+// reproducible.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace defender::graph {
+
+/// Path P_n: vertices 0-1-2-...-(n-1). Requires n >= 2.
+Graph path_graph(std::size_t n);
+
+/// Cycle C_n. Requires n >= 3.
+Graph cycle_graph(std::size_t n);
+
+/// Complete graph K_n. Requires n >= 2.
+Graph complete_graph(std::size_t n);
+
+/// Complete bipartite graph K_{a,b}: left part [0, a), right part [a, a+b).
+/// Requires a, b >= 1.
+Graph complete_bipartite(std::size_t a, std::size_t b);
+
+/// Star S_n: centre 0 joined to leaves 1..n. Requires n >= 1 leaves.
+Graph star_graph(std::size_t leaves);
+
+/// 2D grid of `rows` x `cols` vertices with 4-neighbour edges.
+/// Requires rows, cols >= 1 and rows*cols >= 2.
+Graph grid_graph(std::size_t rows, std::size_t cols);
+
+/// Hypercube Q_d on 2^d vertices. Requires 1 <= d <= 20.
+Graph hypercube_graph(std::size_t dimension);
+
+/// Wheel W_n: cycle on n rim vertices plus a hub joined to all. n >= 3.
+Graph wheel_graph(std::size_t rim);
+
+/// The Petersen graph (10 vertices, 15 edges, 3-regular, non-bipartite).
+Graph petersen_graph();
+
+/// Ladder graph: two paths of length n joined rung-by-rung. Requires n >= 2.
+Graph ladder_graph(std::size_t rungs);
+
+/// Complete binary tree with `levels` levels (2^levels - 1 vertices).
+/// Requires levels >= 2.
+Graph binary_tree(std::size_t levels);
+
+/// Uniform random labelled tree on n vertices via a random Prüfer sequence.
+/// Requires n >= 2.
+Graph random_tree(std::size_t n, util::Rng& rng);
+
+/// Erdős–Rényi G(n, p). When `forbid_isolated` is set, every vertex that
+/// would end up isolated is attached to a uniformly random other vertex, so
+/// the result is a valid game board (Section 2 forbids isolated vertices).
+Graph gnp_graph(std::size_t n, double p, util::Rng& rng,
+                bool forbid_isolated = true);
+
+/// Random bipartite graph with parts of size a (vertices [0, a)) and b
+/// (vertices [a, a+b)); each cross pair is an edge independently with
+/// probability p, and isolated vertices are attached to a random vertex of
+/// the opposite part when `forbid_isolated` is set.
+Graph random_bipartite(std::size_t a, std::size_t b, double p, util::Rng& rng,
+                       bool forbid_isolated = true);
+
+/// Random connected graph: a uniform random spanning tree plus each
+/// remaining pair independently with probability p.
+Graph random_connected(std::size_t n, double p, util::Rng& rng);
+
+/// Barabási–Albert preferential attachment: starts from a star on
+/// `attach + 1` vertices; each new vertex attaches to `attach` distinct
+/// existing vertices chosen proportionally to degree. Produces the
+/// heavy-tailed hub structure of internet-like topologies. Requires
+/// n > attach >= 1.
+Graph barabasi_albert(std::size_t n, std::size_t attach, util::Rng& rng);
+
+/// Watts–Strogatz small world: a ring where each vertex connects to its
+/// `neighbors/2` nearest on each side, then each edge's far endpoint is
+/// rewired with probability `beta` (avoiding self-loops and duplicates).
+/// Requires even `neighbors` with 2 <= neighbors < n and beta in [0, 1].
+Graph watts_strogatz(std::size_t n, std::size_t neighbors, double beta,
+                     util::Rng& rng);
+
+}  // namespace defender::graph

@@ -1,0 +1,94 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace defender::graph {
+
+Vertex Edge::other(Vertex w) const {
+  DEF_REQUIRE(w == u || w == v, "Edge::other: vertex is not an endpoint");
+  return w == u ? v : u;
+}
+
+const Edge& Graph::edge(EdgeId e) const {
+  DEF_REQUIRE(e < edges_.size(), "edge id out of range");
+  return edges_[e];
+}
+
+std::size_t Graph::degree(Vertex v) const {
+  DEF_REQUIRE(v < num_vertices(), "vertex out of range");
+  return offsets_[v + 1] - offsets_[v];
+}
+
+std::span<const Incidence> Graph::neighbors(Vertex v) const {
+  DEF_REQUIRE(v < num_vertices(), "vertex out of range");
+  return {adjacency_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+}
+
+std::optional<EdgeId> Graph::edge_id(Vertex u, Vertex v) const {
+  DEF_REQUIRE(u < num_vertices() && v < num_vertices(), "vertex out of range");
+  if (u == v) return std::nullopt;
+  // Search the smaller adjacency list; entries are sorted by neighbour.
+  if (degree(u) > degree(v)) std::swap(u, v);
+  auto adj = neighbors(u);
+  auto it = std::lower_bound(
+      adj.begin(), adj.end(), v,
+      [](const Incidence& inc, Vertex w) { return inc.to < w; });
+  if (it != adj.end() && it->to == v) return it->edge;
+  return std::nullopt;
+}
+
+bool Graph::has_isolated_vertex() const {
+  for (Vertex v = 0; v < num_vertices(); ++v)
+    if (degree(v) == 0) return true;
+  return false;
+}
+
+GraphBuilder::GraphBuilder(std::size_t num_vertices)
+    : num_vertices_(num_vertices) {
+  DEF_REQUIRE(num_vertices >= 1, "a graph needs at least one vertex");
+}
+
+GraphBuilder& GraphBuilder::add_edge(Vertex u, Vertex v) {
+  DEF_REQUIRE(u < num_vertices_ && v < num_vertices_,
+              "edge endpoint out of range");
+  DEF_REQUIRE(u != v, "self-loops are not allowed (the model's graphs are simple)");
+  if (u > v) std::swap(u, v);
+  edges_.push_back(Edge{u, v});
+  return *this;
+}
+
+Graph GraphBuilder::build() const {
+  Graph g;
+  g.edges_ = edges_;
+  std::sort(g.edges_.begin(), g.edges_.end());
+  g.edges_.erase(std::unique(g.edges_.begin(), g.edges_.end()),
+                 g.edges_.end());
+
+  g.offsets_.assign(num_vertices_ + 1, 0);
+  for (const Edge& e : g.edges_) {
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  for (std::size_t i = 1; i <= num_vertices_; ++i)
+    g.offsets_[i] += g.offsets_[i - 1];
+
+  g.adjacency_.resize(2 * g.edges_.size());
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (EdgeId id = 0; id < g.edges_.size(); ++id) {
+    const Edge& e = g.edges_[id];
+    g.adjacency_[cursor[e.u]++] = Incidence{e.v, id};
+    g.adjacency_[cursor[e.v]++] = Incidence{e.u, id};
+  }
+  // Edges are processed in sorted order, but entries in a vertex's list are
+  // appended in mixed (u-side/v-side) order; sort each list by neighbour.
+  for (Vertex v = 0; v < num_vertices_; ++v) {
+    std::sort(g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]),
+              g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]),
+              [](const Incidence& a, const Incidence& b) { return a.to < b.to; });
+  }
+  return g;
+}
+
+}  // namespace defender::graph

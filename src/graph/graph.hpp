@@ -1,0 +1,117 @@
+// Immutable undirected graph.
+//
+// The information network of the Tuple model (Definition 2.1): an undirected
+// graph G(V, E) with no isolated vertices. Vertices are dense indices
+// [0, n); edges are dense indices [0, m) into a normalized (u < v) edge
+// list, so strategy supports can be stored as plain index vectors and the
+// defender's tuples as vectors of EdgeId.
+//
+// The Graph is an immutable value: it is assembled through GraphBuilder and
+// never mutated afterwards, which lets games, equilibria, and experiment
+// sweeps share one instance freely.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace defender::graph {
+
+/// Dense vertex index in [0, num_vertices()).
+using Vertex = std::uint32_t;
+/// Dense edge index in [0, num_edges()).
+using EdgeId = std::uint32_t;
+
+/// An undirected edge with normalized endpoints (u < v).
+struct Edge {
+  Vertex u = 0;
+  Vertex v = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+
+  /// The endpoint different from `w`; requires w ∈ {u, v}.
+  Vertex other(Vertex w) const;
+};
+
+/// One adjacency entry: the neighbour and the id of the connecting edge.
+struct Incidence {
+  Vertex to = 0;
+  EdgeId edge = 0;
+
+  friend bool operator==(const Incidence&, const Incidence&) = default;
+};
+
+class GraphBuilder;
+
+/// Immutable undirected simple graph with CSR adjacency.
+class Graph {
+ public:
+  /// An empty graph (0 vertices); useful as a placeholder member before a
+  /// real graph is assigned. Game constructors reject empty graphs.
+  Graph() = default;
+
+  /// Number of vertices n = |V|.
+  std::size_t num_vertices() const { return offsets_.size() - 1; }
+
+  /// Number of edges m = |E|.
+  std::size_t num_edges() const { return edges_.size(); }
+
+  /// All edges, ordered by (u, v); the index of an edge in this span is its
+  /// EdgeId.
+  std::span<const Edge> edges() const { return edges_; }
+
+  /// The edge with the given id.
+  const Edge& edge(EdgeId e) const;
+
+  /// Degree of `v`.
+  std::size_t degree(Vertex v) const;
+
+  /// Adjacency list of `v`: neighbours with the connecting edge ids.
+  std::span<const Incidence> neighbors(Vertex v) const;
+
+  /// True when (u, v) is an edge.
+  bool has_edge(Vertex u, Vertex v) const { return edge_id(u, v).has_value(); }
+
+  /// The id of edge (u, v), or nullopt when absent. O(log deg).
+  std::optional<EdgeId> edge_id(Vertex u, Vertex v) const;
+
+  /// True when some vertex has degree zero. (Game instances reject such
+  /// graphs per Section 2: "with no isolated vertices".)
+  bool has_isolated_vertex() const;
+
+  friend bool operator==(const Graph&, const Graph&) = default;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<Edge> edges_;                // sorted by (u, v)
+  std::vector<std::size_t> offsets_ = {0};  // CSR offsets, size n+1
+  std::vector<Incidence> adjacency_;  // CSR entries sorted by neighbour
+};
+
+/// Incremental assembler for Graph. Rejects self-loops; ignores duplicate
+/// edges (the model's graphs are simple).
+class GraphBuilder {
+ public:
+  /// Starts a graph with `num_vertices` vertices and no edges.
+  explicit GraphBuilder(std::size_t num_vertices);
+
+  /// Adds undirected edge (u, v); returns *this for chaining.
+  /// Requires u != v and both endpoints in range. Duplicates are ignored.
+  GraphBuilder& add_edge(Vertex u, Vertex v);
+
+  /// Number of distinct edges added so far.
+  std::size_t num_edges() const { return edges_.size(); }
+
+  /// Finalizes the graph (sorts edges, builds CSR adjacency).
+  Graph build() const;
+
+ private:
+  std::size_t num_vertices_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace defender::graph

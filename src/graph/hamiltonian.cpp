@@ -1,0 +1,80 @@
+#include "graph/hamiltonian.hpp"
+
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace defender::graph {
+
+namespace {
+
+/// Held–Karp table: reach[mask] = bitset of vertices v such that some
+/// simple path visits exactly `mask` and ends at v. One uint32 per mask.
+std::vector<std::uint32_t> reachability(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  DEF_REQUIRE(n <= 24, "Hamiltonian search limited to n <= 24");
+  // Adjacency bitmasks.
+  std::vector<std::uint32_t> adj(n, 0);
+  for (const Edge& e : g.edges()) {
+    adj[e.u] |= 1U << e.v;
+    adj[e.v] |= 1U << e.u;
+  }
+  std::vector<std::uint32_t> reach(std::size_t{1} << n, 0);
+  for (std::size_t v = 0; v < n; ++v) reach[std::size_t{1} << v] = 1U << v;
+  for (std::uint32_t mask = 1; mask < (1U << n); ++mask) {
+    std::uint32_t ends = reach[mask];
+    if (ends == 0) continue;
+    // Extend every endpoint to a fresh neighbour.
+    while (ends != 0) {
+      const std::uint32_t v_bit = ends & (~ends + 1);
+      ends ^= v_bit;
+      const auto v = static_cast<std::size_t>(__builtin_ctz(v_bit));
+      std::uint32_t fresh = adj[v] & ~mask;
+      while (fresh != 0) {
+        const std::uint32_t w_bit = fresh & (~fresh + 1);
+        fresh ^= w_bit;
+        reach[mask | w_bit] |= w_bit;
+      }
+    }
+  }
+  return reach;
+}
+
+}  // namespace
+
+bool has_hamiltonian_path(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  if (n == 1) return true;
+  const auto reach = reachability(g);
+  return reach[(std::size_t{1} << n) - 1] != 0;
+}
+
+std::optional<std::vector<Vertex>> find_hamiltonian_path(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  if (n == 1) return std::vector<Vertex>{0};
+  const auto reach = reachability(g);
+  const std::uint32_t full = static_cast<std::uint32_t>((std::size_t{1} << n) - 1);
+  if (reach[full] == 0) return std::nullopt;
+
+  // Walk the table backwards: peel the current endpoint, find a neighbour
+  // that can end the path on the remaining mask.
+  std::vector<Vertex> path;
+  std::uint32_t mask = full;
+  std::uint32_t v_bit = reach[full] & (~reach[full] + 1);
+  while (true) {
+    const auto v = static_cast<Vertex>(__builtin_ctz(v_bit));
+    path.push_back(v);
+    mask ^= v_bit;
+    if (mask == 0) break;
+    std::uint32_t candidates = 0;
+    for (const Incidence& inc : g.neighbors(v))
+      candidates |= 1U << inc.to;
+    candidates &= reach[mask] & mask;
+    DEF_ENSURE(candidates != 0, "Held-Karp backtrack lost the path");
+    v_bit = candidates & (~candidates + 1);
+  }
+  // Path was built endpoint-first; order is a valid path either way.
+  return path;
+}
+
+}  // namespace defender::graph

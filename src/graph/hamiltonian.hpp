@@ -1,0 +1,23 @@
+// Hamiltonian path decision and construction (Held–Karp bitmask DP).
+//
+// The Path-model extension shows a sharp contrast with Theorem 3.1: a pure
+// NE of the Path model needs the defender's path to cover every vertex,
+// i.e. a Hamiltonian path — an NP-complete certificate where the Tuple
+// model's edge cover is polynomial. The exact O(2^n · n^2) DP below settles
+// boards up to ~20 vertices, which is all the experiment harness needs.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace defender::graph {
+
+/// True when `g` has a Hamiltonian path. Requires n <= 24.
+bool has_hamiltonian_path(const Graph& g);
+
+/// A Hamiltonian path as a vertex sequence, or nullopt. Requires n <= 24.
+std::optional<std::vector<Vertex>> find_hamiltonian_path(const Graph& g);
+
+}  // namespace defender::graph

@@ -1,0 +1,61 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace defender::graph {
+
+std::string to_dot(const Graph& g, const DotOptions& options) {
+  VertexSet hv = options.highlight_vertices;
+  normalize(hv);
+  std::vector<char> he(g.num_edges(), 0);
+  for (EdgeId id : options.highlight_edges) {
+    DEF_REQUIRE(id < g.num_edges(), "highlighted edge out of range");
+    he[id] = 1;
+  }
+  std::ostringstream os;
+  os << "graph " << options.name << " {\n";
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    os << "  " << v;
+    if (contains(hv, v)) os << " [style=filled, fillcolor=lightblue]";
+    os << ";\n";
+  }
+  for (EdgeId id = 0; id < g.num_edges(); ++id) {
+    const Edge& e = g.edge(id);
+    os << "  " << e.u << " -- " << e.v;
+    if (he[id]) os << " [penwidth=3]";
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_edge_list(const Graph& g) {
+  std::ostringstream os;
+  os << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (const Edge& e : g.edges()) os << e.u << ' ' << e.v << '\n';
+  return os.str();
+}
+
+Graph parse_edge_list(std::istream& in) {
+  std::size_t n = 0, m = 0;
+  DEF_REQUIRE(static_cast<bool>(in >> n >> m),
+              "edge list must start with 'n m'");
+  GraphBuilder b(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    Vertex u = 0, v = 0;
+    DEF_REQUIRE(static_cast<bool>(in >> u >> v),
+                "edge list ended before all edges were read");
+    b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+Graph parse_edge_list(const std::string& text) {
+  std::istringstream in(text);
+  return parse_edge_list(in);
+}
+
+}  // namespace defender::graph

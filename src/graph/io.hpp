@@ -1,0 +1,39 @@
+// Graph serialization: Graphviz DOT export and a plain edge-list format.
+//
+// The edge-list format is one line "n m" followed by m lines "u v"; it is
+// what the examples read and write so users can feed their own topologies to
+// the equilibrium algorithms.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "graph/properties.hpp"
+
+namespace defender::graph {
+
+/// Options for DOT export: vertex/edge subsets to highlight (e.g. the
+/// supports of an equilibrium).
+struct DotOptions {
+  /// Vertices drawn filled (e.g. the attacker support D(VP)).
+  VertexSet highlight_vertices;
+  /// Edges drawn bold (e.g. the defended edge set E(D(tp))).
+  EdgeSet highlight_edges;
+  /// Graph name in the DOT output.
+  std::string name = "G";
+};
+
+/// Renders `g` as an undirected Graphviz DOT document.
+std::string to_dot(const Graph& g, const DotOptions& options = {});
+
+/// Serializes `g` in the edge-list format ("n m" then one "u v" per line).
+std::string to_edge_list(const Graph& g);
+
+/// Parses the edge-list format; throws ContractViolation on malformed input.
+Graph parse_edge_list(std::istream& in);
+
+/// Parses the edge-list format from a string.
+Graph parse_edge_list(const std::string& text);
+
+}  // namespace defender::graph

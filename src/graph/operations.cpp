@@ -1,0 +1,45 @@
+#include "graph/operations.hpp"
+
+#include "util/assert.hpp"
+
+namespace defender::graph {
+
+Graph complement(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  DEF_REQUIRE(n >= 2, "a complement needs at least two vertices");
+  GraphBuilder b(n);
+  for (Vertex u = 0; u < n; ++u)
+    for (Vertex v = u + 1; v < n; ++v)
+      if (!g.has_edge(u, v)) b.add_edge(u, v);
+  return b.build();
+}
+
+Graph line_graph(const Graph& g) {
+  DEF_REQUIRE(g.num_edges() >= 1, "a line graph needs at least one edge");
+  GraphBuilder b(g.num_edges());
+  // Two edges are adjacent in L(G) iff they share an endpoint: walk each
+  // vertex's incidence list and connect all pairs.
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const auto adj = g.neighbors(v);
+    for (std::size_t i = 0; i < adj.size(); ++i)
+      for (std::size_t j = i + 1; j < adj.size(); ++j)
+        b.add_edge(adj[i].edge, adj[j].edge);
+  }
+  return b.build();
+}
+
+Graph cartesian_product(const Graph& g, const Graph& h) {
+  const std::size_t gn = g.num_vertices();
+  const std::size_t hn = h.num_vertices();
+  GraphBuilder b(gn * hn);
+  auto id = [hn](std::size_t a, std::size_t bb) {
+    return static_cast<Vertex>(a * hn + bb);
+  };
+  for (std::size_t a = 0; a < gn; ++a)
+    for (const Edge& e : h.edges()) b.add_edge(id(a, e.u), id(a, e.v));
+  for (std::size_t bb = 0; bb < hn; ++bb)
+    for (const Edge& e : g.edges()) b.add_edge(id(e.u, bb), id(e.v, bb));
+  return b.build();
+}
+
+}  // namespace defender::graph

@@ -1,0 +1,28 @@
+// Graph operations: complement, line graph, Cartesian product.
+//
+// Board constructors for richer experiment families: Cartesian products
+// inherit perfect matchings (so product boards are defense-optimal per
+// core/perfect_matching_ne), line graphs turn edge-scanning questions into
+// vertex-scanning ones, and complements supply dense counterparts to
+// sparse families.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace defender::graph {
+
+/// The complement graph: (u, v) is an edge iff it is not one in `g`.
+/// Requires n >= 2.
+Graph complement(const Graph& g);
+
+/// The line graph L(G): one vertex per edge of `g`, adjacent when the
+/// edges share an endpoint. Vertex i of L(G) is edge id i of `g`.
+/// Requires g.num_edges() >= 1.
+Graph line_graph(const Graph& g);
+
+/// The Cartesian product G □ H: vertices are pairs (a, b) laid out as
+/// a * H.num_vertices() + b; (a, b) ~ (a', b') iff a = a' and b ~ b' in H,
+/// or b = b' and a ~ a' in G. (Q_d = K2 □ ... □ K2; grids = path □ path.)
+Graph cartesian_product(const Graph& g, const Graph& h);
+
+}  // namespace defender::graph

@@ -1,0 +1,161 @@
+#include "graph/properties.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace defender::graph {
+
+bool is_connected(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  std::vector<char> seen(n, 0);
+  std::vector<Vertex> stack{0};
+  seen[0] = 1;
+  std::size_t reached = 1;
+  while (!stack.empty()) {
+    const Vertex v = stack.back();
+    stack.pop_back();
+    for (const Incidence& inc : g.neighbors(v)) {
+      if (!seen[inc.to]) {
+        seen[inc.to] = 1;
+        ++reached;
+        stack.push_back(inc.to);
+      }
+    }
+  }
+  return reached == n;
+}
+
+std::optional<std::vector<std::uint8_t>> bipartition(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  std::vector<std::uint8_t> color(n, 2);  // 2 = uncoloured
+  std::vector<Vertex> stack;
+  for (Vertex root = 0; root < n; ++root) {
+    if (color[root] != 2) continue;
+    color[root] = 0;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const Vertex v = stack.back();
+      stack.pop_back();
+      for (const Incidence& inc : g.neighbors(v)) {
+        if (color[inc.to] == 2) {
+          color[inc.to] = static_cast<std::uint8_t>(1 - color[v]);
+          stack.push_back(inc.to);
+        } else if (color[inc.to] == color[v]) {
+          return std::nullopt;
+        }
+      }
+    }
+  }
+  return color;
+}
+
+bool is_bipartite(const Graph& g) { return bipartition(g).has_value(); }
+
+bool is_independent_set(const Graph& g, std::span<const Vertex> set) {
+  std::vector<char> in(g.num_vertices(), 0);
+  for (Vertex v : set) {
+    DEF_REQUIRE(v < g.num_vertices(), "vertex out of range");
+    in[v] = 1;
+  }
+  for (Vertex v : set)
+    for (const Incidence& inc : g.neighbors(v))
+      if (in[inc.to]) return false;
+  return true;
+}
+
+bool is_vertex_cover(const Graph& g, std::span<const Vertex> set) {
+  std::vector<char> in(g.num_vertices(), 0);
+  for (Vertex v : set) {
+    DEF_REQUIRE(v < g.num_vertices(), "vertex out of range");
+    in[v] = 1;
+  }
+  for (const Edge& e : g.edges())
+    if (!in[e.u] && !in[e.v]) return false;
+  return true;
+}
+
+bool covers_edge_set(const Graph& g, std::span<const Vertex> set,
+                     std::span<const EdgeId> edges) {
+  std::vector<char> in(g.num_vertices(), 0);
+  for (Vertex v : set) {
+    DEF_REQUIRE(v < g.num_vertices(), "vertex out of range");
+    in[v] = 1;
+  }
+  for (EdgeId id : edges) {
+    const Edge& e = g.edge(id);
+    if (!in[e.u] && !in[e.v]) return false;
+  }
+  return true;
+}
+
+bool is_edge_cover(const Graph& g, std::span<const EdgeId> edges) {
+  std::vector<char> covered(g.num_vertices(), 0);
+  for (EdgeId id : edges) {
+    const Edge& e = g.edge(id);
+    covered[e.u] = 1;
+    covered[e.v] = 1;
+  }
+  return std::all_of(covered.begin(), covered.end(),
+                     [](char c) { return c != 0; });
+}
+
+VertexSet endpoints_of(const Graph& g, std::span<const EdgeId> edges) {
+  VertexSet out;
+  out.reserve(2 * edges.size());
+  for (EdgeId id : edges) {
+    const Edge& e = g.edge(id);
+    out.push_back(e.u);
+    out.push_back(e.v);
+  }
+  normalize(out);
+  return out;
+}
+
+VertexSet neighborhood(const Graph& g, std::span<const Vertex> set) {
+  VertexSet out;
+  for (Vertex v : set) {
+    DEF_REQUIRE(v < g.num_vertices(), "vertex out of range");
+    for (const Incidence& inc : g.neighbors(v)) out.push_back(inc.to);
+  }
+  normalize(out);
+  return out;
+}
+
+bool is_expander_into_complement_bruteforce(const Graph& g,
+                                            std::span<const Vertex> set) {
+  DEF_REQUIRE(set.size() <= 25,
+              "brute-force expander check limited to |S| <= 25");
+  std::vector<char> in_set(g.num_vertices(), 0);
+  for (Vertex v : set) in_set[v] = 1;
+
+  const std::size_t s = set.size();
+  for (std::uint64_t mask = 1; mask < (std::uint64_t{1} << s); ++mask) {
+    std::size_t x_size = 0;
+    std::vector<char> neigh(g.num_vertices(), 0);
+    std::size_t neigh_outside = 0;
+    for (std::size_t i = 0; i < s; ++i) {
+      if (!(mask & (std::uint64_t{1} << i))) continue;
+      ++x_size;
+      for (const Incidence& inc : g.neighbors(set[i])) {
+        if (!neigh[inc.to] && !in_set[inc.to]) {
+          neigh[inc.to] = 1;
+          ++neigh_outside;
+        }
+      }
+    }
+    if (neigh_outside < x_size) return false;
+  }
+  return true;
+}
+
+void normalize(VertexSet& set) {
+  std::sort(set.begin(), set.end());
+  set.erase(std::unique(set.begin(), set.end()), set.end());
+}
+
+bool contains(std::span<const Vertex> sorted_set, Vertex v) {
+  return std::binary_search(sorted_set.begin(), sorted_set.end(), v);
+}
+
+}  // namespace defender::graph

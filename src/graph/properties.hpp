@@ -1,0 +1,71 @@
+// Graph predicates used by the game-theoretic characterizations.
+//
+// Theorem 3.4 and Lemma 2.1 reason about independent sets, vertex covers,
+// edge covers, and S-expanders; these are their executable definitions. The
+// exponential expander oracle lives here as a test-time ground truth — the
+// polynomial Hall-condition check (via Hopcroft–Karp) lives in
+// core/expander_partition.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace defender::graph {
+
+/// A subset of vertices, by index (not necessarily sorted unless stated).
+using VertexSet = std::vector<Vertex>;
+/// A subset of edges, by id.
+using EdgeSet = std::vector<EdgeId>;
+
+/// True when `g` is connected (n == 1 counts as connected).
+bool is_connected(const Graph& g);
+
+/// Two-colouring of `g`, or nullopt when `g` is not bipartite. The colour
+/// vector has one entry (0 or 1) per vertex; each connected component is
+/// coloured independently with its lowest vertex receiving colour 0.
+std::optional<std::vector<std::uint8_t>> bipartition(const Graph& g);
+
+/// True when `g` is bipartite.
+bool is_bipartite(const Graph& g);
+
+/// True when no two vertices of `set` are adjacent in `g`.
+bool is_independent_set(const Graph& g, std::span<const Vertex> set);
+
+/// True when every edge of `g` has an endpoint in `set`.
+bool is_vertex_cover(const Graph& g, std::span<const Vertex> set);
+
+/// True when every vertex of `vertices` is an endpoint of some edge in
+/// `edges` — i.e. `set` is a vertex cover of the graph obtained by `edges`
+/// (paper notation: a vertex cover of G_T).
+bool covers_edge_set(const Graph& g, std::span<const Vertex> set,
+                     std::span<const EdgeId> edges);
+
+/// True when every vertex of `g` is an endpoint of some edge of `edges`
+/// (paper: `edges` is an edge cover of G).
+bool is_edge_cover(const Graph& g, std::span<const EdgeId> edges);
+
+/// The distinct endpoints V(T) of the edges in `edges`, sorted ascending.
+VertexSet endpoints_of(const Graph& g, std::span<const EdgeId> edges);
+
+/// The union of neighbourhoods Neigh_G(X) of the vertices in `set`,
+/// sorted ascending (the set may intersect `set` itself).
+VertexSet neighborhood(const Graph& g, std::span<const Vertex> set);
+
+/// Exponential-time ground truth for the S-expander property *into the
+/// complement*: checks that every X ⊆ S satisfies
+/// |Neigh_G(X) \ S| >= |X|. This is the condition under which Theorem 2.2's
+/// matching-NE construction is sound (see DESIGN.md interpretation note 1).
+/// Requires |S| <= 25 — use core::is_vc_expander for the polynomial check.
+bool is_expander_into_complement_bruteforce(const Graph& g,
+                                            std::span<const Vertex> set);
+
+/// Sorts and deduplicates a vertex set in place.
+void normalize(VertexSet& set);
+
+/// True when sorted `a` contains `v` (binary search).
+bool contains(std::span<const Vertex> sorted_set, Vertex v);
+
+}  // namespace defender::graph

@@ -1,0 +1,35 @@
+#include "graph/subgraph.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace defender::graph {
+
+Vertex EdgeSubgraph::to_sub(Vertex parent_vertex) const {
+  auto it =
+      std::lower_bound(to_parent.begin(), to_parent.end(), parent_vertex);
+  DEF_REQUIRE(it != to_parent.end() && *it == parent_vertex,
+              "vertex does not belong to the subgraph");
+  return static_cast<Vertex>(it - to_parent.begin());
+}
+
+bool EdgeSubgraph::contains_parent(Vertex parent_vertex) const {
+  return std::binary_search(to_parent.begin(), to_parent.end(),
+                            parent_vertex);
+}
+
+EdgeSubgraph edge_subgraph(const Graph& g, std::span<const EdgeId> edges) {
+  DEF_REQUIRE(!edges.empty(), "an edge subgraph needs at least one edge");
+  EdgeSubgraph sub;
+  sub.to_parent = endpoints_of(g, edges);
+  GraphBuilder b(sub.to_parent.size());
+  for (EdgeId id : edges) {
+    const Edge& e = g.edge(id);
+    b.add_edge(sub.to_sub(e.u), sub.to_sub(e.v));
+  }
+  sub.graph = b.build();
+  return sub;
+}
+
+}  // namespace defender::graph

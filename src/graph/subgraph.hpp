@@ -1,0 +1,34 @@
+// Edge-induced subgraphs: the paper's "graph obtained by T" (G_T).
+//
+// Given a tuple set T ⊆ E^k, the paper works with the graph G_T whose
+// vertices are V(T) and whose edges are E(T). EdgeSubgraph materializes G_T
+// as a standalone Graph with a vertex relabelling, for algorithms that need
+// to run on the subgraph itself (e.g. checking that D(VP) is a vertex cover
+// of G_{D(tp)} via the subgraph's own edge list).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/properties.hpp"
+
+namespace defender::graph {
+
+/// A materialized edge-induced subgraph with the mapping back to the parent.
+struct EdgeSubgraph {
+  /// The subgraph over the relabelled vertex set [0, |V(T)|).
+  Graph graph;
+  /// to_parent[i] = the parent-graph vertex of subgraph vertex i (sorted).
+  std::vector<Vertex> to_parent;
+
+  /// Maps a parent vertex to its subgraph index; requires membership.
+  Vertex to_sub(Vertex parent_vertex) const;
+  /// True when the parent vertex appears in the subgraph.
+  bool contains_parent(Vertex parent_vertex) const;
+};
+
+/// Builds G_T for the edge set `edges` of `g`. Requires `edges` nonempty.
+EdgeSubgraph edge_subgraph(const Graph& g, std::span<const EdgeId> edges);
+
+}  // namespace defender::graph

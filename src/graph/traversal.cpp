@@ -1,0 +1,98 @@
+#include "graph/traversal.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace defender::graph {
+
+std::vector<std::size_t> bfs_distances(const Graph& g, Vertex source) {
+  DEF_REQUIRE(source < g.num_vertices(), "source vertex out of range");
+  std::vector<std::size_t> dist(g.num_vertices(), kUnreachable);
+  std::queue<Vertex> q;
+  dist[source] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const Vertex v = q.front();
+    q.pop();
+    for (const Incidence& inc : g.neighbors(v)) {
+      if (dist[inc.to] == kUnreachable) {
+        dist[inc.to] = dist[v] + 1;
+        q.push(inc.to);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::size_t> connected_components(const Graph& g) {
+  std::vector<std::size_t> component(g.num_vertices(), kUnreachable);
+  std::size_t next_id = 0;
+  std::vector<Vertex> stack;
+  for (Vertex root = 0; root < g.num_vertices(); ++root) {
+    if (component[root] != kUnreachable) continue;
+    component[root] = next_id;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const Vertex v = stack.back();
+      stack.pop_back();
+      for (const Incidence& inc : g.neighbors(v)) {
+        if (component[inc.to] == kUnreachable) {
+          component[inc.to] = next_id;
+          stack.push_back(inc.to);
+        }
+      }
+    }
+    ++next_id;
+  }
+  return component;
+}
+
+std::size_t num_components(const Graph& g) {
+  const auto component = connected_components(g);
+  return component.empty()
+             ? 0
+             : 1 + *std::max_element(component.begin(), component.end());
+}
+
+std::size_t eccentricity(const Graph& g, Vertex source) {
+  const auto dist = bfs_distances(g, source);
+  std::size_t ecc = 0;
+  for (std::size_t d : dist) {
+    DEF_REQUIRE(d != kUnreachable,
+                "eccentricity requires every vertex reachable");
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::size_t diameter(const Graph& g) {
+  std::size_t diam = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    diam = std::max(diam, eccentricity(g, v));
+  return diam;
+}
+
+bool is_simple_path(const Graph& g, std::span<const Vertex> vertices) {
+  std::vector<char> seen(g.num_vertices(), 0);
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    const Vertex v = vertices[i];
+    if (v >= g.num_vertices() || seen[v]) return false;
+    seen[v] = 1;
+    if (i > 0 && !g.has_edge(vertices[i - 1], v)) return false;
+  }
+  return true;
+}
+
+std::vector<EdgeId> path_edges(const Graph& g,
+                               std::span<const Vertex> vertices) {
+  DEF_REQUIRE(is_simple_path(g, vertices),
+              "path_edges requires a simple path");
+  std::vector<EdgeId> edges;
+  for (std::size_t i = 1; i < vertices.size(); ++i)
+    edges.push_back(*g.edge_id(vertices[i - 1], vertices[i]));
+  return edges;
+}
+
+}  // namespace defender::graph

@@ -1,0 +1,45 @@
+// Graph traversal utilities: BFS distances, components, simple paths.
+//
+// Substrate for the Path-model extension (core/path_model): deciding
+// whether a vertex sequence is a simple path, measuring eccentricities, and
+// splitting boards into connected components.
+#pragma once
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace defender::graph {
+
+/// Distance sentinel for unreachable vertices.
+inline constexpr std::size_t kUnreachable =
+    std::numeric_limits<std::size_t>::max();
+
+/// BFS distances from `source` (kUnreachable where disconnected).
+std::vector<std::size_t> bfs_distances(const Graph& g, Vertex source);
+
+/// Component id per vertex (ids dense from 0, in order of discovery).
+std::vector<std::size_t> connected_components(const Graph& g);
+
+/// Number of connected components.
+std::size_t num_components(const Graph& g);
+
+/// Largest finite BFS distance from `source` (the vertex eccentricity);
+/// requires every vertex reachable from `source`.
+std::size_t eccentricity(const Graph& g, Vertex source);
+
+/// Diameter of a connected graph (max eccentricity). Requires connectivity.
+std::size_t diameter(const Graph& g);
+
+/// True when `vertices` is a simple path of `g`: all distinct, consecutive
+/// pairs adjacent. Single vertices and empty sequences count as paths.
+bool is_simple_path(const Graph& g, std::span<const Vertex> vertices);
+
+/// Edge ids along a simple path (one per consecutive pair); requires
+/// is_simple_path.
+std::vector<EdgeId> path_edges(const Graph& g,
+                               std::span<const Vertex> vertices);
+
+}  // namespace defender::graph

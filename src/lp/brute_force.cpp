@@ -1,0 +1,87 @@
+#include "lp/brute_force.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/combinatorics.hpp"
+
+namespace defender::lp::brute_force {
+
+namespace {
+
+constexpr double kEps = 1e-8;
+
+/// Solves the square system rows * x = rhs by Gaussian elimination with
+/// partial pivoting; returns false when singular.
+bool solve_square(std::vector<std::vector<double>> rows,
+                  std::vector<double> rhs, std::vector<double>& x) {
+  const std::size_t n = rhs.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::abs(rows[r][col]) > std::abs(rows[pivot][col])) pivot = r;
+    if (std::abs(rows[pivot][col]) < 1e-12) return false;
+    std::swap(rows[col], rows[pivot]);
+    std::swap(rhs[col], rhs[pivot]);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = rows[r][col] / rows[col][col];
+      if (f == 0) continue;
+      for (std::size_t cc = col; cc < n; ++cc)
+        rows[r][cc] -= f * rows[col][cc];
+      rhs[r] -= f * rhs[col];
+    }
+  }
+  x.resize(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = rhs[i] / rows[i][i];
+  return true;
+}
+
+}  // namespace
+
+std::optional<double> max_objective(const Matrix& a,
+                                    std::span<const double> b,
+                                    std::span<const double> c) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  DEF_REQUIRE(b.size() == m && c.size() == n, "dimension mismatch");
+  DEF_REQUIRE(n <= 5 && m + n <= 14, "brute-force LP limited to tiny sizes");
+
+  // Constraint catalogue: rows 0..m-1 are A_i x <= b_i, rows m..m+n-1 are
+  // -x_j <= 0.
+  std::optional<double> best;
+  util::for_each_combination(
+      m + n, n, [&](const std::vector<std::size_t>& active) {
+        std::vector<std::vector<double>> rows;
+        std::vector<double> rhs;
+        for (std::size_t idx : active) {
+          std::vector<double> row(n, 0.0);
+          if (idx < m) {
+            for (std::size_t j = 0; j < n; ++j) row[j] = a.at(idx, j);
+            rhs.push_back(b[idx]);
+          } else {
+            row[idx - m] = -1.0;
+            rhs.push_back(0.0);
+          }
+          rows.push_back(std::move(row));
+        }
+        std::vector<double> x;
+        if (!solve_square(std::move(rows), std::move(rhs), x)) return true;
+        // Feasibility of the candidate vertex.
+        for (std::size_t j = 0; j < n; ++j)
+          if (x[j] < -kEps) return true;
+        for (std::size_t i = 0; i < m; ++i) {
+          double lhs = 0;
+          for (std::size_t j = 0; j < n; ++j) lhs += a.at(i, j) * x[j];
+          if (lhs > b[i] + kEps * (1.0 + std::abs(b[i]))) return true;
+        }
+        double obj = 0;
+        for (std::size_t j = 0; j < n; ++j) obj += c[j] * x[j];
+        if (!best || obj > *best) best = obj;
+        return true;
+      });
+  return best;
+}
+
+}  // namespace defender::lp::brute_force

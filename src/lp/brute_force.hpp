@@ -1,0 +1,27 @@
+// Exponential-time exact LP oracle, used only as test-time ground truth.
+//
+// A bounded feasible LP attains its maximum at a vertex of the polytope
+// {Ax <= b, x >= 0}; every vertex is the intersection of n linearly
+// independent tight constraints drawn from the m rows of A and the n
+// nonnegativity bounds. The oracle enumerates all C(m+n, n) choices,
+// solves each n x n system by Gaussian elimination, filters feasible
+// points, and maximizes the objective — an implementation-independent
+// check of the two-phase simplex.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "lp/dense_matrix.hpp"
+
+namespace defender::lp::brute_force {
+
+/// The optimal objective of `maximize c^T x s.t. Ax <= b, x >= 0`, or
+/// nullopt when the program is infeasible. The feasible region MUST be
+/// bounded (callers add box constraints); unboundedness is not detected.
+/// Requires a.cols() <= 5 and a.rows() + a.cols() <= 14.
+std::optional<double> max_objective(const Matrix& a,
+                                    std::span<const double> b,
+                                    std::span<const double> c);
+
+}  // namespace defender::lp::brute_force

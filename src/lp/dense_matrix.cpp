@@ -1,0 +1,49 @@
+#include "lp/dense_matrix.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace defender::lp {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {
+  DEF_REQUIRE(rows >= 1 && cols >= 1, "a matrix needs positive dimensions");
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
+    : rows_(rows.size()), cols_(rows.begin() == rows.end() ? 0 : rows.begin()->size()) {
+  DEF_REQUIRE(rows_ >= 1 && cols_ >= 1, "a matrix needs positive dimensions");
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    DEF_REQUIRE(row.size() == cols_, "ragged initializer for Matrix");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  DEF_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  DEF_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  return t;
+}
+
+double Matrix::min_entry() const {
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+double Matrix::max_entry() const {
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+}  // namespace defender::lp

@@ -1,0 +1,38 @@
+// Dense row-major matrix of doubles for the LP substrate.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace defender::lp {
+
+/// Minimal dense matrix: row-major storage, bounds-checked access.
+class Matrix {
+ public:
+  /// A rows x cols matrix of zeros.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// Builds from nested initializer lists; all rows must share one width.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  /// Transposed copy.
+  Matrix transposed() const;
+
+  /// Minimum and maximum entry; requires a nonempty matrix.
+  double min_entry() const;
+  double max_entry() const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace defender::lp

@@ -1,0 +1,84 @@
+#include "lp/matrix_game.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "lp/simplex.hpp"
+#include "util/assert.hpp"
+
+namespace defender::lp {
+
+MatrixGameSolution solve_matrix_game(const Matrix& payoff) {
+  const std::size_t rows = payoff.rows();
+  const std::size_t cols = payoff.cols();
+
+  // Shift so that every entry is >= 1 (keeps the game value positive and
+  // the LP bounded with a clean reciprocal relation).
+  const double shift = 1.0 - payoff.min_entry();
+  Matrix a(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j)
+      a.at(i, j) = payoff.at(i, j) + shift;
+
+  // Column player's LP: max 1^T w s.t. A w <= 1, w >= 0.
+  std::vector<double> b(rows, 1.0);
+  std::vector<double> c(cols, 1.0);
+  LpSolution lp = solve_max(a, b, c);
+  DEF_ENSURE(lp.status == LpStatus::kOptimal,
+             "a shifted matrix game LP is always feasible and bounded");
+  DEF_ENSURE(lp.objective > 0, "shifted game value must be positive");
+
+  const double shifted_value = 1.0 / lp.objective;
+  MatrixGameSolution s;
+  s.value = shifted_value - shift;
+  s.col_strategy.resize(cols);
+  for (std::size_t j = 0; j < cols; ++j)
+    s.col_strategy[j] = lp.x[j] * shifted_value;
+  s.row_strategy.resize(rows);
+  for (std::size_t i = 0; i < rows; ++i)
+    s.row_strategy[i] = lp.duals[i] * shifted_value;
+
+  // Guard against tiny negative drift and renormalize exactly.
+  auto cleanup = [](std::vector<double>& v) {
+    double sum = 0;
+    for (double& p : v) {
+      if (p < 0) p = 0;
+      sum += p;
+    }
+    DEF_ENSURE(sum > 0, "optimal mixed strategy must have positive mass");
+    for (double& p : v) p /= sum;
+  };
+  cleanup(s.row_strategy);
+  cleanup(s.col_strategy);
+  return s;
+}
+
+double row_security_level(const Matrix& payoff,
+                          const std::vector<double>& row_strategy) {
+  DEF_REQUIRE(row_strategy.size() == payoff.rows(),
+              "strategy length must match the row count");
+  double worst = std::numeric_limits<double>::infinity();
+  for (std::size_t j = 0; j < payoff.cols(); ++j) {
+    double v = 0;
+    for (std::size_t i = 0; i < payoff.rows(); ++i)
+      v += row_strategy[i] * payoff.at(i, j);
+    worst = std::min(worst, v);
+  }
+  return worst;
+}
+
+double col_security_level(const Matrix& payoff,
+                          const std::vector<double>& col_strategy) {
+  DEF_REQUIRE(col_strategy.size() == payoff.cols(),
+              "strategy length must match the column count");
+  double worst = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < payoff.rows(); ++i) {
+    double v = 0;
+    for (std::size_t j = 0; j < payoff.cols(); ++j)
+      v += col_strategy[j] * payoff.at(i, j);
+    worst = std::max(worst, v);
+  }
+  return worst;
+}
+
+}  // namespace defender::lp

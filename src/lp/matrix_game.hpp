@@ -1,0 +1,45 @@
+// Exact solver for two-player zero-sum matrix games.
+//
+// The Tuple model restricted to one attacker is strategically zero-sum: the
+// defender (rows = tuples) wins payoff[i][j] = 1 when tuple i covers vertex
+// j. Its unique game value is the equilibrium hit probability, so the
+// combinatorial constructions of Section 4 can be validated against this
+// solver on instances where E^k is enumerable (experiment E8).
+//
+// Method: shift the payoff matrix positive and solve the classic LP pair
+//   max 1^T w  s.t.  A w <= 1, w >= 0        (column player's program)
+// whose value V satisfies game value = 1/V - shift; the row player's
+// optimal mixed strategy falls out of the dual prices.
+#pragma once
+
+#include <vector>
+
+#include "lp/dense_matrix.hpp"
+
+namespace defender::lp {
+
+/// Solution of a zero-sum matrix game where the row player maximizes the
+/// expected entry of `payoff` and the column player minimizes it.
+struct MatrixGameSolution {
+  /// The (unique) value of the game.
+  double value = 0;
+  /// Optimal mixed strategy of the row player (maximizer), sums to 1.
+  std::vector<double> row_strategy;
+  /// Optimal mixed strategy of the column player (minimizer), sums to 1.
+  std::vector<double> col_strategy;
+};
+
+/// Solves the game exactly with the simplex substrate.
+MatrixGameSolution solve_matrix_game(const Matrix& payoff);
+
+/// Best-response value check: the payoff the row player earns by playing
+/// `row_strategy` against the column player's best pure counter-strategy.
+double row_security_level(const Matrix& payoff,
+                          const std::vector<double>& row_strategy);
+
+/// The payoff conceded by `col_strategy` against the row player's best pure
+/// counter-strategy.
+double col_security_level(const Matrix& payoff,
+                          const std::vector<double>& col_strategy);
+
+}  // namespace defender::lp

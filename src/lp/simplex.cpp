@@ -1,0 +1,244 @@
+#include "lp/simplex.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace defender::lp {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Dense tableau: `rows_` constraint rows plus one objective row, columns =
+/// structural + slack + artificial + rhs. Implements textbook pivoting with
+/// Bland's rule.
+class Tableau {
+ public:
+  Tableau(const Matrix& a, std::span<const double> b,
+          std::span<const double> c)
+      : m_(a.rows()), n_(a.cols()) {
+    // Column layout: [0, n) structural, [n, n+m) slack,
+    // [n+m, n+m+num_art) artificial, last column rhs.
+    num_art_ = 0;
+    for (std::size_t i = 0; i < m_; ++i)
+      if (b[i] < 0) ++num_art_;
+    cols_ = n_ + m_ + num_art_ + 1;
+    rhs_col_ = cols_ - 1;
+    t_.assign(m_ + 1, std::vector<double>(cols_, 0.0));
+    basis_.assign(m_, 0);
+    art_start_ = n_ + m_;
+
+    std::size_t next_art = art_start_;
+    for (std::size_t i = 0; i < m_; ++i) {
+      const double sign = b[i] < 0 ? -1.0 : 1.0;
+      for (std::size_t j = 0; j < n_; ++j) t_[i][j] = sign * a.at(i, j);
+      t_[i][n_ + i] = sign;  // slack keeps its identity; the row flips
+      t_[i][rhs_col_] = sign * b[i];
+      if (b[i] < 0) {
+        t_[i][next_art] = 1.0;
+        basis_[i] = next_art++;
+      } else {
+        basis_[i] = n_ + i;
+      }
+    }
+    c_.assign(c.begin(), c.end());
+  }
+
+  /// Phase 1: drive the artificial variables to zero. Returns false when
+  /// the program is infeasible.
+  bool phase1() {
+    if (num_art_ == 0) return true;
+    // Objective: maximize -sum(artificials). Price out the artificial basis.
+    auto& obj = t_[m_];
+    std::fill(obj.begin(), obj.end(), 0.0);
+    for (std::size_t j = art_start_; j < art_start_ + num_art_; ++j)
+      obj[j] = 1.0;  // row stores z - c; c = -1 on artificials
+    for (std::size_t i = 0; i < m_; ++i)
+      if (basis_[i] >= art_start_) add_row_to_obj(i, -1.0);
+    if (!iterate(/*allow_artificial=*/true)) return false;  // unbounded: impossible in phase 1
+    if (t_[m_][rhs_col_] < -kEps) return false;  // artificials stuck positive
+    pivot_out_artificials();
+    return true;
+  }
+
+  /// Phase 2 on the real objective. Returns false when unbounded.
+  bool phase2() {
+    auto& obj = t_[m_];
+    std::fill(obj.begin(), obj.end(), 0.0);
+    for (std::size_t j = 0; j < n_; ++j) obj[j] = -c_[j];
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (dropped(i)) continue;
+      const std::size_t bj = basis_[i];
+      if (bj < n_ && c_[bj] != 0.0) add_row_to_obj(i, c_[bj]);
+    }
+    return iterate(/*allow_artificial=*/false);
+  }
+
+  LpSolution extract() const {
+    LpSolution s;
+    s.status = LpStatus::kOptimal;
+    s.objective = t_[m_][rhs_col_];
+    s.x.assign(n_, 0.0);
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (dropped(i)) continue;
+      if (basis_[i] < n_) s.x[basis_[i]] = t_[i][rhs_col_];
+    }
+    // Dual price of constraint i = reduced cost of its slack column.
+    s.duals.assign(m_, 0.0);
+    for (std::size_t i = 0; i < m_; ++i) s.duals[i] = t_[m_][n_ + i];
+    return s;
+  }
+
+ private:
+  bool dropped(std::size_t row) const {
+    return basis_[row] == std::numeric_limits<std::size_t>::max();
+  }
+
+  /// obj += factor * row  (prices a basic variable out of the z-row).
+  void add_row_to_obj(std::size_t row, double factor) {
+    for (std::size_t j = 0; j < cols_; ++j) t_[m_][j] += factor * t_[row][j];
+  }
+
+  void pivot(std::size_t row, std::size_t col) {
+    const double p = t_[row][col];
+    for (std::size_t j = 0; j < cols_; ++j) t_[row][j] /= p;
+    for (std::size_t i = 0; i <= m_; ++i) {
+      if (i == row) continue;
+      const double f = t_[i][col];
+      if (std::abs(f) < kEps) continue;
+      for (std::size_t j = 0; j < cols_; ++j) t_[i][j] -= f * t_[row][j];
+    }
+    basis_[row] = col;
+  }
+
+  /// Main loop: Dantzig pricing (most negative reduced cost) for speed,
+  /// falling back to Bland's rule after a run of degenerate pivots so the
+  /// anti-cycling guarantee is preserved. Returns false on unboundedness.
+  bool iterate(bool allow_artificial) {
+    const std::size_t limit =
+        allow_artificial ? art_start_ + num_art_ : art_start_;
+    // Consecutive pivots without objective progress before switching to
+    // Bland's rule; reset on any strict improvement.
+    constexpr std::size_t kDegenerateLimit = 40;
+    std::size_t degenerate_run = 0;
+    double last_objective = t_[m_][rhs_col_];
+    while (true) {
+      const bool use_bland = degenerate_run >= kDegenerateLimit;
+      std::size_t enter = cols_;
+      if (use_bland) {
+        for (std::size_t j = 0; j < limit; ++j) {
+          if (t_[m_][j] < -kEps) {
+            enter = j;
+            break;
+          }
+        }
+      } else {
+        double most_negative = -kEps;
+        for (std::size_t j = 0; j < limit; ++j) {
+          if (t_[m_][j] < most_negative) {
+            most_negative = t_[m_][j];
+            enter = j;
+          }
+        }
+      }
+      if (enter == cols_) return true;  // optimal
+      // Leaving row: minimum ratio. Tie-break depends on the mode: Bland
+      // needs the smallest basis index for its anti-cycling guarantee;
+      // Dantzig mode picks the largest pivot element among near-minimal
+      // ratios, which keeps the tableau numerically stable (tiny pivots
+      // amplify round-off catastrophically on degenerate game matrices).
+      std::size_t leave = m_;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < m_; ++i) {
+        if (dropped(i) || t_[i][enter] <= kEps) continue;
+        const double ratio = t_[i][rhs_col_] / t_[i][enter];
+        if (ratio < best_ratio - kEps) {
+          best_ratio = ratio;
+          leave = i;
+        } else if (ratio < best_ratio + kEps && leave != m_) {
+          const bool prefer =
+              use_bland ? basis_[i] < basis_[leave]
+                        : t_[i][enter] > t_[leave][enter];
+          if (prefer) {
+            best_ratio = std::min(best_ratio, ratio);
+            leave = i;
+          }
+        }
+      }
+      if (leave == m_) return false;  // unbounded direction
+      pivot(leave, enter);
+      const double objective = t_[m_][rhs_col_];
+      if (objective > last_objective + kEps) {
+        degenerate_run = 0;
+        last_objective = objective;
+      } else {
+        ++degenerate_run;
+      }
+    }
+  }
+
+  /// After phase 1, remove artificial variables that linger in the basis at
+  /// level zero: pivot them out where possible, mark redundant rows dropped.
+  void pivot_out_artificials() {
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (dropped(i) || basis_[i] < art_start_) continue;
+      std::size_t col = cols_;
+      for (std::size_t j = 0; j < art_start_; ++j) {
+        if (std::abs(t_[i][j]) > kEps) {
+          col = j;
+          break;
+        }
+      }
+      if (col == cols_) {
+        basis_[i] = std::numeric_limits<std::size_t>::max();  // redundant row
+      } else {
+        pivot(i, col);
+      }
+    }
+  }
+
+  std::size_t m_;         // constraint rows
+  std::size_t n_;         // structural variables
+  std::size_t num_art_;   // artificial variables
+  std::size_t cols_;      // total tableau columns (incl. rhs)
+  std::size_t rhs_col_;
+  std::size_t art_start_;
+  std::vector<std::vector<double>> t_;  // m_+1 rows; last is the z-row
+  std::vector<std::size_t> basis_;
+  std::vector<double> c_;
+};
+
+}  // namespace
+
+const char* to_string(LpStatus status) {
+  switch (status) {
+    case LpStatus::kOptimal:
+      return "optimal";
+    case LpStatus::kInfeasible:
+      return "infeasible";
+    case LpStatus::kUnbounded:
+      return "unbounded";
+  }
+  return "unknown";
+}
+
+LpSolution solve_max(const Matrix& a, std::span<const double> b,
+                     std::span<const double> c) {
+  DEF_REQUIRE(a.rows() == b.size(), "rhs size must match the row count");
+  DEF_REQUIRE(a.cols() == c.size(), "objective size must match the column count");
+  Tableau tab(a, b, c);
+  LpSolution s;
+  if (!tab.phase1()) {
+    s.status = LpStatus::kInfeasible;
+    return s;
+  }
+  if (!tab.phase2()) {
+    s.status = LpStatus::kUnbounded;
+    return s;
+  }
+  return tab.extract();
+}
+
+}  // namespace defender::lp

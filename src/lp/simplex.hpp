@@ -1,0 +1,43 @@
+// Two-phase primal simplex for dense linear programs.
+//
+// Solves   maximize c^T x   subject to   A x <= b,  x >= 0
+// (b of arbitrary sign; rows with negative b go through phase 1 with
+// artificial variables). Bland's rule guards against cycling. Returns both
+// the primal solution and the dual prices, which the matrix-game solver
+// uses to recover the opposing player's optimal mixed strategy.
+//
+// This is the library's exact baseline: equilibrium hit probabilities
+// produced by the combinatorial constructions (Lemma 4.1) are cross-checked
+// against LP-computed game values in experiment E8.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "lp/dense_matrix.hpp"
+
+namespace defender::lp {
+
+/// Outcome of an LP solve.
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded };
+
+/// Human-readable name of an LpStatus.
+const char* to_string(LpStatus status);
+
+/// Solution of `maximize c^T x s.t. Ax <= b, x >= 0`.
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  /// Optimal objective value (defined only for kOptimal).
+  double objective = 0;
+  /// Optimal primal point, one entry per column of A.
+  std::vector<double> x;
+  /// Dual prices, one per constraint row (y >= 0 for <= rows).
+  std::vector<double> duals;
+};
+
+/// Solves maximize c^T x s.t. Ax <= b, x >= 0.
+/// Requires A.rows() == b.size() and A.cols() == c.size().
+LpSolution solve_max(const Matrix& a, std::span<const double> b,
+                     std::span<const double> c);
+
+}  // namespace defender::lp

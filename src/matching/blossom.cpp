@@ -1,0 +1,144 @@
+#include "matching/blossom.hpp"
+
+#include <queue>
+#include <vector>
+
+namespace defender::matching {
+
+namespace {
+
+/// One augmenting search of Edmonds' algorithm, shrinking blossoms on the
+/// fly. The state arrays follow the classic presentation: `mate` is the
+/// current matching, `parent` stores the alternating-forest parent of each
+/// even vertex, and `base[v]` is the base vertex of the (possibly shrunk)
+/// blossom containing v.
+class BlossomSearch {
+ public:
+  explicit BlossomSearch(const Graph& g)
+      : g_(g), n_(g.num_vertices()), mate_(n_, kUnmatched) {}
+
+  Matching run() {
+    // Greedy warm start halves the number of augmenting phases in practice.
+    for (Vertex v = 0; v < n_; ++v) {
+      if (mate_[v] != kUnmatched) continue;
+      for (const graph::Incidence& inc : g_.neighbors(v)) {
+        if (mate_[inc.to] == kUnmatched) {
+          mate_[v] = inc.to;
+          mate_[inc.to] = v;
+          break;
+        }
+      }
+    }
+    for (Vertex v = 0; v < n_; ++v) {
+      if (mate_[v] != kUnmatched) continue;
+      const Vertex w = find_augmenting_path(v);
+      if (w != kUnmatched) augment_along(w);
+    }
+    return from_mates(g_, mate_);
+  }
+
+ private:
+  /// Flips matched/unmatched edges along the alternating path ending at the
+  /// free even vertex `v` (walking parent pointers back to the root).
+  void augment_along(Vertex v) {
+    while (v != kUnmatched) {
+      const Vertex pv = parent_[v];
+      const Vertex ppv = mate_[pv];
+      mate_[v] = pv;
+      mate_[pv] = v;
+      v = ppv;
+    }
+  }
+
+  /// Lowest common ancestor of a and b in the alternating forest, measured
+  /// over blossom bases.
+  Vertex lca(Vertex a, Vertex b) {
+    std::vector<char> seen(n_, 0);
+    // Walk a's root path, marking bases.
+    Vertex v = a;
+    while (true) {
+      v = base_[v];
+      seen[v] = 1;
+      if (mate_[v] == kUnmatched) break;  // reached the root
+      v = parent_[mate_[v]];
+    }
+    // Walk b's root path until a marked base appears.
+    v = b;
+    while (true) {
+      v = base_[v];
+      if (seen[v]) return v;
+      v = parent_[mate_[v]];
+    }
+  }
+
+  /// Marks the blossom path from v down to base `b`, re-rooting parents so
+  /// every odd vertex in the blossom becomes even (enterable).
+  void mark_path(Vertex v, Vertex b, Vertex child) {
+    while (base_[v] != b) {
+      blossom_[base_[v]] = 1;
+      blossom_[base_[mate_[v]]] = 1;
+      parent_[v] = child;
+      child = mate_[v];
+      v = parent_[mate_[v]];
+    }
+  }
+
+  /// BFS from free vertex `root`; returns the free vertex at the far end of
+  /// an augmenting path, or kUnmatched when none exists.
+  Vertex find_augmenting_path(Vertex root) {
+    used_.assign(n_, 0);
+    parent_.assign(n_, kUnmatched);
+    base_.resize(n_);
+    for (Vertex v = 0; v < n_; ++v) base_[v] = v;
+
+    used_[root] = 1;
+    std::queue<Vertex> q;
+    q.push(root);
+    while (!q.empty()) {
+      const Vertex v = q.front();
+      q.pop();
+      for (const graph::Incidence& inc : g_.neighbors(v)) {
+        const Vertex to = inc.to;
+        // Skip intra-blossom edges and matched tree edges.
+        if (base_[v] == base_[to] || mate_[v] == to) continue;
+        if (to == root || (mate_[to] != kUnmatched &&
+                           parent_[mate_[to]] != kUnmatched)) {
+          // Odd cycle detected: shrink the blossom around lca(v, to).
+          const Vertex cur_base = lca(v, to);
+          blossom_.assign(n_, 0);
+          mark_path(v, cur_base, to);
+          mark_path(to, cur_base, v);
+          for (Vertex u = 0; u < n_; ++u) {
+            if (blossom_[base_[u]]) {
+              base_[u] = cur_base;
+              if (!used_[u]) {
+                used_[u] = 1;
+                q.push(u);
+              }
+            }
+          }
+        } else if (parent_[to] == kUnmatched) {
+          parent_[to] = v;
+          if (mate_[to] == kUnmatched) return to;  // augmenting path found
+          used_[mate_[to]] = 1;
+          q.push(mate_[to]);
+        }
+      }
+    }
+    return kUnmatched;
+  }
+
+  const Graph& g_;
+  std::size_t n_;
+  std::vector<Vertex> mate_;
+  std::vector<Vertex> parent_;
+  std::vector<Vertex> base_;
+  std::vector<char> used_;
+  std::vector<char> blossom_;
+};
+
+}  // namespace
+
+Matching max_matching(const Graph& g) { return BlossomSearch(g).run(); }
+
+}  // namespace defender::matching

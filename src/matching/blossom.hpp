@@ -1,0 +1,20 @@
+// Edmonds' blossom algorithm: maximum matching in general graphs, O(V^3).
+//
+// Theorem 3.1 reduces pure-NE existence to "does G have an edge cover of
+// size k", and Gallai's identity derives minimum edge covers from maximum
+// matchings — on *arbitrary* graphs, so bipartite matching alone is not
+// enough. This is a hand-rolled implementation of the classic
+// blossom-shrinking search (one augmenting phase per free vertex, with
+// blossom bases tracked through a `base` array and paths re-expanded via
+// parent pointers).
+#pragma once
+
+#include "graph/graph.hpp"
+#include "matching/matching.hpp"
+
+namespace defender::matching {
+
+/// Maximum-cardinality matching of an arbitrary graph.
+Matching max_matching(const Graph& g);
+
+}  // namespace defender::matching

@@ -1,0 +1,102 @@
+#include "matching/brute_force.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace defender::matching::brute_force {
+
+namespace {
+
+/// Recursive maximum matching: branch on edges in id order, skipping edges
+/// with a used endpoint.
+std::size_t mm_rec(const Graph& g, EdgeId next, std::vector<char>& used) {
+  for (EdgeId id = next; id < g.num_edges(); ++id) {
+    const graph::Edge& e = g.edge(id);
+    if (used[e.u] || used[e.v]) continue;
+    // Branch: take `id` or skip it.
+    used[e.u] = used[e.v] = 1;
+    const std::size_t take = 1 + mm_rec(g, id + 1, used);
+    used[e.u] = used[e.v] = 0;
+    const std::size_t skip = mm_rec(g, id + 1, used);
+    return std::max(take, skip);
+  }
+  return 0;
+}
+
+/// Vertex-cover branching: pick any uncovered edge, one endpoint must join.
+std::size_t vc_rec(const Graph& g, std::uint32_t in_cover,
+                   std::size_t chosen, std::size_t best) {
+  if (chosen >= best) return best;
+  for (const graph::Edge& e : g.edges()) {
+    if ((in_cover >> e.u) & 1U) continue;
+    if ((in_cover >> e.v) & 1U) continue;
+    best = vc_rec(g, in_cover | (1U << e.u), chosen + 1, best);
+    best = vc_rec(g, in_cover | (1U << e.v), chosen + 1, best);
+    return best;
+  }
+  return std::min(best, chosen);
+}
+
+}  // namespace
+
+std::size_t max_matching_size(const Graph& g) {
+  std::vector<char> used(g.num_vertices(), 0);
+  return mm_rec(g, 0, used);
+}
+
+std::size_t min_vertex_cover_size(const Graph& g) {
+  DEF_REQUIRE(g.num_vertices() <= 32, "brute force limited to n <= 32");
+  return vc_rec(g, 0, 0, g.num_vertices());
+}
+
+std::size_t max_independent_set_size(const Graph& g) {
+  // Complement duality: |max IS| = n - |min VC|.
+  return g.num_vertices() - min_vertex_cover_size(g);
+}
+
+std::size_t min_edge_cover_size(const Graph& g) {
+  DEF_REQUIRE(g.num_edges() <= 24, "brute force limited to m <= 24");
+  DEF_REQUIRE(!g.has_isolated_vertex(),
+              "an edge cover exists only when no vertex is isolated");
+  const std::size_t m = g.num_edges();
+  std::size_t best = m;
+  for (std::uint32_t mask = 1; mask < (1U << m); ++mask) {
+    const auto size = static_cast<std::size_t>(__builtin_popcount(mask));
+    if (size >= best) continue;
+    std::uint64_t covered = 0;
+    for (std::size_t id = 0; id < m; ++id) {
+      if (!((mask >> id) & 1U)) continue;
+      const graph::Edge& e = g.edge(static_cast<EdgeId>(id));
+      covered |= (std::uint64_t{1} << e.u) | (std::uint64_t{1} << e.v);
+    }
+    if (covered == (g.num_vertices() == 64
+                        ? ~std::uint64_t{0}
+                        : (std::uint64_t{1} << g.num_vertices()) - 1))
+      best = size;
+  }
+  return best;
+}
+
+std::vector<graph::VertexSet> all_max_independent_sets(const Graph& g) {
+  DEF_REQUIRE(g.num_vertices() <= 20, "brute force limited to n <= 20");
+  const std::size_t n = g.num_vertices();
+  std::vector<graph::VertexSet> best;
+  std::size_t best_size = 0;
+  for (std::uint32_t mask = 1; mask < (1U << n); ++mask) {
+    const auto size = static_cast<std::size_t>(__builtin_popcount(mask));
+    if (size < best_size) continue;
+    graph::VertexSet set;
+    for (std::size_t v = 0; v < n; ++v)
+      if ((mask >> v) & 1U) set.push_back(static_cast<Vertex>(v));
+    if (!graph::is_independent_set(g, set)) continue;
+    if (size > best_size) {
+      best_size = size;
+      best.clear();
+    }
+    best.push_back(std::move(set));
+  }
+  return best;
+}
+
+}  // namespace defender::matching::brute_force

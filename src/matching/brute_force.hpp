@@ -1,0 +1,33 @@
+// Exponential-time exact oracles, used only as test-time ground truth.
+//
+// Every polynomial algorithm in this library (Hopcroft–Karp, blossom,
+// König, Gallai, and the equilibrium constructions on top of them) is
+// property-tested against these oracles on small random graphs.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "graph/properties.hpp"
+#include "matching/matching.hpp"
+
+namespace defender::matching::brute_force {
+
+/// Size of a maximum matching, by branching on the first uncovered edge.
+/// Feasible for graphs with up to roughly 30 edges of branching depth.
+std::size_t max_matching_size(const Graph& g);
+
+/// Size of a minimum vertex cover, by branching edge-by-edge.
+/// Requires g.num_vertices() <= 32.
+std::size_t min_vertex_cover_size(const Graph& g);
+
+/// Size of a maximum independent set. Requires g.num_vertices() <= 32.
+std::size_t max_independent_set_size(const Graph& g);
+
+/// Size of a minimum edge cover by subset enumeration over edges.
+/// Requires g.num_edges() <= 24 and no isolated vertices.
+std::size_t min_edge_cover_size(const Graph& g);
+
+/// All maximum independent sets (as sorted vertex sets).
+/// Requires g.num_vertices() <= 20.
+std::vector<graph::VertexSet> all_max_independent_sets(const Graph& g);
+
+}  // namespace defender::matching::brute_force

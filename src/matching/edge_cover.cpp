@@ -1,0 +1,34 @@
+#include "matching/edge_cover.hpp"
+
+#include <algorithm>
+
+#include "matching/blossom.hpp"
+#include "util/assert.hpp"
+
+namespace defender::matching {
+
+graph::EdgeSet edge_cover_from_matching(const Graph& g, const Matching& m) {
+  DEF_REQUIRE(!g.has_isolated_vertex(),
+              "an edge cover exists only when no vertex is isolated");
+  graph::EdgeSet cover(m.edges().begin(), m.edges().end());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (m.is_matched(v)) continue;
+    // Attach the unmatched vertex through its first incident edge.
+    cover.push_back(g.neighbors(v).front().edge);
+  }
+  std::sort(cover.begin(), cover.end());
+  cover.erase(std::unique(cover.begin(), cover.end()), cover.end());
+  return cover;
+}
+
+graph::EdgeSet min_edge_cover(const Graph& g) {
+  return edge_cover_from_matching(g, max_matching(g));
+}
+
+std::size_t min_edge_cover_size(const Graph& g) {
+  DEF_REQUIRE(!g.has_isolated_vertex(),
+              "an edge cover exists only when no vertex is isolated");
+  return g.num_vertices() - max_matching(g).size();
+}
+
+}  // namespace defender::matching

@@ -1,0 +1,30 @@
+// Minimum edge cover via Gallai's identity.
+//
+// Theorem 3.1: Π_k(G) has a pure NE iff G has an edge cover of size k, and
+// Corollary 3.2 computes one in polynomial time. Gallai's identity gives
+// |minimum edge cover| = n − |maximum matching| for graphs without isolated
+// vertices, with an explicit construction: take a maximum matching and
+// attach every unmatched vertex through one arbitrary incident edge.
+#pragma once
+
+#include <functional>
+
+#include "graph/graph.hpp"
+#include "graph/properties.hpp"
+#include "matching/matching.hpp"
+
+namespace defender::matching {
+
+/// A minimum edge cover of `g` (edge ids, sorted ascending). Requires `g`
+/// to have no isolated vertices. Runs blossom matching, O(V^3).
+graph::EdgeSet min_edge_cover(const Graph& g);
+
+/// As min_edge_cover, but built on a caller-supplied maximum matching
+/// (useful to reuse a bipartite matching or to ablate matching quality: a
+/// non-maximum matching yields a larger cover).
+graph::EdgeSet edge_cover_from_matching(const Graph& g, const Matching& m);
+
+/// Size of a minimum edge cover: n − |maximum matching| (Gallai).
+std::size_t min_edge_cover_size(const Graph& g);
+
+}  // namespace defender::matching

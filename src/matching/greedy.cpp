@@ -1,0 +1,14 @@
+#include "matching/greedy.hpp"
+
+namespace defender::matching {
+
+Matching greedy_matching(const Graph& g) {
+  Matching m(g.num_vertices());
+  for (EdgeId id = 0; id < g.num_edges(); ++id) {
+    const graph::Edge& e = g.edge(id);
+    if (!m.is_matched(e.u) && !m.is_matched(e.v)) m.add(g, id);
+  }
+  return m;
+}
+
+}  // namespace defender::matching

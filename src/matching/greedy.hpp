@@ -1,0 +1,17 @@
+// Greedy maximal matching: the baseline of the matching ablation (E10).
+//
+// A maximal matching is a 1/2-approximation of the maximum matching; the
+// ablation bench shows where it falls short of Hopcroft–Karp / blossom and
+// how that propagates into larger edge covers (Theorem 3.1's certificate).
+#pragma once
+
+#include "graph/graph.hpp"
+#include "matching/matching.hpp"
+
+namespace defender::matching {
+
+/// Maximal matching by scanning edges in id order and taking every edge
+/// whose endpoints are both free. Deterministic; O(E).
+Matching greedy_matching(const Graph& g);
+
+}  // namespace defender::matching

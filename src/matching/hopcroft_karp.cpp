@@ -1,0 +1,111 @@
+#include "matching/hopcroft_karp.hpp"
+
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "graph/properties.hpp"
+#include "util/assert.hpp"
+
+namespace defender::matching {
+
+namespace {
+
+constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max();
+
+/// Internal state for one Hopcroft–Karp run over a left/right labelling.
+/// side[v]: 0 = left, 1 = right, 2 = not participating.
+class HopcroftKarp {
+ public:
+  HopcroftKarp(const Graph& g, std::span<const std::uint8_t> side)
+      : g_(g),
+        side_(side),
+        mate_(g.num_vertices(), kUnmatched),
+        dist_(g.num_vertices(), kInf) {}
+
+  Matching run() {
+    while (bfs()) {
+      for (Vertex v = 0; v < g_.num_vertices(); ++v)
+        if (side_[v] == 0 && mate_[v] == kUnmatched) dfs(v);
+    }
+    return from_mates(g_, mate_);
+  }
+
+ private:
+  /// Layers left vertices by shortest alternating-path distance from the
+  /// free left vertices; returns true when a free right vertex is reachable.
+  bool bfs() {
+    std::queue<Vertex> q;
+    for (Vertex v = 0; v < g_.num_vertices(); ++v) {
+      if (side_[v] != 0) continue;
+      if (mate_[v] == kUnmatched) {
+        dist_[v] = 0;
+        q.push(v);
+      } else {
+        dist_[v] = kInf;
+      }
+    }
+    bool reachable_free_right = false;
+    while (!q.empty()) {
+      const Vertex v = q.front();
+      q.pop();
+      for (const graph::Incidence& inc : g_.neighbors(v)) {
+        if (side_[inc.to] != 1) continue;
+        const Vertex w = mate_[inc.to];
+        if (w == kUnmatched) {
+          reachable_free_right = true;
+        } else if (dist_[w] == kInf) {
+          dist_[w] = dist_[v] + 1;
+          q.push(w);
+        }
+      }
+    }
+    return reachable_free_right;
+  }
+
+  /// Augments along one shortest alternating path starting at left vertex v.
+  bool dfs(Vertex v) {
+    for (const graph::Incidence& inc : g_.neighbors(v)) {
+      if (side_[inc.to] != 1) continue;
+      const Vertex w = mate_[inc.to];
+      if (w == kUnmatched || (dist_[w] == dist_[v] + 1 && dfs(w))) {
+        mate_[v] = inc.to;
+        mate_[inc.to] = v;
+        return true;
+      }
+    }
+    dist_[v] = kInf;  // dead end: prune v from this phase
+    return false;
+  }
+
+  const Graph& g_;
+  std::span<const std::uint8_t> side_;
+  std::vector<Vertex> mate_;
+  std::vector<std::size_t> dist_;
+};
+
+}  // namespace
+
+Matching hopcroft_karp(const Graph& g, std::span<const Vertex> left,
+                       std::span<const Vertex> right) {
+  std::vector<std::uint8_t> side(g.num_vertices(), 2);
+  for (Vertex v : left) {
+    DEF_REQUIRE(v < g.num_vertices(), "left vertex out of range");
+    side[v] = 0;
+  }
+  for (Vertex v : right) {
+    DEF_REQUIRE(v < g.num_vertices(), "right vertex out of range");
+    DEF_REQUIRE(side[v] != 0, "left and right sets must be disjoint");
+    side[v] = 1;
+  }
+  return HopcroftKarp(g, side).run();
+}
+
+Matching max_bipartite_matching(const Graph& g) {
+  auto coloring = graph::bipartition(g);
+  DEF_REQUIRE(coloring.has_value(),
+              "max_bipartite_matching requires a bipartite graph");
+  return HopcroftKarp(g, *coloring).run();
+}
+
+}  // namespace defender::matching

@@ -1,0 +1,27 @@
+// Hopcroft–Karp maximum bipartite matching, O(E * sqrt(V)).
+//
+// This is the workhorse behind Theorem 5.1's bipartite pipeline (via König's
+// theorem) and behind algorithm A's VC-saturating matching (DESIGN.md
+// interpretation note 2). The entry points take explicit vertex sides so the
+// algorithm can also run on the VC–IS *bipartite subgraph* of a general
+// graph: edges with both endpoints on one side are simply ignored.
+#pragma once
+
+#include <span>
+
+#include "graph/graph.hpp"
+#include "matching/matching.hpp"
+
+namespace defender::matching {
+
+/// Maximum matching between the disjoint vertex sets `left` and `right`,
+/// using only edges of `g` with one endpoint in each set.
+/// Requires left/right disjoint; vertices outside both sets are ignored.
+Matching hopcroft_karp(const Graph& g, std::span<const Vertex> left,
+                       std::span<const Vertex> right);
+
+/// Maximum matching of a bipartite graph; throws ContractViolation when `g`
+/// is not bipartite.
+Matching max_bipartite_matching(const Graph& g);
+
+}  // namespace defender::matching

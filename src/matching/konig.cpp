@@ -1,0 +1,62 @@
+#include "matching/konig.hpp"
+
+#include <queue>
+
+#include "matching/hopcroft_karp.hpp"
+#include "util/assert.hpp"
+
+namespace defender::matching {
+
+KonigResult konig_vertex_cover(const Graph& g) {
+  auto coloring = graph::bipartition(g);
+  DEF_REQUIRE(coloring.has_value(),
+              "konig_vertex_cover requires a bipartite graph");
+  const auto& side = *coloring;
+
+  Matching m = max_bipartite_matching(g);
+
+  // Z := vertices reachable from free left vertices along alternating paths
+  // (left -> right over unmatched edges, right -> left over matched edges).
+  const std::size_t n = g.num_vertices();
+  std::vector<char> in_z(n, 0);
+  std::queue<Vertex> q;
+  for (Vertex v = 0; v < n; ++v) {
+    if (side[v] == 0 && !m.is_matched(v)) {
+      in_z[v] = 1;
+      q.push(v);
+    }
+  }
+  while (!q.empty()) {
+    const Vertex v = q.front();
+    q.pop();
+    if (side[v] == 0) {
+      for (const graph::Incidence& inc : g.neighbors(v)) {
+        if (m.mate(v) == inc.to) continue;  // only unmatched edges leave L
+        if (!in_z[inc.to]) {
+          in_z[inc.to] = 1;
+          q.push(inc.to);
+        }
+      }
+    } else {
+      const Vertex w = m.mate(v);  // only the matched edge leaves R
+      if (w != kUnmatched && !in_z[w]) {
+        in_z[w] = 1;
+        q.push(w);
+      }
+    }
+  }
+
+  KonigResult result{std::move(m), {}, {}};
+  for (Vertex v = 0; v < n; ++v) {
+    const bool in_cover = (side[v] == 0) ? !in_z[v] : in_z[v];
+    if (in_cover)
+      result.vertex_cover.push_back(v);
+    else
+      result.independent_set.push_back(v);
+  }
+  DEF_ENSURE(result.vertex_cover.size() == result.matching.size(),
+             "König: |min vertex cover| must equal |max matching|");
+  return result;
+}
+
+}  // namespace defender::matching

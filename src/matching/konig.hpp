@@ -1,0 +1,32 @@
+// König's theorem: minimum vertex cover of a bipartite graph.
+//
+// Theorem 5.1 computes k-matching NE on bipartite graphs from a minimum
+// vertex cover VC and the independent set IS = V \ VC. König's construction
+// derives VC from a maximum matching: starting from the free left vertices,
+// alternate unmatched/matched edges; the cover is (L \ Z) ∪ (R ∩ Z) where Z
+// is the set of reached vertices.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/properties.hpp"
+#include "matching/matching.hpp"
+
+namespace defender::matching {
+
+/// Result of König's construction on a bipartite graph.
+struct KonigResult {
+  /// A maximum matching (|matching| == |vertex_cover| by König's theorem).
+  Matching matching;
+  /// A minimum vertex cover, sorted ascending.
+  graph::VertexSet vertex_cover;
+  /// The complementary maximum independent set, sorted ascending.
+  graph::VertexSet independent_set;
+};
+
+/// Runs König's construction; throws ContractViolation when `g` is not
+/// bipartite. O(E * sqrt(V)) (dominated by Hopcroft–Karp).
+KonigResult konig_vertex_cover(const Graph& g);
+
+}  // namespace defender::matching

@@ -1,0 +1,69 @@
+#include "matching/matching.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace defender::matching {
+
+Matching::Matching(std::size_t num_vertices)
+    : mate_(num_vertices, kUnmatched) {}
+
+Matching::Matching(const Graph& g, std::vector<EdgeId> edges)
+    : mate_(g.num_vertices(), kUnmatched) {
+  for (EdgeId id : edges) add(g, id);
+  // `add` already appended each edge to edges_, so discard the argument copy
+  // after validation; edges_ now equals the input (order preserved).
+  (void)edges;
+}
+
+Vertex Matching::mate(Vertex v) const {
+  DEF_REQUIRE(v < mate_.size(), "vertex out of range");
+  return mate_[v];
+}
+
+void Matching::add(const Graph& g, EdgeId id) {
+  const graph::Edge& e = g.edge(id);
+  DEF_REQUIRE(mate_[e.u] == kUnmatched && mate_[e.v] == kUnmatched,
+              "matching edges must be pairwise vertex-disjoint");
+  mate_[e.u] = e.v;
+  mate_[e.v] = e.u;
+  edges_.push_back(id);
+}
+
+std::vector<Vertex> Matching::matched_vertices() const {
+  std::vector<Vertex> out;
+  for (Vertex v = 0; v < mate_.size(); ++v)
+    if (mate_[v] != kUnmatched) out.push_back(v);
+  return out;
+}
+
+bool is_valid_matching(const Graph& g, std::span<const EdgeId> edges) {
+  std::vector<char> used(g.num_vertices(), 0);
+  for (EdgeId id : edges) {
+    if (id >= g.num_edges()) return false;
+    const graph::Edge& e = g.edge(id);
+    if (used[e.u] || used[e.v]) return false;
+    used[e.u] = 1;
+    used[e.v] = 1;
+  }
+  return true;
+}
+
+Matching from_mates(const Graph& g, std::span<const Vertex> mates) {
+  DEF_REQUIRE(mates.size() == g.num_vertices(),
+              "mate array size must equal the vertex count");
+  Matching m(g.num_vertices());
+  for (Vertex v = 0; v < mates.size(); ++v) {
+    const Vertex w = mates[v];
+    if (w == kUnmatched || w < v) continue;
+    DEF_REQUIRE(w < mates.size() && mates[w] == v,
+                "mate array must be symmetric");
+    auto id = g.edge_id(v, w);
+    DEF_REQUIRE(id.has_value(), "mate pair is not an edge of the graph");
+    m.add(g, *id);
+  }
+  return m;
+}
+
+}  // namespace defender::matching

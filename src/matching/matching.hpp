@@ -1,0 +1,63 @@
+// Matchings: the combinatorial backbone of the paper's equilibria.
+//
+// Matching NE (Lemma 2.1) and k-matching NE (Definition 4.1) are built from
+// matchings, and the pure-NE characterization (Theorem 3.1) reduces to
+// minimum edge covers, which Gallai's identity derives from maximum
+// matchings. A Matching is stored both as an edge-id set and as a mate array
+// for O(1) partner lookups.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace defender::matching {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::Vertex;
+
+/// Sentinel for "vertex is unmatched" in mate arrays.
+inline constexpr Vertex kUnmatched = static_cast<Vertex>(-1);
+
+/// A matching of a graph: pairwise vertex-disjoint edges.
+class Matching {
+ public:
+  /// The empty matching of a graph with `num_vertices` vertices.
+  explicit Matching(std::size_t num_vertices);
+
+  /// Builds a matching from edge ids; validates pairwise disjointness.
+  Matching(const Graph& g, std::vector<EdgeId> edges);
+
+  /// Number of matched edges.
+  std::size_t size() const { return edges_.size(); }
+
+  /// The matched edges (unsorted).
+  std::span<const EdgeId> edges() const { return edges_; }
+
+  /// The partner of `v`, or kUnmatched.
+  Vertex mate(Vertex v) const;
+
+  /// True when `v` is an endpoint of a matched edge.
+  bool is_matched(Vertex v) const { return mate(v) != kUnmatched; }
+
+  /// Adds edge `id` of `g`; both endpoints must currently be unmatched.
+  void add(const Graph& g, EdgeId id);
+
+  /// Vertices matched by the matching, sorted ascending.
+  std::vector<Vertex> matched_vertices() const;
+
+ private:
+  std::vector<EdgeId> edges_;
+  std::vector<Vertex> mate_;
+};
+
+/// True when `edges` (ids into `g`) are pairwise vertex-disjoint.
+bool is_valid_matching(const Graph& g, std::span<const EdgeId> edges);
+
+/// Builds a Matching from a mate array (mate[v] = partner or kUnmatched).
+/// Validates symmetry and adjacency against `g`.
+Matching from_mates(const Graph& g, std::span<const Vertex> mates);
+
+}  // namespace defender::matching

@@ -1,0 +1,143 @@
+#include "sim/fictitious_play.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/payoff.hpp"
+#include "util/assert.hpp"
+
+namespace defender::sim {
+
+FictitiousPlayResult weighted_fictitious_play(
+    const core::TupleGame& game, std::span<const double> weights,
+    std::size_t rounds) {
+  DEF_REQUIRE(rounds >= 1, "fictitious play needs at least one round");
+  const graph::Graph& g = game.graph();
+  const std::size_t n = g.num_vertices();
+  DEF_REQUIRE(weights.size() == n, "one damage weight per vertex");
+  for (double w : weights)
+    DEF_REQUIRE(w > 0, "damage weights must be strictly positive");
+
+  std::vector<double> attacker_count(n, 0.0);
+  std::vector<double> defender_cover_count(n, 0.0);
+  for (std::size_t v = 0; v < n; ++v)
+    attacker_count[v] = 1.0 / static_cast<double>(n);
+
+  // Defender objective: maximize covered damage = minimize conceded damage.
+  std::vector<double> objective(n, 0.0);
+  FictitiousPlayResult result;
+  std::size_t next_checkpoint = 1;
+  for (std::size_t round = 1; round <= rounds; ++round) {
+    for (std::size_t v = 0; v < n; ++v)
+      objective[v] = weights[v] * attacker_count[v];
+    const core::BestTuple bt =
+        core::best_tuple_branch_and_bound(game, objective);
+    for (graph::Vertex v : core::tuple_vertices(g, bt.tuple))
+      defender_cover_count[v] += 1.0;
+
+    // Attacker best response: maximize w(v) * (1 - cover frequency).
+    std::size_t best_vertex = 0;
+    double best_damage = -1;
+    for (std::size_t v = 0; v < n; ++v) {
+      const double damage =
+          weights[v] *
+          (1.0 - defender_cover_count[v] / static_cast<double>(round));
+      if (damage > best_damage) {
+        best_damage = damage;
+        best_vertex = v;
+      }
+    }
+    attacker_count[best_vertex] += 1.0;
+
+    if (round == next_checkpoint || round == rounds) {
+      const double attacker_mass = 1.0 + static_cast<double>(round);
+      // Upper bound on the damage value: the attacker's best response
+      // against the defender's empirical mix.
+      double upper = 0;
+      for (std::size_t v = 0; v < n; ++v)
+        upper = std::max(
+            upper, weights[v] * (1.0 - defender_cover_count[v] /
+                                           static_cast<double>(round)));
+      // Lower bound: total weighted attacker mass minus what the
+      // defender's best response covers, normalized per attacker.
+      for (std::size_t v = 0; v < n; ++v)
+        objective[v] = weights[v] * attacker_count[v];
+      double total = 0;
+      for (std::size_t v = 0; v < n; ++v) total += objective[v];
+      const double covered =
+          core::best_tuple_branch_and_bound(game, objective).mass;
+      const double lower = (total - covered) / attacker_mass;
+      result.trace.push_back(FictitiousPlayTrace{round, upper, lower});
+      next_checkpoint = std::max(next_checkpoint + 1, next_checkpoint * 2);
+    }
+  }
+
+  const FictitiousPlayTrace& last = result.trace.back();
+  result.value_estimate = 0.5 * (last.upper + last.lower);
+  result.gap = last.upper - last.lower;
+  result.attacker_frequency = attacker_count;
+  const double attacker_mass = 1.0 + static_cast<double>(rounds);
+  for (double& c : result.attacker_frequency) c /= attacker_mass;
+  result.defender_hit_frequency = defender_cover_count;
+  for (double& c : result.defender_hit_frequency)
+    c /= static_cast<double>(rounds);
+  return result;
+}
+
+FictitiousPlayResult fictitious_play(const core::TupleGame& game,
+                                     std::size_t rounds) {
+  DEF_REQUIRE(rounds >= 1, "fictitious play needs at least one round");
+  const graph::Graph& g = game.graph();
+  const std::size_t n = g.num_vertices();
+
+  // Histories: how often the attacker stood on v / the defender covered v.
+  std::vector<double> attacker_count(n, 0.0);
+  std::vector<double> defender_cover_count(n, 0.0);
+
+  // Seed round: attacker uniform over V, defender covers its best tuple
+  // against that.
+  for (std::size_t v = 0; v < n; ++v) attacker_count[v] = 1.0 / static_cast<double>(n);
+
+  FictitiousPlayResult result;
+  std::size_t next_checkpoint = 1;
+  for (std::size_t round = 1; round <= rounds; ++round) {
+    // Defender best-responds to the attacker's empirical distribution.
+    const core::BestTuple bt =
+        core::best_tuple_branch_and_bound(game, attacker_count);
+    for (graph::Vertex v : core::tuple_vertices(g, bt.tuple))
+      defender_cover_count[v] += 1.0;
+
+    // Attacker best-responds to the defender's empirical coverage.
+    const graph::Vertex best_vertex = static_cast<graph::Vertex>(
+        std::min_element(defender_cover_count.begin(),
+                         defender_cover_count.end()) -
+        defender_cover_count.begin());
+    attacker_count[best_vertex] += 1.0;
+
+    if (round == next_checkpoint || round == rounds) {
+      // Bounds. Attacker history has mass (1 + round): uniform seed + picks.
+      const double attacker_mass = 1.0 + static_cast<double>(round);
+      const double upper = core::best_tuple_branch_and_bound(game, attacker_count).mass /
+                           attacker_mass;
+      const double lower =
+          *std::min_element(defender_cover_count.begin(),
+                            defender_cover_count.end()) /
+          static_cast<double>(round);
+      result.trace.push_back(FictitiousPlayTrace{round, upper, lower});
+      next_checkpoint = std::max(next_checkpoint + 1, next_checkpoint * 2);
+    }
+  }
+
+  const FictitiousPlayTrace& last = result.trace.back();
+  result.value_estimate = 0.5 * (last.upper + last.lower);
+  result.gap = last.upper - last.lower;
+  result.attacker_frequency = attacker_count;
+  const double attacker_mass = 1.0 + static_cast<double>(rounds);
+  for (double& c : result.attacker_frequency) c /= attacker_mass;
+  result.defender_hit_frequency = defender_cover_count;
+  for (double& c : result.defender_hit_frequency)
+    c /= static_cast<double>(rounds);
+  return result;
+}
+
+}  // namespace defender::sim

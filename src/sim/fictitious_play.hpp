@@ -1,0 +1,59 @@
+// Fictitious play on the zero-sum view of Π_k(G) (experiment E11).
+//
+// An extension beyond the paper: Robinson (1951) proved fictitious play
+// converges to the value of any zero-sum game, so an attacker and a
+// defender that merely best-respond to each other's empirical history learn
+// the equilibrium hit probability — the same k/|E(D(tp))| that Lemma 4.1
+// constructs combinatorially. Because the defender's best response is the
+// branch-and-bound tuple oracle, this runs on instances far beyond the LP's
+// enumerable E^k.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/best_response.hpp"
+#include "core/game.hpp"
+
+namespace defender::sim {
+
+/// One snapshot of the fictitious-play bounds after a given round.
+struct FictitiousPlayTrace {
+  std::size_t round = 0;
+  /// Defender's best-response payoff against the attacker's empirical mix —
+  /// an upper bound on the game value.
+  double upper = 0;
+  /// 1 - (attacker's best-response escape) against the defender's empirical
+  /// mix — a lower bound on the game value.
+  double lower = 0;
+};
+
+/// Result of a fictitious-play run.
+struct FictitiousPlayResult {
+  /// Final midpoint estimate of the game value (hit probability).
+  double value_estimate = 0;
+  /// Final upper/lower gap.
+  double gap = 0;
+  /// Snapshots at (roughly geometrically spaced) checkpoint rounds.
+  std::vector<FictitiousPlayTrace> trace;
+  /// Empirical attacker vertex frequencies after the final round.
+  std::vector<double> attacker_frequency;
+  /// Per-vertex empirical coverage frequency of the defender's history.
+  std::vector<double> defender_hit_frequency;
+};
+
+/// Runs `rounds` of simultaneous fictitious play from uniform seeds.
+FictitiousPlayResult fictitious_play(const core::TupleGame& game,
+                                     std::size_t rounds);
+
+/// Damage-weighted fictitious play (see core/weighted.hpp): the attacker
+/// best-responds with argmax_v w(v)·(1 − cover frequency), the defender
+/// with the w-scaled coverage maximizer. Bounds bracket the minimax
+/// *damage* value: `upper` = attacker's best-response damage against the
+/// defender's empirical mix, `lower` = the damage the defender's best
+/// response concedes to the attacker's empirical mix.
+FictitiousPlayResult weighted_fictitious_play(
+    const core::TupleGame& game, std::span<const double> weights,
+    std::size_t rounds);
+
+}  // namespace defender::sim

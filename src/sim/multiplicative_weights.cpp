@@ -1,0 +1,80 @@
+#include "sim/multiplicative_weights.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/best_response.hpp"
+#include "core/payoff.hpp"
+#include "util/assert.hpp"
+
+namespace defender::sim {
+
+HedgeResult hedge_dynamics(const core::TupleGame& game, std::size_t rounds) {
+  DEF_REQUIRE(rounds >= 1, "hedge needs at least one round");
+  const graph::Graph& g = game.graph();
+  const std::size_t n = g.num_vertices();
+  const double eta =
+      std::sqrt(8.0 * std::log(static_cast<double>(n)) /
+                static_cast<double>(rounds));
+
+  // Attacker weights (log-domain to avoid under/overflow) and running
+  // sums of its per-round strategies and the defender's coverage.
+  std::vector<double> log_weight(n, 0.0);
+  std::vector<double> strategy(n);
+  std::vector<double> attacker_sum(n, 0.0);
+  std::vector<double> cover_sum(n, 0.0);
+
+  HedgeResult result;
+  std::size_t next_checkpoint = 1;
+  for (std::size_t round = 1; round <= rounds; ++round) {
+    // Current attacker mix = softmax of the weights.
+    const double lw_max =
+        *std::max_element(log_weight.begin(), log_weight.end());
+    double z = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      strategy[v] = std::exp(log_weight[v] - lw_max);
+      z += strategy[v];
+    }
+    for (double& p : strategy) p /= z;
+    for (std::size_t v = 0; v < n; ++v) attacker_sum[v] += strategy[v];
+
+    // Defender best-responds to the current mix.
+    const core::BestTuple bt =
+        core::best_tuple_branch_and_bound(game, strategy);
+    std::vector<char> covered(n, 0);
+    for (graph::Vertex v : core::tuple_vertices(g, bt.tuple)) {
+      covered[v] = 1;
+      cover_sum[v] += 1.0;
+    }
+
+    // Hedge update: reward = escape indicator (1 - covered).
+    for (std::size_t v = 0; v < n; ++v)
+      log_weight[v] += eta * (covered[v] ? 0.0 : 1.0);
+
+    if (round == next_checkpoint || round == rounds) {
+      // Upper bound: defender's best response to the attacker's average.
+      std::vector<double> average(n);
+      for (std::size_t v = 0; v < n; ++v)
+        average[v] = attacker_sum[v] / static_cast<double>(round);
+      const double upper =
+          core::best_tuple_branch_and_bound(game, average).mass;
+      // Lower bound: the least-covered vertex of the defender's history.
+      const double lower =
+          *std::min_element(cover_sum.begin(), cover_sum.end()) /
+          static_cast<double>(round);
+      result.trace.push_back(HedgeTrace{round, upper, lower});
+      next_checkpoint = std::max(next_checkpoint + 1, next_checkpoint * 2);
+    }
+  }
+
+  const HedgeTrace& last = result.trace.back();
+  result.value_estimate = 0.5 * (last.upper + last.lower);
+  result.gap = last.upper - last.lower;
+  result.attacker_average.resize(n);
+  for (std::size_t v = 0; v < n; ++v)
+    result.attacker_average[v] =
+        attacker_sum[v] / static_cast<double>(rounds);
+  return result;
+}
+
+}  // namespace defender::sim

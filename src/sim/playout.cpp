@@ -1,0 +1,84 @@
+#include "sim/playout.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/sampling.hpp"
+#include "util/assert.hpp"
+
+namespace defender::sim {
+
+PlayoutStats run_playouts(const core::TupleGame& game,
+                          const core::MixedConfiguration& config,
+                          std::size_t rounds, util::Rng& rng) {
+  DEF_REQUIRE(rounds >= 1, "at least one playout round is required");
+  core::validate(game, config);
+  const graph::Graph& g = game.graph();
+
+  std::vector<DiscreteSampler> attacker_samplers;
+  attacker_samplers.reserve(config.attackers.size());
+  for (const core::VertexDistribution& d : config.attackers)
+    attacker_samplers.emplace_back(d.probs());
+  DiscreteSampler defender_sampler(config.defender.probs());
+
+  // Pre-resolve each support tuple's distinct endpoints once.
+  std::vector<graph::VertexSet> tuple_covers;
+  tuple_covers.reserve(config.defender.support().size());
+  for (const core::Tuple& t : config.defender.support())
+    tuple_covers.push_back(core::tuple_vertices(g, t));
+
+  PlayoutStats stats;
+  stats.rounds = rounds;
+  stats.attacker_escape_freq.assign(config.attackers.size(), 0.0);
+  stats.hit_freq.assign(g.num_vertices(), 0.0);
+  double profit_sum = 0, profit_sq_sum = 0;
+  std::vector<char> covered(g.num_vertices(), 0);
+
+  for (std::size_t round = 0; round < rounds; ++round) {
+    const std::size_t tuple_index = defender_sampler.sample(rng);
+    std::fill(covered.begin(), covered.end(), 0);
+    for (graph::Vertex v : tuple_covers[tuple_index]) {
+      covered[v] = 1;
+      stats.hit_freq[v] += 1.0;
+    }
+    std::size_t arrests = 0;
+    for (std::size_t i = 0; i < attacker_samplers.size(); ++i) {
+      const graph::Vertex v =
+          config.attackers[i].support()[attacker_samplers[i].sample(rng)];
+      if (covered[v]) {
+        ++arrests;
+      } else {
+        stats.attacker_escape_freq[i] += 1.0;
+      }
+    }
+    profit_sum += static_cast<double>(arrests);
+    profit_sq_sum += static_cast<double>(arrests) * static_cast<double>(arrests);
+  }
+
+  const auto r = static_cast<double>(rounds);
+  stats.defender_profit_mean = profit_sum / r;
+  if (rounds > 1) {
+    const double var =
+        (profit_sq_sum - profit_sum * profit_sum / r) / (r - 1.0);
+    stats.defender_profit_stddev = std::sqrt(std::max(0.0, var));
+  }
+  for (double& f : stats.attacker_escape_freq) f /= r;
+  for (double& f : stats.hit_freq) f /= r;
+  return stats;
+}
+
+double max_abs_deviation(const core::TupleGame& game,
+                         const core::MixedConfiguration& config,
+                         const PlayoutStats& stats) {
+  double dev = std::abs(stats.defender_profit_mean -
+                        core::defender_profit(game, config));
+  for (std::size_t i = 0; i < config.attackers.size(); ++i)
+    dev = std::max(dev, std::abs(stats.attacker_escape_freq[i] -
+                                 core::attacker_profit(game, config, i)));
+  const std::vector<double> hit = core::hit_probabilities(game, config);
+  for (graph::Vertex v = 0; v < hit.size(); ++v)
+    dev = std::max(dev, std::abs(stats.hit_freq[v] - hit[v]));
+  return dev;
+}
+
+}  // namespace defender::sim

@@ -1,0 +1,45 @@
+// Monte-Carlo playout of mixed configurations (experiment E9).
+//
+// Samples every player's pure strategy independently per round, settles the
+// pure payoffs of Definition 2.1, and accumulates empirical statistics. The
+// analytic expectations of equations (1)-(2) must match these within
+// sampling error — the end-to-end validation that the equilibrium algebra
+// is wired to the actual game.
+#pragma once
+
+#include <vector>
+
+#include "core/configuration.hpp"
+#include "core/game.hpp"
+#include "core/payoff.hpp"
+#include "util/random.hpp"
+
+namespace defender::sim {
+
+/// Aggregated results of `rounds` independent playouts.
+struct PlayoutStats {
+  std::size_t rounds = 0;
+  /// Mean defender arrest count per round.
+  double defender_profit_mean = 0;
+  /// Sample standard deviation of the arrest count.
+  double defender_profit_stddev = 0;
+  /// Per-attacker empirical escape frequency (the empirical IP_i).
+  std::vector<double> attacker_escape_freq;
+  /// Per-vertex frequency of being covered by the sampled tuple (the
+  /// empirical P(Hit(v))).
+  std::vector<double> hit_freq;
+};
+
+/// Runs `rounds` playouts of `config`; deterministic for a fixed rng state.
+PlayoutStats run_playouts(const core::TupleGame& game,
+                          const core::MixedConfiguration& config,
+                          std::size_t rounds, util::Rng& rng);
+
+/// Convenience: max |empirical - analytic| across defender profit, every
+/// attacker profit, and every vertex hit probability — the E9 agreement
+/// metric.
+double max_abs_deviation(const core::TupleGame& game,
+                         const core::MixedConfiguration& config,
+                         const PlayoutStats& stats);
+
+}  // namespace defender::sim

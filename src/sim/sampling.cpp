@@ -1,0 +1,28 @@
+#include "sim/sampling.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace defender::sim {
+
+DiscreteSampler::DiscreteSampler(std::span<const double> weights) {
+  DEF_REQUIRE(!weights.empty(), "a sampler needs at least one weight");
+  cumulative_.reserve(weights.size());
+  double acc = 0;
+  for (double w : weights) {
+    DEF_REQUIRE(w >= 0, "weights must be nonnegative");
+    acc += w;
+    cumulative_.push_back(acc);
+  }
+  DEF_REQUIRE(acc > 0, "weights must have positive sum");
+}
+
+std::size_t DiscreteSampler::sample(util::Rng& rng) const {
+  const double u = rng.uniform01() * cumulative_.back();
+  auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+  if (it == cumulative_.end()) --it;
+  return static_cast<std::size_t>(it - cumulative_.begin());
+}
+
+}  // namespace defender::sim

@@ -1,0 +1,27 @@
+// Sampling from finite probability distributions.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace defender::sim {
+
+/// Samples indices proportionally to a fixed weight vector via the
+/// cumulative-sum inversion method (binary search per draw).
+class DiscreteSampler {
+ public:
+  /// Requires nonempty `weights` with nonnegative entries and positive sum.
+  explicit DiscreteSampler(std::span<const double> weights);
+
+  /// Draws an index in [0, size()).
+  std::size_t sample(util::Rng& rng) const;
+
+  std::size_t size() const { return cumulative_.size(); }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+}  // namespace defender::sim

@@ -1,0 +1,73 @@
+#include "sim/tournament.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/best_response.hpp"
+#include "core/payoff.hpp"
+#include "sim/playout.hpp"
+#include "util/assert.hpp"
+
+namespace defender::sim {
+
+TournamentResult run_tournament(const core::TupleGame& game,
+                                const std::vector<DefenderPolicy>& defenders,
+                                const std::vector<AttackerPolicy>& attackers,
+                                std::size_t rounds, util::Rng& rng) {
+  DEF_REQUIRE(!defenders.empty() && !attackers.empty(),
+              "a tournament needs at least one policy per side");
+  TournamentResult result;
+  result.arrests.assign(defenders.size(),
+                        std::vector<double>(attackers.size(), 0.0));
+  for (std::size_t d = 0; d < defenders.size(); ++d) {
+    for (std::size_t a = 0; a < attackers.size(); ++a) {
+      const core::MixedConfiguration config = core::symmetric_configuration(
+          game, attackers[a].mix, defenders[d].mix);
+      result.arrests[d][a] =
+          run_playouts(game, config, rounds, rng).defender_profit_mean;
+    }
+  }
+  result.defender_floor.resize(defenders.size());
+  for (std::size_t d = 0; d < defenders.size(); ++d)
+    result.defender_floor[d] = *std::min_element(result.arrests[d].begin(),
+                                                 result.arrests[d].end());
+  result.attacker_ceiling.assign(attackers.size(),
+                                 -std::numeric_limits<double>::infinity());
+  for (std::size_t a = 0; a < attackers.size(); ++a)
+    for (std::size_t d = 0; d < defenders.size(); ++d)
+      result.attacker_ceiling[a] =
+          std::max(result.attacker_ceiling[a], result.arrests[d][a]);
+  return result;
+}
+
+double defender_guarantee(const core::TupleGame& game,
+                          const core::TupleDistribution& mix) {
+  std::vector<double> hit(game.graph().num_vertices(), 0.0);
+  for (std::size_t t = 0; t < mix.support().size(); ++t)
+    for (graph::Vertex v :
+         core::tuple_vertices(game.graph(), mix.support()[t]))
+      hit[v] += mix.probs()[t];
+  return *std::min_element(hit.begin(), hit.end());
+}
+
+double attacker_concession(const core::TupleGame& game,
+                           const core::VertexDistribution& mix) {
+  std::vector<double> masses(game.graph().num_vertices(), 0.0);
+  for (std::size_t i = 0; i < mix.support().size(); ++i)
+    masses[mix.support()[i]] += mix.probs()[i];
+  return core::best_tuple_branch_and_bound(game, masses).mass;
+}
+
+double defender_exploitability(const core::TupleGame& game,
+                               const core::TupleDistribution& mix,
+                               double game_value) {
+  return game_value - defender_guarantee(game, mix);
+}
+
+double attacker_exploitability(const core::TupleGame& game,
+                               const core::VertexDistribution& mix,
+                               double game_value) {
+  return attacker_concession(game, mix) - game_value;
+}
+
+}  // namespace defender::sim

@@ -1,0 +1,75 @@
+// Policy tournaments: empirical cross-evaluation of defender and attacker
+// strategies.
+//
+// Game-theoretic guarantees talk about the equilibrium pair; operators ask
+// a blunter question — "how does MY patrol schedule fare against THAT
+// attacker?". A tournament runs every (defender policy × attacker policy)
+// pairing through Monte-Carlo playouts and reports the mean arrest counts,
+// alongside each policy's *exploitability* (how far a best-responding
+// opponent can push it below/above the game value) computed analytically
+// from the exact best-response oracles.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/configuration.hpp"
+#include "core/game.hpp"
+#include "util/random.hpp"
+
+namespace defender::sim {
+
+/// A named defender mixed strategy entered into a tournament.
+struct DefenderPolicy {
+  std::string name;
+  core::TupleDistribution mix;
+};
+
+/// A named attacker mixed strategy (shared by all ν attackers).
+struct AttackerPolicy {
+  std::string name;
+  core::VertexDistribution mix;
+};
+
+/// Result of a tournament: mean arrests per (defender, attacker) pairing
+/// plus per-policy worst cases.
+struct TournamentResult {
+  /// arrests[d][a] = empirical mean arrests of defenders[d] vs attackers[a].
+  std::vector<std::vector<double>> arrests;
+  /// Per-defender minimum across attacker policies (its empirical floor).
+  std::vector<double> defender_floor;
+  /// Per-attacker maximum across defender policies (its empirical ceiling
+  /// of arrests suffered).
+  std::vector<double> attacker_ceiling;
+};
+
+/// Plays every pairing for `rounds` playouts. Deterministic in `rng`.
+TournamentResult run_tournament(const core::TupleGame& game,
+                                const std::vector<DefenderPolicy>& defenders,
+                                const std::vector<AttackerPolicy>& attackers,
+                                std::size_t rounds, util::Rng& rng);
+
+/// The defender mix's guaranteed catch probability: min over vertices of
+/// P(Hit(v)) — what a best-responding attacker concedes. Equals the game
+/// value iff the mix is minimax-optimal.
+double defender_guarantee(const core::TupleGame& game,
+                          const core::TupleDistribution& mix);
+
+/// The attacker mix's concession: the best tuple's expected catches per
+/// attacker against it (branch-and-bound oracle). Equals the game value
+/// iff the mix is maximin-optimal.
+double attacker_concession(const core::TupleGame& game,
+                           const core::VertexDistribution& mix);
+
+/// Exploitability of a defender mix: game_value − defender_guarantee
+/// (>= 0; 0 iff minimax-optimal). `game_value` is the known zero-sum value.
+double defender_exploitability(const core::TupleGame& game,
+                               const core::TupleDistribution& mix,
+                               double game_value);
+
+/// Exploitability of an attacker mix: attacker_concession − game_value.
+double attacker_exploitability(const core::TupleGame& game,
+                               const core::VertexDistribution& mix,
+                               double game_value);
+
+}  // namespace defender::sim

@@ -1,0 +1,50 @@
+// Contract checking for the defender library.
+//
+// All public APIs validate their preconditions with DEF_REQUIRE and throw
+// defender::ContractViolation on failure; internal invariants use DEF_ENSURE.
+// Contracts are always on (they guard game-theoretic invariants whose
+// violation would silently produce non-equilibria), and their cost is
+// negligible next to the algorithms they guard.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace defender {
+
+/// Thrown when a precondition or invariant of the library is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace util::detail {
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace util::detail
+}  // namespace defender
+
+/// Precondition check: throws defender::ContractViolation when `cond` is false.
+#define DEF_REQUIRE(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::defender::util::detail::contract_fail("precondition", #cond,        \
+                                              __FILE__, __LINE__, (msg));   \
+  } while (false)
+
+/// Invariant/postcondition check: throws defender::ContractViolation on failure.
+#define DEF_ENSURE(cond, msg)                                               \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::defender::util::detail::contract_fail("invariant", #cond,           \
+                                              __FILE__, __LINE__, (msg));   \
+  } while (false)

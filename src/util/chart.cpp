@@ -1,0 +1,106 @@
+#include "util/chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace defender::util {
+
+namespace {
+constexpr char kGlyphs[] = {'*', '+', 'o', 'x', '#', '@'};
+}
+
+void AsciiChart::add_series(Series series) {
+  DEF_REQUIRE(!series.xs.empty(), "a series needs at least one point");
+  DEF_REQUIRE(series.xs.size() == series.ys.size(),
+              "series xs/ys length mismatch");
+  series_.push_back(std::move(series));
+}
+
+void AsciiChart::set_labels(std::string x_label, std::string y_label) {
+  x_label_ = std::move(x_label);
+  y_label_ = std::move(y_label);
+}
+
+std::string AsciiChart::to_string() const {
+  if (series_.empty()) return {};
+  double xmin = std::numeric_limits<double>::infinity(), xmax = -xmin;
+  double ymin = xmin, ymax = -xmin;
+  for (const auto& s : series_) {
+    for (double x : s.xs) {
+      xmin = std::min(xmin, x);
+      xmax = std::max(xmax, x);
+    }
+    for (double y : s.ys) {
+      ymin = std::min(ymin, y);
+      ymax = std::max(ymax, y);
+    }
+  }
+  if (xmax == xmin) xmax = xmin + 1;
+  if (ymax == ymin) ymax = ymin + 1;
+
+  std::vector<std::string> grid(height_, std::string(width_, ' '));
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    const auto& s = series_[si];
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      auto col = static_cast<std::size_t>(std::lround(
+          (s.xs[i] - xmin) / (xmax - xmin) * static_cast<double>(width_ - 1)));
+      auto row = static_cast<std::size_t>(std::lround(
+          (s.ys[i] - ymin) / (ymax - ymin) * static_cast<double>(height_ - 1)));
+      grid[height_ - 1 - row][col] = glyph;
+    }
+  }
+
+  std::ostringstream os;
+  if (!y_label_.empty()) os << y_label_ << '\n';
+  auto ylab = [&](double v) {
+    std::ostringstream t;
+    t << std::setw(10) << std::setprecision(4) << v;
+    return t.str();
+  };
+  for (std::size_t r = 0; r < height_; ++r) {
+    if (r == 0)
+      os << ylab(ymax);
+    else if (r == height_ - 1)
+      os << ylab(ymin);
+    else
+      os << std::string(10, ' ');
+    os << " |" << grid[r] << '\n';
+  }
+  os << std::string(10, ' ') << " +" << std::string(width_, '-') << '\n';
+  os << std::string(12, ' ') << std::setprecision(4) << xmin
+     << std::string(width_ > 16 ? width_ - 16 : 1, ' ') << xmax << '\n';
+  if (!x_label_.empty())
+    os << std::string(12, ' ') << x_label_ << '\n';
+  std::size_t si = 0;
+  for (const auto& s : series_) {
+    os << "  " << kGlyphs[si++ % sizeof(kGlyphs)] << " = " << s.name << '\n';
+  }
+  return os.str();
+}
+
+std::string bar_chart(const std::vector<std::pair<std::string, double>>& bars,
+                      std::size_t width) {
+  double maxv = 0;
+  std::size_t label_w = 0;
+  for (const auto& [label, v] : bars) {
+    maxv = std::max(maxv, v);
+    label_w = std::max(label_w, label.size());
+  }
+  if (maxv <= 0) maxv = 1;
+  std::ostringstream os;
+  for (const auto& [label, v] : bars) {
+    auto cells = static_cast<std::size_t>(
+        std::lround(v / maxv * static_cast<double>(width)));
+    os << std::setw(static_cast<int>(label_w)) << label << " |"
+       << std::string(cells, '#') << ' ' << std::setprecision(5) << v << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace defender::util

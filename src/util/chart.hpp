@@ -1,0 +1,50 @@
+// ASCII charts for the experiment harness.
+//
+// The paper's headline quantitative claim — defender gain linear in k — is
+// easiest to eyeball as a plot; bench binaries render their series with these
+// helpers so the "figure" lives directly in the harness output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace defender::util {
+
+/// One named series of (x, y) points for AsciiChart.
+struct Series {
+  std::string name;
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+/// Renders one or more series as a fixed-size ASCII scatter/line chart with
+/// axis labels. Each series is drawn with its own glyph ('*', '+', 'o', ...).
+class AsciiChart {
+ public:
+  /// `width` x `height` in character cells for the plot area (axes extra).
+  AsciiChart(std::size_t width, std::size_t height)
+      : width_(width), height_(height) {}
+
+  /// Adds a series; xs and ys must have equal, nonzero length.
+  void add_series(Series series);
+
+  /// Optional axis titles shown under/next to the chart.
+  void set_labels(std::string x_label, std::string y_label);
+
+  /// Renders the chart; returns an empty string when no series were added.
+  std::string to_string() const;
+
+ private:
+  std::size_t width_;
+  std::size_t height_;
+  std::string x_label_;
+  std::string y_label_;
+  std::vector<Series> series_;
+};
+
+/// Renders a horizontal bar chart: one labelled bar per (label, value) pair,
+/// scaled to `width` cells at the maximum value.
+std::string bar_chart(const std::vector<std::pair<std::string, double>>& bars,
+                      std::size_t width);
+
+}  // namespace defender::util

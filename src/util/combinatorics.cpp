@@ -1,0 +1,123 @@
+#include "util/combinatorics.hpp"
+
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace defender::util {
+
+namespace {
+constexpr std::uint64_t kSaturated = std::numeric_limits<std::uint64_t>::max();
+
+/// a * b, saturating at UINT64_MAX.
+std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > kSaturated / b) return kSaturated;
+  return a * b;
+}
+}  // namespace
+
+std::uint64_t gcd(std::uint64_t a, std::uint64_t b) {
+  while (b != 0) {
+    std::uint64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+std::uint64_t lcm(std::uint64_t a, std::uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  return sat_mul(a / gcd(a, b), b);
+}
+
+std::uint64_t binomial(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return 0;
+  if (k > n - k) k = n - k;
+  std::uint64_t result = 1;
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    // Each prefix product C(n-k+i, i) is integral, so the 128-bit product
+    // result * (n-k+i) divides exactly by i; saturate if the quotient no
+    // longer fits in 64 bits.
+    __uint128_t wide = static_cast<__uint128_t>(result) * (n - k + i);
+    wide /= i;
+    if (wide > static_cast<__uint128_t>(kSaturated)) return kSaturated;
+    result = static_cast<std::uint64_t>(wide);
+  }
+  return result;
+}
+
+bool next_combination(std::vector<std::size_t>& combo, std::size_t n) {
+  const std::size_t k = combo.size();
+  DEF_REQUIRE(k <= n, "combination size exceeds the ground set");
+  if (k == 0) return false;
+  // Find the rightmost index that can still be incremented.
+  std::size_t i = k;
+  while (i > 0) {
+    --i;
+    if (combo[i] < n - k + i) {
+      ++combo[i];
+      for (std::size_t j = i + 1; j < k; ++j) combo[j] = combo[j - 1] + 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+void for_each_combination(
+    std::size_t n, std::size_t k,
+    const std::function<bool(const std::vector<std::size_t>&)>& visit) {
+  if (k > n) return;
+  std::vector<std::size_t> combo = first_combination(n, k);
+  do {
+    if (!visit(combo)) return;
+  } while (next_combination(combo, n));
+}
+
+std::vector<std::size_t> first_combination(std::size_t n, std::size_t k) {
+  DEF_REQUIRE(k <= n, "combination size exceeds the ground set");
+  std::vector<std::size_t> combo(k);
+  for (std::size_t i = 0; i < k; ++i) combo[i] = i;
+  return combo;
+}
+
+std::uint64_t combination_rank(const std::vector<std::size_t>& combo,
+                               std::size_t n) {
+  const std::size_t k = combo.size();
+  DEF_REQUIRE(k <= n, "combination size exceeds the ground set");
+  // Lexicographic rank: count the subsets that precede `combo` by summing,
+  // for each position, the subsets that branch off below combo[i].
+  std::uint64_t rank = 0;
+  std::size_t prev = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    DEF_REQUIRE(combo[i] < n, "combination element out of range");
+    DEF_REQUIRE(i == 0 || combo[i] > combo[i - 1],
+                "combination must be strictly increasing");
+    for (std::size_t v = prev; v < combo[i]; ++v)
+      rank += binomial(n - v - 1, k - i - 1);
+    prev = combo[i] + 1;
+  }
+  return rank;
+}
+
+std::vector<std::size_t> combination_unrank(std::uint64_t rank, std::size_t n,
+                                            std::size_t k) {
+  DEF_REQUIRE(k <= n, "combination size exceeds the ground set");
+  DEF_REQUIRE(rank < binomial(n, k), "rank out of range");
+  std::vector<std::size_t> combo;
+  combo.reserve(k);
+  std::size_t v = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    while (true) {
+      std::uint64_t below = binomial(n - v - 1, k - i - 1);
+      if (rank < below) break;
+      rank -= below;
+      ++v;
+    }
+    combo.push_back(v);
+    ++v;
+  }
+  return combo;
+}
+
+}  // namespace defender::util

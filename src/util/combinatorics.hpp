@@ -1,0 +1,50 @@
+// Combinatorial helpers used throughout the Tuple model.
+//
+// The Tuple model's defender strategy space is E^k — all k-subsets of the
+// edge set — so the library needs saturating binomial coefficients (to decide
+// when exhaustive enumeration over E^k is feasible), lexicographic k-subset
+// enumeration (the exhaustive best-response oracle of Theorem 3.4's
+// verifier), and the gcd/lcm arithmetic of Lemma 4.8's cyclic tuple
+// construction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace defender::util {
+
+/// Greatest common divisor; gcd(0, 0) == 0 by convention.
+std::uint64_t gcd(std::uint64_t a, std::uint64_t b);
+
+/// Least common multiple, saturating at UINT64_MAX on overflow.
+std::uint64_t lcm(std::uint64_t a, std::uint64_t b);
+
+/// Binomial coefficient C(n, k), saturating at UINT64_MAX on overflow.
+std::uint64_t binomial(std::uint64_t n, std::uint64_t k);
+
+/// Advances `combo` (strictly increasing indices into [0, n)) to the next
+/// k-subset in lexicographic order. Returns false when `combo` was the last
+/// subset (in which case its content is unspecified).
+bool next_combination(std::vector<std::size_t>& combo, std::size_t n);
+
+/// Invokes `visit` on every k-subset of [0, n) in lexicographic order.
+/// `visit` may return false to stop the enumeration early.
+void for_each_combination(
+    std::size_t n, std::size_t k,
+    const std::function<bool(const std::vector<std::size_t>&)>& visit);
+
+/// The first k-subset of [0, n) in lexicographic order: {0, 1, ..., k-1}.
+/// Requires k <= n.
+std::vector<std::size_t> first_combination(std::size_t n, std::size_t k);
+
+/// Rank of a k-subset (strictly increasing over [0, n)) in lexicographic
+/// order, i.e. its zero-based position among all C(n, k) subsets.
+std::uint64_t combination_rank(const std::vector<std::size_t>& combo,
+                               std::size_t n);
+
+/// Inverse of combination_rank: the k-subset of [0, n) with the given rank.
+std::vector<std::size_t> combination_unrank(std::uint64_t rank, std::size_t n,
+                                            std::size_t k);
+
+}  // namespace defender::util

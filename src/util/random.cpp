@@ -1,0 +1,57 @@
+#include "util/random.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace defender::util {
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  DEF_REQUIRE(bound > 0, "Rng::below requires a positive bound");
+  // Lemire's multiply-shift method with rejection of the biased region.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    std::uint64_t threshold = (0 - bound) % bound;
+    while (l < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+  DEF_REQUIRE(lo <= hi, "Rng::range requires lo <= hi");
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next());  // full 64-bit range
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+std::vector<std::size_t> sample_without_replacement(std::size_t population,
+                                                    std::size_t count,
+                                                    Rng& rng) {
+  DEF_REQUIRE(count <= population,
+              "cannot sample more items than the population holds");
+  // Floyd's algorithm: O(count) expected draws, O(count) memory.
+  std::vector<std::size_t> chosen;
+  chosen.reserve(count);
+  for (std::size_t j = population - count; j < population; ++j) {
+    std::size_t t = rng.below(j + 1);
+    bool seen = false;
+    for (std::size_t c : chosen) {
+      if (c == t) {
+        seen = true;
+        break;
+      }
+    }
+    chosen.push_back(seen ? j : t);
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+}  // namespace defender::util

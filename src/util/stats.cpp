@@ -1,0 +1,81 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace defender::util {
+
+Summary summarize(std::span<const double> sample) {
+  DEF_REQUIRE(!sample.empty(), "cannot summarize an empty sample");
+  Summary s;
+  s.count = sample.size();
+  s.min = sample[0];
+  s.max = sample[0];
+  double sum = 0;
+  for (double v : sample) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  if (s.count > 1) {
+    double ss = 0;
+    for (double v : sample) ss += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(s.count - 1));
+  }
+  return s;
+}
+
+double ci95_halfwidth(const Summary& s) {
+  if (s.count < 2) return 0;
+  return 1.96 * s.stddev / std::sqrt(static_cast<double>(s.count));
+}
+
+LinearFit fit_line(std::span<const double> xs, std::span<const double> ys) {
+  DEF_REQUIRE(xs.size() == ys.size(), "fit_line needs equal-length samples");
+  DEF_REQUIRE(xs.size() >= 2, "fit_line needs at least two points");
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / n, my = sy / n;
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  DEF_REQUIRE(sxx > 0, "fit_line needs non-constant xs");
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = syy > 0 ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return fit;
+}
+
+double correlation(std::span<const double> xs, std::span<const double> ys) {
+  DEF_REQUIRE(xs.size() == ys.size(),
+              "correlation needs equal-length samples");
+  DEF_REQUIRE(xs.size() >= 2, "correlation needs at least two points");
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / n, my = sy / n;
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  DEF_REQUIRE(sxx > 0 && syy > 0, "correlation needs non-constant samples");
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace defender::util

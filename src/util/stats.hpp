@@ -1,0 +1,40 @@
+// Summary statistics and least-squares fits for the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace defender::util {
+
+/// Summary of a sample: count, mean, unbiased standard deviation, extrema.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double max = 0;
+};
+
+/// Computes a Summary; requires a nonempty sample.
+Summary summarize(std::span<const double> sample);
+
+/// Half-width of the ~95% normal confidence interval for the sample mean.
+double ci95_halfwidth(const Summary& s);
+
+/// Ordinary least-squares fit of y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0;
+  double intercept = 0;
+  /// Coefficient of determination in [0, 1] (1 = perfect fit).
+  double r_squared = 0;
+};
+
+/// Fits a line through (xs, ys); requires at least two points with
+/// non-constant xs.
+LinearFit fit_line(std::span<const double> xs, std::span<const double> ys);
+
+/// Pearson correlation coefficient of two equal-length samples.
+double correlation(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace defender::util

@@ -1,0 +1,32 @@
+// Wall-clock stopwatch for the experiment harness.
+#pragma once
+
+#include <chrono>
+
+namespace defender::util {
+
+/// Steady-clock stopwatch; starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double millis() const { return seconds() * 1e3; }
+
+  /// Elapsed time in microseconds.
+  double micros() const { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace defender::util

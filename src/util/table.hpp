@@ -1,0 +1,70 @@
+// ASCII tables and CSV output for the experiment harness.
+//
+// Every bench binary reports its claim-vs-measured rows through Table so that
+// the harness output reads like the paper's (hypothetical) tables.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace defender::util {
+
+/// Column alignment for Table rendering.
+enum class Align { kLeft, kRight };
+
+/// A simple string-cell table with aligned ASCII rendering and CSV export.
+class Table {
+ public:
+  /// Creates a table with the given column headers (all right-aligned by
+  /// default except the first, which is left-aligned — the common layout for
+  /// "label, then numbers" experiment rows).
+  explicit Table(std::vector<std::string> headers);
+
+  /// Overrides the alignment of column `col`.
+  void set_align(std::size_t col, Align align);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats each argument with format_cell and appends.
+  template <typename... Args>
+  void add(const Args&... args) {
+    add_row({format_cell(args)...});
+  }
+
+  /// Number of data rows.
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders the table with a header rule and aligned columns.
+  std::string to_string() const;
+
+  /// Renders the table as RFC-4180-ish CSV (no quoting of embedded commas —
+  /// cells in this library never contain them).
+  std::string to_csv() const;
+
+  /// Prints to_string() to `os` followed by a newline.
+  void print(std::ostream& os) const;
+
+  /// Formats a value for a cell: strings pass through, floating-point values
+  /// are rendered with up to 6 significant digits, integers verbatim.
+  static std::string format_cell(const std::string& v) { return v; }
+  static std::string format_cell(const char* v) { return v; }
+  static std::string format_cell(bool v) { return v ? "yes" : "no"; }
+  static std::string format_cell(double v);
+  template <typename T>
+  static std::string format_cell(T v) {
+    return std::to_string(v);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `v` with `digits` digits after the decimal point.
+std::string fixed(double v, int digits);
+
+}  // namespace defender::util

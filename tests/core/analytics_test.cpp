@@ -1,0 +1,73 @@
+#include "core/analytics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/atuple.hpp"
+#include "core/k_matching.hpp"
+#include "core/payoff.hpp"
+#include "graph/generators.hpp"
+#include "util/assert.hpp"
+
+namespace defender::core {
+namespace {
+
+TEST(DefenseRatio, InverseOfProfitShare) {
+  const TupleGame game(graph::cycle_graph(8), 2, 8);
+  EXPECT_DOUBLE_EQ(defense_ratio(game, 8.0), 1.0);   // everything caught
+  EXPECT_DOUBLE_EQ(defense_ratio(game, 4.0), 2.0);
+  EXPECT_DOUBLE_EQ(defense_ratio(game, 1.0), 8.0);
+  EXPECT_THROW(defense_ratio(game, 0.0), ContractViolation);
+  EXPECT_THROW(defense_ratio(game, -1.0), ContractViolation);
+}
+
+TEST(CoverageCeiling, TwoKOverNCappedAtOne) {
+  EXPECT_DOUBLE_EQ(coverage_ceiling(TupleGame(graph::cycle_graph(10), 2, 1)),
+                   0.4);
+  EXPECT_DOUBLE_EQ(coverage_ceiling(TupleGame(graph::cycle_graph(10), 5, 1)),
+                   1.0);
+  EXPECT_DOUBLE_EQ(coverage_ceiling(TupleGame(graph::cycle_graph(10), 9, 1)),
+                   1.0);  // capped
+}
+
+TEST(DefenseOptimality, NormalizedAgainstTheCeiling) {
+  const TupleGame game(graph::cycle_graph(10), 2, 1);
+  EXPECT_DOUBLE_EQ(defense_optimality(game, 0.4), 1.0);
+  EXPECT_DOUBLE_EQ(defense_optimality(game, 0.2), 0.5);
+  EXPECT_THROW(defense_optimality(game, 1.5), ContractViolation);
+  EXPECT_THROW(defense_optimality(game, -0.1), ContractViolation);
+}
+
+TEST(DefenseOptimality, KMatchingRatioIsHalfNOverIs) {
+  // k-matching hit = k/|IS|, ceiling = 2k/n -> optimality = n / (2|IS|).
+  for (const auto& g : {graph::path_graph(9), graph::star_graph(6),
+                        graph::grid_graph(3, 4)}) {
+    const TupleGame game(g, 2, 1);
+    const auto result = a_tuple_bipartite(game);
+    ASSERT_TRUE(result.has_value());
+    const double hit = analytic_hit_probability(game, result->k_matching_ne);
+    const double is_size =
+        static_cast<double>(result->k_matching_ne.vp_support.size());
+    EXPECT_NEAR(defense_optimality(game, hit),
+                static_cast<double>(g.num_vertices()) / (2.0 * is_size),
+                1e-12);
+  }
+}
+
+TEST(DefenseOptimality, NeverExceedsOneForConstructedEquilibria) {
+  for (const auto& g :
+       {graph::cycle_graph(12), graph::complete_bipartite(3, 9),
+        graph::hypercube_graph(4)}) {
+    for (std::size_t k = 1; k <= 3; ++k) {
+      const TupleGame game(g, k, 1);
+      const auto result = a_tuple_bipartite(game);
+      ASSERT_TRUE(result.has_value());
+      const double opt = defense_optimality(
+          game, analytic_hit_probability(game, result->k_matching_ne));
+      EXPECT_LE(opt, 1.0 + 1e-12);
+      EXPECT_GT(opt, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace defender::core

@@ -1,0 +1,98 @@
+#include "core/atuple.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/characterization.hpp"
+#include "core/payoff.hpp"
+#include "graph/generators.hpp"
+#include "util/random.hpp"
+
+namespace defender::core {
+namespace {
+
+TEST(ATuple, ComputesAKMatchingNeOnAGivenPartition) {
+  const graph::Graph g = graph::cycle_graph(8);
+  const TupleGame game(g, 3, 2);
+  const auto result = a_tuple(game, make_partition(g, {0, 2, 4, 6}));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(is_k_matching_configuration(game, result->k_matching_ne.vp_support,
+                                          result->k_matching_ne.tp_support));
+  EXPECT_TRUE(verify_mixed_ne(game, result->configuration,
+                              Oracle::kExhaustive)
+                  .is_ne());
+  EXPECT_EQ(result->support_size, 4u);       // 4 / gcd(4,3)
+  EXPECT_EQ(result->tuples_per_edge, 3u);    // 3 / gcd(4,3)
+}
+
+TEST(ATuple, FailsGracefullyOnBadPartition) {
+  const graph::Graph g = graph::complete_graph(3);
+  const TupleGame game(g, 1, 1);
+  EXPECT_FALSE(a_tuple(game, make_partition(g, {0})).has_value());
+}
+
+TEST(ATupleBipartite, Theorem51EndToEnd) {
+  for (const auto& g :
+       {graph::path_graph(8), graph::grid_graph(3, 4),
+        graph::complete_bipartite(3, 5), graph::hypercube_graph(3)}) {
+    const std::size_t kmax = std::min<std::size_t>(3, g.num_edges());
+    for (std::size_t k = 1; k <= kmax; ++k) {
+      const TupleGame game(g, k, 2);
+      const auto result = a_tuple_bipartite(game);
+      ASSERT_TRUE(result.has_value()) << "k=" << k;
+      EXPECT_TRUE(verify_mixed_ne(game, result->configuration,
+                                  Oracle::kBranchAndBound)
+                      .is_ne())
+          << "k=" << k;
+    }
+  }
+}
+
+TEST(ATupleBipartite, RefusesNonBipartiteBoards) {
+  const TupleGame game(graph::petersen_graph(), 2, 1);
+  EXPECT_FALSE(a_tuple_bipartite(game).has_value());
+}
+
+TEST(FindKMatchingNe, DispatchFindsEquilibriaBeyondBipartite) {
+  // C9 is non-bipartite; greedy/exhaustive partition discovery must still
+  // find nothing (|IS| <= 4 < |VC|), while stars succeed.
+  const TupleGame star_game(graph::star_graph(7), 3, 1);
+  const auto star = find_k_matching_ne(star_game);
+  ASSERT_TRUE(star.has_value());
+  EXPECT_TRUE(verify_mixed_ne(star_game, star->configuration,
+                              Oracle::kBranchAndBound)
+                  .is_ne());
+
+  const TupleGame c9_game(graph::cycle_graph(9), 2, 1);
+  EXPECT_FALSE(find_k_matching_ne(c9_game).has_value());
+}
+
+TEST(ATuple, EdgeModelResultMatchesAlgorithmA) {
+  const graph::Graph g = graph::cycle_graph(8);
+  const TupleGame game(g, 2, 1);
+  const Partition p = make_partition(g, {0, 2, 4, 6});
+  const auto result = a_tuple(game, p);
+  const auto direct = compute_matching_ne(g, p);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(direct.has_value());
+  EXPECT_EQ(result->edge_model_ne.vp_support, direct->vp_support);
+  EXPECT_EQ(result->edge_model_ne.tp_support, direct->tp_support);
+}
+
+TEST(ATuple, SupportTuplesAreDistinctForEveryKE) {
+  const graph::Graph g = graph::complete_bipartite(4, 6);
+  const auto partition = find_partition_bipartite(g);
+  ASSERT_TRUE(partition.has_value());
+  const std::size_t e_num = partition->independent_set.size();
+  for (std::size_t k = 1; k <= e_num; ++k) {
+    const TupleGame game(g, k, 1);
+    const auto result = a_tuple(game, *partition);
+    ASSERT_TRUE(result.has_value()) << "k=" << k;
+    auto tuples = result->k_matching_ne.tp_support;
+    std::sort(tuples.begin(), tuples.end());
+    EXPECT_EQ(std::adjacent_find(tuples.begin(), tuples.end()), tuples.end())
+        << "duplicate tuples at k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace defender::core

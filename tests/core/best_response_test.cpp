@@ -1,0 +1,90 @@
+#include "core/best_response.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/payoff.hpp"
+#include "graph/generators.hpp"
+#include "util/assert.hpp"
+#include "util/random.hpp"
+
+namespace defender::core {
+namespace {
+
+TEST(BestTupleExhaustive, FindsHeaviestPair) {
+  const TupleGame game(graph::path_graph(5), 2, 1);
+  // Mass concentrated on vertices 0 and 4: the optimal pair of edges is
+  // {(0,1), (3,4)} with mass 1.0.
+  const std::vector<double> masses{0.5, 0.0, 0.0, 0.0, 0.5};
+  const BestTuple best = best_tuple_exhaustive(game, masses);
+  EXPECT_DOUBLE_EQ(best.mass, 1.0);
+  EXPECT_EQ(best.tuple, (Tuple{0, 3}));
+}
+
+TEST(BestTupleExhaustive, RespectsEnumerationLimit) {
+  const TupleGame big(graph::complete_graph(30), 10, 1);  // C(435,10) huge
+  const std::vector<double> masses(30, 1.0 / 30);
+  EXPECT_THROW(best_tuple_exhaustive(big, masses), ContractViolation);
+}
+
+TEST(BestTupleBranchAndBound, AgreesWithExhaustiveOnRandomInstances) {
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    util::Rng rng(seed);
+    const graph::Graph g = graph::gnp_graph(8, 0.4, rng);
+    const std::size_t k = 1 + seed % std::min<std::size_t>(4, g.num_edges());
+    const TupleGame game(g, k, 1);
+    std::vector<double> masses(g.num_vertices());
+    double sum = 0;
+    for (double& m : masses) {
+      m = rng.uniform01();
+      sum += m;
+    }
+    for (double& m : masses) m /= sum;
+    const BestTuple ex = best_tuple_exhaustive(game, masses);
+    const BestTuple bb = best_tuple_branch_and_bound(game, masses);
+    EXPECT_NEAR(ex.mass, bb.mass, 1e-9) << "seed " << seed << " k " << k;
+    EXPECT_NEAR(tuple_mass(g, masses, bb.tuple), bb.mass, 1e-12);
+  }
+}
+
+TEST(BestTupleBranchAndBound, OverlapForcesNonGreedyChoice) {
+  // Star: every edge covers the hub, so two edges overlap there. With hub
+  // mass large, the greedy per-edge bound overestimates; the exact optimum
+  // must count the hub once.
+  const TupleGame game(graph::star_graph(4), 2, 1);
+  const std::vector<double> masses{0.8, 0.05, 0.05, 0.05, 0.05};
+  const BestTuple best = best_tuple_branch_and_bound(game, masses);
+  EXPECT_NEAR(best.mass, 0.9, 1e-12);  // hub + two leaves
+}
+
+TEST(BestTupleBranchAndBound, KEqualsMCoversWholeEdgeSet) {
+  const TupleGame game(graph::cycle_graph(5), 5, 1);
+  const std::vector<double> masses(5, 0.2);
+  const BestTuple best = best_tuple_branch_and_bound(game, masses);
+  EXPECT_NEAR(best.mass, 1.0, 1e-12);
+  EXPECT_EQ(best.tuple.size(), 5u);
+}
+
+TEST(BestTupleAuto, DispatchesWithoutViolation) {
+  const TupleGame small(graph::path_graph(4), 1, 1);
+  const std::vector<double> masses{0.25, 0.25, 0.25, 0.25};
+  EXPECT_NO_THROW(best_tuple(small, masses));
+  const TupleGame big(graph::complete_graph(25), 8, 1);
+  const std::vector<double> big_masses(25, 0.04);
+  const BestTuple best = best_tuple(big, big_masses);
+  EXPECT_NEAR(best.mass, 16 * 0.04, 1e-9);  // 8 disjoint edges
+}
+
+TEST(MinHitVertices, PicksAllMinimizers) {
+  EXPECT_EQ(min_hit_vertices({0.5, 0.2, 0.2, 0.9}),
+            (graph::VertexSet{1, 2}));
+  EXPECT_EQ(min_hit_vertices({0.0, 0.0}), (graph::VertexSet{0, 1}));
+  EXPECT_THROW(min_hit_vertices({}), ContractViolation);
+}
+
+TEST(MinHitVertices, ToleranceMergesNearTies) {
+  EXPECT_EQ(min_hit_vertices({0.2, 0.2 + 1e-12, 0.5}, 1e-9),
+            (graph::VertexSet{0, 1}));
+}
+
+}  // namespace
+}  // namespace defender::core

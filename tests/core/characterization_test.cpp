@@ -1,0 +1,135 @@
+#include "core/characterization.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/payoff.hpp"
+#include "graph/generators.hpp"
+#include "util/assert.hpp"
+
+namespace defender::core {
+namespace {
+
+// C6 edge ids: 0:(0,1) 1:(0,5) 2:(1,2) 3:(2,3) 4:(3,4) 5:(4,5).
+TupleGame c6(std::size_t k, std::size_t nu = 2) {
+  return TupleGame(graph::cycle_graph(6), k, nu);
+}
+
+// The alternating equilibrium of C6 for k = 1: attackers uniform on
+// {0, 2, 4}, defender uniform on the three disjoint covering edges
+// (0,1), (2,3), (4,5) = ids {0, 3, 5}.
+MixedConfiguration c6_equilibrium(const TupleGame& game) {
+  return symmetric_configuration(
+      game, VertexDistribution::uniform({0, 2, 4}),
+      TupleDistribution::uniform({{0}, {3}, {5}}));
+}
+
+TEST(VerifyMixedNe, AcceptsTheAlternatingCycleEquilibrium) {
+  const TupleGame game = c6(1);
+  const CharacterizationReport r =
+      verify_mixed_ne(game, c6_equilibrium(game), Oracle::kExhaustive);
+  EXPECT_TRUE(r.edge_cover);
+  EXPECT_TRUE(r.vertex_cover_of_support);
+  EXPECT_TRUE(r.hits_uniform_minimum);
+  EXPECT_TRUE(r.defender_probs_sum_to_one);
+  EXPECT_TRUE(r.support_tuples_maximal);
+  EXPECT_TRUE(r.support_mass_is_nu);
+  EXPECT_TRUE(r.is_ne());
+  EXPECT_NEAR(r.min_hit, 1.0 / 3, 1e-12);
+}
+
+TEST(VerifyMixedNe, RejectsWhenSupportIsNotAnEdgeCover) {
+  const TupleGame game = c6(1);
+  // Defender only ever plays edge (0,1): vertices 2..5 are uncovered.
+  const MixedConfiguration bad = symmetric_configuration(
+      game, VertexDistribution::uniform({3}),
+      TupleDistribution::uniform({{0}}));
+  const CharacterizationReport r =
+      verify_mixed_ne(game, bad, Oracle::kExhaustive);
+  EXPECT_FALSE(r.edge_cover);
+  EXPECT_FALSE(r.is_ne());
+}
+
+TEST(VerifyMixedNe, RejectsSkewedDefenderProbabilities) {
+  const TupleGame game = c6(1);
+  // Same support as the equilibrium but non-uniform defender probabilities:
+  // hit probabilities on the attacker support stop being minimal-uniform.
+  const MixedConfiguration skew = symmetric_configuration(
+      game, VertexDistribution::uniform({0, 2, 4}),
+      TupleDistribution({{0}, {3}, {5}}, {0.6, 0.2, 0.2}));
+  const CharacterizationReport r =
+      verify_mixed_ne(game, skew, Oracle::kExhaustive);
+  EXPECT_FALSE(r.hits_uniform_minimum);
+  EXPECT_FALSE(r.is_ne());
+}
+
+TEST(VerifyMixedNe, RejectsAttackerMassOutsideBestTuples) {
+  const TupleGame game = c6(1, 3);
+  // Attackers pile on a single vertex; the defender's uniform support
+  // includes tuples that miss it, so support tuples are not all maximal.
+  const MixedConfiguration bad = symmetric_configuration(
+      game, VertexDistribution::uniform({0}),
+      TupleDistribution::uniform({{0}, {3}, {5}}));
+  const CharacterizationReport r =
+      verify_mixed_ne(game, bad, Oracle::kExhaustive);
+  EXPECT_FALSE(r.support_tuples_maximal);
+  EXPECT_FALSE(r.is_ne());
+}
+
+TEST(VerifyMixedNe, ReportDescribesEveryClause) {
+  const TupleGame game = c6(1);
+  const CharacterizationReport r =
+      verify_mixed_ne(game, c6_equilibrium(game), Oracle::kExhaustive);
+  const std::string text = r.describe();
+  EXPECT_NE(text.find("edge cover"), std::string::npos);
+  EXPECT_NE(text.find("2a."), std::string::npos);
+  EXPECT_NE(text.find("3b."), std::string::npos);
+  EXPECT_NE(text.find("PASS"), std::string::npos);
+}
+
+TEST(BestResponseCheck, AgreesWithCharacterizationOnEquilibria) {
+  const TupleGame game = c6(1);
+  EXPECT_TRUE(is_mixed_ne_by_best_response(game, c6_equilibrium(game),
+                                           Oracle::kExhaustive));
+}
+
+TEST(BestResponseCheck, RejectsNonEquilibria) {
+  const TupleGame game = c6(1);
+  const MixedConfiguration bad = symmetric_configuration(
+      game, VertexDistribution::uniform({0, 1}),
+      TupleDistribution::uniform({{0}}));
+  EXPECT_FALSE(is_mixed_ne_by_best_response(game, bad, Oracle::kExhaustive));
+}
+
+TEST(VerifyMixedNe, OraclesAgree) {
+  const TupleGame game = c6(2);
+  // Lift of the alternating equilibrium to k = 2 (three cyclic windows).
+  const MixedConfiguration config = symmetric_configuration(
+      game, VertexDistribution::uniform({0, 2, 4}),
+      TupleDistribution::uniform({{0, 3}, {3, 5}, {0, 5}}));
+  const auto ex = verify_mixed_ne(game, config, Oracle::kExhaustive);
+  const auto bb = verify_mixed_ne(game, config, Oracle::kBranchAndBound);
+  EXPECT_EQ(ex.is_ne(), bb.is_ne());
+  EXPECT_NEAR(ex.max_tuple_mass, bb.max_tuple_mass, 1e-9);
+  EXPECT_TRUE(ex.is_ne());
+}
+
+TEST(VerifyMixedNe, FullCoverTupleIsANashButFailsCondition1) {
+  // A single tuple that covers every vertex is a mutual best response for
+  // any attacker placement, yet Theorem 3.4's condition 1 (D(VP) a vertex
+  // cover of the defended subgraph) can fail — the Claim 3.6 edge case
+  // documented in DESIGN.md.
+  const TupleGame game = c6(3, 2);
+  const MixedConfiguration config = symmetric_configuration(
+      game, VertexDistribution::uniform({1}),
+      TupleDistribution::uniform({{0, 3, 5}}));  // disjoint perfect cover
+  EXPECT_TRUE(is_mixed_ne_by_best_response(game, config, Oracle::kExhaustive));
+  const CharacterizationReport r =
+      verify_mixed_ne(game, config, Oracle::kExhaustive);
+  EXPECT_FALSE(r.vertex_cover_of_support);
+  EXPECT_TRUE(r.edge_cover);
+  EXPECT_TRUE(r.hits_uniform_minimum);
+  EXPECT_TRUE(r.support_tuples_maximal);
+}
+
+}  // namespace
+}  // namespace defender::core

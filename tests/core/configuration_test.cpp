@@ -1,0 +1,112 @@
+#include "core/configuration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/assert.hpp"
+
+namespace defender::core {
+namespace {
+
+TupleGame c6_game(std::size_t k = 2, std::size_t nu = 3) {
+  return TupleGame(graph::cycle_graph(6), k, nu);
+}
+
+TEST(MakeTuple, SortsAndValidates) {
+  const TupleGame game = c6_game(3);
+  EXPECT_EQ(make_tuple(game, {5, 0, 2}), (Tuple{0, 2, 5}));
+  EXPECT_THROW(make_tuple(game, {0, 1}), ContractViolation);      // wrong k
+  EXPECT_THROW(make_tuple(game, {0, 1, 1}), ContractViolation);   // duplicate
+  EXPECT_THROW(make_tuple(game, {0, 1, 99}), ContractViolation);  // range
+}
+
+TEST(TupleVertices, DistinctEndpoints) {
+  const TupleGame game = c6_game(2);
+  const graph::Graph& g = game.graph();
+  const Tuple t{*g.edge_id(0, 1), *g.edge_id(1, 2)};
+  EXPECT_EQ(tuple_vertices(g, t), (graph::VertexSet{0, 1, 2}));
+}
+
+TEST(VertexDistribution, UniformSplitsEvenly) {
+  const VertexDistribution d = VertexDistribution::uniform({4, 0, 2});
+  EXPECT_EQ(d.support().size(), 3u);
+  EXPECT_TRUE(std::is_sorted(d.support().begin(), d.support().end()));
+  for (double p : d.probs()) EXPECT_DOUBLE_EQ(p, 1.0 / 3);
+  EXPECT_DOUBLE_EQ(d.prob(2), 1.0 / 3);
+  EXPECT_DOUBLE_EQ(d.prob(1), 0.0);
+}
+
+TEST(VertexDistribution, ValidatesProbabilities) {
+  EXPECT_THROW(VertexDistribution({0, 1}, {0.5, 0.4}), ContractViolation);
+  EXPECT_THROW(VertexDistribution({0, 1}, {1.1, -0.1}), ContractViolation);
+  EXPECT_THROW(VertexDistribution({1, 0}, {0.5, 0.5}), ContractViolation);
+  EXPECT_THROW(VertexDistribution({}, {}), ContractViolation);
+  EXPECT_NO_THROW(VertexDistribution({0, 1}, {0.25, 0.75}));
+}
+
+TEST(TupleDistribution, UniformAndEdgeUnion) {
+  const TupleDistribution d = TupleDistribution::uniform({{0, 1}, {1, 2}});
+  EXPECT_EQ(d.support().size(), 2u);
+  EXPECT_DOUBLE_EQ(d.probs()[0], 0.5);
+  EXPECT_EQ(d.edge_union(), (graph::EdgeSet{0, 1, 2}));
+}
+
+TEST(TupleDistribution, RejectsDuplicateTuples) {
+  EXPECT_THROW(TupleDistribution::uniform({{0, 1}, {0, 1}}),
+               ContractViolation);
+}
+
+TEST(TupleDistribution, RejectsUnsortedOrRepeatedEdges) {
+  EXPECT_THROW(TupleDistribution::uniform({{1, 0}}), ContractViolation);
+  EXPECT_THROW(TupleDistribution::uniform({{1, 1}}), ContractViolation);
+}
+
+TEST(SymmetricConfiguration, ReplicatesAttackerDistribution) {
+  const TupleGame game = c6_game(2, 4);
+  const MixedConfiguration config = symmetric_configuration(
+      game, VertexDistribution::uniform({0, 3}),
+      TupleDistribution::uniform({{0, 1}, {2, 3}}));
+  EXPECT_EQ(config.attackers.size(), 4u);
+  for (const auto& d : config.attackers)
+    EXPECT_EQ(d.support().size(), 2u);
+  EXPECT_EQ(config.attacker_support_union(), (graph::VertexSet{0, 3}));
+}
+
+TEST(Validate, CatchesWrongAttackerCount) {
+  const TupleGame game = c6_game(2, 3);
+  MixedConfiguration config{
+      {VertexDistribution::uniform({0})},  // one attacker instead of three
+      TupleDistribution::uniform({{0, 1}})};
+  EXPECT_THROW(validate(game, config), ContractViolation);
+}
+
+TEST(Validate, CatchesWrongTupleWidth) {
+  const TupleGame game = c6_game(2, 1);
+  MixedConfiguration config{{VertexDistribution::uniform({0})},
+                            TupleDistribution::uniform({{0}})};
+  EXPECT_THROW(validate(game, config), ContractViolation);
+}
+
+TEST(ToMixed, DegenerateDistributions) {
+  const TupleGame game = c6_game(2, 2);
+  PureConfiguration pure{{1, 4}, {0, 3}};
+  const MixedConfiguration mixed = to_mixed(game, pure);
+  EXPECT_EQ(mixed.attackers[0].support()[0], 1u);
+  EXPECT_EQ(mixed.attackers[1].support()[0], 4u);
+  EXPECT_EQ(mixed.defender.support()[0], (Tuple{0, 3}));
+  EXPECT_DOUBLE_EQ(mixed.defender.probs()[0], 1.0);
+}
+
+TEST(Describe, MentionsPlayersAndEdges) {
+  const TupleGame game = c6_game(1, 1);
+  const MixedConfiguration config = symmetric_configuration(
+      game, VertexDistribution::uniform({0}),
+      TupleDistribution::uniform({{0}}));
+  const std::string s = describe(game, config);
+  EXPECT_NE(s.find("vp_1"), std::string::npos);
+  EXPECT_NE(s.find("tp:"), std::string::npos);
+  EXPECT_NE(s.find("Pi_1(G)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace defender::core

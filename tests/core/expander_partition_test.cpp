@@ -1,0 +1,126 @@
+#include "core/expander_partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "util/assert.hpp"
+#include "util/random.hpp"
+
+namespace defender::core {
+namespace {
+
+TEST(MakePartition, SplitsAndValidates) {
+  const graph::Graph g = graph::cycle_graph(6);
+  const Partition p = make_partition(g, {0, 2, 4});
+  EXPECT_EQ(p.independent_set, (graph::VertexSet{0, 2, 4}));
+  EXPECT_EQ(p.vertex_cover, (graph::VertexSet{1, 3, 5}));
+  EXPECT_THROW(make_partition(g, {0, 1}), ContractViolation);
+}
+
+TEST(IsVcExpander, AlternatingCyclePartition) {
+  const graph::Graph g = graph::cycle_graph(6);
+  EXPECT_TRUE(is_vc_expander(g, make_partition(g, {0, 2, 4})));
+}
+
+TEST(IsVcExpander, TriangleSingletonFails) {
+  // DESIGN.md interpretation note 1: the triangle pins down the "into IS"
+  // reading — {b, c} cannot both be matched into the single IS vertex.
+  const graph::Graph g = graph::complete_graph(3);
+  EXPECT_FALSE(is_vc_expander(g, make_partition(g, {0})));
+}
+
+TEST(IsVcExpander, AgreesWithBruteForceOnSmallGraphs) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 60; ++trial) {
+    const graph::Graph g = graph::gnp_graph(7, 0.35, rng);
+    // Build a random maximal independent set.
+    std::vector<graph::Vertex> order(g.num_vertices());
+    for (graph::Vertex v = 0; v < g.num_vertices(); ++v) order[v] = v;
+    util::shuffle(order, rng);
+    std::vector<char> blocked(g.num_vertices(), 0);
+    graph::VertexSet is;
+    for (graph::Vertex v : order) {
+      if (blocked[v]) continue;
+      is.push_back(v);
+      for (const auto& inc : g.neighbors(v)) blocked[inc.to] = 1;
+    }
+    const Partition p = make_partition(g, is);
+    EXPECT_EQ(is_vc_expander(g, p),
+              graph::is_expander_into_complement_bruteforce(g,
+                                                            p.vertex_cover))
+        << "trial " << trial;
+  }
+}
+
+TEST(VcSaturatingMatching, WitnessPairsEveryCoverVertexIntoIs) {
+  const graph::Graph g = graph::complete_bipartite(3, 5);
+  const auto p = find_partition_bipartite(g);
+  ASSERT_TRUE(p.has_value());
+  const auto m = vc_saturating_matching(g, *p);
+  ASSERT_TRUE(m.has_value());
+  for (graph::Vertex v : p->vertex_cover) {
+    EXPECT_TRUE(m->is_matched(v));
+    EXPECT_TRUE(graph::contains(p->independent_set, m->mate(v)));
+  }
+}
+
+TEST(FindPartitionBipartite, KonigPartitionOnFamilies) {
+  for (const auto& g :
+       {graph::path_graph(8), graph::cycle_graph(10), graph::grid_graph(3, 4),
+        graph::hypercube_graph(3), graph::star_graph(7)}) {
+    const auto p = find_partition_bipartite(g);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_TRUE(graph::is_independent_set(g, p->independent_set));
+    EXPECT_TRUE(graph::is_vertex_cover(g, p->vertex_cover));
+    EXPECT_TRUE(is_vc_expander(g, *p));
+  }
+}
+
+TEST(FindPartitionBipartite, RefusesNonBipartite) {
+  EXPECT_FALSE(find_partition_bipartite(graph::petersen_graph()).has_value());
+}
+
+TEST(FindPartitionExhaustive, FindsPartitionOnOddCycle) {
+  // C5 is non-bipartite yet admits a matching NE partition:
+  // IS = {0, 2}, VC = {1, 3, 4}? No — |VC| > |IS| can't saturate. The
+  // exhaustive search must settle this definitively.
+  const auto p = find_partition_exhaustive(graph::cycle_graph(5));
+  // For C5: any IS has size <= 2, so VC has size >= 3 > |IS| and can never
+  // be saturated into IS. No partition exists.
+  EXPECT_FALSE(p.has_value());
+}
+
+TEST(FindPartitionExhaustive, CompleteGraphHasNone) {
+  EXPECT_FALSE(find_partition_exhaustive(graph::complete_graph(4)).has_value());
+}
+
+TEST(FindPartitionExhaustive, AgreesWithBipartiteRoute) {
+  for (const auto& g : {graph::path_graph(6), graph::cycle_graph(8),
+                        graph::complete_bipartite(2, 4)}) {
+    EXPECT_TRUE(find_partition_exhaustive(g).has_value());
+  }
+}
+
+TEST(FindPartitionGreedy, SucceedsOnStars) {
+  const graph::Graph g = graph::star_graph(6);
+  const auto p = find_partition_greedy(g);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->vertex_cover, (graph::VertexSet{0}));
+}
+
+TEST(FindPartition, DispatchCoversRepresentativeFamilies) {
+  EXPECT_TRUE(find_partition(graph::grid_graph(4, 4)).has_value());
+  EXPECT_TRUE(find_partition(graph::star_graph(9)).has_value());
+  EXPECT_FALSE(find_partition(graph::complete_graph(5)).has_value());
+}
+
+TEST(FindPartition, PetersenGraphHasAPartition) {
+  // Petersen: IS = a maximum independent set of size 4; VC = 6 vertices.
+  // |VC| > |IS| means no saturating matching, so actually NO partition can
+  // exist on the Petersen graph (any IS has at most 4 vertices).
+  EXPECT_FALSE(find_partition(graph::petersen_graph()).has_value());
+}
+
+}  // namespace
+}  // namespace defender::core

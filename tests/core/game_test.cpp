@@ -1,0 +1,51 @@
+#include "core/game.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/assert.hpp"
+
+namespace defender::core {
+namespace {
+
+TEST(TupleGame, StoresParameters) {
+  const TupleGame game(graph::cycle_graph(6), 2, 5);
+  EXPECT_EQ(game.graph().num_vertices(), 6u);
+  EXPECT_EQ(game.k(), 2u);
+  EXPECT_EQ(game.num_attackers(), 5u);
+}
+
+TEST(TupleGame, RejectsIsolatedVertices) {
+  const graph::Graph g = graph::GraphBuilder(3).add_edge(0, 1).build();
+  EXPECT_THROW(TupleGame(g, 1, 1), ContractViolation);
+}
+
+TEST(TupleGame, RejectsOutOfRangeK) {
+  EXPECT_THROW(TupleGame(graph::path_graph(3), 0, 1), ContractViolation);
+  EXPECT_THROW(TupleGame(graph::path_graph(3), 3, 1), ContractViolation);
+  EXPECT_NO_THROW(TupleGame(graph::path_graph(3), 2, 1));
+}
+
+TEST(TupleGame, RejectsZeroAttackers) {
+  EXPECT_THROW(TupleGame(graph::path_graph(3), 1, 0), ContractViolation);
+}
+
+TEST(TupleGame, RejectsEmptyGraph) {
+  EXPECT_THROW(TupleGame(graph::Graph{}, 1, 1), ContractViolation);
+}
+
+TEST(TupleGame, CountsTuples) {
+  const TupleGame game(graph::complete_graph(5), 3, 1);  // C(10, 3)
+  EXPECT_EQ(game.num_tuples(), 120u);
+}
+
+TEST(TupleGame, EdgeModelInstanceHasKOne) {
+  const TupleGame game(graph::cycle_graph(6), 3, 4);
+  const TupleGame edge = game.edge_model_instance();
+  EXPECT_EQ(edge.k(), 1u);
+  EXPECT_EQ(edge.num_attackers(), 4u);
+  EXPECT_EQ(edge.graph(), game.graph());
+}
+
+}  // namespace
+}  // namespace defender::core

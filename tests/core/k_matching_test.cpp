@@ -1,0 +1,101 @@
+#include "core/k_matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/characterization.hpp"
+#include "core/payoff.hpp"
+#include "graph/generators.hpp"
+#include "util/assert.hpp"
+
+namespace defender::core {
+namespace {
+
+// C6 edge ids: 0:(0,1) 1:(0,5) 2:(1,2) 3:(2,3) 4:(3,4) 5:(4,5).
+// The lifted alternating equilibrium for k = 2 on the defended edge set
+// {0, 3, 5}: cyclic windows {0,3}, {5,0}, {3,5}.
+KMatchingNe c6_k2_ne() {
+  return KMatchingNe{{0, 2, 4}, {{0, 3}, {0, 5}, {3, 5}}};
+}
+
+TEST(IsKMatchingConfiguration, AcceptsTheLiftedEquilibrium) {
+  const TupleGame game(graph::cycle_graph(6), 2, 2);
+  const KMatchingNe ne = c6_k2_ne();
+  EXPECT_TRUE(is_k_matching_configuration(game, ne.vp_support, ne.tp_support));
+}
+
+TEST(IsKMatchingConfiguration, RejectsDependentSupport) {
+  const TupleGame game(graph::cycle_graph(6), 2, 2);
+  EXPECT_FALSE(
+      is_k_matching_configuration(game, {0, 1}, c6_k2_ne().tp_support));
+}
+
+TEST(IsKMatchingConfiguration, RejectsDoubleIncidence) {
+  const TupleGame game(graph::cycle_graph(6), 2, 2);
+  // Vertex 0 is incident to edges 0:(0,1) and 1:(0,5) of the union.
+  EXPECT_FALSE(is_k_matching_configuration(game, {0}, {{0, 1}}));
+}
+
+TEST(IsKMatchingConfiguration, RejectsNonUniformEdgeMultiplicity) {
+  const TupleGame game(graph::cycle_graph(6), 2, 2);
+  // Edge 0 appears twice, edges 3 and 5 once each.
+  const std::vector<Tuple> uneven{{0, 3}, {0, 5}};
+  EXPECT_FALSE(is_k_matching_configuration(game, {0, 2, 4}, uneven));
+}
+
+TEST(TuplesPerEdge, ComputesAlpha) {
+  const TupleGame game(graph::cycle_graph(6), 2, 2);
+  EXPECT_EQ(tuples_per_edge(game, c6_k2_ne().tp_support), 2u);
+  const std::vector<Tuple> uneven{{0, 3}, {0, 5}};
+  EXPECT_FALSE(tuples_per_edge(game, uneven).has_value());
+  EXPECT_THROW(tuples_per_edge(game, {}), ContractViolation);
+}
+
+TEST(CoverConditions, HoldForTheLiftedEquilibrium) {
+  const TupleGame game(graph::cycle_graph(6), 2, 2);
+  EXPECT_TRUE(satisfies_cover_conditions(game, c6_k2_ne()));
+}
+
+TEST(CoverConditions, FailWhenEdgesMissVertices) {
+  const TupleGame game(graph::cycle_graph(6), 2, 2);
+  const KMatchingNe partial{{0, 2}, {{0, 3}}};
+  EXPECT_FALSE(satisfies_cover_conditions(game, partial));
+}
+
+TEST(ToConfiguration, Lemma41UniformProfileIsANashEquilibrium) {
+  const TupleGame game(graph::cycle_graph(6), 2, 4);
+  const MixedConfiguration config = to_configuration(game, c6_k2_ne());
+  EXPECT_TRUE(verify_mixed_ne(game, config, Oracle::kExhaustive).is_ne());
+}
+
+TEST(AnalyticHitProbability, Claim43Formula) {
+  const TupleGame game(graph::cycle_graph(6), 2, 4);
+  const KMatchingNe ne = c6_k2_ne();
+  // k / |E(D(tp))| = 2 / 3.
+  EXPECT_NEAR(analytic_hit_probability(game, ne), 2.0 / 3, 1e-12);
+  // And it matches the measured hit probabilities on the support.
+  const MixedConfiguration config = to_configuration(game, ne);
+  const std::vector<double> hit = hit_probabilities(game, config);
+  for (graph::Vertex v : ne.vp_support)
+    EXPECT_NEAR(hit[v], 2.0 / 3, 1e-12);
+}
+
+TEST(AnalyticDefenderProfit, Corollary410Formula) {
+  const TupleGame game(graph::cycle_graph(6), 2, 4);
+  const KMatchingNe ne = c6_k2_ne();
+  // k * nu / |D(VP)| = 2 * 4 / 3.
+  EXPECT_NEAR(analytic_defender_profit(game, ne), 8.0 / 3, 1e-12);
+  EXPECT_NEAR(defender_profit(game, to_configuration(game, ne)), 8.0 / 3,
+              1e-12);
+}
+
+TEST(Observation41, OneMatchingConfigurationsCoincideWithMatchingOnes) {
+  // For k = 1, a 1-matching configuration is exactly a matching
+  // configuration (Observation 4.1).
+  const TupleGame game(graph::cycle_graph(6), 1, 1);
+  const KMatchingNe ne{{0, 2, 4}, {{0}, {3}, {5}}};
+  EXPECT_TRUE(is_k_matching_configuration(game, ne.vp_support, ne.tp_support));
+  EXPECT_EQ(tuples_per_edge(game, ne.tp_support), 1u);
+}
+
+}  // namespace
+}  // namespace defender::core

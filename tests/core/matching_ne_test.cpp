@@ -1,0 +1,115 @@
+#include "core/matching_ne.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/characterization.hpp"
+#include "core/payoff.hpp"
+#include "graph/generators.hpp"
+#include "util/assert.hpp"
+#include "util/random.hpp"
+
+namespace defender::core {
+namespace {
+
+void expect_valid_matching_ne(const graph::Graph& g, const MatchingNe& ne) {
+  EXPECT_TRUE(is_matching_configuration(g, ne.vp_support, ne.tp_support));
+  EXPECT_TRUE(satisfies_cover_conditions(g, ne.vp_support, ne.tp_support));
+  EXPECT_EQ(ne.vp_support.size(), ne.tp_support.size());
+}
+
+TEST(IsMatchingConfiguration, Definition22OnExamples) {
+  const graph::Graph g = graph::cycle_graph(6);
+  // IS {0,2,4} with the three disjoint edges (0,1),(2,3),(4,5).
+  const graph::EdgeSet edges{*g.edge_id(0, 1), *g.edge_id(2, 3),
+                             *g.edge_id(4, 5)};
+  EXPECT_TRUE(is_matching_configuration(g, {0, 2, 4}, edges));
+  // Dependent support fails condition (1).
+  EXPECT_FALSE(is_matching_configuration(g, {0, 1}, edges));
+  // Vertex 0 incident to two support edges fails condition (2).
+  const graph::EdgeSet doubled{*g.edge_id(0, 1), *g.edge_id(0, 5)};
+  EXPECT_FALSE(is_matching_configuration(g, {0}, doubled));
+}
+
+TEST(ComputeMatchingNe, AlternatingCycle) {
+  const graph::Graph g = graph::cycle_graph(8);
+  const auto ne =
+      compute_matching_ne(g, make_partition(g, {0, 2, 4, 6}));
+  ASSERT_TRUE(ne.has_value());
+  expect_valid_matching_ne(g, *ne);
+  EXPECT_EQ(ne->vp_support, (graph::VertexSet{0, 2, 4, 6}));
+}
+
+TEST(ComputeMatchingNe, StarDefendsEveryEdge) {
+  const graph::Graph g = graph::star_graph(5);
+  graph::VertexSet leaves{1, 2, 3, 4, 5};
+  const auto ne = compute_matching_ne(g, make_partition(g, leaves));
+  ASSERT_TRUE(ne.has_value());
+  expect_valid_matching_ne(g, *ne);
+  EXPECT_EQ(ne->tp_support.size(), 5u);  // all spokes
+}
+
+TEST(ComputeMatchingNe, FailsOnNonExpanderPartition) {
+  const graph::Graph g = graph::complete_graph(3);
+  EXPECT_FALSE(compute_matching_ne(g, make_partition(g, {0})).has_value());
+}
+
+TEST(ComputeMatchingNe, UnmatchedIsVerticesGetArbitraryNeighbour) {
+  // K_{1,4}: VC = {0}, IS = 4 leaves; only one leaf is matched, the rest
+  // attach through their only edge — all spokes end up defended.
+  const graph::Graph g = graph::complete_bipartite(1, 4);
+  const auto ne = compute_matching_ne(g, make_partition(g, {1, 2, 3, 4}));
+  ASSERT_TRUE(ne.has_value());
+  EXPECT_EQ(ne->tp_support.size(), 4u);
+}
+
+TEST(FindMatchingNe, BipartiteFamiliesAlwaysSucceed) {
+  for (const auto& g :
+       {graph::path_graph(9), graph::grid_graph(3, 5),
+        graph::hypercube_graph(3), graph::complete_bipartite(3, 6)}) {
+    const auto ne = find_matching_ne(g);
+    ASSERT_TRUE(ne.has_value());
+    expect_valid_matching_ne(g, *ne);
+  }
+}
+
+TEST(FindMatchingNe, NoneOnCompleteGraphs) {
+  EXPECT_FALSE(find_matching_ne(graph::complete_graph(5)).has_value());
+}
+
+TEST(ToConfiguration, UniformDistributionsAndNashProperty) {
+  const graph::Graph g = graph::cycle_graph(6);
+  const TupleGame game(g, 1, 3);
+  const auto ne = compute_matching_ne(g, make_partition(g, {0, 2, 4}));
+  ASSERT_TRUE(ne.has_value());
+  const MixedConfiguration config = to_configuration(game, *ne);
+  EXPECT_EQ(config.attackers.size(), 3u);
+  for (double p : config.defender.probs()) EXPECT_DOUBLE_EQ(p, 1.0 / 3);
+  // Lemma 2.1: the uniform profile is a mixed NE of Pi_1(G).
+  EXPECT_TRUE(verify_mixed_ne(game, config, Oracle::kExhaustive).is_ne());
+}
+
+TEST(ToConfiguration, RequiresEdgeModel) {
+  const graph::Graph g = graph::cycle_graph(6);
+  const TupleGame game(g, 2, 1);
+  const auto ne = compute_matching_ne(g, make_partition(g, {0, 2, 4}));
+  ASSERT_TRUE(ne.has_value());
+  EXPECT_THROW(to_configuration(game, *ne), ContractViolation);
+}
+
+TEST(MatchingNe, RandomBipartiteSweepIsAlwaysANashEquilibrium) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    util::Rng rng(seed);
+    const graph::Graph g = graph::random_bipartite(4, 5, 0.35, rng);
+    const auto ne = find_matching_ne(g);
+    ASSERT_TRUE(ne.has_value()) << "seed " << seed;
+    expect_valid_matching_ne(g, *ne);
+    const TupleGame game(g, 1, 2);
+    EXPECT_TRUE(verify_mixed_ne(game, to_configuration(game, *ne),
+                                Oracle::kExhaustive)
+                    .is_ne())
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace defender::core

@@ -1,0 +1,125 @@
+#include "core/path_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/assert.hpp"
+
+namespace defender::core {
+namespace {
+
+TEST(PathGame, ValidatesParameters) {
+  EXPECT_NO_THROW(PathGame(graph::cycle_graph(5), 3, 2));
+  EXPECT_THROW(PathGame(graph::cycle_graph(5), 0, 1), ContractViolation);
+  EXPECT_THROW(PathGame(graph::cycle_graph(5), 5, 1), ContractViolation);
+  EXPECT_THROW(PathGame(graph::cycle_graph(5), 1, 0), ContractViolation);
+}
+
+TEST(ValidatePath, EnforcesShape) {
+  const PathGame game(graph::path_graph(5), 2, 1);
+  EXPECT_NO_THROW(
+      validate_path(game, std::vector<graph::Vertex>{0, 1, 2}));
+  EXPECT_THROW(validate_path(game, std::vector<graph::Vertex>{0, 1}),
+               ContractViolation);  // wrong edge count
+  EXPECT_THROW(validate_path(game, std::vector<graph::Vertex>{0, 2, 3}),
+               ContractViolation);  // not a path
+}
+
+TEST(IsPureNe, CoverAllCriterion) {
+  const PathGame game(graph::path_graph(4), 3, 2);
+  EXPECT_TRUE(is_pure_ne(
+      game, PurePathConfiguration{{0, 0}, {0, 1, 2, 3}}));
+  const PathGame partial(graph::path_graph(4), 2, 2);
+  EXPECT_FALSE(is_pure_ne(
+      partial, PurePathConfiguration{{0, 0}, {0, 1, 2}}));
+}
+
+TEST(PureNeExists, RequiresHamiltonianPathAndFullLength) {
+  // P5: Hamiltonian path exists, so pure NE iff k = n-1 = 4.
+  EXPECT_TRUE(pure_ne_exists(PathGame(graph::path_graph(5), 4, 1)));
+  EXPECT_FALSE(pure_ne_exists(PathGame(graph::path_graph(5), 3, 1)));
+  // Stars have no Hamiltonian path.
+  EXPECT_FALSE(pure_ne_exists(PathGame(graph::star_graph(4), 4, 1)));
+}
+
+TEST(FindPureNe, ProducesVerifiedWitness) {
+  const PathGame game(graph::grid_graph(3, 3), 8, 3);
+  const auto config = find_pure_ne(game);
+  ASSERT_TRUE(config.has_value());
+  EXPECT_TRUE(is_pure_ne(game, *config));
+  EXPECT_FALSE(
+      find_pure_ne(PathGame(graph::star_graph(5), 5, 1)).has_value());
+}
+
+TEST(IsCycle, DetectsCyclesOnly) {
+  EXPECT_TRUE(is_cycle(graph::cycle_graph(5)));
+  EXPECT_TRUE(is_cycle(graph::cycle_graph(12)));
+  EXPECT_FALSE(is_cycle(graph::path_graph(5)));
+  EXPECT_FALSE(is_cycle(graph::wheel_graph(4)));
+  EXPECT_FALSE(is_cycle(graph::complete_graph(4)));
+}
+
+TEST(CycleRotation, SupportEnumeratesAllArcs) {
+  const PathGame game(graph::cycle_graph(7), 3, 2);
+  const auto support = cycle_rotation_support(game);
+  EXPECT_EQ(support.size(), 7u);
+  for (const auto& arc : support) {
+    EXPECT_EQ(arc.size(), 4u);
+    EXPECT_NO_THROW(validate_path(game, arc));
+  }
+}
+
+TEST(CycleRotation, HitProbabilityIsUniformKPlus1OverN) {
+  const PathGame game(graph::cycle_graph(8), 3, 4);
+  const auto support = cycle_rotation_support(game);
+  // Each vertex appears in exactly k+1 of the n arcs.
+  std::vector<std::size_t> appearances(8, 0);
+  for (const auto& arc : support)
+    for (graph::Vertex v : arc) ++appearances[v];
+  for (std::size_t a : appearances) EXPECT_EQ(a, 4u);  // k+1
+  EXPECT_DOUBLE_EQ(cycle_rotation_hit_probability(game), 0.5);
+  EXPECT_DOUBLE_EQ(cycle_rotation_defender_profit(game), 2.0);
+}
+
+TEST(CycleRotation, RotationMixIsAMutualBestResponse) {
+  // Verify the equilibrium property directly: with uniform attackers,
+  // every k-arc has the same covered mass (k+1)*nu/n, and no simple path
+  // of k edges can cover more than k+1 vertices, so every arc is optimal;
+  // with uniform arcs, every vertex has the same hit probability, so every
+  // vertex is an attacker best response.
+  const PathGame game(graph::cycle_graph(9), 2, 3);
+  const auto support = cycle_rotation_support(game);
+  const double mass_per_vertex = 3.0 / 9.0;
+  for (const auto& arc : support)
+    EXPECT_DOUBLE_EQ(static_cast<double>(arc.size()) * mass_per_vertex,
+                     3.0 * 3.0 / 9.0);
+}
+
+TEST(CycleRotation, RejectsNonCyclesAndOversizedArcs) {
+  EXPECT_THROW(cycle_rotation_support(PathGame(graph::path_graph(5), 2, 1)),
+               ContractViolation);
+  EXPECT_THROW(cycle_rotation_support(PathGame(graph::cycle_graph(5), 4, 1)),
+               ContractViolation);
+}
+
+class CycleRotationSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(CycleRotationSweep, EveryVertexInExactlyKPlus1Arcs) {
+  const auto [n, k] = GetParam();
+  if (k > n - 2) GTEST_SKIP();
+  const PathGame game(graph::cycle_graph(n), k, 1);
+  const auto support = cycle_rotation_support(game);
+  std::vector<std::size_t> appearances(n, 0);
+  for (const auto& arc : support)
+    for (graph::Vertex v : arc) ++appearances[v];
+  for (std::size_t a : appearances) EXPECT_EQ(a, k + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cycles, CycleRotationSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(5, 8, 11, 16),
+                       ::testing::Values<std::size_t>(1, 2, 3, 6)));
+
+}  // namespace
+}  // namespace defender::core

@@ -1,0 +1,121 @@
+#include "core/payoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/assert.hpp"
+
+namespace defender::core {
+namespace {
+
+// P4 = path 0-1-2-3, edge ids 0:(0,1) 1:(1,2) 2:(2,3).
+TupleGame p4_game(std::size_t k, std::size_t nu) {
+  return TupleGame(graph::path_graph(4), k, nu);
+}
+
+TEST(VertexMass, SumsAttackerProbabilities) {
+  const TupleGame game = p4_game(1, 2);
+  const MixedConfiguration config = symmetric_configuration(
+      game, VertexDistribution::uniform({0, 3}),
+      TupleDistribution::uniform({{1}}));
+  const std::vector<double> mass = vertex_mass(game, config);
+  EXPECT_DOUBLE_EQ(mass[0], 1.0);  // 2 attackers x 1/2 each
+  EXPECT_DOUBLE_EQ(mass[3], 1.0);
+  EXPECT_DOUBLE_EQ(mass[1], 0.0);
+  // Total mass is always nu.
+  double total = 0;
+  for (double m : mass) total += m;
+  EXPECT_DOUBLE_EQ(total, 2.0);
+}
+
+TEST(VertexMass, HeterogeneousAttackers) {
+  const TupleGame game = p4_game(1, 2);
+  MixedConfiguration config{
+      {VertexDistribution({0}, {1.0}), VertexDistribution({0, 2}, {0.25, 0.75})},
+      TupleDistribution::uniform({{0}})};
+  const std::vector<double> mass = vertex_mass(game, config);
+  EXPECT_DOUBLE_EQ(mass[0], 1.25);
+  EXPECT_DOUBLE_EQ(mass[2], 0.75);
+}
+
+TEST(HitProbabilities, UniformDefenderOverDisjointEdges) {
+  const TupleGame game = p4_game(1, 1);
+  const MixedConfiguration config = symmetric_configuration(
+      game, VertexDistribution::uniform({0}),
+      TupleDistribution::uniform({{0}, {2}}));
+  const std::vector<double> hit = hit_probabilities(game, config);
+  EXPECT_DOUBLE_EQ(hit[0], 0.5);
+  EXPECT_DOUBLE_EQ(hit[1], 0.5);
+  EXPECT_DOUBLE_EQ(hit[2], 0.5);
+  EXPECT_DOUBLE_EQ(hit[3], 0.5);
+}
+
+TEST(HitProbabilities, SharedEndpointCountedOncePerTuple) {
+  // Tuple {0, 1} covers vertices {0, 1, 2}; vertex 1 is an endpoint of both
+  // edges but must be hit with probability exactly 1, not 2.
+  const TupleGame game = p4_game(2, 1);
+  const MixedConfiguration config = symmetric_configuration(
+      game, VertexDistribution::uniform({0}),
+      TupleDistribution::uniform({{0, 1}}));
+  const std::vector<double> hit = hit_probabilities(game, config);
+  EXPECT_DOUBLE_EQ(hit[1], 1.0);
+  EXPECT_DOUBLE_EQ(hit[3], 0.0);
+}
+
+TEST(TupleMass, SumsDistinctEndpointMasses) {
+  const TupleGame game = p4_game(2, 1);
+  const std::vector<double> masses{0.5, 0.25, 0.25, 0.0};
+  EXPECT_DOUBLE_EQ(tuple_mass(game.graph(), masses, {0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(tuple_mass(game.graph(), masses, {0, 2}), 1.0);
+  EXPECT_THROW(tuple_mass(game.graph(), {0.5}, {0}), ContractViolation);
+}
+
+TEST(AttackerProfit, EscapeProbability) {
+  const TupleGame game = p4_game(1, 1);
+  const MixedConfiguration config = symmetric_configuration(
+      game, VertexDistribution::uniform({0, 3}),
+      TupleDistribution::uniform({{0}}));  // covers {0,1}
+  // Attacker sits on 0 (hit) or 3 (safe) with probability 1/2 each.
+  EXPECT_DOUBLE_EQ(attacker_profit(game, config, 0), 0.5);
+}
+
+TEST(DefenderProfit, EquationTwoOnSmallExample) {
+  const TupleGame game = p4_game(1, 2);
+  const MixedConfiguration config = symmetric_configuration(
+      game, VertexDistribution::uniform({0, 3}),
+      TupleDistribution::uniform({{0}, {2}}));
+  // Each tuple covers exactly one attacker-support vertex of mass 1.
+  EXPECT_DOUBLE_EQ(defender_profit(game, config), 1.0);
+}
+
+TEST(DefenderProfit, ConsistentWithAttackerProfits) {
+  // IP_tp = sum over attackers of (1 - IP_i) whenever all attackers play
+  // inside the defended region.
+  const TupleGame game = p4_game(2, 3);
+  const MixedConfiguration config = symmetric_configuration(
+      game, VertexDistribution::uniform({0, 2}),
+      TupleDistribution::uniform({{0, 2}, {1, 2}}));
+  double caught = 0;
+  for (std::size_t i = 0; i < 3; ++i)
+    caught += 1.0 - attacker_profit(game, config, i);
+  EXPECT_NEAR(defender_profit(game, config), caught, 1e-12);
+}
+
+TEST(PureProfits, CountsArrests) {
+  const TupleGame game = p4_game(1, 3);
+  const PureConfiguration config{{0, 1, 3}, {0}};  // edge (0,1) covers 0,1
+  const PureProfits p = pure_profits(game, config);
+  EXPECT_EQ(p.defender, 2u);
+  EXPECT_EQ(p.attackers, (std::vector<std::uint8_t>{0, 0, 1}));
+}
+
+TEST(PureProfits, ValidatesShape) {
+  const TupleGame game = p4_game(1, 2);
+  EXPECT_THROW(pure_profits(game, PureConfiguration{{0}, {0}}),
+               ContractViolation);
+  EXPECT_THROW(pure_profits(game, PureConfiguration{{0, 9}, {0}}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace defender::core

@@ -1,0 +1,125 @@
+#include "core/perfect_matching_ne.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/analytics.hpp"
+#include "core/characterization.hpp"
+#include "core/payoff.hpp"
+#include "graph/generators.hpp"
+#include "util/assert.hpp"
+#include "util/random.hpp"
+
+namespace defender::core {
+namespace {
+
+TEST(HasPerfectMatching, KnownFamilies) {
+  EXPECT_TRUE(has_perfect_matching(graph::cycle_graph(8)));
+  EXPECT_FALSE(has_perfect_matching(graph::cycle_graph(7)));
+  EXPECT_TRUE(has_perfect_matching(graph::complete_graph(6)));
+  EXPECT_TRUE(has_perfect_matching(graph::petersen_graph()));
+  EXPECT_TRUE(has_perfect_matching(graph::hypercube_graph(3)));
+  EXPECT_FALSE(has_perfect_matching(graph::star_graph(3)));
+  EXPECT_FALSE(has_perfect_matching(graph::path_graph(5)));  // odd n
+}
+
+TEST(FindPerfectMatchingNe, NulloptWithoutPerfectMatching) {
+  const TupleGame game(graph::star_graph(4), 1, 1);
+  EXPECT_FALSE(find_perfect_matching_ne(game).has_value());
+}
+
+TEST(FindPerfectMatchingNe, SupportsAreCyclicWindowsOfTheMatching) {
+  const TupleGame game(graph::cycle_graph(8), 3, 2);
+  const auto ne = find_perfect_matching_ne(game);
+  ASSERT_TRUE(ne.has_value());
+  EXPECT_EQ(ne->matching.size(), 4u);
+  // delta = 4/gcd(4,3) = 4 tuples, each edge in alpha = 3 of them.
+  EXPECT_EQ(ne->tp_support.size(), 4u);
+  std::vector<std::size_t> count(game.graph().num_edges(), 0);
+  for (const Tuple& t : ne->tp_support)
+    for (graph::EdgeId e : t) ++count[e];
+  for (graph::EdgeId e : ne->matching) EXPECT_EQ(count[e], 3u);
+}
+
+TEST(PerfectMatchingNe, IsAMixedNashEquilibriumByBestResponse) {
+  // The family is NOT a k-matching configuration (D(VP) = V is dependent),
+  // so the definition-level check is the right verifier.
+  for (const auto& g :
+       {graph::cycle_graph(8), graph::complete_graph(6),
+        graph::petersen_graph(), graph::hypercube_graph(3)}) {
+    for (std::size_t k = 1; k <= 3; ++k) {
+      const TupleGame game(g, k, 3);
+      const auto ne = find_perfect_matching_ne(game);
+      ASSERT_TRUE(ne.has_value()) << "k=" << k;
+      EXPECT_TRUE(is_mixed_ne_by_best_response(
+          game, to_configuration(game, *ne), Oracle::kBranchAndBound))
+          << "n=" << g.num_vertices() << " k=" << k;
+    }
+  }
+}
+
+TEST(PerfectMatchingNe, HitProbabilityIsTwoKOverN) {
+  const TupleGame game(graph::petersen_graph(), 2, 5);
+  const auto ne = find_perfect_matching_ne(game);
+  ASSERT_TRUE(ne.has_value());
+  const MixedConfiguration config = to_configuration(game, *ne);
+  const auto hit = hit_probabilities(game, config);
+  for (graph::Vertex v = 0; v < 10; ++v)
+    EXPECT_NEAR(hit[v], 0.4, 1e-12);  // 2k/n = 4/10
+  EXPECT_NEAR(analytic_hit_probability(game, *ne), 0.4, 1e-12);
+  EXPECT_NEAR(defender_profit(game, config), 2.0, 1e-12);  // 2k nu / n
+  EXPECT_NEAR(analytic_defender_profit(game, *ne), 2.0, 1e-12);
+}
+
+TEST(PerfectMatchingNe, IsDefenseOptimal) {
+  const TupleGame game(graph::cycle_graph(10), 3, 4);
+  const auto ne = find_perfect_matching_ne(game);
+  ASSERT_TRUE(ne.has_value());
+  EXPECT_NEAR(
+      defense_optimality(game, analytic_hit_probability(game, *ne)), 1.0,
+      1e-12);
+}
+
+TEST(PerfectMatchingNe, BeatsKMatchingGainWhenIsExceedsHalf) {
+  // Star-free bipartite board where |IS| > n/2: the k-matching NE yields
+  // k*nu/|IS| < 2k*nu/n, but stars have no perfect matching; use a board
+  // with both equilibria: C8 (|IS| = 4 = n/2) gives equality.
+  const TupleGame game(graph::cycle_graph(8), 2, 4);
+  const auto pm = find_perfect_matching_ne(game);
+  ASSERT_TRUE(pm.has_value());
+  EXPECT_NEAR(analytic_defender_profit(game, *pm), 2.0 * 2 * 4 / 8, 1e-12);
+}
+
+TEST(PerfectMatchingNe, RejectsKBeyondHalfN) {
+  const TupleGame game(graph::cycle_graph(6), 4, 1);
+  EXPECT_THROW(find_perfect_matching_ne(game), ContractViolation);
+}
+
+TEST(DefenseRatioHelpers, BasicAlgebra) {
+  const TupleGame game(graph::cycle_graph(10), 2, 6);
+  EXPECT_DOUBLE_EQ(coverage_ceiling(game), 0.4);
+  EXPECT_DOUBLE_EQ(defense_ratio(game, 3.0), 2.0);
+  EXPECT_DOUBLE_EQ(defense_optimality(game, 0.2), 0.5);
+  EXPECT_THROW(defense_ratio(game, 0.0), ContractViolation);
+  const TupleGame strong(graph::cycle_graph(10), 9, 1);
+  EXPECT_DOUBLE_EQ(coverage_ceiling(strong), 1.0);  // capped
+}
+
+TEST(PerfectMatchingNe, RandomEvenGnpBoards) {
+  util::Rng rng(606);
+  std::size_t verified = 0;
+  for (int trial = 0; trial < 20 && verified < 6; ++trial) {
+    const graph::Graph g = graph::gnp_graph(8, 0.5, rng);
+    if (!has_perfect_matching(g)) continue;
+    const TupleGame game(g, 2, 2);
+    const auto ne = find_perfect_matching_ne(game);
+    ASSERT_TRUE(ne.has_value());
+    EXPECT_TRUE(is_mixed_ne_by_best_response(
+        game, to_configuration(game, *ne), Oracle::kBranchAndBound))
+        << "trial " << trial;
+    ++verified;
+  }
+  EXPECT_GE(verified, 3u);
+}
+
+}  // namespace
+}  // namespace defender::core

@@ -1,0 +1,111 @@
+#include "core/pure_ne.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "matching/edge_cover.hpp"
+#include "util/random.hpp"
+
+namespace defender::core {
+namespace {
+
+TEST(PureNeExists, MatchesMinEdgeCoverThreshold) {
+  const graph::Graph g = graph::path_graph(4);  // min edge cover = 2
+  EXPECT_FALSE(pure_ne_exists(TupleGame(g, 1, 1)));
+  EXPECT_TRUE(pure_ne_exists(TupleGame(g, 2, 1)));
+  EXPECT_TRUE(pure_ne_exists(TupleGame(g, 3, 1)));
+}
+
+TEST(PureNeExists, StarNeedsAllEdges) {
+  const graph::Graph g = graph::star_graph(4);  // min edge cover = 4 = m
+  for (std::size_t k = 1; k <= 3; ++k)
+    EXPECT_FALSE(pure_ne_exists(TupleGame(g, k, 1)));
+  EXPECT_TRUE(pure_ne_exists(TupleGame(g, 4, 1)));
+}
+
+TEST(FindPureNe, ProducesACoveringTuple) {
+  const TupleGame game(graph::cycle_graph(6), 4, 3);
+  const auto config = find_pure_ne(game);
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->defender_tuple.size(), 4u);
+  EXPECT_TRUE(graph::is_edge_cover(game.graph(), config->defender_tuple));
+  EXPECT_TRUE(is_pure_ne(game, *config));
+}
+
+TEST(FindPureNe, PadsCoverUpToExactlyK) {
+  const TupleGame game(graph::cycle_graph(6), 5, 1);  // min cover = 3
+  const auto config = find_pure_ne(game);
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->defender_tuple.size(), 5u);
+  EXPECT_TRUE(is_pure_ne(game, *config));
+}
+
+TEST(FindPureNe, ReturnsNulloptBelowThreshold) {
+  const TupleGame game(graph::cycle_graph(6), 2, 1);  // min cover = 3
+  EXPECT_FALSE(find_pure_ne(game).has_value());
+}
+
+TEST(IsPureNe, ExactlyWhenTupleCoversAllVertices) {
+  const TupleGame game(graph::path_graph(4), 2, 2);
+  // Edges 0:(0,1) 2:(2,3) cover everything; 0:(0,1) 1:(1,2) leave vertex 3.
+  EXPECT_TRUE(is_pure_ne(game, PureConfiguration{{0, 2}, {0, 2}}));
+  EXPECT_FALSE(is_pure_ne(game, PureConfiguration{{3, 3}, {0, 1}}));
+}
+
+TEST(IsPureNeByDeviation, AgreesWithCoverCriterion) {
+  // Exhaustive deviation checking validates the proof of Theorem 3.1 on
+  // random small instances and arbitrary pure configurations.
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    util::Rng rng(seed);
+    const graph::Graph g = graph::gnp_graph(6, 0.45, rng);
+    if (g.num_edges() < 2 || g.num_edges() > 12) continue;
+    const std::size_t k = 1 + rng.below(std::min<std::size_t>(3, g.num_edges()));
+    const TupleGame game(g, k, 2);
+    // Random pure configuration.
+    PureConfiguration config;
+    config.attacker_vertices = {
+        static_cast<graph::Vertex>(rng.below(g.num_vertices())),
+        static_cast<graph::Vertex>(rng.below(g.num_vertices()))};
+    auto edges = util::sample_without_replacement(g.num_edges(), k, rng);
+    for (std::size_t e : edges)
+      config.defender_tuple.push_back(static_cast<graph::EdgeId>(e));
+    EXPECT_EQ(is_pure_ne(game, config), is_pure_ne_by_deviation(game, config))
+        << "seed " << seed;
+  }
+}
+
+TEST(Corollary32, ExistenceIsPolynomialAndConstructive) {
+  // For every graph in a mixed family, existence agrees with the
+  // constructed witness.
+  util::Rng rng(7);
+  const std::vector<graph::Graph> boards = {
+      graph::path_graph(9),    graph::cycle_graph(10),
+      graph::star_graph(6),    graph::complete_graph(6),
+      graph::petersen_graph(), graph::gnp_graph(12, 0.3, rng)};
+  for (const auto& g : boards) {
+    for (std::size_t k = 1; k <= g.num_edges(); ++k) {
+      const TupleGame game(g, k, 1);
+      EXPECT_EQ(pure_ne_exists(game), find_pure_ne(game).has_value());
+    }
+  }
+}
+
+class Corollary33Sweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Corollary33Sweep, NoPureNeWhenNAtLeast2kPlus1) {
+  // Corollary 3.3: |V| >= 2k + 1 rules out pure NE.
+  const std::size_t n = GetParam();
+  const graph::Graph g = graph::cycle_graph(n);
+  for (std::size_t k = 1; k <= g.num_edges(); ++k) {
+    const TupleGame game(g, k, 1);
+    if (n >= 2 * k + 1)
+      EXPECT_FALSE(pure_ne_exists(game)) << "n=" << n << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cycles, Corollary33Sweep,
+                         ::testing::Values<std::size_t>(3, 4, 5, 6, 9, 12));
+
+}  // namespace
+}  // namespace defender::core

@@ -1,0 +1,89 @@
+// Boundary cases of the Lemma 4.8 cyclic lift: the gcd arithmetic at its
+// extremes (k | E, k = E, gcd = 1, E prime), where delta and alpha collapse
+// or blow up to their limits.
+#include <gtest/gtest.h>
+
+#include "core/atuple.hpp"
+#include "core/characterization.hpp"
+#include "core/reduction.hpp"
+#include "graph/generators.hpp"
+#include "util/combinatorics.hpp"
+
+namespace defender::core {
+namespace {
+
+MatchingNe base_ne(const graph::Graph& g) {
+  const auto partition = find_partition_bipartite(g);
+  EXPECT_TRUE(partition.has_value());
+  const auto ne = compute_matching_ne(g, *partition);
+  EXPECT_TRUE(ne.has_value());
+  return *ne;
+}
+
+TEST(LiftBoundaries, KDividesE) {
+  // E = 6 (star S6 gives |IS| = 6 edges), k = 3: delta = 2 disjoint-window
+  // tuples, alpha = 1 (each edge in exactly one tuple).
+  const graph::Graph g = graph::star_graph(6);
+  const MatchingNe base = base_ne(g);
+  ASSERT_EQ(base.tp_support.size(), 6u);
+  const TupleGame game(g, 3, 1);
+  const KMatchingNe lifted = lift_to_k_matching(game, base);
+  EXPECT_EQ(lifted.tp_support.size(), 2u);
+  EXPECT_EQ(tuples_per_edge(game, lifted.tp_support), 1u);
+  EXPECT_TRUE(verify_mixed_ne(game, to_configuration(game, lifted),
+                              Oracle::kExhaustive)
+                  .is_ne());
+}
+
+TEST(LiftBoundaries, KEqualsE) {
+  // k = E: a single tuple holding the whole defended edge set; delta = 1.
+  const graph::Graph g = graph::star_graph(5);
+  const MatchingNe base = base_ne(g);
+  const TupleGame game(g, base.tp_support.size(), 1);
+  const KMatchingNe lifted = lift_to_k_matching(game, base);
+  ASSERT_EQ(lifted.tp_support.size(), 1u);
+  EXPECT_EQ(lifted.tp_support.front().size(), base.tp_support.size());
+  // The single tuple covers every vertex -> hit probability 1 everywhere.
+  const auto config = to_configuration(game, lifted);
+  EXPECT_TRUE(
+      is_mixed_ne_by_best_response(game, config, Oracle::kBranchAndBound));
+}
+
+TEST(LiftBoundaries, CoprimeKWrapsThroughEveryOffset) {
+  // E = 6, k = 5 (coprime): delta = 6 tuples, alpha = 5 — the maximal
+  // wrap-around case where every window straddles the seam.
+  const graph::Graph g = graph::star_graph(6);
+  const MatchingNe base = base_ne(g);
+  const TupleGame game(g, 5, 1);
+  const KMatchingNe lifted = lift_to_k_matching(game, base);
+  EXPECT_EQ(lifted.tp_support.size(), 6u);
+  EXPECT_EQ(tuples_per_edge(game, lifted.tp_support), 5u);
+  EXPECT_TRUE(verify_mixed_ne(game, to_configuration(game, lifted),
+                              Oracle::kBranchAndBound)
+                  .is_ne());
+}
+
+TEST(LiftBoundaries, PrimeEExercisesAllGcdClasses) {
+  // E = 7 (star S7): gcd(7, k) = 1 for every k in 2..6, so delta = 7 and
+  // alpha = k throughout; k = 7 collapses to one tuple.
+  const graph::Graph g = graph::star_graph(7);
+  const MatchingNe base = base_ne(g);
+  for (std::size_t k = 2; k <= 7; ++k) {
+    const TupleGame game(g, k, 1);
+    const KMatchingNe lifted = lift_to_k_matching(game, base);
+    EXPECT_EQ(lifted.tp_support.size(), k == 7 ? 1u : 7u) << "k=" << k;
+    EXPECT_EQ(tuples_per_edge(game, lifted.tp_support), k == 7 ? 1u : k)
+        << "k=" << k;
+  }
+}
+
+TEST(LiftBoundaries, DeltaTimesKIsAlwaysLcm) {
+  for (std::size_t e = 1; e <= 20; ++e)
+    for (std::size_t k = 1; k <= e; ++k) {
+      EXPECT_EQ(lifted_support_size(e, k) * k, util::lcm(e, k));
+      EXPECT_EQ(lifted_tuples_per_edge(e, k) * e, util::lcm(e, k));
+    }
+}
+
+}  // namespace
+}  // namespace defender::core

@@ -1,0 +1,136 @@
+#include "core/reduction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/characterization.hpp"
+#include "core/payoff.hpp"
+#include "graph/generators.hpp"
+#include "util/assert.hpp"
+#include "util/combinatorics.hpp"
+#include "util/random.hpp"
+
+namespace defender::core {
+namespace {
+
+MatchingNe c8_matching_ne(const graph::Graph& g) {
+  auto ne = compute_matching_ne(g, make_partition(g, {0, 2, 4, 6}));
+  EXPECT_TRUE(ne.has_value());
+  return *ne;
+}
+
+TEST(LiftedSizes, GcdArithmeticOfClaim49) {
+  EXPECT_EQ(lifted_support_size(6, 4), 3u);       // lcm(6,4)/4
+  EXPECT_EQ(lifted_tuples_per_edge(6, 4), 2u);    // 4/gcd(6,4)
+  EXPECT_EQ(lifted_support_size(5, 5), 1u);
+  EXPECT_EQ(lifted_tuples_per_edge(5, 5), 1u);
+  EXPECT_EQ(lifted_support_size(8, 3), 8u);
+  EXPECT_EQ(lifted_tuples_per_edge(8, 3), 3u);
+}
+
+TEST(Lift, ProducesAKMatchingNashEquilibrium) {
+  const graph::Graph g = graph::cycle_graph(8);
+  const MatchingNe base = c8_matching_ne(g);
+  for (std::size_t k = 1; k <= base.tp_support.size(); ++k) {
+    const TupleGame game(g, k, 2);
+    const KMatchingNe lifted = lift_to_k_matching(game, base);
+    EXPECT_TRUE(
+        is_k_matching_configuration(game, lifted.vp_support, lifted.tp_support))
+        << "k=" << k;
+    EXPECT_TRUE(satisfies_cover_conditions(game, lifted)) << "k=" << k;
+    EXPECT_EQ(lifted.tp_support.size(),
+              lifted_support_size(base.tp_support.size(), k));
+    EXPECT_TRUE(verify_mixed_ne(game, to_configuration(game, lifted),
+                                Oracle::kExhaustive)
+                    .is_ne())
+        << "k=" << k;
+  }
+}
+
+TEST(Lift, RejectsKLargerThanSupport) {
+  const graph::Graph g = graph::cycle_graph(8);
+  const MatchingNe base = c8_matching_ne(g);  // support size 4, m = 8
+  const TupleGame game(g, 5, 1);
+  EXPECT_THROW(lift_to_k_matching(game, base), ContractViolation);
+}
+
+TEST(Project, RecoversAMatchingNashEquilibrium) {
+  const graph::Graph g = graph::cycle_graph(8);
+  const MatchingNe base = c8_matching_ne(g);
+  const TupleGame game(g, 3, 2);
+  const KMatchingNe lifted = lift_to_k_matching(game, base);
+  const MatchingNe projected = project_to_matching(game, lifted);
+  // Round trip: projection of the lift is the original support.
+  EXPECT_EQ(projected.vp_support, base.vp_support);
+  EXPECT_EQ(projected.tp_support, base.tp_support);
+  // And it is a matching NE of Pi_1(G) (Lemma 4.6).
+  const TupleGame edge_game = game.edge_model_instance();
+  EXPECT_TRUE(verify_mixed_ne(edge_game,
+                              to_configuration(edge_game, projected),
+                              Oracle::kExhaustive)
+                  .is_ne());
+}
+
+TEST(Theorem45, DefenderGainScalesExactlyByK) {
+  const graph::Graph g = graph::cycle_graph(8);
+  const std::size_t nu = 6;
+  const MatchingNe base = c8_matching_ne(g);
+  const TupleGame edge_game(g, 1, nu);
+  const double base_profit =
+      defender_profit(edge_game, to_configuration(edge_game, base));
+  for (std::size_t k = 1; k <= base.tp_support.size(); ++k) {
+    const TupleGame game(g, k, nu);
+    const KMatchingNe lifted = lift_to_k_matching(game, base);
+    const double lifted_profit =
+        defender_profit(game, to_configuration(game, lifted));
+    EXPECT_NEAR(lifted_profit, static_cast<double>(k) * base_profit, 1e-9)
+        << "k=" << k;
+  }
+}
+
+TEST(Lift, EveryEdgeAppearsExactlyAlphaTimes) {
+  const graph::Graph g = graph::grid_graph(2, 5);  // bipartite, 10 vertices
+  const auto partition = find_partition_bipartite(g);
+  ASSERT_TRUE(partition.has_value());
+  const auto base = compute_matching_ne(g, *partition);
+  ASSERT_TRUE(base.has_value());
+  const std::size_t e_num = base->tp_support.size();
+  for (std::size_t k = 1; k <= e_num; ++k) {
+    const TupleGame game(g, k, 1);
+    const KMatchingNe lifted = lift_to_k_matching(game, *base);
+    std::vector<std::size_t> count(g.num_edges(), 0);
+    for (const Tuple& t : lifted.tp_support)
+      for (graph::EdgeId e : t) ++count[e];
+    const std::size_t alpha = lifted_tuples_per_edge(e_num, k);
+    for (graph::EdgeId e : base->tp_support)
+      EXPECT_EQ(count[e], alpha) << "k=" << k;
+  }
+}
+
+TEST(Lift, SupportSizeIsMinimalUniformCover) {
+  // delta * k = lcm(E, k): the least multiple of k divisible by E-rotations.
+  for (std::size_t e = 1; e <= 12; ++e)
+    for (std::size_t k = 1; k <= e; ++k)
+      EXPECT_EQ(lifted_support_size(e, k) * k, util::lcm(e, k));
+}
+
+TEST(RoundTrip, RandomBipartiteBoards) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    util::Rng rng(seed);
+    const graph::Graph g = graph::random_bipartite(3, 5, 0.4, rng);
+    const auto partition = find_partition_bipartite(g);
+    ASSERT_TRUE(partition.has_value()) << "seed " << seed;
+    const auto base = compute_matching_ne(g, *partition);
+    ASSERT_TRUE(base.has_value()) << "seed " << seed;
+    const std::size_t kmax = base->tp_support.size();
+    for (std::size_t k = 1; k <= kmax; ++k) {
+      const TupleGame game(g, k, 2);
+      const KMatchingNe lifted = lift_to_k_matching(game, *base);
+      const MatchingNe back = project_to_matching(game, lifted);
+      EXPECT_EQ(back.vp_support, base->vp_support) << "seed " << seed;
+      EXPECT_EQ(back.tp_support, base->tp_support) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace defender::core

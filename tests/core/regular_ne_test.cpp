@@ -1,0 +1,79 @@
+#include "core/regular_ne.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/analytics.hpp"
+#include "core/characterization.hpp"
+#include "core/expander_partition.hpp"
+#include "core/payoff.hpp"
+#include "core/perfect_matching_ne.hpp"
+#include "graph/generators.hpp"
+#include "util/assert.hpp"
+
+namespace defender::core {
+namespace {
+
+TEST(Regularity, DetectsRegularBoards) {
+  EXPECT_EQ(regularity(graph::cycle_graph(7)), 2u);
+  EXPECT_EQ(regularity(graph::complete_graph(5)), 4u);
+  EXPECT_EQ(regularity(graph::petersen_graph()), 3u);
+  EXPECT_EQ(regularity(graph::hypercube_graph(4)), 4u);
+  EXPECT_FALSE(regularity(graph::path_graph(4)).has_value());
+  EXPECT_FALSE(regularity(graph::star_graph(3)).has_value());
+}
+
+TEST(EdgeUniformNe, NulloptOnIrregularBoards) {
+  const TupleGame game(graph::path_graph(5), 1, 1);
+  EXPECT_FALSE(edge_uniform_ne(game).has_value());
+}
+
+TEST(EdgeUniformNe, RequiresEdgeModel) {
+  const TupleGame game(graph::cycle_graph(6), 2, 1);
+  EXPECT_THROW(edge_uniform_ne(game), ContractViolation);
+}
+
+TEST(EdgeUniformNe, IsANashEquilibriumOnRegularFamilies) {
+  for (const auto& g :
+       {graph::cycle_graph(7), graph::cycle_graph(10),
+        graph::complete_graph(5), graph::petersen_graph(),
+        graph::hypercube_graph(3)}) {
+    const TupleGame game(g, 1, 4);
+    const auto config = edge_uniform_ne(game);
+    ASSERT_TRUE(config.has_value());
+    EXPECT_TRUE(is_mixed_ne_by_best_response(game, *config,
+                                             Oracle::kExhaustive))
+        << "n=" << g.num_vertices();
+  }
+}
+
+TEST(EdgeUniformNe, HitProbabilityIsTwoOverN) {
+  const TupleGame game(graph::cycle_graph(9), 1, 3);
+  const auto config = edge_uniform_ne(game);
+  ASSERT_TRUE(config.has_value());
+  const auto hit = hit_probabilities(game, *config);
+  for (double h : hit) EXPECT_NEAR(h, 2.0 / 9, 1e-12);
+  EXPECT_NEAR(edge_uniform_hit_probability(game), 2.0 / 9, 1e-12);
+  EXPECT_NEAR(defense_optimality(game, 2.0 / 9), 1.0, 1e-12);
+}
+
+TEST(EdgeUniformNe, CoversOddCyclesWhereOtherFamiliesFail) {
+  // C9: no perfect matching (odd n), no expander partition (max IS 4 < 5),
+  // yet the edge-uniform family still delivers a defense-optimal NE.
+  const graph::Graph g = graph::cycle_graph(9);
+  EXPECT_FALSE(has_perfect_matching(g));
+  EXPECT_FALSE(find_partition_exhaustive(g).has_value());
+  const TupleGame game(g, 1, 2);
+  const auto config = edge_uniform_ne(game);
+  ASSERT_TRUE(config.has_value());
+  EXPECT_TRUE(
+      is_mixed_ne_by_best_response(game, *config, Oracle::kExhaustive));
+  EXPECT_NEAR(defender_profit(game, *config), 2.0 * 2 / 9, 1e-12);
+}
+
+TEST(EdgeUniformNe, HitProbabilityHelperRejectsIrregular) {
+  const TupleGame game(graph::star_graph(4), 1, 1);
+  EXPECT_THROW(edge_uniform_hit_probability(game), ContractViolation);
+}
+
+}  // namespace
+}  // namespace defender::core

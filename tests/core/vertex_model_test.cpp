@@ -1,0 +1,88 @@
+#include "core/vertex_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/path_model.hpp"
+#include "core/perfect_matching_ne.hpp"
+#include "graph/generators.hpp"
+#include "util/assert.hpp"
+#include "util/random.hpp"
+
+namespace defender::core {
+namespace {
+
+TEST(VertexGame, ValidatesParameters) {
+  EXPECT_NO_THROW(VertexGame(graph::cycle_graph(5), 5, 1));
+  EXPECT_THROW(VertexGame(graph::cycle_graph(5), 0, 1), ContractViolation);
+  EXPECT_THROW(VertexGame(graph::cycle_graph(5), 6, 1), ContractViolation);
+  EXPECT_THROW(VertexGame(graph::cycle_graph(5), 1, 0), ContractViolation);
+}
+
+TEST(RotationScan, SupportHasNWindowsOfSizeK) {
+  const VertexGame game(graph::petersen_graph(), 3, 2);
+  const auto support = rotation_scan_support(game);
+  EXPECT_EQ(support.size(), 10u);
+  for (const auto& window : support) EXPECT_EQ(window.size(), 3u);
+}
+
+TEST(RotationScan, EveryVertexScannedExactlyKTimes) {
+  const VertexGame game(graph::grid_graph(3, 4), 5, 1);
+  const auto support = rotation_scan_support(game);
+  std::vector<std::size_t> scans(12, 0);
+  for (const auto& window : support)
+    for (graph::Vertex v : window) ++scans[v];
+  for (std::size_t s : scans) EXPECT_EQ(s, 5u);
+}
+
+TEST(RotationScan, IsEquilibriumOnAnyBoard) {
+  util::Rng rng(33);
+  EXPECT_TRUE(rotation_scan_is_equilibrium(
+      VertexGame(graph::cycle_graph(9), 2, 3)));
+  EXPECT_TRUE(rotation_scan_is_equilibrium(
+      VertexGame(graph::complete_graph(6), 4, 1)));
+  EXPECT_TRUE(rotation_scan_is_equilibrium(
+      VertexGame(graph::gnp_graph(15, 0.3, rng), 7, 2)));
+}
+
+TEST(VertexScan, ClosedForms) {
+  const VertexGame game(graph::cycle_graph(8), 2, 6);
+  EXPECT_DOUBLE_EQ(vertex_scan_hit_probability(game), 0.25);
+  EXPECT_DOUBLE_EQ(vertex_scan_defender_profit(game), 1.5);
+}
+
+TEST(DefenderTechnologies, TupleBeatsPathBeatsVertexOnCycles) {
+  // Same budget k: vertex scan k/n < path scan (k+1)/n < tuple scan 2k/n
+  // (strict for k >= 2).
+  const graph::Graph g = graph::cycle_graph(12);
+  for (std::size_t k = 2; k <= 4; ++k) {
+    const double vertex =
+        vertex_scan_hit_probability(VertexGame(g, k, 1));
+    const double path =
+        cycle_rotation_hit_probability(PathGame(g, k, 1));
+    const auto pm = find_perfect_matching_ne(TupleGame(g, k, 1));
+    ASSERT_TRUE(pm.has_value());
+    const double tuple =
+        analytic_hit_probability(TupleGame(g, k, 1), *pm);
+    EXPECT_LT(vertex, path) << "k=" << k;
+    EXPECT_LT(path, tuple) << "k=" << k;
+    EXPECT_DOUBLE_EQ(tuple, 2.0 * vertex);
+  }
+}
+
+class VertexScanSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(VertexScanSweep, EquilibriumAcrossSizes) {
+  const auto [n, k] = GetParam();
+  if (k > n) GTEST_SKIP();
+  EXPECT_TRUE(
+      rotation_scan_is_equilibrium(VertexGame(graph::cycle_graph(n), k, 2)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cycles, VertexScanSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(4, 7, 12),
+                       ::testing::Values<std::size_t>(1, 3, 6, 12)));
+
+}  // namespace
+}  // namespace defender::core

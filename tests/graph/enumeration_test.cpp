@@ -1,0 +1,70 @@
+#include "graph/enumeration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "util/assert.hpp"
+
+namespace defender::graph {
+namespace {
+
+TEST(AllConnectedGraphs, CountsMatchTheCatalogue) {
+  // OEIS A001349 (connected graphs up to isomorphism).
+  EXPECT_EQ(all_connected_graphs(2).size(), 1u);
+  EXPECT_EQ(all_connected_graphs(3).size(), 2u);
+  EXPECT_EQ(all_connected_graphs(4).size(), 6u);
+  EXPECT_EQ(all_connected_graphs(5).size(), 21u);
+  EXPECT_EQ(all_connected_graphs(6).size(), 112u);
+}
+
+TEST(AllConnectedGraphs, EveryResultIsConnectedWithNVertices) {
+  for (std::size_t n = 2; n <= 5; ++n) {
+    for (const Graph& g : all_connected_graphs(n)) {
+      EXPECT_EQ(g.num_vertices(), n);
+      EXPECT_TRUE(is_connected(g));
+      EXPECT_FALSE(g.has_isolated_vertex());
+    }
+  }
+}
+
+TEST(AllConnectedGraphs, PairwiseNonIsomorphic) {
+  const auto graphs = all_connected_graphs(5);
+  std::set<std::uint32_t> masks;
+  for (const Graph& g : graphs) masks.insert(canonical_mask(g));
+  EXPECT_EQ(masks.size(), graphs.size());
+}
+
+TEST(CanonicalMask, InvariantUnderRelabelling) {
+  // The same path with two different labellings.
+  const Graph a = GraphBuilder(4).add_edge(0, 1).add_edge(1, 2).add_edge(2, 3).build();
+  const Graph b = GraphBuilder(4).add_edge(2, 0).add_edge(0, 3).add_edge(3, 1).build();
+  EXPECT_EQ(canonical_mask(a), canonical_mask(b));
+}
+
+TEST(CanonicalMask, SeparatesNonIsomorphicGraphs) {
+  EXPECT_NE(canonical_mask(path_graph(4)), canonical_mask(star_graph(3)));
+  EXPECT_NE(canonical_mask(cycle_graph(4)), canonical_mask(path_graph(4)));
+}
+
+TEST(CanonicalMask, KnownFamiliesAppearExactlyOnce) {
+  const auto graphs = all_connected_graphs(4);
+  std::set<std::uint32_t> masks;
+  for (const Graph& g : graphs) masks.insert(canonical_mask(g));
+  // P4, star, cycle, K4, triangle+pendant, diamond = the 6 classes.
+  EXPECT_TRUE(masks.count(canonical_mask(path_graph(4))));
+  EXPECT_TRUE(masks.count(canonical_mask(star_graph(3))));
+  EXPECT_TRUE(masks.count(canonical_mask(cycle_graph(4))));
+  EXPECT_TRUE(masks.count(canonical_mask(complete_graph(4))));
+}
+
+TEST(CanonicalMask, RejectsLargeGraphs) {
+  EXPECT_THROW(canonical_mask(path_graph(7)), ContractViolation);
+  EXPECT_THROW(all_connected_graphs(7), ContractViolation);
+  EXPECT_THROW(all_connected_graphs(1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace defender::graph

@@ -1,0 +1,182 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/properties.hpp"
+#include "util/assert.hpp"
+
+namespace defender::graph {
+namespace {
+
+TEST(PathGraph, SizesAndShape) {
+  const Graph g = path_graph(5);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_EQ(g.degree(4), 1u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(is_bipartite(g));
+}
+
+TEST(CycleGraph, IsTwoRegular) {
+  const Graph g = cycle_graph(6);
+  EXPECT_EQ(g.num_edges(), 6u);
+  for (Vertex v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(CycleGraph, ParityControlsBipartiteness) {
+  EXPECT_TRUE(is_bipartite(cycle_graph(8)));
+  EXPECT_FALSE(is_bipartite(cycle_graph(7)));
+}
+
+TEST(CompleteGraph, EdgeCount) {
+  const Graph g = complete_graph(7);
+  EXPECT_EQ(g.num_edges(), 21u);
+  for (Vertex v = 0; v < 7; ++v) EXPECT_EQ(g.degree(v), 6u);
+}
+
+TEST(CompleteBipartite, ShapeAndBipartiteness) {
+  const Graph g = complete_bipartite(3, 4);
+  EXPECT_EQ(g.num_vertices(), 7u);
+  EXPECT_EQ(g.num_edges(), 12u);
+  EXPECT_TRUE(is_bipartite(g));
+  for (Vertex v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 4u);
+  for (Vertex v = 3; v < 7; ++v) EXPECT_EQ(g.degree(v), 3u);
+}
+
+TEST(StarGraph, HubAndLeaves) {
+  const Graph g = star_graph(6);
+  EXPECT_EQ(g.num_vertices(), 7u);
+  EXPECT_EQ(g.degree(0), 6u);
+  for (Vertex v = 1; v <= 6; ++v) EXPECT_EQ(g.degree(v), 1u);
+}
+
+TEST(GridGraph, SizesAndDegrees) {
+  const Graph g = grid_graph(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  EXPECT_EQ(g.num_edges(), 3u * 3u + 2u * 4u);  // rows*(cols-1)+(rows-1)*cols
+  EXPECT_EQ(g.degree(0), 2u);   // corner
+  EXPECT_EQ(g.degree(5), 4u);   // interior (row 1, col 1)
+  EXPECT_TRUE(is_bipartite(g));
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(HypercubeGraph, IsDRegularAndBipartite) {
+  const Graph g = hypercube_graph(4);
+  EXPECT_EQ(g.num_vertices(), 16u);
+  EXPECT_EQ(g.num_edges(), 32u);
+  for (Vertex v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_TRUE(is_bipartite(g));
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(WheelGraph, HubConnectsToEveryRimVertex) {
+  const Graph g = wheel_graph(5);
+  EXPECT_EQ(g.num_vertices(), 6u);
+  EXPECT_EQ(g.num_edges(), 10u);
+  EXPECT_EQ(g.degree(5), 5u);
+  EXPECT_FALSE(is_bipartite(g));
+}
+
+TEST(PetersenGraph, KnownInvariants) {
+  const Graph g = petersen_graph();
+  EXPECT_EQ(g.num_vertices(), 10u);
+  EXPECT_EQ(g.num_edges(), 15u);
+  for (Vertex v = 0; v < 10; ++v) EXPECT_EQ(g.degree(v), 3u);
+  EXPECT_FALSE(is_bipartite(g));
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(LadderGraph, ShapeChecks) {
+  const Graph g = ladder_graph(4);
+  EXPECT_EQ(g.num_vertices(), 8u);
+  EXPECT_EQ(g.num_edges(), 4u + 2u * 3u);
+  EXPECT_TRUE(is_bipartite(g));
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(BinaryTree, ShapeChecks) {
+  const Graph g = binary_tree(4);
+  EXPECT_EQ(g.num_vertices(), 15u);
+  EXPECT_EQ(g.num_edges(), 14u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(is_bipartite(g));
+  EXPECT_EQ(g.degree(0), 2u);
+}
+
+TEST(RandomTree, IsATreeAcrossSeeds) {
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    util::Rng rng(seed);
+    const std::size_t n = 2 + seed % 40;
+    const Graph g = random_tree(n, rng);
+    EXPECT_EQ(g.num_vertices(), n);
+    EXPECT_EQ(g.num_edges(), n - 1) << "seed " << seed;
+    EXPECT_TRUE(is_connected(g)) << "seed " << seed;
+  }
+}
+
+TEST(GnpGraph, ForbidsIsolatedWhenAsked) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    util::Rng rng(seed);
+    const Graph g = gnp_graph(30, 0.05, rng, /*forbid_isolated=*/true);
+    EXPECT_FALSE(g.has_isolated_vertex()) << "seed " << seed;
+  }
+}
+
+TEST(GnpGraph, DensityTracksP) {
+  util::Rng rng(99);
+  const Graph g = gnp_graph(60, 0.5, rng, false);
+  const double expected = 0.5 * 60 * 59 / 2;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, expected * 0.2);
+}
+
+TEST(GnpGraph, ExtremeProbabilities) {
+  util::Rng rng(7);
+  EXPECT_EQ(gnp_graph(10, 1.0, rng, false).num_edges(), 45u);
+  const Graph empty = gnp_graph(10, 0.0, rng, true);
+  EXPECT_FALSE(empty.has_isolated_vertex());  // attachments kick in
+}
+
+TEST(RandomBipartite, StaysBipartiteWithoutIsolated) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    util::Rng rng(seed);
+    const Graph g = random_bipartite(8, 11, 0.15, rng);
+    EXPECT_TRUE(is_bipartite(g)) << "seed " << seed;
+    EXPECT_FALSE(g.has_isolated_vertex()) << "seed " << seed;
+    // All edges cross the parts.
+    for (const Edge& e : g.edges()) {
+      EXPECT_LT(e.u, 8u);
+      EXPECT_GE(e.v, 8u);
+    }
+  }
+}
+
+TEST(RandomConnected, AlwaysConnected) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    util::Rng rng(seed);
+    const Graph g = random_connected(25, 0.05, rng);
+    EXPECT_TRUE(is_connected(g)) << "seed " << seed;
+    EXPECT_GE(g.num_edges(), 24u);
+  }
+}
+
+TEST(Generators, PreconditionsEnforced) {
+  util::Rng rng(1);
+  EXPECT_THROW(path_graph(1), ContractViolation);
+  EXPECT_THROW(cycle_graph(2), ContractViolation);
+  EXPECT_THROW(complete_graph(1), ContractViolation);
+  EXPECT_THROW(complete_bipartite(0, 3), ContractViolation);
+  EXPECT_THROW(star_graph(0), ContractViolation);
+  EXPECT_THROW(grid_graph(1, 1), ContractViolation);
+  EXPECT_THROW(hypercube_graph(0), ContractViolation);
+  EXPECT_THROW(wheel_graph(2), ContractViolation);
+  EXPECT_THROW(ladder_graph(1), ContractViolation);
+  EXPECT_THROW(binary_tree(1), ContractViolation);
+  EXPECT_THROW(random_tree(1, rng), ContractViolation);
+  EXPECT_THROW(gnp_graph(5, 1.5, rng), ContractViolation);
+}
+
+}  // namespace
+}  // namespace defender::graph

@@ -1,0 +1,136 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace defender::graph {
+namespace {
+
+Graph triangle() {
+  return GraphBuilder(3).add_edge(0, 1).add_edge(1, 2).add_edge(0, 2).build();
+}
+
+TEST(Edge, NormalizationAndOther) {
+  const Edge e{1, 4};
+  EXPECT_EQ(e.other(1), 4u);
+  EXPECT_EQ(e.other(4), 1u);
+  EXPECT_THROW(e.other(2), ContractViolation);
+}
+
+TEST(GraphBuilder, NormalizesEndpointOrder) {
+  const Graph g = GraphBuilder(3).add_edge(2, 0).build();
+  EXPECT_EQ(g.edge(0).u, 0u);
+  EXPECT_EQ(g.edge(0).v, 2u);
+}
+
+TEST(GraphBuilder, RejectsSelfLoops) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(1, 1), ContractViolation);
+}
+
+TEST(GraphBuilder, RejectsOutOfRangeEndpoints) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(0, 3), ContractViolation);
+}
+
+TEST(GraphBuilder, DeduplicatesParallelEdges) {
+  const Graph g =
+      GraphBuilder(3).add_edge(0, 1).add_edge(1, 0).add_edge(0, 1).build();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphBuilder, RejectsZeroVertices) {
+  EXPECT_THROW(GraphBuilder(0), ContractViolation);
+}
+
+TEST(Graph, DefaultConstructedIsEmpty) {
+  const Graph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, CountsAndDegrees) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  for (Vertex v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2u);
+}
+
+TEST(Graph, EdgesAreSortedAndIndexedById) {
+  const Graph g = triangle();
+  auto edges = g.edges();
+  EXPECT_TRUE(std::is_sorted(edges.begin(), edges.end()));
+  for (EdgeId id = 0; id < g.num_edges(); ++id)
+    EXPECT_EQ(g.edge(id), edges[id]);
+}
+
+TEST(Graph, NeighborsAreSortedWithCorrectEdgeIds) {
+  const Graph g = triangle();
+  for (Vertex v = 0; v < 3; ++v) {
+    auto adj = g.neighbors(v);
+    EXPECT_TRUE(std::is_sorted(
+        adj.begin(), adj.end(),
+        [](const Incidence& a, const Incidence& b) { return a.to < b.to; }));
+    for (const Incidence& inc : adj) {
+      const Edge& e = g.edge(inc.edge);
+      EXPECT_TRUE((e.u == v && e.v == inc.to) || (e.v == v && e.u == inc.to));
+    }
+  }
+}
+
+TEST(Graph, EdgeIdLookup) {
+  const Graph g = triangle();
+  EXPECT_TRUE(g.edge_id(0, 1).has_value());
+  EXPECT_TRUE(g.edge_id(1, 0).has_value());
+  EXPECT_EQ(g.edge_id(0, 1), g.edge_id(1, 0));
+  EXPECT_FALSE(g.edge_id(0, 0).has_value());
+}
+
+TEST(Graph, EdgeIdAbsentForNonEdge) {
+  const Graph g = GraphBuilder(4).add_edge(0, 1).add_edge(2, 3).build();
+  EXPECT_FALSE(g.edge_id(0, 2).has_value());
+  EXPECT_FALSE(g.edge_id(1, 3).has_value());
+}
+
+TEST(Graph, HasEdgeMatchesEdgeId) {
+  const Graph g = triangle();
+  EXPECT_TRUE(g.has_edge(0, 2));
+  const Graph h = GraphBuilder(3).add_edge(0, 1).build();
+  EXPECT_FALSE(h.has_edge(0, 2));
+}
+
+TEST(Graph, DetectsIsolatedVertices) {
+  const Graph g = GraphBuilder(3).add_edge(0, 1).build();
+  EXPECT_TRUE(g.has_isolated_vertex());
+  EXPECT_FALSE(triangle().has_isolated_vertex());
+}
+
+TEST(Graph, OutOfRangeAccessThrows) {
+  const Graph g = triangle();
+  EXPECT_THROW(g.edge(3), ContractViolation);
+  EXPECT_THROW(g.degree(3), ContractViolation);
+  EXPECT_THROW(g.neighbors(5), ContractViolation);
+  EXPECT_THROW(g.edge_id(0, 9), ContractViolation);
+}
+
+TEST(Graph, ValueEquality) {
+  EXPECT_EQ(triangle(), triangle());
+  const Graph h = GraphBuilder(3).add_edge(0, 1).add_edge(1, 2).build();
+  EXPECT_NE(triangle(), h);
+}
+
+TEST(Graph, LargeStarAdjacencyConsistent) {
+  constexpr std::size_t kLeaves = 1000;
+  GraphBuilder b(kLeaves + 1);
+  for (Vertex i = 1; i <= kLeaves; ++i) b.add_edge(0, i);
+  const Graph g = b.build();
+  EXPECT_EQ(g.degree(0), kLeaves);
+  for (Vertex i = 1; i <= kLeaves; ++i) {
+    EXPECT_EQ(g.degree(i), 1u);
+    EXPECT_EQ(g.neighbors(i).front().to, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace defender::graph

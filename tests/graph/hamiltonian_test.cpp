@@ -1,0 +1,89 @@
+#include "graph/hamiltonian.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/traversal.hpp"
+#include "util/assert.hpp"
+#include "util/random.hpp"
+
+namespace defender::graph {
+namespace {
+
+void expect_hamiltonian(const Graph& g) {
+  EXPECT_TRUE(has_hamiltonian_path(g));
+  const auto path = find_hamiltonian_path(g);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), g.num_vertices());
+  EXPECT_TRUE(is_simple_path(g, *path));
+}
+
+TEST(Hamiltonian, PathsCyclesCompletesHaveOne) {
+  expect_hamiltonian(path_graph(8));
+  expect_hamiltonian(cycle_graph(9));
+  expect_hamiltonian(complete_graph(7));
+  expect_hamiltonian(grid_graph(3, 4));
+  expect_hamiltonian(hypercube_graph(3));
+  expect_hamiltonian(petersen_graph());
+  expect_hamiltonian(ladder_graph(5));
+}
+
+TEST(Hamiltonian, StarsAndSpidersDoNot) {
+  EXPECT_FALSE(has_hamiltonian_path(star_graph(3)));
+  EXPECT_FALSE(find_hamiltonian_path(star_graph(5)).has_value());
+  // Binary tree with 7 vertices: three leaves hanging off degree-3 nodes.
+  EXPECT_FALSE(has_hamiltonian_path(binary_tree(3)));
+}
+
+TEST(Hamiltonian, DisconnectedGraphsDoNot) {
+  const Graph g = GraphBuilder(4).add_edge(0, 1).add_edge(2, 3).build();
+  EXPECT_FALSE(has_hamiltonian_path(g));
+}
+
+TEST(Hamiltonian, UnbalancedCompleteBipartite) {
+  // K_{a,b} has a Hamiltonian path iff |a-b| <= 1.
+  EXPECT_TRUE(has_hamiltonian_path(complete_bipartite(3, 3)));
+  EXPECT_TRUE(has_hamiltonian_path(complete_bipartite(3, 4)));
+  EXPECT_FALSE(has_hamiltonian_path(complete_bipartite(2, 4)));
+  EXPECT_FALSE(has_hamiltonian_path(complete_bipartite(1, 3)));
+}
+
+TEST(Hamiltonian, SingleVertexAndEdge) {
+  EXPECT_TRUE(has_hamiltonian_path(path_graph(2)));
+  const auto path = find_hamiltonian_path(path_graph(2));
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 2u);
+}
+
+TEST(Hamiltonian, SizeLimitEnforced) {
+  EXPECT_THROW(has_hamiltonian_path(cycle_graph(25)), ContractViolation);
+}
+
+TEST(Hamiltonian, RandomDenseGraphsUsuallyHaveOneAndWitnessIsValid) {
+  util::Rng rng(808);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = gnp_graph(10, 0.6, rng);
+    const bool exists = has_hamiltonian_path(g);
+    const auto path = find_hamiltonian_path(g);
+    EXPECT_EQ(exists, path.has_value());
+    if (path) {
+      EXPECT_EQ(path->size(), g.num_vertices());
+      EXPECT_TRUE(is_simple_path(g, *path)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Hamiltonian, SparseTreesNeverUnlessPath) {
+  util::Rng rng(909);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = random_tree(9, rng);
+    // A tree has a Hamiltonian path iff it IS a path (max degree 2).
+    bool is_path_shape = true;
+    for (Vertex v = 0; v < g.num_vertices(); ++v)
+      if (g.degree(v) > 2) is_path_shape = false;
+    EXPECT_EQ(has_hamiltonian_path(g), is_path_shape) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace defender::graph

@@ -1,0 +1,64 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "util/assert.hpp"
+
+namespace defender::graph {
+namespace {
+
+TEST(EdgeList, RoundTripsThroughText) {
+  const Graph g = petersen_graph();
+  const Graph parsed = parse_edge_list(to_edge_list(g));
+  EXPECT_EQ(g, parsed);
+}
+
+TEST(EdgeList, ParsesExplicitDocument) {
+  const Graph g = parse_edge_list("3 2\n0 1\n1 2\n");
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(EdgeList, RejectsTruncatedInput) {
+  EXPECT_THROW(parse_edge_list("3 2\n0 1\n"), ContractViolation);
+  EXPECT_THROW(parse_edge_list(""), ContractViolation);
+  EXPECT_THROW(parse_edge_list("junk"), ContractViolation);
+}
+
+TEST(EdgeList, RejectsOutOfRangeVertices) {
+  EXPECT_THROW(parse_edge_list("2 1\n0 5\n"), ContractViolation);
+}
+
+TEST(Dot, ContainsAllEdgesAndName) {
+  const Graph g = path_graph(3);
+  const std::string dot = to_dot(g, {.name = "P3"});
+  EXPECT_NE(dot.find("graph P3 {"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 1"), std::string::npos);
+  EXPECT_NE(dot.find("1 -- 2"), std::string::npos);
+}
+
+TEST(Dot, HighlightsRequestedElements) {
+  const Graph g = path_graph(3);
+  DotOptions opts;
+  opts.highlight_vertices = {1};
+  opts.highlight_edges = {0};
+  const std::string dot = to_dot(g, opts);
+  EXPECT_NE(dot.find("fillcolor"), std::string::npos);
+  EXPECT_NE(dot.find("penwidth"), std::string::npos);
+}
+
+TEST(Dot, RejectsOutOfRangeHighlightEdge) {
+  const Graph g = path_graph(3);
+  DotOptions opts;
+  opts.highlight_edges = {9};
+  EXPECT_THROW(to_dot(g, opts), ContractViolation);
+}
+
+}  // namespace
+}  // namespace defender::graph

@@ -1,0 +1,101 @@
+#include "graph/operations.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "util/assert.hpp"
+
+namespace defender::graph {
+namespace {
+
+TEST(Complement, EdgeCountsAreComplementary) {
+  const Graph g = cycle_graph(6);
+  const Graph c = complement(g);
+  EXPECT_EQ(g.num_edges() + c.num_edges(), 6u * 5u / 2);
+  for (Vertex u = 0; u < 6; ++u)
+    for (Vertex v = u + 1; v < 6; ++v)
+      EXPECT_NE(g.has_edge(u, v), c.has_edge(u, v));
+}
+
+TEST(Complement, CompleteGraphBecomesEdgeless) {
+  EXPECT_EQ(complement(complete_graph(5)).num_edges(), 0u);
+}
+
+TEST(Complement, IsAnInvolution) {
+  const Graph g = petersen_graph();
+  EXPECT_EQ(complement(complement(g)), g);
+}
+
+TEST(Complement, PetersenComplementIsKneserComplement) {
+  // Petersen's complement is the Johnson graph J(5,2): 6-regular.
+  const Graph c = complement(petersen_graph());
+  for (Vertex v = 0; v < 10; ++v) EXPECT_EQ(c.degree(v), 6u);
+}
+
+TEST(LineGraph, PathBecomesShorterPath) {
+  // L(P_n) = P_{n-1}.
+  const Graph l = line_graph(path_graph(5));
+  EXPECT_EQ(l, path_graph(4));
+}
+
+TEST(LineGraph, CycleIsInvariant) {
+  // L(C_n) = C_n.
+  const Graph l = line_graph(cycle_graph(7));
+  EXPECT_EQ(l.num_vertices(), 7u);
+  EXPECT_EQ(l.num_edges(), 7u);
+  for (Vertex v = 0; v < 7; ++v) EXPECT_EQ(l.degree(v), 2u);
+  EXPECT_TRUE(is_connected(l));
+}
+
+TEST(LineGraph, StarBecomesComplete) {
+  // L(K_{1,n}) = K_n.
+  EXPECT_EQ(line_graph(star_graph(5)), complete_graph(5));
+}
+
+TEST(LineGraph, EdgeCountMatchesDegreeSum) {
+  // |E(L(G))| = sum over v of C(deg(v), 2).
+  const Graph g = petersen_graph();
+  const Graph l = line_graph(g);
+  std::size_t expected = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    expected += g.degree(v) * (g.degree(v) - 1) / 2;
+  EXPECT_EQ(l.num_edges(), expected);
+}
+
+TEST(CartesianProduct, K2SquaredIsC4) {
+  const Graph k2 = complete_graph(2);
+  const Graph prod = cartesian_product(k2, k2);
+  EXPECT_EQ(prod.num_vertices(), 4u);
+  EXPECT_EQ(prod.num_edges(), 4u);
+  for (Vertex v = 0; v < 4; ++v) EXPECT_EQ(prod.degree(v), 2u);
+}
+
+TEST(CartesianProduct, PathsMakeGrids) {
+  EXPECT_EQ(cartesian_product(path_graph(3), path_graph(4)),
+            grid_graph(3, 4));
+}
+
+TEST(CartesianProduct, HypercubeIsIteratedK2Product) {
+  const Graph k2 = complete_graph(2);
+  Graph q = k2;
+  for (int i = 1; i < 4; ++i) q = cartesian_product(q, k2);
+  EXPECT_EQ(q.num_vertices(), 16u);
+  EXPECT_EQ(q.num_edges(), 32u);
+  for (Vertex v = 0; v < 16; ++v) EXPECT_EQ(q.degree(v), 4u);
+  EXPECT_TRUE(is_bipartite(q));
+}
+
+TEST(CartesianProduct, DegreesAdd) {
+  const Graph g = cycle_graph(5);
+  const Graph h = path_graph(3);
+  const Graph prod = cartesian_product(g, h);
+  // deg((a, b)) = deg_G(a) + deg_H(b).
+  for (Vertex a = 0; a < 5; ++a)
+    for (Vertex b = 0; b < 3; ++b)
+      EXPECT_EQ(prod.degree(static_cast<Vertex>(a * 3 + b)),
+                g.degree(a) + h.degree(b));
+}
+
+}  // namespace
+}  // namespace defender::graph

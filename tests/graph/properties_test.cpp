@@ -1,0 +1,132 @@
+#include "graph/properties.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/assert.hpp"
+
+namespace defender::graph {
+namespace {
+
+TEST(IsConnected, PositiveAndNegativeCases) {
+  EXPECT_TRUE(is_connected(path_graph(6)));
+  const Graph split = GraphBuilder(4).add_edge(0, 1).add_edge(2, 3).build();
+  EXPECT_FALSE(is_connected(split));
+}
+
+TEST(Bipartition, ColoursEveryEdgeAcross) {
+  const Graph g = grid_graph(4, 5);
+  auto color = bipartition(g);
+  ASSERT_TRUE(color.has_value());
+  for (const Edge& e : g.edges()) EXPECT_NE((*color)[e.u], (*color)[e.v]);
+}
+
+TEST(Bipartition, RejectsOddCycle) {
+  EXPECT_FALSE(bipartition(cycle_graph(5)).has_value());
+  EXPECT_FALSE(bipartition(complete_graph(3)).has_value());
+}
+
+TEST(Bipartition, HandlesDisconnectedComponents) {
+  const Graph g = GraphBuilder(5).add_edge(0, 1).add_edge(3, 4).build();
+  auto color = bipartition(g);
+  ASSERT_TRUE(color.has_value());
+  EXPECT_NE((*color)[0], (*color)[1]);
+  EXPECT_NE((*color)[3], (*color)[4]);
+}
+
+TEST(IndependentSet, PositiveAndNegative) {
+  const Graph g = cycle_graph(6);
+  EXPECT_TRUE(is_independent_set(g, std::vector<Vertex>{0, 2, 4}));
+  EXPECT_FALSE(is_independent_set(g, std::vector<Vertex>{0, 1}));
+  EXPECT_TRUE(is_independent_set(g, std::vector<Vertex>{}));
+  EXPECT_TRUE(is_independent_set(g, std::vector<Vertex>{3}));
+}
+
+TEST(VertexCover, PositiveAndNegative) {
+  const Graph g = cycle_graph(6);
+  EXPECT_TRUE(is_vertex_cover(g, std::vector<Vertex>{0, 2, 4}));
+  EXPECT_FALSE(is_vertex_cover(g, std::vector<Vertex>{0, 3}));
+  EXPECT_TRUE(is_vertex_cover(g, std::vector<Vertex>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(VertexCover, ComplementOfIndependentSetIsCover) {
+  const Graph g = petersen_graph();
+  // {0, 2, 8, 9} is independent in the Petersen graph.
+  const VertexSet is{0, 2, 8, 9};
+  ASSERT_TRUE(is_independent_set(g, is));
+  VertexSet vc;
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    if (!contains(is, v)) vc.push_back(v);
+  EXPECT_TRUE(is_vertex_cover(g, vc));
+}
+
+TEST(CoversEdgeSet, ChecksOnlyTheGivenEdges) {
+  const Graph g = path_graph(4);  // edges 0-1, 1-2, 2-3
+  const EdgeSet middle{*g.edge_id(1, 2)};
+  EXPECT_TRUE(covers_edge_set(g, std::vector<Vertex>{1}, middle));
+  EXPECT_TRUE(covers_edge_set(g, std::vector<Vertex>{2}, middle));
+  EXPECT_FALSE(covers_edge_set(g, std::vector<Vertex>{0}, middle));
+}
+
+TEST(EdgeCover, FullAndPartial) {
+  const Graph g = path_graph(4);
+  const EdgeSet ends{*g.edge_id(0, 1), *g.edge_id(2, 3)};
+  EXPECT_TRUE(is_edge_cover(g, ends));
+  const EdgeSet partial{*g.edge_id(0, 1)};
+  EXPECT_FALSE(is_edge_cover(g, partial));
+}
+
+TEST(EndpointsOf, SortedDistinctUnion) {
+  const Graph g = path_graph(4);
+  const EdgeSet edges{*g.edge_id(0, 1), *g.edge_id(1, 2)};
+  EXPECT_EQ(endpoints_of(g, edges), (VertexSet{0, 1, 2}));
+}
+
+TEST(Neighborhood, UnionOfAdjacency) {
+  const Graph g = star_graph(4);
+  EXPECT_EQ(neighborhood(g, std::vector<Vertex>{0}), (VertexSet{1, 2, 3, 4}));
+  EXPECT_EQ(neighborhood(g, std::vector<Vertex>{1, 2}), (VertexSet{0}));
+}
+
+TEST(ExpanderBruteForce, TriangleCounterexample) {
+  // DESIGN.md interpretation note 1: with IS = {0}, VC = {1, 2} on a
+  // triangle, expansion *into the complement* fails (|N({1,2}) \ VC| = 1).
+  const Graph g = complete_graph(3);
+  EXPECT_FALSE(
+      is_expander_into_complement_bruteforce(g, std::vector<Vertex>{1, 2}));
+}
+
+TEST(ExpanderBruteForce, StarCentreExpandsIntoLeaves) {
+  const Graph g = star_graph(5);
+  EXPECT_TRUE(
+      is_expander_into_complement_bruteforce(g, std::vector<Vertex>{0}));
+}
+
+TEST(ExpanderBruteForce, EvenCycleAlternatingCover) {
+  const Graph g = cycle_graph(6);
+  EXPECT_TRUE(is_expander_into_complement_bruteforce(
+      g, std::vector<Vertex>{1, 3, 5}));
+}
+
+TEST(ExpanderBruteForce, FailsWhenSetTooPacked) {
+  // K_{1,3}: leaves cannot expand into the single hub.
+  const Graph g = star_graph(3);
+  EXPECT_FALSE(is_expander_into_complement_bruteforce(
+      g, std::vector<Vertex>{1, 2, 3}));
+}
+
+TEST(Normalize, SortsAndDeduplicates) {
+  VertexSet s{3, 1, 3, 2, 1};
+  normalize(s);
+  EXPECT_EQ(s, (VertexSet{1, 2, 3}));
+}
+
+TEST(Contains, BinarySearchSemantics) {
+  const VertexSet s{1, 4, 9};
+  EXPECT_TRUE(contains(s, 4));
+  EXPECT_FALSE(contains(s, 5));
+  EXPECT_FALSE(contains({}, 0));
+}
+
+}  // namespace
+}  // namespace defender::graph

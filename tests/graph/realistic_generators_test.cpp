@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "graph/traversal.hpp"
+#include "util/assert.hpp"
+
+namespace defender::graph {
+namespace {
+
+TEST(BarabasiAlbert, SizesAndConnectivity) {
+  util::Rng rng(1);
+  const Graph g = barabasi_albert(100, 2, rng);
+  EXPECT_EQ(g.num_vertices(), 100u);
+  // Seed star: 2 edges; 97 newcomers x 2 attachments.
+  EXPECT_EQ(g.num_edges(), 2u + 97u * 2u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_FALSE(g.has_isolated_vertex());
+}
+
+TEST(BarabasiAlbert, ProducesHubs) {
+  util::Rng rng(2);
+  const Graph g = barabasi_albert(300, 2, rng);
+  std::size_t max_degree = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    max_degree = std::max(max_degree, g.degree(v));
+  // Preferential attachment produces hubs far above the mean degree (~4).
+  EXPECT_GT(max_degree, 15u);
+}
+
+TEST(BarabasiAlbert, MinimumDegreeIsAttach) {
+  util::Rng rng(3);
+  const Graph g = barabasi_albert(80, 3, rng);
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    EXPECT_GE(g.degree(v), 3u);
+}
+
+TEST(BarabasiAlbert, ValidatesParameters) {
+  util::Rng rng(4);
+  EXPECT_THROW(barabasi_albert(3, 3, rng), ContractViolation);
+  EXPECT_THROW(barabasi_albert(5, 0, rng), ContractViolation);
+}
+
+TEST(WattsStrogatz, ZeroBetaIsTheRingLattice) {
+  util::Rng rng(5);
+  const Graph g = watts_strogatz(20, 4, 0.0, rng);
+  EXPECT_EQ(g.num_edges(), 40u);
+  for (Vertex v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(WattsStrogatz, RewiringPreservesEdgeCountAndMinDegree) {
+  util::Rng rng(6);
+  const Graph g = watts_strogatz(60, 6, 0.3, rng);
+  EXPECT_LE(g.num_edges(), 180u);       // duplicates can only shrink it
+  EXPECT_GE(g.num_edges(), 170u);       // but rarely by much
+  for (Vertex v = 0; v < 60; ++v) EXPECT_GE(g.degree(v), 3u);
+  EXPECT_FALSE(g.has_isolated_vertex());
+}
+
+TEST(WattsStrogatz, RewiringShrinksDiameter) {
+  util::Rng rng(7);
+  const Graph lattice = watts_strogatz(64, 4, 0.0, rng);
+  const Graph small_world = watts_strogatz(64, 4, 0.3, rng);
+  if (is_connected(small_world)) {
+    EXPECT_LT(diameter(small_world), diameter(lattice));
+  }
+}
+
+TEST(WattsStrogatz, ValidatesParameters) {
+  util::Rng rng(8);
+  EXPECT_THROW(watts_strogatz(10, 3, 0.1, rng), ContractViolation);  // odd
+  EXPECT_THROW(watts_strogatz(4, 4, 0.1, rng), ContractViolation);   // k >= n
+  EXPECT_THROW(watts_strogatz(10, 4, 1.5, rng), ContractViolation);  // beta
+}
+
+}  // namespace
+}  // namespace defender::graph

@@ -1,0 +1,53 @@
+#include "graph/subgraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/assert.hpp"
+
+namespace defender::graph {
+namespace {
+
+TEST(EdgeSubgraph, MaterializesGSubT) {
+  const Graph g = cycle_graph(6);
+  const EdgeSet edges{*g.edge_id(0, 1), *g.edge_id(2, 3)};
+  const EdgeSubgraph sub = edge_subgraph(g, edges);
+  EXPECT_EQ(sub.graph.num_vertices(), 4u);
+  EXPECT_EQ(sub.graph.num_edges(), 2u);
+  EXPECT_EQ(sub.to_parent, (std::vector<Vertex>{0, 1, 2, 3}));
+}
+
+TEST(EdgeSubgraph, MappingRoundTrips) {
+  const Graph g = path_graph(6);
+  const EdgeSet edges{*g.edge_id(3, 4), *g.edge_id(4, 5)};
+  const EdgeSubgraph sub = edge_subgraph(g, edges);
+  for (Vertex parent : sub.to_parent)
+    EXPECT_EQ(sub.to_parent[sub.to_sub(parent)], parent);
+  EXPECT_TRUE(sub.contains_parent(4));
+  EXPECT_FALSE(sub.contains_parent(0));
+  EXPECT_THROW(sub.to_sub(0), ContractViolation);
+}
+
+TEST(EdgeSubgraph, PreservesAdjacencyStructure) {
+  const Graph g = complete_graph(5);
+  const EdgeSet edges{*g.edge_id(0, 1), *g.edge_id(1, 2), *g.edge_id(0, 2)};
+  const EdgeSubgraph sub = edge_subgraph(g, edges);
+  EXPECT_EQ(sub.graph.num_vertices(), 3u);
+  EXPECT_EQ(sub.graph.num_edges(), 3u);
+  for (Vertex v = 0; v < 3; ++v) EXPECT_EQ(sub.graph.degree(v), 2u);
+}
+
+TEST(EdgeSubgraph, RejectsEmptyEdgeSet) {
+  const Graph g = path_graph(3);
+  EXPECT_THROW(edge_subgraph(g, EdgeSet{}), ContractViolation);
+}
+
+TEST(EdgeSubgraph, SingleEdge) {
+  const Graph g = path_graph(3);
+  const EdgeSubgraph sub = edge_subgraph(g, EdgeSet{0});
+  EXPECT_EQ(sub.graph.num_vertices(), 2u);
+  EXPECT_EQ(sub.graph.num_edges(), 1u);
+}
+
+}  // namespace
+}  // namespace defender::graph

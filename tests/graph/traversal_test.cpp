@@ -1,0 +1,87 @@
+#include "graph/traversal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/assert.hpp"
+
+namespace defender::graph {
+namespace {
+
+TEST(BfsDistances, PathDistancesAreIndices) {
+  const Graph g = path_graph(6);
+  const auto dist = bfs_distances(g, 0);
+  for (std::size_t v = 0; v < 6; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(BfsDistances, UnreachableMarked) {
+  const Graph g = GraphBuilder(4).add_edge(0, 1).add_edge(2, 3).build();
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], kUnreachable);
+  EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(BfsDistances, CycleWrapsAround) {
+  const auto dist = bfs_distances(cycle_graph(8), 0);
+  EXPECT_EQ(dist[4], 4u);
+  EXPECT_EQ(dist[7], 1u);
+}
+
+TEST(ConnectedComponents, CountsAndLabels) {
+  const Graph g =
+      GraphBuilder(6).add_edge(0, 1).add_edge(2, 3).add_edge(3, 4).build();
+  const auto comp = connected_components(g);
+  EXPECT_EQ(num_components(g), 3u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[2], comp[5]);
+}
+
+TEST(ConnectedComponents, SingleComponentForConnectedFamilies) {
+  EXPECT_EQ(num_components(petersen_graph()), 1u);
+  EXPECT_EQ(num_components(grid_graph(3, 3)), 1u);
+}
+
+TEST(Eccentricity, PathEndpoints) {
+  const Graph g = path_graph(7);
+  EXPECT_EQ(eccentricity(g, 0), 6u);
+  EXPECT_EQ(eccentricity(g, 3), 3u);
+}
+
+TEST(Eccentricity, ThrowsOnDisconnected) {
+  const Graph g = GraphBuilder(3).add_edge(0, 1).build();
+  EXPECT_THROW(eccentricity(g, 0), ContractViolation);
+}
+
+TEST(Diameter, KnownValues) {
+  EXPECT_EQ(diameter(path_graph(9)), 8u);
+  EXPECT_EQ(diameter(cycle_graph(10)), 5u);
+  EXPECT_EQ(diameter(complete_graph(5)), 1u);
+  EXPECT_EQ(diameter(petersen_graph()), 2u);
+  EXPECT_EQ(diameter(hypercube_graph(4)), 4u);
+}
+
+TEST(IsSimplePath, AcceptsAndRejects) {
+  const Graph g = cycle_graph(6);
+  EXPECT_TRUE(is_simple_path(g, std::vector<Vertex>{0, 1, 2, 3}));
+  EXPECT_TRUE(is_simple_path(g, std::vector<Vertex>{2}));
+  EXPECT_TRUE(is_simple_path(g, std::vector<Vertex>{}));
+  EXPECT_FALSE(is_simple_path(g, std::vector<Vertex>{0, 2}));     // not adjacent
+  EXPECT_FALSE(is_simple_path(g, std::vector<Vertex>{0, 1, 0}));  // repeat
+  EXPECT_FALSE(is_simple_path(g, std::vector<Vertex>{0, 9}));     // range
+}
+
+TEST(PathEdges, ReturnsConsecutiveEdgeIds) {
+  const Graph g = path_graph(4);
+  const auto edges = path_edges(g, std::vector<Vertex>{1, 2, 3});
+  EXPECT_EQ(edges.size(), 2u);
+  EXPECT_EQ(g.edge(edges[0]), (Edge{1, 2}));
+  EXPECT_EQ(g.edge(edges[1]), (Edge{2, 3}));
+  EXPECT_THROW(path_edges(g, std::vector<Vertex>{0, 2}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace defender::graph

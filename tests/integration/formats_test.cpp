@@ -1,0 +1,76 @@
+// End-to-end format integration: a board serialized to the edge-list
+// format, re-parsed, solved, the equilibrium serialized, re-parsed, and
+// re-verified — the full round trip a defender_cli user exercises.
+#include <gtest/gtest.h>
+
+#include "core/atuple.hpp"
+#include "core/characterization.hpp"
+#include "core/payoff.hpp"
+#include "core/serialization.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "util/random.hpp"
+
+namespace defender::core {
+namespace {
+
+TEST(Formats, BoardAndEquilibriumFullRoundTrip) {
+  util::Rng rng(987);
+  for (int trial = 0; trial < 10; ++trial) {
+    const graph::Graph original = graph::random_bipartite(4, 6, 0.4, rng);
+    // Board -> text -> board.
+    const graph::Graph parsed =
+        graph::parse_edge_list(graph::to_edge_list(original));
+    ASSERT_EQ(parsed, original) << "trial " << trial;
+
+    // Solve on the parsed board.
+    const TupleGame game(parsed, 2, 3);
+    const auto ne = a_tuple_bipartite(game);
+    ASSERT_TRUE(ne.has_value()) << "trial " << trial;
+
+    // Equilibrium -> text -> equilibrium, re-verified from scratch.
+    const MixedConfiguration restored =
+        from_text(game, to_text(game, ne->configuration));
+    EXPECT_TRUE(verify_mixed_ne(game, restored, Oracle::kBranchAndBound)
+                    .is_ne())
+        << "trial " << trial;
+    EXPECT_DOUBLE_EQ(defender_profit(game, restored),
+                     defender_profit(game, ne->configuration));
+  }
+}
+
+TEST(Formats, DotRenderingContainsTheEquilibriumHighlights) {
+  const graph::Graph g = graph::cycle_graph(6);
+  const TupleGame game(g, 1, 1);
+  const auto ne = a_tuple_bipartite(game);
+  ASSERT_TRUE(ne.has_value());
+  graph::DotOptions opts;
+  opts.highlight_vertices = ne->k_matching_ne.vp_support;
+  opts.highlight_edges = ne->configuration.defender.edge_union();
+  const std::string dot = graph::to_dot(g, opts);
+  // Every support vertex is drawn filled, every defended edge bold.
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(dot.begin(), dot.end(), '\n')),
+            1 + g.num_vertices() + g.num_edges() + 1);
+  std::size_t filled = 0, bold = 0;
+  for (std::size_t pos = dot.find("fillcolor"); pos != std::string::npos;
+       pos = dot.find("fillcolor", pos + 1))
+    ++filled;
+  for (std::size_t pos = dot.find("penwidth"); pos != std::string::npos;
+       pos = dot.find("penwidth", pos + 1))
+    ++bold;
+  EXPECT_EQ(filled, ne->k_matching_ne.vp_support.size());
+  EXPECT_EQ(bold, ne->configuration.defender.edge_union().size());
+}
+
+TEST(Formats, ConfigurationTextIsStableAcrossSerializations) {
+  const TupleGame game(graph::grid_graph(2, 4), 2, 2);
+  const auto ne = a_tuple_bipartite(game);
+  ASSERT_TRUE(ne.has_value());
+  const std::string once = to_text(game, ne->configuration);
+  const std::string twice = to_text(game, from_text(game, once));
+  EXPECT_EQ(once, twice);
+}
+
+}  // namespace
+}  // namespace defender::core

@@ -1,0 +1,74 @@
+// Integration suite E9: Monte-Carlo playouts agree with the analytic
+// expectations (equations (1)-(2)) on equilibrium and non-equilibrium
+// configurations alike.
+#include <gtest/gtest.h>
+
+#include "core/atuple.hpp"
+#include "core/payoff.hpp"
+#include "graph/generators.hpp"
+#include "sim/playout.hpp"
+#include "util/random.hpp"
+
+namespace defender::core {
+namespace {
+
+TEST(MonteCarlo, EquilibriumConfigurationsAcrossFamilies) {
+  std::uint64_t seed = 1000;
+  for (const auto& g : {graph::cycle_graph(8), graph::grid_graph(2, 4),
+                        graph::star_graph(6)}) {
+    for (std::size_t k : {1, 2}) {
+      const TupleGame game(g, k, 4);
+      const auto result = a_tuple_bipartite(game);
+      ASSERT_TRUE(result.has_value());
+      util::Rng rng(seed++);
+      const sim::PlayoutStats stats =
+          sim::run_playouts(game, result->configuration, 120000, rng);
+      EXPECT_LT(sim::max_abs_deviation(game, result->configuration, stats),
+                0.012)
+          << "n=" << g.num_vertices() << " k=" << k;
+    }
+  }
+}
+
+TEST(MonteCarlo, NonEquilibriumConfigurationStillMatchesExpectations) {
+  // Equations (1)-(2) hold for *any* mixed configuration, not just NE.
+  const TupleGame game(graph::path_graph(6), 2, 3);
+  const MixedConfiguration config = symmetric_configuration(
+      game, VertexDistribution({0, 2, 5}, {0.6, 0.3, 0.1}),
+      TupleDistribution({{0, 3}, {1, 2}, {2, 4}}, {0.5, 0.25, 0.25}));
+  util::Rng rng(77);
+  const sim::PlayoutStats stats = sim::run_playouts(game, config, 150000, rng);
+  EXPECT_LT(sim::max_abs_deviation(game, config, stats), 0.012);
+}
+
+TEST(MonteCarlo, HeterogeneousAttackersMatchPerPlayerProfits) {
+  const TupleGame game(graph::cycle_graph(6), 1, 2);
+  MixedConfiguration config{
+      {VertexDistribution({0}, {1.0}),
+       VertexDistribution({2, 4}, {0.5, 0.5})},
+      TupleDistribution::uniform({{0}, {3}, {5}})};
+  util::Rng rng(123);
+  const sim::PlayoutStats stats = sim::run_playouts(game, config, 100000, rng);
+  for (std::size_t i = 0; i < 2; ++i)
+    EXPECT_NEAR(stats.attacker_escape_freq[i],
+                attacker_profit(game, config, i), 0.01)
+        << "attacker " << i;
+  EXPECT_NEAR(stats.defender_profit_mean, defender_profit(game, config),
+              0.01);
+}
+
+TEST(MonteCarlo, StandardErrorShrinksWithRounds) {
+  const TupleGame game(graph::cycle_graph(6), 1, 1);
+  const MixedConfiguration config = symmetric_configuration(
+      game, VertexDistribution::uniform({0, 2, 4}),
+      TupleDistribution::uniform({{0}, {3}, {5}}));
+  util::Rng rng1(5), rng2(5);
+  const auto small = sim::run_playouts(game, config, 500, rng1);
+  const auto large = sim::run_playouts(game, config, 200000, rng2);
+  const double analytic = defender_profit(game, config);
+  EXPECT_LE(std::abs(large.defender_profit_mean - analytic),
+            std::abs(small.defender_profit_mean - analytic) + 0.01);
+}
+
+}  // namespace
+}  // namespace defender::core

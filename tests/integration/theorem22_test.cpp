@@ -1,0 +1,105 @@
+// Integration suite: exhaustive verification of Theorem 2.2 on small
+// boards.
+//
+// Theorem 2.2 characterizes the existence of matching NE through (IS,
+// VC-expander) partitions. Independently of any partition reasoning, a
+// matching NE exists iff some *matching configuration* (Definition 2.2)
+// additionally satisfies Lemma 2.1's edge-cover condition. The structure
+// of such configurations is rigid: D(vp) = S independent, and D(tp) picks
+// exactly one incident edge per vertex of S (every support edge has
+// exactly one endpoint in S). This suite enumerates ALL of them —
+// independent sets S times one-edge-per-vertex choices — and checks that
+// the brute-force existence answer coincides with the partition
+// characterization on every random board.
+#include <gtest/gtest.h>
+
+#include "core/characterization.hpp"
+#include "core/expander_partition.hpp"
+#include "core/matching_ne.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "util/random.hpp"
+
+namespace defender::core {
+namespace {
+
+/// Recursively assigns one incident edge to each vertex of `support`,
+/// returning true as soon as some assignment makes an edge cover of g.
+bool extend(const graph::Graph& g, const graph::VertexSet& support,
+            std::size_t index, graph::EdgeSet& chosen) {
+  if (index == support.size()) {
+    return graph::is_edge_cover(g, chosen);
+  }
+  for (const graph::Incidence& inc : g.neighbors(support[index])) {
+    chosen.push_back(inc.edge);
+    if (extend(g, support, index + 1, chosen)) return true;
+    chosen.pop_back();
+  }
+  return false;
+}
+
+/// Ground truth: does ANY matching configuration of Π_1(G) satisfy Lemma
+/// 2.1's conditions? Exhaustive over independent sets and edge choices.
+bool matching_ne_exists_bruteforce(const graph::Graph& g) {
+  const std::size_t n = g.num_vertices();
+  EXPECT_LE(n, 12u);
+  for (std::uint32_t mask = 1; mask < (1U << n); ++mask) {
+    graph::VertexSet support;
+    for (std::size_t v = 0; v < n; ++v)
+      if ((mask >> v) & 1U) support.push_back(static_cast<graph::Vertex>(v));
+    if (!graph::is_independent_set(g, support)) continue;
+    graph::EdgeSet chosen;
+    if (extend(g, support, 0, chosen)) return true;
+  }
+  return false;
+}
+
+TEST(Theorem22Exhaustive, BruteForceAgreesWithPartitionCharacterization) {
+  util::Rng rng(222);
+  std::size_t admits = 0, lacks = 0;
+  for (int trial = 0; trial < 80; ++trial) {
+    const std::size_t n = 4 + rng.below(4);  // 4..7 vertices
+    const graph::Graph g =
+        graph::gnp_graph(n, 0.2 + 0.1 * rng.below(5), rng);
+    const bool truth = matching_ne_exists_bruteforce(g);
+    const bool by_partition = find_partition_exhaustive(g).has_value();
+    EXPECT_EQ(truth, by_partition)
+        << "trial " << trial << " n=" << n << " m=" << g.num_edges();
+    truth ? ++admits : ++lacks;
+  }
+  // The sweep must exercise both outcomes to be meaningful.
+  EXPECT_GT(admits, 10u);
+  EXPECT_GT(lacks, 10u);
+}
+
+TEST(Theorem22Exhaustive, StructuredBoards) {
+  EXPECT_TRUE(matching_ne_exists_bruteforce(graph::path_graph(6)));
+  EXPECT_TRUE(matching_ne_exists_bruteforce(graph::cycle_graph(6)));
+  EXPECT_TRUE(matching_ne_exists_bruteforce(graph::star_graph(5)));
+  EXPECT_FALSE(matching_ne_exists_bruteforce(graph::cycle_graph(5)));
+  EXPECT_FALSE(matching_ne_exists_bruteforce(graph::complete_graph(4)));
+  EXPECT_FALSE(matching_ne_exists_bruteforce(graph::wheel_graph(5)));
+}
+
+TEST(Theorem22Exhaustive, WheneverExistsAlgorithmADeliversAVerifiedOne) {
+  util::Rng rng(223);
+  std::size_t verified = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const graph::Graph g = graph::gnp_graph(6, 0.35, rng);
+    if (!matching_ne_exists_bruteforce(g)) continue;
+    const auto partition = find_partition_exhaustive(g);
+    ASSERT_TRUE(partition.has_value()) << "trial " << trial;
+    const auto ne = compute_matching_ne(g, *partition);
+    ASSERT_TRUE(ne.has_value()) << "trial " << trial;
+    const TupleGame game(g, 1, 2);
+    EXPECT_TRUE(verify_mixed_ne(game, to_configuration(game, *ne),
+                                Oracle::kExhaustive)
+                    .is_ne())
+        << "trial " << trial;
+    ++verified;
+  }
+  EXPECT_GT(verified, 15u);
+}
+
+}  // namespace
+}  // namespace defender::core

@@ -1,0 +1,103 @@
+// Integration property suite for Theorem 3.1 and Corollaries 3.2-3.3:
+// pure NE existence <=> an edge cover of size k exists, across random
+// boards, with the polynomial decision cross-checked against brute force.
+#include <gtest/gtest.h>
+
+#include "core/payoff.hpp"
+#include "core/pure_ne.hpp"
+#include "graph/generators.hpp"
+#include "matching/brute_force.hpp"
+#include "matching/edge_cover.hpp"
+#include "util/random.hpp"
+
+namespace defender::core {
+namespace {
+
+struct BoardCase {
+  const char* name;
+  graph::Graph g;
+};
+
+std::vector<BoardCase> boards() {
+  util::Rng rng(2024);
+  std::vector<BoardCase> out;
+  out.push_back({"path7", graph::path_graph(7)});
+  out.push_back({"cycle6", graph::cycle_graph(6)});
+  out.push_back({"cycle7", graph::cycle_graph(7)});
+  out.push_back({"star5", graph::star_graph(5)});
+  out.push_back({"k5", graph::complete_graph(5)});
+  out.push_back({"k23", graph::complete_bipartite(2, 3)});
+  out.push_back({"wheel5", graph::wheel_graph(5)});
+  out.push_back({"tree8", graph::random_tree(8, rng)});
+  out.push_back({"gnp8", graph::gnp_graph(8, 0.35, rng)});
+  return out;
+}
+
+TEST(Theorem31, ExistenceMatchesBruteForceEdgeCoverThreshold) {
+  for (const auto& [name, g] : boards()) {
+    if (g.num_edges() > 20) continue;
+    const std::size_t truth = matching::brute_force::min_edge_cover_size(g);
+    for (std::size_t k = 1; k <= g.num_edges(); ++k) {
+      const TupleGame game(g, k, 2);
+      EXPECT_EQ(pure_ne_exists(game), k >= truth) << name << " k=" << k;
+    }
+  }
+}
+
+TEST(Theorem31, ConstructedEquilibriaSurviveDeviationChecking) {
+  for (const auto& [name, g] : boards()) {
+    for (std::size_t k = 1; k <= g.num_edges(); ++k) {
+      const TupleGame game(g, k, 2);
+      if (game.num_tuples() > 200000) continue;
+      const auto config = find_pure_ne(game);
+      if (!config) continue;
+      EXPECT_TRUE(is_pure_ne_by_deviation(game, *config))
+          << name << " k=" << k;
+    }
+  }
+}
+
+TEST(Theorem31, EquilibriumDefenderCatchesEveryone) {
+  for (const auto& [name, g] : boards()) {
+    const std::size_t cover = matching::min_edge_cover_size(g);
+    if (cover > g.num_edges()) continue;
+    const TupleGame game(g, cover, 3);
+    const auto config = find_pure_ne(game);
+    ASSERT_TRUE(config.has_value()) << name;
+    EXPECT_EQ(pure_profits(game, *config).defender, 3u) << name;
+  }
+}
+
+TEST(Corollary33, LargeBoardsNeverHavePureNeForSmallK) {
+  util::Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    const graph::Graph g = graph::gnp_graph(20, 0.2, rng);
+    for (std::size_t k = 1; 2 * k + 1 <= g.num_vertices(); ++k) {
+      if (k > g.num_edges()) break;
+      EXPECT_FALSE(pure_ne_exists(TupleGame(g, k, 1)))
+          << "trial " << trial << " k=" << k;
+    }
+  }
+}
+
+class PureNeGridSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(PureNeGridSweep, ThresholdIsGallaiOnGrids) {
+  const auto [r, c] = GetParam();
+  const graph::Graph g = graph::grid_graph(r, c);
+  const std::size_t threshold = matching::min_edge_cover_size(g);
+  // Gallai: n - floor(n/2) for grids (perfect/near-perfect matchings).
+  EXPECT_EQ(threshold, g.num_vertices() - g.num_vertices() / 2);
+  EXPECT_FALSE(pure_ne_exists(TupleGame(g, threshold - 1, 1)));
+  if (threshold <= g.num_edges())
+    EXPECT_TRUE(pure_ne_exists(TupleGame(g, threshold, 1)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, PureNeGridSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 3, 4),
+                       ::testing::Values<std::size_t>(2, 3, 4, 5)));
+
+}  // namespace
+}  // namespace defender::core

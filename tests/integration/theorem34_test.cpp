@@ -1,0 +1,133 @@
+// Integration property suite for Theorem 3.4: the graph-theoretic
+// characterization accepts exactly the mixed NE. Equilibria produced by
+// three independent routes (Lemma 4.1 constructions, LP zero-sum solutions,
+// pure covering tuples) must pass; perturbations must fail.
+#include <gtest/gtest.h>
+
+#include "core/atuple.hpp"
+#include "core/characterization.hpp"
+#include "core/payoff.hpp"
+#include "core/zero_sum.hpp"
+#include "graph/generators.hpp"
+#include "util/random.hpp"
+
+namespace defender::core {
+namespace {
+
+TEST(Theorem34, AcceptsConstructedEquilibriaAcrossBipartiteSweep) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    util::Rng rng(seed);
+    const graph::Graph g = graph::random_bipartite(3, 4, 0.45, rng);
+    const auto partition = find_partition_bipartite(g);
+    ASSERT_TRUE(partition.has_value()) << "seed " << seed;
+    const std::size_t kmax =
+        std::min<std::size_t>(partition->independent_set.size(), 3);
+    for (std::size_t k = 1; k <= kmax; ++k) {
+      const TupleGame game(g, k, 2);
+      const auto result = a_tuple(game, *partition);
+      ASSERT_TRUE(result.has_value()) << "seed " << seed << " k=" << k;
+      const auto report = verify_mixed_ne(game, result->configuration,
+                                          Oracle::kExhaustive);
+      EXPECT_TRUE(report.is_ne()) << "seed " << seed << " k=" << k << "\n"
+                                  << report.describe();
+    }
+  }
+}
+
+TEST(Theorem34, AcceptsLpEquilibriaOnSmallBoards) {
+  for (const auto& g : {graph::path_graph(5), graph::cycle_graph(6),
+                        graph::star_graph(4)}) {
+    for (std::size_t k = 1; k <= 2; ++k) {
+      const TupleGame game(g, k, 2);
+      const auto config = to_configuration(game, solve_zero_sum(game));
+      EXPECT_TRUE(
+          is_mixed_ne_by_best_response(game, config, Oracle::kExhaustive,
+                                       1e-6));
+    }
+  }
+}
+
+TEST(Theorem34, BestResponseAndCharacterizationAgreeOnRandomConfigurations) {
+  // Theorem 3.4 states conditions 1-3 are *equivalent* to Nash (mutual best
+  // response). Random configurations on random boards must never split the
+  // two checks.
+  util::Rng rng(303);
+  std::size_t checked = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    const graph::Graph g = graph::gnp_graph(6, 0.5, rng);
+    const std::size_t k = 1 + rng.below(2);
+    if (g.num_edges() < k + 1) continue;
+    const TupleGame game(g, k, 2);
+    // Random supports and probabilities.
+    const std::size_t vp_count = 1 + rng.below(3);
+    graph::VertexSet vp;
+    for (std::size_t v : util::sample_without_replacement(
+             g.num_vertices(), std::min(vp_count, g.num_vertices()), rng))
+      vp.push_back(static_cast<graph::Vertex>(v));
+    const std::size_t tuples = 1 + rng.below(3);
+    std::vector<Tuple> support;
+    for (std::size_t t = 0; t < tuples; ++t) {
+      Tuple tup;
+      for (std::size_t e :
+           util::sample_without_replacement(g.num_edges(), k, rng))
+        tup.push_back(static_cast<graph::EdgeId>(e));
+      std::sort(tup.begin(), tup.end());
+      support.push_back(std::move(tup));
+    }
+    std::sort(support.begin(), support.end());
+    support.erase(std::unique(support.begin(), support.end()), support.end());
+
+    const MixedConfiguration config = symmetric_configuration(
+        game, VertexDistribution::uniform(std::move(vp)),
+        TupleDistribution::uniform(std::move(support)));
+    const bool by_char =
+        verify_mixed_ne(game, config, Oracle::kExhaustive).is_ne();
+    const bool by_br =
+        is_mixed_ne_by_best_response(game, config, Oracle::kExhaustive);
+    // The sufficient direction of Theorem 3.4 is airtight: a configuration
+    // satisfying all clauses is a mutual best response. (The necessary
+    // direction of condition 1 has an edge case pinned by the test below.)
+    if (by_char) EXPECT_TRUE(by_br) << "trial " << trial;
+    ++checked;
+  }
+  EXPECT_GT(checked, 60u);
+}
+
+TEST(Theorem34, Claim36EdgeCaseWhenOneTupleCoversEveryAttacker) {
+  // Known gap in Claim 3.6's necessity argument (documented in DESIGN.md):
+  // on P4 with k = 2 the defender's single tuple {(0,1),(2,3)} covers every
+  // vertex, so with attackers pinned on vertex 1 the profile is a mutual
+  // best response, yet D(VP) = {1} fails to cover support edge (2,3).
+  const TupleGame game(graph::path_graph(4), 2, 2);
+  const MixedConfiguration config = symmetric_configuration(
+      game, VertexDistribution::uniform({1}),
+      TupleDistribution::uniform({{0, 2}}));
+  EXPECT_TRUE(is_mixed_ne_by_best_response(game, config, Oracle::kExhaustive));
+  const auto report = verify_mixed_ne(game, config, Oracle::kExhaustive);
+  EXPECT_FALSE(report.vertex_cover_of_support);
+  EXPECT_TRUE(report.edge_cover);
+  EXPECT_TRUE(report.hits_uniform_minimum);
+  EXPECT_TRUE(report.support_tuples_maximal);
+}
+
+TEST(Theorem34, PerturbedEquilibriumProbabilitiesFail) {
+  const TupleGame game(graph::cycle_graph(6), 1, 2);
+  // Equilibrium support with one probability nudged off-uniform.
+  const MixedConfiguration nudged = symmetric_configuration(
+      game, VertexDistribution::uniform({0, 2, 4}),
+      TupleDistribution({{0}, {3}, {5}}, {1.0 / 3 + 0.05, 1.0 / 3 - 0.05,
+                                          1.0 / 3}));
+  EXPECT_FALSE(verify_mixed_ne(game, nudged, Oracle::kExhaustive).is_ne());
+}
+
+TEST(Theorem34, SupersetSupportWithUniformProbsFails) {
+  // Adding a redundant tuple dilutes the hit probabilities unevenly.
+  const TupleGame game(graph::cycle_graph(6), 1, 2);
+  const MixedConfiguration diluted = symmetric_configuration(
+      game, VertexDistribution::uniform({0, 2, 4}),
+      TupleDistribution::uniform({{0}, {3}, {5}, {1}}));
+  EXPECT_FALSE(verify_mixed_ne(game, diluted, Oracle::kExhaustive).is_ne());
+}
+
+}  // namespace
+}  // namespace defender::core

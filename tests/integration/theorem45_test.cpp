@@ -1,0 +1,123 @@
+// Integration property suite for Theorem 4.5 and Corollaries 4.7/4.10:
+// the two-way reduction between matching NE of Pi_1 and k-matching NE of
+// Pi_k preserves equilibrium-ness in both directions and scales the
+// defender's profit by exactly k — the paper's headline result.
+#include <gtest/gtest.h>
+
+#include "core/atuple.hpp"
+#include "core/characterization.hpp"
+#include "core/payoff.hpp"
+#include "core/reduction.hpp"
+#include "graph/generators.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+
+namespace defender::core {
+namespace {
+
+TEST(Theorem45, GainIsLinearInKAcrossBoards) {
+  util::Rng rng(11);
+  const std::vector<graph::Graph> boards = {
+      graph::cycle_graph(12), graph::grid_graph(3, 4),
+      graph::complete_bipartite(4, 8), graph::random_bipartite(5, 7, 0.4, rng),
+      graph::random_tree(12, rng)};
+  constexpr std::size_t kNu = 4;
+  for (const auto& g : boards) {
+    const auto partition = find_partition(g);
+    ASSERT_TRUE(partition.has_value());
+    const auto base = compute_matching_ne(g, *partition);
+    ASSERT_TRUE(base.has_value());
+    const std::size_t kmax =
+        std::min(base->tp_support.size(), g.num_edges());
+
+    std::vector<double> ks, gains;
+    const TupleGame edge_game(g, 1, kNu);
+    const double unit =
+        defender_profit(edge_game, to_configuration(edge_game, *base));
+    for (std::size_t k = 1; k <= kmax; ++k) {
+      const TupleGame game(g, k, kNu);
+      const KMatchingNe lifted = lift_to_k_matching(game, *base);
+      const double gain =
+          defender_profit(game, to_configuration(game, lifted));
+      EXPECT_NEAR(gain, static_cast<double>(k) * unit, 1e-9) << "k=" << k;
+      ks.push_back(static_cast<double>(k));
+      gains.push_back(gain);
+    }
+    if (ks.size() >= 2) {
+      const util::LinearFit fit = util::fit_line(ks, gains);
+      EXPECT_NEAR(fit.slope, unit, 1e-9);
+      EXPECT_NEAR(fit.intercept, 0.0, 1e-9);
+      EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(Theorem45, LiftPreservesNashAcrossRandomTrees) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    util::Rng rng(seed);
+    const graph::Graph g = graph::random_tree(9, rng);
+    const auto partition = find_partition_bipartite(g);
+    ASSERT_TRUE(partition.has_value()) << "seed " << seed;
+    const auto base = compute_matching_ne(g, *partition);
+    ASSERT_TRUE(base.has_value()) << "seed " << seed;
+    const std::size_t kmax =
+        std::min<std::size_t>(base->tp_support.size(), 3);
+    for (std::size_t k = 1; k <= kmax; ++k) {
+      const TupleGame game(g, k, 2);
+      const KMatchingNe lifted = lift_to_k_matching(game, *base);
+      EXPECT_TRUE(verify_mixed_ne(game, to_configuration(game, lifted),
+                                  Oracle::kBranchAndBound)
+                      .is_ne())
+          << "seed " << seed << " k=" << k;
+    }
+  }
+}
+
+TEST(Theorem45, ProjectionOfAnyLiftIsANashEquilibriumOfTheEdgeModel) {
+  util::Rng rng(31);
+  for (int trial = 0; trial < 8; ++trial) {
+    const graph::Graph g = graph::random_bipartite(4, 6, 0.4, rng);
+    const auto partition = find_partition_bipartite(g);
+    ASSERT_TRUE(partition.has_value());
+    const auto base = compute_matching_ne(g, *partition);
+    ASSERT_TRUE(base.has_value());
+    const std::size_t k =
+        1 + rng.below(std::min<std::size_t>(base->tp_support.size(), 4));
+    const TupleGame game(g, k, 3);
+    const KMatchingNe lifted = lift_to_k_matching(game, *base);
+    const MatchingNe projected = project_to_matching(game, lifted);
+    const TupleGame edge_game = game.edge_model_instance();
+    EXPECT_TRUE(verify_mixed_ne(edge_game,
+                                to_configuration(edge_game, projected),
+                                Oracle::kBranchAndBound)
+                    .is_ne())
+        << "trial " << trial;
+  }
+}
+
+TEST(Corollary47And410, ProfitRatioBothDirections) {
+  const graph::Graph g = graph::hypercube_graph(3);
+  const auto partition = find_partition_bipartite(g);
+  ASSERT_TRUE(partition.has_value());
+  const auto base = compute_matching_ne(g, *partition);
+  ASSERT_TRUE(base.has_value());
+  constexpr std::size_t kNu = 5;
+  const TupleGame edge_game(g, 1, kNu);
+  const double unit =
+      defender_profit(edge_game, to_configuration(edge_game, *base));
+  for (std::size_t k = 2; k <= base->tp_support.size(); ++k) {
+    const TupleGame game(g, k, kNu);
+    const KMatchingNe lifted = lift_to_k_matching(game, *base);
+    // Lift direction (Corollary 4.10).
+    EXPECT_NEAR(defender_profit(game, to_configuration(game, lifted)) / unit,
+                static_cast<double>(k), 1e-9);
+    // Projection direction (Corollary 4.7): projecting recovers unit / k.
+    const MatchingNe back = project_to_matching(game, lifted);
+    EXPECT_NEAR(
+        defender_profit(edge_game, to_configuration(edge_game, back)),
+        unit, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace defender::core

@@ -1,0 +1,91 @@
+// Integration property suite for Theorem 5.1: every bipartite board admits
+// a k-matching NE computable end to end (König partition -> algorithm A ->
+// cyclic lift -> uniform distributions), for every admissible k.
+#include <gtest/gtest.h>
+
+#include "core/atuple.hpp"
+#include "core/characterization.hpp"
+#include "core/k_matching.hpp"
+#include "core/payoff.hpp"
+#include "graph/generators.hpp"
+#include "util/random.hpp"
+
+namespace defender::core {
+namespace {
+
+void expect_full_pipeline(const graph::Graph& g, std::size_t k,
+                          std::size_t nu, bool exhaustive_check) {
+  const TupleGame game(g, k, nu);
+  const auto result = a_tuple_bipartite(game);
+  ASSERT_TRUE(result.has_value()) << "k=" << k;
+  // Structure: a k-matching configuration with the cover conditions.
+  EXPECT_TRUE(is_k_matching_configuration(game, result->k_matching_ne.vp_support,
+                                          result->k_matching_ne.tp_support));
+  EXPECT_TRUE(satisfies_cover_conditions(game, result->k_matching_ne));
+  // Claim 4.3: hit probability k/|E(D(tp))| on the attacker support.
+  const auto hit = hit_probabilities(game, result->configuration);
+  const double predicted = analytic_hit_probability(game, result->k_matching_ne);
+  for (graph::Vertex v : result->k_matching_ne.vp_support)
+    EXPECT_NEAR(hit[v], predicted, 1e-12);
+  // Full Nash verification.
+  const auto oracle =
+      exhaustive_check ? Oracle::kExhaustive : Oracle::kBranchAndBound;
+  EXPECT_TRUE(verify_mixed_ne(game, result->configuration, oracle).is_ne())
+      << "k=" << k;
+  // Corollary 4.10 profit.
+  EXPECT_NEAR(defender_profit(game, result->configuration),
+              analytic_defender_profit(game, result->k_matching_ne), 1e-9);
+}
+
+TEST(Theorem51, RandomBipartiteSweepAllK) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    util::Rng rng(seed);
+    const graph::Graph g = graph::random_bipartite(4, 5, 0.35, rng);
+    const auto partition = find_partition_bipartite(g);
+    ASSERT_TRUE(partition.has_value());
+    const std::size_t kmax = partition->independent_set.size();
+    for (std::size_t k = 1; k <= std::min<std::size_t>(kmax, 4); ++k)
+      expect_full_pipeline(g, k, 3, /*exhaustive_check=*/g.num_edges() <= 12);
+  }
+}
+
+TEST(Theorem51, StructuredBipartiteFamilies) {
+  expect_full_pipeline(graph::path_graph(10), 3, 2, true);
+  expect_full_pipeline(graph::cycle_graph(10), 4, 2, false);
+  expect_full_pipeline(graph::grid_graph(3, 4), 5, 2, false);
+  expect_full_pipeline(graph::hypercube_graph(3), 4, 2, false);
+  expect_full_pipeline(graph::star_graph(8), 5, 2, false);
+  expect_full_pipeline(graph::complete_bipartite(3, 7), 6, 2, false);
+  expect_full_pipeline(graph::ladder_graph(5), 3, 2, false);
+  expect_full_pipeline(graph::binary_tree(3), 2, 2, true);
+}
+
+TEST(Theorem51, LargerBoardsStayPolynomial) {
+  // Not a timing assertion, just an executability check at realistic sizes.
+  util::Rng rng(5);
+  const graph::Graph g = graph::random_bipartite(40, 60, 0.1, rng);
+  const TupleGame game(g, 8, 10);
+  const auto result = a_tuple_bipartite(game);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(satisfies_cover_conditions(game, result->k_matching_ne));
+  const auto hit = hit_probabilities(game, result->configuration);
+  const double predicted =
+      analytic_hit_probability(game, result->k_matching_ne);
+  for (graph::Vertex v : result->k_matching_ne.vp_support)
+    EXPECT_NEAR(hit[v], predicted, 1e-12);
+}
+
+TEST(Theorem51, TreesViaPruferSweep) {
+  for (std::uint64_t seed = 20; seed < 32; ++seed) {
+    util::Rng rng(seed);
+    const graph::Graph g = graph::random_tree(14, rng);
+    const auto partition = find_partition_bipartite(g);
+    ASSERT_TRUE(partition.has_value()) << "seed " << seed;
+    const std::size_t k =
+        1 + rng.below(partition->independent_set.size());
+    expect_full_pipeline(g, k, 2, /*exhaustive_check=*/false);
+  }
+}
+
+}  // namespace
+}  // namespace defender::core

@@ -1,0 +1,85 @@
+#include "lp/brute_force.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lp/simplex.hpp"
+#include "util/assert.hpp"
+#include "util/random.hpp"
+
+namespace defender::lp {
+namespace {
+
+TEST(BruteForceLp, TextbookProblem) {
+  const Matrix a{{1, 0}, {0, 2}, {3, 2}};
+  const std::vector<double> b{4, 12, 18};
+  const std::vector<double> c{3, 5};
+  const auto best = brute_force::max_objective(a, b, c);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_NEAR(*best, 36.0, 1e-9);
+}
+
+TEST(BruteForceLp, InfeasibleReturnsNullopt) {
+  const Matrix a{{1.0}};
+  const std::vector<double> b{-1};
+  const std::vector<double> c{1};
+  EXPECT_FALSE(brute_force::max_objective(a, b, c).has_value());
+}
+
+TEST(BruteForceLp, RejectsOversizedInstances) {
+  const Matrix a(10, 6);
+  const std::vector<double> b(10, 1.0);
+  const std::vector<double> c(6, 1.0);
+  EXPECT_THROW(brute_force::max_objective(a, b, c), ContractViolation);
+}
+
+TEST(BruteForceLp, SimplexAgreesOnRandomBoundedPrograms) {
+  // Random programs with explicit box constraints x_j <= U so the feasible
+  // region is bounded; the simplex and vertex enumeration must agree on
+  // optimal value and feasibility across the sweep.
+  util::Rng rng(7777);
+  std::size_t optimal_cases = 0, infeasible_cases = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 2 + rng.below(2);       // 2..3 variables
+    const std::size_t extra = 1 + rng.below(4);   // 1..4 general rows
+    Matrix a(extra + n, n);
+    std::vector<double> b(extra + n);
+    for (std::size_t i = 0; i < extra; ++i) {
+      for (std::size_t j = 0; j < n; ++j)
+        a.at(i, j) = rng.uniform(-2.0, 2.0);
+      b[i] = rng.uniform(-1.0, 3.0);
+    }
+    for (std::size_t j = 0; j < n; ++j) {  // box rows x_j <= U
+      a.at(extra + j, j) = 1.0;
+      b[extra + j] = rng.uniform(0.5, 4.0);
+    }
+    std::vector<double> c(n);
+    for (double& v : c) v = rng.uniform(-3.0, 3.0);
+
+    const LpSolution s = solve_max(a, b, c);
+    const auto truth = brute_force::max_objective(a, b, c);
+    if (truth.has_value()) {
+      ASSERT_EQ(s.status, LpStatus::kOptimal) << "trial " << trial;
+      EXPECT_NEAR(s.objective, *truth, 1e-6) << "trial " << trial;
+      ++optimal_cases;
+    } else {
+      EXPECT_EQ(s.status, LpStatus::kInfeasible) << "trial " << trial;
+      ++infeasible_cases;
+    }
+  }
+  EXPECT_GT(optimal_cases, 100u);
+  EXPECT_GT(infeasible_cases, 5u);
+}
+
+TEST(BruteForceLp, DegenerateVertexHandled) {
+  // Three constraints meeting at one point in 2D (degenerate vertex).
+  const Matrix a{{1, 0}, {0, 1}, {1, 1}};
+  const std::vector<double> b{1, 1, 2};
+  const std::vector<double> c{1, 1};
+  const auto best = brute_force::max_objective(a, b, c);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_NEAR(*best, 2.0, 1e-9);
+  EXPECT_NEAR(solve_max(a, b, c).objective, 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace defender::lp

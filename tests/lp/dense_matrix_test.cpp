@@ -1,0 +1,64 @@
+#include "lp/dense_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace defender::lp {
+namespace {
+
+TEST(Matrix, ZeroInitialized) {
+  const Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m.at(r, c), 0.0);
+}
+
+TEST(Matrix, InitializerListLayout) {
+  const Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 6.0);
+}
+
+TEST(Matrix, RejectsRaggedRows) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), ContractViolation);
+}
+
+TEST(Matrix, RejectsEmptyDimensions) {
+  EXPECT_THROW(Matrix(0, 2), ContractViolation);
+  EXPECT_THROW(Matrix(2, 0), ContractViolation);
+}
+
+TEST(Matrix, BoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), ContractViolation);
+  EXPECT_THROW(m.at(0, 2), ContractViolation);
+}
+
+TEST(Matrix, WriteThroughAt) {
+  Matrix m(2, 2);
+  m.at(1, 0) = 7.5;
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 7.5);
+}
+
+TEST(Matrix, TransposeSwapsIndices) {
+  const Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_DOUBLE_EQ(t.at(c, r), m.at(r, c));
+}
+
+TEST(Matrix, Extremes) {
+  const Matrix m{{3, -1}, {0, 9}};
+  EXPECT_DOUBLE_EQ(m.min_entry(), -1.0);
+  EXPECT_DOUBLE_EQ(m.max_entry(), 9.0);
+}
+
+}  // namespace
+}  // namespace defender::lp

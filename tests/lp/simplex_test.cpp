@@ -1,0 +1,141 @@
+#include "lp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace defender::lp {
+namespace {
+
+TEST(Simplex, TextbookTwoVariableProblem) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> optimum 36 at (2,6).
+  const Matrix a{{1, 0}, {0, 2}, {3, 2}};
+  const std::vector<double> b{4, 12, 18};
+  const std::vector<double> c{3, 5};
+  const LpSolution s = solve_max(a, b, c);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 36.0, 1e-9);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 6.0, 1e-9);
+}
+
+TEST(Simplex, DualPricesSatisfyStrongDuality) {
+  const Matrix a{{1, 0}, {0, 2}, {3, 2}};
+  const std::vector<double> b{4, 12, 18};
+  const std::vector<double> c{3, 5};
+  const LpSolution s = solve_max(a, b, c);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  double dual_obj = 0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_GE(s.duals[i], -1e-9);
+    dual_obj += s.duals[i] * b[i];
+  }
+  EXPECT_NEAR(dual_obj, s.objective, 1e-9);
+  // Dual feasibility: y^T A >= c.
+  for (std::size_t j = 0; j < c.size(); ++j) {
+    double lhs = 0;
+    for (std::size_t i = 0; i < b.size(); ++i) lhs += s.duals[i] * a.at(i, j);
+    EXPECT_GE(lhs, c[j] - 1e-9);
+  }
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  // max x with only -x <= 1: x can grow without bound.
+  const Matrix a{{-1.0}};
+  const std::vector<double> b{1};
+  const std::vector<double> c{1};
+  EXPECT_EQ(solve_max(a, b, c).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  // x <= -1 with x >= 0 is empty.
+  const Matrix a{{1.0}};
+  const std::vector<double> b{-1};
+  const std::vector<double> c{1};
+  EXPECT_EQ(solve_max(a, b, c).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, NegativeRhsFeasibleViaPhase1) {
+  // max -x - y s.t. -x - y <= -4 (i.e. x + y >= 4): optimum -4.
+  const Matrix a{{-1, -1}};
+  const std::vector<double> b{-4};
+  const std::vector<double> c{-1, -1};
+  const LpSolution s = solve_max(a, b, c);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -4.0, 1e-9);
+}
+
+TEST(Simplex, MixedSignRhs) {
+  // max x + y s.t. x + y <= 6, -x <= -1 (x >= 1), -y <= -2 (y >= 2).
+  const Matrix a{{1, 1}, {-1, 0}, {0, -1}};
+  const std::vector<double> b{6, -1, -2};
+  const std::vector<double> c{1, 1};
+  const LpSolution s = solve_max(a, b, c);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 6.0, 1e-9);
+  EXPECT_GE(s.x[0], 1.0 - 1e-9);
+  EXPECT_GE(s.x[1], 2.0 - 1e-9);
+}
+
+TEST(Simplex, ZeroObjectiveReturnsFeasiblePoint) {
+  const Matrix a{{1, 1}};
+  const std::vector<double> b{5};
+  const std::vector<double> c{0, 0};
+  const LpSolution s = solve_max(a, b, c);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 0.0, 1e-12);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Degenerate vertex (multiple constraints active at the optimum): Bland's
+  // rule must still terminate.
+  const Matrix a{{1, 0}, {1, 0}, {1, 1}};
+  const std::vector<double> b{2, 2, 3};
+  const std::vector<double> c{2, 1};
+  const LpSolution s = solve_max(a, b, c);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 5.0, 1e-9);
+}
+
+TEST(Simplex, RedundantEqualLikeConstraints) {
+  // x >= 3 expressed twice plus x <= 3 pins x to exactly 3.
+  const Matrix a{{-1}, {-1}, {1}};
+  const std::vector<double> b{-3, -3, 3};
+  const std::vector<double> c{5};
+  const LpSolution s = solve_max(a, b, c);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 15.0, 1e-9);
+  EXPECT_NEAR(s.x[0], 3.0, 1e-9);
+}
+
+TEST(Simplex, RejectsDimensionMismatch) {
+  const Matrix a{{1, 2}};
+  const std::vector<double> b{1, 2};
+  const std::vector<double> c{1, 1};
+  EXPECT_THROW(solve_max(a, b, c), ContractViolation);
+}
+
+TEST(Simplex, LargerDiagonalProblem) {
+  constexpr std::size_t kN = 20;
+  Matrix a(kN, kN);
+  std::vector<double> b(kN), c(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    a.at(i, i) = 1.0;
+    b[i] = static_cast<double>(i + 1);
+    c[i] = 1.0;
+  }
+  const LpSolution s = solve_max(a, b, c);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, kN * (kN + 1) / 2.0, 1e-6);
+}
+
+TEST(LpStatusNames, AreStable) {
+  EXPECT_STREQ(to_string(LpStatus::kOptimal), "optimal");
+  EXPECT_STREQ(to_string(LpStatus::kInfeasible), "infeasible");
+  EXPECT_STREQ(to_string(LpStatus::kUnbounded), "unbounded");
+}
+
+}  // namespace
+}  // namespace defender::lp

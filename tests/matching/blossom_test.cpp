@@ -1,0 +1,106 @@
+#include "matching/blossom.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "matching/brute_force.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "util/random.hpp"
+
+namespace defender::matching {
+namespace {
+
+TEST(Blossom, OddCycleMatchesFloorHalf) {
+  EXPECT_EQ(max_matching(graph::cycle_graph(5)).size(), 2u);
+  EXPECT_EQ(max_matching(graph::cycle_graph(7)).size(), 3u);
+  EXPECT_EQ(max_matching(graph::cycle_graph(9)).size(), 4u);
+}
+
+TEST(Blossom, EvenCyclePerfect) {
+  EXPECT_EQ(max_matching(graph::cycle_graph(8)).size(), 4u);
+}
+
+TEST(Blossom, CompleteGraphs) {
+  EXPECT_EQ(max_matching(graph::complete_graph(6)).size(), 3u);
+  EXPECT_EQ(max_matching(graph::complete_graph(7)).size(), 3u);
+}
+
+TEST(Blossom, PetersenHasPerfectMatching) {
+  const Matching m = max_matching(graph::petersen_graph());
+  EXPECT_EQ(m.size(), 5u);
+  EXPECT_TRUE(is_valid_matching(graph::petersen_graph(), m.edges()));
+}
+
+TEST(Blossom, TriangleWithPendant) {
+  // Triangle 0-1-2 plus pendant 3 attached to 0: maximum matching = 2.
+  const Graph g = graph::GraphBuilder(4)
+                      .add_edge(0, 1)
+                      .add_edge(1, 2)
+                      .add_edge(0, 2)
+                      .add_edge(0, 3)
+                      .build();
+  EXPECT_EQ(max_matching(g).size(), 2u);
+}
+
+TEST(Blossom, TwoTrianglesJoinedByBridge) {
+  // Classic blossom-shrinking exercise: two triangles joined by an edge.
+  graph::GraphBuilder b(6);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(0, 2);
+  b.add_edge(3, 4).add_edge(4, 5).add_edge(3, 5);
+  b.add_edge(2, 3);
+  const Matching m = max_matching(b.build());
+  EXPECT_EQ(m.size(), 3u);
+}
+
+TEST(Blossom, StarMatchesOneEdge) {
+  EXPECT_EQ(max_matching(graph::star_graph(9)).size(), 1u);
+}
+
+TEST(Blossom, WheelGraphs) {
+  EXPECT_EQ(max_matching(graph::wheel_graph(5)).size(), 3u);   // 6 vertices
+  EXPECT_EQ(max_matching(graph::wheel_graph(6)).size(), 3u);   // 7 vertices
+}
+
+TEST(Blossom, AgreesWithHopcroftKarpOnBipartiteGraphs) {
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    util::Rng rng(seed);
+    const Graph g = graph::random_bipartite(5, 6, 0.35, rng,
+                                            /*forbid_isolated=*/false);
+    if (g.num_edges() == 0) continue;
+    EXPECT_EQ(max_matching(g).size(), max_bipartite_matching(g).size())
+        << "seed " << seed;
+  }
+}
+
+TEST(Blossom, MatchesBruteForceOnRandomGeneralGraphs) {
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    util::Rng rng(seed);
+    const std::size_t n = 4 + seed % 7;
+    const Graph g = graph::gnp_graph(n, 0.45, rng, /*forbid_isolated=*/false);
+    if (g.num_edges() == 0 || g.num_edges() > 18) continue;
+    const Matching m = max_matching(g);
+    EXPECT_TRUE(is_valid_matching(g, m.edges())) << "seed " << seed;
+    EXPECT_EQ(m.size(), brute_force::max_matching_size(g)) << "seed " << seed;
+  }
+}
+
+TEST(Blossom, HandlesLargerRandomGraphsWithoutViolation) {
+  util::Rng rng(123);
+  const Graph g = graph::gnp_graph(120, 0.05, rng);
+  const Matching m = max_matching(g);
+  EXPECT_TRUE(is_valid_matching(g, m.edges()));
+  EXPECT_GT(m.size(), 0u);
+}
+
+class BlossomCycleSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BlossomCycleSweep, CycleMatchingIsFloorHalf) {
+  const std::size_t n = GetParam();
+  EXPECT_EQ(max_matching(graph::cycle_graph(n)).size(), n / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cycles, BlossomCycleSweep,
+                         ::testing::Range<std::size_t>(3, 20));
+
+}  // namespace
+}  // namespace defender::matching

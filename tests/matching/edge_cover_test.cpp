@@ -1,0 +1,97 @@
+#include "matching/edge_cover.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "matching/blossom.hpp"
+#include "matching/brute_force.hpp"
+#include "matching/greedy.hpp"
+#include "util/assert.hpp"
+#include "util/random.hpp"
+
+namespace defender::matching {
+namespace {
+
+TEST(MinEdgeCover, GallaiIdentityOnFamilies) {
+  // |min edge cover| = n - |max matching| (Gallai).
+  EXPECT_EQ(min_edge_cover_size(graph::path_graph(7)), 7u - 3u);
+  EXPECT_EQ(min_edge_cover_size(graph::cycle_graph(8)), 8u - 4u);
+  EXPECT_EQ(min_edge_cover_size(graph::cycle_graph(9)), 9u - 4u);
+  EXPECT_EQ(min_edge_cover_size(graph::star_graph(5)), 5u);
+  EXPECT_EQ(min_edge_cover_size(graph::complete_graph(6)), 3u);
+  EXPECT_EQ(min_edge_cover_size(graph::petersen_graph()), 5u);
+}
+
+TEST(MinEdgeCover, ProducesAValidCoverOfTheRightSize) {
+  const Graph g = graph::petersen_graph();
+  const graph::EdgeSet cover = min_edge_cover(g);
+  EXPECT_TRUE(graph::is_edge_cover(g, cover));
+  EXPECT_EQ(cover.size(), min_edge_cover_size(g));
+}
+
+TEST(MinEdgeCover, RejectsIsolatedVertices) {
+  const Graph g = graph::GraphBuilder(3).add_edge(0, 1).build();
+  EXPECT_THROW(min_edge_cover(g), ContractViolation);
+  EXPECT_THROW(min_edge_cover_size(g), ContractViolation);
+}
+
+TEST(MinEdgeCover, MatchesBruteForceOnRandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    util::Rng rng(seed);
+    const std::size_t n = 4 + seed % 5;
+    const Graph g = graph::gnp_graph(n, 0.5, rng, /*forbid_isolated=*/true);
+    if (g.num_edges() > 20) continue;
+    const graph::EdgeSet cover = min_edge_cover(g);
+    EXPECT_TRUE(graph::is_edge_cover(g, cover)) << "seed " << seed;
+    EXPECT_EQ(cover.size(), brute_force::min_edge_cover_size(g))
+        << "seed " << seed;
+  }
+}
+
+TEST(EdgeCoverFromMatching, NonMaximumMatchingStillYieldsAValidCover) {
+  // The ablation path: a greedy matching may be smaller, so the resulting
+  // cover may be larger, but it must still cover every vertex.
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    util::Rng rng(seed);
+    const Graph g = graph::gnp_graph(12, 0.25, rng);
+    const graph::EdgeSet cover = edge_cover_from_matching(g, greedy_matching(g));
+    EXPECT_TRUE(graph::is_edge_cover(g, cover)) << "seed " << seed;
+    EXPECT_GE(cover.size(), min_edge_cover_size(g)) << "seed " << seed;
+  }
+}
+
+TEST(GreedyMatching, IsValidAndMaximal) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    util::Rng rng(seed);
+    const Graph g = graph::gnp_graph(15, 0.2, rng);
+    const Matching m = greedy_matching(g);
+    EXPECT_TRUE(is_valid_matching(g, m.edges()));
+    // Maximality: every edge has a matched endpoint.
+    for (const graph::Edge& e : g.edges())
+      EXPECT_TRUE(m.is_matched(e.u) || m.is_matched(e.v)) << "seed " << seed;
+  }
+}
+
+TEST(GreedyMatching, AtLeastHalfOfMaximum) {
+  for (std::uint64_t seed = 40; seed < 60; ++seed) {
+    util::Rng rng(seed);
+    const Graph g = graph::gnp_graph(14, 0.3, rng);
+    EXPECT_GE(2 * greedy_matching(g).size(), max_matching(g).size())
+        << "seed " << seed;
+  }
+}
+
+class EdgeCoverPathSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EdgeCoverPathSweep, PathCoverIsCeilHalf) {
+  const std::size_t n = GetParam();
+  // P_n: max matching floor(n/2), so min edge cover = n - floor(n/2).
+  EXPECT_EQ(min_edge_cover_size(graph::path_graph(n)), n - n / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Paths, EdgeCoverPathSweep,
+                         ::testing::Range<std::size_t>(2, 16));
+
+}  // namespace
+}  // namespace defender::matching

@@ -1,0 +1,93 @@
+#include "matching/hopcroft_karp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "matching/brute_force.hpp"
+#include "util/assert.hpp"
+#include "util/random.hpp"
+
+namespace defender::matching {
+namespace {
+
+TEST(HopcroftKarp, PerfectMatchingOnCompleteBipartite) {
+  const Graph g = graph::complete_bipartite(4, 4);
+  const Matching m = max_bipartite_matching(g);
+  EXPECT_EQ(m.size(), 4u);
+  EXPECT_TRUE(is_valid_matching(g, m.edges()));
+}
+
+TEST(HopcroftKarp, UnbalancedPartsMatchSmallerSide) {
+  const Graph g = graph::complete_bipartite(3, 7);
+  EXPECT_EQ(max_bipartite_matching(g).size(), 3u);
+}
+
+TEST(HopcroftKarp, PathGraphMatchesFloorHalf) {
+  EXPECT_EQ(max_bipartite_matching(graph::path_graph(7)).size(), 3u);
+  EXPECT_EQ(max_bipartite_matching(graph::path_graph(8)).size(), 4u);
+}
+
+TEST(HopcroftKarp, EvenCyclePerfect) {
+  EXPECT_EQ(max_bipartite_matching(graph::cycle_graph(10)).size(), 5u);
+}
+
+TEST(HopcroftKarp, StarMatchesOneEdge) {
+  EXPECT_EQ(max_bipartite_matching(graph::star_graph(5)).size(), 1u);
+}
+
+TEST(HopcroftKarp, HypercubePerfectMatching) {
+  EXPECT_EQ(max_bipartite_matching(graph::hypercube_graph(4)).size(), 8u);
+}
+
+TEST(HopcroftKarp, RejectsOddCycle) {
+  EXPECT_THROW(max_bipartite_matching(graph::cycle_graph(5)),
+               ContractViolation);
+}
+
+TEST(HopcroftKarp, RestrictedSidesIgnoreOtherEdges) {
+  // Triangle with explicit sides {0} vs {1, 2}: only the 0-1 and 0-2 edges
+  // participate; the 1-2 edge is ignored, so the matching has size 1.
+  const Graph g = graph::complete_graph(3);
+  const Matching m = hopcroft_karp(g, std::vector<graph::Vertex>{0},
+                                   std::vector<graph::Vertex>{1, 2});
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_TRUE(m.is_matched(0));
+}
+
+TEST(HopcroftKarp, RejectsOverlappingSides) {
+  const Graph g = graph::path_graph(3);
+  EXPECT_THROW(hopcroft_karp(g, std::vector<graph::Vertex>{0, 1},
+                             std::vector<graph::Vertex>{1, 2}),
+               ContractViolation);
+}
+
+TEST(HopcroftKarp, MatchesBruteForceOnRandomBipartiteGraphs) {
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    util::Rng rng(seed);
+    const std::size_t a = 2 + seed % 5, b = 2 + (seed / 5) % 5;
+    const Graph g = graph::random_bipartite(a, b, 0.4, rng,
+                                            /*forbid_isolated=*/false);
+    if (g.num_edges() == 0) continue;
+    const Matching m = max_bipartite_matching(g);
+    EXPECT_TRUE(is_valid_matching(g, m.edges())) << "seed " << seed;
+    EXPECT_EQ(m.size(), brute_force::max_matching_size(g)) << "seed " << seed;
+  }
+}
+
+class HopcroftKarpFamilies
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(HopcroftKarpFamilies, CompleteBipartiteMatchesMinPart) {
+  const auto [a, b] = GetParam();
+  const Graph g = graph::complete_bipartite(a, b);
+  EXPECT_EQ(max_bipartite_matching(g).size(), std::min(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, HopcroftKarpFamilies,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 3, 5, 8),
+                       ::testing::Values<std::size_t>(1, 2, 4, 7)));
+
+}  // namespace
+}  // namespace defender::matching

@@ -1,0 +1,94 @@
+#include "matching/konig.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "matching/brute_force.hpp"
+#include "util/assert.hpp"
+#include "util/random.hpp"
+
+namespace defender::matching {
+namespace {
+
+void expect_valid_konig(const Graph& g) {
+  const KonigResult r = konig_vertex_cover(g);
+  EXPECT_TRUE(graph::is_vertex_cover(g, r.vertex_cover));
+  EXPECT_TRUE(graph::is_independent_set(g, r.independent_set));
+  EXPECT_EQ(r.vertex_cover.size() + r.independent_set.size(),
+            g.num_vertices());
+  EXPECT_EQ(r.vertex_cover.size(), r.matching.size());
+}
+
+TEST(Konig, PathGraph) {
+  const Graph g = graph::path_graph(7);
+  expect_valid_konig(g);
+  EXPECT_EQ(konig_vertex_cover(g).vertex_cover.size(), 3u);
+}
+
+TEST(Konig, EvenCycle) {
+  const Graph g = graph::cycle_graph(8);
+  expect_valid_konig(g);
+  EXPECT_EQ(konig_vertex_cover(g).vertex_cover.size(), 4u);
+}
+
+TEST(Konig, StarNeedsOnlyTheHub) {
+  const Graph g = graph::star_graph(6);
+  const KonigResult r = konig_vertex_cover(g);
+  EXPECT_EQ(r.vertex_cover, (graph::VertexSet{0}));
+  EXPECT_EQ(r.independent_set.size(), 6u);
+}
+
+TEST(Konig, CompleteBipartiteCoverIsSmallerPart) {
+  const KonigResult r = konig_vertex_cover(graph::complete_bipartite(3, 5));
+  EXPECT_EQ(r.vertex_cover.size(), 3u);
+}
+
+TEST(Konig, RejectsNonBipartite) {
+  EXPECT_THROW(konig_vertex_cover(graph::cycle_graph(5)), ContractViolation);
+}
+
+TEST(Konig, MatchesBruteForceMinimumOnRandomBipartite) {
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    util::Rng rng(seed);
+    const Graph g = graph::random_bipartite(4, 5, 0.4, rng,
+                                            /*forbid_isolated=*/false);
+    if (g.num_edges() == 0) continue;
+    expect_valid_konig(g);
+    EXPECT_EQ(konig_vertex_cover(g).vertex_cover.size(),
+              brute_force::min_vertex_cover_size(g))
+        << "seed " << seed;
+  }
+}
+
+TEST(Konig, IndependentSetIsMaximumByComplement) {
+  for (std::uint64_t seed = 100; seed < 120; ++seed) {
+    util::Rng rng(seed);
+    const Graph g = graph::random_bipartite(5, 5, 0.35, rng,
+                                            /*forbid_isolated=*/false);
+    if (g.num_edges() == 0) continue;
+    const KonigResult r = konig_vertex_cover(g);
+    EXPECT_EQ(r.independent_set.size(),
+              brute_force::max_independent_set_size(g))
+        << "seed " << seed;
+  }
+}
+
+class KonigGridSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(KonigGridSweep, GridCoverEqualsMatchingSize) {
+  const auto [r, c] = GetParam();
+  const Graph g = graph::grid_graph(r, c);
+  expect_valid_konig(g);
+  // Grid graphs have a perfect or near-perfect matching: cover = floor(rc/2).
+  EXPECT_EQ(konig_vertex_cover(g).vertex_cover.size(), (r * c) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, KonigGridSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 3, 4),
+                       ::testing::Values<std::size_t>(2, 3, 5)));
+
+}  // namespace
+}  // namespace defender::matching

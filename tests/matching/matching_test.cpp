@@ -1,0 +1,87 @@
+#include "matching/matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/assert.hpp"
+
+namespace defender::matching {
+namespace {
+
+TEST(Matching, EmptyMatchingHasNoMates) {
+  const Matching m(4);
+  EXPECT_EQ(m.size(), 0u);
+  for (Vertex v = 0; v < 4; ++v) {
+    EXPECT_EQ(m.mate(v), kUnmatched);
+    EXPECT_FALSE(m.is_matched(v));
+  }
+}
+
+TEST(Matching, AddSetsBothMates) {
+  const Graph g = graph::path_graph(4);
+  Matching m(4);
+  m.add(g, *g.edge_id(1, 2));
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.mate(1), 2u);
+  EXPECT_EQ(m.mate(2), 1u);
+  EXPECT_FALSE(m.is_matched(0));
+}
+
+TEST(Matching, AddRejectsOverlappingEdge) {
+  const Graph g = graph::path_graph(4);
+  Matching m(4);
+  m.add(g, *g.edge_id(1, 2));
+  EXPECT_THROW(m.add(g, *g.edge_id(2, 3)), ContractViolation);
+}
+
+TEST(Matching, ConstructorValidatesDisjointness) {
+  const Graph g = graph::path_graph(4);
+  EXPECT_NO_THROW(Matching(g, {*g.edge_id(0, 1), *g.edge_id(2, 3)}));
+  EXPECT_THROW(Matching(g, {*g.edge_id(0, 1), *g.edge_id(1, 2)}),
+               ContractViolation);
+}
+
+TEST(Matching, MatchedVerticesSorted) {
+  const Graph g = graph::path_graph(6);
+  Matching m(6);
+  m.add(g, *g.edge_id(4, 5));
+  m.add(g, *g.edge_id(0, 1));
+  EXPECT_EQ(m.matched_vertices(), (std::vector<Vertex>{0, 1, 4, 5}));
+}
+
+TEST(IsValidMatching, DetectsBadEdgeIds) {
+  const Graph g = graph::path_graph(3);
+  EXPECT_FALSE(is_valid_matching(g, std::vector<EdgeId>{7}));
+  EXPECT_TRUE(is_valid_matching(g, std::vector<EdgeId>{0}));
+  EXPECT_FALSE(is_valid_matching(g, std::vector<EdgeId>{0, 1}));
+}
+
+TEST(FromMates, RoundTripsAndValidates) {
+  const Graph g = graph::cycle_graph(6);
+  std::vector<Vertex> mates(6, kUnmatched);
+  mates[0] = 1;
+  mates[1] = 0;
+  mates[3] = 4;
+  mates[4] = 3;
+  const Matching m = from_mates(g, mates);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.mate(3), 4u);
+}
+
+TEST(FromMates, RejectsAsymmetricMates) {
+  const Graph g = graph::cycle_graph(4);
+  std::vector<Vertex> mates(4, kUnmatched);
+  mates[0] = 1;  // 1 does not point back
+  EXPECT_THROW(from_mates(g, mates), ContractViolation);
+}
+
+TEST(FromMates, RejectsNonEdgePairs) {
+  const Graph g = graph::path_graph(4);
+  std::vector<Vertex> mates(4, kUnmatched);
+  mates[0] = 3;
+  mates[3] = 0;
+  EXPECT_THROW(from_mates(g, mates), ContractViolation);
+}
+
+}  // namespace
+}  // namespace defender::matching

@@ -1,0 +1,78 @@
+#include "sim/playout.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/atuple.hpp"
+#include "graph/generators.hpp"
+#include "util/assert.hpp"
+
+namespace defender::sim {
+namespace {
+
+using core::MixedConfiguration;
+using core::TupleDistribution;
+using core::TupleGame;
+using core::VertexDistribution;
+
+TEST(Playout, DeterministicConfigurationsMatchExactly) {
+  // Degenerate distributions: attacker always on 0, defender always on the
+  // edge covering it -> defender profit 1 every round.
+  const TupleGame game(graph::path_graph(3), 1, 1);
+  const MixedConfiguration config = core::symmetric_configuration(
+      game, VertexDistribution::uniform({0}),
+      TupleDistribution::uniform({{0}}));
+  util::Rng rng(1);
+  const PlayoutStats stats = run_playouts(game, config, 500, rng);
+  EXPECT_DOUBLE_EQ(stats.defender_profit_mean, 1.0);
+  EXPECT_DOUBLE_EQ(stats.defender_profit_stddev, 0.0);
+  EXPECT_DOUBLE_EQ(stats.attacker_escape_freq[0], 0.0);
+  EXPECT_DOUBLE_EQ(stats.hit_freq[0], 1.0);
+  EXPECT_DOUBLE_EQ(stats.hit_freq[2], 0.0);
+}
+
+TEST(Playout, EmpiricalMatchesAnalyticOnEquilibrium) {
+  const TupleGame game(graph::cycle_graph(6), 2, 3);
+  const auto result = core::a_tuple_bipartite(game);
+  ASSERT_TRUE(result.has_value());
+  util::Rng rng(42);
+  const PlayoutStats stats =
+      run_playouts(game, result->configuration, 200000, rng);
+  EXPECT_LT(max_abs_deviation(game, result->configuration, stats), 0.01);
+}
+
+TEST(Playout, AttackerEscapePlusDefenderProfitBalance) {
+  // Sum of per-attacker catch frequencies equals the defender profit mean.
+  const TupleGame game(graph::path_graph(5), 1, 4);
+  const MixedConfiguration config = core::symmetric_configuration(
+      game, VertexDistribution::uniform({0, 2, 4}),
+      TupleDistribution::uniform({{0}, {1}, {3}}));
+  util::Rng rng(7);
+  const PlayoutStats stats = run_playouts(game, config, 20000, rng);
+  double caught = 0;
+  for (double escape : stats.attacker_escape_freq) caught += 1.0 - escape;
+  EXPECT_NEAR(stats.defender_profit_mean, caught, 1e-9);
+}
+
+TEST(Playout, ReproducibleForFixedSeed) {
+  const TupleGame game(graph::cycle_graph(6), 1, 2);
+  const MixedConfiguration config = core::symmetric_configuration(
+      game, VertexDistribution::uniform({0, 2, 4}),
+      TupleDistribution::uniform({{0}, {3}, {5}}));
+  util::Rng rng1(99), rng2(99);
+  const PlayoutStats a = run_playouts(game, config, 5000, rng1);
+  const PlayoutStats b = run_playouts(game, config, 5000, rng2);
+  EXPECT_DOUBLE_EQ(a.defender_profit_mean, b.defender_profit_mean);
+  EXPECT_EQ(a.hit_freq, b.hit_freq);
+}
+
+TEST(Playout, RejectsZeroRounds) {
+  const TupleGame game(graph::path_graph(3), 1, 1);
+  const MixedConfiguration config = core::symmetric_configuration(
+      game, VertexDistribution::uniform({0}),
+      TupleDistribution::uniform({{0}}));
+  util::Rng rng(1);
+  EXPECT_THROW(run_playouts(game, config, 0, rng), ContractViolation);
+}
+
+}  // namespace
+}  // namespace defender::sim

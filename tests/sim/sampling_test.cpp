@@ -1,0 +1,59 @@
+#include "sim/sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace defender::sim {
+namespace {
+
+TEST(DiscreteSampler, SingleOutcome) {
+  const std::vector<double> w{1.0};
+  DiscreteSampler s(w);
+  util::Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(s.sample(rng), 0u);
+}
+
+TEST(DiscreteSampler, ZeroWeightNeverSampled) {
+  const std::vector<double> w{0.0, 1.0, 0.0};
+  DiscreteSampler s(w);
+  util::Rng rng(2);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(s.sample(rng), 1u);
+}
+
+TEST(DiscreteSampler, FrequenciesTrackWeights) {
+  const std::vector<double> w{1.0, 3.0};  // expect 25% / 75%
+  DiscreteSampler s(w);
+  util::Rng rng(3);
+  int ones = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ones += s.sample(rng) == 1 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(ones) / kDraws, 0.75, 0.01);
+}
+
+TEST(DiscreteSampler, UnnormalizedWeightsAllowed) {
+  const std::vector<double> w{10.0, 10.0, 20.0};
+  DiscreteSampler s(w);
+  util::Rng rng(4);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 60000; ++i) ++counts[s.sample(rng)];
+  EXPECT_NEAR(counts[2] / 60000.0, 0.5, 0.02);
+}
+
+TEST(DiscreteSampler, RejectsBadWeights) {
+  EXPECT_THROW(DiscreteSampler(std::vector<double>{}), ContractViolation);
+  EXPECT_THROW(DiscreteSampler(std::vector<double>{0.0, 0.0}),
+               ContractViolation);
+  EXPECT_THROW(DiscreteSampler(std::vector<double>{1.0, -0.5}),
+               ContractViolation);
+}
+
+TEST(DiscreteSampler, SizeReportsOutcomeCount) {
+  const std::vector<double> w{1, 2, 3, 4};
+  EXPECT_EQ(DiscreteSampler(w).size(), 4u);
+}
+
+}  // namespace
+}  // namespace defender::sim

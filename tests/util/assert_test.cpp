@@ -1,0 +1,39 @@
+#include "util/assert.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace defender {
+namespace {
+
+TEST(Contracts, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(DEF_REQUIRE(1 + 1 == 2, "arithmetic"));
+}
+
+TEST(Contracts, RequireThrowsContractViolation) {
+  EXPECT_THROW(DEF_REQUIRE(false, "must fail"), ContractViolation);
+}
+
+TEST(Contracts, EnsureThrowsContractViolation) {
+  EXPECT_THROW(DEF_ENSURE(false, "broken invariant"), ContractViolation);
+}
+
+TEST(Contracts, MessageCarriesExpressionAndContext) {
+  try {
+    DEF_REQUIRE(2 < 1, "two is not less than one");
+    FAIL() << "expected a throw";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos);
+    EXPECT_NE(what.find("assert_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Contracts, ViolationIsALogicError) {
+  EXPECT_THROW(DEF_REQUIRE(false, ""), std::logic_error);
+}
+
+}  // namespace
+}  // namespace defender

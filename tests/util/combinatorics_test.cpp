@@ -1,0 +1,136 @@
+#include "util/combinatorics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+
+#include "util/assert.hpp"
+
+namespace defender::util {
+namespace {
+
+TEST(Gcd, BasicIdentities) {
+  EXPECT_EQ(gcd(12, 18), 6u);
+  EXPECT_EQ(gcd(18, 12), 6u);
+  EXPECT_EQ(gcd(7, 13), 1u);
+  EXPECT_EQ(gcd(0, 5), 5u);
+  EXPECT_EQ(gcd(5, 0), 5u);
+  EXPECT_EQ(gcd(0, 0), 0u);
+  EXPECT_EQ(gcd(42, 42), 42u);
+}
+
+TEST(Lcm, BasicIdentities) {
+  EXPECT_EQ(lcm(4, 6), 12u);
+  EXPECT_EQ(lcm(7, 13), 91u);
+  EXPECT_EQ(lcm(0, 5), 0u);
+  EXPECT_EQ(lcm(5, 5), 5u);
+}
+
+TEST(Lcm, SaturatesOnOverflow) {
+  const std::uint64_t big = std::uint64_t{1} << 63;
+  EXPECT_EQ(lcm(big, big - 1), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(GcdLcm, ProductIdentityOnSmallPairs) {
+  for (std::uint64_t a = 1; a <= 30; ++a)
+    for (std::uint64_t b = 1; b <= 30; ++b)
+      EXPECT_EQ(gcd(a, b) * lcm(a, b), a * b) << a << "," << b;
+}
+
+TEST(Binomial, SmallValues) {
+  EXPECT_EQ(binomial(0, 0), 1u);
+  EXPECT_EQ(binomial(5, 0), 1u);
+  EXPECT_EQ(binomial(5, 5), 1u);
+  EXPECT_EQ(binomial(5, 2), 10u);
+  EXPECT_EQ(binomial(10, 3), 120u);
+  EXPECT_EQ(binomial(52, 5), 2598960u);
+  EXPECT_EQ(binomial(3, 7), 0u);
+}
+
+TEST(Binomial, PascalIdentity) {
+  for (std::uint64_t n = 1; n <= 40; ++n)
+    for (std::uint64_t k = 1; k <= n; ++k)
+      EXPECT_EQ(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k));
+}
+
+TEST(Binomial, SaturatesInsteadOfOverflowing) {
+  EXPECT_EQ(binomial(200, 100), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(binomial(64, 32), 1832624140942590534u);  // fits exactly
+}
+
+TEST(Combinations, FirstCombinationIsPrefix) {
+  EXPECT_EQ(first_combination(5, 3), (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_TRUE(first_combination(5, 0).empty());
+}
+
+TEST(Combinations, EnumerationVisitsExactlyBinomialMany) {
+  for (std::size_t n = 1; n <= 10; ++n) {
+    for (std::size_t k = 0; k <= n; ++k) {
+      std::size_t count = 0;
+      std::set<std::vector<std::size_t>> seen;
+      for_each_combination(n, k, [&](const std::vector<std::size_t>& c) {
+        ++count;
+        EXPECT_EQ(c.size(), k);
+        EXPECT_TRUE(std::is_sorted(c.begin(), c.end()));
+        seen.insert(c);
+        return true;
+      });
+      EXPECT_EQ(count, binomial(n, k));
+      EXPECT_EQ(seen.size(), count) << "duplicate combination emitted";
+    }
+  }
+}
+
+TEST(Combinations, EnumerationIsLexicographic) {
+  std::vector<std::vector<std::size_t>> all;
+  for_each_combination(5, 3, [&](const std::vector<std::size_t>& c) {
+    all.push_back(c);
+    return true;
+  });
+  EXPECT_TRUE(std::is_sorted(all.begin(), all.end()));
+  EXPECT_EQ(all.front(), (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(all.back(), (std::vector<std::size_t>{2, 3, 4}));
+}
+
+TEST(Combinations, EarlyStopRespected) {
+  std::size_t count = 0;
+  for_each_combination(10, 4, [&](const std::vector<std::size_t>&) {
+    return ++count < 5;
+  });
+  EXPECT_EQ(count, 5u);
+}
+
+TEST(Combinations, RankUnrankRoundTrip) {
+  const std::size_t n = 9, k = 4;
+  std::uint64_t expected_rank = 0;
+  for_each_combination(n, k, [&](const std::vector<std::size_t>& c) {
+    EXPECT_EQ(combination_rank(c, n), expected_rank);
+    EXPECT_EQ(combination_unrank(expected_rank, n, k), c);
+    ++expected_rank;
+    return true;
+  });
+  EXPECT_EQ(expected_rank, binomial(n, k));
+}
+
+TEST(Combinations, UnrankRejectsOutOfRangeRank) {
+  EXPECT_THROW(combination_unrank(binomial(6, 3), 6, 3), ContractViolation);
+}
+
+TEST(Combinations, NextCombinationEndsExactlyOnce) {
+  std::vector<std::size_t> c{2, 3, 4};
+  EXPECT_FALSE(next_combination(c, 5));
+}
+
+TEST(Combinations, ZeroKHasSingleEmptyCombination) {
+  std::size_t count = 0;
+  for_each_combination(4, 0, [&](const std::vector<std::size_t>& c) {
+    EXPECT_TRUE(c.empty());
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 1u);
+}
+
+}  // namespace
+}  // namespace defender::util

@@ -1,0 +1,150 @@
+#include "util/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/assert.hpp"
+
+namespace defender::util {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, IsDeterministicForFixedSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowRejectsZeroBound) {
+  Rng rng(3);
+  EXPECT_THROW(rng.below(0), ContractViolation);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(5);
+  constexpr std::size_t kBuckets = 10;
+  constexpr std::size_t kDraws = 100000;
+  std::vector<std::size_t> counts(kBuckets, 0);
+  for (std::size_t i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  for (std::size_t c : counts) {
+    EXPECT_GT(c, kDraws / kBuckets * 8 / 10);
+    EXPECT_LT(c, kDraws / kBuckets * 12 / 10);
+  }
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng(17);
+  double sum = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliFrequencyTracksP) {
+  Rng rng(19);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Shuffle, PreservesMultiset) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  shuffle(v, rng);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Shuffle, ActuallyPermutes) {
+  Rng rng(29);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[i] = i;
+  shuffle(v, rng);
+  bool moved = false;
+  for (int i = 0; i < 50; ++i) moved |= (v[i] != i);
+  EXPECT_TRUE(moved);
+}
+
+TEST(SampleWithoutReplacement, ProducesDistinctSortedValues) {
+  Rng rng(31);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto s = sample_without_replacement(20, 7, rng);
+    ASSERT_EQ(s.size(), 7u);
+    EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+    std::set<std::size_t> distinct(s.begin(), s.end());
+    EXPECT_EQ(distinct.size(), 7u);
+    for (std::size_t v : s) EXPECT_LT(v, 20u);
+  }
+}
+
+TEST(SampleWithoutReplacement, FullPopulation) {
+  Rng rng(37);
+  auto s = sample_without_replacement(5, 5, rng);
+  EXPECT_EQ(s, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(SampleWithoutReplacement, EmptySample) {
+  Rng rng(41);
+  EXPECT_TRUE(sample_without_replacement(5, 0, rng).empty());
+}
+
+TEST(SampleWithoutReplacement, RejectsOversizedCount) {
+  Rng rng(43);
+  EXPECT_THROW(sample_without_replacement(3, 4, rng), ContractViolation);
+}
+
+TEST(SampleWithoutReplacement, CoversAllValuesOverTrials) {
+  Rng rng(47);
+  std::set<std::size_t> seen;
+  for (int trial = 0; trial < 200; ++trial)
+    for (std::size_t v : sample_without_replacement(10, 3, rng))
+      seen.insert(v);
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+}  // namespace
+}  // namespace defender::util

@@ -1,0 +1,104 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace defender::util {
+namespace {
+
+TEST(Summarize, SinglePoint) {
+  const std::vector<double> v{3.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 3.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+}
+
+TEST(Summarize, KnownSample) {
+  const std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, 2.13809, 1e-4);  // unbiased (n-1) denominator
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Summarize, EmptySampleThrows) {
+  EXPECT_THROW(summarize({}), ContractViolation);
+}
+
+TEST(Ci95, ZeroForTinySamples) {
+  const std::vector<double> v{1.0};
+  EXPECT_DOUBLE_EQ(ci95_halfwidth(summarize(v)), 0.0);
+}
+
+TEST(Ci95, ShrinksWithSampleSize) {
+  std::vector<double> small{1, 2, 3, 4};
+  std::vector<double> large;
+  for (int i = 0; i < 16; ++i)
+    large.insert(large.end(), small.begin(), small.end());
+  EXPECT_GT(ci95_halfwidth(summarize(small)),
+            ci95_halfwidth(summarize(large)));
+}
+
+TEST(FitLine, ExactLine) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{3, 5, 7, 9};  // y = 2x + 1
+  const LinearFit f = fit_line(xs, ys);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLine, NoisyLineHasHighR2) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i + ((i % 2) ? 0.5 : -0.5));
+  }
+  const LinearFit f = fit_line(xs, ys);
+  EXPECT_NEAR(f.slope, 3.0, 0.01);
+  EXPECT_GT(f.r_squared, 0.999);
+}
+
+TEST(FitLine, ConstantYsGiveZeroSlopePerfectFit) {
+  const std::vector<double> xs{1, 2, 3};
+  const std::vector<double> ys{4, 4, 4};
+  const LinearFit f = fit_line(xs, ys);
+  EXPECT_NEAR(f.slope, 0.0, 1e-12);
+  EXPECT_NEAR(f.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLine, RejectsConstantXs) {
+  const std::vector<double> xs{2, 2, 2};
+  const std::vector<double> ys{1, 2, 3};
+  EXPECT_THROW(fit_line(xs, ys), ContractViolation);
+}
+
+TEST(FitLine, RejectsMismatchedLengths) {
+  const std::vector<double> xs{1, 2};
+  const std::vector<double> ys{1};
+  EXPECT_THROW(fit_line(xs, ys), ContractViolation);
+}
+
+TEST(Correlation, PerfectPositiveAndNegative) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> up{2, 4, 6, 8};
+  std::vector<double> down{8, 6, 4, 2};
+  EXPECT_NEAR(correlation(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(correlation(xs, down), -1.0, 1e-12);
+}
+
+TEST(Correlation, SymmetricInArguments) {
+  const std::vector<double> a{1, 3, 2, 5, 4};
+  const std::vector<double> b{2, 1, 4, 3, 5};
+  EXPECT_DOUBLE_EQ(correlation(a, b), correlation(b, a));
+}
+
+}  // namespace
+}  // namespace defender::util

@@ -1,0 +1,99 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/chart.hpp"
+
+namespace defender::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"name", "value"});
+  t.add("alpha", 1);
+  t.add("beta", 2);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("2"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), ContractViolation);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table({}), ContractViolation);
+}
+
+TEST(Table, CountsRows) {
+  Table t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add(1);
+  t.add(2);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvUsesCommas) {
+  Table t({"a", "b"});
+  t.add(1, 2);
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, FormatsDoublesCompactly) {
+  EXPECT_EQ(Table::format_cell(0.5), "0.5");
+  EXPECT_EQ(Table::format_cell(true), "yes");
+  EXPECT_EQ(Table::format_cell(false), "no");
+}
+
+TEST(Table, AlignmentPadsColumns) {
+  Table t({"col", "num"});
+  t.add("x", 100);
+  t.add("longer", 1);
+  const std::string s = t.to_string();
+  // Every rendered line has equal length (aligned grid).
+  std::istringstream is(s);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(is, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_LE(line.size(), width + 1);
+  }
+}
+
+TEST(Fixed, RendersRequestedDigits) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(1.0, 3), "1.000");
+}
+
+TEST(AsciiChart, RendersSeriesGlyphsAndLabels) {
+  AsciiChart chart(40, 10);
+  chart.add_series({"linear", {1, 2, 3, 4}, {2, 4, 6, 8}});
+  chart.set_labels("k", "gain");
+  const std::string s = chart.to_string();
+  EXPECT_NE(s.find('*'), std::string::npos);
+  EXPECT_NE(s.find("linear"), std::string::npos);
+  EXPECT_NE(s.find("gain"), std::string::npos);
+}
+
+TEST(AsciiChart, EmptyChartRendersNothing) {
+  AsciiChart chart(40, 10);
+  EXPECT_TRUE(chart.to_string().empty());
+}
+
+TEST(AsciiChart, RejectsMismatchedSeries) {
+  AsciiChart chart(20, 5);
+  EXPECT_THROW(chart.add_series({"bad", {1, 2}, {1}}), ContractViolation);
+}
+
+TEST(BarChart, ScalesToWidth) {
+  const std::string s = bar_chart({{"a", 10.0}, {"b", 5.0}}, 20);
+  EXPECT_NE(s.find("####################"), std::string::npos);
+  EXPECT_NE(s.find("##########"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace defender::util
