@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_fictitious_play.dir/bench_e11_fictitious_play.cpp.o"
+  "CMakeFiles/bench_e11_fictitious_play.dir/bench_e11_fictitious_play.cpp.o.d"
+  "bench_e11_fictitious_play"
+  "bench_e11_fictitious_play.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_fictitious_play.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

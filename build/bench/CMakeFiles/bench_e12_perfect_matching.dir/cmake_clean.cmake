@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_perfect_matching.dir/bench_e12_perfect_matching.cpp.o"
+  "CMakeFiles/bench_e12_perfect_matching.dir/bench_e12_perfect_matching.cpp.o.d"
+  "bench_e12_perfect_matching"
+  "bench_e12_perfect_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_perfect_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_defense_ratio.dir/bench_e13_defense_ratio.cpp.o"
+  "CMakeFiles/bench_e13_defense_ratio.dir/bench_e13_defense_ratio.cpp.o.d"
+  "bench_e13_defense_ratio"
+  "bench_e13_defense_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_defense_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_defender_technologies.dir/bench_e15_defender_technologies.cpp.o"
+  "CMakeFiles/bench_e15_defender_technologies.dir/bench_e15_defender_technologies.cpp.o.d"
+  "bench_e15_defender_technologies"
+  "bench_e15_defender_technologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_defender_technologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

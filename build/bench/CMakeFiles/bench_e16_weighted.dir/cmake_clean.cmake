@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e16_weighted.dir/bench_e16_weighted.cpp.o"
+  "CMakeFiles/bench_e16_weighted.dir/bench_e16_weighted.cpp.o.d"
+  "bench_e16_weighted"
+  "bench_e16_weighted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e16_weighted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

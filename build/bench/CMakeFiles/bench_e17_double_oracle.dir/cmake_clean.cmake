@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e17_double_oracle.dir/bench_e17_double_oracle.cpp.o"
+  "CMakeFiles/bench_e17_double_oracle.dir/bench_e17_double_oracle.cpp.o.d"
+  "bench_e17_double_oracle"
+  "bench_e17_double_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e17_double_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e18_census.dir/bench_e18_census.cpp.o"
+  "CMakeFiles/bench_e18_census.dir/bench_e18_census.cpp.o.d"
+  "bench_e18_census"
+  "bench_e18_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e18_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e19_tournament.dir/bench_e19_tournament.cpp.o"
+  "CMakeFiles/bench_e19_tournament.dir/bench_e19_tournament.cpp.o.d"
+  "bench_e19_tournament"
+  "bench_e19_tournament.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e19_tournament.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

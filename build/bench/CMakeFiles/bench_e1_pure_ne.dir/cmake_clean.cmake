@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_pure_ne.dir/bench_e1_pure_ne.cpp.o"
+  "CMakeFiles/bench_e1_pure_ne.dir/bench_e1_pure_ne.cpp.o.d"
+  "bench_e1_pure_ne"
+  "bench_e1_pure_ne.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_pure_ne.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_characterization.dir/bench_e2_characterization.cpp.o"
+  "CMakeFiles/bench_e2_characterization.dir/bench_e2_characterization.cpp.o.d"
+  "bench_e2_characterization"
+  "bench_e2_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_kmatching.dir/bench_e3_kmatching.cpp.o"
+  "CMakeFiles/bench_e3_kmatching.dir/bench_e3_kmatching.cpp.o.d"
+  "bench_e3_kmatching"
+  "bench_e3_kmatching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_kmatching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

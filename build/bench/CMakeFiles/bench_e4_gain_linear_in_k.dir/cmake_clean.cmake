@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_gain_linear_in_k.dir/bench_e4_gain_linear_in_k.cpp.o"
+  "CMakeFiles/bench_e4_gain_linear_in_k.dir/bench_e4_gain_linear_in_k.cpp.o.d"
+  "bench_e4_gain_linear_in_k"
+  "bench_e4_gain_linear_in_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_gain_linear_in_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e4_gain_linear_in_k.
+# This may be replaced when dependencies are built.

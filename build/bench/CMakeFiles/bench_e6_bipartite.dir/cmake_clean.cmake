@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_bipartite.dir/bench_e6_bipartite.cpp.o"
+  "CMakeFiles/bench_e6_bipartite.dir/bench_e6_bipartite.cpp.o.d"
+  "bench_e6_bipartite"
+  "bench_e6_bipartite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_bipartite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_characterization_search.dir/bench_e7_characterization_search.cpp.o"
+  "CMakeFiles/bench_e7_characterization_search.dir/bench_e7_characterization_search.cpp.o.d"
+  "bench_e7_characterization_search"
+  "bench_e7_characterization_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_characterization_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

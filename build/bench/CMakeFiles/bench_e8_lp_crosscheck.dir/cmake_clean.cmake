@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_lp_crosscheck.dir/bench_e8_lp_crosscheck.cpp.o"
+  "CMakeFiles/bench_e8_lp_crosscheck.dir/bench_e8_lp_crosscheck.cpp.o.d"
+  "bench_e8_lp_crosscheck"
+  "bench_e8_lp_crosscheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_lp_crosscheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

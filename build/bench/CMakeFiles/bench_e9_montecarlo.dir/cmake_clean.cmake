@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_montecarlo.dir/bench_e9_montecarlo.cpp.o"
+  "CMakeFiles/bench_e9_montecarlo.dir/bench_e9_montecarlo.cpp.o.d"
+  "bench_e9_montecarlo"
+  "bench_e9_montecarlo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_montecarlo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

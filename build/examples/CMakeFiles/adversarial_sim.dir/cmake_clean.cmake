@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversarial_sim.dir/adversarial_sim.cpp.o"
+  "CMakeFiles/adversarial_sim.dir/adversarial_sim.cpp.o.d"
+  "adversarial_sim"
+  "adversarial_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversarial_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

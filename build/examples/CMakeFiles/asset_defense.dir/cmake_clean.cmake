@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asset_defense.dir/asset_defense.cpp.o"
+  "CMakeFiles/asset_defense.dir/asset_defense.cpp.o.d"
+  "asset_defense"
+  "asset_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asset_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

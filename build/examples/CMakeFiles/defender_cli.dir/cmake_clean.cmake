@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defender_cli.dir/defender_cli.cpp.o"
+  "CMakeFiles/defender_cli.dir/defender_cli.cpp.o.d"
+  "defender_cli"
+  "defender_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defender_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enterprise_network.dir/enterprise_network.cpp.o"
+  "CMakeFiles/enterprise_network.dir/enterprise_network.cpp.o.d"
+  "enterprise_network"
+  "enterprise_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enterprise_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

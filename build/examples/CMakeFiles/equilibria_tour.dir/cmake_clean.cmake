@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equilibria_tour.dir/equilibria_tour.cpp.o"
+  "CMakeFiles/equilibria_tour.dir/equilibria_tour.cpp.o.d"
+  "equilibria_tour"
+  "equilibria_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equilibria_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analytics.cpp" "src/core/CMakeFiles/defender_core.dir/analytics.cpp.o" "gcc" "src/core/CMakeFiles/defender_core.dir/analytics.cpp.o.d"
+  "/root/repo/src/core/atuple.cpp" "src/core/CMakeFiles/defender_core.dir/atuple.cpp.o" "gcc" "src/core/CMakeFiles/defender_core.dir/atuple.cpp.o.d"
+  "/root/repo/src/core/best_response.cpp" "src/core/CMakeFiles/defender_core.dir/best_response.cpp.o" "gcc" "src/core/CMakeFiles/defender_core.dir/best_response.cpp.o.d"
+  "/root/repo/src/core/characterization.cpp" "src/core/CMakeFiles/defender_core.dir/characterization.cpp.o" "gcc" "src/core/CMakeFiles/defender_core.dir/characterization.cpp.o.d"
+  "/root/repo/src/core/configuration.cpp" "src/core/CMakeFiles/defender_core.dir/configuration.cpp.o" "gcc" "src/core/CMakeFiles/defender_core.dir/configuration.cpp.o.d"
+  "/root/repo/src/core/double_oracle.cpp" "src/core/CMakeFiles/defender_core.dir/double_oracle.cpp.o" "gcc" "src/core/CMakeFiles/defender_core.dir/double_oracle.cpp.o.d"
+  "/root/repo/src/core/expander_partition.cpp" "src/core/CMakeFiles/defender_core.dir/expander_partition.cpp.o" "gcc" "src/core/CMakeFiles/defender_core.dir/expander_partition.cpp.o.d"
+  "/root/repo/src/core/game.cpp" "src/core/CMakeFiles/defender_core.dir/game.cpp.o" "gcc" "src/core/CMakeFiles/defender_core.dir/game.cpp.o.d"
+  "/root/repo/src/core/k_matching.cpp" "src/core/CMakeFiles/defender_core.dir/k_matching.cpp.o" "gcc" "src/core/CMakeFiles/defender_core.dir/k_matching.cpp.o.d"
+  "/root/repo/src/core/matching_ne.cpp" "src/core/CMakeFiles/defender_core.dir/matching_ne.cpp.o" "gcc" "src/core/CMakeFiles/defender_core.dir/matching_ne.cpp.o.d"
+  "/root/repo/src/core/path_model.cpp" "src/core/CMakeFiles/defender_core.dir/path_model.cpp.o" "gcc" "src/core/CMakeFiles/defender_core.dir/path_model.cpp.o.d"
+  "/root/repo/src/core/payoff.cpp" "src/core/CMakeFiles/defender_core.dir/payoff.cpp.o" "gcc" "src/core/CMakeFiles/defender_core.dir/payoff.cpp.o.d"
+  "/root/repo/src/core/perfect_matching_ne.cpp" "src/core/CMakeFiles/defender_core.dir/perfect_matching_ne.cpp.o" "gcc" "src/core/CMakeFiles/defender_core.dir/perfect_matching_ne.cpp.o.d"
+  "/root/repo/src/core/pure_ne.cpp" "src/core/CMakeFiles/defender_core.dir/pure_ne.cpp.o" "gcc" "src/core/CMakeFiles/defender_core.dir/pure_ne.cpp.o.d"
+  "/root/repo/src/core/reduction.cpp" "src/core/CMakeFiles/defender_core.dir/reduction.cpp.o" "gcc" "src/core/CMakeFiles/defender_core.dir/reduction.cpp.o.d"
+  "/root/repo/src/core/regular_ne.cpp" "src/core/CMakeFiles/defender_core.dir/regular_ne.cpp.o" "gcc" "src/core/CMakeFiles/defender_core.dir/regular_ne.cpp.o.d"
+  "/root/repo/src/core/serialization.cpp" "src/core/CMakeFiles/defender_core.dir/serialization.cpp.o" "gcc" "src/core/CMakeFiles/defender_core.dir/serialization.cpp.o.d"
+  "/root/repo/src/core/vertex_model.cpp" "src/core/CMakeFiles/defender_core.dir/vertex_model.cpp.o" "gcc" "src/core/CMakeFiles/defender_core.dir/vertex_model.cpp.o.d"
+  "/root/repo/src/core/weighted.cpp" "src/core/CMakeFiles/defender_core.dir/weighted.cpp.o" "gcc" "src/core/CMakeFiles/defender_core.dir/weighted.cpp.o.d"
+  "/root/repo/src/core/zero_sum.cpp" "src/core/CMakeFiles/defender_core.dir/zero_sum.cpp.o" "gcc" "src/core/CMakeFiles/defender_core.dir/zero_sum.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/defender_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/defender_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/defender_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/defender_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

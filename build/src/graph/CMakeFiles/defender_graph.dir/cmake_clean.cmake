@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defender_graph.dir/enumeration.cpp.o"
+  "CMakeFiles/defender_graph.dir/enumeration.cpp.o.d"
+  "CMakeFiles/defender_graph.dir/generators.cpp.o"
+  "CMakeFiles/defender_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/defender_graph.dir/graph.cpp.o"
+  "CMakeFiles/defender_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/defender_graph.dir/hamiltonian.cpp.o"
+  "CMakeFiles/defender_graph.dir/hamiltonian.cpp.o.d"
+  "CMakeFiles/defender_graph.dir/io.cpp.o"
+  "CMakeFiles/defender_graph.dir/io.cpp.o.d"
+  "CMakeFiles/defender_graph.dir/operations.cpp.o"
+  "CMakeFiles/defender_graph.dir/operations.cpp.o.d"
+  "CMakeFiles/defender_graph.dir/properties.cpp.o"
+  "CMakeFiles/defender_graph.dir/properties.cpp.o.d"
+  "CMakeFiles/defender_graph.dir/subgraph.cpp.o"
+  "CMakeFiles/defender_graph.dir/subgraph.cpp.o.d"
+  "CMakeFiles/defender_graph.dir/traversal.cpp.o"
+  "CMakeFiles/defender_graph.dir/traversal.cpp.o.d"
+  "libdefender_graph.a"
+  "libdefender_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defender_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

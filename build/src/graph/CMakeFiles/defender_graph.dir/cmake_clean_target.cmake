@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdefender_graph.a"
+)

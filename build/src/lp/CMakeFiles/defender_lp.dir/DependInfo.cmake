@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lp/brute_force.cpp" "src/lp/CMakeFiles/defender_lp.dir/brute_force.cpp.o" "gcc" "src/lp/CMakeFiles/defender_lp.dir/brute_force.cpp.o.d"
+  "/root/repo/src/lp/dense_matrix.cpp" "src/lp/CMakeFiles/defender_lp.dir/dense_matrix.cpp.o" "gcc" "src/lp/CMakeFiles/defender_lp.dir/dense_matrix.cpp.o.d"
+  "/root/repo/src/lp/matrix_game.cpp" "src/lp/CMakeFiles/defender_lp.dir/matrix_game.cpp.o" "gcc" "src/lp/CMakeFiles/defender_lp.dir/matrix_game.cpp.o.d"
+  "/root/repo/src/lp/simplex.cpp" "src/lp/CMakeFiles/defender_lp.dir/simplex.cpp.o" "gcc" "src/lp/CMakeFiles/defender_lp.dir/simplex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/defender_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

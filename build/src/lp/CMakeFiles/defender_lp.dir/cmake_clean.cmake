@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defender_lp.dir/brute_force.cpp.o"
+  "CMakeFiles/defender_lp.dir/brute_force.cpp.o.d"
+  "CMakeFiles/defender_lp.dir/dense_matrix.cpp.o"
+  "CMakeFiles/defender_lp.dir/dense_matrix.cpp.o.d"
+  "CMakeFiles/defender_lp.dir/matrix_game.cpp.o"
+  "CMakeFiles/defender_lp.dir/matrix_game.cpp.o.d"
+  "CMakeFiles/defender_lp.dir/simplex.cpp.o"
+  "CMakeFiles/defender_lp.dir/simplex.cpp.o.d"
+  "libdefender_lp.a"
+  "libdefender_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defender_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matching/blossom.cpp" "src/matching/CMakeFiles/defender_matching.dir/blossom.cpp.o" "gcc" "src/matching/CMakeFiles/defender_matching.dir/blossom.cpp.o.d"
+  "/root/repo/src/matching/brute_force.cpp" "src/matching/CMakeFiles/defender_matching.dir/brute_force.cpp.o" "gcc" "src/matching/CMakeFiles/defender_matching.dir/brute_force.cpp.o.d"
+  "/root/repo/src/matching/edge_cover.cpp" "src/matching/CMakeFiles/defender_matching.dir/edge_cover.cpp.o" "gcc" "src/matching/CMakeFiles/defender_matching.dir/edge_cover.cpp.o.d"
+  "/root/repo/src/matching/greedy.cpp" "src/matching/CMakeFiles/defender_matching.dir/greedy.cpp.o" "gcc" "src/matching/CMakeFiles/defender_matching.dir/greedy.cpp.o.d"
+  "/root/repo/src/matching/hopcroft_karp.cpp" "src/matching/CMakeFiles/defender_matching.dir/hopcroft_karp.cpp.o" "gcc" "src/matching/CMakeFiles/defender_matching.dir/hopcroft_karp.cpp.o.d"
+  "/root/repo/src/matching/konig.cpp" "src/matching/CMakeFiles/defender_matching.dir/konig.cpp.o" "gcc" "src/matching/CMakeFiles/defender_matching.dir/konig.cpp.o.d"
+  "/root/repo/src/matching/matching.cpp" "src/matching/CMakeFiles/defender_matching.dir/matching.cpp.o" "gcc" "src/matching/CMakeFiles/defender_matching.dir/matching.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/defender_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/defender_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defender_matching.dir/blossom.cpp.o"
+  "CMakeFiles/defender_matching.dir/blossom.cpp.o.d"
+  "CMakeFiles/defender_matching.dir/brute_force.cpp.o"
+  "CMakeFiles/defender_matching.dir/brute_force.cpp.o.d"
+  "CMakeFiles/defender_matching.dir/edge_cover.cpp.o"
+  "CMakeFiles/defender_matching.dir/edge_cover.cpp.o.d"
+  "CMakeFiles/defender_matching.dir/greedy.cpp.o"
+  "CMakeFiles/defender_matching.dir/greedy.cpp.o.d"
+  "CMakeFiles/defender_matching.dir/hopcroft_karp.cpp.o"
+  "CMakeFiles/defender_matching.dir/hopcroft_karp.cpp.o.d"
+  "CMakeFiles/defender_matching.dir/konig.cpp.o"
+  "CMakeFiles/defender_matching.dir/konig.cpp.o.d"
+  "CMakeFiles/defender_matching.dir/matching.cpp.o"
+  "CMakeFiles/defender_matching.dir/matching.cpp.o.d"
+  "libdefender_matching.a"
+  "libdefender_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defender_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

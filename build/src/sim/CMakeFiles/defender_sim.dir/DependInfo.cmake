@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/fictitious_play.cpp" "src/sim/CMakeFiles/defender_sim.dir/fictitious_play.cpp.o" "gcc" "src/sim/CMakeFiles/defender_sim.dir/fictitious_play.cpp.o.d"
+  "/root/repo/src/sim/multiplicative_weights.cpp" "src/sim/CMakeFiles/defender_sim.dir/multiplicative_weights.cpp.o" "gcc" "src/sim/CMakeFiles/defender_sim.dir/multiplicative_weights.cpp.o.d"
+  "/root/repo/src/sim/playout.cpp" "src/sim/CMakeFiles/defender_sim.dir/playout.cpp.o" "gcc" "src/sim/CMakeFiles/defender_sim.dir/playout.cpp.o.d"
+  "/root/repo/src/sim/sampling.cpp" "src/sim/CMakeFiles/defender_sim.dir/sampling.cpp.o" "gcc" "src/sim/CMakeFiles/defender_sim.dir/sampling.cpp.o.d"
+  "/root/repo/src/sim/tournament.cpp" "src/sim/CMakeFiles/defender_sim.dir/tournament.cpp.o" "gcc" "src/sim/CMakeFiles/defender_sim.dir/tournament.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/defender_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/defender_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/defender_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/defender_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/defender_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

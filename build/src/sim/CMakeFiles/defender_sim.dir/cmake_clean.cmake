@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defender_sim.dir/fictitious_play.cpp.o"
+  "CMakeFiles/defender_sim.dir/fictitious_play.cpp.o.d"
+  "CMakeFiles/defender_sim.dir/multiplicative_weights.cpp.o"
+  "CMakeFiles/defender_sim.dir/multiplicative_weights.cpp.o.d"
+  "CMakeFiles/defender_sim.dir/playout.cpp.o"
+  "CMakeFiles/defender_sim.dir/playout.cpp.o.d"
+  "CMakeFiles/defender_sim.dir/sampling.cpp.o"
+  "CMakeFiles/defender_sim.dir/sampling.cpp.o.d"
+  "CMakeFiles/defender_sim.dir/tournament.cpp.o"
+  "CMakeFiles/defender_sim.dir/tournament.cpp.o.d"
+  "libdefender_sim.a"
+  "libdefender_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defender_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defender_util.dir/chart.cpp.o"
+  "CMakeFiles/defender_util.dir/chart.cpp.o.d"
+  "CMakeFiles/defender_util.dir/combinatorics.cpp.o"
+  "CMakeFiles/defender_util.dir/combinatorics.cpp.o.d"
+  "CMakeFiles/defender_util.dir/random.cpp.o"
+  "CMakeFiles/defender_util.dir/random.cpp.o.d"
+  "CMakeFiles/defender_util.dir/stats.cpp.o"
+  "CMakeFiles/defender_util.dir/stats.cpp.o.d"
+  "CMakeFiles/defender_util.dir/table.cpp.o"
+  "CMakeFiles/defender_util.dir/table.cpp.o.d"
+  "libdefender_util.a"
+  "libdefender_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defender_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assert_test.dir/util/assert_test.cpp.o"
+  "CMakeFiles/assert_test.dir/util/assert_test.cpp.o.d"
+  "assert_test"
+  "assert_test.pdb"
+  "assert_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assert_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atuple_test.dir/core/atuple_test.cpp.o"
+  "CMakeFiles/atuple_test.dir/core/atuple_test.cpp.o.d"
+  "atuple_test"
+  "atuple_test.pdb"
+  "atuple_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atuple_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blossom_test.dir/matching/blossom_test.cpp.o"
+  "CMakeFiles/blossom_test.dir/matching/blossom_test.cpp.o.d"
+  "blossom_test"
+  "blossom_test.pdb"
+  "blossom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blossom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/combinatorics_test.dir/util/combinatorics_test.cpp.o"
+  "CMakeFiles/combinatorics_test.dir/util/combinatorics_test.cpp.o.d"
+  "combinatorics_test"
+  "combinatorics_test.pdb"
+  "combinatorics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/combinatorics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/double_oracle_test.dir/core/double_oracle_test.cpp.o"
+  "CMakeFiles/double_oracle_test.dir/core/double_oracle_test.cpp.o.d"
+  "double_oracle_test"
+  "double_oracle_test.pdb"
+  "double_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/double_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

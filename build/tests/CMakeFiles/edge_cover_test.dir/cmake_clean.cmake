@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_cover_test.dir/matching/edge_cover_test.cpp.o"
+  "CMakeFiles/edge_cover_test.dir/matching/edge_cover_test.cpp.o.d"
+  "edge_cover_test"
+  "edge_cover_test.pdb"
+  "edge_cover_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_cover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

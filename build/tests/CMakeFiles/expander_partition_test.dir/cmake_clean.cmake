@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expander_partition_test.dir/core/expander_partition_test.cpp.o"
+  "CMakeFiles/expander_partition_test.dir/core/expander_partition_test.cpp.o.d"
+  "expander_partition_test"
+  "expander_partition_test.pdb"
+  "expander_partition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expander_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

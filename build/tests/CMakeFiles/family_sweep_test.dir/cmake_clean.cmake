@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/family_sweep_test.dir/integration/family_sweep_test.cpp.o"
+  "CMakeFiles/family_sweep_test.dir/integration/family_sweep_test.cpp.o.d"
+  "family_sweep_test"
+  "family_sweep_test.pdb"
+  "family_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/family_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fictitious_play_test.dir/sim/fictitious_play_test.cpp.o"
+  "CMakeFiles/fictitious_play_test.dir/sim/fictitious_play_test.cpp.o.d"
+  "fictitious_play_test"
+  "fictitious_play_test.pdb"
+  "fictitious_play_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fictitious_play_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

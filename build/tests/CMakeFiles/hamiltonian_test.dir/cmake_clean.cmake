@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hamiltonian_test.dir/graph/hamiltonian_test.cpp.o"
+  "CMakeFiles/hamiltonian_test.dir/graph/hamiltonian_test.cpp.o.d"
+  "hamiltonian_test"
+  "hamiltonian_test.pdb"
+  "hamiltonian_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hamiltonian_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k_matching_test.dir/core/k_matching_test.cpp.o"
+  "CMakeFiles/k_matching_test.dir/core/k_matching_test.cpp.o.d"
+  "k_matching_test"
+  "k_matching_test.pdb"
+  "k_matching_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k_matching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

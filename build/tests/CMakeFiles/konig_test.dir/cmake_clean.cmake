@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/konig_test.dir/matching/konig_test.cpp.o"
+  "CMakeFiles/konig_test.dir/matching/konig_test.cpp.o.d"
+  "konig_test"
+  "konig_test.pdb"
+  "konig_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/konig_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

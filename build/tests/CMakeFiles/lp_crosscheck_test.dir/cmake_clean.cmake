@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_crosscheck_test.dir/integration/lp_crosscheck_test.cpp.o"
+  "CMakeFiles/lp_crosscheck_test.dir/integration/lp_crosscheck_test.cpp.o.d"
+  "lp_crosscheck_test"
+  "lp_crosscheck_test.pdb"
+  "lp_crosscheck_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_crosscheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

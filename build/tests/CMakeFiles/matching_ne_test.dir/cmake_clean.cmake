@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matching_ne_test.dir/core/matching_ne_test.cpp.o"
+  "CMakeFiles/matching_ne_test.dir/core/matching_ne_test.cpp.o.d"
+  "matching_ne_test"
+  "matching_ne_test.pdb"
+  "matching_ne_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matching_ne_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

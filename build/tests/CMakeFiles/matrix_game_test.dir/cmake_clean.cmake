@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_game_test.dir/lp/matrix_game_test.cpp.o"
+  "CMakeFiles/matrix_game_test.dir/lp/matrix_game_test.cpp.o.d"
+  "matrix_game_test"
+  "matrix_game_test.pdb"
+  "matrix_game_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_game_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

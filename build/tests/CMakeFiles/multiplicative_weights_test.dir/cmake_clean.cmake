@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiplicative_weights_test.dir/sim/multiplicative_weights_test.cpp.o"
+  "CMakeFiles/multiplicative_weights_test.dir/sim/multiplicative_weights_test.cpp.o.d"
+  "multiplicative_weights_test"
+  "multiplicative_weights_test.pdb"
+  "multiplicative_weights_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiplicative_weights_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

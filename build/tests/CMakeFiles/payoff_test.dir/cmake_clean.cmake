@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payoff_test.dir/core/payoff_test.cpp.o"
+  "CMakeFiles/payoff_test.dir/core/payoff_test.cpp.o.d"
+  "payoff_test"
+  "payoff_test.pdb"
+  "payoff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payoff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfect_matching_ne_test.dir/core/perfect_matching_ne_test.cpp.o"
+  "CMakeFiles/perfect_matching_ne_test.dir/core/perfect_matching_ne_test.cpp.o.d"
+  "perfect_matching_ne_test"
+  "perfect_matching_ne_test.pdb"
+  "perfect_matching_ne_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfect_matching_ne_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

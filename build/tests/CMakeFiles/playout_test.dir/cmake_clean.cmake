@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/playout_test.dir/sim/playout_test.cpp.o"
+  "CMakeFiles/playout_test.dir/sim/playout_test.cpp.o.d"
+  "playout_test"
+  "playout_test.pdb"
+  "playout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/playout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pure_ne_test.dir/core/pure_ne_test.cpp.o"
+  "CMakeFiles/pure_ne_test.dir/core/pure_ne_test.cpp.o.d"
+  "pure_ne_test"
+  "pure_ne_test.pdb"
+  "pure_ne_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pure_ne_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

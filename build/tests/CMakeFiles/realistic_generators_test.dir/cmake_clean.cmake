@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realistic_generators_test.dir/graph/realistic_generators_test.cpp.o"
+  "CMakeFiles/realistic_generators_test.dir/graph/realistic_generators_test.cpp.o.d"
+  "realistic_generators_test"
+  "realistic_generators_test.pdb"
+  "realistic_generators_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realistic_generators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reduction_edge_cases_test.dir/core/reduction_edge_cases_test.cpp.o"
+  "CMakeFiles/reduction_edge_cases_test.dir/core/reduction_edge_cases_test.cpp.o.d"
+  "reduction_edge_cases_test"
+  "reduction_edge_cases_test.pdb"
+  "reduction_edge_cases_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reduction_edge_cases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regular_ne_test.dir/core/regular_ne_test.cpp.o"
+  "CMakeFiles/regular_ne_test.dir/core/regular_ne_test.cpp.o.d"
+  "regular_ne_test"
+  "regular_ne_test.pdb"
+  "regular_ne_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regular_ne_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lp/simplex_test.cpp" "tests/CMakeFiles/simplex_test.dir/lp/simplex_test.cpp.o" "gcc" "tests/CMakeFiles/simplex_test.dir/lp/simplex_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/defender_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/defender_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/defender_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/defender_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/defender_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/defender_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structural_properties_test.dir/integration/structural_properties_test.cpp.o"
+  "CMakeFiles/structural_properties_test.dir/integration/structural_properties_test.cpp.o.d"
+  "structural_properties_test"
+  "structural_properties_test.pdb"
+  "structural_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structural_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem22_exhaustive_test.dir/integration/theorem22_test.cpp.o"
+  "CMakeFiles/theorem22_exhaustive_test.dir/integration/theorem22_test.cpp.o.d"
+  "theorem22_exhaustive_test"
+  "theorem22_exhaustive_test.pdb"
+  "theorem22_exhaustive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem22_exhaustive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

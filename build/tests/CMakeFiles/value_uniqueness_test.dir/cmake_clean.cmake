@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_uniqueness_test.dir/integration/value_uniqueness_test.cpp.o"
+  "CMakeFiles/value_uniqueness_test.dir/integration/value_uniqueness_test.cpp.o.d"
+  "value_uniqueness_test"
+  "value_uniqueness_test.pdb"
+  "value_uniqueness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_uniqueness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vertex_model_test.dir/core/vertex_model_test.cpp.o"
+  "CMakeFiles/vertex_model_test.dir/core/vertex_model_test.cpp.o.d"
+  "vertex_model_test"
+  "vertex_model_test.pdb"
+  "vertex_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vertex_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

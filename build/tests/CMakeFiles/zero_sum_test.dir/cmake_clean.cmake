@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zero_sum_test.dir/core/zero_sum_test.cpp.o"
+  "CMakeFiles/zero_sum_test.dir/core/zero_sum_test.cpp.o.d"
+  "zero_sum_test"
+  "zero_sum_test.pdb"
+  "zero_sum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zero_sum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
