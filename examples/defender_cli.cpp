@@ -8,9 +8,13 @@
 //     (Theorems 4.12/5.1), with its hit probability and defender gain;
 //   * a perfect-matching NE when the board has one (defense-optimal);
 //   * the Theorem 3.4 verification report for whichever equilibrium it
-//     computed, and optionally a DOT rendering.
+//     computed, and optionally a DOT rendering;
+//   * the zero-sum game value via the budgeted double oracle, reporting a
+//     structured status (and certified bounds) when the budget runs out
+//     instead of crashing.
 //
-// Usage: defender_cli [--k K] [--nu N] [--dot] [FILE]
+// Usage: defender_cli [--k K] [--nu N] [--dot] [--budget-iters N]
+//                     [--deadline SECONDS] [FILE]
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -18,10 +22,13 @@
 
 #include "core/analytics.hpp"
 #include "core/atuple.hpp"
+#include "core/budget.hpp"
 #include "core/characterization.hpp"
+#include "core/double_oracle.hpp"
 #include "core/payoff.hpp"
 #include "core/perfect_matching_ne.hpp"
 #include "core/pure_ne.hpp"
+#include "core/status.hpp"
 #include "graph/io.hpp"
 #include "matching/edge_cover.hpp"
 #include "util/assert.hpp"
@@ -29,9 +36,15 @@
 namespace {
 
 void usage() {
-  std::cerr << "usage: defender_cli [--k K] [--nu N] [--dot] [FILE]\n"
+  std::cerr << "usage: defender_cli [--k K] [--nu N] [--dot]\n"
+               "                    [--budget-iters N] [--deadline SECONDS] "
+               "[FILE]\n"
             << "  FILE holds 'n m' then one 'u v' line per edge; stdin when "
-               "omitted.\n";
+               "omitted.\n"
+            << "  --budget-iters / --deadline bound the game-value solve; "
+               "when the budget\n"
+            << "  runs out the CLI prints the certified value bracket and "
+               "the solver status.\n";
 }
 
 }  // namespace
@@ -41,12 +54,18 @@ int main(int argc, char** argv) {
   std::size_t k = 2, nu = 4;
   bool dot = false;
   std::string file;
+  SolveBudget budget;
+  budget.max_iterations = 200;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--k" && i + 1 < argc) {
       k = std::strtoul(argv[++i], nullptr, 10);
     } else if (arg == "--nu" && i + 1 < argc) {
       nu = std::strtoul(argv[++i], nullptr, 10);
+    } else if (arg == "--budget-iters" && i + 1 < argc) {
+      budget.max_iterations = std::strtoul(argv[++i], nullptr, 10);
+    } else if (arg == "--deadline" && i + 1 < argc) {
+      budget.wall_clock_seconds = std::strtod(argv[++i], nullptr);
     } else if (arg == "--dot") {
       dot = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -60,22 +79,22 @@ int main(int argc, char** argv) {
     }
   }
 
-  graph::Graph g;
-  try {
-    if (file.empty()) {
-      g = graph::parse_edge_list(std::cin);
-    } else {
-      std::ifstream in(file);
-      if (!in) {
-        std::cerr << "cannot open " << file << '\n';
-        return 2;
-      }
-      g = graph::parse_edge_list(in);
+  Solved<graph::Graph> parsed;
+  if (file.empty()) {
+    parsed = graph::try_parse_edge_list(std::cin);
+  } else {
+    std::ifstream in(file);
+    if (!in) {
+      std::cerr << "cannot open " << file << '\n';
+      return 2;
     }
-  } catch (const ContractViolation& e) {
-    std::cerr << "bad input: " << e.what() << '\n';
+    parsed = graph::try_parse_edge_list(in);
+  }
+  if (!parsed.ok()) {
+    std::cerr << "bad input: " << parsed.status.describe() << '\n';
     return 2;
   }
+  const graph::Graph& g = parsed.result;
 
   std::cout << "Board: n=" << g.num_vertices() << " m=" << g.num_edges()
             << ", game Pi_" << k << "(G) with nu=" << nu << " attackers\n\n";
@@ -144,5 +163,25 @@ int main(int argc, char** argv) {
   if (!printed_equilibrium)
     std::cout << "No structural mixed equilibrium found for this board; try "
                  "other k, or use the LP solver on small instances.\n";
+
+  // Zero-sum game value via the budgeted double oracle. A budget that runs
+  // out is reported as a certified bracket, never a crash.
+  std::cout << "\nGame value (budgeted double oracle, max "
+            << budget.max_iterations << " iterations";
+  if (budget.wall_clock_seconds > 0)
+    std::cout << ", deadline " << budget.wall_clock_seconds << "s";
+  std::cout << "):\n";
+  const Solved<core::DoubleOracleResult> solved =
+      core::solve_double_oracle_budgeted(game, 1e-9, budget);
+  if (solved.ok()) {
+    std::cout << "  hit probability = " << solved.result.value << " ("
+              << solved.result.iterations << " iterations, gap "
+              << solved.result.gap << ")\n";
+  } else {
+    std::cout << "  status: " << solved.status.describe() << '\n'
+              << "  certified bracket: [" << solved.result.lower_bound
+              << ", " << solved.result.upper_bound << "], best estimate "
+              << solved.result.value << '\n';
+  }
   return 0;
 }

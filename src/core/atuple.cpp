@@ -12,6 +12,11 @@ std::optional<ATupleResult> run_with_partition(const TupleGame& game,
   auto edge_ne = compute_matching_ne(game.graph(), partition);
   if (!edge_ne) return std::nullopt;
 
+  // The cyclic lift (Lemma 4.8) needs k <= |D(tp)| to keep tuple edges
+  // distinct; a larger k means this construction yields no equilibrium,
+  // which for a search API is "not found", not a precondition violation.
+  if (game.k() > edge_ne->tp_support.size()) return std::nullopt;
+
   // Steps 2-3: label the defended edges and lift cyclically (Lemma 4.8).
   KMatchingNe lifted = lift_to_k_matching(game, *edge_ne);
 

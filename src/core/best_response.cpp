@@ -37,8 +37,9 @@ namespace {
 class TupleSearch {
  public:
   TupleSearch(const graph::Graph& g, std::size_t k,
-              const std::vector<double>& masses)
-      : g_(g), k_(k), masses_(masses) {
+              const std::vector<double>& masses,
+              std::uint64_t node_budget = 0)
+      : g_(g), k_(k), masses_(masses), node_budget_(node_budget) {
     total_mass_ = 0;
     for (double m : masses) total_mass_ += m;
     order_.resize(g.num_edges());
@@ -55,7 +56,9 @@ class TupleSearch {
     covered_.assign(g.num_vertices(), 0);
   }
 
-  BestTuple run() {
+  BestTuple run() { return run_budgeted().best; }
+
+  BestTupleSearch run_budgeted() {
     // Seed the incumbent with a greedy marginal-gain solution; combined with
     // the <=-pruning below, instances whose greedy solution already meets
     // the overlap-ignoring bound (e.g. uniform masses) terminate at the
@@ -63,7 +66,13 @@ class TupleSearch {
     seed_greedy();
     current_.reserve(k_);
     descend(0, 0.0);
-    return best_;
+    BestTupleSearch out;
+    out.best = best_;
+    out.nodes = nodes_;
+    out.truncated = truncated_;
+    out.upper_bound =
+        truncated_ ? std::max(best_.mass, open_bound_) : best_.mass;
+    return out;
   }
 
  private:
@@ -114,6 +123,18 @@ class TupleSearch {
   }
 
   void descend(std::size_t from, double gained) {
+    ++nodes_;
+    if (node_budget_ != 0 && nodes_ > node_budget_) truncated_ = true;
+    if (truncated_) {
+      // Budget ran out: record a sound bound for this abandoned subtree so
+      // the caller knows how far the incumbent can be from optimal, then
+      // unwind without exploring further.
+      const std::size_t need = k_ - current_.size();
+      if (order_.size() - from >= need)
+        open_bound_ = std::max(open_bound_,
+                               gained + completion_bound(from, need, gained));
+      return;
+    }
     if (current_.size() == k_) {
       if (gained > best_.mass) {
         best_.mass = gained;
@@ -152,6 +173,10 @@ class TupleSearch {
   std::vector<graph::EdgeId> order_;
   std::vector<double> edge_mass_;
   double total_mass_ = 0;
+  std::uint64_t node_budget_ = 0;
+  std::uint64_t nodes_ = 0;
+  bool truncated_ = false;
+  double open_bound_ = 0;
   std::vector<int> covered_;
   Tuple current_;
   BestTuple best_;
@@ -164,6 +189,15 @@ BestTuple best_tuple_branch_and_bound(const TupleGame& game,
   DEF_REQUIRE(masses.size() == game.graph().num_vertices(),
               "mass vector must cover every vertex");
   return TupleSearch(game.graph(), game.k(), masses).run();
+}
+
+BestTupleSearch best_tuple_branch_and_bound_budgeted(
+    const TupleGame& game, const std::vector<double>& masses,
+    std::uint64_t node_budget) {
+  DEF_REQUIRE(masses.size() == game.graph().num_vertices(),
+              "mass vector must cover every vertex");
+  return TupleSearch(game.graph(), game.k(), masses, node_budget)
+      .run_budgeted();
 }
 
 BestTuple best_tuple(const TupleGame& game,

@@ -35,6 +35,28 @@ BestTuple best_tuple_exhaustive(const TupleGame& game,
 BestTuple best_tuple_branch_and_bound(const TupleGame& game,
                                       const std::vector<double>& masses);
 
+/// Outcome of a budgeted branch-and-bound oracle call.
+struct BestTupleSearch {
+  /// The incumbent: always a feasible tuple, exact when !truncated.
+  BestTuple best;
+  /// Search nodes expanded.
+  std::uint64_t nodes = 0;
+  /// True when the node budget ran out before the tree was exhausted; the
+  /// incumbent is then only a lower bound on the true best response.
+  bool truncated = false;
+  /// Sound upper bound on the true optimum (== best.mass when !truncated;
+  /// the max completion bound over abandoned subtrees otherwise).
+  double upper_bound = 0;
+};
+
+/// Branch-and-bound capped at `node_budget` node expansions (0 = unlimited,
+/// equivalent to the exact oracle). Never throws on exhaustion: the greedy
+/// incumbent guarantees a feasible answer, and `upper_bound` certifies how
+/// far from optimal it can be.
+BestTupleSearch best_tuple_branch_and_bound_budgeted(
+    const TupleGame& game, const std::vector<double>& masses,
+    std::uint64_t node_budget);
+
 /// Picks the cheaper exact oracle for the instance size.
 BestTuple best_tuple(const TupleGame& game,
                      const std::vector<double>& masses);

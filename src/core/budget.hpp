@@ -1,0 +1,94 @@
+// Solve budgets: bounded effort with graceful degradation.
+//
+// A SolveBudget caps how much work a solver may spend — outer iterations,
+// wall-clock time, and branch-and-bound node expansions inside the tuple
+// oracle. Exhausting a budget is NOT an error: the budgeted entry points
+// (solve_double_oracle_budgeted, fictitious_play_budgeted, ...) return
+// their best-so-far result with certified upper/lower bounds and a
+// kIterationLimit / kDeadlineExceeded status instead of throwing.
+//
+// BudgetMeter is the runtime companion: it owns the stopwatch and the
+// iteration counter so every solver enforces the budget the same way.
+// Deadline checks read the steady clock, so meters are cheap to poll once
+// per outer iteration but should not be polled in innermost loops; the
+// branch-and-bound oracle polls every few thousand node expansions instead.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#include "util/stopwatch.hpp"
+
+namespace defender {
+
+/// Effort cap for one solve. Zero in any field means "unlimited" for that
+/// dimension; the default budget is fully unlimited, matching the legacy
+/// throwing APIs.
+struct SolveBudget {
+  /// Outer iterations (double-oracle loop turns, learning rounds, simplex
+  /// pivots). 0 = unlimited.
+  std::size_t max_iterations = 0;
+  /// Wall-clock deadline in seconds from the start of the solve.
+  /// 0 = no deadline.
+  double wall_clock_seconds = 0;
+  /// Node-expansion cap for the branch-and-bound tuple oracle, per oracle
+  /// call. 0 = unlimited. When the oracle is truncated its answer is a
+  /// feasible incumbent (still a valid lower bound on the best response),
+  /// and the solver flags the final bounds as approximate.
+  std::uint64_t oracle_node_budget = 0;
+
+  /// True when no dimension is bounded.
+  bool unlimited() const {
+    return max_iterations == 0 && wall_clock_seconds <= 0 &&
+           oracle_node_budget == 0;
+  }
+
+  /// The iteration cap as a usable loop bound (SIZE_MAX when unlimited).
+  std::size_t iteration_cap() const {
+    return max_iterations == 0 ? std::numeric_limits<std::size_t>::max()
+                               : max_iterations;
+  }
+
+  static SolveBudget unlimited_budget() { return SolveBudget{}; }
+  static SolveBudget iterations(std::size_t n) { return SolveBudget{n, 0, 0}; }
+  static SolveBudget deadline(double seconds) {
+    return SolveBudget{0, seconds, 0};
+  }
+};
+
+/// Tracks consumption against a SolveBudget; one per solve.
+class BudgetMeter {
+ public:
+  explicit BudgetMeter(const SolveBudget& budget) : budget_(budget) {}
+
+  /// Records one completed outer iteration.
+  void charge_iteration() { ++iterations_; }
+
+  /// Iterations consumed so far.
+  std::size_t iterations() const { return iterations_; }
+
+  /// True when the next iteration would exceed the cap.
+  bool out_of_iterations() const {
+    return budget_.max_iterations != 0 &&
+           iterations_ >= budget_.max_iterations;
+  }
+
+  /// True when the wall-clock deadline has passed. Reads the steady clock.
+  bool deadline_exceeded() const {
+    return budget_.wall_clock_seconds > 0 &&
+           watch_.seconds() >= budget_.wall_clock_seconds;
+  }
+
+  /// Seconds elapsed since the meter was constructed.
+  double elapsed_seconds() const { return watch_.seconds(); }
+
+  const SolveBudget& budget() const { return budget_; }
+
+ private:
+  SolveBudget budget_;
+  util::Stopwatch watch_;
+  std::size_t iterations_ = 0;
+};
+
+}  // namespace defender

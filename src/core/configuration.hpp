@@ -39,6 +39,11 @@ struct PureConfiguration {
 /// probabilities positive and summing to 1 (within 1e-9).
 class VertexDistribution {
  public:
+  /// Empty sentinel (no support) — the state of a default-constructed or
+  /// moved-from distribution. Only valid as a placeholder, e.g. inside a
+  /// Solved<> result whose status is not ok; validate() rejects it.
+  VertexDistribution() = default;
+
   /// Uniform distribution over `support`.
   static VertexDistribution uniform(graph::VertexSet support);
 
@@ -61,6 +66,9 @@ class VertexDistribution {
 /// and summing to 1 (within 1e-9).
 class TupleDistribution {
  public:
+  /// Empty sentinel (no support) — see VertexDistribution's default ctor.
+  TupleDistribution() = default;
+
   /// Uniform distribution over `support`.
   static TupleDistribution uniform(std::vector<Tuple> support);
 

@@ -1,6 +1,7 @@
 #include "core/double_oracle.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "core/best_response.hpp"
 #include "core/payoff.hpp"
@@ -29,30 +30,162 @@ lp::Matrix restricted_matrix(const graph::Graph& g,
   return a;
 }
 
+/// Builds the support-only mixed strategies from a restricted-game solution.
+/// `def_probs` / `att_probs` may be shorter than the working sets (the sets
+/// grow after the LP snapshot); extra strategies carry zero probability.
+std::pair<TupleDistribution, VertexDistribution> extract_mixes(
+    const std::vector<Tuple>& tuples,
+    const std::vector<graph::Vertex>& vertices,
+    std::span<const double> def_probs, std::span<const double> att_probs) {
+  std::vector<Tuple> def_support;
+  std::vector<double> def_mass;
+  for (std::size_t t = 0; t < def_probs.size() && t < tuples.size(); ++t) {
+    if (def_probs[t] <= 1e-12) continue;
+    def_support.push_back(tuples[t]);
+    def_mass.push_back(def_probs[t]);
+  }
+  if (def_support.empty()) {  // degenerate LP snapshot: fall back to uniform
+    def_support.assign(tuples.begin(), tuples.end());
+    def_mass.assign(tuples.size(), 1.0);
+  }
+  double def_sum = 0;
+  for (double p : def_mass) def_sum += p;
+  for (double& p : def_mass) p /= def_sum;
+
+  // Vertices must be sorted for VertexDistribution; gather then sort.
+  std::vector<std::pair<graph::Vertex, double>> att;
+  for (std::size_t v = 0; v < att_probs.size() && v < vertices.size(); ++v)
+    if (att_probs[v] > 1e-12) att.emplace_back(vertices[v], att_probs[v]);
+  if (att.empty())
+    for (graph::Vertex v : vertices) att.emplace_back(v, 1.0);
+  std::sort(att.begin(), att.end());
+  att.erase(std::unique(att.begin(), att.end(),
+                        [](const auto& a, const auto& b) {
+                          return a.first == b.first;
+                        }),
+            att.end());
+  graph::VertexSet att_support;
+  std::vector<double> att_mass;
+  double att_sum = 0;
+  for (const auto& [vtx, p] : att) {
+    att_support.push_back(vtx);
+    att_mass.push_back(p);
+    att_sum += p;
+  }
+  for (double& p : att_mass) p /= att_sum;
+
+  return {TupleDistribution(std::move(def_support), std::move(def_mass)),
+          VertexDistribution(std::move(att_support), std::move(att_mass))};
+}
+
+/// Snapshot of the last successfully solved restricted game, used to build
+/// a best-so-far answer when a budget runs out mid-loop.
+struct RestrictedSnapshot {
+  std::vector<double> def_probs;  // over the tuples working set (prefix)
+  std::vector<double> att_probs;  // over the vertices working set (prefix)
+  double value = 0;
+  bool valid = false;
+};
+
 }  // namespace
 
-DoubleOracleResult solve_double_oracle(const TupleGame& game,
-                                       double tolerance,
-                                       std::size_t max_iterations) {
+Solved<DoubleOracleResult> solve_double_oracle_budgeted(
+    const TupleGame& game, double tolerance, const SolveBudget& budget) {
   const graph::Graph& g = game.graph();
   const std::size_t n = g.num_vertices();
+  BudgetMeter meter(budget);
 
   // Seed: the defender's best response to a uniform attacker, and one
   // uncovered-if-possible vertex.
   std::vector<double> uniform_mass(n, 1.0 / static_cast<double>(n));
-  std::vector<Tuple> tuples{
-      best_tuple_branch_and_bound(game, uniform_mass).tuple};
+  BestTupleSearch seed = best_tuple_branch_and_bound_budgeted(
+      game, uniform_mass, budget.oracle_node_budget);
+  std::vector<Tuple> tuples{seed.best.tuple};
   std::vector<graph::Vertex> vertices{0};
 
-  for (std::size_t iter = 1; iter <= max_iterations; ++iter) {
+  // Certified bracket on the game value: the hit probability lives in
+  // [0, 1] a priori; every iteration tightens both ends via the exact
+  // oracles.
+  double best_lower = 0.0;
+  double best_upper = 1.0;
+  bool any_truncated = seed.truncated;
+  RestrictedSnapshot snap;
+
+  // Assembles the result from the latest snapshot plus the running bounds.
+  const auto finish = [&](StatusCode code, std::string message,
+                          double value_hint, double gap) {
+    DoubleOracleResult r;
+    r.lower_bound = best_lower;
+    r.upper_bound = std::max(best_upper, best_lower);
+    r.value = std::clamp(value_hint, r.lower_bound, r.upper_bound);
+    r.gap = std::max(0.0, gap);
+    auto [def, att] = extract_mixes(tuples, vertices, snap.def_probs,
+                                    snap.att_probs);
+    r.defender = std::move(def);
+    r.attacker = std::move(att);
+    r.iterations = meter.iterations();
+    r.defender_set_size = tuples.size();
+    r.attacker_set_size = vertices.size();
+    r.approximate = any_truncated || code != StatusCode::kOk;
+    Solved<DoubleOracleResult> out;
+    out.result = std::move(r);
+    out.status = code == StatusCode::kOk
+                     ? Status::make_ok(meter.iterations(), gap,
+                                       meter.elapsed_seconds())
+                     : Status::make(code, std::move(message),
+                                    meter.iterations(),
+                                    r.upper_bound - r.lower_bound,
+                                    meter.elapsed_seconds());
+    return out;
+  };
+
+  while (true) {
+    if (meter.out_of_iterations())
+      return finish(StatusCode::kIterationLimit,
+                    "double oracle iteration budget exhausted; returning "
+                    "best-so-far certified bounds",
+                    snap.valid ? snap.value : 0.5 * (best_lower + best_upper),
+                    best_upper - best_lower);
+    if (meter.deadline_exceeded())
+      return finish(StatusCode::kDeadlineExceeded,
+                    "double oracle wall-clock deadline expired; returning "
+                    "best-so-far certified bounds",
+                    snap.valid ? snap.value : 0.5 * (best_lower + best_upper),
+                    best_upper - best_lower);
+    meter.charge_iteration();
+
     const lp::Matrix a = restricted_matrix(g, tuples, vertices);
-    const lp::MatrixGameSolution restricted = lp::solve_matrix_game(a);
+    SolveBudget lp_budget;
+    if (budget.wall_clock_seconds > 0)
+      lp_budget.wall_clock_seconds = std::max(
+          1e-3, budget.wall_clock_seconds - meter.elapsed_seconds());
+    const Solved<lp::MatrixGameSolution> lp_solved =
+        lp::solve_matrix_game_budgeted(a, lp_budget);
+    if (!lp_solved.ok() &&
+        lp_solved.status.code != StatusCode::kNumericallyUnstable)
+      return finish(StatusCode::kDeadlineExceeded,
+                    "restricted LP ran out of time mid-iteration: " +
+                        lp_solved.status.message,
+                    snap.valid ? snap.value : 0.5 * (best_lower + best_upper),
+                    best_upper - best_lower);
+    const lp::MatrixGameSolution& restricted = lp_solved.result;
+    snap.def_probs = restricted.row_strategy;
+    snap.att_probs = restricted.col_strategy;
+    snap.value = restricted.value;
+    snap.valid = true;
 
     // Defender oracle: best tuple against the attacker's restricted mix.
     std::vector<double> masses(n, 0.0);
     for (std::size_t v = 0; v < vertices.size(); ++v)
       masses[vertices[v]] += restricted.col_strategy[v];
-    const BestTuple br_tuple = best_tuple_branch_and_bound(game, masses);
+    const BestTupleSearch br_search = best_tuple_branch_and_bound_budgeted(
+        game, masses, budget.oracle_node_budget);
+    const BestTuple& br_tuple = br_search.best;
+    any_truncated = any_truncated || br_search.truncated;
+    // value <= (true max coverage vs this attacker mix); when the oracle
+    // was truncated only its completion bound is sound.
+    const double upper_cert =
+        br_search.truncated ? br_search.upper_bound : br_tuple.mass;
 
     // Attacker oracle: minimum-hit vertex against the defender's mix.
     std::vector<double> hit(n, 0.0);
@@ -65,6 +198,9 @@ DoubleOracleResult solve_double_oracle(const TupleGame& game,
     const double attacker_br_value = *min_it;
     const auto br_vertex =
         static_cast<graph::Vertex>(min_it - hit.begin());
+
+    best_lower = std::max(best_lower, attacker_br_value);
+    best_upper = std::min(best_upper, upper_cert);
 
     const bool defender_closed =
         br_tuple.mass <= restricted.value + tolerance;
@@ -87,39 +223,12 @@ DoubleOracleResult solve_double_oracle(const TupleGame& game,
         (defender_closed || defender_stalled) &&
         (attacker_closed || attacker_stalled) && gap <= kStallSlack;
     if (converged) {
-      // Extract the supports (drop zero-probability strategies).
-      std::vector<Tuple> def_support;
-      std::vector<double> def_probs;
-      for (std::size_t t = 0; t < tuples.size(); ++t) {
-        if (restricted.row_strategy[t] <= 1e-12) continue;
-        def_support.push_back(tuples[t]);
-        def_probs.push_back(restricted.row_strategy[t]);
-      }
-      double def_sum = 0;
-      for (double p : def_probs) def_sum += p;
-      for (double& p : def_probs) p /= def_sum;
-
-      graph::VertexSet att_support;
-      std::vector<double> att_probs;
-      // Vertices must be sorted for VertexDistribution; gather then sort.
-      std::vector<std::pair<graph::Vertex, double>> att;
-      for (std::size_t v = 0; v < vertices.size(); ++v)
-        if (restricted.col_strategy[v] > 1e-12)
-          att.emplace_back(vertices[v], restricted.col_strategy[v]);
-      std::sort(att.begin(), att.end());
-      double att_sum = 0;
-      for (const auto& [vtx, p] : att) {
-        att_support.push_back(vtx);
-        att_probs.push_back(p);
-        att_sum += p;
-      }
-      for (double& p : att_probs) p /= att_sum;
-
-      return DoubleOracleResult{
-          restricted.value, std::max(0.0, gap),
-          TupleDistribution(std::move(def_support), std::move(def_probs)),
-          VertexDistribution(std::move(att_support), std::move(att_probs)),
-          iter, tuples.size(), vertices.size()};
+      if (br_search.truncated)
+        return finish(StatusCode::kIterationLimit,
+                      "oracle node budget truncated the final best-response "
+                      "certification; bounds are sound but not tight",
+                      restricted.value, best_upper - best_lower);
+      return finish(StatusCode::kOk, {}, restricted.value, gap);
     }
 
     // Grow the working sets with the improving best responses.
@@ -136,36 +245,84 @@ DoubleOracleResult solve_double_oracle(const TupleGame& game,
       vertices.push_back(br_vertex);
       grew = true;
     }
-    DEF_ENSURE(grew,
-               "double oracle stalled: an improving best response was "
-               "already in the working set (numerical tolerance too tight)");
+    if (!grew)
+      return finish(StatusCode::kNumericallyUnstable,
+                    "double oracle stalled: an improving best response was "
+                    "already in the working set (numerical tolerance too "
+                    "tight); returning best-so-far certified bounds",
+                    restricted.value, gap);
   }
-  DEF_ENSURE(false, "double oracle failed to converge within the iteration "
-                    "budget");
-  // Unreachable; DEF_ENSURE(false, ...) always throws.
-  throw ContractViolation("unreachable");
 }
 
-DoubleOracleResult solve_weighted_double_oracle(
+Solved<DoubleOracleResult> solve_weighted_double_oracle_budgeted(
     const TupleGame& game, std::span<const double> weights, double tolerance,
-    std::size_t max_iterations) {
+    const SolveBudget& budget) {
   const graph::Graph& g = game.graph();
   const std::size_t n = g.num_vertices();
   DEF_REQUIRE(weights.size() == n, "one damage weight per vertex");
   for (double w : weights)
     DEF_REQUIRE(w > 0, "damage weights must be strictly positive");
+  BudgetMeter meter(budget);
 
   // Seed with the defender's best response to a uniform attacker and the
   // most valuable vertex (the attacker's first instinct).
   std::vector<double> seed_mass(n);
   for (std::size_t v = 0; v < n; ++v)
     seed_mass[v] = weights[v] / static_cast<double>(n);
-  std::vector<Tuple> tuples{
-      best_tuple_branch_and_bound(game, seed_mass).tuple};
+  BestTupleSearch seed = best_tuple_branch_and_bound_budgeted(
+      game, seed_mass, budget.oracle_node_budget);
+  std::vector<Tuple> tuples{seed.best.tuple};
   std::vector<graph::Vertex> vertices{static_cast<graph::Vertex>(
       std::max_element(weights.begin(), weights.end()) - weights.begin())};
 
-  for (std::size_t iter = 1; iter <= max_iterations; ++iter) {
+  // Damage value lives in [0, max weight] a priori.
+  double best_lower = 0.0;
+  double best_upper = *std::max_element(weights.begin(), weights.end());
+  bool any_truncated = seed.truncated;
+  RestrictedSnapshot snap;
+
+  const auto finish = [&](StatusCode code, std::string message,
+                          double value_hint, double gap) {
+    DoubleOracleResult r;
+    r.lower_bound = best_lower;
+    r.upper_bound = std::max(best_upper, best_lower);
+    r.value = std::clamp(value_hint, r.lower_bound, r.upper_bound);
+    r.gap = std::max(0.0, gap);
+    auto [def, att] = extract_mixes(tuples, vertices, snap.def_probs,
+                                    snap.att_probs);
+    r.defender = std::move(def);
+    r.attacker = std::move(att);
+    r.iterations = meter.iterations();
+    r.defender_set_size = tuples.size();
+    r.attacker_set_size = vertices.size();
+    r.approximate = any_truncated || code != StatusCode::kOk;
+    Solved<DoubleOracleResult> out;
+    out.result = std::move(r);
+    out.status = code == StatusCode::kOk
+                     ? Status::make_ok(meter.iterations(), gap,
+                                       meter.elapsed_seconds())
+                     : Status::make(code, std::move(message),
+                                    meter.iterations(),
+                                    r.upper_bound - r.lower_bound,
+                                    meter.elapsed_seconds());
+    return out;
+  };
+
+  while (true) {
+    if (meter.out_of_iterations())
+      return finish(StatusCode::kIterationLimit,
+                    "weighted double oracle iteration budget exhausted; "
+                    "returning best-so-far certified bounds",
+                    snap.valid ? snap.value : 0.5 * (best_lower + best_upper),
+                    best_upper - best_lower);
+    if (meter.deadline_exceeded())
+      return finish(StatusCode::kDeadlineExceeded,
+                    "weighted double oracle wall-clock deadline expired; "
+                    "returning best-so-far certified bounds",
+                    snap.valid ? snap.value : 0.5 * (best_lower + best_upper),
+                    best_upper - best_lower);
+    meter.charge_iteration();
+
     // Restricted damage game: rows = working vertices (attacker,
     // maximizer), cols = working tuples (defender, minimizer).
     lp::Matrix damage(vertices.size(), tuples.size());
@@ -176,7 +333,25 @@ DoubleOracleResult solve_weighted_double_oracle(
                               ? 0.0
                               : weights[vertices[v]];
     }
-    const lp::MatrixGameSolution restricted = lp::solve_matrix_game(damage);
+    SolveBudget lp_budget;
+    if (budget.wall_clock_seconds > 0)
+      lp_budget.wall_clock_seconds = std::max(
+          1e-3, budget.wall_clock_seconds - meter.elapsed_seconds());
+    const Solved<lp::MatrixGameSolution> lp_solved =
+        lp::solve_matrix_game_budgeted(damage, lp_budget);
+    if (!lp_solved.ok() &&
+        lp_solved.status.code != StatusCode::kNumericallyUnstable)
+      return finish(StatusCode::kDeadlineExceeded,
+                    "restricted LP ran out of time mid-iteration: " +
+                        lp_solved.status.message,
+                    snap.valid ? snap.value : 0.5 * (best_lower + best_upper),
+                    best_upper - best_lower);
+    const lp::MatrixGameSolution& restricted = lp_solved.result;
+    // Attacker is the row player here; defender probabilities live on cols.
+    snap.def_probs = restricted.col_strategy;
+    snap.att_probs = restricted.row_strategy;
+    snap.value = restricted.value;
+    snap.valid = true;
 
     // Defender oracle: concede the least damage against the attacker's
     // restricted mix = maximize covered weighted mass.
@@ -186,8 +361,16 @@ DoubleOracleResult solve_weighted_double_oracle(
       masses[vertices[v]] += weights[vertices[v]] * restricted.row_strategy[v];
       total_weighted += weights[vertices[v]] * restricted.row_strategy[v];
     }
-    const BestTuple br_tuple = best_tuple_branch_and_bound(game, masses);
+    const BestTupleSearch br_search = best_tuple_branch_and_bound_budgeted(
+        game, masses, budget.oracle_node_budget);
+    const BestTuple& br_tuple = br_search.best;
+    any_truncated = any_truncated || br_search.truncated;
     const double defender_br_damage = total_weighted - br_tuple.mass;
+    // value >= (total − true max coverage); under truncation only the
+    // completion bound certifies the coverage, hence the damage floor.
+    const double lower_cert =
+        total_weighted -
+        (br_search.truncated ? br_search.upper_bound : br_tuple.mass);
 
     // Attacker oracle: the most damaging vertex against the defender mix.
     std::vector<double> hit(n, 0.0);
@@ -206,6 +389,9 @@ DoubleOracleResult solve_weighted_double_oracle(
       }
     }
 
+    best_lower = std::max(best_lower, lower_cert);
+    best_upper = std::min(best_upper, attacker_br_damage);
+
     const bool attacker_closed =
         attacker_br_damage <= restricted.value + tolerance;
     const bool defender_closed =
@@ -220,37 +406,12 @@ DoubleOracleResult solve_weighted_double_oracle(
                                 restricted.value - defender_br_damage);
     if ((attacker_closed || attacker_stalled) &&
         (defender_closed || defender_stalled) && gap <= kStallSlack) {
-      std::vector<Tuple> def_support;
-      std::vector<double> def_probs;
-      for (std::size_t t = 0; t < tuples.size(); ++t) {
-        if (restricted.col_strategy[t] <= 1e-12) continue;
-        def_support.push_back(tuples[t]);
-        def_probs.push_back(restricted.col_strategy[t]);
-      }
-      double def_sum = 0;
-      for (double p : def_probs) def_sum += p;
-      for (double& p : def_probs) p /= def_sum;
-
-      std::vector<std::pair<graph::Vertex, double>> att;
-      for (std::size_t v = 0; v < vertices.size(); ++v)
-        if (restricted.row_strategy[v] > 1e-12)
-          att.emplace_back(vertices[v], restricted.row_strategy[v]);
-      std::sort(att.begin(), att.end());
-      graph::VertexSet att_support;
-      std::vector<double> att_probs;
-      double att_sum = 0;
-      for (const auto& [vtx, p] : att) {
-        att_support.push_back(vtx);
-        att_probs.push_back(p);
-        att_sum += p;
-      }
-      for (double& p : att_probs) p /= att_sum;
-
-      return DoubleOracleResult{
-          restricted.value, std::max(0.0, gap),
-          TupleDistribution(std::move(def_support), std::move(def_probs)),
-          VertexDistribution(std::move(att_support), std::move(att_probs)),
-          iter, tuples.size(), vertices.size()};
+      if (br_search.truncated)
+        return finish(StatusCode::kIterationLimit,
+                      "oracle node budget truncated the final best-response "
+                      "certification; bounds are sound but not tight",
+                      restricted.value, best_upper - best_lower);
+      return finish(StatusCode::kOk, {}, restricted.value, gap);
     }
 
     bool grew = false;
@@ -266,13 +427,28 @@ DoubleOracleResult solve_weighted_double_oracle(
       vertices.push_back(br_vertex);
       grew = true;
     }
-    DEF_ENSURE(grew,
-               "weighted double oracle stalled outside the accepted gap");
+    if (!grew)
+      return finish(StatusCode::kNumericallyUnstable,
+                    "weighted double oracle stalled outside the accepted "
+                    "gap; returning best-so-far certified bounds",
+                    restricted.value, gap);
   }
-  DEF_ENSURE(false, "weighted double oracle failed to converge within the "
-                    "iteration budget");
-  throw ContractViolation("unreachable");
+}
+
+DoubleOracleResult solve_double_oracle(const TupleGame& game,
+                                       double tolerance,
+                                       std::size_t max_iterations) {
+  Solved<DoubleOracleResult> solved = solve_double_oracle_budgeted(
+      game, tolerance, SolveBudget::iterations(max_iterations));
+  return std::move(solved).value_or_throw();
+}
+
+DoubleOracleResult solve_weighted_double_oracle(
+    const TupleGame& game, std::span<const double> weights, double tolerance,
+    std::size_t max_iterations) {
+  Solved<DoubleOracleResult> solved = solve_weighted_double_oracle_budgeted(
+      game, weights, tolerance, SolveBudget::iterations(max_iterations));
+  return std::move(solved).value_or_throw();
 }
 
 }  // namespace defender::core
-

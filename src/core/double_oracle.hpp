@@ -13,40 +13,73 @@
 // repeats. Both strategy spaces are finite, so termination is guaranteed,
 // and in practice the final supports stay tiny (experiment E17 solves
 // boards with > 10^12 tuples in a few iterations).
+//
+// Budgeted route: the *_budgeted entry points accept a SolveBudget and
+// degrade gracefully. Every outer iteration certifies a bracket on the game
+// value — the defender's restricted mix guarantees at least the attacker's
+// best-response payoff (lower bound) and the attacker's restricted mix caps
+// the defender at its best-response mass (upper bound) — so when the
+// iteration or wall-clock budget runs out the solver returns its
+// best-so-far mixes with that certified bracket and a kIterationLimit /
+// kDeadlineExceeded status instead of throwing.
 #pragma once
 
 #include <cstddef>
 #include <span>
 
+#include "core/budget.hpp"
 #include "core/configuration.hpp"
 #include "core/game.hpp"
+#include "core/status.hpp"
 
 namespace defender::core {
 
 /// Result of a double-oracle solve.
 struct DoubleOracleResult {
-  /// The zero-sum value of Π_k(G): the equilibrium hit probability.
+  /// The zero-sum value of Π_k(G): the equilibrium hit probability. On a
+  /// budget-limited solve, the restricted-game value clamped into the
+  /// certified bracket below.
   double value = 0;
   /// Achieved duality gap: max(defender BR − value, value − attacker BR).
   /// 0 within `tolerance` on clean convergence; up to 1e-4 when the
   /// restricted simplex hit its numerical floor first (still certified by
   /// the two exact oracles).
   double gap = 0;
-  /// Optimal defender mix (support only).
+  /// Best defender mix found (support only); optimal on kOk.
   TupleDistribution defender;
-  /// Optimal attacker mix (support only).
+  /// Best attacker mix found (support only); optimal on kOk.
   VertexDistribution attacker;
-  /// Outer iterations until both oracles were silent.
+  /// Outer iterations until both oracles were silent (or the budget ran out).
   std::size_t iterations = 0;
   /// Working-set sizes at termination (defender tuples / attacker vertices).
   std::size_t defender_set_size = 0;
   std::size_t attacker_set_size = 0;
+  /// Certified bracket on the true game value. On kOk these collapse to
+  /// `value` within tolerance; on a budgeted stop they are the best bounds
+  /// the exact oracles certified across all iterations.
+  double lower_bound = 0;
+  double upper_bound = 0;
+  /// True when an oracle call was truncated by `oracle_node_budget`, so the
+  /// upper bound rests on a truncated certification.
+  bool approximate = false;
 };
 
+/// Budget-bounded solve with graceful degradation; never throws on budget
+/// exhaustion or an oracle stall (those return kIterationLimit /
+/// kDeadlineExceeded / kNumericallyUnstable with best-so-far bounds).
+Solved<DoubleOracleResult> solve_double_oracle_budgeted(
+    const TupleGame& game, double tolerance, const SolveBudget& budget);
+
+/// Damage-weighted budgeted solve (see solve_weighted_double_oracle).
+Solved<DoubleOracleResult> solve_weighted_double_oracle_budgeted(
+    const TupleGame& game, std::span<const double> weights, double tolerance,
+    const SolveBudget& budget);
+
 /// Solves the zero-sum view of Π_k(G) exactly (within `tolerance`).
-/// `max_iterations` bounds the outer loop; the solver throws
-/// ContractViolation if it fails to close the gap within the bound (which
-/// would indicate a numerical problem, not a modelling one).
+/// Legacy throwing wrapper over the budgeted solver: `max_iterations`
+/// bounds the outer loop and ContractViolation is thrown if the gap fails
+/// to close within the bound (which would indicate a numerical problem,
+/// not a modelling one).
 DoubleOracleResult solve_double_oracle(const TupleGame& game,
                                        double tolerance = 1e-9,
                                        std::size_t max_iterations = 500);
@@ -56,7 +89,8 @@ DoubleOracleResult solve_double_oracle(const TupleGame& game,
 /// damage value (the attacker maximizes it), `defender`/`attacker` the
 /// optimal mixes. Same oracles as the unweighted solver with masses scaled
 /// by w, so it reaches instances far beyond damage_matrix's enumeration
-/// cap. Requires one strictly positive weight per vertex.
+/// cap. Requires one strictly positive weight per vertex. Legacy throwing
+/// wrapper, like solve_double_oracle.
 DoubleOracleResult solve_weighted_double_oracle(
     const TupleGame& game, std::span<const double> weights,
     double tolerance = 1e-9, std::size_t max_iterations = 500);

@@ -1,7 +1,13 @@
 #include "core/serialization.hpp"
 
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <iomanip>
 #include <sstream>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "util/assert.hpp"
 
@@ -36,61 +42,248 @@ std::string to_text(const TupleGame& game, const MixedConfiguration& config) {
   return os.str();
 }
 
-MixedConfiguration read_configuration(std::istream& is,
-                                      const TupleGame& game) {
-  std::string header;
-  DEF_REQUIRE(static_cast<bool>(std::getline(is, header)) &&
-                  header == "defender-configuration v1",
-              "missing or unsupported configuration header");
-  std::string tag;
-  std::size_t n = 0, m = 0, k = 0, nu = 0;
-  DEF_REQUIRE(static_cast<bool>(is >> tag >> n >> m >> k >> nu) &&
-                  tag == "game",
-              "malformed game line");
-  DEF_REQUIRE(n == game.graph().num_vertices() &&
-                  m == game.graph().num_edges() && k == game.k() &&
-                  nu == game.num_attackers(),
-              "configuration was written for a different game instance");
+namespace {
+
+/// Splits a line into whitespace-delimited tokens.
+std::vector<std::string_view> split(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t' ||
+                               line[i] == '\r'))
+      ++i;
+    const std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t' &&
+           line[i] != '\r')
+      ++i;
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+/// Parses a non-negative integer <= `max` through a checked path, so
+/// "-1" and 2^64-spanning digit strings are explicit errors rather than
+/// silent wraps.
+bool parse_count(std::string_view tok, std::uint64_t max,
+                 std::uint64_t& out) {
+  if (tok.empty()) return false;
+  std::size_t i = 0;
+  const bool negative = tok[0] == '-';
+  if (negative || tok[0] == '+') i = 1;
+  if (i == tok.size()) return false;
+  std::uint64_t value = 0;
+  for (; i < tok.size(); ++i) {
+    const char c = tok[i];
+    if (c < '0' || c > '9') return false;
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  if (negative && value != 0) return false;
+  if (value > max) return false;
+  out = value;
+  return true;
+}
+
+/// Parses a probability token: a finite double in [0, 1] (with a hair of
+/// slack for 17-digit round-trips).
+bool parse_prob(std::string_view tok, double& out) {
+  const std::string buf(tok);
+  char* end = nullptr;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || buf.empty()) return false;
+  if (!std::isfinite(value) || value < 0 || value > 1 + 1e-12) return false;
+  out = value;
+  return true;
+}
+
+/// Sequential access to non-empty lines with 1-based numbering.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& is) {
+    std::string line;
+    while (std::getline(is, line)) lines_.push_back(std::move(line));
+  }
+
+  /// Next non-blank line, or false at end of input. `number` receives the
+  /// 1-based line number.
+  bool next(std::string_view& line, std::size_t& number) {
+    while (index_ < lines_.size()) {
+      const std::string& l = lines_[index_];
+      ++index_;
+      if (!split(l).empty()) {
+        line = l;
+        number = index_;
+        return true;
+      }
+    }
+    number = lines_.size() + 1;
+    return false;
+  }
+
+ private:
+  std::vector<std::string> lines_;
+  std::size_t index_ = 0;
+};
+
+Solved<MixedConfiguration> parse_failure(std::size_t line, std::string what) {
+  Solved<MixedConfiguration> out;
+  out.status = Status::make(
+      StatusCode::kInvalidInput,
+      "line " + std::to_string(line) + ": " + std::move(what));
+  return out;
+}
+
+}  // namespace
+
+Solved<MixedConfiguration> try_read_configuration(std::istream& is,
+                                                  const TupleGame& game) {
+  LineReader reader(is);
+  std::string_view line;
+  std::size_t ln = 0;
+
+  if (!reader.next(line, ln) || split(line) !=
+                                    std::vector<std::string_view>{
+                                        "defender-configuration", "v1"})
+    return parse_failure(ln, "missing or unsupported configuration header");
+
+  if (!reader.next(line, ln))
+    return parse_failure(ln, "missing game line");
+  {
+    const auto tokens = split(line);
+    std::uint64_t n = 0, m = 0, k = 0, nu = 0;
+    if (tokens.size() != 5 || tokens[0] != "game" ||
+        !parse_count(tokens[1], UINT32_MAX, n) ||
+        !parse_count(tokens[2], UINT32_MAX, m) ||
+        !parse_count(tokens[3], UINT32_MAX, k) ||
+        !parse_count(tokens[4], UINT32_MAX, nu))
+      return parse_failure(ln, "malformed game line (want 'game n m k nu')");
+    if (n != game.graph().num_vertices() ||
+        m != game.graph().num_edges() || k != game.k() ||
+        nu != game.num_attackers())
+      return parse_failure(
+          ln, "configuration was written for a different game instance");
+  }
+
+  const std::uint64_t n = game.graph().num_vertices();
+  const std::uint64_t m = game.graph().num_edges();
+  const std::size_t k = game.k();
+  const std::size_t nu = game.num_attackers();
 
   std::vector<VertexDistribution> attackers;
   attackers.reserve(nu);
   for (std::size_t i = 0; i < nu; ++i) {
-    std::size_t index = 0, size = 0;
-    DEF_REQUIRE(static_cast<bool>(is >> tag >> index >> size) &&
-                    tag == "attacker" && index == i,
-                "malformed attacker line");
-    graph::VertexSet support(size);
-    std::vector<double> probs(size);
-    for (std::size_t j = 0; j < size; ++j)
-      DEF_REQUIRE(static_cast<bool>(is >> support[j] >> probs[j]),
-                  "truncated attacker distribution");
-    attackers.emplace_back(std::move(support), std::move(probs));
+    if (!reader.next(line, ln))
+      return parse_failure(ln, "missing attacker " + std::to_string(i) +
+                                   " line");
+    const auto tokens = split(line);
+    std::uint64_t index = 0, size = 0;
+    if (tokens.size() < 3 || tokens[0] != "attacker" ||
+        !parse_count(tokens[1], nu - 1, index) || index != i ||
+        !parse_count(tokens[2], n, size))
+      return parse_failure(
+          ln, "malformed attacker line (want 'attacker " +
+                  std::to_string(i) + " <size <= n> ...')");
+    if (tokens.size() != 3 + 2 * static_cast<std::size_t>(size))
+      return parse_failure(ln, "attacker line holds " +
+                                   std::to_string((tokens.size() - 3) / 2) +
+                                   " pairs, declared " +
+                                   std::to_string(size));
+    graph::VertexSet support(static_cast<std::size_t>(size));
+    std::vector<double> probs(static_cast<std::size_t>(size));
+    for (std::size_t j = 0; j < size; ++j) {
+      std::uint64_t v = 0;
+      if (!parse_count(tokens[3 + 2 * j], n > 0 ? n - 1 : 0, v))
+        return parse_failure(ln, "vertex '" +
+                                     std::string(tokens[3 + 2 * j]) +
+                                     "' is not in [0, " +
+                                     std::to_string(n) + ")");
+      if (!parse_prob(tokens[4 + 2 * j], probs[j]))
+        return parse_failure(ln, "probability '" +
+                                     std::string(tokens[4 + 2 * j]) +
+                                     "' is not in [0, 1]");
+      support[j] = static_cast<graph::Vertex>(v);
+    }
+    try {
+      attackers.emplace_back(std::move(support), std::move(probs));
+    } catch (const ContractViolation& e) {
+      return parse_failure(ln, e.what());
+    }
   }
 
-  std::size_t tuples = 0;
-  DEF_REQUIRE(static_cast<bool>(is >> tag >> tuples) && tag == "defender",
-              "malformed defender line");
-  DEF_REQUIRE(tuples >= 1, "defender support must be nonempty");
+  if (!reader.next(line, ln))
+    return parse_failure(ln, "missing defender line");
+  std::uint64_t tuples = 0;
+  {
+    const auto tokens = split(line);
+    if (tokens.size() != 2 || tokens[0] != "defender" ||
+        !parse_count(tokens[1], kMaxSerializedTuples, tuples))
+      return parse_failure(ln, "malformed defender line (want 'defender "
+                               "<count <= " +
+                                   std::to_string(kMaxSerializedTuples) +
+                                   ">')");
+    if (tuples == 0)
+      return parse_failure(ln, "defender support must be nonempty");
+  }
+
   std::vector<Tuple> support;
   std::vector<double> probs;
-  support.reserve(tuples);
-  probs.reserve(tuples);
-  for (std::size_t t = 0; t < tuples; ++t) {
+  support.reserve(static_cast<std::size_t>(tuples));
+  probs.reserve(static_cast<std::size_t>(tuples));
+  for (std::uint64_t t = 0; t < tuples; ++t) {
+    if (!reader.next(line, ln))
+      return parse_failure(ln, "truncated defender support (" +
+                                   std::to_string(t) + " of " +
+                                   std::to_string(tuples) + " tuples)");
+    const auto tokens = split(line);
     double p = 0;
-    DEF_REQUIRE(static_cast<bool>(is >> tag >> p) && tag == "tuple",
-                "malformed tuple line");
+    if (tokens.size() != 2 + k || tokens[0] != "tuple" ||
+        !parse_prob(tokens[1], p))
+      return parse_failure(ln, "malformed tuple line (want 'tuple <prob> "
+                               "<" +
+                                   std::to_string(k) + " edge ids>')");
     Tuple edges(k);
-    for (std::size_t j = 0; j < k; ++j)
-      DEF_REQUIRE(static_cast<bool>(is >> edges[j]), "truncated tuple");
-    support.push_back(make_tuple(game, std::move(edges)));
+    for (std::size_t j = 0; j < k; ++j) {
+      std::uint64_t e = 0;
+      if (!parse_count(tokens[2 + j], m > 0 ? m - 1 : 0, e))
+        return parse_failure(ln, "edge id '" + std::string(tokens[2 + j]) +
+                                     "' is not in [0, " +
+                                     std::to_string(m) + ")");
+      edges[j] = static_cast<graph::EdgeId>(e);
+    }
+    try {
+      support.push_back(make_tuple(game, std::move(edges)));
+    } catch (const ContractViolation& e) {
+      return parse_failure(ln, e.what());
+    }
     probs.push_back(p);
   }
 
-  MixedConfiguration config{std::move(attackers),
-                            TupleDistribution(std::move(support),
-                                              std::move(probs))};
-  validate(game, config);
-  return config;
+  if (reader.next(line, ln))
+    return parse_failure(ln, "trailing garbage after the defender support");
+
+  Solved<MixedConfiguration> out;
+  try {
+    out.result = MixedConfiguration{
+        std::move(attackers),
+        TupleDistribution(std::move(support), std::move(probs))};
+    validate(game, out.result);
+  } catch (const ContractViolation& e) {
+    return parse_failure(ln, e.what());
+  }
+  out.status = Status::make_ok();
+  return out;
+}
+
+Solved<MixedConfiguration> try_from_text(const TupleGame& game,
+                                         const std::string& text) {
+  std::istringstream is(text);
+  return try_read_configuration(is, game);
+}
+
+MixedConfiguration read_configuration(std::istream& is,
+                                      const TupleGame& game) {
+  return std::move(try_read_configuration(is, game)).value_or_throw();
 }
 
 MixedConfiguration from_text(const TupleGame& game, const std::string& text) {

@@ -13,15 +13,28 @@
 //
 // Probabilities are written with 17 significant digits so round-trips are
 // bit-exact for the uniform distributions the constructions produce.
+//
+// Parsing is hardened against untrusted input: every count goes through a
+// signed range-checked path (no silent wrap of "-1"), declared support
+// sizes are capped before any allocation, and errors carry the 1-based
+// line number. try_from_text / try_read_configuration report failures as a
+// structured defender::Status (kInvalidInput) instead of throwing.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 
 #include "core/configuration.hpp"
 #include "core/game.hpp"
+#include "core/status.hpp"
 
 namespace defender::core {
+
+/// Cap on a declared defender support size, bounding what a hostile
+/// "defender <count>" line can make the parser pre-allocate. (A valid
+/// attacker support is already capped by n.)
+inline constexpr std::size_t kMaxSerializedTuples = 1'000'000;
 
 /// Serializes `config` (validated against `game`).
 std::string to_text(const TupleGame& game, const MixedConfiguration& config);
@@ -30,10 +43,18 @@ std::string to_text(const TupleGame& game, const MixedConfiguration& config);
 /// ContractViolation on malformed input or game mismatch.
 MixedConfiguration from_text(const TupleGame& game, const std::string& text);
 
+/// Non-throwing variant: malformed input, game mismatch, oversized
+/// declared supports, and invalid distributions all come back as
+/// kInvalidInput with the offending line number in the message.
+Solved<MixedConfiguration> try_from_text(const TupleGame& game,
+                                         const std::string& text);
+
 /// Stream variants.
 void write_configuration(std::ostream& os, const TupleGame& game,
                          const MixedConfiguration& config);
 MixedConfiguration read_configuration(std::istream& is,
                                       const TupleGame& game);
+Solved<MixedConfiguration> try_read_configuration(std::istream& is,
+                                                  const TupleGame& game);
 
 }  // namespace defender::core

@@ -1,0 +1,128 @@
+// Structured solver outcomes.
+//
+// Every equilibrium path of the library historically had one failure mode:
+// throw ContractViolation and die, even for recoverable conditions like
+// exhausting an iteration budget. Production callers need solvers that fail
+// *informatively and partially*: a typed status describing what happened
+// (and how far the solve got) next to the best result computed so far —
+// which for the iterative solvers is still a pair of certified bounds on
+// the game value.
+//
+// `Status` lives at the top level of the `defender` namespace (like
+// ContractViolation) because every layer reports through it: graph parsing
+// returns kInvalidInput, the simplex kNumericallyUnstable, the
+// double-oracle/learning loops kIterationLimit / kDeadlineExceeded.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace defender {
+
+/// Typed outcome of a solve or parse.
+enum class StatusCode {
+  /// Completed exactly (within the requested tolerance).
+  kOk,
+  /// An iteration/round/node budget ran out; the result carries the best
+  /// bounds certified so far.
+  kIterationLimit,
+  /// The wall-clock deadline expired mid-solve; best-so-far result.
+  kDeadlineExceeded,
+  /// A numerical guard tripped (residual or duality-gap check failed even
+  /// after a tightened re-solve, or an oracle loop stalled below its
+  /// tolerance floor). The result is the best numerically-trusted one.
+  kNumericallyUnstable,
+  /// The problem has no feasible solution.
+  kInfeasible,
+  /// Malformed or hostile input was rejected before solving.
+  kInvalidInput,
+};
+
+/// Human-readable name of a StatusCode.
+constexpr const char* to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kIterationLimit: return "iteration-limit";
+    case StatusCode::kDeadlineExceeded: return "deadline-exceeded";
+    case StatusCode::kNumericallyUnstable: return "numerically-unstable";
+    case StatusCode::kInfeasible: return "infeasible";
+    case StatusCode::kInvalidInput: return "invalid-input";
+  }
+  return "unknown";
+}
+
+/// A status with context: what happened, how much work was done, and how
+/// tight the result is.
+struct Status {
+  StatusCode code = StatusCode::kOk;
+  /// Human-readable detail ("deadline expired after 17 iterations", parse
+  /// error with line number, ...). Empty for kOk.
+  std::string message;
+  /// Iterations / rounds / pivots consumed before returning.
+  std::size_t iterations = 0;
+  /// Residual certified at return: duality gap for game solvers, constraint
+  /// residual for the LP, 0 when not applicable.
+  double residual = 0;
+  /// Wall-clock seconds spent in the solve.
+  double elapsed_seconds = 0;
+
+  bool ok() const { return code == StatusCode::kOk; }
+
+  /// "code: message (iterations=…, residual=…)" for logs and CLIs.
+  std::string describe() const;
+
+  static Status make_ok(std::size_t iterations = 0, double residual = 0,
+                        double elapsed_seconds = 0) {
+    return Status{StatusCode::kOk, {}, iterations, residual, elapsed_seconds};
+  }
+  static Status make(StatusCode code, std::string message,
+                     std::size_t iterations = 0, double residual = 0,
+                     double elapsed_seconds = 0) {
+    return Status{code, std::move(message), iterations, residual,
+                  elapsed_seconds};
+  }
+};
+
+inline std::string Status::describe() const {
+  std::string out = to_string(code);
+  if (!message.empty()) {
+    out += ": ";
+    out += message;
+  }
+  out += " (iterations=" + std::to_string(iterations) +
+         ", residual=" + std::to_string(residual) +
+         ", elapsed=" + std::to_string(elapsed_seconds) + "s)";
+  return out;
+}
+
+/// A solve outcome: the best result computed plus the status describing how
+/// it was obtained. Non-kOk results are still meaningful for the iterative
+/// solvers — they carry certified best-so-far bounds — so `result` is always
+/// populated unless the status is kInvalidInput/kInfeasible.
+template <typename T>
+struct Solved {
+  T result{};
+  Status status;
+
+  bool ok() const { return status.ok(); }
+  explicit operator bool() const { return ok(); }
+
+  /// The result when kOk; throws ContractViolation otherwise (legacy throwing
+  /// entry points funnel through this).
+  T& value_or_throw() & {
+    if (!ok()) throw ContractViolation(status.describe());
+    return result;
+  }
+  const T& value_or_throw() const& {
+    if (!ok()) throw ContractViolation(status.describe());
+    return result;
+  }
+  T&& value_or_throw() && {
+    if (!ok()) throw ContractViolation(status.describe());
+    return std::move(result);
+  }
+};
+
+}  // namespace defender

@@ -40,6 +40,23 @@ lp::MatrixGameSolution solve_zero_sum(const TupleGame& game,
   return lp::solve_matrix_game(coverage_matrix(game, max_tuples));
 }
 
+Solved<lp::MatrixGameSolution> solve_zero_sum_budgeted(
+    const TupleGame& game, const SolveBudget& budget,
+    std::uint64_t max_tuples) {
+  if (game.num_tuples() > max_tuples) {
+    Solved<lp::MatrixGameSolution> out;
+    out.status = Status::make(
+        StatusCode::kInvalidInput,
+        "E^k holds " + std::to_string(game.num_tuples()) +
+            " tuples, above the enumeration cap of " +
+            std::to_string(max_tuples) +
+            "; use the double-oracle solver for this instance");
+    return out;
+  }
+  return lp::solve_matrix_game_budgeted(coverage_matrix(game, max_tuples),
+                                        budget);
+}
+
 MixedConfiguration to_configuration(const TupleGame& game,
                                     const lp::MatrixGameSolution& solution,
                                     double prob_floor) {

@@ -13,8 +13,10 @@
 
 #include <cstdint>
 
+#include "core/budget.hpp"
 #include "core/configuration.hpp"
 #include "core/game.hpp"
+#include "core/status.hpp"
 #include "lp/dense_matrix.hpp"
 #include "lp/matrix_game.hpp"
 
@@ -34,6 +36,19 @@ Tuple tuple_at_rank(const TupleGame& game, std::uint64_t rank);
 /// `col_strategy` an optimal attacker mix over vertices.
 lp::MatrixGameSolution solve_zero_sum(const TupleGame& game,
                                       std::uint64_t max_tuples = 20'000);
+
+/// Budget-bounded zero-sum solve with graceful degradation; never throws.
+/// Status codes:
+///   kOk                exact equilibrium (lower == upper == value);
+///   kIterationLimit /  the simplex pivot budget (budget.max_iterations)
+///   kDeadlineExceeded  or wall-clock deadline ran out; the returned
+///                      strategies are valid mixes whose security levels
+///                      bracket the true value ([lower_bound, upper_bound]);
+///   kInvalidInput      E^k exceeds max_tuples (too large to enumerate);
+///   kNumericallyUnstable  the LP failed its residual verification.
+Solved<lp::MatrixGameSolution> solve_zero_sum_budgeted(
+    const TupleGame& game, const SolveBudget& budget,
+    std::uint64_t max_tuples = 20'000);
 
 /// Converts a zero-sum solution into a symmetric mixed configuration of the
 /// full ν-attacker game (drops strategies below `prob_floor` and

@@ -3,15 +3,29 @@
 // The edge-list format is one line "n m" followed by m lines "u v"; it is
 // what the examples read and write so users can feed their own topologies to
 // the equilibrium algorithms.
+//
+// Parsing is hardened against untrusted input: counts are parsed through a
+// signed range-checked path (so "-1" is rejected instead of wrapping to
+// 2^32-1), the "n m" header cannot trigger outsized pre-allocations (caps
+// below), and every error carries the 1-based line number of the offending
+// token. try_parse_edge_list reports failures as a structured
+// defender::Status (kInvalidInput) instead of throwing.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 
+#include "core/status.hpp"
 #include "graph/graph.hpp"
 #include "graph/properties.hpp"
 
 namespace defender::graph {
+
+/// Hard caps on the "n m" header, bounding what a hostile input can make
+/// the parser pre-allocate (~32 bytes/vertex, ~40 bytes/edge of CSR state).
+inline constexpr std::size_t kMaxParseVertices = 10'000'000;
+inline constexpr std::size_t kMaxParseEdges = 50'000'000;
 
 /// Options for DOT export: vertex/edge subsets to highlight (e.g. the
 /// supports of an equilibrium).
@@ -29,6 +43,16 @@ std::string to_dot(const Graph& g, const DotOptions& options = {});
 
 /// Serializes `g` in the edge-list format ("n m" then one "u v" per line).
 std::string to_edge_list(const Graph& g);
+
+/// Parses the edge-list format without throwing on malformed input: the
+/// status is kInvalidInput (message prefixed "line N:") on negative /
+/// overflowing / non-numeric tokens, counts above the caps, m >
+/// n(n-1)/2, out-of-range endpoints, self-loops, truncation, or trailing
+/// garbage. Whitespace layout is free-form, as in the throwing parser.
+Solved<Graph> try_parse_edge_list(std::istream& in);
+
+/// String variant of try_parse_edge_list.
+Solved<Graph> try_parse_edge_list(const std::string& text);
 
 /// Parses the edge-list format; throws ContractViolation on malformed input.
 Graph parse_edge_list(std::istream& in);

@@ -3,14 +3,65 @@
 #include <algorithm>
 #include <limits>
 
-#include "lp/simplex.hpp"
 #include "util/assert.hpp"
 
 namespace defender::lp {
 
-MatrixGameSolution solve_matrix_game(const Matrix& payoff) {
+namespace {
+
+/// Clamps negatives to zero and normalizes; falls back to uniform when the
+/// mass is degenerate (an interrupted LP can leave an all-zero vector).
+/// Always yields a valid mixed strategy, so its security level is a sound
+/// bound on the game value.
+std::vector<double> clean_strategy(std::vector<double> v) {
+  double sum = 0;
+  for (double& p : v) {
+    if (!(p > 0)) p = 0;  // also scrubs NaNs
+    sum += p;
+  }
+  if (sum <= 0) {
+    const double u = 1.0 / static_cast<double>(v.size());
+    for (double& p : v) p = u;
+    return v;
+  }
+  for (double& p : v) p /= sum;
+  return v;
+}
+
+/// Extracts strategies from an LP solution (exact or partial) and certifies
+/// them by security levels.
+MatrixGameSolution assemble(const Matrix& payoff, const LpSolution& lp,
+                            double shift) {
   const std::size_t rows = payoff.rows();
   const std::size_t cols = payoff.cols();
+  MatrixGameSolution s;
+  const double objective = lp.objective;
+  const double shifted_value = objective > 0 ? 1.0 / objective : 0.0;
+  s.col_strategy.assign(cols, 0.0);
+  for (std::size_t j = 0; j < cols && j < lp.x.size(); ++j)
+    s.col_strategy[j] = lp.x[j] * shifted_value;
+  s.row_strategy.assign(rows, 0.0);
+  for (std::size_t i = 0; i < rows && i < lp.duals.size(); ++i)
+    s.row_strategy[i] = lp.duals[i] * shifted_value;
+  s.row_strategy = clean_strategy(std::move(s.row_strategy));
+  s.col_strategy = clean_strategy(std::move(s.col_strategy));
+  s.lower_bound = row_security_level(payoff, s.row_strategy);
+  s.upper_bound = col_security_level(payoff, s.col_strategy);
+  s.value = shifted_value - shift;
+  // An interrupted tableau can put the nominal value outside its own
+  // certified bracket; clamp so callers can always trust value ∈ [lo, hi].
+  if (s.value < s.lower_bound || s.value > s.upper_bound || objective <= 0)
+    s.value = 0.5 * (s.lower_bound + s.upper_bound);
+  return s;
+}
+
+}  // namespace
+
+Solved<MatrixGameSolution> solve_matrix_game_budgeted(
+    const Matrix& payoff, const SolveBudget& budget) {
+  const std::size_t rows = payoff.rows();
+  const std::size_t cols = payoff.cols();
+  BudgetMeter meter(budget);
 
   // Shift so that every entry is >= 1 (keeps the game value positive and
   // the LP bounded with a clean reciprocal relation).
@@ -23,34 +74,53 @@ MatrixGameSolution solve_matrix_game(const Matrix& payoff) {
   // Column player's LP: max 1^T w s.t. A w <= 1, w >= 0.
   std::vector<double> b(rows, 1.0);
   std::vector<double> c(cols, 1.0);
-  LpSolution lp = solve_max(a, b, c);
-  DEF_ENSURE(lp.status == LpStatus::kOptimal,
-             "a shifted matrix game LP is always feasible and bounded");
-  DEF_ENSURE(lp.objective > 0, "shifted game value must be positive");
+  SimplexOptions options;
+  options.max_pivots = budget.max_iterations;
+  options.deadline_seconds = budget.wall_clock_seconds;
+  LpSolution lp = solve_max(a, b, c, options);
 
-  const double shifted_value = 1.0 / lp.objective;
-  MatrixGameSolution s;
-  s.value = shifted_value - shift;
-  s.col_strategy.resize(cols);
-  for (std::size_t j = 0; j < cols; ++j)
-    s.col_strategy[j] = lp.x[j] * shifted_value;
-  s.row_strategy.resize(rows);
-  for (std::size_t i = 0; i < rows; ++i)
-    s.row_strategy[i] = lp.duals[i] * shifted_value;
+  Solved<MatrixGameSolution> out;
+  out.result = assemble(payoff, lp, shift);
+  const double gap = out.result.upper_bound - out.result.lower_bound;
+  switch (lp.status) {
+    case LpStatus::kOptimal:
+      out.status = Status::make_ok(lp.pivots, gap, meter.elapsed_seconds());
+      break;
+    case LpStatus::kIterationLimit:
+      out.status = Status::make(
+          meter.deadline_exceeded() ? StatusCode::kDeadlineExceeded
+                                    : StatusCode::kIterationLimit,
+          "simplex pivot budget exhausted; returning security-level bounds",
+          lp.pivots, gap, meter.elapsed_seconds());
+      break;
+    case LpStatus::kNumericallyUnstable:
+      out.status = Status::make(
+          StatusCode::kNumericallyUnstable,
+          "simplex verification failed after tightened re-solve "
+          "(primal residual " +
+              std::to_string(lp.max_primal_residual) + ", duality gap " +
+              std::to_string(lp.duality_gap) + ")",
+          lp.pivots, gap, meter.elapsed_seconds());
+      break;
+    case LpStatus::kInfeasible:
+    case LpStatus::kUnbounded:
+      // A shifted matrix game LP is always feasible and bounded; reaching
+      // here means the tableau degenerated beyond repair.
+      out.status = Status::make(
+          StatusCode::kNumericallyUnstable,
+          std::string("shifted matrix-game LP reported ") +
+              to_string(lp.status) +
+              "; returning uniform-strategy security bounds",
+          lp.pivots, gap, meter.elapsed_seconds());
+      break;
+  }
+  return out;
+}
 
-  // Guard against tiny negative drift and renormalize exactly.
-  auto cleanup = [](std::vector<double>& v) {
-    double sum = 0;
-    for (double& p : v) {
-      if (p < 0) p = 0;
-      sum += p;
-    }
-    DEF_ENSURE(sum > 0, "optimal mixed strategy must have positive mass");
-    for (double& p : v) p /= sum;
-  };
-  cleanup(s.row_strategy);
-  cleanup(s.col_strategy);
-  return s;
+MatrixGameSolution solve_matrix_game(const Matrix& payoff) {
+  Solved<MatrixGameSolution> solved =
+      solve_matrix_game_budgeted(payoff, SolveBudget::unlimited_budget());
+  return std::move(solved).value_or_throw();
 }
 
 double row_security_level(const Matrix& payoff,

@@ -10,27 +10,57 @@
 //   max 1^T w  s.t.  A w <= 1, w >= 0        (column player's program)
 // whose value V satisfies game value = 1/V - shift; the row player's
 // optimal mixed strategy falls out of the dual prices.
+//
+// Budgeted route: solve_matrix_game_budgeted never throws on budget
+// exhaustion or numerical trouble. Whatever (possibly partial) strategies
+// the LP produced are cleaned into valid mixed strategies and certified by
+// their security levels — any mixed strategy yields a sound bound on the
+// game value — so even a truncated solve returns a bracketed value with a
+// non-kOk status instead of an exception.
 #pragma once
 
 #include <vector>
 
+#include "core/budget.hpp"
+#include "core/status.hpp"
 #include "lp/dense_matrix.hpp"
+#include "lp/simplex.hpp"
 
 namespace defender::lp {
 
 /// Solution of a zero-sum matrix game where the row player maximizes the
 /// expected entry of `payoff` and the column player minimizes it.
 struct MatrixGameSolution {
-  /// The (unique) value of the game.
+  /// The (unique) value of the game on an exact solve; on a budgeted solve
+  /// that ran out, the midpoint of [lower_bound, upper_bound].
   double value = 0;
   /// Optimal mixed strategy of the row player (maximizer), sums to 1.
   std::vector<double> row_strategy;
   /// Optimal mixed strategy of the column player (minimizer), sums to 1.
   std::vector<double> col_strategy;
+  /// Certified bracket on the game value: `lower_bound` is the row
+  /// strategy's security level, `upper_bound` the column strategy's. Equal
+  /// to `value` (within tolerance) on an exact solve.
+  double lower_bound = 0;
+  double upper_bound = 0;
 };
 
-/// Solves the game exactly with the simplex substrate.
+/// Solves the game exactly with the simplex substrate; throws
+/// ContractViolation when the LP fails its numerical verification even
+/// after the automatic tightened re-solve (legacy behaviour — a silently
+/// wrong value is never returned).
 MatrixGameSolution solve_matrix_game(const Matrix& payoff);
+
+/// Budget-bounded solve with graceful degradation. Status codes:
+///   kOk                   exact equilibrium, lower == upper == value;
+///   kIterationLimit /     the pivot or wall-clock budget ran out; the
+///   kDeadlineExceeded     returned strategies are valid mixes whose
+///                         security levels bracket the true value;
+///   kNumericallyUnstable  verification failed after the re-solve; the
+///                         security-level bracket is still certified.
+/// Never throws for any of the above.
+Solved<MatrixGameSolution> solve_matrix_game_budgeted(
+    const Matrix& payoff, const SolveBudget& budget);
 
 /// Best-response value check: the payoff the row player earns by playing
 /// `row_strategy` against the column player's best pure counter-strategy.

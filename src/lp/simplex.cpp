@@ -1,24 +1,32 @@
 #include "lp/simplex.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
 #include "util/assert.hpp"
+#include "util/stopwatch.hpp"
 
 namespace defender::lp {
 
 namespace {
 
-constexpr double kEps = 1e-9;
+/// How the pivot loop ended.
+enum class IterateOutcome { kDone, kUnbounded, kBudget };
 
 /// Dense tableau: `rows_` constraint rows plus one objective row, columns =
 /// structural + slack + artificial + rhs. Implements textbook pivoting with
-/// Bland's rule.
+/// Dantzig pricing and a Bland's-rule fallback.
 class Tableau {
  public:
+  /// `eps` is the reduced-cost/zero tolerance; `ratio_eps` the pivot-element
+  /// acceptance threshold of the ratio test (raised on the stabilizing
+  /// re-solve so tiny, round-off-amplifying pivots are rejected).
   Tableau(const Matrix& a, std::span<const double> b,
-          std::span<const double> c)
-      : m_(a.rows()), n_(a.cols()) {
+          std::span<const double> c, double eps, double ratio_eps,
+          std::size_t max_pivots, double deadline_seconds)
+      : m_(a.rows()), n_(a.cols()), eps_(eps), ratio_eps_(ratio_eps),
+        max_pivots_(max_pivots), deadline_seconds_(deadline_seconds) {
     // Column layout: [0, n) structural, [n, n+m) slack,
     // [n+m, n+m+num_art) artificial, last column rhs.
     num_art_ = 0;
@@ -46,10 +54,11 @@ class Tableau {
     c_.assign(c.begin(), c.end());
   }
 
-  /// Phase 1: drive the artificial variables to zero. Returns false when
-  /// the program is infeasible.
-  bool phase1() {
-    if (num_art_ == 0) return true;
+  /// Phase 1: drive the artificial variables to zero.
+  /// kDone with `infeasible() == true` means the program has no solution.
+  IterateOutcome phase1() {
+    infeasible_ = false;
+    if (num_art_ == 0) return IterateOutcome::kDone;
     // Objective: maximize -sum(artificials). Price out the artificial basis.
     auto& obj = t_[m_];
     std::fill(obj.begin(), obj.end(), 0.0);
@@ -57,14 +66,24 @@ class Tableau {
       obj[j] = 1.0;  // row stores z - c; c = -1 on artificials
     for (std::size_t i = 0; i < m_; ++i)
       if (basis_[i] >= art_start_) add_row_to_obj(i, -1.0);
-    if (!iterate(/*allow_artificial=*/true)) return false;  // unbounded: impossible in phase 1
-    if (t_[m_][rhs_col_] < -kEps) return false;  // artificials stuck positive
+    const IterateOutcome out = iterate(/*allow_artificial=*/true);
+    if (out == IterateOutcome::kUnbounded) {
+      // Impossible in phase 1 (objective bounded by 0); mirror the legacy
+      // behaviour of reporting infeasibility.
+      infeasible_ = true;
+      return IterateOutcome::kDone;
+    }
+    if (out == IterateOutcome::kBudget) return out;
+    if (t_[m_][rhs_col_] < -eps_) {  // artificials stuck positive
+      infeasible_ = true;
+      return IterateOutcome::kDone;
+    }
     pivot_out_artificials();
-    return true;
+    return IterateOutcome::kDone;
   }
 
-  /// Phase 2 on the real objective. Returns false when unbounded.
-  bool phase2() {
+  /// Phase 2 on the real objective.
+  IterateOutcome phase2() {
     auto& obj = t_[m_];
     std::fill(obj.begin(), obj.end(), 0.0);
     for (std::size_t j = 0; j < n_; ++j) obj[j] = -c_[j];
@@ -75,6 +94,9 @@ class Tableau {
     }
     return iterate(/*allow_artificial=*/false);
   }
+
+  bool infeasible() const { return infeasible_; }
+  std::size_t pivots() const { return pivots_; }
 
   LpSolution extract() const {
     LpSolution s;
@@ -88,12 +110,22 @@ class Tableau {
     // Dual price of constraint i = reduced cost of its slack column.
     s.duals.assign(m_, 0.0);
     for (std::size_t i = 0; i < m_; ++i) s.duals[i] = t_[m_][n_ + i];
+    s.pivots = pivots_;
     return s;
   }
 
  private:
   bool dropped(std::size_t row) const {
     return basis_[row] == std::numeric_limits<std::size_t>::max();
+  }
+
+  bool budget_exhausted() const {
+    if (max_pivots_ != 0 && pivots_ >= max_pivots_) return true;
+    // Poll the clock sparsely; pivots dominate the cost anyway.
+    if (deadline_seconds_ > 0 && pivots_ % 16 == 0 &&
+        watch_.seconds() >= deadline_seconds_)
+      return true;
+    return false;
   }
 
   /// obj += factor * row  (prices a basic variable out of the z-row).
@@ -107,16 +139,17 @@ class Tableau {
     for (std::size_t i = 0; i <= m_; ++i) {
       if (i == row) continue;
       const double f = t_[i][col];
-      if (std::abs(f) < kEps) continue;
+      if (std::abs(f) < eps_) continue;
       for (std::size_t j = 0; j < cols_; ++j) t_[i][j] -= f * t_[row][j];
     }
     basis_[row] = col;
+    ++pivots_;
   }
 
   /// Main loop: Dantzig pricing (most negative reduced cost) for speed,
   /// falling back to Bland's rule after a run of degenerate pivots so the
-  /// anti-cycling guarantee is preserved. Returns false on unboundedness.
-  bool iterate(bool allow_artificial) {
+  /// anti-cycling guarantee is preserved.
+  IterateOutcome iterate(bool allow_artificial) {
     const std::size_t limit =
         allow_artificial ? art_start_ + num_art_ : art_start_;
     // Consecutive pivots without objective progress before switching to
@@ -125,17 +158,18 @@ class Tableau {
     std::size_t degenerate_run = 0;
     double last_objective = t_[m_][rhs_col_];
     while (true) {
+      if (budget_exhausted()) return IterateOutcome::kBudget;
       const bool use_bland = degenerate_run >= kDegenerateLimit;
       std::size_t enter = cols_;
       if (use_bland) {
         for (std::size_t j = 0; j < limit; ++j) {
-          if (t_[m_][j] < -kEps) {
+          if (t_[m_][j] < -eps_) {
             enter = j;
             break;
           }
         }
       } else {
-        double most_negative = -kEps;
+        double most_negative = -eps_;
         for (std::size_t j = 0; j < limit; ++j) {
           if (t_[m_][j] < most_negative) {
             most_negative = t_[m_][j];
@@ -143,7 +177,7 @@ class Tableau {
           }
         }
       }
-      if (enter == cols_) return true;  // optimal
+      if (enter == cols_) return IterateOutcome::kDone;  // optimal
       // Leaving row: minimum ratio. Tie-break depends on the mode: Bland
       // needs the smallest basis index for its anti-cycling guarantee;
       // Dantzig mode picks the largest pivot element among near-minimal
@@ -152,12 +186,12 @@ class Tableau {
       std::size_t leave = m_;
       double best_ratio = std::numeric_limits<double>::infinity();
       for (std::size_t i = 0; i < m_; ++i) {
-        if (dropped(i) || t_[i][enter] <= kEps) continue;
+        if (dropped(i) || t_[i][enter] <= ratio_eps_) continue;
         const double ratio = t_[i][rhs_col_] / t_[i][enter];
-        if (ratio < best_ratio - kEps) {
+        if (ratio < best_ratio - eps_) {
           best_ratio = ratio;
           leave = i;
-        } else if (ratio < best_ratio + kEps && leave != m_) {
+        } else if (ratio < best_ratio + eps_ && leave != m_) {
           const bool prefer =
               use_bland ? basis_[i] < basis_[leave]
                         : t_[i][enter] > t_[leave][enter];
@@ -167,10 +201,10 @@ class Tableau {
           }
         }
       }
-      if (leave == m_) return false;  // unbounded direction
+      if (leave == m_) return IterateOutcome::kUnbounded;
       pivot(leave, enter);
       const double objective = t_[m_][rhs_col_];
-      if (objective > last_objective + kEps) {
+      if (objective > last_objective + eps_) {
         degenerate_run = 0;
         last_objective = objective;
       } else {
@@ -186,7 +220,7 @@ class Tableau {
       if (dropped(i) || basis_[i] < art_start_) continue;
       std::size_t col = cols_;
       for (std::size_t j = 0; j < art_start_; ++j) {
-        if (std::abs(t_[i][j]) > kEps) {
+        if (std::abs(t_[i][j]) > eps_) {
           col = j;
           break;
         }
@@ -205,10 +239,51 @@ class Tableau {
   std::size_t cols_;      // total tableau columns (incl. rhs)
   std::size_t rhs_col_;
   std::size_t art_start_;
+  double eps_;
+  double ratio_eps_;
+  std::size_t max_pivots_;
+  double deadline_seconds_;
+  util::Stopwatch watch_;
+  std::size_t pivots_ = 0;
+  bool infeasible_ = false;
   std::vector<std::vector<double>> t_;  // m_+1 rows; last is the z-row
   std::vector<std::size_t> basis_;
   std::vector<double> c_;
 };
+
+/// One full two-phase run. `ratio_eps` independent so the stabilizing retry
+/// can reject tinier pivots without loosening the optimality test.
+LpSolution run_simplex(const Matrix& a, std::span<const double> b,
+                       std::span<const double> c,
+                       const SimplexOptions& options, double ratio_eps) {
+  Tableau tab(a, b, c, options.pivot_tolerance, ratio_eps,
+              options.max_pivots, options.deadline_seconds);
+  const IterateOutcome p1 = tab.phase1();
+  if (p1 == IterateOutcome::kBudget) {
+    LpSolution s = tab.extract();
+    s.status = LpStatus::kIterationLimit;
+    return s;
+  }
+  if (tab.infeasible()) {
+    LpSolution s;
+    s.status = LpStatus::kInfeasible;
+    s.pivots = tab.pivots();
+    return s;
+  }
+  const IterateOutcome p2 = tab.phase2();
+  if (p2 == IterateOutcome::kBudget) {
+    LpSolution s = tab.extract();
+    s.status = LpStatus::kIterationLimit;
+    return s;
+  }
+  if (p2 == IterateOutcome::kUnbounded) {
+    LpSolution s;
+    s.status = LpStatus::kUnbounded;
+    s.pivots = tab.pivots();
+    return s;
+  }
+  return tab.extract();
+}
 
 }  // namespace
 
@@ -220,25 +295,81 @@ const char* to_string(LpStatus status) {
       return "infeasible";
     case LpStatus::kUnbounded:
       return "unbounded";
+    case LpStatus::kIterationLimit:
+      return "iteration-limit";
+    case LpStatus::kNumericallyUnstable:
+      return "numerically-unstable";
   }
   return "unknown";
 }
 
+LpResiduals lp_residuals(const Matrix& a, std::span<const double> b,
+                         std::span<const double> c,
+                         std::span<const double> x,
+                         std::span<const double> duals) {
+  DEF_REQUIRE(x.size() == a.cols() && duals.size() == a.rows(),
+              "residual check needs one x per column and one dual per row");
+  LpResiduals r;
+  for (double xi : x) r.max_primal_residual = std::max(r.max_primal_residual, -xi);
+  double primal_obj = 0;
+  for (std::size_t j = 0; j < a.cols(); ++j) primal_obj += c[j] * x[j];
+  double dual_obj = 0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double row = 0;
+    for (std::size_t j = 0; j < a.cols(); ++j) row += a.at(i, j) * x[j];
+    r.max_primal_residual = std::max(r.max_primal_residual, row - b[i]);
+    dual_obj += b[i] * duals[i];
+  }
+  r.duality_gap = std::abs(primal_obj - dual_obj);
+  return r;
+}
+
 LpSolution solve_max(const Matrix& a, std::span<const double> b,
-                     std::span<const double> c) {
+                     std::span<const double> c,
+                     const SimplexOptions& options) {
   DEF_REQUIRE(a.rows() == b.size(), "rhs size must match the row count");
   DEF_REQUIRE(a.cols() == c.size(), "objective size must match the column count");
-  Tableau tab(a, b, c);
-  LpSolution s;
-  if (!tab.phase1()) {
-    s.status = LpStatus::kInfeasible;
+
+  LpSolution s = run_simplex(a, b, c, options, options.pivot_tolerance);
+  if (!options.verify || s.status != LpStatus::kOptimal) return s;
+
+  // Scale-aware acceptance: residuals grow with the data magnitude.
+  double scale = 1.0;
+  for (double bi : b) scale = std::max(scale, std::abs(bi));
+  scale = std::max(scale, std::abs(s.objective));
+  const double accept = options.residual_tolerance * scale;
+
+  LpResiduals res = lp_residuals(a, b, c, s.x, s.duals);
+  s.max_primal_residual = res.max_primal_residual;
+  s.duality_gap = res.duality_gap;
+  if (res.max_primal_residual <= accept && res.duality_gap <= accept)
     return s;
+
+  // One automatic re-solve rejecting pivots two orders of magnitude larger
+  // than before; small pivot elements are the canonical way a dense tableau
+  // drifts.
+  LpSolution retry =
+      run_simplex(a, b, c, options, options.pivot_tolerance * 100.0);
+  retry.pivots += s.pivots;
+  retry.resolved_after_instability = true;
+  if (retry.status == LpStatus::kOptimal) {
+    const LpResiduals res2 = lp_residuals(a, b, c, retry.x, retry.duals);
+    retry.max_primal_residual = res2.max_primal_residual;
+    retry.duality_gap = res2.duality_gap;
+    if (res2.max_primal_residual <= accept && res2.duality_gap <= accept)
+      return retry;
+    // Keep whichever attempt certified the smaller residual; flag it.
+    if (std::max(res2.max_primal_residual, res2.duality_gap) <
+        std::max(res.max_primal_residual, res.duality_gap))
+      s = retry;
   }
-  if (!tab.phase2()) {
-    s.status = LpStatus::kUnbounded;
-    return s;
-  }
-  return tab.extract();
+  s.status = LpStatus::kNumericallyUnstable;
+  return s;
+}
+
+LpSolution solve_max(const Matrix& a, std::span<const double> b,
+                     std::span<const double> c) {
+  return solve_max(a, b, c, SimplexOptions{});
 }
 
 }  // namespace defender::lp

@@ -6,11 +6,21 @@
 // the primal solution and the dual prices, which the matrix-game solver
 // uses to recover the opposing player's optimal mixed strategy.
 //
+// Hardened entry point: solve_max verifies its own answer after the pivot
+// loop finishes — primal feasibility (Ax <= b + eps) and the primal/dual
+// objective gap — and on failure re-solves ONCE with a tightened pivot
+// acceptance tolerance (tiny pivot elements are the usual source of a
+// drifted tableau). A solve that still fails verification is surfaced as
+// LpStatus::kNumericallyUnstable instead of a silently wrong value, and a
+// pivot/deadline budget that runs out is surfaced as kIterationLimit with
+// the best tableau reached.
+//
 // This is the library's exact baseline: equilibrium hit probabilities
 // produced by the combinatorial constructions (Lemma 4.1) are cross-checked
 // against LP-computed game values in experiment E8.
 #pragma once
 
+#include <cstddef>
 #include <span>
 #include <vector>
 
@@ -19,10 +29,36 @@
 namespace defender::lp {
 
 /// Outcome of an LP solve.
-enum class LpStatus { kOptimal, kInfeasible, kUnbounded };
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  /// The pivot budget or deadline ran out before optimality; `x`/`duals`
+  /// hold the (possibly infeasible) tableau state reached.
+  kIterationLimit,
+  /// Post-solve verification failed even after the tightened re-solve; the
+  /// returned point is the best of the two attempts but its residuals
+  /// (see LpSolution::max_primal_residual / duality_gap) exceed tolerance.
+  kNumericallyUnstable,
+};
 
 /// Human-readable name of an LpStatus.
 const char* to_string(LpStatus status);
+
+/// Effort and tolerance knobs for one solve_max call.
+struct SimplexOptions {
+  /// Total pivot cap across both phases. 0 = unlimited.
+  std::size_t max_pivots = 0;
+  /// Wall-clock deadline in seconds for the pivot loop. 0 = none.
+  double deadline_seconds = 0;
+  /// Pivot acceptance / reduced-cost tolerance (the classic epsilon).
+  double pivot_tolerance = 1e-9;
+  /// Post-solve verification tolerance, scaled by the data magnitude.
+  double residual_tolerance = 1e-7;
+  /// Run the post-solve residual/duality verification (and the one
+  /// automatic tightened re-solve on failure).
+  bool verify = true;
+};
 
 /// Solution of `maximize c^T x s.t. Ax <= b, x >= 0`.
 struct LpSolution {
@@ -33,11 +69,38 @@ struct LpSolution {
   std::vector<double> x;
   /// Dual prices, one per constraint row (y >= 0 for <= rows).
   std::vector<double> duals;
+  /// Pivots spent (both phases, including the verification re-solve).
+  std::size_t pivots = 0;
+  /// Post-solve certificate: max over rows of (Ax - b)_+ and negative-x
+  /// overshoot. 0 when verification was skipped.
+  double max_primal_residual = 0;
+  /// Post-solve certificate: |c^T x - b^T y|. 0 when skipped.
+  double duality_gap = 0;
+  /// True when the accepted answer came from the tightened re-solve.
+  bool resolved_after_instability = false;
 };
 
-/// Solves maximize c^T x s.t. Ax <= b, x >= 0.
+/// Solves maximize c^T x s.t. Ax <= b, x >= 0 with default options
+/// (unlimited pivots, verification on).
 /// Requires A.rows() == b.size() and A.cols() == c.size().
 LpSolution solve_max(const Matrix& a, std::span<const double> b,
                      std::span<const double> c);
+
+/// Fully-parameterized solve.
+LpSolution solve_max(const Matrix& a, std::span<const double> b,
+                     std::span<const double> c,
+                     const SimplexOptions& options);
+
+/// The verification certificate solve_max computes: max primal residual of
+/// `x` (constraint violation and negativity overshoot) and the primal/dual
+/// objective gap against `duals`. Exposed for tests and the stress harness.
+struct LpResiduals {
+  double max_primal_residual = 0;
+  double duality_gap = 0;
+};
+LpResiduals lp_residuals(const Matrix& a, std::span<const double> b,
+                         std::span<const double> c,
+                         std::span<const double> x,
+                         std::span<const double> duals);
 
 }  // namespace defender::lp

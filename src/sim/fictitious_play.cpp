@@ -8,15 +8,41 @@
 
 namespace defender::sim {
 
-FictitiousPlayResult weighted_fictitious_play(
+namespace {
+
+/// Shared run loop for the plain and weighted dynamics. The two variants
+/// differ only in the defender's oracle objective, the attacker's
+/// best-response rule, and the bound formulas, injected as lambdas below.
+void require_bounded(const SolveBudget& budget, double target_gap) {
+  DEF_REQUIRE(budget.max_iterations > 0 || budget.wall_clock_seconds > 0 ||
+                  target_gap > 0,
+              "fictitious play needs a round cap, a deadline, or a positive "
+              "target gap to terminate");
+}
+
+Status finish_status(StatusCode code, std::size_t rounds, double gap,
+                     double elapsed) {
+  if (code == StatusCode::kOk) return Status::make_ok(rounds, gap, elapsed);
+  const char* what = code == StatusCode::kDeadlineExceeded
+                         ? "fictitious play wall-clock deadline expired; "
+                           "returning best-so-far certified bounds"
+                         : "fictitious play round budget exhausted before "
+                           "the target gap; returning best-so-far bounds";
+  return Status::make(code, what, rounds, gap, elapsed);
+}
+
+}  // namespace
+
+Solved<FictitiousPlayResult> weighted_fictitious_play_budgeted(
     const core::TupleGame& game, std::span<const double> weights,
-    std::size_t rounds) {
-  DEF_REQUIRE(rounds >= 1, "fictitious play needs at least one round");
+    const SolveBudget& budget, double target_gap) {
+  require_bounded(budget, target_gap);
   const graph::Graph& g = game.graph();
   const std::size_t n = g.num_vertices();
   DEF_REQUIRE(weights.size() == n, "one damage weight per vertex");
   for (double w : weights)
     DEF_REQUIRE(w > 0, "damage weights must be strictly positive");
+  BudgetMeter meter(budget);
 
   std::vector<double> attacker_count(n, 0.0);
   std::vector<double> defender_cover_count(n, 0.0);
@@ -27,12 +53,53 @@ FictitiousPlayResult weighted_fictitious_play(
   std::vector<double> objective(n, 0.0);
   FictitiousPlayResult result;
   std::size_t next_checkpoint = 1;
-  for (std::size_t round = 1; round <= rounds; ++round) {
+  std::size_t round = 0;
+  bool truncated_any = false;
+  StatusCode code = StatusCode::kOk;
+
+  // Certified damage bounds after `rounds` completed rounds.
+  const auto bounds_now = [&](std::size_t rounds_done) {
+    const double attacker_mass = 1.0 + static_cast<double>(rounds_done);
+    // Upper bound on the damage value: the attacker's best response
+    // against the defender's empirical mix.
+    double upper = 0;
+    for (std::size_t v = 0; v < n; ++v)
+      upper = std::max(
+          upper, weights[v] * (1.0 - defender_cover_count[v] /
+                                         static_cast<double>(rounds_done)));
+    // Lower bound: total weighted attacker mass minus what the defender's
+    // best response covers, normalized per attacker. Under oracle
+    // truncation only the completion bound certifies the coverage.
     for (std::size_t v = 0; v < n; ++v)
       objective[v] = weights[v] * attacker_count[v];
-    const core::BestTuple bt =
-        core::best_tuple_branch_and_bound(game, objective);
-    for (graph::Vertex v : core::tuple_vertices(g, bt.tuple))
+    double total = 0;
+    for (std::size_t v = 0; v < n; ++v) total += objective[v];
+    const core::BestTupleSearch s = core::best_tuple_branch_and_bound_budgeted(
+        game, objective, budget.oracle_node_budget);
+    truncated_any = truncated_any || s.truncated;
+    const double covered = s.truncated ? s.upper_bound : s.best.mass;
+    const double lower = (total - covered) / attacker_mass;
+    return FictitiousPlayTrace{rounds_done, upper, lower};
+  };
+
+  while (true) {
+    if (round > 0 && meter.out_of_iterations()) {
+      code = target_gap > 0 ? StatusCode::kIterationLimit : StatusCode::kOk;
+      break;
+    }
+    if (round > 0 && meter.deadline_exceeded()) {
+      code = StatusCode::kDeadlineExceeded;
+      break;
+    }
+    ++round;
+    meter.charge_iteration();
+
+    for (std::size_t v = 0; v < n; ++v)
+      objective[v] = weights[v] * attacker_count[v];
+    const core::BestTupleSearch br = core::best_tuple_branch_and_bound_budgeted(
+        game, objective, budget.oracle_node_budget);
+    truncated_any = truncated_any || br.truncated;
+    for (graph::Vertex v : core::tuple_vertices(g, br.best.tuple))
       defender_cover_count[v] += 1.0;
 
     // Attacker best response: maximize w(v) * (1 - cover frequency).
@@ -49,46 +116,59 @@ FictitiousPlayResult weighted_fictitious_play(
     }
     attacker_count[best_vertex] += 1.0;
 
-    if (round == next_checkpoint || round == rounds) {
-      const double attacker_mass = 1.0 + static_cast<double>(round);
-      // Upper bound on the damage value: the attacker's best response
-      // against the defender's empirical mix.
-      double upper = 0;
-      for (std::size_t v = 0; v < n; ++v)
-        upper = std::max(
-            upper, weights[v] * (1.0 - defender_cover_count[v] /
-                                           static_cast<double>(round)));
-      // Lower bound: total weighted attacker mass minus what the
-      // defender's best response covers, normalized per attacker.
-      for (std::size_t v = 0; v < n; ++v)
-        objective[v] = weights[v] * attacker_count[v];
-      double total = 0;
-      for (std::size_t v = 0; v < n; ++v) total += objective[v];
-      const double covered =
-          core::best_tuple_branch_and_bound(game, objective).mass;
-      const double lower = (total - covered) / attacker_mass;
-      result.trace.push_back(FictitiousPlayTrace{round, upper, lower});
+    const bool final_round =
+        budget.max_iterations != 0 && round == budget.max_iterations;
+    if (round == next_checkpoint || final_round) {
+      const FictitiousPlayTrace t = bounds_now(round);
+      result.trace.push_back(t);
       next_checkpoint = std::max(next_checkpoint + 1, next_checkpoint * 2);
+      if (target_gap > 0 && t.upper - t.lower <= target_gap) {
+        code = StatusCode::kOk;
+        break;
+      }
     }
   }
+
+  if (result.trace.empty() || result.trace.back().round != round)
+    result.trace.push_back(bounds_now(round));
 
   const FictitiousPlayTrace& last = result.trace.back();
   result.value_estimate = 0.5 * (last.upper + last.lower);
   result.gap = last.upper - last.lower;
+  result.rounds = round;
+  result.approximate = truncated_any || code != StatusCode::kOk;
   result.attacker_frequency = attacker_count;
-  const double attacker_mass = 1.0 + static_cast<double>(rounds);
+  const double attacker_mass = 1.0 + static_cast<double>(round);
   for (double& c : result.attacker_frequency) c /= attacker_mass;
   result.defender_hit_frequency = defender_cover_count;
   for (double& c : result.defender_hit_frequency)
-    c /= static_cast<double>(rounds);
-  return result;
+    c /= static_cast<double>(round);
+
+  Solved<FictitiousPlayResult> out;
+  out.status =
+      finish_status(code, round, result.gap, meter.elapsed_seconds());
+  out.result = std::move(result);
+  return out;
 }
 
-FictitiousPlayResult fictitious_play(const core::TupleGame& game,
-                                     std::size_t rounds) {
+FictitiousPlayResult weighted_fictitious_play(
+    const core::TupleGame& game, std::span<const double> weights,
+    std::size_t rounds) {
   DEF_REQUIRE(rounds >= 1, "fictitious play needs at least one round");
+  // Fixed-round legacy contract: spend exactly `rounds`, always kOk.
+  return weighted_fictitious_play_budgeted(
+             game, weights, SolveBudget::iterations(rounds),
+             /*target_gap=*/0)
+      .result;
+}
+
+Solved<FictitiousPlayResult> fictitious_play_budgeted(
+    const core::TupleGame& game, const SolveBudget& budget,
+    double target_gap) {
+  require_bounded(budget, target_gap);
   const graph::Graph& g = game.graph();
   const std::size_t n = g.num_vertices();
+  BudgetMeter meter(budget);
 
   // Histories: how often the attacker stood on v / the defender covered v.
   std::vector<double> attacker_count(n, 0.0);
@@ -96,15 +176,47 @@ FictitiousPlayResult fictitious_play(const core::TupleGame& game,
 
   // Seed round: attacker uniform over V, defender covers its best tuple
   // against that.
-  for (std::size_t v = 0; v < n; ++v) attacker_count[v] = 1.0 / static_cast<double>(n);
+  for (std::size_t v = 0; v < n; ++v)
+    attacker_count[v] = 1.0 / static_cast<double>(n);
 
   FictitiousPlayResult result;
   std::size_t next_checkpoint = 1;
-  for (std::size_t round = 1; round <= rounds; ++round) {
+  std::size_t round = 0;
+  bool truncated_any = false;
+  StatusCode code = StatusCode::kOk;
+
+  const auto bounds_now = [&](std::size_t rounds_done) {
+    // Bounds. Attacker history has mass (1 + rounds): uniform seed + picks.
+    const double attacker_mass = 1.0 + static_cast<double>(rounds_done);
+    const core::BestTupleSearch s = core::best_tuple_branch_and_bound_budgeted(
+        game, attacker_count, budget.oracle_node_budget);
+    truncated_any = truncated_any || s.truncated;
+    const double upper =
+        (s.truncated ? s.upper_bound : s.best.mass) / attacker_mass;
+    const double lower =
+        *std::min_element(defender_cover_count.begin(),
+                          defender_cover_count.end()) /
+        static_cast<double>(rounds_done);
+    return FictitiousPlayTrace{rounds_done, upper, lower};
+  };
+
+  while (true) {
+    if (round > 0 && meter.out_of_iterations()) {
+      code = target_gap > 0 ? StatusCode::kIterationLimit : StatusCode::kOk;
+      break;
+    }
+    if (round > 0 && meter.deadline_exceeded()) {
+      code = StatusCode::kDeadlineExceeded;
+      break;
+    }
+    ++round;
+    meter.charge_iteration();
+
     // Defender best-responds to the attacker's empirical distribution.
-    const core::BestTuple bt =
-        core::best_tuple_branch_and_bound(game, attacker_count);
-    for (graph::Vertex v : core::tuple_vertices(g, bt.tuple))
+    const core::BestTupleSearch br = core::best_tuple_branch_and_bound_budgeted(
+        game, attacker_count, budget.oracle_node_budget);
+    truncated_any = truncated_any || br.truncated;
+    for (graph::Vertex v : core::tuple_vertices(g, br.best.tuple))
       defender_cover_count[v] += 1.0;
 
     // Attacker best-responds to the defender's empirical coverage.
@@ -114,30 +226,47 @@ FictitiousPlayResult fictitious_play(const core::TupleGame& game,
         defender_cover_count.begin());
     attacker_count[best_vertex] += 1.0;
 
-    if (round == next_checkpoint || round == rounds) {
-      // Bounds. Attacker history has mass (1 + round): uniform seed + picks.
-      const double attacker_mass = 1.0 + static_cast<double>(round);
-      const double upper = core::best_tuple_branch_and_bound(game, attacker_count).mass /
-                           attacker_mass;
-      const double lower =
-          *std::min_element(defender_cover_count.begin(),
-                            defender_cover_count.end()) /
-          static_cast<double>(round);
-      result.trace.push_back(FictitiousPlayTrace{round, upper, lower});
+    const bool final_round =
+        budget.max_iterations != 0 && round == budget.max_iterations;
+    if (round == next_checkpoint || final_round) {
+      const FictitiousPlayTrace t = bounds_now(round);
+      result.trace.push_back(t);
       next_checkpoint = std::max(next_checkpoint + 1, next_checkpoint * 2);
+      if (target_gap > 0 && t.upper - t.lower <= target_gap) {
+        code = StatusCode::kOk;
+        break;
+      }
     }
   }
+
+  if (result.trace.empty() || result.trace.back().round != round)
+    result.trace.push_back(bounds_now(round));
 
   const FictitiousPlayTrace& last = result.trace.back();
   result.value_estimate = 0.5 * (last.upper + last.lower);
   result.gap = last.upper - last.lower;
+  result.rounds = round;
+  result.approximate = truncated_any || code != StatusCode::kOk;
   result.attacker_frequency = attacker_count;
-  const double attacker_mass = 1.0 + static_cast<double>(rounds);
+  const double attacker_mass = 1.0 + static_cast<double>(round);
   for (double& c : result.attacker_frequency) c /= attacker_mass;
   result.defender_hit_frequency = defender_cover_count;
   for (double& c : result.defender_hit_frequency)
-    c /= static_cast<double>(rounds);
-  return result;
+    c /= static_cast<double>(round);
+
+  Solved<FictitiousPlayResult> out;
+  out.status =
+      finish_status(code, round, result.gap, meter.elapsed_seconds());
+  out.result = std::move(result);
+  return out;
+}
+
+FictitiousPlayResult fictitious_play(const core::TupleGame& game,
+                                     std::size_t rounds) {
+  DEF_REQUIRE(rounds >= 1, "fictitious play needs at least one round");
+  return fictitious_play_budgeted(game, SolveBudget::iterations(rounds),
+                                  /*target_gap=*/0)
+      .result;
 }
 
 }  // namespace defender::sim

@@ -7,13 +7,21 @@
 // constructs combinatorially. Because the defender's best response is the
 // branch-and-bound tuple oracle, this runs on instances far beyond the LP's
 // enumerable E^k.
+//
+// Budgeted route: fictitious_play_budgeted runs until its upper/lower
+// bracket closes to `target_gap` or the SolveBudget (rounds, wall clock,
+// oracle nodes) runs out, whichever first. Budget exhaustion is graceful:
+// the result carries the best-so-far certified bounds with a
+// kIterationLimit / kDeadlineExceeded status — never an exception.
 #pragma once
 
 #include <span>
 #include <vector>
 
 #include "core/best_response.hpp"
+#include "core/budget.hpp"
 #include "core/game.hpp"
+#include "core/status.hpp"
 
 namespace defender::sim {
 
@@ -40,11 +48,27 @@ struct FictitiousPlayResult {
   std::vector<double> attacker_frequency;
   /// Per-vertex empirical coverage frequency of the defender's history.
   std::vector<double> defender_hit_frequency;
+  /// Rounds actually played (== the requested count unless a deadline or
+  /// the target gap stopped the run early).
+  std::size_t rounds = 0;
+  /// True when an oracle call was truncated by `oracle_node_budget`; the
+  /// reported bounds then rest on completion-bound certificates.
+  bool approximate = false;
 };
 
 /// Runs `rounds` of simultaneous fictitious play from uniform seeds.
 FictitiousPlayResult fictitious_play(const core::TupleGame& game,
                                      std::size_t rounds);
+
+/// Budget-bounded fictitious play. Plays rounds until the certified
+/// upper/lower gap is <= `target_gap` (kOk) or the budget runs out
+/// (kIterationLimit / kDeadlineExceeded with best-so-far bounds). With
+/// `target_gap` == 0 the run uses the full round budget and reports kOk on
+/// completion. At least one of {budget.max_iterations,
+/// budget.wall_clock_seconds, target_gap} must bound the run.
+Solved<FictitiousPlayResult> fictitious_play_budgeted(
+    const core::TupleGame& game, const SolveBudget& budget,
+    double target_gap = 1e-6);
 
 /// Damage-weighted fictitious play (see core/weighted.hpp): the attacker
 /// best-responds with argmax_v w(v)·(1 − cover frequency), the defender
@@ -55,5 +79,11 @@ FictitiousPlayResult fictitious_play(const core::TupleGame& game,
 FictitiousPlayResult weighted_fictitious_play(
     const core::TupleGame& game, std::span<const double> weights,
     std::size_t rounds);
+
+/// Budget-bounded weighted fictitious play; same contract as
+/// fictitious_play_budgeted with damage-value bounds.
+Solved<FictitiousPlayResult> weighted_fictitious_play_budgeted(
+    const core::TupleGame& game, std::span<const double> weights,
+    const SolveBudget& budget, double target_gap = 1e-6);
 
 }  // namespace defender::sim

@@ -9,13 +9,18 @@
 
 namespace defender::sim {
 
-HedgeResult hedge_dynamics(const core::TupleGame& game, std::size_t rounds) {
-  DEF_REQUIRE(rounds >= 1, "hedge needs at least one round");
+Solved<HedgeResult> hedge_dynamics_budgeted(const core::TupleGame& game,
+                                            const SolveBudget& budget,
+                                            double target_gap) {
+  DEF_REQUIRE(budget.max_iterations >= 1,
+              "hedge needs a positive round horizon to fix its learning "
+              "rate (set budget.max_iterations)");
+  const std::size_t rounds = budget.max_iterations;
   const graph::Graph& g = game.graph();
   const std::size_t n = g.num_vertices();
-  const double eta =
-      std::sqrt(8.0 * std::log(static_cast<double>(n)) /
-                static_cast<double>(rounds));
+  const double eta = std::sqrt(8.0 * std::log(static_cast<double>(n)) /
+                               static_cast<double>(rounds));
+  BudgetMeter meter(budget);
 
   // Attacker weights (log-domain to avoid under/overflow) and running
   // sums of its per-round strategies and the defender's coverage.
@@ -26,7 +31,38 @@ HedgeResult hedge_dynamics(const core::TupleGame& game, std::size_t rounds) {
 
   HedgeResult result;
   std::size_t next_checkpoint = 1;
-  for (std::size_t round = 1; round <= rounds; ++round) {
+  std::size_t round = 0;
+  bool truncated_any = false;
+  StatusCode code = StatusCode::kOk;
+
+  const auto bounds_now = [&](std::size_t rounds_done) {
+    // Upper bound: defender's best response to the attacker's average.
+    std::vector<double> average(n);
+    for (std::size_t v = 0; v < n; ++v)
+      average[v] = attacker_sum[v] / static_cast<double>(rounds_done);
+    const core::BestTupleSearch s = core::best_tuple_branch_and_bound_budgeted(
+        game, average, budget.oracle_node_budget);
+    truncated_any = truncated_any || s.truncated;
+    const double upper = s.truncated ? s.upper_bound : s.best.mass;
+    // Lower bound: the least-covered vertex of the defender's history.
+    const double lower =
+        *std::min_element(cover_sum.begin(), cover_sum.end()) /
+        static_cast<double>(rounds_done);
+    return HedgeTrace{rounds_done, upper, lower};
+  };
+
+  while (true) {
+    if (round > 0 && meter.out_of_iterations()) {
+      code = target_gap > 0 ? StatusCode::kIterationLimit : StatusCode::kOk;
+      break;
+    }
+    if (round > 0 && meter.deadline_exceeded()) {
+      code = StatusCode::kDeadlineExceeded;
+      break;
+    }
+    ++round;
+    meter.charge_iteration();
+
     // Current attacker mix = softmax of the weights.
     const double lw_max =
         *std::max_element(log_weight.begin(), log_weight.end());
@@ -39,10 +75,11 @@ HedgeResult hedge_dynamics(const core::TupleGame& game, std::size_t rounds) {
     for (std::size_t v = 0; v < n; ++v) attacker_sum[v] += strategy[v];
 
     // Defender best-responds to the current mix.
-    const core::BestTuple bt =
-        core::best_tuple_branch_and_bound(game, strategy);
+    const core::BestTupleSearch br = core::best_tuple_branch_and_bound_budgeted(
+        game, strategy, budget.oracle_node_budget);
+    truncated_any = truncated_any || br.truncated;
     std::vector<char> covered(n, 0);
-    for (graph::Vertex v : core::tuple_vertices(g, bt.tuple)) {
+    for (graph::Vertex v : core::tuple_vertices(g, br.best.tuple)) {
       covered[v] = 1;
       cover_sum[v] += 1.0;
     }
@@ -52,29 +89,52 @@ HedgeResult hedge_dynamics(const core::TupleGame& game, std::size_t rounds) {
       log_weight[v] += eta * (covered[v] ? 0.0 : 1.0);
 
     if (round == next_checkpoint || round == rounds) {
-      // Upper bound: defender's best response to the attacker's average.
-      std::vector<double> average(n);
-      for (std::size_t v = 0; v < n; ++v)
-        average[v] = attacker_sum[v] / static_cast<double>(round);
-      const double upper =
-          core::best_tuple_branch_and_bound(game, average).mass;
-      // Lower bound: the least-covered vertex of the defender's history.
-      const double lower =
-          *std::min_element(cover_sum.begin(), cover_sum.end()) /
-          static_cast<double>(round);
-      result.trace.push_back(HedgeTrace{round, upper, lower});
+      const HedgeTrace t = bounds_now(round);
+      result.trace.push_back(t);
       next_checkpoint = std::max(next_checkpoint + 1, next_checkpoint * 2);
+      if (target_gap > 0 && t.upper - t.lower <= target_gap) {
+        code = StatusCode::kOk;
+        break;
+      }
     }
   }
+
+  if (result.trace.empty() || result.trace.back().round != round)
+    result.trace.push_back(bounds_now(round));
 
   const HedgeTrace& last = result.trace.back();
   result.value_estimate = 0.5 * (last.upper + last.lower);
   result.gap = last.upper - last.lower;
+  result.rounds = round;
+  result.approximate = truncated_any || code != StatusCode::kOk;
   result.attacker_average.resize(n);
   for (std::size_t v = 0; v < n; ++v)
     result.attacker_average[v] =
-        attacker_sum[v] / static_cast<double>(rounds);
-  return result;
+        attacker_sum[v] / static_cast<double>(round);
+
+  Solved<HedgeResult> out;
+  if (code == StatusCode::kOk) {
+    out.status =
+        Status::make_ok(round, result.gap, meter.elapsed_seconds());
+  } else {
+    const char* what = code == StatusCode::kDeadlineExceeded
+                           ? "hedge wall-clock deadline expired; returning "
+                             "best-so-far certified bounds"
+                           : "hedge horizon exhausted before the target "
+                             "gap; returning best-so-far bounds";
+    out.status = Status::make(code, what, round, result.gap,
+                              meter.elapsed_seconds());
+  }
+  out.result = std::move(result);
+  return out;
+}
+
+HedgeResult hedge_dynamics(const core::TupleGame& game, std::size_t rounds) {
+  DEF_REQUIRE(rounds >= 1, "hedge needs at least one round");
+  // Fixed-round legacy contract: spend the full horizon, always kOk.
+  return hedge_dynamics_budgeted(game, SolveBudget::iterations(rounds),
+                                 /*target_gap=*/0)
+      .result;
 }
 
 }  // namespace defender::sim

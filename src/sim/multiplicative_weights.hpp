@@ -9,12 +9,19 @@
 // the zero-sum value at rate O(√(log n / T)), typically much faster than
 // fictitious play's empirical-history dynamics; experiment E11 compares
 // the two convergence profiles head to head.
+//
+// Budgeted route: hedge_dynamics_budgeted stops early once the certified
+// upper/lower bracket closes to `target_gap`, at the wall-clock deadline,
+// or after the full round horizon — always returning best-so-far bounds
+// with a structured status, never throwing on budget exhaustion.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "core/budget.hpp"
 #include "core/game.hpp"
+#include "core/status.hpp"
 
 namespace defender::sim {
 
@@ -37,10 +44,27 @@ struct HedgeResult {
   std::vector<HedgeTrace> trace;
   /// The attacker's time-averaged mixed strategy (a near-optimal mix).
   std::vector<double> attacker_average;
+  /// Rounds actually played (== the horizon unless the target gap or a
+  /// deadline stopped the run early).
+  std::size_t rounds = 0;
+  /// True when an oracle call was truncated by `oracle_node_budget`; the
+  /// reported bounds then rest on completion-bound certificates.
+  bool approximate = false;
 };
 
 /// Runs `rounds` of Hedge (learning rate η = sqrt(8·ln n / T), the
 /// horizon-optimal constant) against a best-responding defender.
 HedgeResult hedge_dynamics(const core::TupleGame& game, std::size_t rounds);
+
+/// Budget-bounded Hedge. `budget.max_iterations` must be positive — it is
+/// the horizon T that fixes the learning rate η. Stops at the first of:
+/// certified gap <= `target_gap` (kOk; with target_gap == 0, runs the full
+/// horizon and reports kOk), horizon exhausted with the gap still open
+/// (kIterationLimit), or wall-clock deadline (kDeadlineExceeded). Budget
+/// exhaustion degrades gracefully to best-so-far certified bounds — no
+/// exception.
+Solved<HedgeResult> hedge_dynamics_budgeted(const core::TupleGame& game,
+                                            const SolveBudget& budget,
+                                            double target_gap = 1e-6);
 
 }  // namespace defender::sim

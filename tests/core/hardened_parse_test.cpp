@@ -1,0 +1,172 @@
+// Table-driven malformed-input rejection for the hardened parsers: the
+// edge-list reader (graph/io) and the configuration reader
+// (core/serialization). Every rejection must be a structured kInvalidInput
+// with a line number — no exception, no silent wrap, no large allocation.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/atuple.hpp"
+#include "core/serialization.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "util/assert.hpp"
+
+namespace defender {
+namespace {
+
+struct BadInput {
+  const char* name;
+  std::string text;
+  /// Substring expected somewhere in the error message.
+  std::string expect;
+};
+
+class EdgeListRejection : public ::testing::TestWithParam<BadInput> {};
+
+TEST_P(EdgeListRejection, ReturnsInvalidInputWithLineNumber) {
+  const BadInput& param = GetParam();
+  Solved<graph::Graph> solved;
+  EXPECT_NO_THROW(solved = graph::try_parse_edge_list(param.text));
+  EXPECT_EQ(solved.status.code, StatusCode::kInvalidInput) << param.name;
+  EXPECT_NE(solved.status.message.find("line "), std::string::npos)
+      << param.name << ": " << solved.status.message;
+  EXPECT_NE(solved.status.message.find(param.expect), std::string::npos)
+      << param.name << ": " << solved.status.message;
+  // The legacy throwing entry point must reject the same input.
+  EXPECT_THROW(graph::parse_edge_list(param.text), ContractViolation)
+      << param.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MalformedEdgeLists, EdgeListRejection,
+    ::testing::Values(
+        BadInput{"empty", "", "empty input"},
+        BadInput{"junk_header", "junk", "header"},
+        BadInput{"non_numeric_n", "x 1\n0 1\n", "not an integer"},
+        BadInput{"negative_n", "-3 2\n0 1\n1 2\n", "not an integer"},
+        BadInput{"negative_m", "3 -2\n0 1\n1 2\n", "not an integer"},
+        BadInput{"overflowing_n", "99999999999999999999 1\n0 1\n",
+                 "not an integer"},
+        BadInput{"n_above_cap", "999999999 1\n0 1\n", "not an integer"},
+        BadInput{"m_above_simple_max", "3 4\n0 1\n1 2\n0 2\n0 1\n",
+                 "n(n-1)/2"},
+        BadInput{"edges_without_vertices", "0 1\n0 1\n", "0 vertices"},
+        BadInput{"truncated", "3 2\n0 1\n", "ended before"},
+        BadInput{"trailing_garbage", "3 1\n0 1\n9 9\n", "trailing"},
+        BadInput{"endpoint_out_of_range", "2 1\n0 5\n", "not a vertex"},
+        BadInput{"negative_endpoint", "3 1\n0 -1\n", "not a vertex"},
+        BadInput{"self_loop", "3 1\n1 1\n", "self-loop"}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(EdgeListParse, AcceptsValidAndRoundTrips) {
+  const Solved<graph::Graph> solved =
+      graph::try_parse_edge_list("3 2\n0 1\n1 2\n");
+  ASSERT_TRUE(solved.ok());
+  EXPECT_EQ(solved.result.num_vertices(), 3u);
+  EXPECT_EQ(solved.result.num_edges(), 2u);
+  const graph::Graph g = graph::petersen_graph();
+  const Solved<graph::Graph> reparsed =
+      graph::try_parse_edge_list(graph::to_edge_list(g));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed.result, g);
+}
+
+TEST(EdgeListParse, ToleratesFreeFormWhitespace) {
+  const Solved<graph::Graph> solved =
+      graph::try_parse_edge_list("  3\t2\r\n\n0 1 1\t2\n");
+  ASSERT_TRUE(solved.ok());
+  EXPECT_EQ(solved.result.num_edges(), 2u);
+}
+
+class ConfigRejection : public ::testing::TestWithParam<BadInput> {};
+
+core::TupleGame c6_game() {
+  return core::TupleGame(graph::cycle_graph(6), 2, 3);
+}
+
+std::string valid_config_text() {
+  const core::TupleGame game = c6_game();
+  const auto result = core::a_tuple_bipartite(game);
+  EXPECT_TRUE(result.has_value());
+  return core::to_text(game, result->configuration);
+}
+
+TEST_P(ConfigRejection, ReturnsInvalidInputWithLineNumber) {
+  const BadInput& param = GetParam();
+  const core::TupleGame game = c6_game();
+  Solved<core::MixedConfiguration> solved;
+  EXPECT_NO_THROW(solved = core::try_from_text(game, param.text));
+  EXPECT_EQ(solved.status.code, StatusCode::kInvalidInput) << param.name;
+  EXPECT_NE(solved.status.message.find("line "), std::string::npos)
+      << param.name << ": " << solved.status.message;
+  EXPECT_NE(solved.status.message.find(param.expect), std::string::npos)
+      << param.name << ": " << solved.status.message;
+  EXPECT_THROW(core::from_text(game, param.text), ContractViolation)
+      << param.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MalformedConfigs, ConfigRejection,
+    ::testing::Values(
+        BadInput{"empty", "", "header"},
+        BadInput{"wrong_header", "bogus v9\n", "header"},
+        BadInput{"missing_game_line", "defender-configuration v1\n",
+                 "game line"},
+        BadInput{"game_mismatch",
+                 "defender-configuration v1\ngame 9 9 2 3\n",
+                 "different game"},
+        BadInput{"negative_support_size",
+                 "defender-configuration v1\ngame 6 6 2 3\n"
+                 "attacker 0 -1\n",
+                 "attacker"},
+        BadInput{"oversized_support",
+                 "defender-configuration v1\ngame 6 6 2 3\n"
+                 "attacker 0 9999999999\n",
+                 "attacker"},
+        BadInput{"vertex_out_of_range",
+                 "defender-configuration v1\ngame 6 6 2 3\n"
+                 "attacker 0 1 17 1.0\n",
+                 "vertex"},
+        BadInput{"bad_probability",
+                 "defender-configuration v1\ngame 6 6 2 3\n"
+                 "attacker 0 1 0 nope\n",
+                 "probability"},
+        BadInput{"oversized_defender_count",
+                 "defender-configuration v1\ngame 6 6 2 3\n"
+                 "attacker 0 1 0 1.0\nattacker 1 1 0 1.0\n"
+                 "attacker 2 1 0 1.0\ndefender 99999999999\n",
+                 "defender"},
+        BadInput{"truncated_defender",
+                 "defender-configuration v1\ngame 6 6 2 3\n"
+                 "attacker 0 1 0 1.0\nattacker 1 1 0 1.0\n"
+                 "attacker 2 1 0 1.0\ndefender 2\ntuple 0.5 0 1\n",
+                 "truncated"},
+        BadInput{"edge_out_of_range",
+                 "defender-configuration v1\ngame 6 6 2 3\n"
+                 "attacker 0 1 0 1.0\nattacker 1 1 0 1.0\n"
+                 "attacker 2 1 0 1.0\ndefender 1\ntuple 1.0 0 42\n",
+                 "edge id"}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(ConfigParse, ValidTextStillRoundTrips) {
+  const core::TupleGame game = c6_game();
+  const std::string text = valid_config_text();
+  const Solved<core::MixedConfiguration> solved =
+      core::try_from_text(game, text);
+  ASSERT_TRUE(solved.ok()) << solved.status.describe();
+  EXPECT_EQ(core::to_text(game, solved.result), text);
+}
+
+TEST(ConfigParse, RejectsTrailingGarbage) {
+  const core::TupleGame game = c6_game();
+  const std::string text = valid_config_text() + "extra junk\n";
+  const Solved<core::MixedConfiguration> solved =
+      core::try_from_text(game, text);
+  EXPECT_EQ(solved.status.code, StatusCode::kInvalidInput);
+  EXPECT_NE(solved.status.message.find("trailing"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace defender

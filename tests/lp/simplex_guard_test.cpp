@@ -1,0 +1,134 @@
+// Numerical guards and budgets of the hardened simplex: pivot caps,
+// deadlines, post-solve residual verification, and the lp_residuals
+// certificate itself.
+#include "lp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "lp/dense_matrix.hpp"
+
+namespace defender::lp {
+namespace {
+
+/// maximize x0 + x1 s.t. x0 <= 2, x1 <= 3, x0 + x1 <= 4 -> optimum 4.
+struct SmallLp {
+  Matrix a{3, 2};
+  std::vector<double> b{2, 3, 4};
+  std::vector<double> c{1, 1};
+  SmallLp() {
+    a.at(0, 0) = 1;
+    a.at(1, 1) = 1;
+    a.at(2, 0) = 1;
+    a.at(2, 1) = 1;
+  }
+};
+
+TEST(SimplexGuards, VerificationPassesOnCleanLp) {
+  const SmallLp lp;
+  const LpSolution s = solve_max(lp.a, lp.b, lp.c);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 4.0, 1e-9);
+  EXPECT_LE(s.max_primal_residual, 1e-7);
+  EXPECT_LE(s.duality_gap, 1e-7);
+  EXPECT_FALSE(s.resolved_after_instability);
+  EXPECT_GT(s.pivots, 0u);
+}
+
+TEST(SimplexGuards, PivotBudgetSurfacesIterationLimit) {
+  const SmallLp lp;
+  SimplexOptions options;
+  options.max_pivots = 1;
+  const LpSolution s = solve_max(lp.a, lp.b, lp.c, options);
+  EXPECT_EQ(s.status, LpStatus::kIterationLimit);
+  EXPECT_LE(s.pivots, 1u);
+  // Best-effort state is still extracted, sized like a real solution.
+  EXPECT_EQ(s.x.size(), 2u);
+  EXPECT_EQ(s.duals.size(), 3u);
+}
+
+TEST(SimplexGuards, DeadlineSurfacesIterationLimit) {
+  // A deadline that expired before the solve started: the loop must stop
+  // at its first poll, not spin.
+  const SmallLp lp;
+  SimplexOptions options;
+  options.deadline_seconds = 1e-12;
+  const LpSolution s = solve_max(lp.a, lp.b, lp.c, options);
+  // Deadline polling is amortized (every 16 pivots), so a tiny LP may
+  // finish first; either outcome is sound, a hang or throw is not.
+  EXPECT_TRUE(s.status == LpStatus::kIterationLimit ||
+              s.status == LpStatus::kOptimal);
+}
+
+TEST(SimplexGuards, VerifyOffSkipsCertificates) {
+  const SmallLp lp;
+  SimplexOptions options;
+  options.verify = false;
+  const LpSolution s = solve_max(lp.a, lp.b, lp.c, options);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_EQ(s.max_primal_residual, 0.0);
+  EXPECT_EQ(s.duality_gap, 0.0);
+}
+
+TEST(SimplexGuards, InfeasibleStillDetected) {
+  // x0 <= 1 and -x0 <= -2 (i.e. x0 >= 2): empty feasible region.
+  Matrix a(2, 1);
+  a.at(0, 0) = 1;
+  a.at(1, 0) = -1;
+  const std::vector<double> b{1, -2};
+  const std::vector<double> c{1};
+  const LpSolution s = solve_max(a, b, c);
+  EXPECT_EQ(s.status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexGuards, UnboundedStillDetected) {
+  // maximize x0, only constraint -x0 <= 0: unbounded above.
+  Matrix a(1, 1);
+  a.at(0, 0) = -1;
+  const std::vector<double> b{0};
+  const std::vector<double> c{1};
+  const LpSolution s = solve_max(a, b, c);
+  EXPECT_EQ(s.status, LpStatus::kUnbounded);
+}
+
+TEST(LpResiduals, FlagsCorruptedPrimalPoint) {
+  const SmallLp lp;
+  const LpSolution s = solve_max(lp.a, lp.b, lp.c);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  const LpResiduals clean = lp_residuals(lp.a, lp.b, lp.c, s.x, s.duals);
+  EXPECT_LE(clean.max_primal_residual, 1e-9);
+  EXPECT_LE(clean.duality_gap, 1e-9);
+
+  // Push the point outside the feasible region.
+  std::vector<double> corrupted = s.x;
+  corrupted[0] += 10.0;
+  const LpResiduals broken =
+      lp_residuals(lp.a, lp.b, lp.c, corrupted, s.duals);
+  EXPECT_GE(broken.max_primal_residual, 9.0);
+
+  // A negative coordinate is an infeasibility too.
+  std::vector<double> negative = s.x;
+  negative[1] = -1.0;
+  const LpResiduals neg =
+      lp_residuals(lp.a, lp.b, lp.c, negative, s.duals);
+  EXPECT_GE(neg.max_primal_residual, 1.0 - 1e-12);
+
+  // Corrupted duals show up in the duality gap.
+  std::vector<double> bad_duals = s.duals;
+  bad_duals[0] += 5.0;
+  const LpResiduals gap = lp_residuals(lp.a, lp.b, lp.c, s.x, bad_duals);
+  EXPECT_GE(gap.duality_gap, 1.0);
+}
+
+TEST(LpStatusNames, AllCovered) {
+  EXPECT_STREQ(to_string(LpStatus::kOptimal), "optimal");
+  EXPECT_STREQ(to_string(LpStatus::kInfeasible), "infeasible");
+  EXPECT_STREQ(to_string(LpStatus::kUnbounded), "unbounded");
+  EXPECT_STREQ(to_string(LpStatus::kIterationLimit), "iteration-limit");
+  EXPECT_STREQ(to_string(LpStatus::kNumericallyUnstable),
+               "numerically-unstable");
+}
+
+}  // namespace
+}  // namespace defender::lp

@@ -1,0 +1,310 @@
+// Differential stress harness (standalone binary; `stress_smoke` in ctest).
+//
+// Two independent defenses against wrong answers and crashes:
+//
+//  1. Differential solver cross-check: randomized instances across the
+//     generator zoo, solved four ways — exact LP (solve_zero_sum), the
+//     double oracle, fictitious play, and Hedge — plus the Lemma 4.1
+//     combinatorial value k/|E(D(tp))| whenever A_tuple finds a k-matching
+//     NE. All routes must agree on the game value within 1e-6 (the
+//     learning dynamics via their certified brackets), and budget-starved
+//     solves must still return sound bounds without throwing.
+//
+//  2. Mutational fuzzing of the hardened parsers: valid edge lists and
+//     configuration documents mutated by byte flips, truncations, token
+//     swaps, and hostile-count injection, fed to try_parse_edge_list /
+//     try_from_text. Any outcome is acceptable except a crash, an
+//     uncaught non-ContractViolation exception, or an outsized
+//     allocation.
+//
+// Usage: stress_defender [--instances N] [--fuzz-iters N] [--seed S]
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/atuple.hpp"
+#include "core/double_oracle.hpp"
+#include "core/k_matching.hpp"
+#include "core/serialization.hpp"
+#include "core/zero_sum.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "sim/fictitious_play.hpp"
+#include "sim/multiplicative_weights.hpp"
+#include "util/assert.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace defender;
+
+constexpr double kValueTolerance = 1e-6;
+/// Keep C(m, k) at most this, so the exact LP stays small and fast.
+constexpr std::uint64_t kMaxLpTuples = 2'000;
+/// Fuzz inputs are length-limited to keep each iteration O(small).
+constexpr std::size_t kMaxFuzzBytes = 2'048;
+
+int failures = 0;
+
+void fail(const std::string& what) {
+  ++failures;
+  std::fprintf(stderr, "FAIL: %s\n", what.c_str());
+}
+
+void check(bool ok, const std::string& what) {
+  if (!ok) fail(what);
+}
+
+/// Draws one board from the generator zoo (small enough that every solver
+/// route terminates quickly).
+graph::Graph random_board(util::Rng& rng) {
+  switch (rng.range(0, 12)) {
+    case 0: return graph::path_graph(static_cast<std::size_t>(rng.range(4, 9)));
+    case 1: return graph::cycle_graph(static_cast<std::size_t>(rng.range(4, 9)));
+    case 2: return graph::complete_graph(static_cast<std::size_t>(rng.range(4, 6)));
+    case 3:
+      return graph::complete_bipartite(
+          static_cast<std::size_t>(rng.range(2, 4)),
+          static_cast<std::size_t>(rng.range(2, 4)));
+    case 4: return graph::star_graph(static_cast<std::size_t>(rng.range(3, 8)));
+    case 5:
+      return graph::grid_graph(2, static_cast<std::size_t>(rng.range(2, 4)));
+    case 6: return graph::wheel_graph(static_cast<std::size_t>(rng.range(4, 7)));
+    case 7: return graph::ladder_graph(static_cast<std::size_t>(rng.range(2, 5)));
+    case 8: return graph::petersen_graph();
+    case 9: return graph::hypercube_graph(3);
+    case 10:
+      return graph::random_tree(static_cast<std::size_t>(rng.range(4, 10)), rng);
+    case 11:
+      return graph::random_connected(
+          static_cast<std::size_t>(rng.range(5, 9)), 0.5, rng);
+    default:
+      return graph::barabasi_albert(
+          static_cast<std::size_t>(rng.range(5, 10)), 2, rng);
+  }
+}
+
+/// Largest k <= `want` whose C(m, k) fits the LP cap.
+std::size_t pick_k(const graph::Graph& g, std::size_t want, std::size_t nu) {
+  for (std::size_t k = want; k >= 1; --k) {
+    const core::TupleGame game(g, k, nu);
+    if (game.num_tuples() <= kMaxLpTuples) return k;
+  }
+  return 1;
+}
+
+void differential_instance(util::Rng& rng, std::size_t index) {
+  const graph::Graph g = random_board(rng);
+  const std::size_t nu = static_cast<std::size_t>(rng.range(1, 3));
+  const std::size_t want =
+      std::min<std::size_t>(static_cast<std::size_t>(rng.range(1, 4)),
+                            g.num_edges());
+  const core::TupleGame game(g, pick_k(g, want, nu), nu);
+  const std::string tag = "instance " + std::to_string(index) + " (n=" +
+                          std::to_string(g.num_vertices()) + ", m=" +
+                          std::to_string(g.num_edges()) + ", k=" +
+                          std::to_string(game.k()) + ")";
+
+  // Route 1: exact LP over the enumerated tuple space.
+  const double lp_value = core::solve_zero_sum(game).value;
+
+  // Route 2: double oracle (exact, without enumeration).
+  const Solved<core::DoubleOracleResult> oracle =
+      core::solve_double_oracle_budgeted(game, 1e-9,
+                                         SolveBudget::iterations(400));
+  check(oracle.ok(), tag + ": double oracle did not converge: " +
+                         oracle.status.describe());
+  check(std::abs(oracle.result.value - lp_value) <= kValueTolerance,
+        tag + ": LP value " + std::to_string(lp_value) +
+            " vs double oracle " + std::to_string(oracle.result.value));
+
+  // Route 3: fictitious play's certified bracket must contain the value.
+  const Solved<sim::FictitiousPlayResult> fp = sim::fictitious_play_budgeted(
+      game, SolveBudget::iterations(400), 1e-7);
+  check(fp.result.trace.back().lower <= lp_value + kValueTolerance &&
+            fp.result.trace.back().upper >= lp_value - kValueTolerance,
+        tag + ": FP bracket [" +
+            std::to_string(fp.result.trace.back().lower) + ", " +
+            std::to_string(fp.result.trace.back().upper) +
+            "] misses LP value " + std::to_string(lp_value));
+
+  // Route 4: Hedge's certified bracket must contain the value too.
+  const Solved<sim::HedgeResult> hedge =
+      sim::hedge_dynamics_budgeted(game, SolveBudget::iterations(400), 1e-7);
+  check(hedge.result.trace.back().lower <= lp_value + kValueTolerance &&
+            hedge.result.trace.back().upper >= lp_value - kValueTolerance,
+        tag + ": Hedge bracket misses LP value " + std::to_string(lp_value));
+
+  // Route 5: the Lemma 4.1 combinatorial value, when a k-matching NE
+  // exists: P(Hit) = k / |E(D(tp))|.
+  if (const auto ne = core::find_k_matching_ne(game)) {
+    const double analytic =
+        core::analytic_hit_probability(game, ne->k_matching_ne);
+    check(std::abs(analytic - lp_value) <= kValueTolerance,
+          tag + ": Lemma 4.1 value " + std::to_string(analytic) +
+              " vs LP " + std::to_string(lp_value));
+  }
+
+  // Graceful degradation: a starved solve must return sound bounds, not
+  // throw.
+  if (index % 10 == 0) {
+    try {
+      const Solved<core::DoubleOracleResult> starved =
+          core::solve_double_oracle_budgeted(game, 1e-9,
+                                             SolveBudget::iterations(1));
+      // kOk after one iteration is legitimate (the seed working set can
+      // already be an equilibrium) but then the value must be exact.
+      if (starved.ok())
+        check(std::abs(starved.result.value - lp_value) <= kValueTolerance,
+              tag + ": 1-iteration kOk value " +
+                  std::to_string(starved.result.value) + " vs LP " +
+                  std::to_string(lp_value));
+      check(starved.result.lower_bound <= lp_value + kValueTolerance &&
+                starved.result.upper_bound >= lp_value - kValueTolerance,
+            tag + ": starved bracket [" +
+                std::to_string(starved.result.lower_bound) + ", " +
+                std::to_string(starved.result.upper_bound) +
+                "] misses LP value " + std::to_string(lp_value));
+    } catch (const std::exception& e) {
+      fail(tag + ": starved solve threw: " + e.what());
+    }
+  }
+}
+
+/// Applies one random mutation to `text` in place.
+void mutate(std::string& text, util::Rng& rng) {
+  static const char* kHostile[] = {"-1",  "4294967295", "999999999999999",
+                                   "1e9", "NaN",        "--",
+                                   "\x00", "2147483648"};
+  if (text.empty()) {
+    text = kHostile[rng.range(0, 7)];
+    return;
+  }
+  switch (rng.range(0, 4)) {
+    case 0:  // byte flip
+      text[static_cast<std::size_t>(rng.range(0, static_cast<std::int64_t>(text.size()) - 1))] =
+          static_cast<char>(rng.range(32, 126));
+      break;
+    case 1:  // truncate
+      text.resize(static_cast<std::size_t>(
+          rng.range(0, static_cast<std::int64_t>(text.size()) - 1)));
+      break;
+    case 2: {  // inject a hostile token at a random position
+      const std::size_t pos = static_cast<std::size_t>(
+          rng.range(0, static_cast<std::int64_t>(text.size())));
+      text.insert(pos, kHostile[rng.range(0, 7)]);
+      break;
+    }
+    case 3:  // duplicate a slice
+      text += text.substr(text.size() / 2);
+      break;
+    default:  // whitespace churn
+      text.insert(static_cast<std::size_t>(
+                      rng.range(0, static_cast<std::int64_t>(text.size()))),
+                  " \t\n");
+      break;
+  }
+  if (text.size() > kMaxFuzzBytes) text.resize(kMaxFuzzBytes);
+}
+
+void fuzz_parsers(util::Rng& rng, std::size_t iterations) {
+  // Seed corpus: valid documents of both formats.
+  const graph::Graph seed_graph = graph::petersen_graph();
+  const core::TupleGame config_game(graph::cycle_graph(6), 2, 3);
+  const auto atuple = core::a_tuple_bipartite(config_game);
+  std::vector<std::string> corpus = {
+      graph::to_edge_list(seed_graph),
+      graph::to_edge_list(graph::grid_graph(2, 3)),
+      "3 2\n0 1\n1 2\n",
+  };
+  std::string config_text;
+  if (atuple) {
+    config_text = core::to_text(config_game, atuple->configuration);
+    corpus.push_back(config_text);
+  }
+
+  for (std::size_t i = 0; i < iterations; ++i) {
+    std::string input = corpus[static_cast<std::size_t>(
+        rng.range(0, static_cast<std::int64_t>(corpus.size()) - 1))];
+    const int mutations = static_cast<int>(rng.range(1, 4));
+    for (int j = 0; j < mutations; ++j) mutate(input, rng);
+
+    try {
+      const Solved<graph::Graph> parsed = graph::try_parse_edge_list(input);
+      (void)parsed;
+    } catch (const std::exception& e) {
+      fail("fuzz iter " + std::to_string(i) +
+           ": try_parse_edge_list threw: " + e.what());
+    }
+    try {
+      const Solved<core::MixedConfiguration> parsed =
+          core::try_from_text(config_game, input);
+      (void)parsed;
+    } catch (const std::exception& e) {
+      fail("fuzz iter " + std::to_string(i) +
+           ": try_from_text threw: " + e.what());
+    }
+    // The legacy throwing parsers may throw ContractViolation, nothing else.
+    try {
+      (void)graph::parse_edge_list(input);
+    } catch (const ContractViolation&) {
+    } catch (const std::exception& e) {
+      fail("fuzz iter " + std::to_string(i) +
+           ": parse_edge_list threw non-contract exception: " + e.what());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t instances = 200;
+  std::size_t fuzz_iters = 10'000;
+  std::uint64_t seed = 0xdefe2026ULL;
+  for (int i = 1; i < argc; ++i) {
+    const auto next_value = [&](const char* flag) -> long long {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return std::atoll(argv[++i]);
+    };
+    if (std::strcmp(argv[i], "--instances") == 0) {
+      instances = static_cast<std::size_t>(next_value("--instances"));
+    } else if (std::strcmp(argv[i], "--fuzz-iters") == 0) {
+      fuzz_iters = static_cast<std::size_t>(next_value("--fuzz-iters"));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = static_cast<std::uint64_t>(next_value("--seed"));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--instances N] [--fuzz-iters N] [--seed S]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  util::Rng rng(seed);
+  for (std::size_t i = 0; i < instances; ++i) {
+    try {
+      differential_instance(rng, i);
+    } catch (const std::exception& e) {
+      fail("instance " + std::to_string(i) + " threw: " + e.what());
+    }
+  }
+  std::printf("differential: %zu instances checked\n", instances);
+
+  fuzz_parsers(rng, fuzz_iters);
+  std::printf("fuzz: %zu parser inputs survived\n", fuzz_iters);
+
+  if (failures > 0) {
+    std::fprintf(stderr, "%d failure(s)\n", failures);
+    return 1;
+  }
+  std::printf("stress_defender: all checks passed\n");
+  return 0;
+}
