@@ -5,11 +5,14 @@
 // EXPERIMENTS.md can quote the output verbatim.
 #pragma once
 
+#include <cstdint>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "graph/generators.hpp"
+#include "obs/clock.hpp"
+#include "obs/json.hpp"
 #include "util/random.hpp"
 
 namespace defender::bench {
@@ -65,6 +68,67 @@ inline void banner(const std::string& id, const std::string& claim) {
 inline void verdict(bool ok, const std::string& summary) {
   std::cout << "\nVERDICT: " << (ok ? "AGREES" : "DISAGREES") << " — "
             << summary << "\n\n";
+}
+
+/// One machine-readable result line per experiment case, alongside (never
+/// replacing) the human tables. Emitted to stdout as
+///
+///   BENCH_JSON {"experiment":"E17","case":"grid 4x5","n":20,...}
+///
+/// so `grep '^BENCH_JSON '` extracts a JSONL stream from any bench log.
+/// Keys are inserted in call order; values use obs/json.hpp formatting
+/// (NaN/Inf become null, strings are escaped).
+class JsonLine {
+ public:
+  JsonLine(const std::string& experiment, const std::string& case_name) {
+    str("experiment", experiment);
+    str("case", case_name);
+  }
+
+  JsonLine& str(const std::string& key, const std::string& value) {
+    return raw(key, "\"" + obs::json_escape(value) + "\"");
+  }
+  JsonLine& num(const std::string& key, double value) {
+    return raw(key, obs::json_number(value));
+  }
+  JsonLine& num(const std::string& key, std::uint64_t value) {
+    return raw(key, std::to_string(value));
+  }
+  JsonLine& num(const std::string& key, int value) {
+    return raw(key, std::to_string(value));
+  }
+  JsonLine& boolean(const std::string& key, bool value) {
+    return raw(key, value ? "true" : "false");
+  }
+
+  /// Writes the line and a trailing newline. One emit per case.
+  void emit(std::ostream& os = std::cout) const {
+    os << "BENCH_JSON {" << body_ << "}\n";
+  }
+
+ private:
+  JsonLine& raw(const std::string& key, const std::string& rendered) {
+    if (!body_.empty()) body_ += ',';
+    body_ += "\"" + obs::json_escape(key) + "\":" + rendered;
+    return *this;
+  }
+  std::string body_;
+};
+
+/// Starts a per-case wall clock; pair with `case_line` below.
+inline obs::Clock::Micros case_clock() { return obs::Clock::now_micros(); }
+
+/// A JsonLine pre-filled with the shared schema every experiment reports:
+/// board shape (n, m, k) and the case wall time since `started`.
+inline JsonLine case_line(const std::string& experiment,
+                          const std::string& case_name, const graph::Graph& g,
+                          std::size_t k, obs::Clock::Micros started) {
+  JsonLine line(experiment, case_name);
+  line.num("n", g.num_vertices())
+      .num("m", g.num_edges())
+      .num("k", k)
+      .num("wall_ms", obs::Clock::seconds_since(started) * 1e3);
+  return line;
 }
 
 }  // namespace defender::bench

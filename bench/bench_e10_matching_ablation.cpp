@@ -7,6 +7,7 @@
 // greedy matching instead of a maximum one.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "graph/generators.hpp"
 #include "matching/blossom.hpp"
 #include "matching/edge_cover.hpp"
@@ -83,4 +84,17 @@ BENCHMARK(BM_MinEdgeCover_ExactVsGreedySize)->Arg(128)->Arg(512);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() plus one BENCH_JSON summary line (google-benchmark's
+// own per-benchmark JSON stays available via --benchmark_format=json).
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const auto t0 = defender::bench::case_clock();
+  const std::size_t ran = benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  defender::bench::JsonLine("E10", "matching ablation")
+      .num("benchmarks", ran)
+      .num("wall_ms", defender::obs::Clock::seconds_since(t0) * 1e3)
+      .emit();
+  return 0;
+}

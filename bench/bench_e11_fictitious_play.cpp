@@ -28,6 +28,7 @@ int main() {
     if (g.num_vertices() > 40) continue;  // keep per-round best response cheap
     for (std::size_t k : {std::size_t{1}, std::size_t{2}}) {
       if (k > g.num_edges()) continue;
+      const auto t0 = bench::case_clock();
       const core::TupleGame game(g, k, 1);
       const auto result = core::a_tuple_bipartite(game);
       if (!result) continue;
@@ -48,6 +49,17 @@ int main() {
                 util::fixed(fp.value_estimate, 4), util::fixed(fp.gap, 4),
                 util::fixed(hedge.value_estimate, 4),
                 util::fixed(hedge.gap, 4), inside);
+      bench::case_line("E11", name, g, k, t0)
+          .num("analytic", analytic)
+          .num("fp_value", fp.value_estimate)
+          .num("fp_lower", last.lower)
+          .num("fp_upper", last.upper)
+          .num("iterations", fp.rounds)
+          .num("hedge_value", hedge.value_estimate)
+          .num("hedge_lower", hedge.trace.back().lower)
+          .num("hedge_upper", hedge.trace.back().upper)
+          .boolean("inside", inside)
+          .emit();
     }
   }
   table.print(std::cout);

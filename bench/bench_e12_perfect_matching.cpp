@@ -44,6 +44,7 @@ int main() {
     }
     for (std::size_t k : {std::size_t{1}, std::size_t{3}}) {
       if (k > g.num_vertices() / 2 || k > g.num_edges()) continue;
+      const auto t0 = bench::case_clock();
       const core::TupleGame game(g, k, 4);
       const auto ne = core::find_perfect_matching_ne(game);
       if (!ne) {
@@ -67,6 +68,13 @@ int main() {
       table.add(name, g.num_vertices(), k, util::fixed(analytic, 4),
                 util::fixed(measured, 4), util::fixed(ceiling, 4),
                 util::fixed(optimality, 4), verified);
+      bench::case_line("E12", name, g, k, t0)
+          .num("analytic", analytic)
+          .num("measured", measured)
+          .num("ceiling", ceiling)
+          .num("optimality", optimality)
+          .boolean("ne_verified", verified)
+          .emit();
     }
   }
   table.print(std::cout);

@@ -27,6 +27,7 @@ int main() {
                      "ceiling", "k-match ratio", "pm ratio", "LP value"});
   for (const auto& [name, g] : bench::bipartite_boards()) {
     if (g.num_edges() < kK) continue;
+    const auto t0 = bench::case_clock();
     const core::TupleGame game(g, kK, kNu);
 
     std::string km_hit = "-", km_ratio = "-", is_size = "-";
@@ -75,6 +76,12 @@ int main() {
     }
     table.add(name, is_size, g.num_vertices() / 2, km_hit, pm_hit,
               util::fixed(ceiling, 4), km_ratio, pm_ratio, lp);
+    bench::case_line("E13", name, g, kK, t0)
+        .num("km_hit", km_value)
+        .num("pm_hit", pm_value)
+        .num("ceiling", ceiling)
+        .str("lp_value", lp)
+        .emit();
   }
   table.print(std::cout);
   bench::verdict(all_ok,

@@ -32,6 +32,7 @@ int main() {
   util::Rng rng(14);
   for (std::size_t n : {8, 12, 16, 20, 22}) {
     const graph::Graph g = graph::random_connected(n, 0.25, rng);
+    const auto t0 = bench::case_clock();
     util::Stopwatch w1;
     const bool tuple_exists = core::pure_ne_exists(
         core::TupleGame(g, std::min(g.num_edges(),
@@ -45,6 +46,13 @@ int main() {
     if (!tuple_exists) all_ok = false;  // k = min cover always works
     decision.add("gnp-connected", n, util::fixed(gallai_ms, 3), tuple_exists,
                  util::fixed(hk_ms, 3), path_exists);
+    bench::case_line("E14", "gnp-connected n=" + std::to_string(n), g,
+                     matching::min_edge_cover_size(g), t0)
+        .num("gallai_ms", gallai_ms)
+        .num("held_karp_ms", hk_ms)
+        .boolean("tuple_pure_ne", tuple_exists)
+        .boolean("path_pure_ne", path_exists)
+        .emit();
   }
   decision.print(std::cout);
   std::cout << "Held-Karp time grows ~2^n; the Gallai certificate stays "
@@ -76,6 +84,13 @@ int main() {
       if (tuple_hit + 1e-12 < path_hit) all_ok = false;  // tuples never worse
       mixed.add(n, k, util::fixed(path_hit, 4), util::fixed(tuple_hit, 4),
                 util::fixed(tuple_hit / path_hit, 3));
+      bench::JsonLine("E14", "cycle C" + std::to_string(n))
+          .num("n", n)
+          .num("k", k)
+          .num("path_hit", path_hit)
+          .num("tuple_hit", tuple_hit)
+          .num("advantage", tuple_hit / path_hit)
+          .emit();
     }
   }
   mixed.print(std::cout);

@@ -44,6 +44,13 @@ int main() {
 
     table.add(k, util::fixed(v, 4), util::fixed(p, 4), util::fixed(t, 4),
               util::fixed(t / v, 3), util::fixed(t / p, 3));
+    bench::JsonLine("E15", "cycle C" + std::to_string(kN))
+        .num("n", kN)
+        .num("k", k)
+        .num("vertex_hit", v)
+        .num("path_hit", p)
+        .num("tuple_hit", t)
+        .emit();
     ks.push_back(static_cast<double>(k));
     v_series.push_back(v);
     p_series.push_back(p);

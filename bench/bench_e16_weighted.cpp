@@ -26,6 +26,7 @@ int main() {
                     "damage value (weighted LP)", "|diff|"});
   for (const auto& [name, g] : bench::bipartite_boards()) {
     for (std::size_t k = 1; k <= 2; ++k) {
+      const auto t0 = bench::case_clock();
       const core::TupleGame game(g, k, 1);
       if (game.num_tuples() > 1500) continue;
       const std::vector<double> w(g.num_vertices(), 1.0);
@@ -36,6 +37,11 @@ int main() {
       if (diff > 1e-7) all_ok = false;
       unit.add(name, k, util::fixed(unweighted, 5), util::fixed(weighted, 5),
                util::fixed(diff, 9));
+      bench::case_line("E16", name, g, k, t0)
+          .num("unweighted_complement", unweighted)
+          .num("damage_value", weighted)
+          .num("abs_diff", diff)
+          .emit();
     }
   }
   unit.print(std::cout);
@@ -68,6 +74,14 @@ int main() {
     star.add(leaves, gold, util::fixed(closed, 5),
              util::fixed(lp.damage_value, 5),
              util::fixed(fp.value_estimate, 5), util::fixed(golden_prob, 4));
+    bench::JsonLine("E16", "star L=" + std::to_string(leaves))
+        .num("leaves", leaves)
+        .num("gold_weight", gold)
+        .num("closed_form", closed)
+        .num("lp_value", lp.damage_value)
+        .num("fp_value", fp.value_estimate)
+        .num("golden_prob", golden_prob)
+        .emit();
   }
   star.print(std::cout);
 

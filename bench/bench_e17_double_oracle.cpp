@@ -75,6 +75,19 @@ int main() {
               std::to_string(dor.defender_set_size) + "/" +
                   std::to_string(dor.attacker_set_size),
               util::fixed(ms, 1));
+    bench::JsonLine("E17", name)
+        .num("n", g.num_vertices())
+        .num("m", g.num_edges())
+        .num("k", k)
+        .num("wall_ms", ms)
+        .num("iterations", dor.iterations)
+        .num("value", dor.value)
+        .num("lower", dor.lower_bound)
+        .num("upper", dor.upper_bound)
+        .num("gap", dor.gap)
+        .num("defender_set", dor.defender_set_size)
+        .num("attacker_set", dor.attacker_set_size)
+        .emit();
   }
   table.print(std::cout);
   bench::verdict(all_ok,

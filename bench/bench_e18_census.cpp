@@ -69,6 +69,7 @@ int main() {
                      "k-matching", "perfect matching", "regular",
                      "value agree (k=1)"});
   for (std::size_t n = 2; n <= 6; ++n) {
+    const auto t0 = bench::case_clock();
     const auto graphs = graph::all_connected_graphs(n);
     std::size_t gallai_ok = 0, thm22_ok = 0, has_km = 0, has_pm = 0,
                 has_reg = 0, value_ok = 0, value_checked = 0;
@@ -115,6 +116,16 @@ int main() {
               std::to_string(thm22_ok) + "/" + std::to_string(graphs.size()),
               has_km, has_pm, has_reg,
               std::to_string(value_ok) + "/" + std::to_string(value_checked));
+    bench::JsonLine("E18", "all connected n=" + std::to_string(n))
+        .num("n", n)
+        .num("k", 1)
+        .num("wall_ms", obs::Clock::seconds_since(t0) * 1e3)
+        .num("graphs", graphs.size())
+        .num("gallai_ok", gallai_ok)
+        .num("thm22_ok", thm22_ok)
+        .num("value_ok", value_ok)
+        .num("value_checked", value_checked)
+        .emit();
   }
   table.print(std::cout);
   bench::verdict(all_ok,

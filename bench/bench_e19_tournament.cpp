@@ -70,6 +70,7 @@ int main() {
   }
 
   util::Rng play_rng(190);
+  const auto t0 = bench::case_clock();
   const sim::TournamentResult tr =
       sim::run_tournament(game, defenders, attackers, 40000, play_rng);
 
@@ -91,6 +92,12 @@ int main() {
     const bool is_equilibrium = d < 2;
     if (is_equilibrium && expl > 1e-6) all_ok = false;
     if (!is_equilibrium && expl < 1e-3) all_ok = false;
+    bench::case_line("E19", defenders[d].name, g, kK, t0)
+        .num("floor", tr.defender_floor[d])
+        .num("exploitability", expl)
+        .num("game_value", value)
+        .boolean("equilibrium_family", is_equilibrium)
+        .emit();
   }
   table.print(std::cout);
 

@@ -24,6 +24,7 @@ int main() {
   util::Table table({"board", "n", "m", "min edge cover", "brute force",
                      "pure NE k<thr", "pure NE k=thr", "Cor3.3 bound ok"});
   for (const auto& [name, g] : bench::general_boards()) {
+    const auto t0 = bench::case_clock();
     const std::size_t threshold = matching::min_edge_cover_size(g);
     const std::string bf = g.num_edges() <= 20
                                ? std::to_string(
@@ -60,6 +61,12 @@ int main() {
     }
     table.add(name, g.num_vertices(), g.num_edges(), threshold, bf,
               below_all_absent ? "absent" : "BUG", at_threshold, bound_ok);
+    bench::case_line("E1", name, g, threshold, t0)
+        .num("min_edge_cover", threshold)
+        .boolean("pure_ne_below_absent", below_all_absent)
+        .boolean("pure_ne_at_threshold", at_threshold)
+        .boolean("cor33_bound_ok", bound_ok)
+        .emit();
   }
   table.print(std::cout);
   bench::verdict(all_ok,

@@ -54,6 +54,7 @@ int main() {
                      "upper", "value", "sound"});
 
   for (auto& [name, g, k] : cases) {
+    const auto t0 = bench::case_clock();
     const core::TupleGame game(g, k, 1);
     const double exact = core::solve_zero_sum(game).value;
 
@@ -111,6 +112,15 @@ int main() {
       table.add(name, r.solver, r.budget, to_string(r.code),
                 util::fixed(r.lower, 5), util::fixed(r.upper, 5),
                 util::fixed(r.value, 5), ok ? "yes" : "NO");
+      bench::case_line("E20", name + " / " + r.solver + " / " + r.budget, g,
+                       k, t0)
+          .str("status", to_string(r.code))
+          .num("lower", r.lower)
+          .num("upper", r.upper)
+          .num("value", r.value)
+          .num("exact", exact)
+          .boolean("sound", ok)
+          .emit();
     }
   }
 

@@ -29,6 +29,7 @@ int main() {
     const std::size_t kmax =
         std::min<std::size_t>(partition->independent_set.size(), 4);
     for (std::size_t k = 1; k <= kmax; k += 3) {
+      const auto t0 = bench::case_clock();
       const core::TupleGame game(g, k, 3);
       const auto result = core::a_tuple(game, *partition);
       if (!result) continue;
@@ -94,6 +95,12 @@ int main() {
       if (!accepted) all_ok = false;
       table.add(name, k, accepted ? "accepted" : "REJECTED(bug)", skew_result,
                 wider_rejected ? "rejected" : "ACCEPTED(bug)", extra_result);
+      bench::case_line("E2", name, g, k, t0)
+          .boolean("constructed_accepted", accepted)
+          .str("skewed_probs", skew_result)
+          .boolean("extra_vertex_rejected", wider_rejected)
+          .str("extra_tuple", extra_result)
+          .emit();
     }
   }
   table.print(std::cout);

@@ -28,6 +28,7 @@ int main() {
     const std::size_t e_num = partition->independent_set.size();
     for (std::size_t k : {std::size_t{1}, std::size_t{2}, e_num / 2, e_num}) {
       if (k < 1 || k > e_num || k > g.num_edges()) continue;
+      const auto t0 = bench::case_clock();
       const core::TupleGame game(g, k, 4);
       const auto result = core::a_tuple(game, *partition);
       if (!result) continue;
@@ -53,6 +54,13 @@ int main() {
       if (!row_ok) all_ok = false;
       table.add(name, k, e_num, result->support_size, result->tuples_per_edge,
                 util::fixed(analytic, 4), util::fixed(measured, 4), is_ne);
+      bench::case_line("E3", name, g, k, t0)
+          .num("matching_edges", e_num)
+          .num("analytic", analytic)
+          .num("measured", measured)
+          .boolean("ne_verified", is_ne)
+          .boolean("row_ok", row_ok)
+          .emit();
     }
   }
   table.print(std::cout);

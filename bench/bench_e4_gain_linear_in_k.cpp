@@ -31,6 +31,7 @@ int main() {
   util::AsciiChart chart(64, 16);
 
   for (const auto& [name, g] : bench::bipartite_boards()) {
+    const auto t0 = bench::case_clock();
     const auto partition = core::find_partition_bipartite(g);
     if (!partition) continue;
     const auto base = core::compute_matching_ne(g, *partition);
@@ -63,6 +64,13 @@ int main() {
               util::fixed(fit.intercept, 6), util::fixed(fit.r_squared, 8),
               "1.." + std::to_string(kmax),
               round_trip_ok ? "exact" : "BROKEN");
+    bench::case_line("E4", name, g, kmax, t0)
+        .num("expected_slope", expected_slope)
+        .num("fit_slope", fit.slope)
+        .num("fit_intercept", fit.intercept)
+        .num("r_squared", fit.r_squared)
+        .boolean("round_trip", round_trip_ok)
+        .emit();
     if (ks.size() >= 4) chart.add_series({name, ks, gains});
   }
   table.print(std::cout);

@@ -57,6 +57,13 @@ int main() {
                 util::fixed(prep_ms, 3));
       kn.push_back(static_cast<double>(k) * static_cast<double>(n));
       times.push_back(lift_ms);
+      bench::JsonLine("E5", "path n=" + std::to_string(n))
+          .num("n", n)
+          .num("k", k)
+          .num("wall_ms", lift_ms)
+          .num("delta", lifted.tp_support.size())
+          .num("prep_ms", prep_ms)
+          .emit();
     }
   }
   table.print(std::cout);

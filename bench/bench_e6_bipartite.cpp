@@ -59,6 +59,16 @@ int main() {
               util::fixed(complexity, 3));
     msqrtn.push_back(complexity);
     totals.push_back(total);
+    bench::JsonLine("E6", "bipartite " + std::to_string(half) + "x" +
+                              std::to_string(half))
+        .num("n", n)
+        .num("m", m)
+        .num("k", k)
+        .num("wall_ms", total)
+        .num("partition_ms", t_partition)
+        .num("algorithm_a_ms", t_algo_a)
+        .num("lift_ms", t_lift)
+        .emit();
   }
   table.print(std::cout);
 

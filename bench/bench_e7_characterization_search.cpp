@@ -56,15 +56,25 @@ int main() {
   std::cout << "Random boards: " << admits << " admit, " << lacks
             << " lack a partition, " << mismatches << " mismatches\n\n";
   if (mismatches != 0) all_ok = false;
+  bench::JsonLine("E7", "random boards")
+      .num("trials", kTrials)
+      .num("admits", admits)
+      .num("lacks", lacks)
+      .num("mismatches", mismatches)
+      .emit();
 
   // Part 2: family census.
   util::Table table({"family", "partition exists", "|IS|", "|VC|",
                      "NE constructed+verified (k=2)"});
   for (const auto& [name, g] : bench::general_boards()) {
+    const auto t0 = bench::case_clock();
     const auto p = g.num_vertices() <= 24 ? core::find_partition_exhaustive(g)
                                           : core::find_partition(g);
     if (!p) {
       table.add(name, false, "-", "-", "-");
+      bench::case_line("E7", name, g, 2, t0)
+          .boolean("partition_exists", false)
+          .emit();
       continue;
     }
     std::string verified = "-";
@@ -81,6 +91,12 @@ int main() {
     }
     table.add(name, true, p->independent_set.size(), p->vertex_cover.size(),
               verified);
+    bench::case_line("E7", name, g, 2, t0)
+        .boolean("partition_exists", true)
+        .num("independent_set", p->independent_set.size())
+        .num("vertex_cover", p->vertex_cover.size())
+        .str("ne_verified", verified)
+        .emit();
   }
   table.print(std::cout);
 

@@ -29,6 +29,7 @@ int main() {
     for (std::size_t k = 1; k <= 3; ++k) {
       if (k > partition->independent_set.size() || k > g.num_edges())
         continue;
+      const auto t0 = bench::case_clock();
       const core::TupleGame game(g, k, 1);
       if (game.num_tuples() > 3000) continue;  // keep the LP enumerable
       const auto result = core::a_tuple(game, *partition);
@@ -42,6 +43,12 @@ int main() {
       if (diff > 1e-7) all_ok = false;
       table.add(name, k, game.num_tuples(), util::fixed(combinatorial, 6),
                 util::fixed(lp_value, 6), util::fixed(diff, 9));
+      bench::case_line("E8", name, g, k, t0)
+          .num("tuples", game.num_tuples())
+          .num("combinatorial", combinatorial)
+          .num("lp_value", lp_value)
+          .num("abs_diff", diff)
+          .emit();
     }
   }
   table.print(std::cout);

@@ -7,9 +7,11 @@
 
 #include "core/atuple.hpp"
 #include "core/characterization.hpp"
+#include "core/double_oracle.hpp"
 #include "core/payoff.hpp"
 #include "core/zero_sum.hpp"
 #include "graph/generators.hpp"
+#include "obs/context.hpp"
 #include "sim/playout.hpp"
 #include "util/random.hpp"
 
@@ -72,6 +74,49 @@ void BM_ZeroSumLp(benchmark::State& state) {
   state.counters["tuples"] = static_cast<double>(game.num_tuples());
 }
 BENCHMARK(BM_ZeroSumLp)->Arg(6)->Arg(10)->Arg(14);
+
+// The observability overhead pair: the same double-oracle solve with the
+// default null ObsContext versus a fully wired context (tracer with a
+// discarding sink, metrics, convergence recorder). The null-obs time must
+// stay within 1% of the pre-obs baseline (see docs/OBSERVABILITY.md);
+// tests/obs/obs_solver_test.cpp asserts the outputs are bit-identical.
+void BM_DoubleOracle_NullObs(benchmark::State& state) {
+  const graph::Graph g = graph::grid_graph(4, 5);
+  const core::TupleGame game(g, 3, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::solve_double_oracle_budgeted(game, 1e-9,
+                                           SolveBudget::iterations(200))
+            .result.value);
+  }
+}
+BENCHMARK(BM_DoubleOracle_NullObs);
+
+void BM_DoubleOracle_FullObs(benchmark::State& state) {
+  const graph::Graph g = graph::grid_graph(4, 5);
+  const core::TupleGame game(g, 3, 1);
+  // Discarding sink: measures instrumentation cost, not disk throughput.
+  struct NullSink final : obs::TraceSink {
+    void write(const obs::TraceEvent& event) override {
+      benchmark::DoNotOptimize(event.ts_us);
+    }
+    void flush() override {}
+  } sink;
+  obs::Tracer tracer;
+  tracer.add_sink(&sink);
+  obs::MetricsRegistry metrics;
+  obs::ConvergenceRecorder recorder;
+  obs::ObsContext ctx{&tracer, &metrics, &recorder};
+  for (auto _ : state) {
+    recorder.clear();
+    benchmark::DoNotOptimize(
+        core::solve_double_oracle_budgeted(game, 1e-9,
+                                           SolveBudget::iterations(200),
+                                           &ctx)
+            .result.value);
+  }
+}
+BENCHMARK(BM_DoubleOracle_FullObs);
 
 void BM_Playouts(benchmark::State& state) {
   const graph::Graph g = graph::grid_graph(8, 8);

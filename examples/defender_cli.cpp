@@ -13,10 +13,18 @@
 //     structured status (and certified bounds) when the budget runs out
 //     instead of crashing.
 //
+// Observability (see docs/OBSERVABILITY.md):
+//   * --trace FILE.jsonl        one JSON trace event per line;
+//   * --chrome-trace FILE.json  the same solve as a Chrome trace_event
+//                               file (open at chrome://tracing);
+//   * --metrics                 dump the metrics registry as JSON on exit.
+//
 // Usage: defender_cli [--k K] [--nu N] [--dot] [--budget-iters N]
-//                     [--deadline SECONDS] [FILE]
+//                     [--deadline SECONDS] [--trace FILE.jsonl]
+//                     [--chrome-trace FILE.json] [--metrics] [FILE]
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -31,20 +39,37 @@
 #include "core/status.hpp"
 #include "graph/io.hpp"
 #include "matching/edge_cover.hpp"
+#include "obs/context.hpp"
 #include "util/assert.hpp"
 
 namespace {
 
 void usage() {
   std::cerr << "usage: defender_cli [--k K] [--nu N] [--dot]\n"
-               "                    [--budget-iters N] [--deadline SECONDS] "
-               "[FILE]\n"
+               "                    [--budget-iters N] [--deadline SECONDS]\n"
+               "                    [--trace FILE.jsonl] "
+               "[--chrome-trace FILE.json]\n"
+               "                    [--metrics] [FILE]\n"
             << "  FILE holds 'n m' then one 'u v' line per edge; stdin when "
                "omitted.\n"
             << "  --budget-iters / --deadline bound the game-value solve; "
                "when the budget\n"
             << "  runs out the CLI prints the certified value bracket and "
-               "the solver status.\n";
+               "the solver status.\n"
+            << "  --trace / --chrome-trace record the solve as JSONL / "
+               "Chrome trace_event\n"
+            << "  events; --metrics dumps the metrics registry as JSON on "
+               "exit.\n";
+}
+
+/// Structured CLI-layer error: same rendering path as solver statuses.
+int fail_invalid(const std::string& message) {
+  std::cerr << "defender_cli: "
+            << defender::Status::make(defender::StatusCode::kInvalidInput,
+                                      message)
+                   .to_string()
+            << '\n';
+  return 2;
 }
 
 }  // namespace
@@ -52,8 +77,8 @@ void usage() {
 int main(int argc, char** argv) {
   using namespace defender;
   std::size_t k = 2, nu = 4;
-  bool dot = false;
-  std::string file;
+  bool dot = false, dump_metrics = false;
+  std::string file, trace_path, chrome_trace_path;
   SolveBudget budget;
   budget.max_iterations = 200;
   for (int i = 1; i < argc; ++i) {
@@ -66,6 +91,12 @@ int main(int argc, char** argv) {
       budget.max_iterations = std::strtoul(argv[++i], nullptr, 10);
     } else if (arg == "--deadline" && i + 1 < argc) {
       budget.wall_clock_seconds = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--chrome-trace" && i + 1 < argc) {
+      chrome_trace_path = argv[++i];
+    } else if (arg == "--metrics") {
+      dump_metrics = true;
     } else if (arg == "--dot") {
       dot = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -79,29 +110,54 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Observability wiring: only the members the user asked for are non-null,
+  // and a fully null context leaves the solvers on their zero-cost path.
+  std::unique_ptr<obs::JsonlSink> jsonl_sink;
+  std::unique_ptr<obs::ChromeTraceSink> chrome_sink;
+  obs::Tracer tracer;
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
+  obs::ConvergenceRecorder recorder;
+  obs::ObsContext ctx;
+  if (!trace_path.empty()) {
+    jsonl_sink = std::make_unique<obs::JsonlSink>(trace_path);
+    if (!jsonl_sink->ok())
+      return fail_invalid("cannot open trace file " + trace_path);
+    tracer.add_sink(jsonl_sink.get());
+  }
+  if (!chrome_trace_path.empty()) {
+    chrome_sink = std::make_unique<obs::ChromeTraceSink>(chrome_trace_path);
+    if (!chrome_sink->ok())
+      return fail_invalid("cannot open chrome trace file " +
+                          chrome_trace_path);
+    tracer.add_sink(chrome_sink.get());
+  }
+  if (!trace_path.empty() || !chrome_trace_path.empty()) {
+    ctx.tracer = &tracer;
+    ctx.convergence = &recorder;
+  }
+  if (dump_metrics) ctx.metrics = &metrics;
+  obs::ObsContext* obs_ptr =
+      (ctx.tracer != nullptr || ctx.metrics != nullptr) ? &ctx : nullptr;
+
   Solved<graph::Graph> parsed;
   if (file.empty()) {
     parsed = graph::try_parse_edge_list(std::cin);
   } else {
     std::ifstream in(file);
-    if (!in) {
-      std::cerr << "cannot open " << file << '\n';
-      return 2;
-    }
+    if (!in) return fail_invalid("cannot open " + file);
     parsed = graph::try_parse_edge_list(in);
   }
   if (!parsed.ok()) {
-    std::cerr << "bad input: " << parsed.status.describe() << '\n';
+    std::cerr << "defender_cli: " << parsed.status.to_string() << '\n';
     return 2;
   }
   const graph::Graph& g = parsed.result;
 
   std::cout << "Board: n=" << g.num_vertices() << " m=" << g.num_edges()
             << ", game Pi_" << k << "(G) with nu=" << nu << " attackers\n\n";
-  if (k < 1 || k > g.num_edges()) {
-    std::cerr << "k must satisfy 1 <= k <= m\n";
-    return 2;
-  }
+  if (k < 1 || k > g.num_edges())
+    return fail_invalid("k must satisfy 1 <= k <= m = " +
+                        std::to_string(g.num_edges()));
   const core::TupleGame game(g, k, nu);
 
   // Theorem 3.1.
@@ -172,16 +228,27 @@ int main(int argc, char** argv) {
     std::cout << ", deadline " << budget.wall_clock_seconds << "s";
   std::cout << "):\n";
   const Solved<core::DoubleOracleResult> solved =
-      core::solve_double_oracle_budgeted(game, 1e-9, budget);
+      core::solve_double_oracle_budgeted(game, 1e-9, budget, obs_ptr);
   if (solved.ok()) {
     std::cout << "  hit probability = " << solved.result.value << " ("
               << solved.result.iterations << " iterations, gap "
               << solved.result.gap << ")\n";
   } else {
-    std::cout << "  status: " << solved.status.describe() << '\n'
+    std::cout << "  status: " << solved.status.to_string() << '\n'
               << "  certified bracket: [" << solved.result.lower_bound
               << ", " << solved.result.upper_bound << "], best estimate "
               << solved.result.value << '\n';
   }
+
+  if (obs_ptr != nullptr && obs_ptr->tracer != nullptr) {
+    tracer.flush();
+    std::cout << "\nTrace: " << tracer.events_emitted() << " events";
+    if (!trace_path.empty()) std::cout << " -> " << trace_path;
+    if (!chrome_trace_path.empty())
+      std::cout << " -> " << chrome_trace_path << " (chrome://tracing)";
+    std::cout << ", " << recorder.samples().size()
+              << " convergence samples\n";
+  }
+  if (dump_metrics) std::cout << "\nMetrics:\n" << metrics.to_json() << '\n';
   return 0;
 }

@@ -193,11 +193,17 @@ BestTuple best_tuple_branch_and_bound(const TupleGame& game,
 
 BestTupleSearch best_tuple_branch_and_bound_budgeted(
     const TupleGame& game, const std::vector<double>& masses,
-    std::uint64_t node_budget) {
+    std::uint64_t node_budget, obs::ObsContext* obs) {
   DEF_REQUIRE(masses.size() == game.graph().num_vertices(),
               "mass vector must cover every vertex");
-  return TupleSearch(game.graph(), game.k(), masses, node_budget)
-      .run_budgeted();
+  BestTupleSearch out =
+      TupleSearch(game.graph(), game.k(), masses, node_budget).run_budgeted();
+  if (obs != nullptr && obs->metrics != nullptr) {
+    obs->metrics->counter("oracle.calls").add(1);
+    obs->metrics->counter("oracle.nodes").add(out.nodes);
+    if (out.truncated) obs->metrics->counter("oracle.truncations").add(1);
+  }
+  return out;
 }
 
 BestTuple best_tuple(const TupleGame& game,

@@ -17,6 +17,7 @@
 
 #include "core/configuration.hpp"
 #include "core/game.hpp"
+#include "obs/context.hpp"
 
 namespace defender::core {
 
@@ -52,10 +53,11 @@ struct BestTupleSearch {
 /// Branch-and-bound capped at `node_budget` node expansions (0 = unlimited,
 /// equivalent to the exact oracle). Never throws on exhaustion: the greedy
 /// incumbent guarantees a feasible answer, and `upper_bound` certifies how
-/// far from optimal it can be.
+/// far from optimal it can be. With a non-null `obs`, each call updates the
+/// oracle.* metrics (calls, nodes, truncations); null obs is a no-op.
 BestTupleSearch best_tuple_branch_and_bound_budgeted(
     const TupleGame& game, const std::vector<double>& masses,
-    std::uint64_t node_budget);
+    std::uint64_t node_budget, obs::ObsContext* obs = nullptr);
 
 /// Picks the cheaper exact oracle for the instance size.
 BestTuple best_tuple(const TupleGame& game,

@@ -7,18 +7,22 @@
 // their best-so-far result with certified upper/lower bounds and a
 // kIterationLimit / kDeadlineExceeded status instead of throwing.
 //
-// BudgetMeter is the runtime companion: it owns the stopwatch and the
-// iteration counter so every solver enforces the budget the same way.
-// Deadline checks read the steady clock, so meters are cheap to poll once
-// per outer iteration but should not be polled in innermost loops; the
+// BudgetMeter is the runtime companion: it reads the shared obs::Clock and
+// owns the iteration counter so every solver enforces the budget the same
+// way. Deadline checks read the steady clock, so meters are cheap to poll
+// once per outer iteration but should not be polled in innermost loops; the
 // branch-and-bound oracle polls every few thousand node expansions instead.
+//
+// Timing goes through obs::Clock — the same handle the tracer's spans
+// read — so Status::elapsed_seconds and trace span durations are points on
+// one axis and can never disagree about what "elapsed" means.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <limits>
 
-#include "util/stopwatch.hpp"
+#include "obs/clock.hpp"
 
 namespace defender {
 
@@ -60,7 +64,8 @@ struct SolveBudget {
 /// Tracks consumption against a SolveBudget; one per solve.
 class BudgetMeter {
  public:
-  explicit BudgetMeter(const SolveBudget& budget) : budget_(budget) {}
+  explicit BudgetMeter(const SolveBudget& budget)
+      : budget_(budget), start_us_(obs::Clock::now_micros()) {}
 
   /// Records one completed outer iteration.
   void charge_iteration() { ++iterations_; }
@@ -74,20 +79,26 @@ class BudgetMeter {
            iterations_ >= budget_.max_iterations;
   }
 
-  /// True when the wall-clock deadline has passed. Reads the steady clock.
+  /// True when the wall-clock deadline has passed. Reads the shared clock.
   bool deadline_exceeded() const {
     return budget_.wall_clock_seconds > 0 &&
-           watch_.seconds() >= budget_.wall_clock_seconds;
+           elapsed_seconds() >= budget_.wall_clock_seconds;
   }
 
-  /// Seconds elapsed since the meter was constructed.
-  double elapsed_seconds() const { return watch_.seconds(); }
+  /// Seconds elapsed since the meter was constructed (obs::Clock axis).
+  double elapsed_seconds() const {
+    return obs::Clock::seconds_since(start_us_);
+  }
+
+  /// The meter's start tick on the shared obs::Clock axis, so trace spans
+  /// opened for this solve can share the exact same origin.
+  obs::Clock::Micros start_micros() const { return start_us_; }
 
   const SolveBudget& budget() const { return budget_; }
 
  private:
   SolveBudget budget_;
-  util::Stopwatch watch_;
+  obs::Clock::Micros start_us_;
   std::size_t iterations_ = 0;
 };
 

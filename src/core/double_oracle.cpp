@@ -87,19 +87,105 @@ struct RestrictedSnapshot {
   bool valid = false;
 };
 
+/// Opens the solve-level span when tracing is on; inert otherwise.
+obs::Span open_solve_span(obs::ObsContext* obs, const char* name,
+                          const TupleGame& game, double tolerance) {
+  if (obs->tracer == nullptr) return obs::Span();
+  return obs->tracer->span(
+      name,
+      {obs::TraceArg::of("n", static_cast<std::uint64_t>(
+                                  game.graph().num_vertices())),
+       obs::TraceArg::of("m", static_cast<std::uint64_t>(
+                                  game.graph().num_edges())),
+       obs::TraceArg::of("k", static_cast<std::uint64_t>(game.k())),
+       obs::TraceArg::of("tolerance", tolerance)});
+}
+
+/// One outer-iteration record: ConvergenceRecorder sample, trace event, and
+/// the running-gap gauge. Callers gate on `obs != nullptr`.
+void record_iteration(obs::ObsContext* obs, const char* event_name,
+                      const BudgetMeter& meter, double lower, double upper,
+                      double gap, std::size_t defender_set,
+                      std::size_t attacker_set, std::uint64_t oracle_nodes) {
+  if (obs->convergence != nullptr) {
+    obs::IterationSample s;
+    s.iteration = meter.iterations();
+    s.lower = lower;
+    s.upper = upper;
+    s.gap = gap;
+    s.defender_support = defender_set;
+    s.attacker_support = attacker_set;
+    s.oracle_nodes = oracle_nodes;
+    s.elapsed_seconds = meter.elapsed_seconds();
+    obs->convergence->record(s);
+  }
+  if (obs->tracer != nullptr) {
+    obs->tracer->instant(
+        event_name,
+        {obs::TraceArg::of("iteration",
+                           static_cast<std::uint64_t>(meter.iterations())),
+         obs::TraceArg::of("lower", lower), obs::TraceArg::of("upper", upper),
+         obs::TraceArg::of("gap", gap),
+         obs::TraceArg::of("defender_set",
+                           static_cast<std::uint64_t>(defender_set)),
+         obs::TraceArg::of("attacker_set",
+                           static_cast<std::uint64_t>(attacker_set)),
+         obs::TraceArg::of("oracle_nodes", oracle_nodes)});
+  }
+  if (obs->metrics != nullptr) obs->metrics->gauge("do.gap").set(upper - lower);
+}
+
+/// Final record: the `<prefix>.finish` event carries exactly the returned
+/// Status (code, iterations) plus the certified bracket, then the solve
+/// span is closed and the do.* metrics updated. Callers gate on
+/// `obs != nullptr`.
+void record_finish(obs::ObsContext* obs, const std::string& prefix,
+                   obs::Span& span, const Solved<DoubleOracleResult>& out,
+                   double elapsed_ms) {
+  if (obs->metrics != nullptr) {
+    obs->metrics->counter(prefix + ".solves").add(1);
+    obs->metrics->counter(prefix + ".iterations")
+        .add(out.result.iterations);
+    if (!out.status.ok()) obs->metrics->counter(prefix + ".degraded").add(1);
+    obs->metrics->histogram(prefix + ".solve_ms").observe(elapsed_ms);
+  }
+  if (obs->tracer != nullptr) {
+    obs->tracer->instant(
+        prefix + ".finish",
+        {obs::TraceArg::of("status",
+                           std::string(to_string(out.status.code))),
+         obs::TraceArg::of("iterations",
+                           static_cast<std::uint64_t>(
+                               out.result.iterations)),
+         obs::TraceArg::of("value", out.result.value),
+         obs::TraceArg::of("lower", out.result.lower_bound),
+         obs::TraceArg::of("upper", out.result.upper_bound),
+         obs::TraceArg::of("gap", out.result.gap),
+         obs::TraceArg::of("elapsed_ms", elapsed_ms)});
+    span.arg("status", std::string(to_string(out.status.code)));
+    span.arg("iterations",
+             static_cast<std::uint64_t>(out.result.iterations));
+    span.end();
+  }
+}
+
 }  // namespace
 
 Solved<DoubleOracleResult> solve_double_oracle_budgeted(
-    const TupleGame& game, double tolerance, const SolveBudget& budget) {
+    const TupleGame& game, double tolerance, const SolveBudget& budget,
+    obs::ObsContext* obs) {
   const graph::Graph& g = game.graph();
   const std::size_t n = g.num_vertices();
   BudgetMeter meter(budget);
+  obs::Span solve_span;
+  if (obs != nullptr)
+    solve_span = open_solve_span(obs, "do.solve", game, tolerance);
 
   // Seed: the defender's best response to a uniform attacker, and one
   // uncovered-if-possible vertex.
   std::vector<double> uniform_mass(n, 1.0 / static_cast<double>(n));
   BestTupleSearch seed = best_tuple_branch_and_bound_budgeted(
-      game, uniform_mass, budget.oracle_node_budget);
+      game, uniform_mass, budget.oracle_node_budget, obs);
   std::vector<Tuple> tuples{seed.best.tuple};
   std::vector<graph::Vertex> vertices{0};
 
@@ -136,6 +222,9 @@ Solved<DoubleOracleResult> solve_double_oracle_budgeted(
                                     meter.iterations(),
                                     r.upper_bound - r.lower_bound,
                                     meter.elapsed_seconds());
+    if (obs != nullptr)
+      record_finish(obs, "do", solve_span, out,
+                    meter.elapsed_seconds() * 1e3);
     return out;
   };
 
@@ -160,7 +249,7 @@ Solved<DoubleOracleResult> solve_double_oracle_budgeted(
       lp_budget.wall_clock_seconds = std::max(
           1e-3, budget.wall_clock_seconds - meter.elapsed_seconds());
     const Solved<lp::MatrixGameSolution> lp_solved =
-        lp::solve_matrix_game_budgeted(a, lp_budget);
+        lp::solve_matrix_game_budgeted(a, lp_budget, obs);
     if (!lp_solved.ok() &&
         lp_solved.status.code != StatusCode::kNumericallyUnstable)
       return finish(StatusCode::kDeadlineExceeded,
@@ -179,7 +268,7 @@ Solved<DoubleOracleResult> solve_double_oracle_budgeted(
     for (std::size_t v = 0; v < vertices.size(); ++v)
       masses[vertices[v]] += restricted.col_strategy[v];
     const BestTupleSearch br_search = best_tuple_branch_and_bound_budgeted(
-        game, masses, budget.oracle_node_budget);
+        game, masses, budget.oracle_node_budget, obs);
     const BestTuple& br_tuple = br_search.best;
     any_truncated = any_truncated || br_search.truncated;
     // value <= (true max coverage vs this attacker mix); when the oracle
@@ -219,6 +308,9 @@ Solved<DoubleOracleResult> solve_double_oracle_budgeted(
                                       br_vertex) != vertices.end();
     const double gap = std::max(br_tuple.mass - restricted.value,
                                 restricted.value - attacker_br_value);
+    if (obs != nullptr)
+      record_iteration(obs, "do.iteration", meter, best_lower, best_upper,
+                       gap, tuples.size(), vertices.size(), br_search.nodes);
     const bool converged =
         (defender_closed || defender_stalled) &&
         (attacker_closed || attacker_stalled) && gap <= kStallSlack;
@@ -256,13 +348,16 @@ Solved<DoubleOracleResult> solve_double_oracle_budgeted(
 
 Solved<DoubleOracleResult> solve_weighted_double_oracle_budgeted(
     const TupleGame& game, std::span<const double> weights, double tolerance,
-    const SolveBudget& budget) {
+    const SolveBudget& budget, obs::ObsContext* obs) {
   const graph::Graph& g = game.graph();
   const std::size_t n = g.num_vertices();
   DEF_REQUIRE(weights.size() == n, "one damage weight per vertex");
   for (double w : weights)
     DEF_REQUIRE(w > 0, "damage weights must be strictly positive");
   BudgetMeter meter(budget);
+  obs::Span solve_span;
+  if (obs != nullptr)
+    solve_span = open_solve_span(obs, "do.weighted.solve", game, tolerance);
 
   // Seed with the defender's best response to a uniform attacker and the
   // most valuable vertex (the attacker's first instinct).
@@ -270,7 +365,7 @@ Solved<DoubleOracleResult> solve_weighted_double_oracle_budgeted(
   for (std::size_t v = 0; v < n; ++v)
     seed_mass[v] = weights[v] / static_cast<double>(n);
   BestTupleSearch seed = best_tuple_branch_and_bound_budgeted(
-      game, seed_mass, budget.oracle_node_budget);
+      game, seed_mass, budget.oracle_node_budget, obs);
   std::vector<Tuple> tuples{seed.best.tuple};
   std::vector<graph::Vertex> vertices{static_cast<graph::Vertex>(
       std::max_element(weights.begin(), weights.end()) - weights.begin())};
@@ -305,6 +400,9 @@ Solved<DoubleOracleResult> solve_weighted_double_oracle_budgeted(
                                     meter.iterations(),
                                     r.upper_bound - r.lower_bound,
                                     meter.elapsed_seconds());
+    if (obs != nullptr)
+      record_finish(obs, "do.weighted", solve_span, out,
+                    meter.elapsed_seconds() * 1e3);
     return out;
   };
 
@@ -338,7 +436,7 @@ Solved<DoubleOracleResult> solve_weighted_double_oracle_budgeted(
       lp_budget.wall_clock_seconds = std::max(
           1e-3, budget.wall_clock_seconds - meter.elapsed_seconds());
     const Solved<lp::MatrixGameSolution> lp_solved =
-        lp::solve_matrix_game_budgeted(damage, lp_budget);
+        lp::solve_matrix_game_budgeted(damage, lp_budget, obs);
     if (!lp_solved.ok() &&
         lp_solved.status.code != StatusCode::kNumericallyUnstable)
       return finish(StatusCode::kDeadlineExceeded,
@@ -362,7 +460,7 @@ Solved<DoubleOracleResult> solve_weighted_double_oracle_budgeted(
       total_weighted += weights[vertices[v]] * restricted.row_strategy[v];
     }
     const BestTupleSearch br_search = best_tuple_branch_and_bound_budgeted(
-        game, masses, budget.oracle_node_budget);
+        game, masses, budget.oracle_node_budget, obs);
     const BestTuple& br_tuple = br_search.best;
     any_truncated = any_truncated || br_search.truncated;
     const double defender_br_damage = total_weighted - br_tuple.mass;
@@ -404,6 +502,10 @@ Solved<DoubleOracleResult> solve_weighted_double_oracle_budgeted(
                                       br_tuple.tuple) != tuples.end();
     const double gap = std::max(attacker_br_damage - restricted.value,
                                 restricted.value - defender_br_damage);
+    if (obs != nullptr)
+      record_iteration(obs, "do.weighted.iteration", meter, best_lower,
+                       best_upper, gap, tuples.size(), vertices.size(),
+                       br_search.nodes);
     if ((attacker_closed || attacker_stalled) &&
         (defender_closed || defender_stalled) && gap <= kStallSlack) {
       if (br_search.truncated)

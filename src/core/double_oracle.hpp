@@ -31,6 +31,7 @@
 #include "core/configuration.hpp"
 #include "core/game.hpp"
 #include "core/status.hpp"
+#include "obs/context.hpp"
 
 namespace defender::core {
 
@@ -67,13 +68,23 @@ struct DoubleOracleResult {
 /// Budget-bounded solve with graceful degradation; never throws on budget
 /// exhaustion or an oracle stall (those return kIterationLimit /
 /// kDeadlineExceeded / kNumericallyUnstable with best-so-far bounds).
+///
+/// Observability: with a non-null `obs`, the solve opens a `do.solve` trace
+/// span, emits one `do.iteration` event + ConvergenceRecorder sample per
+/// outer iteration (running bracket, instantaneous gap, working-set sizes,
+/// oracle node count), finishes with a `do.finish` event matching the
+/// returned Status, and maintains the do.* / oracle.* / lp.* metrics. The
+/// default null context records nothing, costs one branch per hook, and
+/// leaves results bit-for-bit identical.
 Solved<DoubleOracleResult> solve_double_oracle_budgeted(
-    const TupleGame& game, double tolerance, const SolveBudget& budget);
+    const TupleGame& game, double tolerance, const SolveBudget& budget,
+    obs::ObsContext* obs = nullptr);
 
-/// Damage-weighted budgeted solve (see solve_weighted_double_oracle).
+/// Damage-weighted budgeted solve (see solve_weighted_double_oracle); same
+/// observability contract under the `do.weighted.*` event names.
 Solved<DoubleOracleResult> solve_weighted_double_oracle_budgeted(
     const TupleGame& game, std::span<const double> weights, double tolerance,
-    const SolveBudget& budget);
+    const SolveBudget& budget, obs::ObsContext* obs = nullptr);
 
 /// Solves the zero-sum view of Π_k(G) exactly (within `tolerance`).
 /// Legacy throwing wrapper over the budgeted solver: `max_iterations`

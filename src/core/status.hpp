@@ -71,7 +71,10 @@ struct Status {
   bool ok() const { return code == StatusCode::kOk; }
 
   /// "code: message (iterations=…, residual=…)" for logs and CLIs.
-  std::string describe() const;
+  std::string to_string() const;
+
+  /// Legacy alias of to_string().
+  std::string describe() const { return to_string(); }
 
   static Status make_ok(std::size_t iterations = 0, double residual = 0,
                         double elapsed_seconds = 0) {
@@ -85,8 +88,9 @@ struct Status {
   }
 };
 
-inline std::string Status::describe() const {
-  std::string out = to_string(code);
+inline std::string Status::to_string() const {
+  // Qualified: the unqualified name would resolve to this member itself.
+  std::string out = defender::to_string(code);
   if (!message.empty()) {
     out += ": ";
     out += message;

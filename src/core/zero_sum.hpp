@@ -46,9 +46,11 @@ lp::MatrixGameSolution solve_zero_sum(const TupleGame& game,
 ///                      bracket the true value ([lower_bound, upper_bound]);
 ///   kInvalidInput      E^k exceeds max_tuples (too large to enumerate);
 ///   kNumericallyUnstable  the LP failed its residual verification.
+/// A non-null `obs` reaches the simplex substrate (lp.* metrics and trace
+/// events); the default null context records nothing.
 Solved<lp::MatrixGameSolution> solve_zero_sum_budgeted(
     const TupleGame& game, const SolveBudget& budget,
-    std::uint64_t max_tuples = 20'000);
+    std::uint64_t max_tuples = 20'000, obs::ObsContext* obs = nullptr);
 
 /// Converts a zero-sum solution into a symmetric mixed configuration of the
 /// full ν-attacker game (drops strategies below `prob_floor` and

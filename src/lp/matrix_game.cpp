@@ -58,7 +58,7 @@ MatrixGameSolution assemble(const Matrix& payoff, const LpSolution& lp,
 }  // namespace
 
 Solved<MatrixGameSolution> solve_matrix_game_budgeted(
-    const Matrix& payoff, const SolveBudget& budget) {
+    const Matrix& payoff, const SolveBudget& budget, obs::ObsContext* obs) {
   const std::size_t rows = payoff.rows();
   const std::size_t cols = payoff.cols();
   BudgetMeter meter(budget);
@@ -77,6 +77,7 @@ Solved<MatrixGameSolution> solve_matrix_game_budgeted(
   SimplexOptions options;
   options.max_pivots = budget.max_iterations;
   options.deadline_seconds = budget.wall_clock_seconds;
+  options.obs = obs;
   LpSolution lp = solve_max(a, b, c, options);
 
   Solved<MatrixGameSolution> out;

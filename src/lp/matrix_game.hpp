@@ -25,6 +25,7 @@
 #include "core/status.hpp"
 #include "lp/dense_matrix.hpp"
 #include "lp/simplex.hpp"
+#include "obs/context.hpp"
 
 namespace defender::lp {
 
@@ -58,9 +59,12 @@ MatrixGameSolution solve_matrix_game(const Matrix& payoff);
 ///                         security levels bracket the true value;
 ///   kNumericallyUnstable  verification failed after the re-solve; the
 ///                         security-level bracket is still certified.
-/// Never throws for any of the above.
+/// Never throws for any of the above. A non-null `obs` is forwarded to the
+/// simplex substrate (lp.* metrics, per-solve trace events); the default
+/// null context records nothing and costs one branch.
 Solved<MatrixGameSolution> solve_matrix_game_budgeted(
-    const Matrix& payoff, const SolveBudget& budget);
+    const Matrix& payoff, const SolveBudget& budget,
+    obs::ObsContext* obs = nullptr);
 
 /// Best-response value check: the payoff the row player earns by playing
 /// `row_strategy` against the column player's best pure counter-strategy.

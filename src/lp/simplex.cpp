@@ -4,8 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/clock.hpp"
 #include "util/assert.hpp"
-#include "util/stopwatch.hpp"
 
 namespace defender::lp {
 
@@ -123,7 +123,7 @@ class Tableau {
     if (max_pivots_ != 0 && pivots_ >= max_pivots_) return true;
     // Poll the clock sparsely; pivots dominate the cost anyway.
     if (deadline_seconds_ > 0 && pivots_ % 16 == 0 &&
-        watch_.seconds() >= deadline_seconds_)
+        obs::Clock::seconds_since(start_us_) >= deadline_seconds_)
       return true;
     return false;
   }
@@ -243,7 +243,7 @@ class Tableau {
   double ratio_eps_;
   std::size_t max_pivots_;
   double deadline_seconds_;
-  util::Stopwatch watch_;
+  obs::Clock::Micros start_us_ = obs::Clock::now_micros();
   std::size_t pivots_ = 0;
   bool infeasible_ = false;
   std::vector<std::vector<double>> t_;  // m_+1 rows; last is the z-row
@@ -324,14 +324,55 @@ LpResiduals lp_residuals(const Matrix& a, std::span<const double> b,
   return r;
 }
 
+namespace {
+
+/// Instrumented epilogue: one branch on the nullable context, then spans
+/// and lp.* metrics. Kept out of the solve path so the null-obs route is
+/// untouched.
+void record_solve(obs::ObsContext* obs, const Matrix& a,
+                  const LpSolution& s, bool guard_retry, double elapsed_ms) {
+  if (obs->metrics != nullptr) {
+    obs->metrics->counter("lp.solves").add(1);
+    obs->metrics->counter("lp.pivots").add(s.pivots);
+    if (guard_retry) obs->metrics->counter("lp.guard_retries").add(1);
+    if (s.status == LpStatus::kNumericallyUnstable)
+      obs->metrics->counter("lp.unstable").add(1);
+    obs->metrics->histogram("lp.solve_ms").observe(elapsed_ms);
+  }
+  if (obs->tracer != nullptr) {
+    obs->tracer->instant(
+        "lp.solve",
+        {obs::TraceArg::of("rows", static_cast<std::uint64_t>(a.rows())),
+         obs::TraceArg::of("cols", static_cast<std::uint64_t>(a.cols())),
+         obs::TraceArg::of("pivots", static_cast<std::uint64_t>(s.pivots)),
+         obs::TraceArg::of("guard_retry",
+                           static_cast<std::uint64_t>(guard_retry ? 1 : 0)),
+         obs::TraceArg::of("status", std::string(to_string(s.status))),
+         obs::TraceArg::of("ms", elapsed_ms)});
+  }
+}
+
+}  // namespace
+
 LpSolution solve_max(const Matrix& a, std::span<const double> b,
                      std::span<const double> c,
                      const SimplexOptions& options) {
   DEF_REQUIRE(a.rows() == b.size(), "rhs size must match the row count");
   DEF_REQUIRE(a.cols() == c.size(), "objective size must match the column count");
 
+  // The shared-clock start tick is only read when observability is on.
+  const obs::Clock::Micros start_us =
+      options.obs != nullptr ? obs::Clock::now_micros() : 0;
+  bool guard_retry = false;
+  const auto finish = [&](LpSolution out) {
+    if (options.obs != nullptr)
+      record_solve(options.obs, a, out, guard_retry,
+                   obs::Clock::seconds_since(start_us) * 1e3);
+    return out;
+  };
+
   LpSolution s = run_simplex(a, b, c, options, options.pivot_tolerance);
-  if (!options.verify || s.status != LpStatus::kOptimal) return s;
+  if (!options.verify || s.status != LpStatus::kOptimal) return finish(std::move(s));
 
   // Scale-aware acceptance: residuals grow with the data magnitude.
   double scale = 1.0;
@@ -343,11 +384,12 @@ LpSolution solve_max(const Matrix& a, std::span<const double> b,
   s.max_primal_residual = res.max_primal_residual;
   s.duality_gap = res.duality_gap;
   if (res.max_primal_residual <= accept && res.duality_gap <= accept)
-    return s;
+    return finish(std::move(s));
 
   // One automatic re-solve rejecting pivots two orders of magnitude larger
   // than before; small pivot elements are the canonical way a dense tableau
   // drifts.
+  guard_retry = true;
   LpSolution retry =
       run_simplex(a, b, c, options, options.pivot_tolerance * 100.0);
   retry.pivots += s.pivots;
@@ -357,14 +399,14 @@ LpSolution solve_max(const Matrix& a, std::span<const double> b,
     retry.max_primal_residual = res2.max_primal_residual;
     retry.duality_gap = res2.duality_gap;
     if (res2.max_primal_residual <= accept && res2.duality_gap <= accept)
-      return retry;
+      return finish(std::move(retry));
     // Keep whichever attempt certified the smaller residual; flag it.
     if (std::max(res2.max_primal_residual, res2.duality_gap) <
         std::max(res.max_primal_residual, res.duality_gap))
       s = retry;
   }
   s.status = LpStatus::kNumericallyUnstable;
-  return s;
+  return finish(std::move(s));
 }
 
 LpSolution solve_max(const Matrix& a, std::span<const double> b,

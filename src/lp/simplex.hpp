@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "lp/dense_matrix.hpp"
+#include "obs/context.hpp"
 
 namespace defender::lp {
 
@@ -58,6 +59,10 @@ struct SimplexOptions {
   /// Run the post-solve residual/duality verification (and the one
   /// automatic tightened re-solve on failure).
   bool verify = true;
+  /// Optional observability: with a non-null context, each solve records a
+  /// span plus the lp.* metrics (pivots, guard retries, instability).
+  /// Null (the default) costs one branch and nothing else.
+  obs::ObsContext* obs = nullptr;
 };
 
 /// Solution of `maximize c^T x s.t. Ax <= b, x >= 0`.

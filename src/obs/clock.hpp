@@ -1,0 +1,53 @@
+// The one monotonic time source of the observability layer.
+//
+// Before this header existed every timing consumer owned its own
+// steady-clock epoch: BudgetMeter carried a util::Stopwatch, the simplex
+// pivot loop another, and any ad-hoc span timing would have added a third.
+// Epochs that differ by construction order make cross-referencing
+// impossible — a `Status::elapsed_seconds` of 0.8s and a trace span of
+// 0.8s could still describe different intervals. obs::Clock fixes a single
+// process-wide epoch (first use) and hands out microsecond ticks against
+// it, so budget meters, tracer spans, and metric timestamps are all points
+// on the same axis and can be compared or subtracted directly.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace defender::obs {
+
+/// Process-wide steady clock with a shared epoch. All observability
+/// timestamps (trace events, span durations, budget-meter elapsed times)
+/// are microsecond counts from this one epoch.
+class Clock {
+ public:
+  /// Microseconds since the process-wide epoch.
+  using Micros = std::uint64_t;
+
+  /// Current tick. Monotonic; never decreases.
+  static Micros now_micros() {
+    return static_cast<Micros>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch())
+            .count());
+  }
+
+  /// Seconds elapsed since `start` (a tick previously read from this clock).
+  static double seconds_since(Micros start) {
+    return static_cast<double>(now_micros() - start) * 1e-6;
+  }
+
+  /// Seconds between two ticks of this clock.
+  static double seconds_between(Micros start, Micros end) {
+    return static_cast<double>(end - start) * 1e-6;
+  }
+
+ private:
+  static std::chrono::steady_clock::time_point epoch() {
+    static const std::chrono::steady_clock::time_point e =
+        std::chrono::steady_clock::now();
+    return e;
+  }
+};
+
+}  // namespace defender::obs

@@ -1,0 +1,37 @@
+// The nullable handle that turns solver observability on.
+//
+// Every instrumented solver takes a trailing `obs::ObsContext* obs =
+// nullptr`. The contract is strict so instrumentation can never change
+// results or performance:
+//
+//   * obs == nullptr  (the default) — every hook compiles down to one
+//     predictable branch on a pointer; no allocation, no clock read, no
+//     atomic. Solver outputs are bit-for-bit identical to the
+//     uninstrumented code (asserted by tests/obs/obs_solver_test.cpp) and
+//     the overhead is unmeasurable (<1%; see bench_micro's
+//     BM_DoubleOracle_NullObs vs BM_DoubleOracle_FullObs pair).
+//
+//   * obs != nullptr — whichever members are non-null are fed: `tracer`
+//     receives spans and typed events, `metrics` cheap atomic counter /
+//     histogram updates, `convergence` one IterationSample per outer
+//     iteration. Members are independently optional.
+//
+// The context is plain aggregate state owned by the CALLER (CLI, bench,
+// test); solvers only read the pointers and never take ownership.
+#pragma once
+
+#include "obs/convergence.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace defender::obs {
+
+/// Observability wiring for one solve (or a batch of solves). All members
+/// optional; a default-constructed context is valid but records nothing.
+struct ObsContext {
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
+  ConvergenceRecorder* convergence = nullptr;
+};
+
+}  // namespace defender::obs

@@ -1,0 +1,60 @@
+// Per-iteration convergence diagnostics for the iterative solvers.
+//
+// Equilibrium-computation papers compare algorithms by how their certified
+// value brackets, duality gaps, and support sizes evolve per iteration —
+// not by the final number alone. The recorder captures exactly that: each
+// outer iteration of the double oracle (or checkpoint of fictitious play /
+// Hedge) appends one IterationSample. Samples carry the RUNNING bounds, so
+// on any correct solver the recorded bracket is monotonically narrowing —
+// an invariant the obs tests assert.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace defender::obs {
+
+/// One outer iteration (or learning checkpoint) of a solve.
+struct IterationSample {
+  std::size_t iteration = 0;
+  /// Running certified bracket on the game value.
+  double lower = 0;
+  double upper = 0;
+  /// Instantaneous duality gap of this iteration (restricted-game based;
+  /// can exceed upper-lower early on).
+  double gap = 0;
+  /// Working-set / support sizes at this iteration.
+  std::size_t defender_support = 0;
+  std::size_t attacker_support = 0;
+  /// Branch-and-bound nodes the oracle expanded in this iteration.
+  std::uint64_t oracle_nodes = 0;
+  /// Seconds since the solve started (same clock as Status::elapsed_seconds).
+  double elapsed_seconds = 0;
+};
+
+/// Append-only sample log for one solve. Not thread-safe: one recorder per
+/// solve, owned by the caller that installed the ObsContext.
+class ConvergenceRecorder {
+ public:
+  void record(const IterationSample& sample) { samples_.push_back(sample); }
+
+  const std::vector<IterationSample>& samples() const { return samples_; }
+  bool empty() const { return samples_.empty(); }
+  void clear() { samples_.clear(); }
+
+  /// True when the recorded bracket never widens: lower bounds
+  /// non-decreasing and upper bounds non-increasing (within `slack`).
+  bool monotonically_narrowing(double slack = 1e-12) const {
+    for (std::size_t i = 1; i < samples_.size(); ++i) {
+      if (samples_[i].lower < samples_[i - 1].lower - slack) return false;
+      if (samples_[i].upper > samples_[i - 1].upper + slack) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<IterationSample> samples_;
+};
+
+}  // namespace defender::obs

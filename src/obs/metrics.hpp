@@ -1,0 +1,128 @@
+// Process-wide metrics: named counters, gauges, and latency histograms.
+//
+// The registry is the aggregation side of the observability layer: solvers
+// look their instruments up ONCE per solve (a mutex-guarded map access),
+// then record through them with relaxed atomic operations — cheap enough
+// for per-iteration use, safe from any thread. A snapshot/export API
+// renders the whole registry to a stable JSON document for CLIs and CI
+// artifacts.
+//
+// Naming convention (see docs/OBSERVABILITY.md): dotted lowercase paths,
+// `<subsystem>.<what>[_<unit>]` — e.g. "do.iterations", "lp.pivots",
+// "oracle.nodes", "do.solve_ms".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace defender::obs {
+
+/// Monotonically increasing event count. Relaxed atomics: totals are exact,
+/// ordering against other metrics is not guaranteed (nor needed).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (working-set sizes, current gap).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram; bucket i counts observations <= bounds[i], with
+/// one implicit overflow bucket. Bounds are fixed at construction so
+/// observe() is a binary search plus two relaxed atomic adds.
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> bounds);
+
+  /// The default latency scale, in milliseconds: 0.01ms .. 10s, decade steps
+  /// with a 3x midpoint (1-3-10 series).
+  static const std::vector<double>& default_latency_ms_bounds();
+
+  void observe(double value);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Cumulative count of observations <= bounds()[i]; index bounds().size()
+  /// is the total (the overflow bucket included).
+  std::uint64_t cumulative_count(std::size_t i) const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// One exported metric; `kind` discriminates which fields are meaningful.
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  Kind kind = Kind::kCounter;
+  std::string name;
+  std::uint64_t count = 0;                  // counter value / histogram count
+  double value = 0;                         // gauge value / histogram sum
+  std::vector<double> bucket_bounds;        // histogram only
+  std::vector<std::uint64_t> bucket_counts; // per-bucket (incl. overflow)
+};
+
+/// Registry of named instruments. Lookup creates on first use and returns a
+/// stable reference (instruments are never destroyed while the registry
+/// lives), so hot paths hold the reference and never touch the map again.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// First call fixes the bounds; later calls with the same name return the
+  /// existing histogram regardless of `bounds`.
+  Histogram& histogram(const std::string& name,
+                       const std::vector<double>& bounds =
+                           Histogram::default_latency_ms_bounds());
+
+  /// Point-in-time export of every instrument, sorted by name.
+  std::vector<MetricSnapshot> snapshot() const;
+
+  /// The snapshot rendered as one stable JSON object.
+  std::string to_json() const;
+
+  /// Zeroes every instrument (kept registered; references stay valid).
+  void reset();
+
+  /// The process-wide default registry.
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace defender::obs

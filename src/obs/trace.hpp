@@ -1,0 +1,205 @@
+// Structured tracing: RAII spans and typed events over pluggable sinks.
+//
+// The tracer is the narrative side of the observability layer: solvers
+// open a span per solve (and, when useful, per outer iteration), attach
+// typed arguments (value brackets, support sizes, node counts), and emit
+// instant events at decision points. Two sinks ship with the library:
+//
+//   * JsonlSink — one self-contained JSON object per line; trivially
+//     greppable, diffable, and parseable by the tests and CI tooling;
+//   * ChromeTraceSink — the Chrome `trace_event` array format; open the
+//     file at chrome://tracing or https://ui.perfetto.dev to see the solve
+//     as a flame graph.
+//
+// All timestamps come from obs::Clock, the same clock handle BudgetMeter
+// reads, so span durations and Status::elapsed_seconds can never disagree.
+// Event sequence numbers give a deterministic total order even when
+// multiple threads trace concurrently.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/clock.hpp"
+
+namespace defender::obs {
+
+/// One typed key/value attached to an event.
+struct TraceArg {
+  enum class Kind { kDouble, kUint, kString };
+  std::string key;
+  Kind kind = Kind::kDouble;
+  double number = 0;
+  std::uint64_t uint = 0;
+  std::string text;
+
+  static TraceArg of(std::string key, double value) {
+    TraceArg a;
+    a.key = std::move(key);
+    a.kind = Kind::kDouble;
+    a.number = value;
+    return a;
+  }
+  static TraceArg of(std::string key, std::uint64_t value) {
+    TraceArg a;
+    a.key = std::move(key);
+    a.kind = Kind::kUint;
+    a.uint = value;
+    return a;
+  }
+  static TraceArg of(std::string key, std::string value) {
+    TraceArg a;
+    a.key = std::move(key);
+    a.kind = Kind::kString;
+    a.text = std::move(value);
+    return a;
+  }
+};
+
+/// One emitted trace record.
+struct TraceEvent {
+  enum class Phase { kSpanBegin, kSpanEnd, kInstant };
+  Phase phase = Phase::kInstant;
+  std::string name;
+  Clock::Micros ts_us = 0;     // obs::Clock tick at emission
+  std::uint64_t seq = 0;       // tracer-wide total order
+  std::uint64_t span_id = 0;   // nonzero for span begin/end pairs
+  std::uint32_t thread = 0;    // small per-tracer thread ordinal
+  std::uint32_t depth = 0;     // span nesting depth on this thread
+  std::vector<TraceArg> args;
+};
+
+/// Where trace events go. Implementations must tolerate concurrent write()
+/// calls (the tracer serializes them, but sinks shared across tracers must
+/// lock internally — both shipped sinks do).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void write(const TraceEvent& event) = 0;
+  virtual void flush() {}
+};
+
+/// One JSON object per line:
+///   {"ph":"B|E|i","name":...,"ts_us":...,"seq":...,"span":...,
+///    "thread":...,"depth":...,"args":{...}}
+class JsonlSink : public TraceSink {
+ public:
+  /// Writes to an externally owned stream (kept open by the caller).
+  explicit JsonlSink(std::ostream& out) : out_(&out) {}
+  /// Opens `path` for writing; ok() reports whether the open succeeded.
+  explicit JsonlSink(const std::string& path);
+
+  bool ok() const { return out_ != nullptr && out_->good(); }
+  void write(const TraceEvent& event) override;
+  void flush() override;
+
+ private:
+  std::ofstream owned_;
+  std::ostream* out_ = nullptr;
+  std::mutex mu_;
+};
+
+/// Chrome trace_event JSON: an array of {"ph":"B"/"E"/"i"} records with
+/// microsecond timestamps. The array is finalized on flush()/destruction.
+class ChromeTraceSink : public TraceSink {
+ public:
+  explicit ChromeTraceSink(std::ostream& out) : out_(&out) { begin(); }
+  explicit ChromeTraceSink(const std::string& path);
+  ~ChromeTraceSink() override;
+
+  bool ok() const { return out_ != nullptr && out_->good(); }
+  void write(const TraceEvent& event) override;
+  void flush() override;
+
+ private:
+  void begin();
+  std::ofstream owned_;
+  std::ostream* out_ = nullptr;
+  bool any_ = false;
+  bool closed_ = false;
+  std::mutex mu_;
+};
+
+class Tracer;
+
+/// RAII span: emits kSpanBegin on construction and kSpanEnd on destruction
+/// (with any args attached in between). Move-only.
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { end(); }
+
+  /// Attaches a typed argument to the span's end event.
+  void arg(std::string key, double value) {
+    args_.push_back(TraceArg::of(std::move(key), value));
+  }
+  void arg(std::string key, std::uint64_t value) {
+    args_.push_back(TraceArg::of(std::move(key), value));
+  }
+  void arg(std::string key, std::string value) {
+    args_.push_back(TraceArg::of(std::move(key), std::move(value)));
+  }
+
+  /// Ends the span now (idempotent; the destructor is then a no-op).
+  void end();
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, std::string name, std::uint64_t span_id)
+      : tracer_(tracer), name_(std::move(name)), span_id_(span_id) {}
+
+  Tracer* tracer_ = nullptr;  // null = inert (moved-from or default)
+  std::string name_;
+  std::uint64_t span_id_ = 0;
+  std::vector<TraceArg> args_;
+};
+
+/// Emits events to one or more sinks with shared-clock timestamps, global
+/// sequence numbers, and per-thread nesting depths.
+class Tracer {
+ public:
+  explicit Tracer(TraceSink* sink) { add_sink(sink); }
+  Tracer() = default;
+
+  /// Registers an additional sink (not owned). Null is ignored.
+  void add_sink(TraceSink* sink);
+
+  /// Opens a span; emits its begin event immediately.
+  [[nodiscard]] Span span(std::string name,
+                          std::vector<TraceArg> args = {});
+
+  /// Emits a single instant event.
+  void instant(std::string name, std::vector<TraceArg> args = {});
+
+  void flush();
+
+  /// Events emitted so far (spans count twice: begin + end).
+  std::uint64_t events_emitted() const {
+    return seq_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Span;
+  void emit(TraceEvent event);
+  void end_span(const std::string& name, std::uint64_t span_id,
+                std::vector<TraceArg> args);
+  std::uint32_t thread_ordinal();
+
+  std::vector<TraceSink*> sinks_;
+  std::mutex mu_;  // guards sinks_ during emission
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::uint64_t> next_span_{1};
+  std::atomic<std::uint32_t> next_thread_{1};
+};
+
+}  // namespace defender::obs

@@ -31,11 +31,114 @@ Status finish_status(StatusCode code, std::size_t rounds, double gap,
   return Status::make(code, what, rounds, gap, elapsed);
 }
 
+/// Positive entries of an empirical history — the support size recorded at
+/// checkpoints.
+std::size_t support_size(const std::vector<double>& counts) {
+  std::size_t s = 0;
+  for (double c : counts)
+    if (c > 0) ++s;
+  return s;
+}
+
+/// Opens the run-level span when tracing is on; inert otherwise.
+obs::Span open_fp_span(obs::ObsContext* obs, const char* name,
+                       const core::TupleGame& game, double target_gap) {
+  if (obs->tracer == nullptr) return obs::Span();
+  return obs->tracer->span(
+      name,
+      {obs::TraceArg::of("n", static_cast<std::uint64_t>(
+                                  game.graph().num_vertices())),
+       obs::TraceArg::of("m", static_cast<std::uint64_t>(
+                                  game.graph().num_edges())),
+       obs::TraceArg::of("k", static_cast<std::uint64_t>(game.k())),
+       obs::TraceArg::of("target_gap", target_gap)});
+}
+
+/// Running intersection of the per-checkpoint certified brackets. Each
+/// checkpoint's bounds individually contain the game value, so the
+/// intersection does too — and it is monotone by construction, which is the
+/// narrowing invariant ConvergenceRecorder samples promise (the raw,
+/// possibly wobbling per-checkpoint bounds stay visible in the trace
+/// events and in result.trace).
+struct RunningBracket {
+  double lower = -std::numeric_limits<double>::infinity();
+  double upper = std::numeric_limits<double>::infinity();
+  void absorb(double lo, double up) {
+    lower = std::max(lower, lo);
+    upper = std::min(upper, up);
+  }
+};
+
+/// One bound checkpoint: ConvergenceRecorder sample (running bracket),
+/// trace event (instantaneous bounds), running gap gauge. Callers gate on
+/// `obs != nullptr`.
+void record_checkpoint(obs::ObsContext* obs, const char* event_name,
+                       const FictitiousPlayTrace& t, RunningBracket& bracket,
+                       std::size_t defender_support,
+                       std::size_t attacker_support, double elapsed_seconds) {
+  bracket.absorb(t.lower, t.upper);
+  if (obs->convergence != nullptr) {
+    obs::IterationSample s;
+    s.iteration = t.round;
+    s.lower = bracket.lower;
+    s.upper = bracket.upper;
+    s.gap = t.upper - t.lower;
+    s.defender_support = defender_support;
+    s.attacker_support = attacker_support;
+    s.elapsed_seconds = elapsed_seconds;
+    obs->convergence->record(s);
+  }
+  if (obs->tracer != nullptr) {
+    obs->tracer->instant(
+        event_name,
+        {obs::TraceArg::of("round", static_cast<std::uint64_t>(t.round)),
+         obs::TraceArg::of("lower", t.lower),
+         obs::TraceArg::of("upper", t.upper),
+         obs::TraceArg::of("gap", t.upper - t.lower),
+         obs::TraceArg::of("best_lower", bracket.lower),
+         obs::TraceArg::of("best_upper", bracket.upper),
+         obs::TraceArg::of("defender_support",
+                           static_cast<std::uint64_t>(defender_support)),
+         obs::TraceArg::of("attacker_support",
+                           static_cast<std::uint64_t>(attacker_support))});
+  }
+  if (obs->metrics != nullptr)
+    obs->metrics->gauge("fp.gap").set(t.upper - t.lower);
+}
+
+/// Final record mirroring the returned Status; closes the run span.
+/// Callers gate on `obs != nullptr`.
+void record_fp_finish(obs::ObsContext* obs, const std::string& prefix,
+                      obs::Span& span,
+                      const Solved<FictitiousPlayResult>& out,
+                      double elapsed_ms) {
+  if (obs->metrics != nullptr) {
+    obs->metrics->counter(prefix + ".solves").add(1);
+    obs->metrics->counter(prefix + ".rounds").add(out.result.rounds);
+    if (!out.status.ok()) obs->metrics->counter(prefix + ".degraded").add(1);
+    obs->metrics->histogram(prefix + ".solve_ms").observe(elapsed_ms);
+  }
+  if (obs->tracer != nullptr) {
+    obs->tracer->instant(
+        prefix + ".finish",
+        {obs::TraceArg::of("status",
+                           std::string(to_string(out.status.code))),
+         obs::TraceArg::of("rounds",
+                           static_cast<std::uint64_t>(out.result.rounds)),
+         obs::TraceArg::of("value", out.result.value_estimate),
+         obs::TraceArg::of("gap", out.result.gap),
+         obs::TraceArg::of("elapsed_ms", elapsed_ms)});
+    span.arg("status", std::string(to_string(out.status.code)));
+    span.arg("rounds", static_cast<std::uint64_t>(out.result.rounds));
+    span.end();
+  }
+}
+
 }  // namespace
 
 Solved<FictitiousPlayResult> weighted_fictitious_play_budgeted(
     const core::TupleGame& game, std::span<const double> weights,
-    const SolveBudget& budget, double target_gap) {
+    const SolveBudget& budget, double target_gap, obs::ObsContext* obs) {
   require_bounded(budget, target_gap);
   const graph::Graph& g = game.graph();
   const std::size_t n = g.num_vertices();
@@ -43,6 +146,10 @@ Solved<FictitiousPlayResult> weighted_fictitious_play_budgeted(
   for (double w : weights)
     DEF_REQUIRE(w > 0, "damage weights must be strictly positive");
   BudgetMeter meter(budget);
+  obs::Span run_span;
+  RunningBracket obs_bracket;
+  if (obs != nullptr)
+    run_span = open_fp_span(obs, "fp.weighted.solve", game, target_gap);
 
   std::vector<double> attacker_count(n, 0.0);
   std::vector<double> defender_cover_count(n, 0.0);
@@ -75,7 +182,7 @@ Solved<FictitiousPlayResult> weighted_fictitious_play_budgeted(
     double total = 0;
     for (std::size_t v = 0; v < n; ++v) total += objective[v];
     const core::BestTupleSearch s = core::best_tuple_branch_and_bound_budgeted(
-        game, objective, budget.oracle_node_budget);
+        game, objective, budget.oracle_node_budget, obs);
     truncated_any = truncated_any || s.truncated;
     const double covered = s.truncated ? s.upper_bound : s.best.mass;
     const double lower = (total - covered) / attacker_mass;
@@ -97,7 +204,7 @@ Solved<FictitiousPlayResult> weighted_fictitious_play_budgeted(
     for (std::size_t v = 0; v < n; ++v)
       objective[v] = weights[v] * attacker_count[v];
     const core::BestTupleSearch br = core::best_tuple_branch_and_bound_budgeted(
-        game, objective, budget.oracle_node_budget);
+        game, objective, budget.oracle_node_budget, obs);
     truncated_any = truncated_any || br.truncated;
     for (graph::Vertex v : core::tuple_vertices(g, br.best.tuple))
       defender_cover_count[v] += 1.0;
@@ -121,6 +228,11 @@ Solved<FictitiousPlayResult> weighted_fictitious_play_budgeted(
     if (round == next_checkpoint || final_round) {
       const FictitiousPlayTrace t = bounds_now(round);
       result.trace.push_back(t);
+      if (obs != nullptr)
+        record_checkpoint(obs, "fp.weighted.checkpoint", t, obs_bracket,
+                          support_size(defender_cover_count),
+                          support_size(attacker_count),
+                          meter.elapsed_seconds());
       next_checkpoint = std::max(next_checkpoint + 1, next_checkpoint * 2);
       if (target_gap > 0 && t.upper - t.lower <= target_gap) {
         code = StatusCode::kOk;
@@ -129,8 +241,14 @@ Solved<FictitiousPlayResult> weighted_fictitious_play_budgeted(
     }
   }
 
-  if (result.trace.empty() || result.trace.back().round != round)
+  if (result.trace.empty() || result.trace.back().round != round) {
     result.trace.push_back(bounds_now(round));
+    if (obs != nullptr)
+      record_checkpoint(obs, "fp.weighted.checkpoint", result.trace.back(),
+                        obs_bracket, support_size(defender_cover_count),
+                        support_size(attacker_count),
+                        meter.elapsed_seconds());
+  }
 
   const FictitiousPlayTrace& last = result.trace.back();
   result.value_estimate = 0.5 * (last.upper + last.lower);
@@ -148,6 +266,9 @@ Solved<FictitiousPlayResult> weighted_fictitious_play_budgeted(
   out.status =
       finish_status(code, round, result.gap, meter.elapsed_seconds());
   out.result = std::move(result);
+  if (obs != nullptr)
+    record_fp_finish(obs, "fp.weighted", run_span, out,
+                     meter.elapsed_seconds() * 1e3);
   return out;
 }
 
@@ -164,11 +285,15 @@ FictitiousPlayResult weighted_fictitious_play(
 
 Solved<FictitiousPlayResult> fictitious_play_budgeted(
     const core::TupleGame& game, const SolveBudget& budget,
-    double target_gap) {
+    double target_gap, obs::ObsContext* obs) {
   require_bounded(budget, target_gap);
   const graph::Graph& g = game.graph();
   const std::size_t n = g.num_vertices();
   BudgetMeter meter(budget);
+  obs::Span run_span;
+  if (obs != nullptr)
+    run_span = open_fp_span(obs, "fp.solve", game, target_gap);
+  RunningBracket obs_bracket;
 
   // Histories: how often the attacker stood on v / the defender covered v.
   std::vector<double> attacker_count(n, 0.0);
@@ -189,7 +314,7 @@ Solved<FictitiousPlayResult> fictitious_play_budgeted(
     // Bounds. Attacker history has mass (1 + rounds): uniform seed + picks.
     const double attacker_mass = 1.0 + static_cast<double>(rounds_done);
     const core::BestTupleSearch s = core::best_tuple_branch_and_bound_budgeted(
-        game, attacker_count, budget.oracle_node_budget);
+        game, attacker_count, budget.oracle_node_budget, obs);
     truncated_any = truncated_any || s.truncated;
     const double upper =
         (s.truncated ? s.upper_bound : s.best.mass) / attacker_mass;
@@ -214,7 +339,7 @@ Solved<FictitiousPlayResult> fictitious_play_budgeted(
 
     // Defender best-responds to the attacker's empirical distribution.
     const core::BestTupleSearch br = core::best_tuple_branch_and_bound_budgeted(
-        game, attacker_count, budget.oracle_node_budget);
+        game, attacker_count, budget.oracle_node_budget, obs);
     truncated_any = truncated_any || br.truncated;
     for (graph::Vertex v : core::tuple_vertices(g, br.best.tuple))
       defender_cover_count[v] += 1.0;
@@ -231,6 +356,11 @@ Solved<FictitiousPlayResult> fictitious_play_budgeted(
     if (round == next_checkpoint || final_round) {
       const FictitiousPlayTrace t = bounds_now(round);
       result.trace.push_back(t);
+      if (obs != nullptr)
+        record_checkpoint(obs, "fp.checkpoint", t, obs_bracket,
+                          support_size(defender_cover_count),
+                          support_size(attacker_count),
+                          meter.elapsed_seconds());
       next_checkpoint = std::max(next_checkpoint + 1, next_checkpoint * 2);
       if (target_gap > 0 && t.upper - t.lower <= target_gap) {
         code = StatusCode::kOk;
@@ -239,8 +369,14 @@ Solved<FictitiousPlayResult> fictitious_play_budgeted(
     }
   }
 
-  if (result.trace.empty() || result.trace.back().round != round)
+  if (result.trace.empty() || result.trace.back().round != round) {
     result.trace.push_back(bounds_now(round));
+    if (obs != nullptr)
+      record_checkpoint(obs, "fp.checkpoint", result.trace.back(),
+                        obs_bracket, support_size(defender_cover_count),
+                        support_size(attacker_count),
+                        meter.elapsed_seconds());
+  }
 
   const FictitiousPlayTrace& last = result.trace.back();
   result.value_estimate = 0.5 * (last.upper + last.lower);
@@ -258,6 +394,9 @@ Solved<FictitiousPlayResult> fictitious_play_budgeted(
   out.status =
       finish_status(code, round, result.gap, meter.elapsed_seconds());
   out.result = std::move(result);
+  if (obs != nullptr)
+    record_fp_finish(obs, "fp", run_span, out,
+                     meter.elapsed_seconds() * 1e3);
   return out;
 }
 

@@ -22,6 +22,7 @@
 #include "core/budget.hpp"
 #include "core/game.hpp"
 #include "core/status.hpp"
+#include "obs/context.hpp"
 
 namespace defender::sim {
 
@@ -66,9 +67,15 @@ FictitiousPlayResult fictitious_play(const core::TupleGame& game,
 /// `target_gap` == 0 the run uses the full round budget and reports kOk on
 /// completion. At least one of {budget.max_iterations,
 /// budget.wall_clock_seconds, target_gap} must bound the run.
+///
+/// Observability: with a non-null `obs`, the run opens an `fp.solve` trace
+/// span, emits one `fp.checkpoint` event + ConvergenceRecorder sample per
+/// bound checkpoint, finishes with an `fp.finish` event matching the
+/// returned Status, and maintains the fp.* / oracle.* metrics. The default
+/// null context records nothing and leaves results bit-for-bit identical.
 Solved<FictitiousPlayResult> fictitious_play_budgeted(
     const core::TupleGame& game, const SolveBudget& budget,
-    double target_gap = 1e-6);
+    double target_gap = 1e-6, obs::ObsContext* obs = nullptr);
 
 /// Damage-weighted fictitious play (see core/weighted.hpp): the attacker
 /// best-responds with argmax_v w(v)·(1 − cover frequency), the defender
@@ -81,9 +88,11 @@ FictitiousPlayResult weighted_fictitious_play(
     std::size_t rounds);
 
 /// Budget-bounded weighted fictitious play; same contract as
-/// fictitious_play_budgeted with damage-value bounds.
+/// fictitious_play_budgeted with damage-value bounds and observability
+/// under the `fp.weighted.*` event names.
 Solved<FictitiousPlayResult> weighted_fictitious_play_budgeted(
     const core::TupleGame& game, std::span<const double> weights,
-    const SolveBudget& budget, double target_gap = 1e-6);
+    const SolveBudget& budget, double target_gap = 1e-6,
+    obs::ObsContext* obs = nullptr);
 
 }  // namespace defender::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "core/best_response.hpp"
 #include "core/payoff.hpp"
@@ -9,9 +10,61 @@
 
 namespace defender::sim {
 
+namespace {
+
+/// Running intersection of the per-checkpoint certified brackets (see the
+/// twin struct in fictitious_play.cpp): every checkpoint bracket contains
+/// the game value, so the intersection is a sound, monotone bracket — the
+/// narrowing invariant the ConvergenceRecorder samples promise.
+struct RunningBracket {
+  double lower = -std::numeric_limits<double>::infinity();
+  double upper = std::numeric_limits<double>::infinity();
+  void absorb(double lo, double up) {
+    lower = std::max(lower, lo);
+    upper = std::min(upper, up);
+  }
+};
+
+/// One Hedge checkpoint: ConvergenceRecorder sample (running bracket),
+/// trace event (instantaneous bounds), running gap gauge. Callers gate on
+/// `obs != nullptr`.
+void record_hedge_checkpoint(obs::ObsContext* obs, const HedgeTrace& t,
+                             RunningBracket& bracket,
+                             std::size_t attacker_support,
+                             double elapsed_seconds) {
+  bracket.absorb(t.lower, t.upper);
+  if (obs->convergence != nullptr) {
+    obs::IterationSample s;
+    s.iteration = t.round;
+    s.lower = bracket.lower;
+    s.upper = bracket.upper;
+    s.gap = t.upper - t.lower;
+    s.attacker_support = attacker_support;
+    s.elapsed_seconds = elapsed_seconds;
+    obs->convergence->record(s);
+  }
+  if (obs->tracer != nullptr) {
+    obs->tracer->instant(
+        "hedge.checkpoint",
+        {obs::TraceArg::of("round", static_cast<std::uint64_t>(t.round)),
+         obs::TraceArg::of("lower", t.lower),
+         obs::TraceArg::of("upper", t.upper),
+         obs::TraceArg::of("gap", t.upper - t.lower),
+         obs::TraceArg::of("best_lower", bracket.lower),
+         obs::TraceArg::of("best_upper", bracket.upper),
+         obs::TraceArg::of("attacker_support",
+                           static_cast<std::uint64_t>(attacker_support))});
+  }
+  if (obs->metrics != nullptr)
+    obs->metrics->gauge("hedge.gap").set(t.upper - t.lower);
+}
+
+}  // namespace
+
 Solved<HedgeResult> hedge_dynamics_budgeted(const core::TupleGame& game,
                                             const SolveBudget& budget,
-                                            double target_gap) {
+                                            double target_gap,
+                                            obs::ObsContext* obs) {
   DEF_REQUIRE(budget.max_iterations >= 1,
               "hedge needs a positive round horizon to fix its learning "
               "rate (set budget.max_iterations)");
@@ -21,6 +74,16 @@ Solved<HedgeResult> hedge_dynamics_budgeted(const core::TupleGame& game,
   const double eta = std::sqrt(8.0 * std::log(static_cast<double>(n)) /
                                static_cast<double>(rounds));
   BudgetMeter meter(budget);
+  obs::Span run_span;
+  RunningBracket obs_bracket;
+  if (obs != nullptr && obs->tracer != nullptr)
+    run_span = obs->tracer->span(
+        "hedge.solve",
+        {obs::TraceArg::of("n", static_cast<std::uint64_t>(n)),
+         obs::TraceArg::of("m", static_cast<std::uint64_t>(g.num_edges())),
+         obs::TraceArg::of("k", static_cast<std::uint64_t>(game.k())),
+         obs::TraceArg::of("horizon", static_cast<std::uint64_t>(rounds)),
+         obs::TraceArg::of("target_gap", target_gap)});
 
   // Attacker weights (log-domain to avoid under/overflow) and running
   // sums of its per-round strategies and the defender's coverage.
@@ -41,7 +104,7 @@ Solved<HedgeResult> hedge_dynamics_budgeted(const core::TupleGame& game,
     for (std::size_t v = 0; v < n; ++v)
       average[v] = attacker_sum[v] / static_cast<double>(rounds_done);
     const core::BestTupleSearch s = core::best_tuple_branch_and_bound_budgeted(
-        game, average, budget.oracle_node_budget);
+        game, average, budget.oracle_node_budget, obs);
     truncated_any = truncated_any || s.truncated;
     const double upper = s.truncated ? s.upper_bound : s.best.mass;
     // Lower bound: the least-covered vertex of the defender's history.
@@ -76,7 +139,7 @@ Solved<HedgeResult> hedge_dynamics_budgeted(const core::TupleGame& game,
 
     // Defender best-responds to the current mix.
     const core::BestTupleSearch br = core::best_tuple_branch_and_bound_budgeted(
-        game, strategy, budget.oracle_node_budget);
+        game, strategy, budget.oracle_node_budget, obs);
     truncated_any = truncated_any || br.truncated;
     std::vector<char> covered(n, 0);
     for (graph::Vertex v : core::tuple_vertices(g, br.best.tuple)) {
@@ -91,6 +154,9 @@ Solved<HedgeResult> hedge_dynamics_budgeted(const core::TupleGame& game,
     if (round == next_checkpoint || round == rounds) {
       const HedgeTrace t = bounds_now(round);
       result.trace.push_back(t);
+      if (obs != nullptr)
+        record_hedge_checkpoint(obs, t, obs_bracket, n,
+                                meter.elapsed_seconds());
       next_checkpoint = std::max(next_checkpoint + 1, next_checkpoint * 2);
       if (target_gap > 0 && t.upper - t.lower <= target_gap) {
         code = StatusCode::kOk;
@@ -99,8 +165,12 @@ Solved<HedgeResult> hedge_dynamics_budgeted(const core::TupleGame& game,
     }
   }
 
-  if (result.trace.empty() || result.trace.back().round != round)
+  if (result.trace.empty() || result.trace.back().round != round) {
     result.trace.push_back(bounds_now(round));
+    if (obs != nullptr)
+      record_hedge_checkpoint(obs, result.trace.back(), obs_bracket, n,
+                              meter.elapsed_seconds());
+  }
 
   const HedgeTrace& last = result.trace.back();
   result.value_estimate = 0.5 * (last.upper + last.lower);
@@ -126,6 +196,30 @@ Solved<HedgeResult> hedge_dynamics_budgeted(const core::TupleGame& game,
                               meter.elapsed_seconds());
   }
   out.result = std::move(result);
+  if (obs != nullptr) {
+    const double elapsed_ms = meter.elapsed_seconds() * 1e3;
+    if (obs->metrics != nullptr) {
+      obs->metrics->counter("hedge.solves").add(1);
+      obs->metrics->counter("hedge.rounds").add(out.result.rounds);
+      if (!out.status.ok()) obs->metrics->counter("hedge.degraded").add(1);
+      obs->metrics->histogram("hedge.solve_ms").observe(elapsed_ms);
+    }
+    if (obs->tracer != nullptr) {
+      obs->tracer->instant(
+          "hedge.finish",
+          {obs::TraceArg::of("status",
+                             std::string(to_string(out.status.code))),
+           obs::TraceArg::of("rounds",
+                             static_cast<std::uint64_t>(out.result.rounds)),
+           obs::TraceArg::of("value", out.result.value_estimate),
+           obs::TraceArg::of("gap", out.result.gap),
+           obs::TraceArg::of("elapsed_ms", elapsed_ms)});
+      run_span.arg("status", std::string(to_string(out.status.code)));
+      run_span.arg("rounds",
+                   static_cast<std::uint64_t>(out.result.rounds));
+      run_span.end();
+    }
+  }
   return out;
 }
 

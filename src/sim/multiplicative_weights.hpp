@@ -22,6 +22,7 @@
 #include "core/budget.hpp"
 #include "core/game.hpp"
 #include "core/status.hpp"
+#include "obs/context.hpp"
 
 namespace defender::sim {
 
@@ -63,8 +64,16 @@ HedgeResult hedge_dynamics(const core::TupleGame& game, std::size_t rounds);
 /// (kIterationLimit), or wall-clock deadline (kDeadlineExceeded). Budget
 /// exhaustion degrades gracefully to best-so-far certified bounds — no
 /// exception.
+///
+/// Observability: with a non-null `obs`, the run opens a `hedge.solve`
+/// trace span, emits one `hedge.checkpoint` event + ConvergenceRecorder
+/// sample per bound checkpoint, finishes with a `hedge.finish` event
+/// matching the returned Status, and maintains the hedge.* / oracle.*
+/// metrics. The default null context records nothing and leaves results
+/// bit-for-bit identical.
 Solved<HedgeResult> hedge_dynamics_budgeted(const core::TupleGame& game,
                                             const SolveBudget& budget,
-                                            double target_gap = 1e-6);
+                                            double target_gap = 1e-6,
+                                            obs::ObsContext* obs = nullptr);
 
 }  // namespace defender::sim

@@ -1,0 +1,157 @@
+// MetricsRegistry correctness: counters, gauges, histograms, snapshots,
+// JSON export, and exactness under concurrent increments.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "json_check.hpp"
+
+namespace defender::obs {
+namespace {
+
+TEST(Counter, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, LastWriteWins) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(3.25);
+  g.set(-1.5);
+  EXPECT_EQ(g.value(), -1.5);
+  g.reset();
+  EXPECT_EQ(g.value(), 0.0);
+}
+
+TEST(Histogram, BucketPlacement) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // <= 1
+  h.observe(1.0);    // <= 1 (inclusive upper bound)
+  h.observe(7.0);    // <= 10
+  h.observe(100.0);  // <= 100
+  h.observe(1e6);    // overflow
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 7.0 + 100.0 + 1e6);
+  // cumulative_count(i) counts observations <= bounds()[i].
+  EXPECT_EQ(h.cumulative_count(0), 2u);
+  EXPECT_EQ(h.cumulative_count(1), 3u);
+  EXPECT_EQ(h.cumulative_count(2), 4u);
+  // Index bounds().size() is the grand total including overflow.
+  EXPECT_EQ(h.cumulative_count(h.bounds().size()), 5u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.cumulative_count(h.bounds().size()), 0u);
+}
+
+TEST(Histogram, DefaultLatencyBoundsAreStrictlyIncreasing) {
+  const auto& bounds = Histogram::default_latency_ms_bounds();
+  ASSERT_FALSE(bounds.empty());
+  for (std::size_t i = 1; i < bounds.size(); ++i)
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+}
+
+TEST(Registry, LookupIsStableAndIdempotent) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("do.solves");
+  Counter& b = reg.counter("do.solves");
+  EXPECT_EQ(&a, &b);  // same instrument, stable reference
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+  Histogram& h1 = reg.histogram("do.solve_ms");
+  Histogram& h2 = reg.histogram("do.solve_ms", {1.0});  // bounds ignored
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds().size(),
+            Histogram::default_latency_ms_bounds().size());
+}
+
+TEST(Registry, SnapshotIsSortedAndComplete) {
+  MetricsRegistry reg;
+  reg.counter("b.count").add(2);
+  reg.counter("a.count").add(1);
+  reg.gauge("c.gap").set(0.5);
+  reg.histogram("d.ms").observe(3.0);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  for (std::size_t i = 1; i < snap.size(); ++i)
+    EXPECT_LT(snap[i - 1].name, snap[i].name);
+  EXPECT_EQ(snap[0].name, "a.count");
+  EXPECT_EQ(snap[0].count, 1u);
+  EXPECT_EQ(snap[1].name, "b.count");
+  EXPECT_EQ(snap[1].count, 2u);
+  EXPECT_EQ(snap[2].kind, MetricSnapshot::Kind::kGauge);
+  EXPECT_EQ(snap[2].value, 0.5);
+  EXPECT_EQ(snap[3].kind, MetricSnapshot::Kind::kHistogram);
+  EXPECT_EQ(snap[3].count, 1u);
+  // Per-bucket counts cover every bound plus the overflow bucket.
+  EXPECT_EQ(snap[3].bucket_counts.size(), snap[3].bucket_bounds.size() + 1);
+}
+
+TEST(Registry, ToJsonIsValidJson) {
+  MetricsRegistry reg;
+  reg.counter("do.solves").add(7);
+  reg.gauge("do.gap").set(1e-9);
+  reg.histogram("lp.solve_ms").observe(0.02);
+  reg.histogram("lp.solve_ms").observe(5000.0);
+  EXPECT_TRUE(test_json::is_valid_json(reg.to_json())) << reg.to_json();
+}
+
+TEST(Registry, ResetZeroesButKeepsReferences) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("x");
+  Gauge& g = reg.gauge("y");
+  Histogram& h = reg.histogram("z");
+  c.add(5);
+  g.set(2.0);
+  h.observe(1.0);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  c.add(1);  // the pre-reset reference still points at the live instrument
+  EXPECT_EQ(reg.counter("x").value(), 1u);
+}
+
+TEST(Registry, ConcurrentIncrementsAreExact) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("concurrent.count");
+  Histogram& h = reg.histogram("concurrent.ms", {1.0, 2.0, 4.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 25'000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c, &h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add();
+        h.observe(static_cast<double>(t % 4));  // deterministic bucket mix
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  // Every observation landed in a bucket (none lost to a race): 2 threads
+  // each of values 0,1 (<=1), 2 (<=2), 3 (<=4).
+  EXPECT_EQ(h.cumulative_count(0), 4u * kPerThread);
+  EXPECT_EQ(h.cumulative_count(1), 6u * kPerThread);
+  EXPECT_EQ(h.cumulative_count(2), 8u * kPerThread);
+  EXPECT_EQ(h.cumulative_count(h.bounds().size()), 8u * kPerThread);
+}
+
+TEST(Registry, GlobalIsASingleton) {
+  EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+}
+
+}  // namespace
+}  // namespace defender::obs

@@ -1,0 +1,177 @@
+// Tracer and sink correctness: JSONL well-formedness line by line, Chrome
+// trace_event validity, span nesting/ordering determinism, and the
+// idempotence/move semantics the RAII Span promises.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "json_check.hpp"
+
+namespace defender::obs {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  for (std::string line; std::getline(in, line);) out.push_back(line);
+  return out;
+}
+
+/// Emits a deterministic little solve-shaped trace: nested spans with args
+/// of all three kinds plus instants, including strings that need escaping.
+void emit_fixture(Tracer& tracer) {
+  Span solve = tracer.span("do.solve", {TraceArg::of("n", std::uint64_t{50}),
+                                        TraceArg::of("tolerance", 1e-9)});
+  for (int i = 0; i < 3; ++i) {
+    Span iter = tracer.span("do.iteration");
+    tracer.instant("lp.solve",
+                   {TraceArg::of("status", std::string("optimal")),
+                    TraceArg::of("pivots", std::uint64_t(7 + i))});
+    iter.arg("gap", 1.0 / (i + 1));
+    iter.end();
+  }
+  tracer.instant("note", {TraceArg::of(
+                             "text", std::string("quote \" slash \\ nl \n "
+                                                 "tab \t ctrl \x01 done"))});
+  solve.arg("status", std::string("ok"));
+  solve.end();
+  tracer.flush();
+}
+
+TEST(JsonlSink, EveryLineIsValidJson) {
+  std::ostringstream out;
+  JsonlSink sink(out);
+  Tracer tracer(&sink);
+  emit_fixture(tracer);
+  const auto lines = lines_of(out.str());
+  // 2 span events for the solve, 3 * (2 span + 1 instant), 1 note instant.
+  ASSERT_EQ(lines.size(), 2u + 3u * 3u + 1u);
+  for (const std::string& line : lines)
+    EXPECT_TRUE(test_json::is_valid_json(line)) << line;
+}
+
+TEST(JsonlSink, SpanNestingAndSequenceAreDeterministic) {
+  std::ostringstream out;
+  JsonlSink sink(out);
+  Tracer tracer(&sink);
+  emit_fixture(tracer);
+  const auto lines = lines_of(out.str());
+
+  // Sequence numbers count up from 0 in emission order.
+  for (std::size_t i = 0; i < lines.size(); ++i)
+    EXPECT_NE(lines[i].find("\"seq\":" + std::to_string(i)),
+              std::string::npos)
+        << lines[i];
+
+  // The outer span brackets the file; iterations nest one level deeper.
+  EXPECT_EQ(test_json::find_string_field(lines.front(), "ph").value(), "B");
+  EXPECT_EQ(test_json::find_string_field(lines.front(), "name").value(),
+            "do.solve");
+  EXPECT_NE(lines.front().find("\"depth\":0"), std::string::npos);
+  EXPECT_EQ(test_json::find_string_field(lines.back(), "ph").value(), "E");
+  EXPECT_EQ(test_json::find_string_field(lines.back(), "name").value(),
+            "do.solve");
+  EXPECT_NE(lines[1].find("\"depth\":1"), std::string::npos);  // iteration B
+  EXPECT_NE(lines[2].find("\"depth\":2"), std::string::npos);  // lp instant
+
+  // Everything but the timestamps is identical across runs.
+  std::ostringstream out2;
+  JsonlSink sink2(out2);
+  Tracer tracer2(&sink2);
+  emit_fixture(tracer2);
+  auto strip_ts = [](const std::string& text) {
+    std::string s = text;
+    for (std::size_t at = s.find("\"ts_us\":"); at != std::string::npos;
+         at = s.find("\"ts_us\":", at + 1)) {
+      std::size_t end = at + 8;
+      while (end < s.size() && s[end] != ',' && s[end] != '}') ++end;
+      s.erase(at + 8, end - (at + 8));
+    }
+    return s;
+  };
+  EXPECT_EQ(strip_ts(out.str()), strip_ts(out2.str()));
+}
+
+TEST(JsonlSink, ArgsRoundTripThroughEscaping) {
+  std::ostringstream out;
+  JsonlSink sink(out);
+  Tracer tracer(&sink);
+  emit_fixture(tracer);
+  const auto lines = lines_of(out.str());
+  // The hostile string arg is escaped, not emitted raw.
+  bool found = false;
+  for (const std::string& line : lines) {
+    if (test_json::find_string_field(line, "name") != "note") continue;
+    found = true;
+    EXPECT_NE(line.find("quote \\\" slash \\\\ nl \\n"), std::string::npos)
+        << line;
+    EXPECT_NE(line.find("\\u0001"), std::string::npos) << line;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ChromeTraceSink, ProducesOneValidJsonArray) {
+  std::ostringstream out;
+  {
+    ChromeTraceSink sink(out);
+    Tracer tracer(&sink);
+    emit_fixture(tracer);
+  }  // destructor finalizes the array
+  const std::string doc = out.str();
+  EXPECT_TRUE(test_json::is_valid_json(doc)) << doc;
+  EXPECT_EQ(doc.front(), '[');
+  // Begin/End phases stay balanced for the flame graph to render.
+  std::size_t begins = 0, ends = 0;
+  for (std::size_t at = doc.find("\"ph\":\""); at != std::string::npos;
+       at = doc.find("\"ph\":\"", at + 1)) {
+    if (doc[at + 6] == 'B') ++begins;
+    if (doc[at + 6] == 'E') ++ends;
+  }
+  EXPECT_EQ(begins, 4u);
+  EXPECT_EQ(ends, 4u);
+}
+
+TEST(Span, EndIsIdempotentAndMovedFromSpansAreInert) {
+  std::ostringstream out;
+  JsonlSink sink(out);
+  Tracer tracer(&sink);
+  {
+    Span a = tracer.span("outer");
+    a.end();
+    a.end();  // second end is a no-op
+    Span b = tracer.span("inner");
+    Span c = std::move(b);
+    // b is inert now; only c's destructor emits the end event.
+  }
+  tracer.flush();
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(tracer.events_emitted(), 4u);
+  for (const std::string& line : lines)
+    EXPECT_TRUE(test_json::is_valid_json(line)) << line;
+}
+
+TEST(Tracer, DefaultSpanIsInertWithoutTracer) {
+  Span s;  // never attached to a tracer
+  s.arg("k", std::uint64_t{3});
+  s.end();  // must not crash
+}
+
+TEST(Tracer, MultipleSinksReceiveEveryEvent) {
+  std::ostringstream a, b;
+  JsonlSink sink_a(a), sink_b(b);
+  Tracer tracer(&sink_a);
+  tracer.add_sink(&sink_b);
+  tracer.add_sink(nullptr);  // ignored
+  tracer.instant("ping");
+  tracer.flush();
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_EQ(lines_of(a.str()).size(), 1u);
+}
+
+}  // namespace
+}  // namespace defender::obs

@@ -17,13 +17,19 @@
 //     uncaught non-ContractViolation exception, or an outsized
 //     allocation.
 //
+// With --trace FILE.jsonl every differential solve runs with a global
+// ObsContext (JSONL tracing + metrics); CI uploads the resulting trace as
+// an artifact so failures come with a full solver narrative attached.
+//
 // Usage: stress_defender [--instances N] [--fuzz-iters N] [--seed S]
+//                        [--trace FILE.jsonl]
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -34,6 +40,7 @@
 #include "core/zero_sum.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "obs/context.hpp"
 #include "sim/fictitious_play.hpp"
 #include "sim/multiplicative_weights.hpp"
 #include "util/assert.hpp"
@@ -42,6 +49,9 @@
 namespace {
 
 using namespace defender;
+
+/// Installed by --trace; null keeps every solver on its zero-cost path.
+obs::ObsContext* g_obs = nullptr;
 
 constexpr double kValueTolerance = 1e-6;
 /// Keep C(m, k) at most this, so the exact LP stays small and fast.
@@ -116,7 +126,7 @@ void differential_instance(util::Rng& rng, std::size_t index) {
   // Route 2: double oracle (exact, without enumeration).
   const Solved<core::DoubleOracleResult> oracle =
       core::solve_double_oracle_budgeted(game, 1e-9,
-                                         SolveBudget::iterations(400));
+                                         SolveBudget::iterations(400), g_obs);
   check(oracle.ok(), tag + ": double oracle did not converge: " +
                          oracle.status.describe());
   check(std::abs(oracle.result.value - lp_value) <= kValueTolerance,
@@ -125,7 +135,7 @@ void differential_instance(util::Rng& rng, std::size_t index) {
 
   // Route 3: fictitious play's certified bracket must contain the value.
   const Solved<sim::FictitiousPlayResult> fp = sim::fictitious_play_budgeted(
-      game, SolveBudget::iterations(400), 1e-7);
+      game, SolveBudget::iterations(400), 1e-7, g_obs);
   check(fp.result.trace.back().lower <= lp_value + kValueTolerance &&
             fp.result.trace.back().upper >= lp_value - kValueTolerance,
         tag + ": FP bracket [" +
@@ -135,7 +145,8 @@ void differential_instance(util::Rng& rng, std::size_t index) {
 
   // Route 4: Hedge's certified bracket must contain the value too.
   const Solved<sim::HedgeResult> hedge =
-      sim::hedge_dynamics_budgeted(game, SolveBudget::iterations(400), 1e-7);
+      sim::hedge_dynamics_budgeted(game, SolveBudget::iterations(400), 1e-7,
+                                   g_obs);
   check(hedge.result.trace.back().lower <= lp_value + kValueTolerance &&
             hedge.result.trace.back().upper >= lp_value - kValueTolerance,
         tag + ": Hedge bracket misses LP value " + std::to_string(lp_value));
@@ -156,7 +167,8 @@ void differential_instance(util::Rng& rng, std::size_t index) {
     try {
       const Solved<core::DoubleOracleResult> starved =
           core::solve_double_oracle_budgeted(game, 1e-9,
-                                             SolveBudget::iterations(1));
+                                             SolveBudget::iterations(1),
+                                             g_obs);
       // kOk after one iteration is legitimate (the seed working set can
       // already be an equilibrium) but then the value must be exact.
       if (starved.ok())
@@ -266,6 +278,7 @@ int main(int argc, char** argv) {
   std::size_t instances = 200;
   std::size_t fuzz_iters = 10'000;
   std::uint64_t seed = 0xdefe2026ULL;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     const auto next_value = [&](const char* flag) -> long long {
       if (i + 1 >= argc) {
@@ -280,12 +293,37 @@ int main(int argc, char** argv) {
       fuzz_iters = static_cast<std::size_t>(next_value("--fuzz-iters"));
     } else if (std::strcmp(argv[i], "--seed") == 0) {
       seed = static_cast<std::uint64_t>(next_value("--seed"));
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --trace\n");
+        return 2;
+      }
+      trace_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--instances N] [--fuzz-iters N] [--seed S]\n",
+                   "usage: %s [--instances N] [--fuzz-iters N] [--seed S] "
+                   "[--trace FILE.jsonl]\n",
                    argv[0]);
       return 2;
     }
+  }
+
+  // --trace wires every differential solve into one JSONL narrative plus
+  // the global metrics registry (no convergence recorder: samples from
+  // unrelated solves would interleave meaninglessly).
+  std::unique_ptr<obs::JsonlSink> sink;
+  obs::Tracer tracer;
+  obs::ObsContext ctx;
+  if (!trace_path.empty()) {
+    sink = std::make_unique<obs::JsonlSink>(trace_path);
+    if (!sink->ok()) {
+      std::fprintf(stderr, "cannot open trace file %s\n", trace_path.c_str());
+      return 2;
+    }
+    tracer.add_sink(sink.get());
+    ctx.tracer = &tracer;
+    ctx.metrics = &obs::MetricsRegistry::global();
+    g_obs = &ctx;
   }
 
   util::Rng rng(seed);
@@ -300,6 +338,13 @@ int main(int argc, char** argv) {
 
   fuzz_parsers(rng, fuzz_iters);
   std::printf("fuzz: %zu parser inputs survived\n", fuzz_iters);
+
+  if (g_obs != nullptr) {
+    tracer.flush();
+    std::printf("trace: %llu events -> %s\n",
+                static_cast<unsigned long long>(tracer.events_emitted()),
+                trace_path.c_str());
+  }
 
   if (failures > 0) {
     std::fprintf(stderr, "%d failure(s)\n", failures);
