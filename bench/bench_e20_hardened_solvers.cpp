@@ -4,7 +4,9 @@
 // play, Hedge), when starved of iterations/pivots/rounds, returns a
 // structured non-kOk status plus a certified bracket that still contains
 // the exact game value — never an exception — and the bracket collapses
-// onto the exact value as the budget grows.
+// onto the exact value as the budget grows. A chaos row re-runs the
+// double oracle under a deterministic fault schedule arming every
+// injection site (docs/FAULT_INJECTION.md); its bracket must stay sound.
 #include <cmath>
 #include <string>
 
@@ -13,6 +15,7 @@
 #include "core/double_oracle.hpp"
 #include "core/status.hpp"
 #include "core/zero_sum.hpp"
+#include "fault/fault.hpp"
 #include "sim/fictitious_play.hpp"
 #include "sim/multiplicative_weights.hpp"
 #include "util/table.hpp"
@@ -74,6 +77,21 @@ int main() {
       starved_oracle.max_iterations = 40;
       starved_oracle.oracle_node_budget = 1;
       push_do("40 it, 1-node BB", starved_oracle);
+    }
+    {
+      // Chaos row: every fault-injection site armed at rate 0.25. The
+      // oracles re-certify their bounds after any injected corruption, so
+      // the bracket must still contain the exact value.
+      fault::FaultPlan plan;
+      plan.seed = 0xe20u + g.num_vertices();
+      plan.set_all(0.25);
+      fault::FaultContext fault_ctx(plan);
+      const Solved<core::DoubleOracleResult> s =
+          core::solve_double_oracle_budgeted(
+              game, 1e-9, SolveBudget::iterations(200), nullptr, &fault_ctx);
+      rows.push_back({"double-oracle", "faults @ 0.25", s.status.code,
+                      s.result.lower_bound, s.result.upper_bound,
+                      s.result.value});
     }
 
     const auto push_lp = [&](const char* tag, const SolveBudget& budget) {

@@ -5,11 +5,13 @@
 // evaluation, equilibrium construction, verification, and the LP baseline.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "core/atuple.hpp"
 #include "core/characterization.hpp"
 #include "core/double_oracle.hpp"
 #include "core/payoff.hpp"
 #include "core/zero_sum.hpp"
+#include "fault/fault.hpp"
 #include "graph/generators.hpp"
 #include "obs/context.hpp"
 #include "sim/playout.hpp"
@@ -118,6 +120,43 @@ void BM_DoubleOracle_FullObs(benchmark::State& state) {
 }
 BENCHMARK(BM_DoubleOracle_FullObs);
 
+// The fault-injection overhead pair, mirroring the obs pair above: the same
+// solve with the default null FaultContext versus an *armed* context whose
+// per-site rates are all zero. Every injection hook then evaluates its
+// deterministic firing decision but nothing ever fires, so this bounds the
+// cost of carrying the chaos machinery through a clean solve
+// (tests/fault/fault_injection_test.cpp asserts the outputs stay
+// bit-identical; see docs/FAULT_INJECTION.md).
+void BM_DoubleOracle_NullFault(benchmark::State& state) {
+  const graph::Graph g = graph::grid_graph(4, 5);
+  const core::TupleGame game(g, 3, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::solve_double_oracle_budgeted(game, 1e-9,
+                                           SolveBudget::iterations(200),
+                                           nullptr, nullptr)
+            .result.value);
+  }
+}
+BENCHMARK(BM_DoubleOracle_NullFault);
+
+void BM_DoubleOracle_ArmedFault(benchmark::State& state) {
+  const graph::Graph g = graph::grid_graph(4, 5);
+  const core::TupleGame game(g, 3, 1);
+  fault::FaultPlan plan;
+  plan.seed = 7;
+  plan.set_all(0.0);
+  fault::FaultContext fault_ctx(plan);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::solve_double_oracle_budgeted(game, 1e-9,
+                                           SolveBudget::iterations(200),
+                                           nullptr, &fault_ctx)
+            .result.value);
+  }
+}
+BENCHMARK(BM_DoubleOracle_ArmedFault);
+
 void BM_Playouts(benchmark::State& state) {
   const graph::Graph g = graph::grid_graph(8, 8);
   const core::TupleGame game(g, 4, 8);
@@ -133,6 +172,48 @@ void BM_Playouts(benchmark::State& state) {
 }
 BENCHMARK(BM_Playouts);
 
+// Direct null-vs-armed timing for the BENCH_JSON line below: google-benchmark
+// reports each side separately, but the overhead claim is a ratio, so we
+// measure both sides back to back over the same instance.
+double fault_pair_seconds(core::TupleGame const& game,
+                          fault::FaultContext* fault_ctx, int reps) {
+  const auto t0 = bench::case_clock();
+  for (int i = 0; i < reps; ++i) {
+    benchmark::DoNotOptimize(
+        core::solve_double_oracle_budgeted(game, 1e-9,
+                                           SolveBudget::iterations(200),
+                                           nullptr, fault_ctx)
+            .result.value);
+  }
+  return obs::Clock::seconds_since(t0);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() plus one BENCH_JSON line quantifying the armed-fault
+// overhead, so the zero-cost claim stays measured across PRs (extract with
+// `grep '^BENCH_JSON '`).
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  const graph::Graph g = graph::grid_graph(4, 5);
+  const core::TupleGame game(g, 3, 1);
+  fault::FaultPlan plan;
+  plan.seed = 7;
+  plan.set_all(0.0);
+  fault::FaultContext fault_ctx(plan);
+  constexpr int kReps = 20;
+  fault_pair_seconds(game, nullptr, 2);  // warm-up
+  const double null_s = fault_pair_seconds(game, nullptr, kReps);
+  const double armed_s = fault_pair_seconds(game, &fault_ctx, kReps);
+  bench::JsonLine("micro", "fault overhead")
+      .num("reps", kReps)
+      .num("null_fault_ms", null_s * 1e3)
+      .num("armed_fault_ms", armed_s * 1e3)
+      .num("overhead_pct", 100.0 * (armed_s - null_s) / null_s)
+      .emit();
+  return 0;
+}

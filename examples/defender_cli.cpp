@@ -19,9 +19,19 @@
 //                               file (open at chrome://tracing);
 //   * --metrics                 dump the metrics registry as JSON on exit.
 //
+// Chaos & resume (see docs/FAULT_INJECTION.md):
+//   * --fault-rate R / --fault-seed S  run the game-value solve under a
+//     deterministic fault schedule arming every injection site at rate R;
+//   * --save-checkpoint FILE    write the solve's final loop state so a
+//     budget-limited run can be continued later;
+//   * --resume-checkpoint FILE  continue a solve from a saved checkpoint.
+//
 // Usage: defender_cli [--k K] [--nu N] [--dot] [--budget-iters N]
 //                     [--deadline SECONDS] [--trace FILE.jsonl]
-//                     [--chrome-trace FILE.json] [--metrics] [FILE]
+//                     [--chrome-trace FILE.json] [--metrics]
+//                     [--fault-rate R] [--fault-seed S]
+//                     [--save-checkpoint FILE] [--resume-checkpoint FILE]
+//                     [FILE]
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -32,7 +42,9 @@
 #include "core/atuple.hpp"
 #include "core/budget.hpp"
 #include "core/characterization.hpp"
+#include "core/checkpoint.hpp"
 #include "core/double_oracle.hpp"
+#include "fault/fault.hpp"
 #include "core/payoff.hpp"
 #include "core/perfect_matching_ne.hpp"
 #include "core/pure_ne.hpp"
@@ -49,7 +61,10 @@ void usage() {
                "                    [--budget-iters N] [--deadline SECONDS]\n"
                "                    [--trace FILE.jsonl] "
                "[--chrome-trace FILE.json]\n"
-               "                    [--metrics] [FILE]\n"
+               "                    [--metrics] [--fault-rate R] "
+               "[--fault-seed S]\n"
+               "                    [--save-checkpoint FILE] "
+               "[--resume-checkpoint FILE] [FILE]\n"
             << "  FILE holds 'n m' then one 'u v' line per edge; stdin when "
                "omitted.\n"
             << "  --budget-iters / --deadline bound the game-value solve; "
@@ -59,7 +74,12 @@ void usage() {
             << "  --trace / --chrome-trace record the solve as JSONL / "
                "Chrome trace_event\n"
             << "  events; --metrics dumps the metrics registry as JSON on "
-               "exit.\n";
+               "exit.\n"
+            << "  --fault-rate arms every fault-injection site at the given "
+               "rate (chaos\n"
+            << "  demo; deterministic per --fault-seed). --save-checkpoint / "
+               "--resume-checkpoint\n"
+            << "  persist and continue the game-value solve across runs.\n";
 }
 
 /// Structured CLI-layer error: same rendering path as solver statuses.
@@ -79,6 +99,9 @@ int main(int argc, char** argv) {
   std::size_t k = 2, nu = 4;
   bool dot = false, dump_metrics = false;
   std::string file, trace_path, chrome_trace_path;
+  std::string save_checkpoint_path, resume_checkpoint_path;
+  double fault_rate = 0.0;
+  std::uint64_t fault_seed = 0xdef3ddef3dULL;
   SolveBudget budget;
   budget.max_iterations = 200;
   for (int i = 1; i < argc; ++i) {
@@ -95,6 +118,16 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (arg == "--chrome-trace" && i + 1 < argc) {
       chrome_trace_path = argv[++i];
+    } else if (arg == "--fault-rate" && i + 1 < argc) {
+      fault_rate = std::strtod(argv[++i], nullptr);
+      if (!(fault_rate >= 0.0 && fault_rate <= 1.0))
+        return fail_invalid("--fault-rate must lie in [0, 1]");
+    } else if (arg == "--fault-seed" && i + 1 < argc) {
+      fault_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--save-checkpoint" && i + 1 < argc) {
+      save_checkpoint_path = argv[++i];
+    } else if (arg == "--resume-checkpoint" && i + 1 < argc) {
+      resume_checkpoint_path = argv[++i];
     } else if (arg == "--metrics") {
       dump_metrics = true;
     } else if (arg == "--dot") {
@@ -221,14 +254,46 @@ int main(int argc, char** argv) {
                  "other k, or use the LP solver on small instances.\n";
 
   // Zero-sum game value via the budgeted double oracle. A budget that runs
-  // out is reported as a certified bracket, never a crash.
+  // out is reported as a certified bracket, never a crash — and with
+  // --save-checkpoint the final loop state is written out so a later run
+  // can continue it via --resume-checkpoint.
+  fault::FaultPlan plan;
+  plan.seed = fault_seed;
+  plan.set_all(fault_rate);
+  fault::FaultContext fault_ctx(plan);
+  fault::FaultContext* fault_ptr = fault_rate > 0.0 ? &fault_ctx : nullptr;
+
+  core::SolverCheckpoint resumed, captured;
+  core::ResumeHooks hooks;
+  if (!resume_checkpoint_path.empty()) {
+    std::ifstream in(resume_checkpoint_path);
+    if (!in)
+      return fail_invalid("cannot open checkpoint " + resume_checkpoint_path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    const Solved<core::SolverCheckpoint> parsed_cp =
+        core::try_parse_checkpoint(text.str());
+    if (!parsed_cp.ok()) {
+      std::cerr << "defender_cli: " << parsed_cp.status.to_string() << '\n';
+      return 2;
+    }
+    resumed = parsed_cp.result;
+    hooks.resume = &resumed;
+  }
+  if (!save_checkpoint_path.empty()) hooks.capture = &captured;
+
   std::cout << "\nGame value (budgeted double oracle, max "
             << budget.max_iterations << " iterations";
   if (budget.wall_clock_seconds > 0)
     std::cout << ", deadline " << budget.wall_clock_seconds << "s";
+  if (hooks.resume != nullptr)
+    std::cout << ", resuming after " << resumed.iterations << " iterations";
+  if (fault_ptr != nullptr)
+    std::cout << ", fault rate " << fault_rate << " seed " << fault_seed;
   std::cout << "):\n";
   const Solved<core::DoubleOracleResult> solved =
-      core::solve_double_oracle_budgeted(game, 1e-9, budget, obs_ptr);
+      core::solve_double_oracle_resumable(game, 1e-9, budget, hooks, obs_ptr,
+                                          fault_ptr);
   if (solved.ok()) {
     std::cout << "  hit probability = " << solved.result.value << " ("
               << solved.result.iterations << " iterations, gap "
@@ -239,6 +304,17 @@ int main(int argc, char** argv) {
               << ", " << solved.result.upper_bound << "], best estimate "
               << solved.result.value << '\n';
   }
+  if (hooks.capture != nullptr &&
+      solved.status.code != StatusCode::kInvalidInput) {
+    std::ofstream out(save_checkpoint_path);
+    if (!out)
+      return fail_invalid("cannot write checkpoint " + save_checkpoint_path);
+    out << core::to_text(captured);
+    std::cout << "  checkpoint (" << captured.iterations
+              << " iterations) -> " << save_checkpoint_path << '\n';
+  }
+  if (fault_ptr != nullptr)
+    std::cout << "  fault injection: " << fault_ctx.summary() << '\n';
 
   if (obs_ptr != nullptr && obs_ptr->tracer != nullptr) {
     tracer.flush();

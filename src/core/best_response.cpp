@@ -1,9 +1,12 @@
 #include "core/best_response.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <new>
 
 #include "core/payoff.hpp"
+#include "fault/fault.hpp"
 #include "util/assert.hpp"
 #include "util/combinatorics.hpp"
 
@@ -57,6 +60,20 @@ class TupleSearch {
   }
 
   BestTuple run() { return run_budgeted().best; }
+
+  /// Degraded-mode answer when the full search cannot run (simulated
+  /// allocation failure): the greedy incumbent plus the root completion
+  /// bound — a feasible tuple and a sound upper bound, with zero nodes
+  /// expanded.
+  BestTupleSearch run_greedy_only() {
+    seed_greedy();
+    BestTupleSearch out;
+    out.best = best_;
+    out.nodes = 0;
+    out.truncated = true;
+    out.upper_bound = std::max(best_.mass, completion_bound(0, k_, 0.0));
+    return out;
+  }
 
   BestTupleSearch run_budgeted() {
     // Seed the incumbent with a greedy marginal-gain solution; combined with
@@ -193,15 +210,97 @@ BestTuple best_tuple_branch_and_bound(const TupleGame& game,
 
 BestTupleSearch best_tuple_branch_and_bound_budgeted(
     const TupleGame& game, const std::vector<double>& masses,
-    std::uint64_t node_budget, obs::ObsContext* obs) {
+    std::uint64_t node_budget, obs::ObsContext* obs,
+    fault::FaultContext* fault) {
   DEF_REQUIRE(masses.size() == game.graph().num_vertices(),
               "mass vector must cover every vertex");
-  BestTupleSearch out =
-      TupleSearch(game.graph(), game.k(), masses, node_budget).run_budgeted();
+  const graph::Graph& g = game.graph();
+
+  // The objective the search actually optimizes. Fault injection poisons a
+  // *working copy* (kMassPerturb), never the caller's vector — mirroring a
+  // corrupted internal buffer whose authoritative source survives.
+  const std::vector<double>* objective = &masses;
+  std::vector<double> working;
+  bool mass_repaired = false;
+  if (fault != nullptr) {
+    if (fault->fires(fault::FaultSite::kMassPerturb) && !masses.empty()) {
+      working = masses;
+      const std::uint64_t sel = fault->aux(fault::FaultSite::kMassPerturb);
+      working[sel % working.size()] = fault::poison_value(sel);
+      objective = &working;
+    }
+    if (fault->fires(fault::FaultSite::kOracleTruncate)) {
+      // Forced starvation: at most a handful of node expansions, driving
+      // the truncation/completion-bound degradation path.
+      node_budget = 1 + fault->aux(fault::FaultSite::kOracleTruncate) % 4;
+    }
+  }
+  // Input guard: a non-finite attacker mass would silently poison every
+  // bound the search certifies. On detection, fall back to the caller's
+  // authoritative vector (identical to the pre-corruption objective).
+  if (objective != &masses) {
+    for (double mv : *objective) {
+      if (!std::isfinite(mv)) {
+        objective = &masses;
+        mass_repaired = true;
+        break;
+      }
+    }
+  }
+
+  BestTupleSearch out;
+  bool alloc_fallback = false;
+  if (fault_fires(fault, fault::FaultSite::kOracleAlloc)) {
+    // Simulated allocation failure mid-search: the contract is "never
+    // crash", so the oracle degrades to its greedy incumbent with a sound
+    // root completion bound instead of propagating the exception.
+    try {
+      throw std::bad_alloc();
+    } catch (const std::bad_alloc&) {
+      alloc_fallback = true;
+      out = TupleSearch(g, game.k(), *objective, node_budget)
+                .run_greedy_only();
+    }
+  } else {
+    out = TupleSearch(g, game.k(), *objective, node_budget).run_budgeted();
+  }
+
+  if (fault != nullptr && fault->fires(fault::FaultSite::kOracleGarble)) {
+    // Poison the result in place — the integrity guard below must catch it.
+    const std::uint64_t sel = fault->aux(fault::FaultSite::kOracleGarble);
+    out.best.mass = fault::poison_value(sel);
+    out.upper_bound = fault::poison_value(sel + 1);
+  }
+  // Result-integrity guard (always on): the incumbent's mass must be the
+  // actual coverage of its tuple, and the upper bound must be finite. A
+  // non-finite mass is recomputed from the returned tuple; a non-finite
+  // bound falls back to the incumbent (exact case) or the total objective
+  // mass (truncated case) — both sound.
+  bool result_repaired = false;
+  if (!std::isfinite(out.best.mass)) {
+    out.best.mass = tuple_mass(g, *objective, out.best.tuple);
+    result_repaired = true;
+  }
+  if (!std::isfinite(out.upper_bound)) {
+    if (out.truncated) {
+      double total = 0;
+      for (double mv : *objective) total += mv;
+      out.upper_bound = std::max(out.best.mass, total);
+    } else {
+      out.upper_bound = out.best.mass;
+    }
+    result_repaired = true;
+  }
+
   if (obs != nullptr && obs->metrics != nullptr) {
     obs->metrics->counter("oracle.calls").add(1);
     obs->metrics->counter("oracle.nodes").add(out.nodes);
     if (out.truncated) obs->metrics->counter("oracle.truncations").add(1);
+    if (mass_repaired) obs->metrics->counter("oracle.mass_repairs").add(1);
+    if (result_repaired)
+      obs->metrics->counter("oracle.result_repairs").add(1);
+    if (alloc_fallback)
+      obs->metrics->counter("oracle.alloc_fallbacks").add(1);
   }
   return out;
 }

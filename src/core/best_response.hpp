@@ -19,6 +19,10 @@
 #include "core/game.hpp"
 #include "obs/context.hpp"
 
+namespace defender::fault {
+class FaultContext;
+}
+
 namespace defender::core {
 
 /// A best (or witnessed-optimal) defender tuple and its covered mass.
@@ -55,9 +59,20 @@ struct BestTupleSearch {
 /// incumbent guarantees a feasible answer, and `upper_bound` certifies how
 /// far from optimal it can be. With a non-null `obs`, each call updates the
 /// oracle.* metrics (calls, nodes, truncations); null obs is a no-op.
+///
+/// Fault injection: a non-null `fault` arms the kOracleAlloc (simulated
+/// allocation failure → greedy fallback with a sound root bound),
+/// kOracleTruncate (forced tiny node budget), kOracleGarble (poisoned
+/// result mass, repaired by the result-integrity guard), and kMassPerturb
+/// (poisoned objective copy, repaired from the caller's pristine vector)
+/// sites. Every injected fault is detected and degraded soundly — the
+/// returned incumbent stays feasible and `upper_bound` stays an upper
+/// bound. Null fault costs one branch per site and leaves results
+/// bit-identical.
 BestTupleSearch best_tuple_branch_and_bound_budgeted(
     const TupleGame& game, const std::vector<double>& masses,
-    std::uint64_t node_budget, obs::ObsContext* obs = nullptr);
+    std::uint64_t node_budget, obs::ObsContext* obs = nullptr,
+    fault::FaultContext* fault = nullptr);
 
 /// Picks the cheaper exact oracle for the instance size.
 BestTuple best_tuple(const TupleGame& game,

@@ -5,6 +5,7 @@
 
 #include "core/best_response.hpp"
 #include "core/payoff.hpp"
+#include "fault/fault.hpp"
 #include "lp/matrix_game.hpp"
 #include "util/assert.hpp"
 
@@ -169,32 +170,101 @@ void record_finish(obs::ObsContext* obs, const std::string& prefix,
   }
 }
 
+/// Validates a resume checkpoint against the solver family and the game it
+/// is being resumed on. Any mismatch is a caller error (kInvalidInput),
+/// never a crash or a silent restart.
+Status validate_do_checkpoint(const SolverCheckpoint& cp, SolverKind kind,
+                              const TupleGame& game) {
+  const auto invalid = [](const std::string& what) {
+    return Status::make(StatusCode::kInvalidInput,
+                        "cannot resume double oracle: " + what);
+  };
+  if (cp.version != kSolverCheckpointVersion)
+    return invalid("unsupported checkpoint version " +
+                   std::to_string(cp.version));
+  if (cp.solver != kind)
+    return invalid(std::string("checkpoint belongs to solver '") +
+                   to_string(cp.solver) + "', expected '" + to_string(kind) +
+                   "'");
+  const graph::Graph& g = game.graph();
+  if (cp.n != g.num_vertices() || cp.m != g.num_edges() || cp.k != game.k())
+    return invalid("game shape mismatch (checkpoint " +
+                   std::to_string(cp.n) + "x" + std::to_string(cp.m) + " k=" +
+                   std::to_string(cp.k) + ", game " +
+                   std::to_string(g.num_vertices()) + "x" +
+                   std::to_string(g.num_edges()) + " k=" +
+                   std::to_string(game.k()) + ")");
+  if (cp.tuples.empty() || cp.vertices.empty())
+    return invalid("double-oracle working sets must be non-empty");
+  for (const Tuple& t : cp.tuples) {
+    if (t.size() != game.k())
+      return invalid("working-set tuple size does not match k");
+    for (graph::EdgeId e : t)
+      if (static_cast<std::size_t>(e) >= g.num_edges())
+        return invalid("working-set tuple references an unknown edge");
+  }
+  for (graph::Vertex v : cp.vertices)
+    if (static_cast<std::size_t>(v) >= g.num_vertices())
+      return invalid("working-set vertex id out of range");
+  // The capture stores the RAW running bounds, and on a converged solve
+  // the independently computed lower/upper certificates can cross by a few
+  // ulps — that is round-off, not corruption. Reject only inversions too
+  // large to be floating-point noise.
+  if (!(cp.best_lower <= cp.best_upper + 1e-9))
+    return invalid("certified bracket is inverted (lower > upper)");
+  return Status::make_ok();
+}
+
 }  // namespace
 
-Solved<DoubleOracleResult> solve_double_oracle_budgeted(
+Solved<DoubleOracleResult> solve_double_oracle_resumable(
     const TupleGame& game, double tolerance, const SolveBudget& budget,
-    obs::ObsContext* obs) {
+    const ResumeHooks& hooks, obs::ObsContext* obs,
+    fault::FaultContext* fault) {
   const graph::Graph& g = game.graph();
   const std::size_t n = g.num_vertices();
+  std::size_t base_iterations = 0;
+  if (hooks.resume != nullptr) {
+    Status check = validate_do_checkpoint(*hooks.resume,
+                                          SolverKind::kDoubleOracle, game);
+    if (!check.ok()) {
+      Solved<DoubleOracleResult> out;
+      out.status = std::move(check);
+      return out;
+    }
+    base_iterations = hooks.resume->iterations;
+  }
   BudgetMeter meter(budget);
   obs::Span solve_span;
   if (obs != nullptr)
     solve_span = open_solve_span(obs, "do.solve", game, tolerance);
 
-  // Seed: the defender's best response to a uniform attacker, and one
-  // uncovered-if-possible vertex.
-  std::vector<double> uniform_mass(n, 1.0 / static_cast<double>(n));
-  BestTupleSearch seed = best_tuple_branch_and_bound_budgeted(
-      game, uniform_mass, budget.oracle_node_budget, obs);
-  std::vector<Tuple> tuples{seed.best.tuple};
-  std::vector<graph::Vertex> vertices{0};
-
   // Certified bracket on the game value: the hit probability lives in
   // [0, 1] a priori; every iteration tightens both ends via the exact
   // oracles.
+  std::vector<Tuple> tuples;
+  std::vector<graph::Vertex> vertices;
   double best_lower = 0.0;
   double best_upper = 1.0;
-  bool any_truncated = seed.truncated;
+  bool any_truncated = false;
+  if (hooks.resume != nullptr) {
+    // Continue from the captured loop state; the seed round already
+    // happened in the interrupted segment.
+    tuples = hooks.resume->tuples;
+    vertices = hooks.resume->vertices;
+    best_lower = hooks.resume->best_lower;
+    best_upper = hooks.resume->best_upper;
+    any_truncated = hooks.resume->any_truncated;
+  } else {
+    // Seed: the defender's best response to a uniform attacker, and one
+    // uncovered-if-possible vertex.
+    std::vector<double> uniform_mass(n, 1.0 / static_cast<double>(n));
+    BestTupleSearch seed = best_tuple_branch_and_bound_budgeted(
+        game, uniform_mass, budget.oracle_node_budget, obs, fault);
+    tuples.push_back(seed.best.tuple);
+    vertices.push_back(0);
+    any_truncated = seed.truncated;
+  }
   RestrictedSnapshot snap;
 
   // Assembles the result from the latest snapshot plus the running bounds.
@@ -209,17 +279,33 @@ Solved<DoubleOracleResult> solve_double_oracle_budgeted(
                                     snap.att_probs);
     r.defender = std::move(def);
     r.attacker = std::move(att);
-    r.iterations = meter.iterations();
+    r.iterations = base_iterations + meter.iterations();
     r.defender_set_size = tuples.size();
     r.attacker_set_size = vertices.size();
     r.approximate = any_truncated || code != StatusCode::kOk;
+    if (hooks.capture != nullptr) {
+      // Raw loop state (not the clamped result fields) so a resumed
+      // segment continues from exactly the state this one stopped in.
+      SolverCheckpoint cp;
+      cp.solver = SolverKind::kDoubleOracle;
+      cp.n = n;
+      cp.m = g.num_edges();
+      cp.k = game.k();
+      cp.iterations = r.iterations;
+      cp.best_lower = best_lower;
+      cp.best_upper = best_upper;
+      cp.any_truncated = any_truncated;
+      cp.tuples = tuples;
+      cp.vertices = vertices;
+      *hooks.capture = std::move(cp);
+    }
     Solved<DoubleOracleResult> out;
     out.result = std::move(r);
     out.status = code == StatusCode::kOk
-                     ? Status::make_ok(meter.iterations(), gap,
-                                       meter.elapsed_seconds())
+                     ? Status::make_ok(base_iterations + meter.iterations(),
+                                       gap, meter.elapsed_seconds())
                      : Status::make(code, std::move(message),
-                                    meter.iterations(),
+                                    base_iterations + meter.iterations(),
                                     r.upper_bound - r.lower_bound,
                                     meter.elapsed_seconds());
     if (obs != nullptr)
@@ -229,6 +315,9 @@ Solved<DoubleOracleResult> solve_double_oracle_budgeted(
   };
 
   while (true) {
+    // Under fault injection the clock may skew backwards (guarded by
+    // obs::Clock) or jump forward into the deadline checks below.
+    fault::perturb_clock(fault);
     if (meter.out_of_iterations())
       return finish(StatusCode::kIterationLimit,
                     "double oracle iteration budget exhausted; returning "
@@ -249,7 +338,7 @@ Solved<DoubleOracleResult> solve_double_oracle_budgeted(
       lp_budget.wall_clock_seconds = std::max(
           1e-3, budget.wall_clock_seconds - meter.elapsed_seconds());
     const Solved<lp::MatrixGameSolution> lp_solved =
-        lp::solve_matrix_game_budgeted(a, lp_budget, obs);
+        lp::solve_matrix_game_budgeted(a, lp_budget, obs, fault);
     if (!lp_solved.ok() &&
         lp_solved.status.code != StatusCode::kNumericallyUnstable)
       return finish(StatusCode::kDeadlineExceeded,
@@ -268,7 +357,7 @@ Solved<DoubleOracleResult> solve_double_oracle_budgeted(
     for (std::size_t v = 0; v < vertices.size(); ++v)
       masses[vertices[v]] += restricted.col_strategy[v];
     const BestTupleSearch br_search = best_tuple_branch_and_bound_budgeted(
-        game, masses, budget.oracle_node_budget, obs);
+        game, masses, budget.oracle_node_budget, obs, fault);
     const BestTuple& br_tuple = br_search.best;
     any_truncated = any_truncated || br_search.truncated;
     // value <= (true max coverage vs this attacker mix); when the oracle
@@ -346,34 +435,63 @@ Solved<DoubleOracleResult> solve_double_oracle_budgeted(
   }
 }
 
-Solved<DoubleOracleResult> solve_weighted_double_oracle_budgeted(
+Solved<DoubleOracleResult> solve_double_oracle_budgeted(
+    const TupleGame& game, double tolerance, const SolveBudget& budget,
+    obs::ObsContext* obs, fault::FaultContext* fault) {
+  return solve_double_oracle_resumable(game, tolerance, budget, ResumeHooks{},
+                                       obs, fault);
+}
+
+Solved<DoubleOracleResult> solve_weighted_double_oracle_resumable(
     const TupleGame& game, std::span<const double> weights, double tolerance,
-    const SolveBudget& budget, obs::ObsContext* obs) {
+    const SolveBudget& budget, const ResumeHooks& hooks, obs::ObsContext* obs,
+    fault::FaultContext* fault) {
   const graph::Graph& g = game.graph();
   const std::size_t n = g.num_vertices();
   DEF_REQUIRE(weights.size() == n, "one damage weight per vertex");
   for (double w : weights)
     DEF_REQUIRE(w > 0, "damage weights must be strictly positive");
+  std::size_t base_iterations = 0;
+  if (hooks.resume != nullptr) {
+    Status check = validate_do_checkpoint(
+        *hooks.resume, SolverKind::kWeightedDoubleOracle, game);
+    if (!check.ok()) {
+      Solved<DoubleOracleResult> out;
+      out.status = std::move(check);
+      return out;
+    }
+    base_iterations = hooks.resume->iterations;
+  }
   BudgetMeter meter(budget);
   obs::Span solve_span;
   if (obs != nullptr)
     solve_span = open_solve_span(obs, "do.weighted.solve", game, tolerance);
 
-  // Seed with the defender's best response to a uniform attacker and the
-  // most valuable vertex (the attacker's first instinct).
-  std::vector<double> seed_mass(n);
-  for (std::size_t v = 0; v < n; ++v)
-    seed_mass[v] = weights[v] / static_cast<double>(n);
-  BestTupleSearch seed = best_tuple_branch_and_bound_budgeted(
-      game, seed_mass, budget.oracle_node_budget, obs);
-  std::vector<Tuple> tuples{seed.best.tuple};
-  std::vector<graph::Vertex> vertices{static_cast<graph::Vertex>(
-      std::max_element(weights.begin(), weights.end()) - weights.begin())};
-
   // Damage value lives in [0, max weight] a priori.
+  std::vector<Tuple> tuples;
+  std::vector<graph::Vertex> vertices;
   double best_lower = 0.0;
   double best_upper = *std::max_element(weights.begin(), weights.end());
-  bool any_truncated = seed.truncated;
+  bool any_truncated = false;
+  if (hooks.resume != nullptr) {
+    tuples = hooks.resume->tuples;
+    vertices = hooks.resume->vertices;
+    best_lower = hooks.resume->best_lower;
+    best_upper = hooks.resume->best_upper;
+    any_truncated = hooks.resume->any_truncated;
+  } else {
+    // Seed with the defender's best response to a uniform attacker and the
+    // most valuable vertex (the attacker's first instinct).
+    std::vector<double> seed_mass(n);
+    for (std::size_t v = 0; v < n; ++v)
+      seed_mass[v] = weights[v] / static_cast<double>(n);
+    BestTupleSearch seed = best_tuple_branch_and_bound_budgeted(
+        game, seed_mass, budget.oracle_node_budget, obs, fault);
+    tuples.push_back(seed.best.tuple);
+    vertices.push_back(static_cast<graph::Vertex>(
+        std::max_element(weights.begin(), weights.end()) - weights.begin()));
+    any_truncated = seed.truncated;
+  }
   RestrictedSnapshot snap;
 
   const auto finish = [&](StatusCode code, std::string message,
@@ -387,17 +505,31 @@ Solved<DoubleOracleResult> solve_weighted_double_oracle_budgeted(
                                     snap.att_probs);
     r.defender = std::move(def);
     r.attacker = std::move(att);
-    r.iterations = meter.iterations();
+    r.iterations = base_iterations + meter.iterations();
     r.defender_set_size = tuples.size();
     r.attacker_set_size = vertices.size();
     r.approximate = any_truncated || code != StatusCode::kOk;
+    if (hooks.capture != nullptr) {
+      SolverCheckpoint cp;
+      cp.solver = SolverKind::kWeightedDoubleOracle;
+      cp.n = n;
+      cp.m = g.num_edges();
+      cp.k = game.k();
+      cp.iterations = r.iterations;
+      cp.best_lower = best_lower;
+      cp.best_upper = best_upper;
+      cp.any_truncated = any_truncated;
+      cp.tuples = tuples;
+      cp.vertices = vertices;
+      *hooks.capture = std::move(cp);
+    }
     Solved<DoubleOracleResult> out;
     out.result = std::move(r);
     out.status = code == StatusCode::kOk
-                     ? Status::make_ok(meter.iterations(), gap,
-                                       meter.elapsed_seconds())
+                     ? Status::make_ok(base_iterations + meter.iterations(),
+                                       gap, meter.elapsed_seconds())
                      : Status::make(code, std::move(message),
-                                    meter.iterations(),
+                                    base_iterations + meter.iterations(),
                                     r.upper_bound - r.lower_bound,
                                     meter.elapsed_seconds());
     if (obs != nullptr)
@@ -407,6 +539,7 @@ Solved<DoubleOracleResult> solve_weighted_double_oracle_budgeted(
   };
 
   while (true) {
+    fault::perturb_clock(fault);
     if (meter.out_of_iterations())
       return finish(StatusCode::kIterationLimit,
                     "weighted double oracle iteration budget exhausted; "
@@ -436,7 +569,7 @@ Solved<DoubleOracleResult> solve_weighted_double_oracle_budgeted(
       lp_budget.wall_clock_seconds = std::max(
           1e-3, budget.wall_clock_seconds - meter.elapsed_seconds());
     const Solved<lp::MatrixGameSolution> lp_solved =
-        lp::solve_matrix_game_budgeted(damage, lp_budget, obs);
+        lp::solve_matrix_game_budgeted(damage, lp_budget, obs, fault);
     if (!lp_solved.ok() &&
         lp_solved.status.code != StatusCode::kNumericallyUnstable)
       return finish(StatusCode::kDeadlineExceeded,
@@ -460,7 +593,7 @@ Solved<DoubleOracleResult> solve_weighted_double_oracle_budgeted(
       total_weighted += weights[vertices[v]] * restricted.row_strategy[v];
     }
     const BestTupleSearch br_search = best_tuple_branch_and_bound_budgeted(
-        game, masses, budget.oracle_node_budget, obs);
+        game, masses, budget.oracle_node_budget, obs, fault);
     const BestTuple& br_tuple = br_search.best;
     any_truncated = any_truncated || br_search.truncated;
     const double defender_br_damage = total_weighted - br_tuple.mass;
@@ -535,6 +668,15 @@ Solved<DoubleOracleResult> solve_weighted_double_oracle_budgeted(
                     "gap; returning best-so-far certified bounds",
                     restricted.value, gap);
   }
+}
+
+Solved<DoubleOracleResult> solve_weighted_double_oracle_budgeted(
+    const TupleGame& game, std::span<const double> weights, double tolerance,
+    const SolveBudget& budget, obs::ObsContext* obs,
+    fault::FaultContext* fault) {
+  return solve_weighted_double_oracle_resumable(game, weights, tolerance,
+                                                budget, ResumeHooks{}, obs,
+                                                fault);
 }
 
 DoubleOracleResult solve_double_oracle(const TupleGame& game,

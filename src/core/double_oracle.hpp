@@ -22,16 +22,27 @@
 // iteration or wall-clock budget runs out the solver returns its
 // best-so-far mixes with that certified bracket and a kIterationLimit /
 // kDeadlineExceeded status instead of throwing.
+// Fault injection & resume: the *_resumable entry points additionally take
+// core::ResumeHooks (checkpoint capture/restore — see core/checkpoint.hpp)
+// and a nullable fault::FaultContext that deterministically perturbs the
+// oracle, the restricted LP, and the clock. Every certified bound is
+// re-derived from authoritative data after any injected corruption, so the
+// returned bracket stays sound under any fault schedule.
 #pragma once
 
 #include <cstddef>
 #include <span>
 
 #include "core/budget.hpp"
+#include "core/checkpoint.hpp"
 #include "core/configuration.hpp"
 #include "core/game.hpp"
 #include "core/status.hpp"
 #include "obs/context.hpp"
+
+namespace defender::fault {
+class FaultContext;
+}  // namespace defender::fault
 
 namespace defender::core {
 
@@ -76,15 +87,43 @@ struct DoubleOracleResult {
 /// returned Status, and maintains the do.* / oracle.* / lp.* metrics. The
 /// default null context records nothing, costs one branch per hook, and
 /// leaves results bit-for-bit identical.
+///
+/// Fault injection: a non-null `fault` is forwarded to the oracle and the
+/// restricted LP and perturbs the clock once per outer iteration; the
+/// default null context costs one branch per hook and leaves results
+/// bit-for-bit identical.
 Solved<DoubleOracleResult> solve_double_oracle_budgeted(
     const TupleGame& game, double tolerance, const SolveBudget& budget,
-    obs::ObsContext* obs = nullptr);
+    obs::ObsContext* obs = nullptr, fault::FaultContext* fault = nullptr);
 
 /// Damage-weighted budgeted solve (see solve_weighted_double_oracle); same
-/// observability contract under the `do.weighted.*` event names.
+/// observability and fault contract under the `do.weighted.*` event names.
 Solved<DoubleOracleResult> solve_weighted_double_oracle_budgeted(
     const TupleGame& game, std::span<const double> weights, double tolerance,
-    const SolveBudget& budget, obs::ObsContext* obs = nullptr);
+    const SolveBudget& budget, obs::ObsContext* obs = nullptr,
+    fault::FaultContext* fault = nullptr);
+
+/// Checkpointable solve: exactly solve_double_oracle_budgeted plus resume/
+/// capture hooks. With `hooks.resume` set, the working sets, certified
+/// bracket, and cumulative iteration count are restored from the checkpoint
+/// (validated first — wrong solver kind, version, or game shape comes back
+/// as kInvalidInput) and the seeding oracle call is skipped. With
+/// `hooks.capture` set, the final loop state is written there on every exit
+/// path. The loop body is a deterministic function of that state, so
+/// killing a solve at iteration i and resuming reproduces the
+/// uninterrupted run's trajectory: same final status code, same bracket.
+Solved<DoubleOracleResult> solve_double_oracle_resumable(
+    const TupleGame& game, double tolerance, const SolveBudget& budget,
+    const ResumeHooks& hooks, obs::ObsContext* obs = nullptr,
+    fault::FaultContext* fault = nullptr);
+
+/// Checkpointable damage-weighted solve; same contract as
+/// solve_double_oracle_resumable with SolverKind::kWeightedDoubleOracle
+/// checkpoints.
+Solved<DoubleOracleResult> solve_weighted_double_oracle_resumable(
+    const TupleGame& game, std::span<const double> weights, double tolerance,
+    const SolveBudget& budget, const ResumeHooks& hooks,
+    obs::ObsContext* obs = nullptr, fault::FaultContext* fault = nullptr);
 
 /// Solves the zero-sum view of Π_k(G) exactly (within `tolerance`).
 /// Legacy throwing wrapper over the budgeted solver: `max_iterations`

@@ -14,7 +14,9 @@
 // double-oracle/learning loops kIterationLimit / kDeadlineExceeded.
 #pragma once
 
+#include <cstddef>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "util/assert.hpp"
@@ -40,6 +42,19 @@ enum class StatusCode {
   kInvalidInput,
 };
 
+/// Every StatusCode, in enum order. The compile-time audit below keeps
+/// this table, the enum, and to_string in lockstep.
+inline constexpr StatusCode kAllStatusCodes[] = {
+    StatusCode::kOk,
+    StatusCode::kIterationLimit,
+    StatusCode::kDeadlineExceeded,
+    StatusCode::kNumericallyUnstable,
+    StatusCode::kInfeasible,
+    StatusCode::kInvalidInput,
+};
+inline constexpr std::size_t kStatusCodeCount =
+    sizeof(kAllStatusCodes) / sizeof(kAllStatusCodes[0]);
+
 /// Human-readable name of a StatusCode.
 constexpr const char* to_string(StatusCode code) {
   switch (code) {
@@ -52,6 +67,44 @@ constexpr const char* to_string(StatusCode code) {
   }
   return "unknown";
 }
+
+/// Parses a name produced by to_string back into its StatusCode; returns
+/// false (leaving `out` untouched) on an unknown name.
+constexpr bool try_parse_status_code(std::string_view name,
+                                     StatusCode* out) {
+  for (StatusCode c : kAllStatusCodes) {
+    if (name == to_string(c)) {
+      if (out != nullptr) *out = c;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace status_detail {
+/// Compile-time exhaustiveness audit: kAllStatusCodes is dense and in enum
+/// order, every code has a name other than "unknown", and every name
+/// round-trips through try_parse_status_code. Adding an enum value without
+/// extending the table (or to_string) fails the static_asserts below
+/// instead of silently printing "unknown" at runtime.
+constexpr bool status_codes_round_trip() {
+  std::size_t i = 0;
+  for (StatusCode c : kAllStatusCodes) {
+    if (static_cast<std::size_t>(c) != i++) return false;
+    if (std::string_view(to_string(c)) == "unknown") return false;
+    StatusCode parsed{};
+    if (!try_parse_status_code(to_string(c), &parsed) || parsed != c)
+      return false;
+  }
+  return true;
+}
+}  // namespace status_detail
+static_assert(kStatusCodeCount ==
+                  static_cast<std::size_t>(StatusCode::kInvalidInput) + 1,
+              "kAllStatusCodes must list every StatusCode");
+static_assert(status_detail::status_codes_round_trip(),
+              "every StatusCode must round-trip through to_string / "
+              "try_parse_status_code");
 
 /// A status with context: what happened, how much work was done, and how
 /// tight the result is.

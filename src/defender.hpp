@@ -16,6 +16,9 @@
 #include "util/stopwatch.hpp"       // IWYU pragma: export
 #include "util/table.hpp"           // IWYU pragma: export
 
+// Substrate: deterministic fault injection (chaos testing).
+#include "fault/fault.hpp"          // IWYU pragma: export
+
 // Substrate: graphs.
 #include "graph/enumeration.hpp"    // IWYU pragma: export
 #include "graph/generators.hpp"     // IWYU pragma: export
@@ -47,6 +50,7 @@
 #include "core/atuple.hpp"               // IWYU pragma: export
 #include "core/best_response.hpp"        // IWYU pragma: export
 #include "core/characterization.hpp"     // IWYU pragma: export
+#include "core/checkpoint.hpp"           // IWYU pragma: export
 #include "core/configuration.hpp"        // IWYU pragma: export
 #include "core/double_oracle.hpp"        // IWYU pragma: export
 #include "core/expander_partition.hpp"   // IWYU pragma: export

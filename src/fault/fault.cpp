@@ -1,0 +1,187 @@
+#include "fault/fault.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "obs/clock.hpp"
+
+namespace defender::fault {
+
+namespace {
+
+/// SplitMix64 finalizer — the same mixer util::Rng seeds through. Full
+/// 64-bit avalanche, so consecutive counters decorrelate completely.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic draw for (seed, stream, counter). `stream` separates the
+/// fire decision stream from the aux stream per site.
+std::uint64_t draw(std::uint64_t seed, std::uint64_t stream,
+                   std::uint64_t counter) {
+  return mix64(seed ^ mix64((stream << 32) ^ counter));
+}
+
+/// Uniform [0, 1) from the top 53 bits of a draw.
+double to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+Solved<FaultPlan> parse_error(std::size_t line, const std::string& what) {
+  Solved<FaultPlan> out;
+  out.status = Status::make(
+      StatusCode::kInvalidInput,
+      "fault plan line " + std::to_string(line) + ": " + what);
+  return out;
+}
+
+}  // namespace
+
+bool FaultContext::fires(FaultSite site) {
+  const auto i = static_cast<std::size_t>(site);
+  const std::uint64_t n = evals_[i]++;
+  const double r = plan_.rate[i];
+  if (r <= 0) return false;
+  if (to_unit(draw(plan_.seed, i, n)) >= r) return false;
+  ++fires_[i];
+  return true;
+}
+
+std::uint64_t FaultContext::aux(FaultSite site) {
+  const auto i = static_cast<std::size_t>(site);
+  const std::uint64_t n = aux_[i]++;
+  return draw(plan_.seed, kFaultSiteCount + i, n);
+}
+
+std::string FaultContext::summary() const {
+  std::ostringstream os;
+  os << "fault-context seed=" << plan_.seed
+     << " injected=" << total_injected();
+  for (FaultSite s : kAllFaultSites) {
+    const auto i = static_cast<std::size_t>(s);
+    if (evals_[i] == 0) continue;
+    os << ' ' << to_string(s) << '=' << fires_[i] << '/' << evals_[i];
+  }
+  return os.str();
+}
+
+std::string FaultPlan::to_text() const {
+  std::ostringstream os;
+  os << "fault-plan v1\n";
+  os << "seed " << seed << '\n';
+  char buf[64];
+  for (FaultSite s : kAllFaultSites) {
+    std::snprintf(buf, sizeof(buf), "%.17g", rate_of(s));
+    os << "rate " << to_string(s) << ' ' << buf << '\n';
+  }
+  os << "end\n";
+  return os.str();
+}
+
+Solved<FaultPlan> FaultPlan::try_parse(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+  const auto next_line = [&]() -> bool {
+    while (std::getline(is, line)) {
+      ++line_no;
+      // Skip blank lines so hand-edited plans stay parseable.
+      bool blank = true;
+      for (char ch : line)
+        if (!std::isspace(static_cast<unsigned char>(ch))) blank = false;
+      if (!blank) return true;
+    }
+    return false;
+  };
+
+  if (!next_line()) return parse_error(1, "empty input");
+  if (line != "fault-plan v1") {
+    if (line.rfind("fault-plan", 0) == 0)
+      return parse_error(line_no, "unsupported fault-plan version: " + line);
+    return parse_error(line_no, "missing 'fault-plan v1' header");
+  }
+
+  FaultPlan plan;
+  bool saw_seed = false;
+  bool saw_end = false;
+  std::array<bool, kFaultSiteCount> seen{};
+  while (next_line()) {
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "end") {
+      saw_end = true;
+      break;
+    }
+    if (key == "seed") {
+      std::string value;
+      if (!(ls >> value)) return parse_error(line_no, "seed needs a value");
+      errno = 0;
+      char* rest = nullptr;
+      const unsigned long long parsed =
+          std::strtoull(value.c_str(), &rest, 10);
+      if (errno != 0 || rest == value.c_str() || *rest != '\0' ||
+          value[0] == '-')
+        return parse_error(line_no, "malformed seed: " + value);
+      plan.seed = parsed;
+      saw_seed = true;
+      continue;
+    }
+    if (key == "rate") {
+      std::string site_name, value;
+      if (!(ls >> site_name >> value))
+        return parse_error(line_no, "rate needs '<site> <probability>'");
+      FaultSite site{};
+      if (!try_parse_fault_site(site_name, &site))
+        return parse_error(line_no, "unknown fault site: " + site_name);
+      errno = 0;
+      char* rest = nullptr;
+      const double r = std::strtod(value.c_str(), &rest);
+      if (errno != 0 || rest == value.c_str() || *rest != '\0' ||
+          !(r >= 0.0 && r <= 1.0))
+        return parse_error(line_no,
+                           "rate must be a number in [0, 1], got: " + value);
+      plan.rate_of(site) = r;
+      seen[static_cast<std::size_t>(site)] = true;
+      continue;
+    }
+    return parse_error(line_no, "unknown directive: " + key);
+  }
+  if (!saw_end) return parse_error(line_no + 1, "missing 'end' trailer");
+  if (!saw_seed) return parse_error(line_no, "missing 'seed' line");
+  (void)seen;  // Omitted sites default to rate 0 — a valid sparse plan.
+
+  Solved<FaultPlan> out;
+  out.result = plan;
+  out.status = Status::make_ok();
+  return out;
+}
+
+void perturb_clock(FaultContext* fault) {
+  if (fault == nullptr) return;
+  if (fault->fires(FaultSite::kClockSkew)) {
+    // Backward skew of 1–50 ms: large enough that an unguarded clock would
+    // hand out decreasing ticks and negative durations.
+    const std::int64_t us =
+        1000 + static_cast<std::int64_t>(
+                   fault->aux(FaultSite::kClockSkew) % 49001);
+    obs::Clock::inject_skew_micros(-us);
+  }
+  if (fault->fires(FaultSite::kDeadlineStarve)) {
+    // Forward jump of 1–5 s: past any deadline the harness sets, forcing
+    // the kDeadlineExceeded degradation path.
+    const std::int64_t us =
+        1'000'000 *
+        (1 + static_cast<std::int64_t>(
+                 fault->aux(FaultSite::kDeadlineStarve) % 5));
+    obs::Clock::inject_skew_micros(us);
+  }
+}
+
+}  // namespace defender::fault

@@ -1,0 +1,221 @@
+// Deterministic fault injection for the hardened solver layer.
+//
+// PR 1 gave every solver a "never crash, always return a certified
+// bracket" contract and PR 2 made solves observable — but nothing
+// adversarially *exercises* those contracts. This subsystem does: a
+// FaultPlan names a seed and a per-site firing rate, and a FaultContext
+// threaded through the solvers (same trailing-pointer pattern as
+// obs::ObsContext — null means one branch per hook and bit-identical
+// results) deterministically decides, at each named site, whether to
+// inject a failure:
+//
+//   kOracleAlloc      simulated std::bad_alloc inside the branch-and-bound
+//                     tuple oracle; the oracle falls back to its greedy
+//                     incumbent with a sound root completion bound.
+//   kOracleTruncate   forces a tiny node budget on one oracle call,
+//                     exercising the truncation/completion-bound path.
+//   kOracleGarble     poisons the oracle's returned mass with NaN/±inf;
+//                     the result-integrity guard recomputes it from the
+//                     returned tuple.
+//   kMassPerturb      poisons one entry of the oracle's working objective
+//                     copy; the input guard detects the non-finite entry
+//                     and rebuilds from the caller's pristine vector.
+//   kLpPivotPerturb   poisons one coordinate of the simplex solution; the
+//                     residual verifier (which treats any non-finite point
+//                     as infinitely infeasible) rejects it and triggers
+//                     the tightened re-solve.
+//   kLpForceUnstable  makes the simplex post-solve verification report
+//                     failure, driving the kNumericallyUnstable path.
+//   kClockSkew        injects negative skew into obs::Clock; the clock's
+//                     monotonic clamp absorbs it (and counts it).
+//   kDeadlineStarve   injects forward skew into obs::Clock, starving any
+//                     wall-clock deadline mid-solve.
+//
+// Every decision is a pure function of (plan seed, site, per-site call
+// counter), so a fault schedule is fully described by its plan — a failing
+// chaos run can be replayed from the plan text alone.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+
+#include "core/status.hpp"
+
+namespace defender::fault {
+
+/// A named injection point inside the solver stack.
+enum class FaultSite {
+  kOracleAlloc,
+  kOracleTruncate,
+  kOracleGarble,
+  kMassPerturb,
+  kLpPivotPerturb,
+  kLpForceUnstable,
+  kClockSkew,
+  kDeadlineStarve,
+};
+
+inline constexpr FaultSite kAllFaultSites[] = {
+    FaultSite::kOracleAlloc,     FaultSite::kOracleTruncate,
+    FaultSite::kOracleGarble,    FaultSite::kMassPerturb,
+    FaultSite::kLpPivotPerturb,  FaultSite::kLpForceUnstable,
+    FaultSite::kClockSkew,       FaultSite::kDeadlineStarve,
+};
+inline constexpr std::size_t kFaultSiteCount =
+    sizeof(kAllFaultSites) / sizeof(kAllFaultSites[0]);
+
+/// Stable name of a fault site (used in plan files and test output).
+constexpr const char* to_string(FaultSite site) {
+  switch (site) {
+    case FaultSite::kOracleAlloc: return "oracle-alloc";
+    case FaultSite::kOracleTruncate: return "oracle-truncate";
+    case FaultSite::kOracleGarble: return "oracle-garble";
+    case FaultSite::kMassPerturb: return "mass-perturb";
+    case FaultSite::kLpPivotPerturb: return "lp-pivot-perturb";
+    case FaultSite::kLpForceUnstable: return "lp-force-unstable";
+    case FaultSite::kClockSkew: return "clock-skew";
+    case FaultSite::kDeadlineStarve: return "deadline-starve";
+  }
+  return "unknown";
+}
+
+/// Parses a site name produced by to_string; returns false (and leaves
+/// `out` untouched) on an unknown name.
+constexpr bool try_parse_fault_site(std::string_view name, FaultSite* out) {
+  for (FaultSite s : kAllFaultSites) {
+    if (name == to_string(s)) {
+      if (out != nullptr) *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace detail {
+/// Compile-time exhaustiveness audit: every site round-trips through
+/// to_string / try_parse_fault_site and the table is dense and in enum
+/// order, so a new enum value cannot silently print as "unknown".
+constexpr bool fault_sites_round_trip() {
+  std::size_t i = 0;
+  for (FaultSite s : kAllFaultSites) {
+    if (static_cast<std::size_t>(s) != i++) return false;
+    if (std::string_view(to_string(s)) == "unknown") return false;
+    FaultSite parsed{};
+    if (!try_parse_fault_site(to_string(s), &parsed) || parsed != s)
+      return false;
+  }
+  return true;
+}
+}  // namespace detail
+static_assert(kFaultSiteCount ==
+                  static_cast<std::size_t>(FaultSite::kDeadlineStarve) + 1,
+              "kAllFaultSites must list every FaultSite");
+static_assert(detail::fault_sites_round_trip(),
+              "every FaultSite must round-trip through to_string / "
+              "try_parse_fault_site");
+
+/// A complete, replayable fault schedule: a seed plus one firing
+/// probability per site. Deterministic — two contexts built from equal
+/// plans make identical decisions call for call.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  /// Per-site firing probability in [0, 1], indexed by FaultSite.
+  std::array<double, kFaultSiteCount> rate{};
+
+  double& rate_of(FaultSite site) {
+    return rate[static_cast<std::size_t>(site)];
+  }
+  double rate_of(FaultSite site) const {
+    return rate[static_cast<std::size_t>(site)];
+  }
+
+  /// Sets every site to the same firing rate.
+  void set_all(double r) { rate.fill(r); }
+
+  /// True when any site can fire.
+  bool armed() const {
+    for (double r : rate)
+      if (r > 0) return true;
+    return false;
+  }
+
+  /// Serializes the plan to its line-oriented text form:
+  ///   fault-plan v1
+  ///   seed <u64>
+  ///   rate <site> <probability>     (one line per site, enum order)
+  ///   end
+  std::string to_text() const;
+
+  /// Hardened parse of to_text() output: unknown versions, unknown sites,
+  /// malformed numbers, rates outside [0, 1], and a missing trailer all
+  /// come back as kInvalidInput with the offending line number.
+  static Solved<FaultPlan> try_parse(const std::string& text);
+};
+
+/// Runtime fault decisions against one plan. Per-site evaluation counters
+/// make every decision deterministic and independent of wall clock, memory
+/// layout, or call interleaving across other sites.
+class FaultContext {
+ public:
+  explicit FaultContext(const FaultPlan& plan) : plan_(plan) {}
+
+  /// One decision at `site`: advances the site's evaluation counter and
+  /// returns true when this evaluation is scheduled to fail.
+  bool fires(FaultSite site);
+
+  /// Deterministic auxiliary draw for the site (poison selection, index
+  /// choice, skew magnitude); advances its own per-site counter.
+  std::uint64_t aux(FaultSite site);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Times `site` was evaluated / actually fired.
+  std::uint64_t evaluations(FaultSite site) const {
+    return evals_[static_cast<std::size_t>(site)];
+  }
+  std::uint64_t injected(FaultSite site) const {
+    return fires_[static_cast<std::size_t>(site)];
+  }
+
+  /// Total faults injected across all sites.
+  std::uint64_t total_injected() const {
+    std::uint64_t t = 0;
+    for (std::uint64_t f : fires_) t += f;
+    return t;
+  }
+
+  /// One-line human summary: "seed=S injected=K (site=a/b ...)".
+  std::string summary() const;
+
+ private:
+  FaultPlan plan_;
+  std::array<std::uint64_t, kFaultSiteCount> evals_{};
+  std::array<std::uint64_t, kFaultSiteCount> fires_{};
+  std::array<std::uint64_t, kFaultSiteCount> aux_{};
+};
+
+/// The one-branch null-context hook solvers use at each site.
+inline bool fault_fires(FaultContext* fault, FaultSite site) {
+  return fault != nullptr && fault->fires(site);
+}
+
+/// Non-finite poison cycled by an aux draw: NaN, +inf, -inf.
+inline double poison_value(std::uint64_t selector) {
+  switch (selector % 3) {
+    case 0: return std::numeric_limits<double>::quiet_NaN();
+    case 1: return std::numeric_limits<double>::infinity();
+    default: return -std::numeric_limits<double>::infinity();
+  }
+}
+
+/// Clock-fault poll, called once per outer solver iteration: kClockSkew
+/// injects a small negative skew into obs::Clock (absorbed by its
+/// monotonic clamp), kDeadlineStarve a 1–5 s forward jump (starving any
+/// wall-clock deadline). Null context: one branch, nothing else.
+void perturb_clock(FaultContext* fault);
+
+}  // namespace defender::fault

@@ -1,8 +1,10 @@
 #include "lp/matrix_game.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
+#include "fault/fault.hpp"
 #include "util/assert.hpp"
 
 namespace defender::lp {
@@ -16,7 +18,10 @@ namespace {
 std::vector<double> clean_strategy(std::vector<double> v) {
   double sum = 0;
   for (double& p : v) {
-    if (!(p > 0)) p = 0;  // also scrubs NaNs
+    // !(p > 0) scrubs NaNs and negatives; the isfinite check also catches
+    // +inf, which would otherwise turn the normalizing sum into inf and
+    // every entry into NaN.
+    if (!(p > 0) || !std::isfinite(p)) p = 0;
     sum += p;
   }
   if (sum <= 0) {
@@ -58,7 +63,8 @@ MatrixGameSolution assemble(const Matrix& payoff, const LpSolution& lp,
 }  // namespace
 
 Solved<MatrixGameSolution> solve_matrix_game_budgeted(
-    const Matrix& payoff, const SolveBudget& budget, obs::ObsContext* obs) {
+    const Matrix& payoff, const SolveBudget& budget, obs::ObsContext* obs,
+    fault::FaultContext* fault) {
   const std::size_t rows = payoff.rows();
   const std::size_t cols = payoff.cols();
   BudgetMeter meter(budget);
@@ -78,14 +84,31 @@ Solved<MatrixGameSolution> solve_matrix_game_budgeted(
   options.max_pivots = budget.max_iterations;
   options.deadline_seconds = budget.wall_clock_seconds;
   options.obs = obs;
+  options.fault = fault;
   LpSolution lp = solve_max(a, b, c, options);
 
   Solved<MatrixGameSolution> out;
   out.result = assemble(payoff, lp, shift);
   const double gap = out.result.upper_bound - out.result.lower_bound;
+  // Truthfulness guard: "optimal" with a wide security-level bracket means
+  // the LP solution does not actually certify an equilibrium (a corrupted
+  // solve that slipped past verification). Demote it rather than report
+  // kOk on a result the bracket itself contradicts.
+  const double bracket_tolerance =
+      1e-6 * std::max(1.0, std::max(std::abs(payoff.min_entry()),
+                                    std::abs(payoff.max_entry())));
   switch (lp.status) {
     case LpStatus::kOptimal:
-      out.status = Status::make_ok(lp.pivots, gap, meter.elapsed_seconds());
+      if (gap > bracket_tolerance) {
+        out.status = Status::make(
+            StatusCode::kNumericallyUnstable,
+            "LP reported optimal but the security-level bracket stayed "
+            "open; demoting to numerically-unstable",
+            lp.pivots, gap, meter.elapsed_seconds());
+      } else {
+        out.status =
+            Status::make_ok(lp.pivots, gap, meter.elapsed_seconds());
+      }
       break;
     case LpStatus::kIterationLimit:
       out.status = Status::make(

@@ -62,9 +62,17 @@ MatrixGameSolution solve_matrix_game(const Matrix& payoff);
 /// Never throws for any of the above. A non-null `obs` is forwarded to the
 /// simplex substrate (lp.* metrics, per-solve trace events); the default
 /// null context records nothing and costs one branch.
+///
+/// A non-null `fault` is forwarded to the simplex substrate (pivot
+/// perturbation, forced-unstable verification). Whatever the LP produces,
+/// the returned strategies are scrubbed of non-finite entries and
+/// re-certified by their security levels against the *real* payoff matrix,
+/// so the bracket stays sound under any injected fault; an "optimal" LP
+/// whose bracket nonetheless came out wide is demoted to
+/// kNumericallyUnstable rather than reported as kOk.
 Solved<MatrixGameSolution> solve_matrix_game_budgeted(
     const Matrix& payoff, const SolveBudget& budget,
-    obs::ObsContext* obs = nullptr);
+    obs::ObsContext* obs = nullptr, fault::FaultContext* fault = nullptr);
 
 /// Best-response value check: the payoff the row player earns by playing
 /// `row_strategy` against the column player's best pure counter-strategy.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "fault/fault.hpp"
 #include "obs/clock.hpp"
 #include "util/assert.hpp"
 
@@ -309,6 +310,18 @@ LpResiduals lp_residuals(const Matrix& a, std::span<const double> b,
                          std::span<const double> duals) {
   DEF_REQUIRE(x.size() == a.cols() && duals.size() == a.rows(),
               "residual check needs one x per column and one dual per row");
+  // A corrupted point must never pass: std::max(acc, NaN) keeps acc, so a
+  // NaN coordinate would otherwise sail through the residual loops below.
+  for (double xi : x) {
+    if (!std::isfinite(xi))
+      return {std::numeric_limits<double>::infinity(),
+              std::numeric_limits<double>::infinity()};
+  }
+  for (double yi : duals) {
+    if (!std::isfinite(yi))
+      return {std::numeric_limits<double>::infinity(),
+              std::numeric_limits<double>::infinity()};
+  }
   LpResiduals r;
   for (double xi : x) r.max_primal_residual = std::max(r.max_primal_residual, -xi);
   double primal_obj = 0;
@@ -371,8 +384,21 @@ LpSolution solve_max(const Matrix& a, std::span<const double> b,
     return out;
   };
 
+  // Fault hook: poison one solution coordinate after a pivot loop (the
+  // residual verifier must reject the corrupted point), or force the
+  // verification verdict to "failed". Null fault: one branch each.
+  const auto inject_pivot_fault = [&](LpSolution& sol) {
+    if (options.fault == nullptr || sol.status != LpStatus::kOptimal) return;
+    if (!options.fault->fires(fault::FaultSite::kLpPivotPerturb)) return;
+    if (sol.x.empty()) return;
+    const std::uint64_t sel =
+        options.fault->aux(fault::FaultSite::kLpPivotPerturb);
+    sol.x[sel % sol.x.size()] = fault::poison_value(sel);
+  };
+
   LpSolution s = run_simplex(a, b, c, options, options.pivot_tolerance);
   if (!options.verify || s.status != LpStatus::kOptimal) return finish(std::move(s));
+  inject_pivot_fault(s);
 
   // Scale-aware acceptance: residuals grow with the data magnitude.
   double scale = 1.0;
@@ -383,7 +409,8 @@ LpSolution solve_max(const Matrix& a, std::span<const double> b,
   LpResiduals res = lp_residuals(a, b, c, s.x, s.duals);
   s.max_primal_residual = res.max_primal_residual;
   s.duality_gap = res.duality_gap;
-  if (res.max_primal_residual <= accept && res.duality_gap <= accept)
+  if (!fault_fires(options.fault, fault::FaultSite::kLpForceUnstable) &&
+      res.max_primal_residual <= accept && res.duality_gap <= accept)
     return finish(std::move(s));
 
   // One automatic re-solve rejecting pivots two orders of magnitude larger
@@ -395,10 +422,12 @@ LpSolution solve_max(const Matrix& a, std::span<const double> b,
   retry.pivots += s.pivots;
   retry.resolved_after_instability = true;
   if (retry.status == LpStatus::kOptimal) {
+    inject_pivot_fault(retry);
     const LpResiduals res2 = lp_residuals(a, b, c, retry.x, retry.duals);
     retry.max_primal_residual = res2.max_primal_residual;
     retry.duality_gap = res2.duality_gap;
-    if (res2.max_primal_residual <= accept && res2.duality_gap <= accept)
+    if (!fault_fires(options.fault, fault::FaultSite::kLpForceUnstable) &&
+        res2.max_primal_residual <= accept && res2.duality_gap <= accept)
       return finish(std::move(retry));
     // Keep whichever attempt certified the smaller residual; flag it.
     if (std::max(res2.max_primal_residual, res2.duality_gap) <

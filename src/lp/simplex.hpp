@@ -27,6 +27,10 @@
 #include "lp/dense_matrix.hpp"
 #include "obs/context.hpp"
 
+namespace defender::fault {
+class FaultContext;
+}
+
 namespace defender::lp {
 
 /// Outcome of an LP solve.
@@ -42,6 +46,16 @@ enum class LpStatus {
   /// (see LpSolution::max_primal_residual / duality_gap) exceed tolerance.
   kNumericallyUnstable,
 };
+
+/// Every LpStatus, in enum order — the exhaustiveness-audit companion of
+/// to_string (tested alongside the StatusCode round-trip audit).
+inline constexpr LpStatus kAllLpStatuses[] = {
+    LpStatus::kOptimal,        LpStatus::kInfeasible,
+    LpStatus::kUnbounded,      LpStatus::kIterationLimit,
+    LpStatus::kNumericallyUnstable,
+};
+inline constexpr std::size_t kLpStatusCount =
+    sizeof(kAllLpStatuses) / sizeof(kAllLpStatuses[0]);
 
 /// Human-readable name of an LpStatus.
 const char* to_string(LpStatus status);
@@ -63,6 +77,13 @@ struct SimplexOptions {
   /// span plus the lp.* metrics (pivots, guard retries, instability).
   /// Null (the default) costs one branch and nothing else.
   obs::ObsContext* obs = nullptr;
+  /// Optional fault injection: arms the kLpPivotPerturb site (poisons one
+  /// solution coordinate after the pivot loop — the residual verifier
+  /// rejects any non-finite point and triggers the tightened re-solve) and
+  /// kLpForceUnstable (verification reports failure even when the
+  /// residuals pass, driving the kNumericallyUnstable path). Null (the
+  /// default) costs one branch per site and leaves results bit-identical.
+  fault::FaultContext* fault = nullptr;
 };
 
 /// Solution of `maximize c^T x s.t. Ax <= b, x >= 0`.
@@ -99,6 +120,9 @@ LpSolution solve_max(const Matrix& a, std::span<const double> b,
 /// The verification certificate solve_max computes: max primal residual of
 /// `x` (constraint violation and negativity overshoot) and the primal/dual
 /// objective gap against `duals`. Exposed for tests and the stress harness.
+/// A non-finite entry anywhere in `x`/`duals` yields {+inf, +inf} — a
+/// corrupted point must never pass verification (std::max against NaN
+/// would otherwise silently keep the running value).
 struct LpResiduals {
   double max_primal_residual = 0;
   double duality_gap = 0;

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "core/payoff.hpp"
+#include "fault/fault.hpp"
 #include "util/assert.hpp"
 
 namespace defender::sim {
@@ -18,6 +19,37 @@ void require_bounded(const SolveBudget& budget, double target_gap) {
                   target_gap > 0,
               "fictitious play needs a round cap, a deadline, or a positive "
               "target gap to terminate");
+}
+
+/// Validates a learning-dynamics resume checkpoint (shared by both
+/// fictitious-play variants). Any mismatch is a caller error
+/// (kInvalidInput), never a crash or a silent restart.
+Status validate_fp_checkpoint(const core::SolverCheckpoint& cp,
+                              core::SolverKind kind,
+                              const core::TupleGame& game) {
+  const auto invalid = [](const std::string& what) {
+    return Status::make(StatusCode::kInvalidInput,
+                        "cannot resume fictitious play: " + what);
+  };
+  if (cp.version != core::kSolverCheckpointVersion)
+    return invalid("unsupported checkpoint version " +
+                   std::to_string(cp.version));
+  if (cp.solver != kind)
+    return invalid(std::string("checkpoint belongs to solver '") +
+                   core::to_string(cp.solver) + "', expected '" +
+                   core::to_string(kind) + "'");
+  const graph::Graph& g = game.graph();
+  if (cp.n != g.num_vertices() || cp.m != g.num_edges() || cp.k != game.k())
+    return invalid("game shape mismatch (checkpoint " +
+                   std::to_string(cp.n) + "x" + std::to_string(cp.m) + " k=" +
+                   std::to_string(cp.k) + ", game " +
+                   std::to_string(g.num_vertices()) + "x" +
+                   std::to_string(g.num_edges()) + " k=" +
+                   std::to_string(game.k()) + ")");
+  if (cp.attacker_history.size() != g.num_vertices() ||
+      cp.defender_history.size() != g.num_vertices())
+    return invalid("history vectors must have one entry per vertex");
+  return Status::make_ok();
 }
 
 Status finish_status(StatusCode code, std::size_t rounds, double gap,
@@ -136,15 +168,26 @@ void record_fp_finish(obs::ObsContext* obs, const std::string& prefix,
 
 }  // namespace
 
-Solved<FictitiousPlayResult> weighted_fictitious_play_budgeted(
+Solved<FictitiousPlayResult> weighted_fictitious_play_resumable(
     const core::TupleGame& game, std::span<const double> weights,
-    const SolveBudget& budget, double target_gap, obs::ObsContext* obs) {
+    const SolveBudget& budget, double target_gap,
+    const core::ResumeHooks& hooks, obs::ObsContext* obs,
+    fault::FaultContext* fault) {
   require_bounded(budget, target_gap);
   const graph::Graph& g = game.graph();
   const std::size_t n = g.num_vertices();
   DEF_REQUIRE(weights.size() == n, "one damage weight per vertex");
   for (double w : weights)
     DEF_REQUIRE(w > 0, "damage weights must be strictly positive");
+  if (hooks.resume != nullptr) {
+    Status check = validate_fp_checkpoint(
+        *hooks.resume, core::SolverKind::kWeightedFictitiousPlay, game);
+    if (!check.ok()) {
+      Solved<FictitiousPlayResult> out;
+      out.status = std::move(check);
+      return out;
+    }
+  }
   BudgetMeter meter(budget);
   obs::Span run_span;
   RunningBracket obs_bracket;
@@ -160,9 +203,17 @@ Solved<FictitiousPlayResult> weighted_fictitious_play_budgeted(
   std::vector<double> objective(n, 0.0);
   FictitiousPlayResult result;
   std::size_t next_checkpoint = 1;
-  std::size_t round = 0;
+  std::size_t round = 0;    // cumulative across all segments
+  std::size_t segment = 0;  // rounds played by THIS call (budget scope)
   bool truncated_any = false;
   StatusCode code = StatusCode::kOk;
+  if (hooks.resume != nullptr) {
+    attacker_count = hooks.resume->attacker_history;
+    defender_cover_count = hooks.resume->defender_history;
+    next_checkpoint = hooks.resume->next_checkpoint;
+    round = hooks.resume->iterations;
+    truncated_any = hooks.resume->any_truncated;
+  }
 
   // Certified damage bounds after `rounds` completed rounds.
   const auto bounds_now = [&](std::size_t rounds_done) {
@@ -182,7 +233,7 @@ Solved<FictitiousPlayResult> weighted_fictitious_play_budgeted(
     double total = 0;
     for (std::size_t v = 0; v < n; ++v) total += objective[v];
     const core::BestTupleSearch s = core::best_tuple_branch_and_bound_budgeted(
-        game, objective, budget.oracle_node_budget, obs);
+        game, objective, budget.oracle_node_budget, obs, fault);
     truncated_any = truncated_any || s.truncated;
     const double covered = s.truncated ? s.upper_bound : s.best.mass;
     const double lower = (total - covered) / attacker_mass;
@@ -190,7 +241,8 @@ Solved<FictitiousPlayResult> weighted_fictitious_play_budgeted(
   };
 
   while (true) {
-    if (round > 0 && meter.out_of_iterations()) {
+    fault::perturb_clock(fault);
+    if (segment > 0 && meter.out_of_iterations()) {
       code = target_gap > 0 ? StatusCode::kIterationLimit : StatusCode::kOk;
       break;
     }
@@ -199,12 +251,13 @@ Solved<FictitiousPlayResult> weighted_fictitious_play_budgeted(
       break;
     }
     ++round;
+    ++segment;
     meter.charge_iteration();
 
     for (std::size_t v = 0; v < n; ++v)
       objective[v] = weights[v] * attacker_count[v];
     const core::BestTupleSearch br = core::best_tuple_branch_and_bound_budgeted(
-        game, objective, budget.oracle_node_budget, obs);
+        game, objective, budget.oracle_node_budget, obs, fault);
     truncated_any = truncated_any || br.truncated;
     for (graph::Vertex v : core::tuple_vertices(g, br.best.tuple))
       defender_cover_count[v] += 1.0;
@@ -224,7 +277,7 @@ Solved<FictitiousPlayResult> weighted_fictitious_play_budgeted(
     attacker_count[best_vertex] += 1.0;
 
     const bool final_round =
-        budget.max_iterations != 0 && round == budget.max_iterations;
+        budget.max_iterations != 0 && segment == budget.max_iterations;
     if (round == next_checkpoint || final_round) {
       const FictitiousPlayTrace t = bounds_now(round);
       result.trace.push_back(t);
@@ -262,6 +315,22 @@ Solved<FictitiousPlayResult> weighted_fictitious_play_budgeted(
   for (double& c : result.defender_hit_frequency)
     c /= static_cast<double>(round);
 
+  if (hooks.capture != nullptr) {
+    core::SolverCheckpoint cp;
+    cp.solver = core::SolverKind::kWeightedFictitiousPlay;
+    cp.n = n;
+    cp.m = g.num_edges();
+    cp.k = game.k();
+    cp.iterations = round;
+    cp.next_checkpoint = next_checkpoint;
+    cp.best_lower = last.lower;
+    cp.best_upper = last.upper;
+    cp.any_truncated = truncated_any;
+    cp.attacker_history = attacker_count;
+    cp.defender_history = defender_cover_count;
+    *hooks.capture = std::move(cp);
+  }
+
   Solved<FictitiousPlayResult> out;
   out.status =
       finish_status(code, round, result.gap, meter.elapsed_seconds());
@@ -270,6 +339,14 @@ Solved<FictitiousPlayResult> weighted_fictitious_play_budgeted(
     record_fp_finish(obs, "fp.weighted", run_span, out,
                      meter.elapsed_seconds() * 1e3);
   return out;
+}
+
+Solved<FictitiousPlayResult> weighted_fictitious_play_budgeted(
+    const core::TupleGame& game, std::span<const double> weights,
+    const SolveBudget& budget, double target_gap, obs::ObsContext* obs,
+    fault::FaultContext* fault) {
+  return weighted_fictitious_play_resumable(game, weights, budget, target_gap,
+                                            core::ResumeHooks{}, obs, fault);
 }
 
 FictitiousPlayResult weighted_fictitious_play(
@@ -283,12 +360,22 @@ FictitiousPlayResult weighted_fictitious_play(
       .result;
 }
 
-Solved<FictitiousPlayResult> fictitious_play_budgeted(
-    const core::TupleGame& game, const SolveBudget& budget,
-    double target_gap, obs::ObsContext* obs) {
+Solved<FictitiousPlayResult> fictitious_play_resumable(
+    const core::TupleGame& game, const SolveBudget& budget, double target_gap,
+    const core::ResumeHooks& hooks, obs::ObsContext* obs,
+    fault::FaultContext* fault) {
   require_bounded(budget, target_gap);
   const graph::Graph& g = game.graph();
   const std::size_t n = g.num_vertices();
+  if (hooks.resume != nullptr) {
+    Status check = validate_fp_checkpoint(
+        *hooks.resume, core::SolverKind::kFictitiousPlay, game);
+    if (!check.ok()) {
+      Solved<FictitiousPlayResult> out;
+      out.status = std::move(check);
+      return out;
+    }
+  }
   BudgetMeter meter(budget);
   obs::Span run_span;
   if (obs != nullptr)
@@ -306,15 +393,23 @@ Solved<FictitiousPlayResult> fictitious_play_budgeted(
 
   FictitiousPlayResult result;
   std::size_t next_checkpoint = 1;
-  std::size_t round = 0;
+  std::size_t round = 0;    // cumulative across all segments
+  std::size_t segment = 0;  // rounds played by THIS call (budget scope)
   bool truncated_any = false;
   StatusCode code = StatusCode::kOk;
+  if (hooks.resume != nullptr) {
+    attacker_count = hooks.resume->attacker_history;
+    defender_cover_count = hooks.resume->defender_history;
+    next_checkpoint = hooks.resume->next_checkpoint;
+    round = hooks.resume->iterations;
+    truncated_any = hooks.resume->any_truncated;
+  }
 
   const auto bounds_now = [&](std::size_t rounds_done) {
     // Bounds. Attacker history has mass (1 + rounds): uniform seed + picks.
     const double attacker_mass = 1.0 + static_cast<double>(rounds_done);
     const core::BestTupleSearch s = core::best_tuple_branch_and_bound_budgeted(
-        game, attacker_count, budget.oracle_node_budget, obs);
+        game, attacker_count, budget.oracle_node_budget, obs, fault);
     truncated_any = truncated_any || s.truncated;
     const double upper =
         (s.truncated ? s.upper_bound : s.best.mass) / attacker_mass;
@@ -326,7 +421,8 @@ Solved<FictitiousPlayResult> fictitious_play_budgeted(
   };
 
   while (true) {
-    if (round > 0 && meter.out_of_iterations()) {
+    fault::perturb_clock(fault);
+    if (segment > 0 && meter.out_of_iterations()) {
       code = target_gap > 0 ? StatusCode::kIterationLimit : StatusCode::kOk;
       break;
     }
@@ -335,11 +431,12 @@ Solved<FictitiousPlayResult> fictitious_play_budgeted(
       break;
     }
     ++round;
+    ++segment;
     meter.charge_iteration();
 
     // Defender best-responds to the attacker's empirical distribution.
     const core::BestTupleSearch br = core::best_tuple_branch_and_bound_budgeted(
-        game, attacker_count, budget.oracle_node_budget, obs);
+        game, attacker_count, budget.oracle_node_budget, obs, fault);
     truncated_any = truncated_any || br.truncated;
     for (graph::Vertex v : core::tuple_vertices(g, br.best.tuple))
       defender_cover_count[v] += 1.0;
@@ -352,7 +449,7 @@ Solved<FictitiousPlayResult> fictitious_play_budgeted(
     attacker_count[best_vertex] += 1.0;
 
     const bool final_round =
-        budget.max_iterations != 0 && round == budget.max_iterations;
+        budget.max_iterations != 0 && segment == budget.max_iterations;
     if (round == next_checkpoint || final_round) {
       const FictitiousPlayTrace t = bounds_now(round);
       result.trace.push_back(t);
@@ -390,6 +487,22 @@ Solved<FictitiousPlayResult> fictitious_play_budgeted(
   for (double& c : result.defender_hit_frequency)
     c /= static_cast<double>(round);
 
+  if (hooks.capture != nullptr) {
+    core::SolverCheckpoint cp;
+    cp.solver = core::SolverKind::kFictitiousPlay;
+    cp.n = n;
+    cp.m = g.num_edges();
+    cp.k = game.k();
+    cp.iterations = round;
+    cp.next_checkpoint = next_checkpoint;
+    cp.best_lower = last.lower;
+    cp.best_upper = last.upper;
+    cp.any_truncated = truncated_any;
+    cp.attacker_history = attacker_count;
+    cp.defender_history = defender_cover_count;
+    *hooks.capture = std::move(cp);
+  }
+
   Solved<FictitiousPlayResult> out;
   out.status =
       finish_status(code, round, result.gap, meter.elapsed_seconds());
@@ -398,6 +511,13 @@ Solved<FictitiousPlayResult> fictitious_play_budgeted(
     record_fp_finish(obs, "fp", run_span, out,
                      meter.elapsed_seconds() * 1e3);
   return out;
+}
+
+Solved<FictitiousPlayResult> fictitious_play_budgeted(
+    const core::TupleGame& game, const SolveBudget& budget, double target_gap,
+    obs::ObsContext* obs, fault::FaultContext* fault) {
+  return fictitious_play_resumable(game, budget, target_gap,
+                                   core::ResumeHooks{}, obs, fault);
 }
 
 FictitiousPlayResult fictitious_play(const core::TupleGame& game,

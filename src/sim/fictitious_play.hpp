@@ -13,6 +13,10 @@
 // oracle nodes) runs out, whichever first. Budget exhaustion is graceful:
 // the result carries the best-so-far certified bounds with a
 // kIterationLimit / kDeadlineExceeded status — never an exception.
+// Fault injection & resume: the *_resumable entry points additionally take
+// core::ResumeHooks (checkpoint capture/restore of the empirical histories
+// — see core/checkpoint.hpp) and a nullable fault::FaultContext threaded
+// into the oracle and the clock. Both default to inert and cost one branch.
 #pragma once
 
 #include <span>
@@ -20,9 +24,14 @@
 
 #include "core/best_response.hpp"
 #include "core/budget.hpp"
+#include "core/checkpoint.hpp"
 #include "core/game.hpp"
 #include "core/status.hpp"
 #include "obs/context.hpp"
+
+namespace defender::fault {
+class FaultContext;
+}  // namespace defender::fault
 
 namespace defender::sim {
 
@@ -75,7 +84,22 @@ FictitiousPlayResult fictitious_play(const core::TupleGame& game,
 /// null context records nothing and leaves results bit-for-bit identical.
 Solved<FictitiousPlayResult> fictitious_play_budgeted(
     const core::TupleGame& game, const SolveBudget& budget,
-    double target_gap = 1e-6, obs::ObsContext* obs = nullptr);
+    double target_gap = 1e-6, obs::ObsContext* obs = nullptr,
+    fault::FaultContext* fault = nullptr);
+
+/// Checkpointable fictitious play: exactly fictitious_play_budgeted plus
+/// resume/capture hooks. `hooks.resume` restores the attacker/defender
+/// empirical histories and the cumulative round count (validated first —
+/// mismatched solver kind or game shape returns kInvalidInput);
+/// `budget.max_iterations` then bounds the *segment*, while checkpoints,
+/// normalizations, and the reported round count stay cumulative. With
+/// `hooks.capture` set, the final histories are written there on every exit
+/// path. The round loop is a deterministic function of that state, so
+/// kill-at-round-i + resume reproduces the uninterrupted trajectory.
+Solved<FictitiousPlayResult> fictitious_play_resumable(
+    const core::TupleGame& game, const SolveBudget& budget, double target_gap,
+    const core::ResumeHooks& hooks, obs::ObsContext* obs = nullptr,
+    fault::FaultContext* fault = nullptr);
 
 /// Damage-weighted fictitious play (see core/weighted.hpp): the attacker
 /// best-responds with argmax_v w(v)·(1 − cover frequency), the defender
@@ -93,6 +117,15 @@ FictitiousPlayResult weighted_fictitious_play(
 Solved<FictitiousPlayResult> weighted_fictitious_play_budgeted(
     const core::TupleGame& game, std::span<const double> weights,
     const SolveBudget& budget, double target_gap = 1e-6,
-    obs::ObsContext* obs = nullptr);
+    obs::ObsContext* obs = nullptr, fault::FaultContext* fault = nullptr);
+
+/// Checkpointable weighted fictitious play; same contract as
+/// fictitious_play_resumable with SolverKind::kWeightedFictitiousPlay
+/// checkpoints.
+Solved<FictitiousPlayResult> weighted_fictitious_play_resumable(
+    const core::TupleGame& game, std::span<const double> weights,
+    const SolveBudget& budget, double target_gap,
+    const core::ResumeHooks& hooks, obs::ObsContext* obs = nullptr,
+    fault::FaultContext* fault = nullptr);
 
 }  // namespace defender::sim

@@ -6,6 +6,7 @@
 
 #include "core/best_response.hpp"
 #include "core/payoff.hpp"
+#include "fault/fault.hpp"
 #include "util/assert.hpp"
 
 namespace defender::sim {
@@ -59,20 +60,61 @@ void record_hedge_checkpoint(obs::ObsContext* obs, const HedgeTrace& t,
     obs->metrics->gauge("hedge.gap").set(t.upper - t.lower);
 }
 
+/// Validates a Hedge resume checkpoint: the horizon must match (it fixes
+/// η), and the checkpoint cannot already be past it.
+Status validate_hedge_checkpoint(const core::SolverCheckpoint& cp,
+                                 const core::TupleGame& game,
+                                 std::size_t horizon) {
+  const auto invalid = [](const std::string& what) {
+    return Status::make(StatusCode::kInvalidInput,
+                        "cannot resume hedge: " + what);
+  };
+  if (cp.version != core::kSolverCheckpointVersion)
+    return invalid("unsupported checkpoint version " +
+                   std::to_string(cp.version));
+  if (cp.solver != core::SolverKind::kHedge)
+    return invalid(std::string("checkpoint belongs to solver '") +
+                   core::to_string(cp.solver) + "', expected 'hedge'");
+  const graph::Graph& g = game.graph();
+  if (cp.n != g.num_vertices() || cp.m != g.num_edges() || cp.k != game.k())
+    return invalid("game shape mismatch");
+  if (cp.horizon != horizon)
+    return invalid("horizon mismatch (checkpoint " +
+                   std::to_string(cp.horizon) + ", requested " +
+                   std::to_string(horizon) +
+                   "); the horizon fixes the learning rate and cannot "
+                   "change across segments");
+  if (cp.iterations > horizon)
+    return invalid("checkpoint is already past the horizon");
+  if (cp.attacker_history.size() != g.num_vertices() ||
+      cp.defender_history.size() != g.num_vertices() ||
+      cp.average_history.size() != g.num_vertices())
+    return invalid("state vectors must have one entry per vertex");
+  return Status::make_ok();
+}
+
 }  // namespace
 
-Solved<HedgeResult> hedge_dynamics_budgeted(const core::TupleGame& game,
-                                            const SolveBudget& budget,
-                                            double target_gap,
-                                            obs::ObsContext* obs) {
-  DEF_REQUIRE(budget.max_iterations >= 1,
+Solved<HedgeResult> hedge_dynamics_resumable(
+    const core::TupleGame& game, std::size_t horizon,
+    const SolveBudget& budget, double target_gap,
+    const core::ResumeHooks& hooks, obs::ObsContext* obs,
+    fault::FaultContext* fault) {
+  DEF_REQUIRE(horizon >= 1,
               "hedge needs a positive round horizon to fix its learning "
-              "rate (set budget.max_iterations)");
-  const std::size_t rounds = budget.max_iterations;
+              "rate");
   const graph::Graph& g = game.graph();
   const std::size_t n = g.num_vertices();
+  if (hooks.resume != nullptr) {
+    Status check = validate_hedge_checkpoint(*hooks.resume, game, horizon);
+    if (!check.ok()) {
+      Solved<HedgeResult> out;
+      out.status = std::move(check);
+      return out;
+    }
+  }
   const double eta = std::sqrt(8.0 * std::log(static_cast<double>(n)) /
-                               static_cast<double>(rounds));
+                               static_cast<double>(horizon));
   BudgetMeter meter(budget);
   obs::Span run_span;
   RunningBracket obs_bracket;
@@ -82,7 +124,7 @@ Solved<HedgeResult> hedge_dynamics_budgeted(const core::TupleGame& game,
         {obs::TraceArg::of("n", static_cast<std::uint64_t>(n)),
          obs::TraceArg::of("m", static_cast<std::uint64_t>(g.num_edges())),
          obs::TraceArg::of("k", static_cast<std::uint64_t>(game.k())),
-         obs::TraceArg::of("horizon", static_cast<std::uint64_t>(rounds)),
+         obs::TraceArg::of("horizon", static_cast<std::uint64_t>(horizon)),
          obs::TraceArg::of("target_gap", target_gap)});
 
   // Attacker weights (log-domain to avoid under/overflow) and running
@@ -94,9 +136,18 @@ Solved<HedgeResult> hedge_dynamics_budgeted(const core::TupleGame& game,
 
   HedgeResult result;
   std::size_t next_checkpoint = 1;
-  std::size_t round = 0;
+  std::size_t round = 0;    // cumulative across all segments
+  std::size_t segment = 0;  // rounds played by THIS call (budget scope)
   bool truncated_any = false;
   StatusCode code = StatusCode::kOk;
+  if (hooks.resume != nullptr) {
+    log_weight = hooks.resume->attacker_history;
+    cover_sum = hooks.resume->defender_history;
+    attacker_sum = hooks.resume->average_history;
+    next_checkpoint = hooks.resume->next_checkpoint;
+    round = hooks.resume->iterations;
+    truncated_any = hooks.resume->any_truncated;
+  }
 
   const auto bounds_now = [&](std::size_t rounds_done) {
     // Upper bound: defender's best response to the attacker's average.
@@ -104,7 +155,7 @@ Solved<HedgeResult> hedge_dynamics_budgeted(const core::TupleGame& game,
     for (std::size_t v = 0; v < n; ++v)
       average[v] = attacker_sum[v] / static_cast<double>(rounds_done);
     const core::BestTupleSearch s = core::best_tuple_branch_and_bound_budgeted(
-        game, average, budget.oracle_node_budget, obs);
+        game, average, budget.oracle_node_budget, obs, fault);
     truncated_any = truncated_any || s.truncated;
     const double upper = s.truncated ? s.upper_bound : s.best.mass;
     // Lower bound: the least-covered vertex of the defender's history.
@@ -115,8 +166,15 @@ Solved<HedgeResult> hedge_dynamics_budgeted(const core::TupleGame& game,
   };
 
   while (true) {
-    if (round > 0 && meter.out_of_iterations()) {
+    fault::perturb_clock(fault);
+    // Horizon first: it decides the run's natural end (and, on a resume
+    // that starts at the horizon, reproduces the uninterrupted status).
+    if (round >= horizon) {
       code = target_gap > 0 ? StatusCode::kIterationLimit : StatusCode::kOk;
+      break;
+    }
+    if (segment > 0 && meter.out_of_iterations()) {
+      code = StatusCode::kIterationLimit;
       break;
     }
     if (round > 0 && meter.deadline_exceeded()) {
@@ -124,6 +182,7 @@ Solved<HedgeResult> hedge_dynamics_budgeted(const core::TupleGame& game,
       break;
     }
     ++round;
+    ++segment;
     meter.charge_iteration();
 
     // Current attacker mix = softmax of the weights.
@@ -151,7 +210,7 @@ Solved<HedgeResult> hedge_dynamics_budgeted(const core::TupleGame& game,
     for (std::size_t v = 0; v < n; ++v)
       log_weight[v] += eta * (covered[v] ? 0.0 : 1.0);
 
-    if (round == next_checkpoint || round == rounds) {
+    if (round == next_checkpoint || round == horizon) {
       const HedgeTrace t = bounds_now(round);
       result.trace.push_back(t);
       if (obs != nullptr)
@@ -182,16 +241,38 @@ Solved<HedgeResult> hedge_dynamics_budgeted(const core::TupleGame& game,
     result.attacker_average[v] =
         attacker_sum[v] / static_cast<double>(round);
 
+  if (hooks.capture != nullptr) {
+    core::SolverCheckpoint cp;
+    cp.solver = core::SolverKind::kHedge;
+    cp.n = n;
+    cp.m = g.num_edges();
+    cp.k = game.k();
+    cp.iterations = round;
+    cp.horizon = horizon;
+    cp.next_checkpoint = next_checkpoint;
+    cp.best_lower = last.lower;
+    cp.best_upper = last.upper;
+    cp.any_truncated = truncated_any;
+    cp.attacker_history = log_weight;
+    cp.defender_history = cover_sum;
+    cp.average_history = attacker_sum;
+    *hooks.capture = std::move(cp);
+  }
+
   Solved<HedgeResult> out;
   if (code == StatusCode::kOk) {
     out.status =
         Status::make_ok(round, result.gap, meter.elapsed_seconds());
   } else {
-    const char* what = code == StatusCode::kDeadlineExceeded
-                           ? "hedge wall-clock deadline expired; returning "
-                             "best-so-far certified bounds"
-                           : "hedge horizon exhausted before the target "
-                             "gap; returning best-so-far bounds";
+    const char* what =
+        code == StatusCode::kDeadlineExceeded
+            ? "hedge wall-clock deadline expired; returning "
+              "best-so-far certified bounds"
+            : round >= horizon
+                  ? "hedge horizon exhausted before the target "
+                    "gap; returning best-so-far bounds"
+                  : "hedge round budget exhausted mid-horizon; returning "
+                    "best-so-far bounds";
     out.status = Status::make(code, what, round, result.gap,
                               meter.elapsed_seconds());
   }
@@ -221,6 +302,20 @@ Solved<HedgeResult> hedge_dynamics_budgeted(const core::TupleGame& game,
     }
   }
   return out;
+}
+
+Solved<HedgeResult> hedge_dynamics_budgeted(const core::TupleGame& game,
+                                            const SolveBudget& budget,
+                                            double target_gap,
+                                            obs::ObsContext* obs,
+                                            fault::FaultContext* fault) {
+  DEF_REQUIRE(budget.max_iterations >= 1,
+              "hedge needs a positive round horizon to fix its learning "
+              "rate (set budget.max_iterations)");
+  // Single-segment run: the budget's round cap IS the horizon.
+  return hedge_dynamics_resumable(game, budget.max_iterations, budget,
+                                  target_gap, core::ResumeHooks{}, obs,
+                                  fault);
 }
 
 HedgeResult hedge_dynamics(const core::TupleGame& game, std::size_t rounds) {

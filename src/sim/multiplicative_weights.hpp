@@ -14,15 +14,24 @@
 // upper/lower bracket closes to `target_gap`, at the wall-clock deadline,
 // or after the full round horizon — always returning best-so-far bounds
 // with a structured status, never throwing on budget exhaustion.
+// Fault injection & resume: hedge_dynamics_resumable takes an explicit
+// round horizon (which fixes η independently of how the run is split into
+// budgeted segments), core::ResumeHooks for checkpoint capture/restore, and
+// a nullable fault::FaultContext threaded into the oracle and the clock.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
 #include "core/budget.hpp"
+#include "core/checkpoint.hpp"
 #include "core/game.hpp"
 #include "core/status.hpp"
 #include "obs/context.hpp"
+
+namespace defender::fault {
+class FaultContext;
+}  // namespace defender::fault
 
 namespace defender::sim {
 
@@ -71,9 +80,25 @@ HedgeResult hedge_dynamics(const core::TupleGame& game, std::size_t rounds);
 /// matching the returned Status, and maintains the hedge.* / oracle.*
 /// metrics. The default null context records nothing and leaves results
 /// bit-for-bit identical.
-Solved<HedgeResult> hedge_dynamics_budgeted(const core::TupleGame& game,
-                                            const SolveBudget& budget,
-                                            double target_gap = 1e-6,
-                                            obs::ObsContext* obs = nullptr);
+Solved<HedgeResult> hedge_dynamics_budgeted(
+    const core::TupleGame& game, const SolveBudget& budget,
+    double target_gap = 1e-6, obs::ObsContext* obs = nullptr,
+    fault::FaultContext* fault = nullptr);
+
+/// Checkpointable Hedge. `horizon` is the total round horizon T that fixes
+/// the learning rate η across ALL segments; `budget.max_iterations` (0 =
+/// unlimited) caps only the rounds played by this call, so a run can be
+/// killed and resumed without changing η or the trajectory. `hooks.resume`
+/// restores the log-weights and running sums (validated — wrong solver
+/// kind, game shape, horizon mismatch, or a checkpoint already past the
+/// horizon returns kInvalidInput); `hooks.capture` receives the final loop
+/// state on every exit path. Status codes: kOk (target gap met, or the
+/// horizon completed with target_gap == 0), kIterationLimit (horizon or
+/// segment budget exhausted with the gap open), kDeadlineExceeded.
+Solved<HedgeResult> hedge_dynamics_resumable(
+    const core::TupleGame& game, std::size_t horizon,
+    const SolveBudget& budget, double target_gap,
+    const core::ResumeHooks& hooks, obs::ObsContext* obs = nullptr,
+    fault::FaultContext* fault = nullptr);
 
 }  // namespace defender::sim

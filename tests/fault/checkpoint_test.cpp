@@ -1,0 +1,422 @@
+// Checkpoint/resume contract tests:
+//
+//  * the checkpoint text format round-trips bit-exactly (%.17g doubles)
+//    and matches a golden snapshot committed in tests/data/ — any format
+//    drift fails here and forces a version bump;
+//  * unknown versions and hostile input are rejected as kInvalidInput with
+//    a line number, never a crash;
+//  * THE tentpole guarantee: killing any of the five budgeted iterative
+//    solvers at iteration i, serializing the checkpoint through its text
+//    form, and resuming reproduces the uninterrupted run's trajectory —
+//    same final status, same iteration count, an equal-or-tighter
+//    certified bracket, bit-identical state vectors;
+//  * resuming with the wrong solver kind, game shape, version, or Hedge
+//    horizon is rejected as kInvalidInput instead of corrupting a solve.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/budget.hpp"
+#include "core/checkpoint.hpp"
+#include "core/double_oracle.hpp"
+#include "core/game.hpp"
+#include "core/status.hpp"
+#include "graph/generators.hpp"
+#include "sim/fictitious_play.hpp"
+#include "sim/multiplicative_weights.hpp"
+
+namespace defender {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+core::SolverCheckpoint golden_checkpoint() {
+  core::SolverCheckpoint cp;
+  cp.solver = core::SolverKind::kHedge;
+  cp.n = 5;
+  cp.m = 6;
+  cp.k = 2;
+  cp.iterations = 7;
+  cp.horizon = 100;
+  cp.next_checkpoint = 16;
+  cp.best_lower = 0.25;
+  cp.best_upper = 0.5;
+  cp.any_truncated = true;
+  cp.tuples = {{0, 1}, {2, 3}};
+  cp.vertices = {0, 4};
+  cp.attacker_history = {0.125, -1.5, 2};
+  cp.defender_history = {0.5, 0.75};
+  cp.average_history = {1, 0};
+  return cp;
+}
+
+void expect_checkpoints_equal(const core::SolverCheckpoint& a,
+                              const core::SolverCheckpoint& b) {
+  EXPECT_EQ(a.version, b.version);
+  EXPECT_EQ(a.solver, b.solver);
+  EXPECT_EQ(a.n, b.n);
+  EXPECT_EQ(a.m, b.m);
+  EXPECT_EQ(a.k, b.k);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.horizon, b.horizon);
+  EXPECT_EQ(a.next_checkpoint, b.next_checkpoint);
+  EXPECT_EQ(a.best_lower, b.best_lower);
+  EXPECT_EQ(a.best_upper, b.best_upper);
+  EXPECT_EQ(a.any_truncated, b.any_truncated);
+  EXPECT_EQ(a.tuples, b.tuples);
+  EXPECT_EQ(a.vertices, b.vertices);
+  EXPECT_EQ(a.attacker_history, b.attacker_history);
+  EXPECT_EQ(a.defender_history, b.defender_history);
+  EXPECT_EQ(a.average_history, b.average_history);
+}
+
+// ---------------------------------------------------------------------------
+// Format round trip + golden stability (satellite: format stability).
+
+TEST(CheckpointText, RoundTripsBitExactly) {
+  core::SolverCheckpoint cp = golden_checkpoint();
+  cp.best_lower = 1.0 / 3.0;  // not exactly representable in decimal
+  cp.best_upper = 0.1;
+  cp.attacker_history = {1.0 / 7.0, -2.0 / 3.0, 1e-300, 1e300};
+  const auto parsed = core::try_parse_checkpoint(core::to_text(cp));
+  ASSERT_TRUE(parsed.ok()) << parsed.status.to_string();
+  expect_checkpoints_equal(parsed.result, cp);
+}
+
+TEST(CheckpointText, GoldenSnapshotIsStable) {
+  const std::string golden_path =
+      std::string(DEFENDER_TEST_DATA_DIR) + "/checkpoint_v1.golden.txt";
+  const std::string golden = read_file(golden_path);
+  ASSERT_FALSE(golden.empty());
+
+  // Serializer must reproduce the committed snapshot byte for byte — any
+  // drift in the format is a breaking change and requires a version bump.
+  EXPECT_EQ(core::to_text(golden_checkpoint()), golden);
+
+  // And the parser must accept it and recover the exact struct.
+  const auto parsed = core::try_parse_checkpoint(golden);
+  ASSERT_TRUE(parsed.ok()) << parsed.status.to_string();
+  expect_checkpoints_equal(parsed.result, golden_checkpoint());
+}
+
+TEST(CheckpointText, UnknownVersionsAreRejected) {
+  core::SolverCheckpoint cp = golden_checkpoint();
+  cp.version = core::kSolverCheckpointVersion + 1;  // a future format
+  const auto parsed = core::try_parse_checkpoint(core::to_text(cp));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status.code, StatusCode::kInvalidInput);
+  EXPECT_NE(parsed.status.message.find("unsupported checkpoint version"),
+            std::string::npos)
+      << parsed.status.message;
+}
+
+TEST(CheckpointText, RejectsHostileInputWithLineNumbers) {
+  const auto expect_invalid = [](const std::string& text) {
+    const auto parsed = core::try_parse_checkpoint(text);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << text;
+    EXPECT_EQ(parsed.status.code, StatusCode::kInvalidInput);
+    EXPECT_NE(parsed.status.message.find("checkpoint line"),
+              std::string::npos)
+        << parsed.status.message;
+  };
+  expect_invalid("");
+  expect_invalid("not-a-checkpoint\n");
+  expect_invalid("defender-checkpoint v1\n");  // truncated after header
+  expect_invalid(
+      "defender-checkpoint v1\nsolver nonsense-solver\n");
+  expect_invalid(
+      "defender-checkpoint v1\nsolver hedge\ngame 5 6\n");  // short line
+  expect_invalid(
+      "defender-checkpoint v1\nsolver hedge\ngame 5 6 2\n"
+      "progress 7 100 16 1\nbracket nan 0.5\n");  // non-finite bound
+  expect_invalid(
+      "defender-checkpoint v1\nsolver hedge\ngame 5 6 2\n"
+      "progress 7 100 16 1\nbracket 0.25 0.5\n"
+      "tuples 99999999999999\n");  // allocation-bomb count
+  expect_invalid(
+      "defender-checkpoint v1\nsolver hedge\ngame 5 6 2\n"
+      "progress 7 100 16 1\nbracket 0.25 0.5\n"
+      "tuples 2\ntuple 2 0 1\n");  // truncated tuple list
+  // Golden text with the trailer removed.
+  std::string no_end = core::to_text(golden_checkpoint());
+  no_end.erase(no_end.rfind("end"));
+  expect_invalid(no_end);
+}
+
+// ---------------------------------------------------------------------------
+// Kill-at-iteration-i + resume == uninterrupted run, for all five solver
+// families. Every resume passes through the TEXT form, proving the file
+// format carries the complete loop state.
+
+core::SolverCheckpoint through_text(const core::SolverCheckpoint& cp) {
+  const auto parsed = core::try_parse_checkpoint(core::to_text(cp));
+  EXPECT_TRUE(parsed.ok()) << parsed.status.to_string();
+  return parsed.result;
+}
+
+TEST(KillResume, DoubleOracleReproducesTheUninterruptedRun) {
+  const core::TupleGame game(graph::petersen_graph(), 3, 1);
+
+  const auto full = core::solve_double_oracle_resumable(
+      game, 1e-9, SolveBudget::iterations(100), core::ResumeHooks{});
+  ASSERT_TRUE(full.ok()) << full.status.to_string();
+  ASSERT_GT(full.result.iterations, 2u)
+      << "instance too easy to exercise a mid-run kill";
+
+  core::SolverCheckpoint cp;
+  core::ResumeHooks capture;
+  capture.capture = &cp;
+  const auto killed = core::solve_double_oracle_resumable(
+      game, 1e-9, SolveBudget::iterations(2), capture);
+  ASSERT_EQ(killed.status.code, StatusCode::kIterationLimit);
+  EXPECT_EQ(cp.solver, core::SolverKind::kDoubleOracle);
+  EXPECT_EQ(cp.iterations, 2u);
+
+  const core::SolverCheckpoint restored = through_text(cp);
+  core::ResumeHooks resume;
+  resume.resume = &restored;
+  const auto resumed = core::solve_double_oracle_resumable(
+      game, 1e-9, SolveBudget::iterations(98), resume);
+
+  EXPECT_EQ(resumed.status.code, full.status.code);
+  EXPECT_EQ(resumed.result.iterations, full.result.iterations);
+  EXPECT_EQ(resumed.result.value, full.result.value);
+  EXPECT_EQ(resumed.result.gap, full.result.gap);
+  // Equal-or-tighter certified bracket (equal, by determinism).
+  EXPECT_GE(resumed.result.lower_bound, full.result.lower_bound);
+  EXPECT_LE(resumed.result.upper_bound, full.result.upper_bound);
+  EXPECT_EQ(resumed.result.defender_set_size, full.result.defender_set_size);
+  EXPECT_EQ(resumed.result.attacker_set_size, full.result.attacker_set_size);
+}
+
+TEST(KillResume, WeightedDoubleOracleReproducesTheUninterruptedRun) {
+  const core::TupleGame game(graph::grid_graph(3, 3), 2, 1);
+  std::vector<double> weights(game.graph().num_vertices());
+  for (std::size_t v = 0; v < weights.size(); ++v)
+    weights[v] = 1.0 + 0.25 * static_cast<double>(v % 4);
+
+  const auto full = core::solve_weighted_double_oracle_resumable(
+      game, weights, 1e-9, SolveBudget::iterations(100), core::ResumeHooks{});
+  ASSERT_TRUE(full.ok()) << full.status.to_string();
+  ASSERT_GT(full.result.iterations, 2u);
+
+  core::SolverCheckpoint cp;
+  core::ResumeHooks capture;
+  capture.capture = &cp;
+  const auto killed = core::solve_weighted_double_oracle_resumable(
+      game, weights, 1e-9, SolveBudget::iterations(2), capture);
+  ASSERT_EQ(killed.status.code, StatusCode::kIterationLimit);
+  EXPECT_EQ(cp.solver, core::SolverKind::kWeightedDoubleOracle);
+
+  const core::SolverCheckpoint restored = through_text(cp);
+  core::ResumeHooks resume;
+  resume.resume = &restored;
+  const auto resumed = core::solve_weighted_double_oracle_resumable(
+      game, weights, 1e-9, SolveBudget::iterations(98), resume);
+
+  EXPECT_EQ(resumed.status.code, full.status.code);
+  EXPECT_EQ(resumed.result.iterations, full.result.iterations);
+  EXPECT_EQ(resumed.result.value, full.result.value);
+  EXPECT_GE(resumed.result.lower_bound, full.result.lower_bound);
+  EXPECT_LE(resumed.result.upper_bound, full.result.upper_bound);
+}
+
+TEST(KillResume, FictitiousPlayReproducesTheUninterruptedRun) {
+  const core::TupleGame game(graph::grid_graph(3, 4), 2, 1);
+  // An unreachably tight gap makes the 120-round budget the binding stop,
+  // so the uninterrupted final status (kIterationLimit) must be reproduced.
+  const double target = 1e-9;
+
+  const auto full = sim::fictitious_play_resumable(
+      game, SolveBudget::iterations(120), target, core::ResumeHooks{});
+  ASSERT_EQ(full.status.code, StatusCode::kIterationLimit);
+  ASSERT_EQ(full.result.rounds, 120u);
+
+  core::SolverCheckpoint cp;
+  core::ResumeHooks capture;
+  capture.capture = &cp;
+  const auto killed = sim::fictitious_play_resumable(
+      game, SolveBudget::iterations(35), target, capture);
+  ASSERT_EQ(killed.status.code, StatusCode::kIterationLimit);
+  EXPECT_EQ(cp.solver, core::SolverKind::kFictitiousPlay);
+  EXPECT_EQ(cp.iterations, 35u);
+
+  const core::SolverCheckpoint restored = through_text(cp);
+  core::ResumeHooks resume;
+  resume.resume = &restored;
+  const auto resumed = sim::fictitious_play_resumable(
+      game, SolveBudget::iterations(85), target, resume);
+
+  EXPECT_EQ(resumed.status.code, full.status.code);
+  EXPECT_EQ(resumed.result.rounds, full.result.rounds);
+  EXPECT_EQ(resumed.result.value_estimate, full.result.value_estimate);
+  EXPECT_EQ(resumed.result.gap, full.result.gap);
+  EXPECT_EQ(resumed.result.attacker_frequency,
+            full.result.attacker_frequency);
+  EXPECT_EQ(resumed.result.defender_hit_frequency,
+            full.result.defender_hit_frequency);
+}
+
+TEST(KillResume, WeightedFictitiousPlayReproducesTheUninterruptedRun) {
+  const core::TupleGame game(graph::grid_graph(3, 3), 2, 1);
+  std::vector<double> weights(game.graph().num_vertices());
+  for (std::size_t v = 0; v < weights.size(); ++v)
+    weights[v] = 1.0 + 0.5 * static_cast<double>(v % 3);
+  const double target = 1e-9;
+
+  const auto full = sim::weighted_fictitious_play_resumable(
+      game, weights, SolveBudget::iterations(90), target,
+      core::ResumeHooks{});
+  ASSERT_EQ(full.status.code, StatusCode::kIterationLimit);
+
+  core::SolverCheckpoint cp;
+  core::ResumeHooks capture;
+  capture.capture = &cp;
+  const auto killed = sim::weighted_fictitious_play_resumable(
+      game, weights, SolveBudget::iterations(27), target, capture);
+  ASSERT_EQ(killed.status.code, StatusCode::kIterationLimit);
+  EXPECT_EQ(cp.solver, core::SolverKind::kWeightedFictitiousPlay);
+
+  const core::SolverCheckpoint restored = through_text(cp);
+  core::ResumeHooks resume;
+  resume.resume = &restored;
+  const auto resumed = sim::weighted_fictitious_play_resumable(
+      game, weights, SolveBudget::iterations(63), target, resume);
+
+  EXPECT_EQ(resumed.status.code, full.status.code);
+  EXPECT_EQ(resumed.result.rounds, full.result.rounds);
+  EXPECT_EQ(resumed.result.value_estimate, full.result.value_estimate);
+  EXPECT_EQ(resumed.result.gap, full.result.gap);
+  EXPECT_EQ(resumed.result.attacker_frequency,
+            full.result.attacker_frequency);
+}
+
+TEST(KillResume, HedgeReproducesTheUninterruptedRun) {
+  const core::TupleGame game(graph::grid_graph(3, 4), 2, 1);
+  const std::size_t horizon = 100;
+  const double target = 1e-9;
+
+  // Uninterrupted: one segment covering the whole horizon.
+  const auto full = sim::hedge_dynamics_resumable(
+      game, horizon, SolveBudget::unlimited_budget(), target,
+      core::ResumeHooks{});
+  ASSERT_EQ(full.status.code, StatusCode::kIterationLimit);
+  ASSERT_EQ(full.result.rounds, horizon);
+
+  core::SolverCheckpoint cp;
+  core::ResumeHooks capture;
+  capture.capture = &cp;
+  const auto killed = sim::hedge_dynamics_resumable(
+      game, horizon, SolveBudget::iterations(30), target, capture);
+  ASSERT_EQ(killed.status.code, StatusCode::kIterationLimit);
+  EXPECT_EQ(cp.solver, core::SolverKind::kHedge);
+  EXPECT_EQ(cp.iterations, 30u);
+  EXPECT_EQ(cp.horizon, horizon);
+
+  const core::SolverCheckpoint restored = through_text(cp);
+  core::ResumeHooks resume;
+  resume.resume = &restored;
+  // Same horizon => same eta => the trajectory continues bit-exactly.
+  const auto resumed = sim::hedge_dynamics_resumable(
+      game, horizon, SolveBudget::unlimited_budget(), target, resume);
+
+  EXPECT_EQ(resumed.status.code, full.status.code);
+  EXPECT_EQ(resumed.result.rounds, full.result.rounds);
+  EXPECT_EQ(resumed.result.value_estimate, full.result.value_estimate);
+  EXPECT_EQ(resumed.result.gap, full.result.gap);
+  EXPECT_EQ(resumed.result.attacker_average, full.result.attacker_average);
+}
+
+// A second kill mid-way through the RESUMED segment: two kills, two
+// resumes, still the same final answer.
+TEST(KillResume, DoubleKillStillConverges) {
+  const core::TupleGame game(graph::grid_graph(3, 4), 2, 1);
+  const auto full = sim::fictitious_play_resumable(
+      game, SolveBudget::iterations(90), 1e-9, core::ResumeHooks{});
+
+  core::SolverCheckpoint cp1, cp2;
+  core::ResumeHooks h1;
+  h1.capture = &cp1;
+  (void)sim::fictitious_play_resumable(game, SolveBudget::iterations(20),
+                                       1e-9, h1);
+  const core::SolverCheckpoint r1 = through_text(cp1);
+  core::ResumeHooks h2;
+  h2.resume = &r1;
+  h2.capture = &cp2;
+  (void)sim::fictitious_play_resumable(game, SolveBudget::iterations(40),
+                                       1e-9, h2);
+  EXPECT_EQ(cp2.iterations, 60u);
+  const core::SolverCheckpoint r2 = through_text(cp2);
+  core::ResumeHooks h3;
+  h3.resume = &r2;
+  const auto resumed = sim::fictitious_play_resumable(
+      game, SolveBudget::iterations(30), 1e-9, h3);
+
+  EXPECT_EQ(resumed.status.code, full.status.code);
+  EXPECT_EQ(resumed.result.rounds, full.result.rounds);
+  EXPECT_EQ(resumed.result.value_estimate, full.result.value_estimate);
+  EXPECT_EQ(resumed.result.attacker_frequency,
+            full.result.attacker_frequency);
+}
+
+// ---------------------------------------------------------------------------
+// Resume validation: every mismatch is kInvalidInput, never a corrupted
+// solve or a crash.
+
+TEST(ResumeValidation, MismatchesAreRejectedAsInvalidInput) {
+  const core::TupleGame game(graph::petersen_graph(), 3, 1);
+  core::SolverCheckpoint cp;
+  core::ResumeHooks capture;
+  capture.capture = &cp;
+  (void)core::solve_double_oracle_resumable(
+      game, 1e-9, SolveBudget::iterations(2), capture);
+
+  // Wrong solver family.
+  core::ResumeHooks wrong_kind;
+  wrong_kind.resume = &cp;
+  const auto fp = sim::fictitious_play_resumable(
+      game, SolveBudget::iterations(10), 0.0, wrong_kind);
+  EXPECT_EQ(fp.status.code, StatusCode::kInvalidInput);
+
+  // Wrong game shape.
+  const core::TupleGame other(graph::grid_graph(3, 3), 2, 1);
+  core::ResumeHooks wrong_shape;
+  wrong_shape.resume = &cp;
+  const auto shape = core::solve_double_oracle_resumable(
+      other, 1e-9, SolveBudget::iterations(10), wrong_shape);
+  EXPECT_EQ(shape.status.code, StatusCode::kInvalidInput);
+
+  // Future version (a build older than the checkpoint's writer).
+  core::SolverCheckpoint future = cp;
+  future.version = core::kSolverCheckpointVersion + 1;
+  core::ResumeHooks wrong_version;
+  wrong_version.resume = &future;
+  const auto ver = core::solve_double_oracle_resumable(
+      game, 1e-9, SolveBudget::iterations(10), wrong_version);
+  EXPECT_EQ(ver.status.code, StatusCode::kInvalidInput);
+
+  // Hedge horizon mismatch (eta would silently change).
+  const core::TupleGame hg(graph::grid_graph(3, 4), 2, 1);
+  core::SolverCheckpoint hcp;
+  core::ResumeHooks hcap;
+  hcap.capture = &hcp;
+  (void)sim::hedge_dynamics_resumable(hg, 100, SolveBudget::iterations(10),
+                                      1e-9, hcap);
+  core::ResumeHooks hresume;
+  hresume.resume = &hcp;
+  const auto mismatch = sim::hedge_dynamics_resumable(
+      hg, 50, SolveBudget::iterations(10), 1e-9, hresume);
+  EXPECT_EQ(mismatch.status.code, StatusCode::kInvalidInput);
+}
+
+}  // namespace
+}  // namespace defender

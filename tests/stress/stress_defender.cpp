@@ -21,8 +21,19 @@
 // ObsContext (JSONL tracing + metrics); CI uploads the resulting trace as
 // an artifact so failures come with a full solver narrative attached.
 //
+// Chaos mode (--fault-rate R, 0 < R <= 1): every instance additionally
+// runs the budgeted solvers under a deterministic fault schedule
+// (fault::FaultPlan seeded per instance from --fault-seed) arming every
+// injection site at rate R. The acceptance bar: no solver crashes, every
+// returned bracket still contains the fault-free LP value (certified by
+// independent re-evaluation), and every Status stays truthful (kOk implies
+// a closed bracket). A failing instance prints its replayable fault-plan
+// text; --fault-plans DIR additionally writes it to
+// DIR/fault-plan-<instance>.txt so CI can upload the plans as artifacts.
+//
 // Usage: stress_defender [--instances N] [--fuzz-iters N] [--seed S]
-//                        [--trace FILE.jsonl]
+//                        [--trace FILE.jsonl] [--fault-rate R]
+//                        [--fault-seed S] [--fault-plans DIR]
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
@@ -34,7 +45,9 @@
 #include <vector>
 
 #include "core/atuple.hpp"
+#include "core/checkpoint.hpp"
 #include "core/double_oracle.hpp"
+#include "fault/fault.hpp"
 #include "core/k_matching.hpp"
 #include "core/serialization.hpp"
 #include "core/zero_sum.hpp"
@@ -188,6 +201,125 @@ void differential_instance(util::Rng& rng, std::size_t index) {
   }
 }
 
+/// One chaos instance: a random board solved under a deterministic fault
+/// schedule. The soundness bar is checked against the fault-free exact LP
+/// value (independent re-evaluation): no crash, every bracket contains the
+/// true value, every status truthful. On failure the instance's fault plan
+/// is printed (and optionally dumped) so the exact schedule can be
+/// replayed from its text alone.
+void chaos_instance(util::Rng& rng, std::size_t index, double fault_rate,
+                    std::uint64_t fault_seed,
+                    const std::string& plan_dir) {
+  const graph::Graph g = random_board(rng);
+  const std::size_t nu = static_cast<std::size_t>(rng.range(1, 3));
+  const std::size_t want =
+      std::min<std::size_t>(static_cast<std::size_t>(rng.range(1, 4)),
+                            g.num_edges());
+  const core::TupleGame game(g, pick_k(g, want, nu), nu);
+  const std::string tag = "chaos instance " + std::to_string(index) +
+                          " (n=" + std::to_string(g.num_vertices()) +
+                          ", m=" + std::to_string(g.num_edges()) +
+                          ", k=" + std::to_string(game.k()) + ")";
+
+  // Ground truth, computed fault-free.
+  const double lp_value = core::solve_zero_sum(game).value;
+
+  fault::FaultPlan plan;
+  plan.seed = fault_seed ^ (0x9e3779b97f4a7c15ULL * (index + 1));
+  plan.set_all(fault_rate);
+
+  const int failures_before = failures;
+  fault::FaultContext do_ctx(plan);
+  try {
+    // Double oracle with a wall-clock deadline in the budget, so the
+    // kDeadlineStarve site has something to starve.
+    SolveBudget budget;
+    budget.max_iterations = 400;
+    budget.wall_clock_seconds = 60.0;
+    core::SolverCheckpoint cp;
+    core::ResumeHooks hooks;
+    hooks.capture = &cp;
+    const Solved<core::DoubleOracleResult> solved =
+        core::solve_double_oracle_resumable(game, 1e-9, budget, hooks,
+                                            g_obs, &do_ctx);
+    check(std::isfinite(solved.result.lower_bound) &&
+              std::isfinite(solved.result.upper_bound),
+          tag + ": non-finite bracket under faults");
+    check(solved.result.lower_bound <= lp_value + kValueTolerance &&
+              solved.result.upper_bound >= lp_value - kValueTolerance,
+          tag + ": faulted DO bracket [" +
+              std::to_string(solved.result.lower_bound) + ", " +
+              std::to_string(solved.result.upper_bound) +
+              "] misses LP value " + std::to_string(lp_value));
+    if (solved.ok())
+      check(std::abs(solved.result.value - lp_value) <= 1e-4,
+            tag + ": kOk under faults but value " +
+                std::to_string(solved.result.value) + " vs LP " +
+                std::to_string(lp_value));
+    // The captured checkpoint must survive a text round trip and resume
+    // cleanly — chaos must not corrupt the serialized state either.
+    const auto reparsed = core::try_parse_checkpoint(core::to_text(cp));
+    check(reparsed.ok(), tag + ": checkpoint captured under faults does "
+                               "not reparse: " + reparsed.status.describe());
+    if (reparsed.ok()) {
+      core::ResumeHooks resume;
+      resume.resume = &reparsed.result;
+      const auto resumed = core::solve_double_oracle_resumable(
+          game, 1e-9, SolveBudget::iterations(50), resume);
+      check(resumed.status.code != StatusCode::kInvalidInput,
+            tag + ": chaos checkpoint rejected on resume: " +
+                resumed.status.describe());
+      check(resumed.result.lower_bound <= lp_value + kValueTolerance &&
+                resumed.result.upper_bound >= lp_value - kValueTolerance,
+            tag + ": resumed-after-chaos bracket misses LP value");
+    }
+  } catch (const std::exception& e) {
+    fail(tag + ": double oracle crashed under faults: " + e.what());
+  }
+
+  try {
+    fault::FaultContext fp_ctx(plan);
+    const Solved<sim::FictitiousPlayResult> fp =
+        sim::fictitious_play_budgeted(game, SolveBudget::iterations(200),
+                                      1e-7, g_obs, &fp_ctx);
+    check(fp.result.trace.back().lower <= lp_value + kValueTolerance &&
+              fp.result.trace.back().upper >= lp_value - kValueTolerance,
+          tag + ": faulted FP bracket misses LP value " +
+              std::to_string(lp_value));
+  } catch (const std::exception& e) {
+    fail(tag + ": fictitious play crashed under faults: " + e.what());
+  }
+
+  try {
+    fault::FaultContext hg_ctx(plan);
+    const Solved<sim::HedgeResult> hedge = sim::hedge_dynamics_budgeted(
+        game, SolveBudget::iterations(200), 1e-7, g_obs, &hg_ctx);
+    check(hedge.result.trace.back().lower <= lp_value + kValueTolerance &&
+              hedge.result.trace.back().upper >= lp_value - kValueTolerance,
+          tag + ": faulted Hedge bracket misses LP value " +
+              std::to_string(lp_value));
+  } catch (const std::exception& e) {
+    fail(tag + ": Hedge crashed under faults: " + e.what());
+  }
+
+  if (failures > failures_before) {
+    std::fprintf(stderr, "replayable fault plan for %s:\n%s(%s)\n",
+                 tag.c_str(), plan.to_text().c_str(),
+                 do_ctx.summary().c_str());
+    if (!plan_dir.empty()) {
+      const std::string path =
+          plan_dir + "/fault-plan-" + std::to_string(index) + ".txt";
+      if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+        const std::string text = plan.to_text();
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fclose(f);
+      } else {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      }
+    }
+  }
+}
+
 /// Applies one random mutation to `text` in place.
 void mutate(std::string& text, util::Rng& rng) {
   static const char* kHostile[] = {"-1",  "4294967295", "999999999999999",
@@ -279,6 +411,9 @@ int main(int argc, char** argv) {
   std::size_t fuzz_iters = 10'000;
   std::uint64_t seed = 0xdefe2026ULL;
   std::string trace_path;
+  double fault_rate = 0.0;
+  std::uint64_t fault_seed = 0xc4a05ULL;  // "chaos"
+  std::string fault_plan_dir;
   for (int i = 1; i < argc; ++i) {
     const auto next_value = [&](const char* flag) -> long long {
       if (i + 1 >= argc) {
@@ -299,10 +434,29 @@ int main(int argc, char** argv) {
         return 2;
       }
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--fault-rate") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --fault-rate\n");
+        return 2;
+      }
+      fault_rate = std::atof(argv[++i]);
+      if (!(fault_rate >= 0.0) || fault_rate > 1.0) {
+        std::fprintf(stderr, "--fault-rate must be in [0, 1]\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--fault-seed") == 0) {
+      fault_seed = static_cast<std::uint64_t>(next_value("--fault-seed"));
+    } else if (std::strcmp(argv[i], "--fault-plans") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --fault-plans\n");
+        return 2;
+      }
+      fault_plan_dir = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--instances N] [--fuzz-iters N] [--seed S] "
-                   "[--trace FILE.jsonl]\n",
+                   "[--trace FILE.jsonl] [--fault-rate R] [--fault-seed S] "
+                   "[--fault-plans DIR]\n",
                    argv[0]);
       return 2;
     }
@@ -335,6 +489,19 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("differential: %zu instances checked\n", instances);
+
+  if (fault_rate > 0.0) {
+    for (std::size_t i = 0; i < instances; ++i) {
+      try {
+        chaos_instance(rng, i, fault_rate, fault_seed, fault_plan_dir);
+      } catch (const std::exception& e) {
+        fail("chaos instance " + std::to_string(i) + " threw: " + e.what());
+      }
+    }
+    std::printf("chaos: %zu instances survived fault rate %.3f (seed %llu)\n",
+                instances, fault_rate,
+                static_cast<unsigned long long>(fault_seed));
+  }
 
   fuzz_parsers(rng, fuzz_iters);
   std::printf("fuzz: %zu parser inputs survived\n", fuzz_iters);
