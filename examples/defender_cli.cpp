@@ -26,17 +26,37 @@
 //     budget-limited run can be continued later;
 //   * --resume-checkpoint FILE  continue a solve from a saved checkpoint.
 //
+// Batch engine mode (see docs/ENGINE.md):
+//   * --batch FILE     run a batch of solve jobs on the loaded board
+//     through the resilient SolveEngine instead of the single-board
+//     analysis. Each non-comment line of FILE is one job:
+//         <solver> <k> <nu> <budget-iters> [tolerance]
+//     where <solver> is one of double-oracle, weighted-double-oracle,
+//     fictitious-play, weighted-fictitious-play, hedge, zero-sum-lp;
+//   * --jobs N         worker threads for the batch (0 = one per core);
+//   * --retry-ladder S escalation-ladder spec, e.g.
+//     "attempts=3,grow=4,scale=10,fallback=on,backoff-ms=0,cap-ms=1000";
+//   * --deadline, --fault-rate, --fault-seed apply per job in batch mode
+//     (the deadline becomes each job's watchdog; fault plans derive
+//     per-job seeds so schedules are independent of worker count).
+//
 // Usage: defender_cli [--k K] [--nu N] [--dot] [--budget-iters N]
 //                     [--deadline SECONDS] [--trace FILE.jsonl]
 //                     [--chrome-trace FILE.json] [--metrics]
 //                     [--fault-rate R] [--fault-seed S]
 //                     [--save-checkpoint FILE] [--resume-checkpoint FILE]
+//                     [--batch FILE] [--jobs N] [--retry-ladder SPEC]
 //                     [FILE]
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/analytics.hpp"
 #include "core/atuple.hpp"
@@ -49,6 +69,9 @@
 #include "core/perfect_matching_ne.hpp"
 #include "core/pure_ne.hpp"
 #include "core/status.hpp"
+#include "engine/engine.hpp"
+#include "engine/job.hpp"
+#include "engine/retry.hpp"
 #include "graph/io.hpp"
 #include "matching/edge_cover.hpp"
 #include "obs/context.hpp"
@@ -64,7 +87,9 @@ void usage() {
                "                    [--metrics] [--fault-rate R] "
                "[--fault-seed S]\n"
                "                    [--save-checkpoint FILE] "
-               "[--resume-checkpoint FILE] [FILE]\n"
+               "[--resume-checkpoint FILE]\n"
+               "                    [--batch FILE] [--jobs N] "
+               "[--retry-ladder SPEC] [FILE]\n"
             << "  FILE holds 'n m' then one 'u v' line per edge; stdin when "
                "omitted.\n"
             << "  --budget-iters / --deadline bound the game-value solve; "
@@ -79,7 +104,15 @@ void usage() {
                "rate (chaos\n"
             << "  demo; deterministic per --fault-seed). --save-checkpoint / "
                "--resume-checkpoint\n"
-            << "  persist and continue the game-value solve across runs.\n";
+            << "  persist and continue the game-value solve across runs.\n"
+            << "  --batch runs one solve job per line of FILE ('<solver> <k> "
+               "<nu>\n"
+            << "  <budget-iters> [tolerance]'; '#' comments) through the "
+               "SolveEngine pool\n"
+            << "  with --jobs workers and the --retry-ladder escalation "
+               "spec; --deadline\n"
+            << "  becomes each job's watchdog and --fault-rate arms per-job "
+               "fault plans.\n";
 }
 
 /// Structured CLI-layer error: same rendering path as solver statuses.
@@ -92,6 +125,171 @@ int fail_invalid(const std::string& message) {
   return 2;
 }
 
+/// One parsed line of a --batch file: "<solver> <k> <nu> <budget-iters>
+/// [tolerance]".
+struct BatchLine {
+  defender::engine::JobSolver solver =
+      defender::engine::JobSolver::kDoubleOracle;
+  std::size_t k = 0;
+  std::size_t nu = 0;
+  std::size_t budget_iters = 0;
+  double tolerance = 1e-9;
+};
+
+/// Cap on jobs per batch file — same shape as the parser allocation caps:
+/// a hostile file degrades to kInvalidInput, never to an OOM.
+constexpr std::size_t kMaxBatchJobs = 100'000;
+
+/// Line-numbered kInvalidInput, mirroring graph::try_parse_edge_list.
+defender::Status batch_error(std::size_t line, const std::string& what) {
+  return defender::Status::make(
+      defender::StatusCode::kInvalidInput,
+      "batch file line " + std::to_string(line) + ": " + what);
+}
+
+/// Full-consumption unsigned parse (rejects "12x", "-1", overflow).
+bool parse_count(const std::string& token, std::size_t* out) {
+  if (token.empty() || token[0] == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+  if (errno != 0 || end != token.c_str() + token.size()) return false;
+  *out = static_cast<std::size_t>(v);
+  return true;
+}
+
+/// Hardened parse of a --batch file. '#' starts a comment; blank lines are
+/// skipped. Errors come back as line-numbered kInvalidInput.
+defender::Solved<std::vector<BatchLine>> parse_batch_file(std::istream& in) {
+  defender::Solved<std::vector<BatchLine>> out;
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream fields(raw);
+    std::string solver_name;
+    if (!(fields >> solver_name)) continue;  // blank / comment-only line
+    if (out.result.size() >= kMaxBatchJobs) {
+      out.status = batch_error(line_no, "too many jobs (cap " +
+                                            std::to_string(kMaxBatchJobs) +
+                                            ")");
+      return out;
+    }
+    BatchLine job;
+    if (!defender::engine::try_parse_job_solver(solver_name, &job.solver)) {
+      out.status = batch_error(line_no,
+                               "unknown solver '" + solver_name + "'");
+      return out;
+    }
+    std::string k_tok, nu_tok, iters_tok;
+    if (!(fields >> k_tok >> nu_tok >> iters_tok)) {
+      out.status = batch_error(
+          line_no, "expected '<solver> <k> <nu> <budget-iters> [tolerance]'");
+      return out;
+    }
+    if (!parse_count(k_tok, &job.k) || job.k == 0) {
+      out.status = batch_error(line_no, "bad k '" + k_tok + "'");
+      return out;
+    }
+    if (!parse_count(nu_tok, &job.nu) || job.nu == 0) {
+      out.status = batch_error(line_no, "bad nu '" + nu_tok + "'");
+      return out;
+    }
+    if (!parse_count(iters_tok, &job.budget_iters) || job.budget_iters == 0) {
+      out.status = batch_error(line_no,
+                               "bad budget-iters '" + iters_tok + "'");
+      return out;
+    }
+    std::string tol_tok;
+    if (fields >> tol_tok) {
+      errno = 0;
+      char* end = nullptr;
+      job.tolerance = std::strtod(tol_tok.c_str(), &end);
+      if (errno != 0 || end != tol_tok.c_str() + tol_tok.size() ||
+          !(job.tolerance >= 0.0)) {
+        out.status = batch_error(line_no,
+                                 "bad tolerance '" + tol_tok + "'");
+        return out;
+      }
+      std::string extra;
+      if (fields >> extra) {
+        out.status = batch_error(line_no,
+                                 "unexpected trailing token '" + extra + "'");
+        return out;
+      }
+    }
+    out.result.push_back(job);
+  }
+  if (out.result.empty())
+    out.status = defender::Status::make(defender::StatusCode::kInvalidInput,
+                                        "batch file holds no jobs");
+  return out;
+}
+
+/// Runs the --batch jobs through the SolveEngine pool and prints one
+/// result row per job plus the batch aggregates. Returns the process exit
+/// code: 0 when every job finished kOk, 1 when any degraded (each row
+/// still reports its truthful status and certified bracket).
+int run_batch(const defender::graph::Graph& g,
+              const std::vector<BatchLine>& lines,
+              const defender::engine::EngineConfig& config,
+              double watchdog_seconds, double fault_rate,
+              std::uint64_t fault_seed) {
+  using namespace defender;
+  std::vector<engine::SolveJob> jobs;
+  jobs.reserve(lines.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const BatchLine& line = lines[i];
+    if (line.k > g.num_edges())
+      return fail_invalid("batch job " + std::to_string(i) +
+                          ": k=" + std::to_string(line.k) +
+                          " exceeds m=" + std::to_string(g.num_edges()));
+    engine::SolveJob job(core::TupleGame(g, line.k, line.nu));
+    job.solver = line.solver;
+    job.tolerance = line.tolerance;
+    job.budget = SolveBudget::iterations(line.budget_iters);
+    if (engine::is_weighted(line.solver))
+      job.weights.assign(g.num_vertices(), 1.0);
+    if (fault_rate > 0.0) {
+      job.fault_plan.seed = engine::derive_job_seed(fault_seed, i);
+      job.fault_plan.set_all(fault_rate);
+    }
+    job.watchdog_seconds = watchdog_seconds;
+    jobs.push_back(std::move(job));
+  }
+
+  engine::SolveEngine pool(config);
+  const engine::BatchReport report = pool.run(jobs);
+
+  std::cout << "Batch: " << jobs.size() << " jobs, "
+            << (config.workers == 0 ? std::string("auto")
+                                    : std::to_string(config.workers))
+            << " workers, ladder " << config.retry.to_string() << "\n\n";
+  std::printf("%4s  %-24s  %-20s  %10s  %-25s  %8s  %s\n", "job", "solver",
+              "status", "value", "bracket", "attempts", "flags");
+  for (const engine::JobResult& r : report.results) {
+    char bracket[64];
+    std::snprintf(bracket, sizeof bracket, "[%.6g, %.6g]", r.lower_bound,
+                  r.upper_bound);
+    std::string flags;
+    if (r.fallback_used) flags += " fallback";
+    if (r.watchdog_killed) flags += " watchdog-killed";
+    if (r.faults_injected > 0)
+      flags += " faults=" + std::to_string(r.faults_injected);
+    std::printf("%4zu  %-24s  %-20s  %10.6g  %-25s  %8zu %s\n", r.job_index,
+                engine::to_string(r.solver), to_string(r.status.code),
+                r.value, bracket, r.attempts.size(), flags.c_str());
+  }
+  std::printf(
+      "\n%zu ok, %zu degraded; %zu retries, %zu deadline kills, %zu faulted "
+      "jobs, %.3fs\n",
+      report.completed, report.degraded, report.retries,
+      report.deadline_kills, report.faulted_jobs, report.elapsed_seconds);
+  return report.degraded == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -100,6 +298,8 @@ int main(int argc, char** argv) {
   bool dot = false, dump_metrics = false;
   std::string file, trace_path, chrome_trace_path;
   std::string save_checkpoint_path, resume_checkpoint_path;
+  std::string batch_path, retry_spec;
+  std::size_t pool_workers = 1;
   double fault_rate = 0.0;
   std::uint64_t fault_seed = 0xdef3ddef3dULL;
   SolveBudget budget;
@@ -128,6 +328,12 @@ int main(int argc, char** argv) {
       save_checkpoint_path = argv[++i];
     } else if (arg == "--resume-checkpoint" && i + 1 < argc) {
       resume_checkpoint_path = argv[++i];
+    } else if (arg == "--batch" && i + 1 < argc) {
+      batch_path = argv[++i];
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      pool_workers = std::strtoul(argv[++i], nullptr, 10);
+    } else if (arg == "--retry-ladder" && i + 1 < argc) {
+      retry_spec = argv[++i];
     } else if (arg == "--metrics") {
       dump_metrics = true;
     } else if (arg == "--dot") {
@@ -185,6 +391,48 @@ int main(int argc, char** argv) {
     return 2;
   }
   const graph::Graph& g = parsed.result;
+
+  // Batch engine mode: run the jobs through the resilient SolveEngine pool
+  // and skip the single-board analysis entirely.
+  if (!batch_path.empty()) {
+    std::ifstream batch_in(batch_path);
+    if (!batch_in)
+      return fail_invalid("cannot open batch file " + batch_path);
+    const Solved<std::vector<BatchLine>> lines = parse_batch_file(batch_in);
+    if (!lines.ok()) {
+      std::cerr << "defender_cli: " << lines.status.to_string() << '\n';
+      return 2;
+    }
+    engine::EngineConfig config;
+    config.workers = pool_workers;
+    if (!retry_spec.empty()) {
+      const Solved<engine::RetryPolicy> ladder =
+          engine::RetryPolicy::try_parse(retry_spec);
+      if (!ladder.ok()) {
+        std::cerr << "defender_cli: " << ladder.status.to_string() << '\n';
+        return 2;
+      }
+      config.retry = ladder.result;
+    }
+    config.tracer = ctx.tracer;
+    config.metrics = ctx.metrics;
+    std::cout << "Board: n=" << g.num_vertices() << " m=" << g.num_edges()
+              << "\n\n";
+    const int rc = run_batch(g, lines.result, config,
+                             budget.wall_clock_seconds, fault_rate,
+                             fault_seed);
+    if (ctx.tracer != nullptr) {
+      tracer.flush();
+      std::cout << "\nTrace: " << tracer.events_emitted() << " events";
+      if (!trace_path.empty()) std::cout << " -> " << trace_path;
+      if (!chrome_trace_path.empty())
+        std::cout << " -> " << chrome_trace_path << " (chrome://tracing)";
+      std::cout << '\n';
+    }
+    if (dump_metrics)
+      std::cout << "\nMetrics:\n" << metrics.to_json() << '\n';
+    return rc;
+  }
 
   std::cout << "Board: n=" << g.num_vertices() << " m=" << g.num_edges()
             << ", game Pi_" << k << "(G) with nu=" << nu << " attackers\n\n";

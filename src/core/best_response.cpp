@@ -41,8 +41,9 @@ class TupleSearch {
  public:
   TupleSearch(const graph::Graph& g, std::size_t k,
               const std::vector<double>& masses,
-              std::uint64_t node_budget = 0)
-      : g_(g), k_(k), masses_(masses), node_budget_(node_budget) {
+              std::uint64_t node_budget = 0, CancelToken* cancel = nullptr)
+      : g_(g), k_(k), masses_(masses), node_budget_(node_budget),
+        cancel_(cancel) {
     total_mass_ = 0;
     for (double m : masses) total_mass_ += m;
     order_.resize(g.num_edges());
@@ -142,6 +143,12 @@ class TupleSearch {
   void descend(std::size_t from, double gained) {
     ++nodes_;
     if (node_budget_ != 0 && nodes_ > node_budget_) truncated_ = true;
+    // Cancellation reads the latch only (no countdown poll) on a node
+    // stride, and degrades exactly like budget exhaustion: the incumbent
+    // plus a sound completion bound for the abandoned subtree.
+    if (cancel_ != nullptr && nodes_ % kCancelStride == 0 &&
+        cancel_->cancelled())
+      truncated_ = true;
     if (truncated_) {
       // Budget ran out: record a sound bound for this abandoned subtree so
       // the caller knows how far the incumbent can be from optimal, then
@@ -190,7 +197,10 @@ class TupleSearch {
   std::vector<graph::EdgeId> order_;
   std::vector<double> edge_mass_;
   double total_mass_ = 0;
+  static constexpr std::uint64_t kCancelStride = 4096;
+
   std::uint64_t node_budget_ = 0;
+  CancelToken* cancel_ = nullptr;
   std::uint64_t nodes_ = 0;
   bool truncated_ = false;
   double open_bound_ = 0;
@@ -211,7 +221,7 @@ BestTuple best_tuple_branch_and_bound(const TupleGame& game,
 BestTupleSearch best_tuple_branch_and_bound_budgeted(
     const TupleGame& game, const std::vector<double>& masses,
     std::uint64_t node_budget, obs::ObsContext* obs,
-    fault::FaultContext* fault) {
+    fault::FaultContext* fault, CancelToken* cancel) {
   DEF_REQUIRE(masses.size() == game.graph().num_vertices(),
               "mass vector must cover every vertex");
   const graph::Graph& g = game.graph();
@@ -258,11 +268,12 @@ BestTupleSearch best_tuple_branch_and_bound_budgeted(
       throw std::bad_alloc();
     } catch (const std::bad_alloc&) {
       alloc_fallback = true;
-      out = TupleSearch(g, game.k(), *objective, node_budget)
+      out = TupleSearch(g, game.k(), *objective, node_budget, cancel)
                 .run_greedy_only();
     }
   } else {
-    out = TupleSearch(g, game.k(), *objective, node_budget).run_budgeted();
+    out = TupleSearch(g, game.k(), *objective, node_budget, cancel)
+              .run_budgeted();
   }
 
   if (fault != nullptr && fault->fires(fault::FaultSite::kOracleGarble)) {

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "core/configuration.hpp"
 #include "core/game.hpp"
 #include "obs/context.hpp"
@@ -69,10 +70,15 @@ struct BestTupleSearch {
 /// returned incumbent stays feasible and `upper_bound` stays an upper
 /// bound. Null fault costs one branch per site and leaves results
 /// bit-identical.
+///
+/// Cancellation: a non-null `cancel` is read (never polled — the countdown
+/// belongs to the outer solver loop) every few thousand node expansions; a
+/// fired token truncates the search exactly like node-budget exhaustion,
+/// so the incumbent and `upper_bound` stay sound.
 BestTupleSearch best_tuple_branch_and_bound_budgeted(
     const TupleGame& game, const std::vector<double>& masses,
     std::uint64_t node_budget, obs::ObsContext* obs = nullptr,
-    fault::FaultContext* fault = nullptr);
+    fault::FaultContext* fault = nullptr, CancelToken* cancel = nullptr);
 
 /// Picks the cheaper exact oracle for the instance size.
 BestTuple best_tuple(const TupleGame& game,

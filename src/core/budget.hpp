@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <limits>
 
+#include "core/cancel.hpp"
 #include "obs/clock.hpp"
 
 namespace defender {
@@ -41,6 +42,13 @@ struct SolveBudget {
   /// feasible incumbent (still a valid lower bound on the best response),
   /// and the solver flags the final bounds as approximate.
   std::uint64_t oracle_node_budget = 0;
+  /// Optional cooperative cancellation latch, not owned; must outlive the
+  /// solve. Solvers poll it once per outer iteration (and read the latch
+  /// from pivot/node batches) and return kCancelled with best-so-far
+  /// bounds — and, via the resumable entry points, a checkpoint — when it
+  /// fires. nullptr (the default) means "not cancellable" and costs one
+  /// pointer compare per iteration.
+  CancelToken* cancel = nullptr;
 
   /// True when no dimension is bounded.
   bool unlimited() const {
@@ -77,6 +85,13 @@ class BudgetMeter {
   bool out_of_iterations() const {
     return budget_.max_iterations != 0 &&
            iterations_ >= budget_.max_iterations;
+  }
+
+  /// Polls the budget's CancelToken (if any): the outer-loop cancellation
+  /// site. Each call consumes exactly one countdown poll, so call it once
+  /// per outer iteration, beside the iteration/deadline checks.
+  bool cancel_requested() {
+    return budget_.cancel != nullptr && budget_.cancel->poll();
   }
 
   /// True when the wall-clock deadline has passed. Reads the shared clock.

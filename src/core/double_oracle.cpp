@@ -330,15 +330,28 @@ Solved<DoubleOracleResult> solve_double_oracle_resumable(
                     "best-so-far certified bounds",
                     snap.valid ? snap.value : 0.5 * (best_lower + best_upper),
                     best_upper - best_lower);
+    if (meter.cancel_requested())
+      return finish(StatusCode::kCancelled,
+                    "double oracle cancelled; returning best-so-far "
+                    "certified bounds",
+                    snap.valid ? snap.value : 0.5 * (best_lower + best_upper),
+                    best_upper - best_lower);
     meter.charge_iteration();
 
     const lp::Matrix a = restricted_matrix(g, tuples, vertices);
     SolveBudget lp_budget;
+    lp_budget.cancel = budget.cancel;
     if (budget.wall_clock_seconds > 0)
       lp_budget.wall_clock_seconds = std::max(
           1e-3, budget.wall_clock_seconds - meter.elapsed_seconds());
     const Solved<lp::MatrixGameSolution> lp_solved =
         lp::solve_matrix_game_budgeted(a, lp_budget, obs, fault);
+    if (lp_solved.status.code == StatusCode::kCancelled)
+      return finish(StatusCode::kCancelled,
+                    "double oracle cancelled inside the restricted LP; "
+                    "returning best-so-far certified bounds",
+                    snap.valid ? snap.value : 0.5 * (best_lower + best_upper),
+                    best_upper - best_lower);
     if (!lp_solved.ok() &&
         lp_solved.status.code != StatusCode::kNumericallyUnstable)
       return finish(StatusCode::kDeadlineExceeded,
@@ -357,7 +370,7 @@ Solved<DoubleOracleResult> solve_double_oracle_resumable(
     for (std::size_t v = 0; v < vertices.size(); ++v)
       masses[vertices[v]] += restricted.col_strategy[v];
     const BestTupleSearch br_search = best_tuple_branch_and_bound_budgeted(
-        game, masses, budget.oracle_node_budget, obs, fault);
+        game, masses, budget.oracle_node_budget, obs, fault, budget.cancel);
     const BestTuple& br_tuple = br_search.best;
     any_truncated = any_truncated || br_search.truncated;
     // value <= (true max coverage vs this attacker mix); when the oracle
@@ -552,6 +565,12 @@ Solved<DoubleOracleResult> solve_weighted_double_oracle_resumable(
                     "returning best-so-far certified bounds",
                     snap.valid ? snap.value : 0.5 * (best_lower + best_upper),
                     best_upper - best_lower);
+    if (meter.cancel_requested())
+      return finish(StatusCode::kCancelled,
+                    "weighted double oracle cancelled; returning "
+                    "best-so-far certified bounds",
+                    snap.valid ? snap.value : 0.5 * (best_lower + best_upper),
+                    best_upper - best_lower);
     meter.charge_iteration();
 
     // Restricted damage game: rows = working vertices (attacker,
@@ -565,11 +584,18 @@ Solved<DoubleOracleResult> solve_weighted_double_oracle_resumable(
                               : weights[vertices[v]];
     }
     SolveBudget lp_budget;
+    lp_budget.cancel = budget.cancel;
     if (budget.wall_clock_seconds > 0)
       lp_budget.wall_clock_seconds = std::max(
           1e-3, budget.wall_clock_seconds - meter.elapsed_seconds());
     const Solved<lp::MatrixGameSolution> lp_solved =
         lp::solve_matrix_game_budgeted(damage, lp_budget, obs, fault);
+    if (lp_solved.status.code == StatusCode::kCancelled)
+      return finish(StatusCode::kCancelled,
+                    "weighted double oracle cancelled inside the restricted "
+                    "LP; returning best-so-far certified bounds",
+                    snap.valid ? snap.value : 0.5 * (best_lower + best_upper),
+                    best_upper - best_lower);
     if (!lp_solved.ok() &&
         lp_solved.status.code != StatusCode::kNumericallyUnstable)
       return finish(StatusCode::kDeadlineExceeded,
@@ -593,7 +619,7 @@ Solved<DoubleOracleResult> solve_weighted_double_oracle_resumable(
       total_weighted += weights[vertices[v]] * restricted.row_strategy[v];
     }
     const BestTupleSearch br_search = best_tuple_branch_and_bound_budgeted(
-        game, masses, budget.oracle_node_budget, obs, fault);
+        game, masses, budget.oracle_node_budget, obs, fault, budget.cancel);
     const BestTuple& br_tuple = br_search.best;
     any_truncated = any_truncated || br_search.truncated;
     const double defender_br_damage = total_weighted - br_tuple.mass;

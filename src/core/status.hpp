@@ -40,6 +40,10 @@ enum class StatusCode {
   kInfeasible,
   /// Malformed or hostile input was rejected before solving.
   kInvalidInput,
+  /// A CancelToken was triggered mid-solve (engine watchdog, caller
+  /// cancellation). Best-so-far bounds, and — via the resumable entry
+  /// points — a checkpoint the solve can later resume from.
+  kCancelled,
 };
 
 /// Every StatusCode, in enum order. The compile-time audit below keeps
@@ -51,6 +55,7 @@ inline constexpr StatusCode kAllStatusCodes[] = {
     StatusCode::kNumericallyUnstable,
     StatusCode::kInfeasible,
     StatusCode::kInvalidInput,
+    StatusCode::kCancelled,
 };
 inline constexpr std::size_t kStatusCodeCount =
     sizeof(kAllStatusCodes) / sizeof(kAllStatusCodes[0]);
@@ -64,6 +69,7 @@ constexpr const char* to_string(StatusCode code) {
     case StatusCode::kNumericallyUnstable: return "numerically-unstable";
     case StatusCode::kInfeasible: return "infeasible";
     case StatusCode::kInvalidInput: return "invalid-input";
+    case StatusCode::kCancelled: return "cancelled";
   }
   return "unknown";
 }
@@ -100,7 +106,7 @@ constexpr bool status_codes_round_trip() {
 }
 }  // namespace status_detail
 static_assert(kStatusCodeCount ==
-                  static_cast<std::size_t>(StatusCode::kInvalidInput) + 1,
+                  static_cast<std::size_t>(StatusCode::kCancelled) + 1,
               "kAllStatusCodes must list every StatusCode");
 static_assert(status_detail::status_codes_round_trip(),
               "every StatusCode must round-trip through to_string / "

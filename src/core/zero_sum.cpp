@@ -42,7 +42,8 @@ lp::MatrixGameSolution solve_zero_sum(const TupleGame& game,
 
 Solved<lp::MatrixGameSolution> solve_zero_sum_budgeted(
     const TupleGame& game, const SolveBudget& budget,
-    std::uint64_t max_tuples, obs::ObsContext* obs) {
+    std::uint64_t max_tuples, obs::ObsContext* obs,
+    fault::FaultContext* fault) {
   if (game.num_tuples() > max_tuples) {
     Solved<lp::MatrixGameSolution> out;
     out.status = Status::make(
@@ -54,7 +55,7 @@ Solved<lp::MatrixGameSolution> solve_zero_sum_budgeted(
     return out;
   }
   return lp::solve_matrix_game_budgeted(coverage_matrix(game, max_tuples),
-                                        budget, obs);
+                                        budget, obs, fault);
 }
 
 MixedConfiguration to_configuration(const TupleGame& game,

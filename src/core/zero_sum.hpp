@@ -20,6 +20,10 @@
 #include "lp/dense_matrix.hpp"
 #include "lp/matrix_game.hpp"
 
+namespace defender::fault {
+class FaultContext;
+}
+
 namespace defender::core {
 
 /// The 0/1 coverage matrix: rows = all C(m, k) tuples in lexicographic
@@ -45,12 +49,16 @@ lp::MatrixGameSolution solve_zero_sum(const TupleGame& game,
 ///                      strategies are valid mixes whose security levels
 ///                      bracket the true value ([lower_bound, upper_bound]);
 ///   kInvalidInput      E^k exceeds max_tuples (too large to enumerate);
-///   kNumericallyUnstable  the LP failed its residual verification.
+///   kNumericallyUnstable  the LP failed its residual verification;
+///   kCancelled         budget.cancel fired mid-pivot.
 /// A non-null `obs` reaches the simplex substrate (lp.* metrics and trace
-/// events); the default null context records nothing.
+/// events); the default null context records nothing. A non-null `fault`
+/// arms the simplex fault sites (kLpPivotPerturb, kLpForceUnstable) for
+/// chaos drills; null leaves results bit-identical.
 Solved<lp::MatrixGameSolution> solve_zero_sum_budgeted(
     const TupleGame& game, const SolveBudget& budget,
-    std::uint64_t max_tuples = 20'000, obs::ObsContext* obs = nullptr);
+    std::uint64_t max_tuples = 20'000, obs::ObsContext* obs = nullptr,
+    fault::FaultContext* fault = nullptr);
 
 /// Converts a zero-sum solution into a symmetric mixed configuration of the
 /// full ν-attacker game (drops strategies below `prob_floor` and

@@ -74,3 +74,8 @@
 #include "sim/tournament.hpp"             // IWYU pragma: export
 #include "sim/playout.hpp"          // IWYU pragma: export
 #include "sim/sampling.hpp"         // IWYU pragma: export
+
+// Engine: resilient batch solving (pool, watchdog, retry ladder).
+#include "engine/engine.hpp"  // IWYU pragma: export
+#include "engine/job.hpp"     // IWYU pragma: export
+#include "engine/retry.hpp"   // IWYU pragma: export

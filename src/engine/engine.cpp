@@ -1,0 +1,723 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <thread>
+#include <utility>
+
+#include "core/cancel.hpp"
+#include "core/checkpoint.hpp"
+#include "core/double_oracle.hpp"
+#include "core/zero_sum.hpp"
+#include "sim/fictitious_play.hpp"
+#include "sim/multiplicative_weights.hpp"
+#include "util/assert.hpp"
+
+namespace defender::engine {
+
+namespace {
+
+/// Enumeration cap for the exact-LP route (job solver and fallback rung) —
+/// the same cap core::solve_zero_sum_budgeted defaults to.
+constexpr std::uint64_t kMaxLpTuples = 20'000;
+
+/// A-priori upper bound on a job's game value: hit probabilities live in
+/// [0, 1]; weighted damage values in [0, max vertex weight].
+double value_upper_bound(const SolveJob& job) {
+  if (job.weights.empty()) return 1.0;
+  double w = 0;
+  for (double x : job.weights) w = std::max(w, x);
+  return w;
+}
+
+/// Up-front shape validation so a malformed job degrades to kInvalidInput
+/// instead of tripping a DEF_REQUIRE on its worker.
+Status validate_job(const SolveJob& job) {
+  const std::size_t n = job.game.graph().num_vertices();
+  if (is_weighted(job.solver)) {
+    if (job.weights.size() != n)
+      return Status::make(StatusCode::kInvalidInput,
+                          std::string(to_string(job.solver)) + " needs " +
+                              std::to_string(n) + " vertex weights, got " +
+                              std::to_string(job.weights.size()));
+  } else if (!job.weights.empty()) {
+    return Status::make(StatusCode::kInvalidInput,
+                        std::string(to_string(job.solver)) +
+                            " takes no vertex weights");
+  }
+  if (job.solver == JobSolver::kHedge && job.budget.max_iterations == 0)
+    return Status::make(StatusCode::kInvalidInput,
+                        "hedge jobs need budget.max_iterations > 0 (the "
+                        "round horizon that fixes the learning rate)");
+  if (!(job.tolerance >= 0))
+    return Status::make(StatusCode::kInvalidInput,
+                        "job tolerance must be >= 0");
+  return Status::make_ok();
+}
+
+/// Scales the bounded dimensions of a budget for a resumed/enlarged rung.
+SolveBudget grow_budget(const SolveBudget& budget, double factor) {
+  SolveBudget grown = budget;
+  if (grown.max_iterations != 0)
+    grown.max_iterations = std::max(
+        grown.max_iterations + 1,
+        static_cast<std::size_t>(static_cast<double>(grown.max_iterations) *
+                                 factor));
+  if (grown.wall_clock_seconds > 0) grown.wall_clock_seconds *= factor;
+  if (grown.oracle_node_budget != 0)
+    grown.oracle_node_budget = std::max(
+        grown.oracle_node_budget + 1,
+        static_cast<std::uint64_t>(
+            static_cast<double>(grown.oracle_node_budget) * factor));
+  return grown;
+}
+
+/// The cross-solver fallback rung; nullopt when no independent solver can
+/// take the job over.
+std::optional<JobSolver> fallback_for(JobSolver solver, const SolveJob& job) {
+  switch (solver) {
+    case JobSolver::kZeroSumLp:
+      return JobSolver::kDoubleOracle;
+    case JobSolver::kDoubleOracle:
+      if (job.game.num_tuples() <= kMaxLpTuples) return JobSolver::kZeroSumLp;
+      return std::nullopt;
+    case JobSolver::kWeightedDoubleOracle:
+      return std::nullopt;  // no second weighted exact solver
+    case JobSolver::kFictitiousPlay:
+    case JobSolver::kHedge:
+      return JobSolver::kDoubleOracle;
+    case JobSolver::kWeightedFictitiousPlay:
+      return JobSolver::kWeightedDoubleOracle;
+  }
+  return std::nullopt;
+}
+
+/// One attempt's normalized outcome, whatever solver ran it.
+struct AttemptOutput {
+  Status status;
+  double value = 0;
+  double lower = 0;
+  double upper = 1;
+  core::SolverCheckpoint checkpoint;
+  bool captured = false;
+};
+
+/// Dispatches one attempt to the solver's resumable entry point.
+/// `hedge_horizon` is the job's original round horizon (fixed across
+/// attempts even as the segment budget grows).
+AttemptOutput run_attempt(const SolveJob& job, JobSolver solver,
+                          double tolerance, const SolveBudget& budget,
+                          std::size_t hedge_horizon,
+                          const core::SolverCheckpoint* resume,
+                          obs::ObsContext* obs, fault::FaultContext* fault) {
+  AttemptOutput out;
+  out.upper = value_upper_bound(job);
+  core::ResumeHooks hooks;
+  hooks.resume = resume;
+  hooks.capture = &out.checkpoint;
+
+  switch (solver) {
+    case JobSolver::kDoubleOracle: {
+      const Solved<core::DoubleOracleResult> solved =
+          core::solve_double_oracle_resumable(job.game, tolerance, budget,
+                                              hooks, obs, fault);
+      out.status = solved.status;
+      out.captured = true;
+      out.value = solved.result.value;
+      out.lower = solved.result.lower_bound;
+      out.upper = solved.result.upper_bound;
+      break;
+    }
+    case JobSolver::kWeightedDoubleOracle: {
+      const Solved<core::DoubleOracleResult> solved =
+          core::solve_weighted_double_oracle_resumable(
+              job.game, job.weights, tolerance, budget, hooks, obs, fault);
+      out.status = solved.status;
+      out.captured = true;
+      out.value = solved.result.value;
+      out.lower = solved.result.lower_bound;
+      out.upper = solved.result.upper_bound;
+      break;
+    }
+    case JobSolver::kFictitiousPlay: {
+      const Solved<sim::FictitiousPlayResult> solved =
+          sim::fictitious_play_resumable(job.game, budget, tolerance, hooks,
+                                         obs, fault);
+      out.status = solved.status;
+      out.captured = true;
+      out.value = solved.result.value_estimate;
+      if (!solved.result.trace.empty()) {
+        out.lower = solved.result.trace.back().lower;
+        out.upper = solved.result.trace.back().upper;
+      } else {
+        out.lower = 0;
+      }
+      break;
+    }
+    case JobSolver::kWeightedFictitiousPlay: {
+      const Solved<sim::FictitiousPlayResult> solved =
+          sim::weighted_fictitious_play_resumable(job.game, job.weights,
+                                                  budget, tolerance, hooks,
+                                                  obs, fault);
+      out.status = solved.status;
+      out.captured = true;
+      out.value = solved.result.value_estimate;
+      if (!solved.result.trace.empty()) {
+        out.lower = solved.result.trace.back().lower;
+        out.upper = solved.result.trace.back().upper;
+      } else {
+        out.lower = 0;
+      }
+      break;
+    }
+    case JobSolver::kHedge: {
+      const Solved<sim::HedgeResult> solved = sim::hedge_dynamics_resumable(
+          job.game, hedge_horizon, budget, tolerance, hooks, obs, fault);
+      out.status = solved.status;
+      out.captured = true;
+      out.value = solved.result.value_estimate;
+      if (!solved.result.trace.empty()) {
+        out.lower = solved.result.trace.back().lower;
+        out.upper = solved.result.trace.back().upper;
+      } else {
+        out.lower = 0;
+      }
+      break;
+    }
+    case JobSolver::kZeroSumLp: {
+      const Solved<lp::MatrixGameSolution> solved =
+          core::solve_zero_sum_budgeted(job.game, budget, kMaxLpTuples, obs,
+                                        fault);
+      out.status = solved.status;
+      out.captured = false;  // the LP route has no checkpoint
+      out.value = solved.result.value;
+      out.lower = solved.result.lower_bound;
+      out.upper = solved.result.upper_bound;
+      break;
+    }
+  }
+
+  // A rejected attempt (checkpoint/shape validation) certifies nothing;
+  // fall back to the a-priori bracket so the envelope stays truthful.
+  if (out.status.code == StatusCode::kInvalidInput ||
+      out.status.code == StatusCode::kInfeasible) {
+    out.lower = 0;
+    out.upper = value_upper_bound(job);
+    out.value = 0.5 * (out.lower + out.upper);
+    out.captured = false;
+  }
+  return out;
+}
+
+/// Cooperative worker stall (the kWorkerStall site): sleep in short
+/// slices, bailing out as soon as the watchdog kills the job so a stalled
+/// worker never outlives its deadline by much.
+void stall_worker(const SolveJob& job, std::uint64_t aux,
+                  const CancelToken* token) {
+  using clock = std::chrono::steady_clock;
+  const double stall_seconds =
+      job.watchdog_seconds > 0
+          ? std::max(0.05, 3.0 * job.watchdog_seconds)
+          : 0.02 + static_cast<double>(aux % 80) * 1e-3;
+  const clock::time_point until =
+      clock::now() + std::chrono::duration_cast<clock::duration>(
+                         std::chrono::duration<double>(stall_seconds));
+  while (clock::now() < until) {
+    if (token != nullptr && token->cancelled()) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+/// Runs one job's full retry ladder on the calling thread. `token` may be
+/// nullptr (serial reference path); `allow_stall` gates the kWorkerStall
+/// sleep (the site's fires/aux draws are consumed either way, so pool and
+/// serial runs see bit-identical fault schedules).
+JobResult run_ladder(const SolveJob& job, std::size_t job_index,
+                     CancelToken* token, const EngineConfig& config,
+                     bool allow_stall) {
+  JobResult out;
+  out.job_index = job_index;
+  out.solver = job.solver;
+  const double vub = value_upper_bound(job);
+  out.lower_bound = 0;
+  out.upper_bound = vub;
+  out.value = 0.5 * vub;
+
+  const Status invalid = validate_job(job);
+  if (invalid.code != StatusCode::kOk) {
+    out.status = invalid;
+    return out;
+  }
+
+  std::optional<fault::FaultContext> fctx;
+  if (job.fault_plan.armed()) fctx.emplace(job.fault_plan);
+
+  obs::ConvergenceRecorder recorder;
+  obs::ObsContext ctx;
+  ctx.tracer = config.tracer;
+  ctx.metrics = config.metrics;
+  ctx.convergence = config.collect_convergence ? &recorder : nullptr;
+  obs::ObsContext* obs = (ctx.tracer != nullptr || ctx.metrics != nullptr ||
+                          ctx.convergence != nullptr)
+                             ? &ctx
+                             : nullptr;
+  obs::Span job_span;
+  if (config.tracer != nullptr)
+    job_span = config.tracer->span(
+        "engine.job",
+        {obs::TraceArg::of("job", static_cast<std::uint64_t>(job_index)),
+         obs::TraceArg::of("solver", std::string(to_string(job.solver)))});
+
+  if (fctx.has_value() && fctx->fires(fault::FaultSite::kWorkerStall)) {
+    const std::uint64_t aux = fctx->aux(fault::FaultSite::kWorkerStall);
+    if (allow_stall) stall_worker(job, aux, token);
+  }
+
+  const RetryPolicy& policy = config.retry;
+  const std::size_t max_attempts = std::max<std::size_t>(1, policy.max_attempts);
+  JobSolver solver = job.solver;
+  double tolerance = job.tolerance;
+  SolveBudget budget = job.budget;
+  budget.cancel = token;
+  const std::size_t hedge_horizon = job.budget.max_iterations;
+  core::SolverCheckpoint checkpoint;
+  bool resume_next = false;
+  bool rescaled = false;
+  bool fell_back = false;
+  AttemptAction action = AttemptAction::kInitial;
+  double env_lo = 0;
+  double env_hi = vub;
+
+  for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt >= 2) {
+      const double backoff_ms = policy.backoff_before_attempt_ms(attempt);
+      if (backoff_ms > 0 && (token == nullptr || !token->cancelled()))
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(backoff_ms));
+      if (config.metrics != nullptr)
+        config.metrics->counter("engine.retries").add(1);
+    }
+
+    AttemptOutput r;
+    try {
+      r = run_attempt(job, solver, tolerance, budget, hedge_horizon,
+                      resume_next ? &checkpoint : nullptr, obs,
+                      fctx.has_value() ? &*fctx : nullptr);
+    } catch (const std::exception& e) {
+      // Per-job isolation: a throwing job (hostile input past validation,
+      // allocation failure, ...) degrades to a truthful status on its own
+      // slot; it never takes the batch down.
+      r.status = Status::make(
+          StatusCode::kInvalidInput,
+          std::string("job attempt threw: ") + e.what());
+      r.lower = 0;
+      r.upper = vub;
+      r.value = 0.5 * vub;
+      r.captured = false;
+    }
+
+    // Tightest truthful envelope: every attempt's bracket is sound, so
+    // intersect. A converged solve can report a bracket crossed by an ulp
+    // (gap ~ -1e-16); normalize that before intersecting, but discard any
+    // seriously inverted claim (a garbled solver certifies nothing).
+    if (std::isfinite(r.lower) && std::isfinite(r.upper) &&
+        r.lower <= r.upper + 1e-9) {
+      const double lo = std::max(env_lo, std::min(r.lower, r.upper));
+      const double hi = std::min(env_hi, std::max(r.lower, r.upper));
+      if (lo <= hi) {
+        env_lo = lo;
+        env_hi = hi;
+      } else if (lo - hi <= 1e-9) {
+        env_lo = env_hi = 0.5 * (lo + hi);
+      }
+    }
+
+    out.attempts.push_back(AttemptRecord{
+        attempt, action, solver, r.status.code, r.value, r.lower, r.upper,
+        r.status.iterations, r.status.elapsed_seconds});
+    out.status = r.status;
+    out.value = std::clamp(r.value, env_lo, env_hi);
+    out.iterations = r.status.iterations;
+
+    if (r.captured) checkpoint = std::move(r.checkpoint);
+
+    if (attempt == max_attempts) break;
+    const StatusCode code = r.status.code;
+    if (code == StatusCode::kOk || code == StatusCode::kCancelled ||
+        code == StatusCode::kInfeasible || code == StatusCode::kInvalidInput)
+      break;
+
+    if (code == StatusCode::kIterationLimit ||
+        code == StatusCode::kDeadlineExceeded) {
+      // Hedge cannot grow past its horizon: the horizon pins the learning
+      // rate, so once reached the answer is final.
+      if (solver == JobSolver::kHedge && r.captured &&
+          checkpoint.iterations >= checkpoint.horizon)
+        break;
+      budget = grow_budget(budget, policy.budget_growth);
+      budget.cancel = token;
+      if (solver == JobSolver::kZeroSumLp || !r.captured) {
+        resume_next = false;
+        action = AttemptAction::kEnlarge;
+      } else {
+        resume_next = true;
+        action = AttemptAction::kResume;
+      }
+      continue;
+    }
+
+    // kNumericallyUnstable: rescale the tolerance once, then fall back.
+    if (!rescaled && solver != JobSolver::kZeroSumLp &&
+        policy.tolerance_scale > 0 && policy.tolerance_scale != 1.0) {
+      tolerance = tolerance * policy.tolerance_scale;
+      rescaled = true;
+      resume_next = false;
+      action = AttemptAction::kRescale;
+      continue;
+    }
+    if (policy.allow_fallback && !fell_back) {
+      const std::optional<JobSolver> alt = fallback_for(solver, job);
+      if (alt.has_value()) {
+        solver = *alt;
+        fell_back = true;
+        rescaled = false;
+        tolerance = job.tolerance;
+        budget = job.budget;
+        budget.cancel = token;
+        resume_next = false;
+        action = AttemptAction::kFallback;
+        continue;
+      }
+    }
+    break;
+  }
+
+  out.lower_bound = env_lo;
+  out.upper_bound = env_hi;
+  out.value = std::clamp(out.value, env_lo, env_hi);
+  out.fallback_used =
+      !out.attempts.empty() && out.attempts.back().solver != job.solver;
+  out.faults_injected = fctx.has_value() ? fctx->total_injected() : 0;
+  out.convergence_samples = recorder.samples().size();
+
+  if (config.metrics != nullptr) {
+    config.metrics->counter("engine.jobs").add(1);
+    if (!out.ok()) config.metrics->counter("engine.jobs_degraded").add(1);
+  }
+  if (config.tracer != nullptr) {
+    job_span.arg("status", std::string(to_string(out.status.code)));
+    job_span.arg("attempts",
+                 static_cast<std::uint64_t>(out.attempts.size()));
+    job_span.arg("value", out.value);
+  }
+  return out;
+}
+
+/// Minimal JSON string escaping for status messages and names.
+void append_json_string(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void append_json_double(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string JobResult::to_json() const {
+  std::string j = "{\"job\":" + std::to_string(job_index);
+  j += ",\"solver\":";
+  append_json_string(&j, engine::to_string(solver));
+  j += ",\"status\":";
+  append_json_string(&j, defender::to_string(status.code));
+  j += ",\"message\":";
+  append_json_string(&j, status.message);
+  j += ",\"value\":";
+  append_json_double(&j, value);
+  j += ",\"lower\":";
+  append_json_double(&j, lower_bound);
+  j += ",\"upper\":";
+  append_json_double(&j, upper_bound);
+  j += ",\"iterations\":" + std::to_string(iterations);
+  j += ",\"fallback\":" + std::string(fallback_used ? "true" : "false");
+  j += ",\"watchdog_killed\":" +
+       std::string(watchdog_killed ? "true" : "false");
+  j += ",\"faults\":" + std::to_string(faults_injected);
+  j += ",\"attempts\":[";
+  for (std::size_t i = 0; i < attempts.size(); ++i) {
+    const AttemptRecord& a = attempts[i];
+    if (i > 0) j += ',';
+    j += "{\"attempt\":" + std::to_string(a.attempt);
+    j += ",\"action\":";
+    append_json_string(&j, engine::to_string(a.action));
+    j += ",\"solver\":";
+    append_json_string(&j, engine::to_string(a.solver));
+    j += ",\"outcome\":";
+    append_json_string(&j, defender::to_string(a.outcome));
+    j += ",\"value\":";
+    append_json_double(&j, a.value);
+    j += ",\"lower\":";
+    append_json_double(&j, a.lower);
+    j += ",\"upper\":";
+    append_json_double(&j, a.upper);
+    j += ",\"iterations\":" + std::to_string(a.iterations);
+    j += '}';
+  }
+  j += "]}";
+  return j;
+}
+
+std::string BatchReport::to_jsonl() const {
+  std::string out;
+  for (const JobResult& r : results) {
+    out += r.to_json();
+    out += '\n';
+  }
+  return out;
+}
+
+SolveEngine::SolveEngine(EngineConfig config) : config_(std::move(config)) {}
+
+JobResult SolveEngine::run_serial(const SolveJob& job,
+                                  std::size_t job_index) const {
+  return run_ladder(job, job_index, nullptr, config_, /*allow_stall=*/false);
+}
+
+BatchReport SolveEngine::run(const std::vector<SolveJob>& jobs) {
+  using clock = std::chrono::steady_clock;
+  const clock::time_point batch_start = clock::now();
+
+  BatchReport report;
+  report.results.resize(jobs.size());
+  if (jobs.empty()) return report;
+
+  std::size_t workers = config_.workers;
+  if (workers == 0) {
+    const unsigned hc = std::thread::hardware_concurrency();
+    workers = hc == 0 ? 1 : hc;
+  }
+  workers = std::min(workers, jobs.size());
+  workers = std::max<std::size_t>(1, workers);
+
+  /// Watchdog registration slot: one per worker, mutex-guarded so the
+  /// watchdog's scan and the worker's job transitions never race.
+  struct Slot {
+    std::mutex mu;
+    bool active = false;
+    bool killed = false;
+    double deadline_seconds = 0;
+    clock::time_point start{};
+    CancelToken* token = nullptr;
+  };
+  std::vector<Slot> slots(workers);
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> inflight{0};
+  std::atomic<std::size_t> kills{0};
+  std::atomic<bool> stop{false};
+  obs::MetricsRegistry* metrics = config_.metrics;
+
+  const auto publish_gauges = [&]() {
+    if (metrics == nullptr) return;
+    const std::size_t claimed = std::min(next.load(), jobs.size());
+    metrics->gauge("engine.queue_depth")
+        .set(static_cast<double>(jobs.size() - claimed));
+    metrics->gauge("engine.inflight")
+        .set(static_cast<double>(inflight.load()));
+  };
+  publish_gauges();
+
+  bool any_watchdog = false;
+  for (const SolveJob& job : jobs)
+    if (job.watchdog_seconds > 0) any_watchdog = true;
+
+  std::thread watchdog;
+  if (any_watchdog) {
+    watchdog = std::thread([&]() {
+      // The watchdog reads the RAW steady clock: obs::Clock skew injected
+      // by a faulted job must never starve (or reprieve) another job.
+      while (!stop.load(std::memory_order_acquire)) {
+        for (Slot& slot : slots) {
+          std::lock_guard<std::mutex> lock(slot.mu);
+          if (slot.active && !slot.killed && slot.deadline_seconds > 0 &&
+              std::chrono::duration<double>(clock::now() - slot.start)
+                      .count() >= slot.deadline_seconds) {
+            slot.token->request_cancel();
+            slot.killed = true;
+            kills.fetch_add(1, std::memory_order_relaxed);
+            if (metrics != nullptr)
+              metrics->counter("engine.deadline_kills").add(1);
+          }
+        }
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            std::max(1e-4, config_.watchdog_poll_seconds)));
+      }
+    });
+  }
+
+  const auto worker_fn = [&](std::size_t worker_index) {
+    Slot& slot = slots[worker_index];
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) break;
+      inflight.fetch_add(1, std::memory_order_relaxed);
+      publish_gauges();
+
+      CancelToken token;
+      {
+        std::lock_guard<std::mutex> lock(slot.mu);
+        slot.active = true;
+        slot.killed = false;
+        slot.deadline_seconds = jobs[i].watchdog_seconds;
+        slot.start = clock::now();
+        slot.token = &token;
+      }
+      JobResult result =
+          run_ladder(jobs[i], i, &token, config_, /*allow_stall=*/true);
+      {
+        std::lock_guard<std::mutex> lock(slot.mu);
+        slot.active = false;
+        slot.token = nullptr;
+        result.watchdog_killed = slot.killed;
+      }
+      report.results[i] = std::move(result);
+
+      inflight.fetch_sub(1, std::memory_order_relaxed);
+      publish_gauges();
+    }
+  };
+
+  if (workers == 1) {
+    // Single-worker batches run inline: no pool thread, identical results.
+    worker_fn(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w)
+      pool.emplace_back(worker_fn, w);
+    for (std::thread& t : pool) t.join();
+  }
+
+  stop.store(true, std::memory_order_release);
+  if (watchdog.joinable()) watchdog.join();
+  publish_gauges();
+
+  for (const JobResult& r : report.results) {
+    if (r.ok()) ++report.completed;
+    else ++report.degraded;
+    if (!r.attempts.empty()) report.retries += r.attempts.size() - 1;
+    if (r.faults_injected > 0) ++report.faulted_jobs;
+  }
+  report.deadline_kills = kills.load();
+  report.elapsed_seconds =
+      std::chrono::duration<double>(clock::now() - batch_start).count();
+  return report;
+}
+
+std::string RetryPolicy::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "attempts=%zu,grow=%g,scale=%g,fallback=%s,backoff-ms=%g,"
+                "cap-ms=%g",
+                max_attempts, budget_growth, tolerance_scale,
+                allow_fallback ? "on" : "off", backoff_ms, backoff_cap_ms);
+  return buf;
+}
+
+Solved<RetryPolicy> RetryPolicy::try_parse(const std::string& spec) {
+  Solved<RetryPolicy> out;
+  RetryPolicy policy;
+  const auto fail = [&](const std::string& what) {
+    out.status = Status::make(StatusCode::kInvalidInput,
+                              "retry ladder spec: " + what);
+    return out;
+  };
+
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string token = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (token.empty()) continue;
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos)
+      return fail("token '" + token + "' is not key=value");
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (value.empty()) return fail("empty value for '" + key + "'");
+
+    const auto parse_double = [&](double* slot) {
+      char* parse_end = nullptr;
+      const double v = std::strtod(value.c_str(), &parse_end);
+      if (parse_end == nullptr || *parse_end != '\0' || !std::isfinite(v) ||
+          v < 0)
+        return false;
+      *slot = v;
+      return true;
+    };
+
+    if (key == "attempts") {
+      char* parse_end = nullptr;
+      const unsigned long long v =
+          std::strtoull(value.c_str(), &parse_end, 10);
+      if (parse_end == nullptr || *parse_end != '\0' || v == 0 ||
+          v > 1'000'000)
+        return fail("attempts must be an integer in [1, 1e6], got '" +
+                    value + "'");
+      policy.max_attempts = static_cast<std::size_t>(v);
+    } else if (key == "grow") {
+      if (!parse_double(&policy.budget_growth) || policy.budget_growth < 1.0)
+        return fail("grow must be a finite number >= 1, got '" + value + "'");
+    } else if (key == "scale") {
+      if (!parse_double(&policy.tolerance_scale) ||
+          policy.tolerance_scale <= 0)
+        return fail("scale must be a finite number > 0, got '" + value + "'");
+    } else if (key == "fallback") {
+      if (value == "on") policy.allow_fallback = true;
+      else if (value == "off") policy.allow_fallback = false;
+      else return fail("fallback must be on|off, got '" + value + "'");
+    } else if (key == "backoff-ms") {
+      if (!parse_double(&policy.backoff_ms))
+        return fail("backoff-ms must be a finite number >= 0, got '" +
+                    value + "'");
+    } else if (key == "cap-ms") {
+      if (!parse_double(&policy.backoff_cap_ms))
+        return fail("cap-ms must be a finite number >= 0, got '" + value +
+                    "'");
+    } else {
+      return fail("unknown key '" + key + "'");
+    }
+  }
+  out.result = policy;
+  out.status = Status::make_ok();
+  return out;
+}
+
+}  // namespace defender::engine

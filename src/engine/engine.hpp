@@ -1,0 +1,121 @@
+// Resilient batch solve engine: a thread pool with per-job isolation.
+//
+// SolveEngine runs a batch of independent SolveJobs across a worker pool
+// and guarantees (docs/ENGINE.md):
+//
+//   Isolation    each job gets its own CancelToken, FaultContext, and
+//                per-job ObsContext; a job that fails, stalls, or is
+//                fault-garbled degrades only its own JobResult (truthful
+//                Status, best-so-far bracket, attempt history) while the
+//                rest of the batch completes.
+//   Watchdog     jobs with watchdog_seconds > 0 are killed cooperatively
+//                when overdue. The watchdog reads the raw
+//                std::chrono::steady_clock — NOT obs::Clock — so injected
+//                clock skew (kClockSkew / kDeadlineStarve faults) can
+//                never starve another job's deadline.
+//   Retry        non-kOk attempts walk the RetryPolicy escalation ladder
+//                (retry.hpp): checkpoint-resume with enlarged budgets,
+//                tolerance rescale, cross-solver fallback, capped
+//                exponential backoff.
+//   Determinism  every JobResult field except elapsed timings is a pure
+//                function of the job: workers claim job indices from an
+//                atomic counter but write results into the job's own
+//                preallocated slot, jobs share no mutable solver state,
+//                and per-job fault/RNG decisions derive from the job's
+//                plan alone. A fixed batch yields bit-identical results
+//                at any worker count.
+//
+// The pool is exception-proof: a job that throws (hostile input tripping
+// DEF_REQUIRE, bad_alloc, ...) is caught on its worker and reported as
+// that job's Status — never a crashed batch.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/job.hpp"
+#include "engine/retry.hpp"
+#include "obs/context.hpp"
+
+namespace defender::engine {
+
+/// Engine-wide configuration; plain data.
+struct EngineConfig {
+  /// Worker threads. 0 = one per hardware thread; the pool never spawns
+  /// more workers than jobs.
+  std::size_t workers = 1;
+  RetryPolicy retry;
+  /// Watchdog scan interval. The watchdog thread only exists while a
+  /// batch containing watchdog-armed jobs is running.
+  double watchdog_poll_seconds = 0.005;
+  /// Shared, thread-safe observability sinks (optional). Each job still
+  /// gets its OWN ObsContext pointing at them, plus a per-job
+  /// ConvergenceRecorder when collect_convergence is set — never a shared
+  /// recorder.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Record per-job convergence samples (sample COUNT lands in
+  /// JobResult::convergence_samples; the samples themselves stay
+  /// job-local). Off by default: the null-obs solve path stays zero-cost.
+  bool collect_convergence = false;
+};
+
+/// Outcome of one run(): per-job results in submission order plus batch
+/// aggregates.
+struct BatchReport {
+  /// results[i] is jobs[i]'s outcome — submission order, regardless of
+  /// completion order.
+  std::vector<JobResult> results;
+  /// Jobs whose final status is kOk.
+  std::size_t completed = 0;
+  /// Jobs that finished degraded (any non-kOk final status).
+  std::size_t degraded = 0;
+  /// Ladder rungs beyond first attempts, summed over jobs.
+  std::size_t retries = 0;
+  /// Jobs the watchdog cancelled.
+  std::size_t deadline_kills = 0;
+  /// Jobs whose FaultContext injected at least one fault.
+  std::size_t faulted_jobs = 0;
+  /// Wall-clock seconds for the whole batch (non-deterministic).
+  double elapsed_seconds = 0;
+
+  /// One JobResult::to_json() line per job, newline-terminated — the
+  /// JobReport JSONL format the chaos harness uploads on an isolation
+  /// failure.
+  std::string to_jsonl() const;
+};
+
+/// The pool. Construct once, run() any number of batches sequentially;
+/// run() itself is synchronous and must not be called concurrently.
+class SolveEngine {
+ public:
+  explicit SolveEngine(EngineConfig config);
+
+  /// Runs the batch to completion and returns per-job results in
+  /// submission order. Never throws on job failure.
+  BatchReport run(const std::vector<SolveJob>& jobs);
+
+  /// Runs one job on the calling thread with the engine's ladder but no
+  /// watchdog — the serial reference the chaos harness compares pool
+  /// results against bit-for-bit.
+  JobResult run_serial(const SolveJob& job, std::size_t job_index) const;
+
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  EngineConfig config_;
+};
+
+/// Deterministic per-job seed derivation for batch builders: mixes a batch
+/// seed with the job index the same way the stress harness derives
+/// per-instance fault plans, so job i's schedule never depends on worker
+/// count or scheduling order.
+constexpr std::uint64_t derive_job_seed(std::uint64_t batch_seed,
+                                        std::size_t job_index) {
+  return batch_seed ^ (0x9e3779b97f4a7c15ULL *
+                       (static_cast<std::uint64_t>(job_index) + 1));
+}
+
+}  // namespace defender::engine

@@ -1,0 +1,217 @@
+// Batch solve jobs and their per-job results.
+//
+// A SolveJob is one independent equilibrium computation — a board, a
+// solver kind, a tolerance, and a per-attempt SolveBudget — submitted to
+// the SolveEngine pool (engine.hpp). A JobResult is the engine's truthful
+// account of what happened to that job: the final Status, the best
+// certified value bracket across all attempts, and the full attempt
+// history the retry ladder walked (docs/ENGINE.md).
+//
+// Determinism contract: every field of JobResult except elapsed timings
+// (Status::elapsed_seconds, AttemptRecord::elapsed_seconds,
+// BatchReport::elapsed_seconds) is a pure function of the job — never of
+// the worker count or scheduling order. The engine's determinism test
+// pins this for a fixed-seed 200-job batch at 1, 4, and 16 workers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/budget.hpp"
+#include "core/game.hpp"
+#include "core/status.hpp"
+#include "fault/fault.hpp"
+
+namespace defender::engine {
+
+/// Which solver a job runs. kZeroSumLp is the exact enumerate-and-simplex
+/// route (small E^k only); the rest are the iterative/budgeted loops.
+enum class JobSolver {
+  kDoubleOracle,
+  kWeightedDoubleOracle,
+  kFictitiousPlay,
+  kWeightedFictitiousPlay,
+  kHedge,
+  kZeroSumLp,
+};
+
+inline constexpr JobSolver kAllJobSolvers[] = {
+    JobSolver::kDoubleOracle,    JobSolver::kWeightedDoubleOracle,
+    JobSolver::kFictitiousPlay,  JobSolver::kWeightedFictitiousPlay,
+    JobSolver::kHedge,           JobSolver::kZeroSumLp,
+};
+inline constexpr std::size_t kJobSolverCount =
+    sizeof(kAllJobSolvers) / sizeof(kAllJobSolvers[0]);
+
+/// Stable name of a JobSolver (used in batch files and JSONL reports).
+constexpr const char* to_string(JobSolver solver) {
+  switch (solver) {
+    case JobSolver::kDoubleOracle: return "double-oracle";
+    case JobSolver::kWeightedDoubleOracle: return "weighted-double-oracle";
+    case JobSolver::kFictitiousPlay: return "fictitious-play";
+    case JobSolver::kWeightedFictitiousPlay: return "weighted-fictitious-play";
+    case JobSolver::kHedge: return "hedge";
+    case JobSolver::kZeroSumLp: return "zero-sum-lp";
+  }
+  return "unknown";
+}
+
+/// Parses a name produced by to_string; returns false (leaving `out`
+/// untouched) on an unknown name.
+constexpr bool try_parse_job_solver(std::string_view name, JobSolver* out) {
+  for (JobSolver s : kAllJobSolvers) {
+    if (name == to_string(s)) {
+      if (out != nullptr) *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace detail {
+/// Compile-time audit mirroring core/status.hpp: the table is dense and in
+/// enum order, and every name round-trips.
+constexpr bool job_solvers_round_trip() {
+  std::size_t i = 0;
+  for (JobSolver s : kAllJobSolvers) {
+    if (static_cast<std::size_t>(s) != i++) return false;
+    if (std::string_view(to_string(s)) == "unknown") return false;
+    JobSolver parsed{};
+    if (!try_parse_job_solver(to_string(s), &parsed) || parsed != s)
+      return false;
+  }
+  return true;
+}
+}  // namespace detail
+static_assert(kJobSolverCount ==
+                  static_cast<std::size_t>(JobSolver::kZeroSumLp) + 1,
+              "kAllJobSolvers must list every JobSolver");
+static_assert(detail::job_solvers_round_trip(),
+              "every JobSolver must round-trip through to_string / "
+              "try_parse_job_solver");
+
+/// True for the solvers that read SolveJob::weights.
+constexpr bool is_weighted(JobSolver solver) {
+  return solver == JobSolver::kWeightedDoubleOracle ||
+         solver == JobSolver::kWeightedFictitiousPlay;
+}
+
+/// One independent solve submitted to the engine.
+struct SolveJob {
+  explicit SolveJob(core::TupleGame g) : game(std::move(g)) {}
+
+  /// The board. TupleGame has value semantics, so jobs are self-contained.
+  core::TupleGame game;
+  JobSolver solver = JobSolver::kDoubleOracle;
+  /// Double-oracle tolerance / learning-dynamics target gap. The retry
+  /// ladder may scale it on a kNumericallyUnstable re-solve.
+  double tolerance = 1e-9;
+  /// Per-ATTEMPT effort cap. The ladder enlarges it on a resumed attempt.
+  /// For kHedge, max_iterations doubles as the round horizon (fixing the
+  /// learning rate) and must be > 0. The `cancel` field is ignored — the
+  /// engine owns each job's CancelToken.
+  SolveBudget budget;
+  /// Vertex weights for the weighted solvers; must have one entry per
+  /// vertex there, and be empty otherwise.
+  std::vector<double> weights;
+  /// Per-job fault schedule; an unarmed plan (all rates 0, the default)
+  /// skips FaultContext creation entirely so the job is bit-identical to a
+  /// fault-free solve.
+  fault::FaultPlan fault_plan;
+  /// Watchdog deadline in seconds for the WHOLE job (all attempts plus any
+  /// injected worker stall), measured on the raw std::chrono::steady_clock
+  /// so injected obs::Clock skew can never starve another job's watchdog.
+  /// 0 disables the watchdog for this job.
+  double watchdog_seconds = 0;
+};
+
+/// How an attempt came to run, in retry-ladder order.
+enum class AttemptAction {
+  /// First attempt, as submitted.
+  kInitial,
+  /// Re-solve from the previous attempt's checkpoint with an enlarged
+  /// budget (budget exhaustion on a resumable solver).
+  kResume,
+  /// Fresh re-solve with an enlarged budget (kZeroSumLp, which has no
+  /// checkpoint to resume).
+  kEnlarge,
+  /// Fresh re-solve with the tolerance scaled by RetryPolicy (numerical
+  /// instability).
+  kRescale,
+  /// Fresh re-solve on the fallback solver (persistent instability).
+  kFallback,
+};
+
+constexpr const char* to_string(AttemptAction action) {
+  switch (action) {
+    case AttemptAction::kInitial: return "initial";
+    case AttemptAction::kResume: return "resume";
+    case AttemptAction::kEnlarge: return "enlarge";
+    case AttemptAction::kRescale: return "rescale";
+    case AttemptAction::kFallback: return "fallback";
+  }
+  return "unknown";
+}
+
+/// One rung of the ladder: what ran and what it certified.
+struct AttemptRecord {
+  /// 1-based attempt number within the job.
+  std::size_t attempt = 0;
+  AttemptAction action = AttemptAction::kInitial;
+  /// Solver this attempt actually ran (differs from the job's after a
+  /// fallback).
+  JobSolver solver = JobSolver::kDoubleOracle;
+  StatusCode outcome = StatusCode::kOk;
+  double value = 0;
+  double lower = 0;
+  double upper = 0;
+  /// Cumulative iterations reported by this attempt's Status.
+  std::size_t iterations = 0;
+  /// Wall-clock seconds this attempt took (non-deterministic; excluded
+  /// from the determinism contract).
+  double elapsed_seconds = 0;
+};
+
+/// The engine's truthful account of one job.
+struct JobResult {
+  std::size_t job_index = 0;
+  /// The solver the job asked for (attempt history records fallbacks).
+  JobSolver solver = JobSolver::kDoubleOracle;
+  /// Final status: the last attempt's, verbatim. Non-kOk never hides —
+  /// a degraded job reports exactly how far it got.
+  Status status;
+  /// Best value estimate, clamped into [lower_bound, upper_bound].
+  double value = 0;
+  /// Intersection of the certified brackets of all attempts — each
+  /// attempt's bracket is sound, so the intersection is the tightest
+  /// truthful envelope. Contains the fault-free game value even for a
+  /// fault-garbled job (the solvers' guards keep every bracket sound).
+  double lower_bound = 0;
+  double upper_bound = 1;
+  /// Iterations of the final attempt (cumulative across resumed segments).
+  std::size_t iterations = 0;
+  /// Rungs of the retry ladder actually walked.
+  std::vector<AttemptRecord> attempts;
+  /// True when the final answer came from a fallback solver.
+  bool fallback_used = false;
+  /// True when the engine watchdog cancelled this job.
+  bool watchdog_killed = false;
+  /// Faults injected by this job's FaultContext (0 when the plan is
+  /// unarmed).
+  std::uint64_t faults_injected = 0;
+  /// Convergence samples the job's per-job recorder captured (0 unless
+  /// EngineConfig::collect_convergence).
+  std::size_t convergence_samples = 0;
+
+  bool ok() const { return status.ok(); }
+
+  /// One JSON object (single line, no trailing newline) for JobReport
+  /// JSONL dumps: index, solver, status, bracket, attempts.
+  std::string to_json() const;
+};
+
+}  // namespace defender::engine

@@ -1,0 +1,80 @@
+// Declarative retry / escalation ladder for engine jobs.
+//
+// The ladder maps each non-kOk attempt outcome to the next attempt's
+// shape (docs/ENGINE.md has the full transition table):
+//
+//   kIterationLimit /    resume from the attempt's SolverCheckpoint with
+//   kDeadlineExceeded    the budget scaled by `budget_growth` (kZeroSumLp,
+//                        which has no checkpoint, re-solves from scratch
+//                        with the enlarged pivot budget); Hedge stops
+//                        resuming once its fixed round horizon is reached —
+//                        the horizon pins the learning rate, so growing the
+//                        budget past it cannot improve the answer.
+//   kNumericallyUnstable first re-solve with the tolerance scaled by
+//                        `tolerance_scale` (the double oracle's stall
+//                        detector fires exactly when the requested
+//                        tolerance sits below the simplex's numerical
+//                        floor), then fall back to an independent solver:
+//                        simplex -> double oracle, double oracle -> exact
+//                        LP (when E^k is enumerable), learning dynamics ->
+//                        double oracle.
+//   kCancelled /         terminal: a watchdog kill is a truthful outcome,
+//   kInfeasible /        and invalid input cannot become valid by
+//   kInvalidInput        retrying.
+//
+// Between attempts the engine sleeps an exponentially growing, capped
+// backoff (0 by default — determinism tests and batch throughput want
+// none; a serving deployment sharing a machine may want some).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/status.hpp"
+
+namespace defender::engine {
+
+/// Tuning knobs of the escalation ladder; plain data, safe to share.
+struct RetryPolicy {
+  /// Total attempts a job may consume, counting the first (>= 1).
+  std::size_t max_attempts = 3;
+  /// Budget multiplier applied to max_iterations / wall_clock_seconds on a
+  /// resumed or enlarged attempt.
+  double budget_growth = 4.0;
+  /// Tolerance multiplier for the kNumericallyUnstable re-solve rung.
+  double tolerance_scale = 10.0;
+  /// Allow the cross-solver fallback rung.
+  bool allow_fallback = true;
+  /// First backoff in milliseconds (0 disables backoff entirely).
+  double backoff_ms = 0;
+  /// Cap on the exponentially growing backoff.
+  double backoff_cap_ms = 1000.0;
+
+  /// Backoff before attempt `attempt` (2-based: no sleep before the
+  /// first), exponentially grown and capped.
+  double backoff_before_attempt_ms(std::size_t attempt) const {
+    if (backoff_ms <= 0 || attempt < 2) return 0;
+    double b = backoff_ms;
+    for (std::size_t i = 2; i < attempt && b < backoff_cap_ms; ++i) b *= 2;
+    return b < backoff_cap_ms ? b : backoff_cap_ms;
+  }
+
+  /// A ladder with no retries at all: one attempt, no fallback.
+  static RetryPolicy none() {
+    RetryPolicy p;
+    p.max_attempts = 1;
+    p.allow_fallback = false;
+    return p;
+  }
+
+  /// "attempts=3,grow=4,scale=10,fallback=on,backoff-ms=0,cap-ms=1000" —
+  /// the CLI's --retry-ladder serialization.
+  std::string to_string() const;
+
+  /// Hardened parse of to_string() output (any subset of keys, any
+  /// order). Unknown keys, malformed numbers, and out-of-range values
+  /// come back as kInvalidInput naming the offending token.
+  static Solved<RetryPolicy> try_parse(const std::string& spec);
+};
+
+}  // namespace defender::engine

@@ -30,6 +30,10 @@
 //                     monotonic clamp absorbs it (and counts it).
 //   kDeadlineStarve   injects forward skew into obs::Clock, starving any
 //                     wall-clock deadline mid-solve.
+//   kWorkerStall      stalls an engine worker before it starts a job's
+//                     solve, so the engine watchdog must kill and degrade
+//                     that job while the rest of the batch proceeds
+//                     (evaluated by src/engine, not the solvers).
 //
 // Every decision is a pure function of (plan seed, site, per-site call
 // counter), so a fault schedule is fully described by its plan — a failing
@@ -57,6 +61,7 @@ enum class FaultSite {
   kLpForceUnstable,
   kClockSkew,
   kDeadlineStarve,
+  kWorkerStall,
 };
 
 inline constexpr FaultSite kAllFaultSites[] = {
@@ -64,6 +69,7 @@ inline constexpr FaultSite kAllFaultSites[] = {
     FaultSite::kOracleGarble,    FaultSite::kMassPerturb,
     FaultSite::kLpPivotPerturb,  FaultSite::kLpForceUnstable,
     FaultSite::kClockSkew,       FaultSite::kDeadlineStarve,
+    FaultSite::kWorkerStall,
 };
 inline constexpr std::size_t kFaultSiteCount =
     sizeof(kAllFaultSites) / sizeof(kAllFaultSites[0]);
@@ -79,6 +85,7 @@ constexpr const char* to_string(FaultSite site) {
     case FaultSite::kLpForceUnstable: return "lp-force-unstable";
     case FaultSite::kClockSkew: return "clock-skew";
     case FaultSite::kDeadlineStarve: return "deadline-starve";
+    case FaultSite::kWorkerStall: return "worker-stall";
   }
   return "unknown";
 }
@@ -112,7 +119,7 @@ constexpr bool fault_sites_round_trip() {
 }
 }  // namespace detail
 static_assert(kFaultSiteCount ==
-                  static_cast<std::size_t>(FaultSite::kDeadlineStarve) + 1,
+                  static_cast<std::size_t>(FaultSite::kWorkerStall) + 1,
               "kAllFaultSites must list every FaultSite");
 static_assert(detail::fault_sites_round_trip(),
               "every FaultSite must round-trip through to_string / "

@@ -85,6 +85,7 @@ Solved<MatrixGameSolution> solve_matrix_game_budgeted(
   options.deadline_seconds = budget.wall_clock_seconds;
   options.obs = obs;
   options.fault = fault;
+  options.cancel = budget.cancel;
   LpSolution lp = solve_max(a, b, c, options);
 
   Solved<MatrixGameSolution> out;
@@ -111,11 +112,22 @@ Solved<MatrixGameSolution> solve_matrix_game_budgeted(
       }
       break;
     case LpStatus::kIterationLimit:
-      out.status = Status::make(
-          meter.deadline_exceeded() ? StatusCode::kDeadlineExceeded
-                                    : StatusCode::kIterationLimit,
-          "simplex pivot budget exhausted; returning security-level bounds",
-          lp.pivots, gap, meter.elapsed_seconds());
+      // The pivot loop stops for three distinct reasons; keep the status
+      // truthful: cancellation first (the latch is explicit), then the
+      // deadline, then the pivot cap.
+      if (budget.cancel != nullptr && budget.cancel->cancelled()) {
+        out.status = Status::make(
+            StatusCode::kCancelled,
+            "simplex cancelled mid-pivot; returning security-level bounds",
+            lp.pivots, gap, meter.elapsed_seconds());
+      } else {
+        out.status = Status::make(
+            meter.deadline_exceeded() ? StatusCode::kDeadlineExceeded
+                                      : StatusCode::kIterationLimit,
+            "simplex pivot budget exhausted; returning security-level "
+            "bounds",
+            lp.pivots, gap, meter.elapsed_seconds());
+      }
       break;
     case LpStatus::kNumericallyUnstable:
       out.status = Status::make(

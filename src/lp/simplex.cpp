@@ -25,9 +25,11 @@ class Tableau {
   /// re-solve so tiny, round-off-amplifying pivots are rejected).
   Tableau(const Matrix& a, std::span<const double> b,
           std::span<const double> c, double eps, double ratio_eps,
-          std::size_t max_pivots, double deadline_seconds)
+          std::size_t max_pivots, double deadline_seconds,
+          CancelToken* cancel)
       : m_(a.rows()), n_(a.cols()), eps_(eps), ratio_eps_(ratio_eps),
-        max_pivots_(max_pivots), deadline_seconds_(deadline_seconds) {
+        max_pivots_(max_pivots), deadline_seconds_(deadline_seconds),
+        cancel_(cancel) {
     // Column layout: [0, n) structural, [n, n+m) slack,
     // [n+m, n+m+num_art) artificial, last column rhs.
     num_art_ = 0;
@@ -125,6 +127,10 @@ class Tableau {
     // Poll the clock sparsely; pivots dominate the cost anyway.
     if (deadline_seconds_ > 0 && pivots_ % 16 == 0 &&
         obs::Clock::seconds_since(start_us_) >= deadline_seconds_)
+      return true;
+    // Cancellation latch on the same stride (flag read only; the
+    // countdown poll belongs to the outer solver loop).
+    if (cancel_ != nullptr && pivots_ % 16 == 0 && cancel_->cancelled())
       return true;
     return false;
   }
@@ -244,6 +250,7 @@ class Tableau {
   double ratio_eps_;
   std::size_t max_pivots_;
   double deadline_seconds_;
+  CancelToken* cancel_ = nullptr;
   obs::Clock::Micros start_us_ = obs::Clock::now_micros();
   std::size_t pivots_ = 0;
   bool infeasible_ = false;
@@ -258,7 +265,7 @@ LpSolution run_simplex(const Matrix& a, std::span<const double> b,
                        std::span<const double> c,
                        const SimplexOptions& options, double ratio_eps) {
   Tableau tab(a, b, c, options.pivot_tolerance, ratio_eps,
-              options.max_pivots, options.deadline_seconds);
+              options.max_pivots, options.deadline_seconds, options.cancel);
   const IterateOutcome p1 = tab.phase1();
   if (p1 == IterateOutcome::kBudget) {
     LpSolution s = tab.extract();

@@ -24,6 +24,7 @@
 #include <span>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "lp/dense_matrix.hpp"
 #include "obs/context.hpp"
 
@@ -84,6 +85,12 @@ struct SimplexOptions {
   /// residuals pass, driving the kNumericallyUnstable path). Null (the
   /// default) costs one branch per site and leaves results bit-identical.
   fault::FaultContext* fault = nullptr;
+  /// Optional cooperative cancellation: the latch is read (never polled —
+  /// the countdown belongs to the outer solver loop) on the same sparse
+  /// stride as the deadline check; a fired token stops the pivot loop with
+  /// kIterationLimit and the best tableau reached. Null costs one pointer
+  /// compare per stride.
+  CancelToken* cancel = nullptr;
 };
 
 /// Solution of `maximize c^T x s.t. Ax <= b, x >= 0`.

@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 namespace defender::obs {
@@ -33,15 +34,35 @@ struct IterationSample {
   double elapsed_seconds = 0;
 };
 
-/// Append-only sample log for one solve. Not thread-safe: one recorder per
-/// solve, owned by the caller that installed the ObsContext.
+/// Append-only sample log. record() is safe to call from concurrent solves
+/// sharing one recorder (a mutex guards the append — the engine gives each
+/// job its own recorder, but shared use must not tear). The read side
+/// (samples(), monotonically_narrowing(), ...) is NOT synchronized against
+/// concurrent writers: read only after the writing solves finished, or take
+/// snapshot() for a consistent copy mid-run.
 class ConvergenceRecorder {
  public:
-  void record(const IterationSample& sample) { samples_.push_back(sample); }
+  ConvergenceRecorder() = default;
+  ConvergenceRecorder(const ConvergenceRecorder&) = delete;
+  ConvergenceRecorder& operator=(const ConvergenceRecorder&) = delete;
+
+  void record(const IterationSample& sample) {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples_.push_back(sample);
+  }
 
   const std::vector<IterationSample>& samples() const { return samples_; }
   bool empty() const { return samples_.empty(); }
-  void clear() { samples_.clear(); }
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples_.clear();
+  }
+
+  /// Consistent copy of the samples, safe against concurrent record()s.
+  std::vector<IterationSample> snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return samples_;
+  }
 
   /// True when the recorded bracket never widens: lower bounds
   /// non-decreasing and upper bounds non-increasing (within `slack`).
@@ -54,6 +75,7 @@ class ConvergenceRecorder {
   }
 
  private:
+  mutable std::mutex mu_;
   std::vector<IterationSample> samples_;
 };
 

@@ -58,6 +58,9 @@ Status finish_status(StatusCode code, std::size_t rounds, double gap,
   const char* what = code == StatusCode::kDeadlineExceeded
                          ? "fictitious play wall-clock deadline expired; "
                            "returning best-so-far certified bounds"
+                     : code == StatusCode::kCancelled
+                         ? "fictitious play cancelled; returning "
+                           "best-so-far certified bounds"
                          : "fictitious play round budget exhausted before "
                            "the target gap; returning best-so-far bounds";
   return Status::make(code, what, rounds, gap, elapsed);
@@ -250,6 +253,10 @@ Solved<FictitiousPlayResult> weighted_fictitious_play_resumable(
       code = StatusCode::kDeadlineExceeded;
       break;
     }
+    if (round > 0 && meter.cancel_requested()) {
+      code = StatusCode::kCancelled;
+      break;
+    }
     ++round;
     ++segment;
     meter.charge_iteration();
@@ -428,6 +435,10 @@ Solved<FictitiousPlayResult> fictitious_play_resumable(
     }
     if (round > 0 && meter.deadline_exceeded()) {
       code = StatusCode::kDeadlineExceeded;
+      break;
+    }
+    if (round > 0 && meter.cancel_requested()) {
+      code = StatusCode::kCancelled;
       break;
     }
     ++round;

@@ -181,6 +181,10 @@ Solved<HedgeResult> hedge_dynamics_resumable(
       code = StatusCode::kDeadlineExceeded;
       break;
     }
+    if (round > 0 && meter.cancel_requested()) {
+      code = StatusCode::kCancelled;
+      break;
+    }
     ++round;
     ++segment;
     meter.charge_iteration();
@@ -268,6 +272,8 @@ Solved<HedgeResult> hedge_dynamics_resumable(
         code == StatusCode::kDeadlineExceeded
             ? "hedge wall-clock deadline expired; returning "
               "best-so-far certified bounds"
+        : code == StatusCode::kCancelled
+            ? "hedge cancelled; returning best-so-far certified bounds"
             : round >= horizon
                   ? "hedge horizon exhausted before the target "
                     "gap; returning best-so-far bounds"

@@ -1,0 +1,140 @@
+// The engine's determinism contract: a fixed-seed 200-job batch — mixed
+// solvers, mixed boards, a third of the jobs running under armed fault
+// plans — produces bit-identical JobResults at 1, 4, and 16 workers.
+// Everything except wall-clock elapsed fields must be a pure function of
+// the job, never of scheduling order (docs/ENGINE.md).
+#include "engine/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/budget.hpp"
+#include "core/game.hpp"
+#include "engine/job.hpp"
+#include "fault/fault.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+
+namespace defender::engine {
+namespace {
+
+constexpr std::uint64_t kBatchSeed = 0xD5FEu;
+constexpr std::size_t kJobs = 200;
+
+graph::Graph board_for(std::size_t i) {
+  switch (i % 5) {
+    case 0: return graph::cycle_graph(6 + i % 5);
+    case 1: return graph::path_graph(6 + i % 4);
+    case 2: return graph::grid_graph(3, 3);
+    case 3: return graph::wheel_graph(5 + i % 4);
+    default: return graph::complete_bipartite(3, 3 + i % 3);
+  }
+}
+
+std::vector<SolveJob> build_batch() {
+  std::vector<SolveJob> jobs;
+  jobs.reserve(kJobs);
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    const std::uint64_t seed = derive_job_seed(kBatchSeed, i);
+    SolveJob job{core::TupleGame(board_for(i), 2, 1)};
+    job.solver = kAllJobSolvers[i % kJobSolverCount];
+    // Iteration-only budgets: a faulted job can skew the shared obs::Clock,
+    // so wall-clock budgets are the one knob that would break determinism.
+    job.budget = SolveBudget::iterations(60);
+    job.tolerance =
+        (job.solver == JobSolver::kDoubleOracle ||
+         job.solver == JobSolver::kWeightedDoubleOracle ||
+         job.solver == JobSolver::kZeroSumLp)
+            ? 1e-9
+            : 1e-2;
+    if (is_weighted(job.solver)) {
+      const std::size_t n = job.game.graph().num_vertices();
+      for (std::size_t v = 0; v < n; ++v)
+        job.weights.push_back(1.0 +
+                              static_cast<double>((seed >> (v % 48)) & 7) / 8.0);
+    }
+    if (i % 3 == 0) {
+      job.fault_plan.seed = seed;
+      job.fault_plan.set_all(0.05);
+    }
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+void expect_identical(const JobResult& a, const JobResult& b,
+                      std::size_t workers) {
+  EXPECT_EQ(a.status.code, b.status.code) << "job " << a.job_index
+                                          << " @" << workers << " workers";
+  EXPECT_EQ(a.status.message, b.status.message) << "job " << a.job_index;
+  EXPECT_EQ(a.status.iterations, b.status.iterations) << "job " << a.job_index;
+  EXPECT_EQ(a.status.residual, b.status.residual) << "job " << a.job_index;
+  EXPECT_EQ(a.value, b.value) << "job " << a.job_index;
+  EXPECT_EQ(a.lower_bound, b.lower_bound) << "job " << a.job_index;
+  EXPECT_EQ(a.upper_bound, b.upper_bound) << "job " << a.job_index;
+  EXPECT_EQ(a.iterations, b.iterations) << "job " << a.job_index;
+  EXPECT_EQ(a.fallback_used, b.fallback_used) << "job " << a.job_index;
+  EXPECT_EQ(a.watchdog_killed, b.watchdog_killed) << "job " << a.job_index;
+  EXPECT_EQ(a.faults_injected, b.faults_injected) << "job " << a.job_index;
+  EXPECT_EQ(a.convergence_samples, b.convergence_samples)
+      << "job " << a.job_index;
+  ASSERT_EQ(a.attempts.size(), b.attempts.size()) << "job " << a.job_index;
+  for (std::size_t r = 0; r < a.attempts.size(); ++r) {
+    EXPECT_EQ(a.attempts[r].attempt, b.attempts[r].attempt);
+    EXPECT_EQ(a.attempts[r].action, b.attempts[r].action);
+    EXPECT_EQ(a.attempts[r].solver, b.attempts[r].solver);
+    EXPECT_EQ(a.attempts[r].outcome, b.attempts[r].outcome);
+    EXPECT_EQ(a.attempts[r].value, b.attempts[r].value)
+        << "job " << a.job_index << " attempt " << r;
+    EXPECT_EQ(a.attempts[r].lower, b.attempts[r].lower);
+    EXPECT_EQ(a.attempts[r].upper, b.attempts[r].upper);
+    EXPECT_EQ(a.attempts[r].iterations, b.attempts[r].iterations);
+    // elapsed_seconds deliberately exempt: wall time is not deterministic.
+  }
+}
+
+TEST(EngineDeterminism, TwoHundredJobBatchIsWorkerCountInvariant) {
+  const std::vector<SolveJob> jobs = build_batch();
+
+  BatchReport reference;
+  for (std::size_t workers : {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+    EngineConfig config;
+    config.workers = workers;
+    SolveEngine engine(config);
+    BatchReport report = engine.run(jobs);
+    ASSERT_EQ(report.results.size(), kJobs);
+
+    if (workers == 1) {
+      reference = std::move(report);
+      // Sanity: the fixed seed arms about a third of the jobs and at least
+      // some plans actually fire.
+      EXPECT_GT(reference.faulted_jobs, 0u);
+      EXPECT_GT(reference.completed, kJobs / 2);
+      continue;
+    }
+    EXPECT_EQ(report.completed, reference.completed);
+    EXPECT_EQ(report.degraded, reference.degraded);
+    EXPECT_EQ(report.retries, reference.retries);
+    EXPECT_EQ(report.faulted_jobs, reference.faulted_jobs);
+    EXPECT_EQ(report.deadline_kills, 0u);
+    for (std::size_t i = 0; i < kJobs; ++i)
+      expect_identical(report.results[i], reference.results[i], workers);
+  }
+}
+
+TEST(EngineDeterminism, PoolMatchesSerialReferenceJobByJob) {
+  // run_serial is the isolation harness's reference; the pool must agree
+  // with it on every non-elapsed field even for fault-armed jobs.
+  const std::vector<SolveJob> jobs = build_batch();
+  EngineConfig config;
+  config.workers = 8;
+  SolveEngine engine(config);
+  const BatchReport report = engine.run(jobs);
+  for (std::size_t i = 0; i < jobs.size(); i += 17)
+    expect_identical(report.results[i], engine.run_serial(jobs[i], i), 8);
+}
+
+}  // namespace
+}  // namespace defender::engine

@@ -14,12 +14,14 @@
 //    horizon is rejected as kInvalidInput instead of corrupting a solve.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/budget.hpp"
+#include "core/cancel.hpp"
 #include "core/checkpoint.hpp"
 #include "core/double_oracle.hpp"
 #include "core/game.hpp"
@@ -416,6 +418,211 @@ TEST(ResumeValidation, MismatchesAreRejectedAsInvalidInput) {
   const auto mismatch = sim::hedge_dynamics_resumable(
       hg, 50, SolveBudget::iterations(10), 1e-9, hresume);
   EXPECT_EQ(mismatch.status.code, StatusCode::kInvalidInput);
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation + resume: cancelling any of the five solvers mid-run via a
+// CancelToken (the engine watchdog's kill path) yields kCancelled with a
+// resumable checkpoint; resuming without the token reproduces the
+// uninterrupted run's status and value bit for bit. Tokens count POLLS,
+// and only the outer solver loops poll, so cancel_after_polls maps
+// deterministically onto outer iterations.
+
+/// One budget with a cancel token attached.
+SolveBudget cancellable(SolveBudget budget, CancelToken* token) {
+  budget.cancel = token;
+  return budget;
+}
+
+TEST(CancelResume, DoubleOracleResumesAfterCancellation) {
+  const core::TupleGame game(graph::petersen_graph(), 3, 1);
+  const auto full = core::solve_double_oracle_resumable(
+      game, 1e-9, SolveBudget::iterations(100), core::ResumeHooks{});
+  ASSERT_TRUE(full.ok()) << full.status.to_string();
+  ASSERT_GT(full.result.iterations, 3u);
+
+  for (std::uint64_t kill_at : {std::uint64_t{1}, std::uint64_t{3}}) {
+    CancelToken token;
+    token.cancel_after_polls(kill_at);
+    core::SolverCheckpoint cp;
+    core::ResumeHooks capture;
+    capture.capture = &cp;
+    const auto cancelled = core::solve_double_oracle_resumable(
+        game, 1e-9, cancellable(SolveBudget::iterations(100), &token),
+        capture);
+    ASSERT_EQ(cancelled.status.code, StatusCode::kCancelled)
+        << cancelled.status.to_string();
+    EXPECT_TRUE(token.cancelled());
+    // A cancelled solve still certifies a sound (possibly loose) bracket.
+    EXPECT_LE(cancelled.result.lower_bound, full.result.value + 1e-12);
+    EXPECT_GE(cancelled.result.upper_bound, full.result.value - 1e-12);
+
+    const core::SolverCheckpoint restored = through_text(cp);
+    core::ResumeHooks resume;
+    resume.resume = &restored;
+    const auto resumed = core::solve_double_oracle_resumable(
+        game, 1e-9, SolveBudget::iterations(100), resume);
+    EXPECT_EQ(resumed.status.code, full.status.code);
+    EXPECT_EQ(resumed.result.iterations, full.result.iterations);
+    EXPECT_EQ(resumed.result.value, full.result.value);
+    EXPECT_EQ(resumed.result.lower_bound, full.result.lower_bound);
+    EXPECT_EQ(resumed.result.upper_bound, full.result.upper_bound);
+  }
+}
+
+TEST(CancelResume, WeightedDoubleOracleResumesAfterCancellation) {
+  const core::TupleGame game(graph::grid_graph(3, 3), 2, 1);
+  std::vector<double> weights(game.graph().num_vertices());
+  for (std::size_t v = 0; v < weights.size(); ++v)
+    weights[v] = 1.0 + 0.25 * static_cast<double>(v % 4);
+
+  const auto full = core::solve_weighted_double_oracle_resumable(
+      game, weights, 1e-9, SolveBudget::iterations(100), core::ResumeHooks{});
+  ASSERT_TRUE(full.ok()) << full.status.to_string();
+
+  CancelToken token;
+  token.cancel_after_polls(2);
+  core::SolverCheckpoint cp;
+  core::ResumeHooks capture;
+  capture.capture = &cp;
+  const auto cancelled = core::solve_weighted_double_oracle_resumable(
+      game, weights, 1e-9, cancellable(SolveBudget::iterations(100), &token),
+      capture);
+  ASSERT_EQ(cancelled.status.code, StatusCode::kCancelled);
+
+  const core::SolverCheckpoint restored = through_text(cp);
+  core::ResumeHooks resume;
+  resume.resume = &restored;
+  const auto resumed = core::solve_weighted_double_oracle_resumable(
+      game, weights, 1e-9, SolveBudget::iterations(100), resume);
+  EXPECT_EQ(resumed.status.code, full.status.code);
+  EXPECT_EQ(resumed.result.iterations, full.result.iterations);
+  EXPECT_EQ(resumed.result.value, full.result.value);
+  EXPECT_EQ(resumed.result.lower_bound, full.result.lower_bound);
+  EXPECT_EQ(resumed.result.upper_bound, full.result.upper_bound);
+}
+
+TEST(CancelResume, FictitiousPlayResumesAfterCancellation) {
+  const core::TupleGame game(graph::grid_graph(3, 4), 2, 1);
+  const double target = 1e-9;
+  const auto full = sim::fictitious_play_resumable(
+      game, SolveBudget::iterations(120), target, core::ResumeHooks{});
+  ASSERT_EQ(full.status.code, StatusCode::kIterationLimit);
+
+  CancelToken token;
+  token.cancel_after_polls(40);
+  core::SolverCheckpoint cp;
+  core::ResumeHooks capture;
+  capture.capture = &cp;
+  const auto cancelled = sim::fictitious_play_resumable(
+      game, cancellable(SolveBudget::iterations(120), &token), target,
+      capture);
+  ASSERT_EQ(cancelled.status.code, StatusCode::kCancelled)
+      << cancelled.status.to_string();
+  ASSERT_LT(cp.iterations, 120u);
+
+  const core::SolverCheckpoint restored = through_text(cp);
+  core::ResumeHooks resume;
+  resume.resume = &restored;
+  const auto resumed = sim::fictitious_play_resumable(
+      game, SolveBudget::iterations(120 - restored.iterations), target,
+      resume);
+  EXPECT_EQ(resumed.status.code, full.status.code);
+  EXPECT_EQ(resumed.result.rounds, full.result.rounds);
+  EXPECT_EQ(resumed.result.value_estimate, full.result.value_estimate);
+  EXPECT_EQ(resumed.result.gap, full.result.gap);
+  EXPECT_EQ(resumed.result.attacker_frequency,
+            full.result.attacker_frequency);
+}
+
+TEST(CancelResume, WeightedFictitiousPlayResumesAfterCancellation) {
+  const core::TupleGame game(graph::grid_graph(3, 3), 2, 1);
+  std::vector<double> weights(game.graph().num_vertices());
+  for (std::size_t v = 0; v < weights.size(); ++v)
+    weights[v] = 1.0 + 0.5 * static_cast<double>(v % 3);
+  const double target = 1e-9;
+
+  const auto full = sim::weighted_fictitious_play_resumable(
+      game, weights, SolveBudget::iterations(90), target,
+      core::ResumeHooks{});
+  ASSERT_EQ(full.status.code, StatusCode::kIterationLimit);
+
+  CancelToken token;
+  token.cancel_after_polls(25);
+  core::SolverCheckpoint cp;
+  core::ResumeHooks capture;
+  capture.capture = &cp;
+  const auto cancelled = sim::weighted_fictitious_play_resumable(
+      game, weights, cancellable(SolveBudget::iterations(90), &token),
+      target, capture);
+  ASSERT_EQ(cancelled.status.code, StatusCode::kCancelled);
+
+  const core::SolverCheckpoint restored = through_text(cp);
+  core::ResumeHooks resume;
+  resume.resume = &restored;
+  const auto resumed = sim::weighted_fictitious_play_resumable(
+      game, weights, SolveBudget::iterations(90 - restored.iterations),
+      target, resume);
+  EXPECT_EQ(resumed.status.code, full.status.code);
+  EXPECT_EQ(resumed.result.rounds, full.result.rounds);
+  EXPECT_EQ(resumed.result.value_estimate, full.result.value_estimate);
+  EXPECT_EQ(resumed.result.gap, full.result.gap);
+}
+
+TEST(CancelResume, HedgeResumesAfterCancellation) {
+  const core::TupleGame game(graph::grid_graph(3, 4), 2, 1);
+  const std::size_t horizon = 100;
+  const double target = 1e-9;
+
+  const auto full = sim::hedge_dynamics_resumable(
+      game, horizon, SolveBudget::unlimited_budget(), target,
+      core::ResumeHooks{});
+  ASSERT_EQ(full.status.code, StatusCode::kIterationLimit);
+  ASSERT_EQ(full.result.rounds, horizon);
+
+  CancelToken token;
+  token.cancel_after_polls(33);
+  core::SolverCheckpoint cp;
+  core::ResumeHooks capture;
+  capture.capture = &cp;
+  const auto cancelled = sim::hedge_dynamics_resumable(
+      game, horizon, cancellable(SolveBudget::unlimited_budget(), &token),
+      target, capture);
+  ASSERT_EQ(cancelled.status.code, StatusCode::kCancelled)
+      << cancelled.status.to_string();
+  EXPECT_EQ(cp.horizon, horizon);
+  ASSERT_LT(cp.iterations, horizon);
+
+  const core::SolverCheckpoint restored = through_text(cp);
+  core::ResumeHooks resume;
+  resume.resume = &restored;
+  // Same horizon => same eta => the cancelled trajectory continues
+  // bit-exactly to the same final answer.
+  const auto resumed = sim::hedge_dynamics_resumable(
+      game, horizon, SolveBudget::unlimited_budget(), target, resume);
+  EXPECT_EQ(resumed.status.code, full.status.code);
+  EXPECT_EQ(resumed.result.rounds, full.result.rounds);
+  EXPECT_EQ(resumed.result.value_estimate, full.result.value_estimate);
+  EXPECT_EQ(resumed.result.gap, full.result.gap);
+  EXPECT_EQ(resumed.result.attacker_average, full.result.attacker_average);
+}
+
+TEST(CancelResume, AlreadyCancelledTokenStopsAtTheFirstPoll) {
+  const core::TupleGame game(graph::petersen_graph(), 3, 1);
+  CancelToken token;
+  token.request_cancel();
+  core::SolverCheckpoint cp;
+  core::ResumeHooks capture;
+  capture.capture = &cp;
+  const auto cancelled = core::solve_double_oracle_resumable(
+      game, 1e-9, cancellable(SolveBudget::iterations(100), &token), capture);
+  EXPECT_EQ(cancelled.status.code, StatusCode::kCancelled);
+  // Even the immediate kill leaves a valid, resumable checkpoint.
+  core::ResumeHooks resume;
+  resume.resume = &cp;
+  const auto resumed = core::solve_double_oracle_resumable(
+      game, 1e-9, SolveBudget::iterations(100), resume);
+  EXPECT_TRUE(resumed.ok()) << resumed.status.to_string();
 }
 
 }  // namespace

@@ -31,15 +31,25 @@
 // text; --fault-plans DIR additionally writes it to
 // DIR/fault-plan-<instance>.txt so CI can upload the plans as artifacts.
 //
+// Engine chaos mode (--engine-jobs N, N >= 1): 200 random boards run
+// through the SolveEngine pool with N workers, every third job under an
+// armed fault schedule. The acceptance bar is batch ISOLATION: every
+// non-faulted job's JobResult must be bit-for-bit identical to a serial
+// solve of the same job, every bracket sound, every status truthful. On
+// failure --engine-report FILE dumps the whole BatchReport as JobReport
+// JSONL so CI can upload it as an artifact.
+//
 // Usage: stress_defender [--instances N] [--fuzz-iters N] [--seed S]
 //                        [--trace FILE.jsonl] [--fault-rate R]
 //                        [--fault-seed S] [--fault-plans DIR]
+//                        [--engine-jobs N] [--engine-report FILE]
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -51,6 +61,7 @@
 #include "core/k_matching.hpp"
 #include "core/serialization.hpp"
 #include "core/zero_sum.hpp"
+#include "engine/engine.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "obs/context.hpp"
@@ -404,6 +415,99 @@ void fuzz_parsers(util::Rng& rng, std::size_t iterations) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Engine chaos: batch isolation under concurrency + deterministic faults.
+
+/// Builds the fixed 200-job engine batch: random boards, all six solver
+/// kinds, every third job running under an armed per-job fault plan.
+/// Budgets are iteration-only — a faulted job can skew the shared
+/// obs::Clock, which must never leak into a neighbour's result.
+std::vector<engine::SolveJob> build_engine_batch(std::uint64_t seed,
+                                                 std::uint64_t fault_seed) {
+  util::Rng rng(seed ^ 0xE21u);
+  std::vector<engine::SolveJob> jobs;
+  constexpr std::size_t kJobs = 200;
+  jobs.reserve(kJobs);
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    const graph::Graph g = random_board(rng);
+    const std::size_t nu = static_cast<std::size_t>(rng.range(1, 3));
+    const std::size_t want =
+        std::min<std::size_t>(static_cast<std::size_t>(rng.range(1, 4)),
+                              g.num_edges());
+    engine::SolveJob job(core::TupleGame(g, pick_k(g, want, nu), nu));
+    job.solver = engine::kAllJobSolvers[i % engine::kJobSolverCount];
+    job.budget = SolveBudget::iterations(60);
+    job.tolerance = (job.solver == engine::JobSolver::kFictitiousPlay ||
+                     job.solver == engine::JobSolver::kWeightedFictitiousPlay ||
+                     job.solver == engine::JobSolver::kHedge)
+                        ? 1e-2
+                        : 1e-9;
+    if (engine::is_weighted(job.solver)) {
+      const std::size_t n = job.game.graph().num_vertices();
+      for (std::size_t v = 0; v < n; ++v)
+        job.weights.push_back(1.0 + 0.125 * static_cast<double>(v % 8));
+    }
+    if (i % 3 == 0) {
+      job.fault_plan.seed = engine::derive_job_seed(fault_seed, i);
+      job.fault_plan.set_all(0.2);
+    }
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+void engine_chaos(std::size_t workers, std::uint64_t seed,
+                  std::uint64_t fault_seed, const std::string& report_path) {
+  const std::vector<engine::SolveJob> jobs =
+      build_engine_batch(seed, fault_seed);
+  engine::EngineConfig config;
+  config.workers = workers;
+  engine::SolveEngine eng(config);
+  const engine::BatchReport report = eng.run(jobs);
+  check(report.results.size() == jobs.size(), "engine: result count");
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const engine::JobResult& r = report.results[i];
+    const std::string tag = "engine job " + std::to_string(i);
+    check(r.job_index == i, tag + ": index");
+    check(r.lower_bound <= r.upper_bound + 1e-12, tag + ": bracket sane");
+    check(r.value >= r.lower_bound - 1e-12 &&
+              r.value <= r.upper_bound + 1e-12,
+          tag + ": value inside bracket");
+    if (r.status.code == StatusCode::kOk)
+      check(r.upper_bound - r.lower_bound <= 1e-6 + jobs[i].tolerance,
+            tag + ": kOk must mean a closed bracket");
+
+    // Isolation: every job WITHOUT an armed plan must come out bit-equal
+    // to a serial solve of the same job, no matter what its pool
+    // neighbours injected.
+    if (jobs[i].fault_plan.armed()) continue;
+    const engine::JobResult serial = eng.run_serial(jobs[i], i);
+    check(r.status.code == serial.status.code, tag + ": status drifted");
+    check(r.status.message == serial.status.message, tag + ": message drifted");
+    check(r.status.iterations == serial.status.iterations,
+          tag + ": iteration count drifted");
+    check(r.value == serial.value, tag + ": value drifted");
+    check(r.lower_bound == serial.lower_bound, tag + ": lower drifted");
+    check(r.upper_bound == serial.upper_bound, tag + ": upper drifted");
+    check(r.attempts.size() == serial.attempts.size(),
+          tag + ": attempt history drifted");
+    check(r.faults_injected == 0, tag + ": faults on an unarmed job");
+  }
+
+  if (failures > 0 && !report_path.empty()) {
+    std::ofstream out(report_path, std::ios::binary);
+    out << report.to_jsonl();
+    std::fprintf(stderr, "engine: wrote JobReport JSONL to %s\n",
+                 report_path.c_str());
+  }
+  std::printf(
+      "engine: %zu jobs through %zu workers (%zu ok, %zu degraded, %zu "
+      "faulted)\n",
+      report.results.size(), workers, report.completed, report.degraded,
+      report.faulted_jobs);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -414,6 +518,8 @@ int main(int argc, char** argv) {
   double fault_rate = 0.0;
   std::uint64_t fault_seed = 0xc4a05ULL;  // "chaos"
   std::string fault_plan_dir;
+  std::size_t engine_jobs = 0;  // workers; 0 = engine chaos off
+  std::string engine_report;
   for (int i = 1; i < argc; ++i) {
     const auto next_value = [&](const char* flag) -> long long {
       if (i + 1 >= argc) {
@@ -452,11 +558,25 @@ int main(int argc, char** argv) {
         return 2;
       }
       fault_plan_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--engine-jobs") == 0) {
+      const long long v = next_value("--engine-jobs");
+      if (v < 1) {
+        std::fprintf(stderr, "--engine-jobs must be >= 1\n");
+        return 2;
+      }
+      engine_jobs = static_cast<std::size_t>(v);
+    } else if (std::strcmp(argv[i], "--engine-report") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --engine-report\n");
+        return 2;
+      }
+      engine_report = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--instances N] [--fuzz-iters N] [--seed S] "
                    "[--trace FILE.jsonl] [--fault-rate R] [--fault-seed S] "
-                   "[--fault-plans DIR]\n",
+                   "[--fault-plans DIR] [--engine-jobs N] "
+                   "[--engine-report FILE]\n",
                    argv[0]);
       return 2;
     }
@@ -501,6 +621,14 @@ int main(int argc, char** argv) {
     std::printf("chaos: %zu instances survived fault rate %.3f (seed %llu)\n",
                 instances, fault_rate,
                 static_cast<unsigned long long>(fault_seed));
+  }
+
+  if (engine_jobs > 0) {
+    try {
+      engine_chaos(engine_jobs, seed, fault_seed, engine_report);
+    } catch (const std::exception& e) {
+      fail(std::string("engine chaos threw: ") + e.what());
+    }
   }
 
   fuzz_parsers(rng, fuzz_iters);
