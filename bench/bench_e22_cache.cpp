@@ -1,0 +1,170 @@
+// Experiment E22 (extension) — canonical-form solve cache: repeated
+// isomorphs cost one solve per class.
+//
+// Claim: a 64-job batch of repeated isomorphs (2 base boards x 32 random
+// relabelings each) runs >= 10x faster through the SolveEngine with a
+// SolveCache armed than the same batch cache-off, with bit-identical
+// values and statuses (the cache-off reference also runs canonical-form
+// routing, which is what makes hits transparent — docs/CACHE.md). A
+// warm-start pass additionally shows loose-tolerance entries seeding
+// tight-tolerance resumes.
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cache/cache.hpp"
+#include "core/budget.hpp"
+#include "core/game.hpp"
+#include "engine/engine.hpp"
+#include "engine/job.hpp"
+#include "graph/operations.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace defender;
+
+constexpr std::uint64_t kSeed = 0xE22u;
+constexpr std::size_t kClasses = 2;
+constexpr std::size_t kIsomorphsPerClass = 32;
+
+std::vector<graph::Graph> base_boards() {
+  return {graph::grid_graph(5, 5), graph::complete_bipartite(5, 6)};
+}
+
+/// 64 jobs: each base board under 32 random relabelings, interleaved so
+/// isomorphs are spread across the batch (the worst case for a cache that
+/// depended on adjacency). Weighted double oracle at 1e-9 with k = 5 and
+/// symmetry-breaking vertex weights — heavy enough per solve that the
+/// batch cost is solves, not bookkeeping. Weights ride the relabeling
+/// (pw[perm[v]] = w[v]) so every job in a class is the SAME weighted
+/// game up to isomorphism and the canonical key collapses all 32.
+std::vector<engine::SolveJob> build_isomorph_batch(double tolerance) {
+  util::Rng rng(kSeed);
+  std::vector<engine::SolveJob> jobs;
+  const std::vector<graph::Graph> bases = base_boards();
+  for (std::size_t round = 0; round < kIsomorphsPerClass; ++round) {
+    for (std::size_t b = 0; b < kClasses; ++b) {
+      const std::size_t n = bases[b].num_vertices();
+      std::vector<graph::Vertex> perm(n);
+      std::iota(perm.begin(), perm.end(), graph::Vertex{0});
+      util::shuffle(perm, rng);
+      engine::SolveJob job(
+          core::TupleGame(graph::permute(bases[b], perm), 5, 1));
+      job.solver = engine::JobSolver::kWeightedDoubleOracle;
+      job.weights.assign(n, 1.0);
+      for (std::size_t v = 0; v < n; ++v)
+        job.weights[perm[v]] = 1.0 + static_cast<double>(v % 7) / 4.0;
+      job.tolerance = tolerance;
+      job.budget = SolveBudget::iterations(2000);
+      jobs.push_back(std::move(job));
+    }
+  }
+  return jobs;
+}
+
+bool results_identical(const engine::JobResult& a,
+                       const engine::JobResult& b) {
+  return a.status.code == b.status.code &&
+         a.status.message == b.status.message &&
+         a.status.iterations == b.status.iterations && a.value == b.value &&
+         a.lower_bound == b.lower_bound && a.upper_bound == b.upper_bound &&
+         a.iterations == b.iterations;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "E22 — canonical-form solve cache: pay once per isomorphism class",
+      "64 repeated-isomorph jobs run >= 10x faster with the cache armed, "
+      "bit-identical to the cache-off canonicalized reference");
+
+  const std::vector<engine::SolveJob> jobs = build_isomorph_batch(1e-9);
+  util::Table table(
+      {"mode", "wall ms", "hits", "misses", "stores", "identical", "speedup"});
+
+  // Cache-off reference: canonical-form routing, no cache.
+  const auto t_off = bench::case_clock();
+  engine::EngineConfig off_config;
+  off_config.canonicalize = true;
+  const engine::BatchReport off = engine::SolveEngine(off_config).run(jobs);
+  const double off_ms = obs::Clock::seconds_since(t_off) * 1e3;
+  table.add("cache-off", util::fixed(off_ms, 1), "-", "-", "-", "-",
+            "1.0");
+
+  // Cache-on: one real solve per isomorphism class, 60 hits.
+  cache::SolveCache cache;
+  const auto t_on = bench::case_clock();
+  engine::EngineConfig on_config;
+  on_config.cache = &cache;
+  const engine::BatchReport on = engine::SolveEngine(on_config).run(jobs);
+  const double on_ms = obs::Clock::seconds_since(t_on) * 1e3;
+
+  bool identical = true;
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    identical = identical && results_identical(off.results[i], on.results[i]);
+  const cache::CacheStats stats = cache.stats();
+  const double speedup = on_ms > 0 ? off_ms / on_ms : 0;
+  table.add("cache-on", util::fixed(on_ms, 1),
+            std::to_string(stats.hits), std::to_string(stats.misses),
+            std::to_string(stats.stores), identical ? "yes" : "NO",
+            util::fixed(speedup, 1) + "x");
+  table.print(std::cout);
+
+  bench::JsonLine("E22", "repeated-isomorph-64")
+      .num("jobs", static_cast<std::uint64_t>(jobs.size()))
+      .num("classes", static_cast<std::uint64_t>(kClasses))
+      .num("cache_off_ms", off_ms)
+      .num("cache_on_ms", on_ms)
+      .num("speedup", speedup)
+      .num("hits", stats.hits)
+      .num("misses", stats.misses)
+      .num("stores", stats.stores)
+      .boolean("identical", identical)
+      .emit();
+
+  // Warm starts: a loose-tolerance pass leaves checkpoints behind; the
+  // tight-tolerance pass resumes from them instead of starting cold.
+  cache::SolveCache warm_cache;
+  {
+    engine::EngineConfig config;
+    config.cache = &warm_cache;
+    engine::SolveEngine(config).run(build_isomorph_batch(1e-2));
+  }
+  obs::MetricsRegistry metrics;
+  const auto t_warm = bench::case_clock();
+  engine::EngineConfig warm_config;
+  warm_config.cache = &warm_cache;
+  warm_config.cache_warm_start = true;
+  warm_config.metrics = &metrics;
+  const engine::BatchReport warm =
+      engine::SolveEngine(warm_config).run(jobs);
+  const double warm_ms = obs::Clock::seconds_since(t_warm) * 1e3;
+  const std::uint64_t warm_starts =
+      metrics.counter("cache.warm_starts").value();
+  std::size_t warm_ok = 0;
+  for (const engine::JobResult& r : warm.results) warm_ok += r.ok() ? 1 : 0;
+  std::printf(
+      "\nwarm-start pass: %llu resumes, %zu/%zu ok, %.1f ms (cold pass was "
+      "%.1f ms)\n",
+      static_cast<unsigned long long>(warm_starts), warm_ok,
+      warm.results.size(), warm_ms, off_ms);
+  bench::JsonLine("E22", "warm-start-64")
+      .num("warm_starts", warm_starts)
+      .num("ok", static_cast<std::uint64_t>(warm_ok))
+      .num("wall_ms", warm_ms)
+      .emit();
+
+  const bool ok = identical && speedup >= 10.0 && stats.hits >= 60;
+  bench::verdict(ok, identical
+                         ? (speedup >= 10.0
+                                ? "cache transparent, speedup " +
+                                      util::fixed(speedup, 1) + "x"
+                                : "speedup only " +
+                                      util::fixed(speedup, 1) + "x")
+                         : "cache-on results drifted from cache-off");
+  return ok ? 0 : 1;
+}

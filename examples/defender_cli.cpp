@@ -40,13 +40,20 @@
 //     (the deadline becomes each job's watchdog; fault plans derive
 //     per-job seeds so schedules are independent of worker count).
 //
+// Canonical-form solve cache (see docs/CACHE.md):
+//   * --cache FILE     arm a SolveCache for the batch: isomorphic jobs
+//     cost one solve per class. FILE is loaded first when it exists
+//     ("defender-cache v1" text store) and rewritten after the batch, so
+//     repeated invocations accumulate a persistent result corpus;
+//   * --cache-size N   LRU capacity in entries (default 4096).
+//
 // Usage: defender_cli [--k K] [--nu N] [--dot] [--budget-iters N]
 //                     [--deadline SECONDS] [--trace FILE.jsonl]
 //                     [--chrome-trace FILE.json] [--metrics]
 //                     [--fault-rate R] [--fault-seed S]
 //                     [--save-checkpoint FILE] [--resume-checkpoint FILE]
 //                     [--batch FILE] [--jobs N] [--retry-ladder SPEC]
-//                     [FILE]
+//                     [--cache FILE] [--cache-size N] [FILE]
 #include <cerrno>
 #include <cstdint>
 #include <cstdio>
@@ -58,6 +65,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/cache.hpp"
 #include "core/analytics.hpp"
 #include "core/atuple.hpp"
 #include "core/budget.hpp"
@@ -89,7 +97,8 @@ void usage() {
                "                    [--save-checkpoint FILE] "
                "[--resume-checkpoint FILE]\n"
                "                    [--batch FILE] [--jobs N] "
-               "[--retry-ladder SPEC] [FILE]\n"
+               "[--retry-ladder SPEC]\n"
+               "                    [--cache FILE] [--cache-size N] [FILE]\n"
             << "  FILE holds 'n m' then one 'u v' line per edge; stdin when "
                "omitted.\n"
             << "  --budget-iters / --deadline bound the game-value solve; "
@@ -112,7 +121,12 @@ void usage() {
             << "  with --jobs workers and the --retry-ladder escalation "
                "spec; --deadline\n"
             << "  becomes each job's watchdog and --fault-rate arms per-job "
-               "fault plans.\n";
+               "fault plans.\n"
+            << "  --cache arms a canonical-form solve cache for the batch "
+               "(isomorphic jobs\n"
+            << "  cost one solve per class), persisted to FILE across runs; "
+               "--cache-size\n"
+            << "  bounds the LRU (entries). See docs/CACHE.md.\n";
 }
 
 /// Structured CLI-layer error: same rendering path as solver statuses.
@@ -298,8 +312,9 @@ int main(int argc, char** argv) {
   bool dot = false, dump_metrics = false;
   std::string file, trace_path, chrome_trace_path;
   std::string save_checkpoint_path, resume_checkpoint_path;
-  std::string batch_path, retry_spec;
+  std::string batch_path, retry_spec, cache_path;
   std::size_t pool_workers = 1;
+  std::size_t cache_capacity = cache::kDefaultCacheCapacity;
   double fault_rate = 0.0;
   std::uint64_t fault_seed = 0xdef3ddef3dULL;
   SolveBudget budget;
@@ -334,6 +349,12 @@ int main(int argc, char** argv) {
       pool_workers = std::strtoul(argv[++i], nullptr, 10);
     } else if (arg == "--retry-ladder" && i + 1 < argc) {
       retry_spec = argv[++i];
+    } else if (arg == "--cache" && i + 1 < argc) {
+      cache_path = argv[++i];
+    } else if (arg == "--cache-size" && i + 1 < argc) {
+      cache_capacity = std::strtoul(argv[++i], nullptr, 10);
+      if (cache_capacity == 0)
+        return fail_invalid("--cache-size must be positive");
     } else if (arg == "--metrics") {
       dump_metrics = true;
     } else if (arg == "--dot") {
@@ -416,11 +437,43 @@ int main(int argc, char** argv) {
     }
     config.tracer = ctx.tracer;
     config.metrics = ctx.metrics;
+
+    // Canonical-form solve cache: merge the persistent store when the
+    // file already exists (a missing file just means a cold start), arm
+    // the engine, and rewrite the store after the batch.
+    std::unique_ptr<cache::SolveCache> solve_cache;
+    if (!cache_path.empty()) {
+      cache::CacheConfig cache_config;
+      cache_config.capacity = cache_capacity;
+      cache_config.metrics = ctx.metrics;
+      solve_cache = std::make_unique<cache::SolveCache>(cache_config);
+      if (std::ifstream cache_in(cache_path); cache_in) {
+        std::ostringstream text;
+        text << cache_in.rdbuf();
+        const Status merged = solve_cache->merge_text(text.str());
+        if (!merged.ok())
+          return fail_invalid("cache file " + cache_path + ": " +
+                              merged.describe());
+      }
+      config.cache = solve_cache.get();
+    }
+
     std::cout << "Board: n=" << g.num_vertices() << " m=" << g.num_edges()
               << "\n\n";
     const int rc = run_batch(g, lines.result, config,
                              budget.wall_clock_seconds, fault_rate,
                              fault_seed);
+    if (solve_cache != nullptr) {
+      std::ofstream cache_out(cache_path, std::ios::trunc);
+      if (!cache_out)
+        return fail_invalid("cannot write cache file " + cache_path);
+      cache_out << solve_cache->to_text();
+      const cache::CacheStats cs = solve_cache->stats();
+      std::cout << "\nCache: " << solve_cache->size() << " entries -> "
+                << cache_path << " (" << cs.hits << " hits, " << cs.misses
+                << " misses, " << cs.stores << " stores, " << cs.evictions
+                << " evictions)\n";
+    }
     if (ctx.tracer != nullptr) {
       tracer.flush();
       std::cout << "\nTrace: " << tracer.events_emitted() << " events";

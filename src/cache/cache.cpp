@@ -1,0 +1,657 @@
+#include "cache/cache.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+namespace defender::cache {
+
+namespace {
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::uint64_t fnv1a(std::string_view s,
+                    std::uint64_t h = 14695981039346656037ull) {
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// The shared key-text builder: make_key and key_from_entry MUST agree
+/// byte for byte, so both funnel through this.
+CacheKey build_key(std::size_t n, std::size_t m, std::size_t k,
+                   std::size_t num_attackers, bool exact,
+                   std::string_view solver_name,
+                   std::span<const graph::Edge> edges,
+                   std::span<const double> weights, double tolerance,
+                   std::size_t max_iterations, double wall_clock_seconds,
+                   std::uint64_t oracle_node_budget) {
+  CacheKey key;
+  std::ostringstream st;
+  st << "board " << n << ' ' << m << ' ' << k << ' ' << num_attackers << ' '
+     << (exact ? 1 : 0) << ' ' << solver_name << '\n';
+  st << "edges";
+  for (const graph::Edge& e : edges) st << ' ' << e.u << ' ' << e.v;
+  st << '\n';
+  st << "weights " << weights.size();
+  for (double w : weights) st << ' ' << format_double(w);
+  st << '\n';
+  key.structural = st.str();
+
+  std::ostringstream ps;
+  ps << "params " << format_double(tolerance) << ' ' << max_iterations << ' '
+     << format_double(wall_clock_seconds) << ' ' << oracle_node_budget
+     << '\n';
+  key.params = ps.str();
+
+  key.hash = fnv1a(key.params, fnv1a(key.structural));
+  return key;
+}
+
+bool finite_payload(const CachedSolve& e) {
+  const double scalars[] = {e.tolerance,     e.wall_clock_seconds,
+                            e.residual,      e.value,
+                            e.lower,         e.upper,
+                            e.attempt_value, e.attempt_lower,
+                            e.attempt_upper};
+  for (double v : scalars)
+    if (!std::isfinite(v)) return false;
+  for (double w : e.weights)
+    if (!std::isfinite(w)) return false;
+  for (double p : e.defender_probs)
+    if (!std::isfinite(p)) return false;
+  for (double p : e.attacker_probs)
+    if (!std::isfinite(p)) return false;
+  return true;
+}
+
+Status parse_error(std::size_t line, const std::string& what) {
+  return Status::make(StatusCode::kInvalidInput,
+                      "cache line " + std::to_string(line) + ": " + what);
+}
+
+/// Range-checked non-negative count (checkpoint.cpp discipline).
+bool parse_count(const std::string& token, std::size_t cap,
+                 std::size_t* out) {
+  if (token.empty() || token[0] == '-') return false;
+  errno = 0;
+  char* rest = nullptr;
+  const unsigned long long v = std::strtoull(token.c_str(), &rest, 10);
+  if (errno != 0 || rest == token.c_str() || *rest != '\0') return false;
+  if (v > cap) return false;
+  *out = static_cast<std::size_t>(v);
+  return true;
+}
+
+bool parse_u64(const std::string& token, std::uint64_t* out) {
+  if (token.empty() || token[0] == '-') return false;
+  errno = 0;
+  char* rest = nullptr;
+  const unsigned long long v = std::strtoull(token.c_str(), &rest, 10);
+  if (errno != 0 || rest == token.c_str() || *rest != '\0') return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool parse_finite(const std::string& token, double* out) {
+  if (token.empty()) return false;
+  errno = 0;
+  char* rest = nullptr;
+  const double v = std::strtod(token.c_str(), &rest);
+  if (errno != 0 || rest == token.c_str() || *rest != '\0' ||
+      !std::isfinite(v))
+    return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+CacheKey key_from_entry(const CachedSolve& e) {
+  return build_key(e.n, e.edges.size(), e.k, e.num_attackers, e.exact_form,
+                   e.solver, e.edges, e.weights, e.tolerance,
+                   e.max_iterations, e.wall_clock_seconds,
+                   e.oracle_node_budget);
+}
+
+SolveCache::SolveCache(CacheConfig config) : config_(config) {
+  if (config_.capacity == 0) config_.capacity = 1;
+}
+
+CacheKey SolveCache::make_key(const CanonicalForm& form,
+                              std::span<const double> canonical_weights,
+                              std::size_t k, std::size_t num_attackers,
+                              std::string_view solver_name, double tolerance,
+                              const SolveBudget& budget) {
+  return build_key(form.n, form.edges.size(), k, num_attackers, form.exact,
+                   solver_name, form.edges, canonical_weights, tolerance,
+                   budget.max_iterations, budget.wall_clock_seconds,
+                   budget.oracle_node_budget);
+}
+
+void SolveCache::count(const char* name, std::uint64_t* slot) {
+  ++*slot;
+  if (config_.metrics != nullptr) config_.metrics->counter(name).add(1);
+}
+
+std::optional<CachedSolve> SolveCache::lookup(const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t h = key.hash & config_.hash_mask;
+  auto bucket = buckets_.find(h);
+  bool collided = false;
+  if (bucket != buckets_.end()) {
+    for (EntryList::iterator it : bucket->second) {
+      if (it->structural == key.structural && it->params == key.params) {
+        lru_.splice(lru_.begin(), lru_, it);
+        if (collided) count("cache.collisions", &stats_.collisions);
+        count("cache.hits", &stats_.hits);
+        return it->solve;
+      }
+      collided = true;
+    }
+  }
+  if (collided) count("cache.collisions", &stats_.collisions);
+  count("cache.misses", &stats_.misses);
+  return std::nullopt;
+}
+
+std::optional<std::string> SolveCache::warm_checkpoint(const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = warm_.find(key.structural);
+  if (it == warm_.end()) return std::nullopt;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  count("cache.warm_hits", &stats_.warm_hits);
+  return it->second->solve.checkpoint_text;
+}
+
+void SolveCache::store(const CacheKey& key, CachedSolve entry) {
+  if (!finite_payload(entry)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  store_locked(key, std::move(entry));
+}
+
+void SolveCache::store_locked(const CacheKey& key, CachedSolve entry) {
+  const std::uint64_t h = key.hash & config_.hash_mask;
+  std::vector<EntryList::iterator>& bucket = buckets_[h];
+  for (EntryList::iterator it : bucket) {
+    if (it->structural == key.structural && it->params == key.params) {
+      // Refresh in place (same key re-stored after, e.g., a reload).
+      it->solve = std::move(entry);
+      lru_.splice(lru_.begin(), lru_, it);
+      if (!it->solve.checkpoint_text.empty()) warm_[key.structural] = it;
+      count("cache.stores", &stats_.stores);
+      return;
+    }
+  }
+  lru_.push_front(Entry{key.structural, key.params, h, std::move(entry)});
+  const EntryList::iterator it = lru_.begin();
+  bucket.push_back(it);
+  if (!it->solve.checkpoint_text.empty()) warm_[key.structural] = it;
+  count("cache.stores", &stats_.stores);
+  evict_to_capacity_locked();
+}
+
+void SolveCache::evict_to_capacity_locked() {
+  while (lru_.size() > config_.capacity) {
+    const EntryList::iterator victim = std::prev(lru_.end());
+    auto bucket = buckets_.find(victim->masked_hash);
+    if (bucket != buckets_.end()) {
+      std::vector<EntryList::iterator>& vec = bucket->second;
+      vec.erase(std::remove(vec.begin(), vec.end(), victim), vec.end());
+      if (vec.empty()) buckets_.erase(bucket);
+    }
+    auto warm = warm_.find(victim->structural);
+    if (warm != warm_.end() && warm->second == victim) warm_.erase(warm);
+    lru_.erase(victim);
+    count("cache.evictions", &stats_.evictions);
+  }
+}
+
+Solved<TransportedProfiles> SolveCache::transport(
+    const CachedSolve& entry, const CanonicalForm& probe_form,
+    const graph::Graph& original) {
+  Solved<TransportedProfiles> out;
+  const auto fail = [&](const std::string& what) {
+    out.status = Status::make(StatusCode::kInvalidInput,
+                              "cache transport: " + what);
+    return out;
+  };
+  if (!entry.has_profiles) return fail("entry carries no strategy profiles");
+  if (probe_form.n != entry.n || probe_form.edges.size() != entry.edges.size())
+    return fail("probe form does not match the entry's canonical form");
+
+  // Canonical edge id -> original edge id, through the probe's inverse
+  // labeling. Every canonical edge must exist on `original` (guaranteed
+  // when the key matched; checked anyway so a tampered store degrades).
+  std::vector<graph::EdgeId> edge_map(entry.edges.size());
+  for (std::size_t e = 0; e < entry.edges.size(); ++e) {
+    const graph::Edge ce = entry.edges[e];
+    if (ce.u >= probe_form.n || ce.v >= probe_form.n)
+      return fail("canonical edge endpoint out of range");
+    const std::optional<graph::EdgeId> id = original.edge_id(
+        probe_form.from_canonical[ce.u], probe_form.from_canonical[ce.v]);
+    if (!id.has_value())
+      return fail("canonical edge missing on the original board");
+    edge_map[e] = *id;
+  }
+
+  try {
+    std::vector<core::Tuple> tuples;
+    tuples.reserve(entry.defender_support.size());
+    for (const core::Tuple& t : entry.defender_support) {
+      core::Tuple mapped;
+      mapped.reserve(t.size());
+      for (graph::EdgeId e : t) {
+        if (e >= edge_map.size())
+          return fail("defender tuple references an out-of-range edge");
+        mapped.push_back(edge_map[e]);
+      }
+      std::sort(mapped.begin(), mapped.end());
+      tuples.push_back(std::move(mapped));
+    }
+
+    std::vector<std::pair<graph::Vertex, double>> att;
+    att.reserve(entry.attacker_support.size());
+    for (std::size_t i = 0; i < entry.attacker_support.size(); ++i) {
+      const graph::Vertex c = entry.attacker_support[i];
+      if (c >= probe_form.n)
+        return fail("attacker support vertex out of range");
+      att.emplace_back(probe_form.from_canonical[c],
+                       entry.attacker_probs[i]);
+    }
+    std::sort(att.begin(), att.end());
+    std::vector<graph::Vertex> support;
+    std::vector<double> probs;
+    support.reserve(att.size());
+    probs.reserve(att.size());
+    for (const auto& [v, p] : att) {
+      support.push_back(v);
+      probs.push_back(p);
+    }
+
+    // Distribution constructors validate (distinct support, probabilities
+    // summing to 1); a corrupted payload throws and lands in catch below.
+    out.result.defender =
+        core::TupleDistribution(std::move(tuples), entry.defender_probs);
+    out.result.attacker =
+        core::VertexDistribution(std::move(support), std::move(probs));
+  } catch (const std::exception& e) {
+    return fail(std::string("invalid cached profile: ") + e.what());
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    count("cache.transports", &stats_.transports);
+  }
+  out.status = Status::make_ok();
+  return out;
+}
+
+WarmSnapshot SolveCache::warm_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WarmSnapshot snap;
+  snap.reserve(warm_.size());
+  for (const auto& [structural, it] : warm_)
+    snap.emplace(structural, it->solve.checkpoint_text);
+  return snap;
+}
+
+std::size_t SolveCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+CacheStats SolveCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::string SolveCache::to_text() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "defender-cache v" << kCacheFormatVersion << '\n';
+  os << "entries " << lru_.size() << '\n';
+  // Least recently used first: merge_text stores in file order, so the
+  // last (most recent) entry ends up at the LRU front again.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    const CachedSolve& e = it->solve;
+    os << "entry\n";
+    os << "board " << e.n << ' ' << e.edges.size() << ' ' << e.k << ' '
+       << e.num_attackers << ' ' << (e.exact_form ? 1 : 0) << '\n';
+    os << "solver " << e.solver << '\n';
+    os << "params " << format_double(e.tolerance) << ' ' << e.max_iterations
+       << ' ' << format_double(e.wall_clock_seconds) << ' '
+       << e.oracle_node_budget << '\n';
+    os << "edges";
+    for (const graph::Edge& edge : e.edges)
+      os << ' ' << edge.u << ' ' << edge.v;
+    os << '\n';
+    os << "weights " << e.weights.size();
+    for (double w : e.weights) os << ' ' << format_double(w);
+    os << '\n';
+    os << "status " << e.iterations << ' ' << format_double(e.residual)
+       << '\n';
+    os << "message " << e.message << '\n';
+    os << "value " << format_double(e.value) << ' ' << format_double(e.lower)
+       << ' ' << format_double(e.upper) << '\n';
+    os << "attempt " << format_double(e.attempt_value) << ' '
+       << format_double(e.attempt_lower) << ' '
+       << format_double(e.attempt_upper) << '\n';
+    os << "profiles " << (e.has_profiles ? 1 : 0) << '\n';
+    if (e.has_profiles) {
+      os << "defender " << e.defender_support.size();
+      for (double p : e.defender_probs) os << ' ' << format_double(p);
+      os << '\n';
+      for (const core::Tuple& t : e.defender_support) {
+        os << "tuple " << t.size();
+        for (graph::EdgeId edge : t) os << ' ' << edge;
+        os << '\n';
+      }
+      os << "attacker " << e.attacker_support.size();
+      for (std::size_t i = 0; i < e.attacker_support.size(); ++i)
+        os << ' ' << e.attacker_support[i] << ' '
+           << format_double(e.attacker_probs[i]);
+      os << '\n';
+    }
+    std::size_t checkpoint_lines = 0;
+    for (char c : e.checkpoint_text)
+      if (c == '\n') ++checkpoint_lines;
+    os << "checkpoint " << checkpoint_lines << '\n';
+    os << e.checkpoint_text;
+    os << "end\n";
+  }
+  return os.str();
+}
+
+Status SolveCache::merge_text(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+  const auto next_line = [&]() -> bool {
+    while (std::getline(is, line)) {
+      ++line_no;
+      bool blank = true;
+      for (char ch : line)
+        if (!std::isspace(static_cast<unsigned char>(ch))) blank = false;
+      if (!blank) return true;
+    }
+    return false;
+  };
+  // Raw read for verbatim checkpoint lines (no blank skipping: blank
+  // lines inside a checkpoint block would change its byte content).
+  const auto next_raw_line = [&]() -> bool {
+    if (!std::getline(is, line)) return false;
+    ++line_no;
+    return true;
+  };
+
+  if (!next_line()) return parse_error(1, "empty input");
+  if (line.rfind("defender-cache v", 0) != 0)
+    return parse_error(line_no, "missing 'defender-cache v1' header");
+  {
+    const std::string version_token =
+        line.substr(std::string("defender-cache v").size());
+    std::size_t version = 0;
+    if (!parse_count(version_token, 1'000'000, &version))
+      return parse_error(line_no, "malformed version: " + version_token);
+    if (version != kCacheFormatVersion)
+      return parse_error(line_no,
+                         "unsupported cache version " +
+                             std::to_string(version) + " (this build reads v" +
+                             std::to_string(kCacheFormatVersion) + ")");
+  }
+
+  if (!next_line()) return parse_error(line_no + 1, "missing 'entries' line");
+  std::size_t declared = 0;
+  {
+    std::istringstream ls(line);
+    std::string key, count_token;
+    if (!(ls >> key >> count_token) || key != "entries" ||
+        !parse_count(count_token, kMaxCacheParseEntries, &declared))
+      return parse_error(line_no, "expected 'entries <count>'");
+  }
+
+  for (std::size_t entry_index = 0; entry_index < declared; ++entry_index) {
+    if (!next_line() || line != "entry")
+      return parse_error(line_no + 1, "missing 'entry' marker");
+    CachedSolve e;
+
+    // board <n> <m> <k> <nu> <exact>
+    std::size_t m = 0;
+    if (!next_line()) return parse_error(line_no + 1, "missing 'board' line");
+    {
+      std::istringstream ls(line);
+      std::string key, sn, sm, sk, snu, sex;
+      std::size_t exact = 0;
+      if (!(ls >> key >> sn >> sm >> sk >> snu >> sex) || key != "board" ||
+          !parse_count(sn, kMaxCacheParseEntries, &e.n) ||
+          !parse_count(sm, kMaxCacheParseEntries, &m) ||
+          !parse_count(sk, kMaxCacheParseEntries, &e.k) ||
+          !parse_count(snu, kMaxCacheParseEntries, &e.num_attackers) ||
+          !parse_count(sex, 1, &exact))
+        return parse_error(line_no,
+                           "expected 'board <n> <m> <k> <nu> <exact>'");
+      e.exact_form = exact != 0;
+    }
+
+    if (!next_line()) return parse_error(line_no + 1, "missing 'solver' line");
+    {
+      std::istringstream ls(line);
+      std::string key;
+      if (!(ls >> key >> e.solver) || key != "solver" || e.solver.empty())
+        return parse_error(line_no, "expected 'solver <name>'");
+    }
+
+    if (!next_line()) return parse_error(line_no + 1, "missing 'params' line");
+    {
+      std::istringstream ls(line);
+      std::string key, stol, sit, swall, snodes;
+      if (!(ls >> key >> stol >> sit >> swall >> snodes) || key != "params" ||
+          !parse_finite(stol, &e.tolerance) ||
+          !parse_count(sit, std::numeric_limits<std::size_t>::max() / 4,
+                       &e.max_iterations) ||
+          !parse_finite(swall, &e.wall_clock_seconds) ||
+          !parse_u64(snodes, &e.oracle_node_budget))
+        return parse_error(line_no,
+                           "expected 'params <tol> <iters> <wall> <nodes>'");
+    }
+
+    if (!next_line()) return parse_error(line_no + 1, "missing 'edges' line");
+    {
+      std::istringstream ls(line);
+      std::string key;
+      if (!(ls >> key) || key != "edges")
+        return parse_error(line_no, "expected 'edges <u> <v> ...'");
+      e.edges.reserve(m);
+      for (std::size_t i = 0; i < m; ++i) {
+        std::string su, sv;
+        std::size_t u = 0, v = 0;
+        if (!(ls >> su >> sv) || !parse_count(su, kMaxCacheParseEntries, &u) ||
+            !parse_count(sv, kMaxCacheParseEntries, &v) || u >= v ||
+            v >= e.n)
+          return parse_error(line_no, "malformed canonical edge list");
+        e.edges.push_back(
+            graph::Edge{static_cast<graph::Vertex>(u),
+                        static_cast<graph::Vertex>(v)});
+      }
+    }
+
+    if (!next_line())
+      return parse_error(line_no + 1, "missing 'weights' line");
+    {
+      std::istringstream ls(line);
+      std::string key, count_token;
+      std::size_t count = 0;
+      if (!(ls >> key >> count_token) || key != "weights" ||
+          !parse_count(count_token, kMaxCacheParseEntries, &count))
+        return parse_error(line_no, "expected 'weights <count> <w...>'");
+      if (count != 0 && count != e.n)
+        return parse_error(line_no,
+                           "weights must be empty or one per vertex");
+      e.weights.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        std::string w_token;
+        double w = 0;
+        if (!(ls >> w_token) || !parse_finite(w_token, &w))
+          return parse_error(line_no, "malformed weight list");
+        e.weights.push_back(w);
+      }
+    }
+
+    if (!next_line()) return parse_error(line_no + 1, "missing 'status' line");
+    {
+      std::istringstream ls(line);
+      std::string key, sit, sres;
+      if (!(ls >> key >> sit >> sres) || key != "status" ||
+          !parse_count(sit, std::numeric_limits<std::size_t>::max() / 4,
+                       &e.iterations) ||
+          !parse_finite(sres, &e.residual))
+        return parse_error(line_no,
+                           "expected 'status <iterations> <residual>'");
+    }
+
+    if (!next_line())
+      return parse_error(line_no + 1, "missing 'message' line");
+    if (line.rfind("message", 0) != 0)
+      return parse_error(line_no, "expected 'message <text>'");
+    e.message = line.size() > 8 ? line.substr(8) : std::string();
+
+    const auto read_triplet = [&](const char* name, double* a, double* b,
+                                  double* c) -> bool {
+      if (!next_line()) return false;
+      std::istringstream ls(line);
+      std::string key, sa, sb, sc;
+      return (ls >> key >> sa >> sb >> sc) && key == name &&
+             parse_finite(sa, a) && parse_finite(sb, b) &&
+             parse_finite(sc, c);
+    };
+    if (!read_triplet("value", &e.value, &e.lower, &e.upper))
+      return parse_error(line_no, "expected 'value <v> <lower> <upper>'");
+    if (!read_triplet("attempt", &e.attempt_value, &e.attempt_lower,
+                      &e.attempt_upper))
+      return parse_error(line_no, "expected 'attempt <v> <lower> <upper>'");
+
+    if (!next_line())
+      return parse_error(line_no + 1, "missing 'profiles' line");
+    {
+      std::istringstream ls(line);
+      std::string key, flag_token;
+      std::size_t flag = 0;
+      if (!(ls >> key >> flag_token) || key != "profiles" ||
+          !parse_count(flag_token, 1, &flag))
+        return parse_error(line_no, "expected 'profiles <0|1>'");
+      e.has_profiles = flag != 0;
+    }
+
+    if (e.has_profiles) {
+      std::size_t defender_count = 0;
+      if (!next_line())
+        return parse_error(line_no + 1, "missing 'defender' line");
+      {
+        std::istringstream ls(line);
+        std::string key, count_token;
+        if (!(ls >> key >> count_token) || key != "defender" ||
+            !parse_count(count_token, kMaxCacheParseEntries, &defender_count))
+          return parse_error(line_no, "expected 'defender <count> <p...>'");
+        e.defender_probs.reserve(defender_count);
+        for (std::size_t i = 0; i < defender_count; ++i) {
+          std::string p_token;
+          double p = 0;
+          if (!(ls >> p_token) || !parse_finite(p_token, &p))
+            return parse_error(line_no, "malformed defender probabilities");
+          e.defender_probs.push_back(p);
+        }
+      }
+      e.defender_support.reserve(defender_count);
+      for (std::size_t i = 0; i < defender_count; ++i) {
+        if (!next_line())
+          return parse_error(line_no + 1, "truncated defender support");
+        std::istringstream ts(line);
+        std::string key, size_token;
+        std::size_t size = 0;
+        if (!(ts >> key >> size_token) || key != "tuple" ||
+            !parse_count(size_token, kMaxCacheParseEntries, &size))
+          return parse_error(line_no, "expected 'tuple <size> <edges...>'");
+        core::Tuple t;
+        t.reserve(size);
+        for (std::size_t j = 0; j < size; ++j) {
+          std::string edge_token;
+          std::size_t edge = 0;
+          if (!(ts >> edge_token) ||
+              !parse_count(edge_token, kMaxCacheParseEntries, &edge))
+            return parse_error(line_no, "malformed tuple edge list");
+          t.push_back(static_cast<graph::EdgeId>(edge));
+        }
+        e.defender_support.push_back(std::move(t));
+      }
+
+      if (!next_line())
+        return parse_error(line_no + 1, "missing 'attacker' line");
+      {
+        std::istringstream ls(line);
+        std::string key, count_token;
+        std::size_t count = 0;
+        if (!(ls >> key >> count_token) || key != "attacker" ||
+            !parse_count(count_token, kMaxCacheParseEntries, &count))
+          return parse_error(line_no,
+                             "expected 'attacker <count> <v> <p> ...'");
+        e.attacker_support.reserve(count);
+        e.attacker_probs.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+          std::string v_token, p_token;
+          std::size_t v = 0;
+          double p = 0;
+          if (!(ls >> v_token >> p_token) ||
+              !parse_count(v_token, kMaxCacheParseEntries, &v) ||
+              !parse_finite(p_token, &p))
+            return parse_error(line_no, "malformed attacker support");
+          e.attacker_support.push_back(static_cast<graph::Vertex>(v));
+          e.attacker_probs.push_back(p);
+        }
+      }
+    }
+
+    if (!next_line())
+      return parse_error(line_no + 1, "missing 'checkpoint' line");
+    {
+      std::istringstream ls(line);
+      std::string key, count_token;
+      std::size_t checkpoint_lines = 0;
+      if (!(ls >> key >> count_token) || key != "checkpoint" ||
+          !parse_count(count_token, kMaxCacheParseEntries,
+                       &checkpoint_lines))
+        return parse_error(line_no, "expected 'checkpoint <line-count>'");
+      for (std::size_t i = 0; i < checkpoint_lines; ++i) {
+        if (!next_raw_line())
+          return parse_error(line_no + 1, "truncated checkpoint block");
+        e.checkpoint_text += line;
+        e.checkpoint_text += '\n';
+      }
+    }
+
+    if (!next_line() || line != "end")
+      return parse_error(line_no + 1, "missing 'end' trailer");
+
+    if (!finite_payload(e))
+      return parse_error(line_no, "non-finite entry payload");
+    const CacheKey key = key_from_entry(e);
+    std::lock_guard<std::mutex> lock(mu_);
+    store_locked(key, std::move(e));
+  }
+
+  return Status::make_ok();
+}
+
+}  // namespace defender::cache

@@ -1,0 +1,296 @@
+#include "cache/canonical.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace defender::cache {
+
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+using graph::Vertex;
+
+/// One WL refinement pass to a stable partition. Colours are dense ids in
+/// [0, cells); ids are assigned by sorted (old colour, sorted neighbour
+/// colours) signature, so the refined colouring is label-invariant
+/// whenever the input colouring is. Refinement only ever splits cells, so
+/// a pass that does not increase the cell count has stabilized.
+struct Refiner {
+  const Graph& g;
+  // Scratch reused across the whole search: one signature per vertex.
+  std::vector<std::pair<std::vector<std::uint32_t>, Vertex>> signatures;
+
+  explicit Refiner(const Graph& graph) : g(graph) {
+    signatures.resize(g.num_vertices());
+  }
+
+  /// Refines `colors` in place; returns the number of cells.
+  std::size_t refine(std::vector<std::uint32_t>* colors) {
+    const std::size_t n = g.num_vertices();
+    std::size_t cells = count_cells(*colors);
+    while (true) {
+      for (Vertex v = 0; v < n; ++v) {
+        std::vector<std::uint32_t>& sig = signatures[v].first;
+        sig.clear();
+        sig.push_back((*colors)[v]);
+        for (const graph::Incidence& inc : g.neighbors(v))
+          sig.push_back((*colors)[inc.to]);
+        std::sort(sig.begin() + 1, sig.end());
+        signatures[v].second = v;
+      }
+      std::sort(signatures.begin(), signatures.end());
+      std::size_t next = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i > 0 && signatures[i].first != signatures[i - 1].first) ++next;
+        (*colors)[signatures[i].second] = static_cast<std::uint32_t>(next);
+      }
+      const std::size_t new_cells = next + 1;
+      if (new_cells == cells) return cells;
+      cells = new_cells;
+    }
+  }
+
+  static std::size_t count_cells(const std::vector<std::uint32_t>& colors) {
+    std::uint32_t max_color = 0;
+    for (std::uint32_t c : colors) max_color = std::max(max_color, c);
+    return colors.empty() ? 0 : static_cast<std::size_t>(max_color) + 1;
+  }
+};
+
+/// Union-find over vertices, rebuilt per tree node from the automorphism
+/// generators that pointwise fix the current individualization path. Two
+/// vertices in one component are in one orbit of (a subgroup of) the
+/// stabilizer, so individualizing the second explores an isomorphic
+/// subtree — skip it.
+struct OrbitPartition {
+  std::vector<Vertex> parent;
+
+  explicit OrbitPartition(std::size_t n) : parent(n) {
+    for (std::size_t v = 0; v < n; ++v) parent[v] = static_cast<Vertex>(v);
+  }
+
+  Vertex find(Vertex v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  }
+
+  void unite(Vertex a, Vertex b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent[std::max(a, b)] = std::min(a, b);
+  }
+};
+
+struct Search {
+  const Graph& g;
+  Refiner refiner;
+  std::uint64_t budget;
+  std::uint64_t nodes = 0;
+  bool exceeded = false;
+
+  // Incumbent: lexicographically smallest relabeled edge list seen so far.
+  bool have_best = false;
+  std::vector<Edge> best_cert;
+  std::vector<Vertex> best_to_canonical;
+  // Automorphism generators discovered from equal-certificate leaves, as
+  // original-vertex permutations.
+  std::vector<std::vector<Vertex>> generators;
+  // Vertices individualized on the path to the current node.
+  std::vector<Vertex> path;
+
+  Search(const Graph& graph, std::uint64_t node_budget)
+      : g(graph), refiner(graph), budget(node_budget) {}
+
+  /// Relabels g's edges by `to_canonical`, normalized and sorted.
+  std::vector<Edge> certificate(const std::vector<std::uint32_t>& colors) {
+    std::vector<Edge> cert;
+    cert.reserve(g.num_edges());
+    for (const Edge& e : g.edges()) {
+      Vertex u = static_cast<Vertex>(colors[e.u]);
+      Vertex v = static_cast<Vertex>(colors[e.v]);
+      if (u > v) std::swap(u, v);
+      cert.push_back(Edge{u, v});
+    }
+    std::sort(cert.begin(), cert.end());
+    return cert;
+  }
+
+  void leaf(const std::vector<std::uint32_t>& colors) {
+    std::vector<Edge> cert = certificate(colors);
+    if (!have_best || cert < best_cert) {
+      have_best = true;
+      best_cert = std::move(cert);
+      best_to_canonical.assign(colors.begin(), colors.end());
+      // Labels from a discrete refined partition are already a bijection
+      // onto [0, n) (dense ids, one per singleton cell).
+      return;
+    }
+    if (cert == best_cert) {
+      // Two labelings with one certificate compose to an automorphism:
+      // a(v) = best⁻¹(current(v)).
+      const std::size_t n = g.num_vertices();
+      std::vector<Vertex> best_from(n);
+      for (std::size_t v = 0; v < n; ++v)
+        best_from[best_to_canonical[v]] = static_cast<Vertex>(v);
+      std::vector<Vertex> aut(n);
+      bool identity = true;
+      for (std::size_t v = 0; v < n; ++v) {
+        aut[v] = best_from[colors[v]];
+        if (aut[v] != v) identity = false;
+      }
+      if (!identity) generators.push_back(std::move(aut));
+    }
+  }
+
+  void run(std::vector<std::uint32_t> colors) {
+    if (exceeded) return;
+    if (++nodes > budget) {
+      exceeded = true;
+      return;
+    }
+    refiner.refine(&colors);
+
+    // Find the first non-singleton cell (cells are invariant, so "first by
+    // colour id" is a deterministic, isomorphism-respecting target choice).
+    const std::size_t n = g.num_vertices();
+    std::vector<std::size_t> cell_size(n, 0);
+    for (std::uint32_t c : colors) ++cell_size[c];
+    std::uint32_t target = 0;
+    bool discrete = true;
+    for (std::uint32_t c = 0; c < n; ++c) {
+      if (cell_size[c] >= 2) {
+        target = c;
+        discrete = false;
+        break;
+      }
+    }
+    if (discrete) {
+      leaf(colors);
+      return;
+    }
+
+    std::vector<Vertex> cell;
+    for (Vertex v = 0; v < n; ++v)
+      if (colors[v] == target) cell.push_back(v);
+
+    std::vector<Vertex> explored;
+    for (Vertex v : cell) {
+      if (exceeded) return;
+      if (!explored.empty()) {
+        // Orbit pruning: under the generators fixing every vertex on the
+        // current path, v in an explored sibling's orbit yields a subtree
+        // isomorphic to one already searched.
+        OrbitPartition orbits(n);
+        for (const std::vector<Vertex>& aut : generators) {
+          bool fixes_path = true;
+          for (Vertex p : path)
+            if (aut[p] != p) {
+              fixes_path = false;
+              break;
+            }
+          if (!fixes_path) continue;
+          for (std::size_t x = 0; x < n; ++x)
+            orbits.unite(static_cast<Vertex>(x), aut[x]);
+        }
+        bool pruned = false;
+        for (Vertex u : explored)
+          if (orbits.find(u) == orbits.find(v)) {
+            pruned = true;
+            break;
+          }
+        if (pruned) continue;
+      }
+      std::vector<std::uint32_t> child = colors;
+      // A fresh colour strictly above every existing id individualizes v
+      // identically in every branch (refine() re-normalizes the ids).
+      child[v] = static_cast<std::uint32_t>(n);
+      path.push_back(v);
+      run(std::move(child));
+      path.pop_back();
+      explored.push_back(v);
+    }
+  }
+};
+
+}  // namespace
+
+CanonicalForm canonical_form(const graph::Graph& g,
+                             std::span<const std::uint32_t> initial_colors,
+                             std::uint64_t node_budget) {
+  const std::size_t n = g.num_vertices();
+  CanonicalForm form;
+  form.n = n;
+  if (n == 0) return form;
+  DEF_REQUIRE(initial_colors.empty() || initial_colors.size() == n,
+              "initial_colors must be empty or one per vertex");
+
+  std::vector<std::uint32_t> colors(n, 0);
+  if (!initial_colors.empty())
+    colors.assign(initial_colors.begin(), initial_colors.end());
+
+  Search search(g, node_budget == 0 ? kDefaultCanonicalNodeBudget
+                                    : node_budget);
+  search.run(std::move(colors));
+  form.search_nodes = search.nodes;
+
+  if (search.exceeded || !search.have_best) {
+    // Budget safety net: degrade to the identity labeling. Still a valid
+    // cache key (exact boards match themselves); just never unifies
+    // isomorphs.
+    form.exact = false;
+    form.to_canonical.resize(n);
+    form.from_canonical.resize(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      form.to_canonical[v] = static_cast<Vertex>(v);
+      form.from_canonical[v] = static_cast<Vertex>(v);
+    }
+    form.edges.assign(g.edges().begin(), g.edges().end());
+    return form;
+  }
+
+  form.exact = true;
+  form.to_canonical = std::move(search.best_to_canonical);
+  form.from_canonical.resize(n);
+  for (std::size_t v = 0; v < n; ++v)
+    form.from_canonical[form.to_canonical[v]] = static_cast<Vertex>(v);
+  form.edges = std::move(search.best_cert);
+  return form;
+}
+
+graph::Graph build_canonical_graph(const CanonicalForm& form) {
+  graph::GraphBuilder b(form.n);
+  for (const Edge& e : form.edges) b.add_edge(e.u, e.v);
+  return b.build();
+}
+
+std::vector<double> to_canonical_weights(const CanonicalForm& form,
+                                         std::span<const double> weights) {
+  DEF_REQUIRE(weights.size() == form.n,
+              "weights must have one entry per vertex");
+  std::vector<double> out(form.n);
+  for (std::size_t c = 0; c < form.n; ++c)
+    out[c] = weights[form.from_canonical[c]];
+  return out;
+}
+
+std::vector<std::uint32_t> weight_color_classes(
+    std::span<const double> weights) {
+  std::vector<double> distinct(weights.begin(), weights.end());
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  std::vector<std::uint32_t> colors(weights.size());
+  for (std::size_t v = 0; v < weights.size(); ++v)
+    colors[v] = static_cast<std::uint32_t>(
+        std::lower_bound(distinct.begin(), distinct.end(), weights[v]) -
+        distinct.begin());
+  return colors;
+}
+
+}  // namespace defender::cache

@@ -1,0 +1,97 @@
+// Canonical graph labeling for the solve cache.
+//
+// Two boards that differ only by a vertex relabeling induce the same game
+// up to the relabeling — equal value, equal bracket, and strategy profiles
+// that map onto each other through the permutation. The cache therefore
+// keys solves by a CANONICAL form: a deterministic relabeling L of the
+// board such that L(G) = L(π(G)) for every permutation π, so every member
+// of an isomorphism class shares one key.
+//
+// The labeling is the classic two-stage construction:
+//
+//   1. Iterated WL (Weisfeiler–Leman) colour refinement. Vertices start
+//      from caller-supplied invariant colours (weight classes for the
+//      weighted solvers; uniform otherwise) and are repeatedly split by
+//      the multiset of neighbour colours until the partition stabilizes.
+//      Colour ids are assigned by sorted signature, so they are themselves
+//      label-invariant.
+//   2. Individualization-refinement on the stable partition. While a cell
+//      has >= 2 vertices, each member of the FIRST such cell is
+//      individualized in turn and refinement re-run; every branch that
+//      reaches a discrete partition yields a candidate labeling, and the
+//      lexicographically smallest relabeled edge list wins (deterministic
+//      tie-breaking). Branches whose leaf certificate equals the incumbent
+//      reveal automorphisms; a union-find over the generators that fix the
+//      current individualization path prunes same-orbit siblings, which
+//      collapses the factorial blowup on symmetric boards (K_n, K_{a,b},
+//      cycles) to near-linear work.
+//
+// The search carries a node budget as a safety net. If a pathological
+// board exhausts it, canonical_form degrades to the identity labeling
+// with exact = false — such forms never produce cross-isomorph cache
+// hits, but correctness is unaffected: the cache re-checks full canonical
+// form equality on every hit anyway (cache.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace defender::cache {
+
+/// Default individualization-refinement node budget. Boards in this
+/// codebase are tiny (tens of vertices); well-behaved searches finish in
+/// far fewer nodes, so hitting this signals pathology, not scale.
+inline constexpr std::uint64_t kDefaultCanonicalNodeBudget = 200'000;
+
+/// A canonical labeling of one board.
+struct CanonicalForm {
+  /// Vertex count (labels are a bijection on [0, n)).
+  std::size_t n = 0;
+  /// The canonically relabeled edge list, normalized (u < v) and sorted —
+  /// equal across every member of the isomorphism class when `exact`.
+  std::vector<graph::Edge> edges;
+  /// to_canonical[v] = canonical label of original vertex v.
+  std::vector<graph::Vertex> to_canonical;
+  /// from_canonical[c] = original vertex with canonical label c (the
+  /// inverse bijection; transport on a cache hit walks this direction).
+  std::vector<graph::Vertex> from_canonical;
+  /// False when the search budget ran out and the identity labeling was
+  /// used instead. Non-exact forms still key a cache correctly (equality
+  /// is re-checked on hit) but only ever match bit-identical boards.
+  bool exact = true;
+  /// Search nodes the individualization-refinement tree expanded.
+  std::uint64_t search_nodes = 0;
+};
+
+/// Computes the canonical form of `g`.
+///
+/// `initial_colors`, when non-empty, must hold one label-INVARIANT colour
+/// per vertex (e.g. the rank of the vertex's weight among the distinct
+/// weight values); vertices with different initial colours are never
+/// mapped onto each other, so weighted games only unify with relabelings
+/// that preserve the weight function. Empty means uniform colours.
+CanonicalForm canonical_form(
+    const graph::Graph& g, std::span<const std::uint32_t> initial_colors = {},
+    std::uint64_t node_budget = kDefaultCanonicalNodeBudget);
+
+/// Rebuilds the canonically labeled board from a form's edge list. The
+/// result is isomorphic to the original graph; solving IT instead of the
+/// original makes every isomorph's solve bit-identical (docs/CACHE.md).
+graph::Graph build_canonical_graph(const CanonicalForm& form);
+
+/// Maps `weights` (indexed by original vertex) into canonical vertex
+/// order: result[c] = weights[form.from_canonical[c]]. Per-vertex data
+/// only ever travels INTO canonical space (the solve happens there);
+/// strategy profiles travel back via cache::transport (cache.hpp).
+std::vector<double> to_canonical_weights(const CanonicalForm& form,
+                                         std::span<const double> weights);
+
+/// Ranks `weights` into dense invariant colours for canonical_form: equal
+/// weights share a colour, colours ascend with the weight value.
+std::vector<std::uint32_t> weight_color_classes(std::span<const double> weights);
+
+}  // namespace defender::cache

@@ -107,6 +107,15 @@ struct AttemptOutput {
   double upper = 1;
   core::SolverCheckpoint checkpoint;
   bool captured = false;
+  /// Explicit strategy mixes, captured only on `want_profiles` kOk solves
+  /// of the exact solvers (double oracle, LP) for cache population. The
+  /// learning dynamics report frequencies, not mixes, so they leave this
+  /// empty.
+  bool has_profiles = false;
+  std::vector<core::Tuple> defender_support;
+  std::vector<double> defender_probs;
+  std::vector<graph::Vertex> attacker_support;
+  std::vector<double> attacker_probs;
 };
 
 /// Dispatches one attempt to the solver's resumable entry point.
@@ -116,12 +125,27 @@ AttemptOutput run_attempt(const SolveJob& job, JobSolver solver,
                           double tolerance, const SolveBudget& budget,
                           std::size_t hedge_horizon,
                           const core::SolverCheckpoint* resume,
-                          obs::ObsContext* obs, fault::FaultContext* fault) {
+                          bool want_profiles, obs::ObsContext* obs,
+                          fault::FaultContext* fault) {
   AttemptOutput out;
   out.upper = value_upper_bound(job);
   core::ResumeHooks hooks;
   hooks.resume = resume;
   hooks.capture = &out.checkpoint;
+
+  const auto capture_mixes = [&](const core::TupleDistribution& defender,
+                                 const core::VertexDistribution& attacker) {
+    if (!want_profiles || out.status.code != StatusCode::kOk) return;
+    out.has_profiles = true;
+    out.defender_support.assign(defender.support().begin(),
+                                defender.support().end());
+    out.defender_probs.assign(defender.probs().begin(),
+                              defender.probs().end());
+    out.attacker_support.assign(attacker.support().begin(),
+                                attacker.support().end());
+    out.attacker_probs.assign(attacker.probs().begin(),
+                              attacker.probs().end());
+  };
 
   switch (solver) {
     case JobSolver::kDoubleOracle: {
@@ -133,6 +157,7 @@ AttemptOutput run_attempt(const SolveJob& job, JobSolver solver,
       out.value = solved.result.value;
       out.lower = solved.result.lower_bound;
       out.upper = solved.result.upper_bound;
+      capture_mixes(solved.result.defender, solved.result.attacker);
       break;
     }
     case JobSolver::kWeightedDoubleOracle: {
@@ -144,6 +169,7 @@ AttemptOutput run_attempt(const SolveJob& job, JobSolver solver,
       out.value = solved.result.value;
       out.lower = solved.result.lower_bound;
       out.upper = solved.result.upper_bound;
+      capture_mixes(solved.result.defender, solved.result.attacker);
       break;
     }
     case JobSolver::kFictitiousPlay: {
@@ -200,6 +226,11 @@ AttemptOutput run_attempt(const SolveJob& job, JobSolver solver,
       out.value = solved.result.value;
       out.lower = solved.result.lower_bound;
       out.upper = solved.result.upper_bound;
+      if (want_profiles && out.status.code == StatusCode::kOk) {
+        const core::MixedConfiguration config =
+            core::to_configuration(job.game, solved.result, 1e-12);
+        capture_mixes(config.defender, config.attackers.front());
+      }
       break;
     }
   }
@@ -235,13 +266,69 @@ void stall_worker(const SolveJob& job, std::uint64_t aux,
   }
 }
 
+/// The canonical twin of a job: the same solve on the canonically
+/// relabeled board, plus the derived cache key.
+struct CanonicalRoute {
+  cache::CanonicalForm form;
+  SolveJob job;
+  cache::CacheKey key;
+};
+
+/// Canonicalizes a job (already shape-validated). The relabeled game's
+/// scalars — value, bracket, status — equal the original's, so the route
+/// is transparent to JobResult consumers.
+CanonicalRoute make_canonical_route(const SolveJob& job, bool with_key) {
+  std::vector<std::uint32_t> colors;
+  if (is_weighted(job.solver))
+    colors = cache::weight_color_classes(job.weights);
+  cache::CanonicalForm form = cache::canonical_form(job.game.graph(), colors);
+  core::TupleGame canonical_game(cache::build_canonical_graph(form),
+                                 job.game.k(), job.game.num_attackers());
+  SolveJob canonical_job(std::move(canonical_game));
+  canonical_job.solver = job.solver;
+  canonical_job.tolerance = job.tolerance;
+  canonical_job.budget = job.budget;
+  if (is_weighted(job.solver))
+    canonical_job.weights = cache::to_canonical_weights(form, job.weights);
+  canonical_job.fault_plan = job.fault_plan;
+  canonical_job.watchdog_seconds = job.watchdog_seconds;
+
+  CanonicalRoute route{std::move(form), std::move(canonical_job), {}};
+  if (with_key)
+    route.key = cache::SolveCache::make_key(
+        route.form, route.job.weights, job.game.k(),
+        job.game.num_attackers(), to_string(job.solver), job.tolerance,
+        job.budget);
+  return route;
+}
+
+/// The checkpoint family a job solver resumes from; nullopt for solvers a
+/// warm start cannot help (LP has no checkpoint; Hedge's horizon is baked
+/// into the stored learning rate).
+std::optional<core::SolverKind> warm_kind_for(JobSolver solver) {
+  switch (solver) {
+    case JobSolver::kDoubleOracle: return core::SolverKind::kDoubleOracle;
+    case JobSolver::kWeightedDoubleOracle:
+      return core::SolverKind::kWeightedDoubleOracle;
+    case JobSolver::kFictitiousPlay:
+      return core::SolverKind::kFictitiousPlay;
+    case JobSolver::kWeightedFictitiousPlay:
+      return core::SolverKind::kWeightedFictitiousPlay;
+    case JobSolver::kHedge:
+    case JobSolver::kZeroSumLp:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
 /// Runs one job's full retry ladder on the calling thread. `token` may be
 /// nullptr (serial reference path); `allow_stall` gates the kWorkerStall
 /// sleep (the site's fires/aux draws are consumed either way, so pool and
-/// serial runs see bit-identical fault schedules).
+/// serial runs see bit-identical fault schedules). `warm` is the batch's
+/// warm-index snapshot (nullptr = no warm starts).
 JobResult run_ladder(const SolveJob& job, std::size_t job_index,
                      CancelToken* token, const EngineConfig& config,
-                     bool allow_stall) {
+                     bool allow_stall, const cache::WarmSnapshot* warm) {
   JobResult out;
   out.job_index = job_index;
   out.solver = job.solver;
@@ -255,6 +342,23 @@ JobResult run_ladder(const SolveJob& job, std::size_t job_index,
     out.status = invalid;
     return out;
   }
+
+  // Canonical-form routing: solve the relabeled twin so isomorphic jobs
+  // (and cache hits) are bit-identical. A failure to canonicalize —
+  // there is no expected one — degrades to the raw labeling rather than
+  // the job.
+  const bool cache_eligible = config.cache != nullptr &&
+                              !job.fault_plan.armed() &&
+                              !config.collect_convergence;
+  std::optional<CanonicalRoute> route;
+  if (config.canonicalize || config.cache != nullptr) {
+    try {
+      route.emplace(make_canonical_route(job, cache_eligible));
+    } catch (const std::exception&) {
+      route.reset();
+    }
+  }
+  const SolveJob& work = route.has_value() ? route->job : job;
 
   std::optional<fault::FaultContext> fctx;
   if (job.fault_plan.armed()) fctx.emplace(job.fault_plan);
@@ -274,6 +378,36 @@ JobResult run_ladder(const SolveJob& job, std::size_t job_index,
         "engine.job",
         {obs::TraceArg::of("job", static_cast<std::uint64_t>(job_index)),
          obs::TraceArg::of("solver", std::string(to_string(job.solver)))});
+
+  // Cache lookup before any solve. A hit reconstructs the JobResult a
+  // fresh canonical solve would produce, bit for bit (the stored entry
+  // was itself a clean single-attempt canonical solve of this key).
+  if (cache_eligible && route.has_value()) {
+    if (std::optional<cache::CachedSolve> hit =
+            config.cache->lookup(route->key)) {
+      out.status = Status::make_ok();
+      out.status.message = hit->message;
+      out.status.iterations = hit->iterations;
+      out.status.residual = hit->residual;
+      out.value = hit->value;
+      out.lower_bound = hit->lower;
+      out.upper_bound = hit->upper;
+      out.iterations = hit->iterations;
+      out.attempts.push_back(AttemptRecord{
+          1, AttemptAction::kInitial, job.solver, StatusCode::kOk,
+          hit->attempt_value, hit->attempt_lower, hit->attempt_upper,
+          hit->iterations, 0.0});
+      if (config.metrics != nullptr)
+        config.metrics->counter("engine.jobs").add(1);
+      if (config.tracer != nullptr) {
+        job_span.arg("status", std::string(to_string(out.status.code)));
+        job_span.arg("attempts", std::uint64_t{1});
+        job_span.arg("value", out.value);
+        job_span.arg("cache", std::string("hit"));
+      }
+      return out;
+    }
+  }
 
   if (fctx.has_value() && fctx->fires(fault::FaultSite::kWorkerStall)) {
     const std::uint64_t aux = fctx->aux(fault::FaultSite::kWorkerStall);
@@ -295,6 +429,37 @@ JobResult run_ladder(const SolveJob& job, std::size_t job_index,
   double env_lo = 0;
   double env_hi = vub;
 
+  // Warm start on a near miss: a stored checkpoint under this job's
+  // STRUCTURAL key (same canonical board/weights/solver, any params)
+  // seeds the first attempt via the solver's resume path. The snapshot
+  // was taken at batch start, so this never depends on worker schedule.
+  bool warm_used = false;
+  if (cache_eligible && route.has_value() && config.cache_warm_start &&
+      warm != nullptr) {
+    const std::optional<core::SolverKind> kind = warm_kind_for(job.solver);
+    const auto warm_it =
+        kind.has_value() ? warm->find(route->key.structural) : warm->end();
+    if (kind.has_value() && warm_it != warm->end()) {
+      Solved<core::SolverCheckpoint> parsed =
+          core::try_parse_checkpoint(warm_it->second);
+      if (parsed.status.ok() && parsed.result.solver == *kind &&
+          parsed.result.n == work.game.graph().num_vertices() &&
+          parsed.result.m == work.game.graph().num_edges() &&
+          parsed.result.k == work.game.k()) {
+        checkpoint = std::move(parsed.result);
+        resume_next = true;
+        warm_used = true;
+        if (config.metrics != nullptr)
+          config.metrics->counter("cache.warm_starts").add(1);
+      }
+    }
+  }
+
+  // Last attempt's captured strategy mixes, kept for cache population.
+  const bool want_profiles = cache_eligible && route.has_value();
+  AttemptOutput profiles;
+  bool checkpoint_captured = false;
+
   for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
     if (attempt >= 2) {
       const double backoff_ms = policy.backoff_before_attempt_ms(attempt);
@@ -307,9 +472,9 @@ JobResult run_ladder(const SolveJob& job, std::size_t job_index,
 
     AttemptOutput r;
     try {
-      r = run_attempt(job, solver, tolerance, budget, hedge_horizon,
-                      resume_next ? &checkpoint : nullptr, obs,
-                      fctx.has_value() ? &*fctx : nullptr);
+      r = run_attempt(work, solver, tolerance, budget, hedge_horizon,
+                      resume_next ? &checkpoint : nullptr, want_profiles,
+                      obs, fctx.has_value() ? &*fctx : nullptr);
     } catch (const std::exception& e) {
       // Per-job isolation: a throwing job (hostile input past validation,
       // allocation failure, ...) degrades to a truthful status on its own
@@ -346,7 +511,17 @@ JobResult run_ladder(const SolveJob& job, std::size_t job_index,
     out.value = std::clamp(r.value, env_lo, env_hi);
     out.iterations = r.status.iterations;
 
-    if (r.captured) checkpoint = std::move(r.checkpoint);
+    if (r.captured) {
+      checkpoint = std::move(r.checkpoint);
+      checkpoint_captured = true;
+    }
+    if (want_profiles) {
+      profiles.has_profiles = r.has_profiles;
+      profiles.defender_support = std::move(r.defender_support);
+      profiles.defender_probs = std::move(r.defender_probs);
+      profiles.attacker_support = std::move(r.attacker_support);
+      profiles.attacker_probs = std::move(r.attacker_probs);
+    }
 
     if (attempt == max_attempts) break;
     const StatusCode code = r.status.code;
@@ -406,6 +581,45 @@ JobResult run_ladder(const SolveJob& job, std::size_t job_index,
       !out.attempts.empty() && out.attempts.back().solver != job.solver;
   out.faults_injected = fctx.has_value() ? fctx->total_injected() : 0;
   out.convergence_samples = recorder.samples().size();
+
+  // Populate the cache — only from pristine solves: a clean kOk on the
+  // FIRST attempt, no fallback, no warm resume, and (by cache_eligible)
+  // no armed fault plan, so a hit replays exactly what a fresh solve of
+  // any isomorphic twin would report. Degraded, retried, or faulted jobs
+  // never land in the cache.
+  if (cache_eligible && route.has_value() && !warm_used &&
+      out.status.code == StatusCode::kOk && out.attempts.size() == 1 &&
+      !out.fallback_used && out.faults_injected == 0) {
+    cache::CachedSolve entry;
+    entry.n = route->form.n;
+    entry.k = job.game.k();
+    entry.num_attackers = job.game.num_attackers();
+    entry.exact_form = route->form.exact;
+    entry.solver = to_string(job.solver);
+    entry.tolerance = job.tolerance;
+    entry.max_iterations = job.budget.max_iterations;
+    entry.wall_clock_seconds = job.budget.wall_clock_seconds;
+    entry.oracle_node_budget = job.budget.oracle_node_budget;
+    entry.edges = route->form.edges;
+    entry.weights = route->job.weights;
+    entry.message = out.status.message;
+    entry.iterations = out.iterations;
+    entry.residual = out.status.residual;
+    entry.value = out.value;
+    entry.lower = out.lower_bound;
+    entry.upper = out.upper_bound;
+    const AttemptRecord& first = out.attempts.front();
+    entry.attempt_value = first.value;
+    entry.attempt_lower = first.lower;
+    entry.attempt_upper = first.upper;
+    entry.has_profiles = profiles.has_profiles;
+    entry.defender_support = std::move(profiles.defender_support);
+    entry.defender_probs = std::move(profiles.defender_probs);
+    entry.attacker_support = std::move(profiles.attacker_support);
+    entry.attacker_probs = std::move(profiles.attacker_probs);
+    if (checkpoint_captured) entry.checkpoint_text = core::to_text(checkpoint);
+    config.cache->store(route->key, std::move(entry));
+  }
 
   if (config.metrics != nullptr) {
     config.metrics->counter("engine.jobs").add(1);
@@ -506,7 +720,16 @@ SolveEngine::SolveEngine(EngineConfig config) : config_(std::move(config)) {}
 
 JobResult SolveEngine::run_serial(const SolveJob& job,
                                   std::size_t job_index) const {
-  return run_ladder(job, job_index, nullptr, config_, /*allow_stall=*/false);
+  std::optional<cache::WarmSnapshot> warm;
+  if (config_.cache != nullptr && config_.cache_warm_start)
+    warm = config_.cache->warm_snapshot();
+  return run_ladder(job, job_index, nullptr, config_, /*allow_stall=*/false,
+                    warm.has_value() ? &*warm : nullptr);
+}
+
+CanonicalJobKey canonical_key_for_job(const SolveJob& job) {
+  CanonicalRoute route = make_canonical_route(job, /*with_key=*/true);
+  return CanonicalJobKey{std::move(route.form), std::move(route.key)};
 }
 
 BatchReport SolveEngine::run(const std::vector<SolveJob>& jobs) {
@@ -553,6 +776,15 @@ BatchReport SolveEngine::run(const std::vector<SolveJob>& jobs) {
   };
   publish_gauges();
 
+  // Warm-start snapshot, taken ONCE before any job runs: entries stored
+  // mid-batch must never seed later jobs' resume trajectories, or results
+  // would depend on worker count and scheduling order.
+  std::optional<cache::WarmSnapshot> warm;
+  if (config_.cache != nullptr && config_.cache_warm_start)
+    warm = config_.cache->warm_snapshot();
+  const cache::WarmSnapshot* warm_ptr =
+      warm.has_value() ? &*warm : nullptr;
+
   bool any_watchdog = false;
   for (const SolveJob& job : jobs)
     if (job.watchdog_seconds > 0) any_watchdog = true;
@@ -598,8 +830,8 @@ BatchReport SolveEngine::run(const std::vector<SolveJob>& jobs) {
         slot.start = clock::now();
         slot.token = &token;
       }
-      JobResult result =
-          run_ladder(jobs[i], i, &token, config_, /*allow_stall=*/true);
+      JobResult result = run_ladder(jobs[i], i, &token, config_,
+                                    /*allow_stall=*/true, warm_ptr);
       {
         std::lock_guard<std::mutex> lock(slot.mu);
         slot.active = false;

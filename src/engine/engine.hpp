@@ -28,6 +28,13 @@
 // The pool is exception-proof: a job that throws (hostile input tripping
 // DEF_REQUIRE, bad_alloc, ...) is caught on its worker and reported as
 // that job's Status — never a crashed batch.
+//
+// Canonical-form routing (PR 5, docs/CACHE.md): with `canonicalize` set —
+// or a SolveCache attached — every job is solved on its canonically
+// relabeled board. The reported scalars (value, bracket, status) are
+// label-invariant, so isomorphic jobs produce bit-identical results
+// whether they were solved fresh or served from the cache, preserving the
+// determinism contract with the cache on, off, or pre-warmed.
 #pragma once
 
 #include <cstddef>
@@ -35,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/cache.hpp"
 #include "engine/job.hpp"
 #include "engine/retry.hpp"
 #include "obs/context.hpp"
@@ -60,6 +68,24 @@ struct EngineConfig {
   /// JobResult::convergence_samples; the samples themselves stay
   /// job-local). Off by default: the null-obs solve path stays zero-cost.
   bool collect_convergence = false;
+  /// Optional canonical-form solve cache, shared across workers (it is
+  /// thread-safe). Attaching one implies canonical-form routing. Jobs
+  /// with an ARMED fault plan never read or populate the cache, and the
+  /// cache is bypassed entirely when collect_convergence is set (a hit
+  /// has no samples to replay).
+  cache::SolveCache* cache = nullptr;
+  /// Solve every job on its canonically relabeled board even without a
+  /// cache — the reference mode cache-on/off comparisons run both sides
+  /// in. Implied by `cache != nullptr`.
+  bool canonicalize = false;
+  /// On a cache miss whose STRUCTURAL key matches a stored entry (same
+  /// canonical board/weights/solver, different tolerance or budget),
+  /// resume from the stored checkpoint instead of starting cold. Warm
+  /// starts alter solve trajectories, so they are opt-in and resume only
+  /// from a snapshot of the warm index taken when run() starts — never
+  /// from entries stored mid-batch — keeping results worker-count
+  /// invariant (though NOT identical to a cold cache-off run).
+  bool cache_warm_start = false;
 };
 
 /// Outcome of one run(): per-job results in submission order plus batch
@@ -117,5 +143,16 @@ constexpr std::uint64_t derive_job_seed(std::uint64_t batch_seed,
   return batch_seed ^ (0x9e3779b97f4a7c15ULL *
                        (static_cast<std::uint64_t>(job_index) + 1));
 }
+
+/// A job's canonical form and derived cache key — exactly what the engine
+/// computes before lookup. Exposed for the CLI and the chaos/stress
+/// harnesses (e.g. asserting that a faulted job's key never lands in the
+/// cache).
+struct CanonicalJobKey {
+  cache::CanonicalForm form;
+  cache::CacheKey key;
+};
+
+CanonicalJobKey canonical_key_for_job(const SolveJob& job);
 
 }  // namespace defender::engine

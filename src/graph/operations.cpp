@@ -42,4 +42,18 @@ Graph cartesian_product(const Graph& g, const Graph& h) {
   return b.build();
 }
 
+Graph permute(const Graph& g, std::span<const Vertex> perm) {
+  const std::size_t n = g.num_vertices();
+  DEF_REQUIRE(perm.size() == n, "permutation size must equal num_vertices");
+  std::vector<bool> seen(n, false);
+  for (Vertex image : perm) {
+    DEF_REQUIRE(image < n, "permutation image out of range");
+    DEF_REQUIRE(!seen[image], "permutation must be a bijection");
+    seen[image] = true;
+  }
+  GraphBuilder b(n);
+  for (const Edge& e : g.edges()) b.add_edge(perm[e.u], perm[e.v]);
+  return b.build();
+}
+
 }  // namespace defender::graph

@@ -1,11 +1,15 @@
-// Graph operations: complement, line graph, Cartesian product.
+// Graph operations: complement, line graph, Cartesian product, permutation.
 //
 // Board constructors for richer experiment families: Cartesian products
 // inherit perfect matchings (so product boards are defense-optimal per
 // core/perfect_matching_ne), line graphs turn edge-scanning questions into
 // vertex-scanning ones, and complements supply dense counterparts to
-// sparse families.
+// sparse families. `permute` relabels a board — the generator behind the
+// metamorphic property suite (solve(G) vs solve(π(G))) and the
+// canonical-form cache's transport tests.
 #pragma once
+
+#include <span>
 
 #include "graph/graph.hpp"
 
@@ -24,5 +28,11 @@ Graph line_graph(const Graph& g);
 /// a * H.num_vertices() + b; (a, b) ~ (a', b') iff a = a' and b ~ b' in H,
 /// or b = b' and a ~ a' in G. (Q_d = K2 □ ... □ K2; grids = path □ path.)
 Graph cartesian_product(const Graph& g, const Graph& h);
+
+/// The relabeled graph π(G): vertex v of `g` becomes perm[v]. `perm` must
+/// be a bijection on [0, n) with exactly n entries. Edge ids are reassigned
+/// by the builder's normalized (u < v) order, so they generally differ
+/// from g's.
+Graph permute(const Graph& g, std::span<const Vertex> perm);
 
 }  // namespace defender::graph

@@ -1,0 +1,245 @@
+// SolveCache unit properties: LRU discipline, the hash-collision guard,
+// warm-checkpoint near-miss lookups, transport hardening, metrics
+// mirroring, and text round-trips of engine-produced entries
+// (docs/CACHE.md).
+#include "cache/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/canonical.hpp"
+#include "core/budget.hpp"
+#include "core/game.hpp"
+#include "engine/engine.hpp"
+#include "engine/job.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "obs/metrics.hpp"
+
+namespace defender::cache {
+namespace {
+
+// A minimal self-consistent entry for a path board of `n` vertices; the
+// key is rebuilt from the entry itself so store/lookup agree by
+// construction.
+CachedSolve path_entry(std::size_t n, double tolerance = 1e-9) {
+  const CanonicalForm form = canonical_form(graph::path_graph(n));
+  CachedSolve entry;
+  entry.n = form.n;
+  entry.k = 2;
+  entry.num_attackers = 1;
+  entry.exact_form = form.exact;
+  entry.solver = "double-oracle";
+  entry.tolerance = tolerance;
+  entry.max_iterations = 60;
+  entry.edges = form.edges;
+  entry.message = "converged";
+  entry.iterations = 7;
+  entry.residual = 0.0;
+  entry.value = 1.0 / static_cast<double>(n);
+  entry.lower = entry.value;
+  entry.upper = entry.value;
+  entry.attempt_value = entry.value;
+  entry.attempt_lower = entry.lower;
+  entry.attempt_upper = entry.upper;
+  return entry;
+}
+
+TEST(SolveCache, LruEvictsLeastRecentlyUsed) {
+  SolveCache cache(CacheConfig{.capacity = 2});
+  const CachedSolve a = path_entry(4), b = path_entry(5), c = path_entry(6);
+  const CacheKey ka = key_from_entry(a), kb = key_from_entry(b),
+                 kc = key_from_entry(c);
+  cache.store(ka, a);
+  cache.store(kb, b);
+  ASSERT_TRUE(cache.lookup(ka).has_value());  // touch: a is now MRU
+  cache.store(kc, c);                         // evicts b, the LRU entry
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.lookup(kb).has_value());
+  EXPECT_TRUE(cache.lookup(ka).has_value());
+  EXPECT_TRUE(cache.lookup(kc).has_value());
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.stores, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(SolveCache, StoreRefreshesExistingKeyInPlace) {
+  SolveCache cache(CacheConfig{.capacity = 4});
+  CachedSolve a = path_entry(4);
+  const CacheKey ka = key_from_entry(a);
+  cache.store(ka, a);
+  a.iterations = 99;
+  cache.store(ka, a);
+  EXPECT_EQ(cache.size(), 1u);
+  const std::optional<CachedSolve> hit = cache.lookup(ka);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->iterations, 99u);
+}
+
+TEST(SolveCache, CollisionGuardRefusesFoldedHashNeighbours) {
+  // hash_mask 0 funnels EVERY key into one bucket: all lookups scan
+  // colliding neighbours and must tell them apart by full key text.
+  SolveCache cache(CacheConfig{.capacity = 16, .hash_mask = 0});
+  const CachedSolve a = path_entry(4), b = path_entry(5), c = path_entry(6);
+  cache.store(key_from_entry(a), a);
+  cache.store(key_from_entry(b), b);
+  cache.store(key_from_entry(c), c);
+  for (const CachedSolve* e : {&a, &b, &c}) {
+    const std::optional<CachedSolve> hit = cache.lookup(key_from_entry(*e));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->n, e->n);  // never a colliding neighbour's payload
+  }
+  EXPECT_GT(cache.stats().collisions, 0u);
+  // A probe that matches no entry is a miss even though the bucket is full.
+  EXPECT_FALSE(cache.lookup(key_from_entry(path_entry(9))).has_value());
+}
+
+TEST(SolveCache, WarmCheckpointMatchesStructuralKeyAcrossParams) {
+  SolveCache cache;
+  CachedSolve loose = path_entry(6, /*tolerance=*/1e-2);
+  loose.checkpoint_text = "defender-checkpoint v1\nfake payload\n";
+  cache.store(key_from_entry(loose), loose);
+
+  // Same board + solver at a tighter tolerance: exact lookup misses, the
+  // warm probe finds the structural twin's checkpoint.
+  const CacheKey tight = key_from_entry(path_entry(6, /*tolerance=*/1e-9));
+  EXPECT_FALSE(cache.lookup(tight).has_value());
+  const std::optional<std::string> warm = cache.warm_checkpoint(tight);
+  ASSERT_TRUE(warm.has_value());
+  EXPECT_EQ(*warm, loose.checkpoint_text);
+  EXPECT_EQ(cache.stats().warm_hits, 1u);
+
+  // A different board has no structural twin.
+  EXPECT_FALSE(cache.warm_checkpoint(key_from_entry(path_entry(7))).has_value());
+
+  // Entries without a checkpoint never serve warm starts.
+  SolveCache bare;
+  const CachedSolve plain = path_entry(6, 1e-2);
+  bare.store(key_from_entry(plain), plain);
+  EXPECT_FALSE(bare.warm_checkpoint(tight).has_value());
+}
+
+TEST(SolveCache, WarmSnapshotIsImmuneToLaterStores) {
+  SolveCache cache;
+  CachedSolve loose = path_entry(6, 1e-2);
+  loose.checkpoint_text = "defender-checkpoint v1\nold\n";
+  cache.store(key_from_entry(loose), loose);
+  const WarmSnapshot snapshot = cache.warm_snapshot();
+
+  CachedSolve newer = path_entry(6, 1e-3);
+  newer.checkpoint_text = "defender-checkpoint v1\nnew\n";
+  cache.store(key_from_entry(newer), newer);
+
+  const auto it = snapshot.find(key_from_entry(loose).structural);
+  ASSERT_NE(it, snapshot.end());
+  EXPECT_EQ(it->second, loose.checkpoint_text);
+}
+
+TEST(SolveCache, RejectsNonFinitePayloads) {
+  SolveCache cache;
+  CachedSolve bad = path_entry(5);
+  bad.value = std::numeric_limits<double>::quiet_NaN();
+  cache.store(key_from_entry(bad), bad);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(SolveCache, TransportRejectsTamperedProfiles) {
+  const graph::Graph g = graph::path_graph(5);
+  const CanonicalForm form = canonical_form(g);
+  SolveCache cache;
+
+  CachedSolve entry = path_entry(5);
+  // No profiles at all: transport must refuse, not fabricate.
+  EXPECT_EQ(cache.transport(entry, form, g).status.code,
+            StatusCode::kInvalidInput);
+
+  // Canonical edge id out of range (as a tampered store could carry).
+  entry.has_profiles = true;
+  entry.defender_support = {{0, 99}};
+  entry.defender_probs = {1.0};
+  entry.attacker_support = {0};
+  entry.attacker_probs = {1.0};
+  EXPECT_EQ(cache.transport(entry, form, g).status.code,
+            StatusCode::kInvalidInput);
+
+  // Probabilities that do not sum to 1 fail distribution validation.
+  entry.defender_support = {{0, 1}};
+  entry.defender_probs = {0.25};
+  EXPECT_EQ(cache.transport(entry, form, g).status.code,
+            StatusCode::kInvalidInput);
+}
+
+TEST(SolveCache, MirrorsCountersIntoMetricsRegistry) {
+  obs::MetricsRegistry metrics;
+  SolveCache cache(CacheConfig{.capacity = 1, .metrics = &metrics});
+  const CachedSolve a = path_entry(4), b = path_entry(5);
+  cache.store(key_from_entry(a), a);
+  cache.store(key_from_entry(b), b);  // evicts a
+  EXPECT_TRUE(cache.lookup(key_from_entry(b)).has_value());
+  EXPECT_FALSE(cache.lookup(key_from_entry(a)).has_value());
+  EXPECT_EQ(metrics.counter("cache.stores").value(), 2u);
+  EXPECT_EQ(metrics.counter("cache.evictions").value(), 1u);
+  EXPECT_EQ(metrics.counter("cache.hits").value(), 1u);
+  EXPECT_EQ(metrics.counter("cache.misses").value(), 1u);
+}
+
+// Populates a cache through the real engine (profiles, checkpoints,
+// weighted entries included) and round-trips it through the persistent
+// text format: byte-identical re-serialization and hit-for-hit equality.
+TEST(SolveCachePersistence, EngineProducedEntriesRoundTripByteExactly) {
+  SolveCache cache;
+  engine::EngineConfig config;
+  config.cache = &cache;
+  engine::SolveEngine engine(config);
+
+  std::vector<engine::SolveJob> jobs;
+  const graph::Graph boards[] = {graph::path_graph(6), graph::cycle_graph(7),
+                                 graph::complete_bipartite(3, 3),
+                                 graph::grid_graph(2, 4)};
+  const engine::JobSolver solvers[] = {
+      engine::JobSolver::kDoubleOracle,
+      engine::JobSolver::kWeightedDoubleOracle,
+      engine::JobSolver::kZeroSumLp,
+      engine::JobSolver::kFictitiousPlay,
+  };
+  for (std::size_t i = 0; i < 4; ++i) {
+    engine::SolveJob job{core::TupleGame(boards[i], 2, 1)};
+    job.solver = solvers[i];
+    job.tolerance =
+        job.solver == engine::JobSolver::kFictitiousPlay ? 1e-2 : 1e-9;
+    job.budget = SolveBudget::iterations(
+        job.solver == engine::JobSolver::kFictitiousPlay ? 4000 : 400);
+    if (engine::is_weighted(job.solver)) {
+      job.weights.assign(boards[i].num_vertices(), 1.0);
+      job.weights[0] = 2.5;
+    }
+    jobs.push_back(std::move(job));
+  }
+  const engine::BatchReport report = engine.run(jobs);
+  for (const engine::JobResult& r : report.results)
+    ASSERT_TRUE(r.ok()) << r.status.describe();
+  ASSERT_EQ(cache.size(), jobs.size());
+
+  const std::string text = cache.to_text();
+  SolveCache reloaded;
+  const Status merged = reloaded.merge_text(text);
+  ASSERT_TRUE(merged.ok()) << merged.describe();
+  EXPECT_EQ(reloaded.size(), cache.size());
+  EXPECT_EQ(reloaded.to_text(), text);
+
+  // Every key the engine would derive for these jobs hits the reload.
+  for (const engine::SolveJob& job : jobs) {
+    const engine::CanonicalJobKey key = engine::canonical_key_for_job(job);
+    EXPECT_TRUE(reloaded.lookup(key.key).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace defender::cache

@@ -39,10 +39,21 @@
 // failure --engine-report FILE dumps the whole BatchReport as JobReport
 // JSONL so CI can upload it as an artifact.
 //
+// --engine-cache additionally arms a canonical-form SolveCache
+// (docs/CACHE.md) on the chaos batch and raises the bar twice over: every
+// JobResult must stay bit-identical to a cache-less canonicalized run of
+// the same batch, and no ARMED-fault job may ever populate the cache (a
+// key present in the cache must be owned by a clean unfaulted job).
+//
+// The parser fuzz stage also feeds mutated "defender-cache v1" documents
+// to SolveCache::merge_text: any outcome but a crash/throw is fine, and
+// whatever loads must re-serialize and re-parse losslessly.
+//
 // Usage: stress_defender [--instances N] [--fuzz-iters N] [--seed S]
 //                        [--trace FILE.jsonl] [--fault-rate R]
 //                        [--fault-seed S] [--fault-plans DIR]
 //                        [--engine-jobs N] [--engine-report FILE]
+//                        [--engine-cache]
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
@@ -51,9 +62,12 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
+#include "cache/cache.hpp"
 #include "core/atuple.hpp"
 #include "core/checkpoint.hpp"
 #include "core/double_oracle.hpp"
@@ -367,8 +381,35 @@ void mutate(std::string& text, util::Rng& rng) {
   if (text.size() > kMaxFuzzBytes) text.resize(kMaxFuzzBytes);
 }
 
+/// A small but block-complete "defender-cache v1" document (weights,
+/// profiles, checkpoint) as the fuzz seed for SolveCache::merge_text.
+std::string cache_seed_document() {
+  cache::SolveCache seed;
+  cache::CachedSolve e;
+  e.n = 4;
+  e.k = 2;
+  e.num_attackers = 1;
+  e.solver = "weighted-double-oracle";
+  e.tolerance = 1e-9;
+  e.max_iterations = 60;
+  e.edges = {{0, 1}, {1, 2}, {2, 3}};
+  e.weights = {2.0, 1.0, 1.0, 1.5};
+  e.message = "converged";
+  e.iterations = 6;
+  e.value = e.lower = e.upper = 0.5;
+  e.attempt_value = e.attempt_lower = e.attempt_upper = 0.5;
+  e.has_profiles = true;
+  e.defender_support = {{0, 2}, {1, 2}};
+  e.defender_probs = {0.5, 0.5};
+  e.attacker_support = {0, 3};
+  e.attacker_probs = {0.5, 0.5};
+  e.checkpoint_text = "defender-checkpoint v1\nkind weighted-double-oracle\n";
+  seed.store(cache::key_from_entry(e), e);
+  return seed.to_text();
+}
+
 void fuzz_parsers(util::Rng& rng, std::size_t iterations) {
-  // Seed corpus: valid documents of both formats.
+  // Seed corpus: valid documents of every hardened format.
   const graph::Graph seed_graph = graph::petersen_graph();
   const core::TupleGame config_game(graph::cycle_graph(6), 2, 3);
   const auto atuple = core::a_tuple_bipartite(config_game);
@@ -376,6 +417,7 @@ void fuzz_parsers(util::Rng& rng, std::size_t iterations) {
       graph::to_edge_list(seed_graph),
       graph::to_edge_list(graph::grid_graph(2, 3)),
       "3 2\n0 1\n1 2\n",
+      cache_seed_document(),
   };
   std::string config_text;
   if (atuple) {
@@ -411,6 +453,25 @@ void fuzz_parsers(util::Rng& rng, std::size_t iterations) {
     } catch (const std::exception& e) {
       fail("fuzz iter " + std::to_string(i) +
            ": parse_edge_list threw non-contract exception: " + e.what());
+    }
+    // The persistent cache store: never throws, and anything it accepts
+    // must round-trip through to_text losslessly.
+    try {
+      cache::SolveCache fuzzed;
+      const Status merged = fuzzed.merge_text(input);
+      if (merged.ok() && fuzzed.size() > 0) {
+        const std::string text = fuzzed.to_text();
+        cache::SolveCache round;
+        const Status again = round.merge_text(text);
+        if (!again.ok() || round.size() != fuzzed.size() ||
+            round.to_text() != text)
+          fail("fuzz iter " + std::to_string(i) +
+               ": accepted cache input failed to round-trip: " +
+               again.describe());
+      }
+    } catch (const std::exception& e) {
+      fail("fuzz iter " + std::to_string(i) +
+           ": SolveCache::merge_text threw: " + e.what());
     }
   }
 }
@@ -457,11 +518,25 @@ std::vector<engine::SolveJob> build_engine_batch(std::uint64_t seed,
 }
 
 void engine_chaos(std::size_t workers, std::uint64_t seed,
-                  std::uint64_t fault_seed, const std::string& report_path) {
+                  std::uint64_t fault_seed, const std::string& report_path,
+                  bool with_cache) {
   const std::vector<engine::SolveJob> jobs =
       build_engine_batch(seed, fault_seed);
   engine::EngineConfig config;
   config.workers = workers;
+
+  // --engine-cache: a cache-less canonicalized pass is the bit-for-bit
+  // reference the cached pass must reproduce exactly.
+  cache::SolveCache cache;
+  std::optional<engine::BatchReport> reference;
+  if (with_cache) {
+    engine::EngineConfig ref_config;
+    ref_config.workers = workers;
+    ref_config.canonicalize = true;
+    reference.emplace(engine::SolveEngine(ref_config).run(jobs));
+    config.cache = &cache;
+  }
+
   engine::SolveEngine eng(config);
   const engine::BatchReport report = eng.run(jobs);
   check(report.results.size() == jobs.size(), "engine: result count");
@@ -495,6 +570,50 @@ void engine_chaos(std::size_t workers, std::uint64_t seed,
     check(r.faults_injected == 0, tag + ": faults on an unarmed job");
   }
 
+  if (with_cache) {
+    // 1. The cache must be invisible in results: every job bit-identical
+    //    to the cache-less canonicalized reference pass.
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const engine::JobResult& r = report.results[i];
+      const engine::JobResult& ref = reference->results[i];
+      const std::string tag = "engine-cache job " + std::to_string(i);
+      check(r.status.code == ref.status.code, tag + ": status drifted");
+      check(r.status.message == ref.status.message, tag + ": message drifted");
+      check(r.status.iterations == ref.status.iterations,
+            tag + ": iterations drifted");
+      check(r.value == ref.value, tag + ": value drifted");
+      check(r.lower_bound == ref.lower_bound, tag + ": lower drifted");
+      check(r.upper_bound == ref.upper_bound, tag + ": upper drifted");
+      check(r.faults_injected == ref.faults_injected,
+            tag + ": fault count drifted");
+    }
+
+    // 2. Faulted jobs must never populate the cache: any key present in
+    //    the cache must be owned by a clean unfaulted job.
+    std::unordered_set<std::string> clean_keys;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const engine::JobResult& r = report.results[i];
+      if (!jobs[i].fault_plan.armed() && r.ok() && r.attempts.size() == 1 &&
+          !r.fallback_used)
+        clean_keys.insert(engine::canonical_key_for_job(jobs[i]).key.text());
+    }
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (!jobs[i].fault_plan.armed()) continue;
+      const engine::CanonicalJobKey key =
+          engine::canonical_key_for_job(jobs[i]);
+      if (cache.lookup(key.key).has_value())
+        check(clean_keys.count(key.key.text()) > 0,
+              "engine-cache job " + std::to_string(i) +
+                  ": armed-fault job's key in cache with no clean owner");
+    }
+    const cache::CacheStats stats = cache.stats();
+    std::printf(
+        "engine-cache: %zu entries (%llu hits, %llu misses, %llu stores)\n",
+        cache.size(), static_cast<unsigned long long>(stats.hits),
+        static_cast<unsigned long long>(stats.misses),
+        static_cast<unsigned long long>(stats.stores));
+  }
+
   if (failures > 0 && !report_path.empty()) {
     std::ofstream out(report_path, std::ios::binary);
     out << report.to_jsonl();
@@ -520,6 +639,7 @@ int main(int argc, char** argv) {
   std::string fault_plan_dir;
   std::size_t engine_jobs = 0;  // workers; 0 = engine chaos off
   std::string engine_report;
+  bool engine_cache = false;
   for (int i = 1; i < argc; ++i) {
     const auto next_value = [&](const char* flag) -> long long {
       if (i + 1 >= argc) {
@@ -571,12 +691,14 @@ int main(int argc, char** argv) {
         return 2;
       }
       engine_report = argv[++i];
+    } else if (std::strcmp(argv[i], "--engine-cache") == 0) {
+      engine_cache = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--instances N] [--fuzz-iters N] [--seed S] "
                    "[--trace FILE.jsonl] [--fault-rate R] [--fault-seed S] "
                    "[--fault-plans DIR] [--engine-jobs N] "
-                   "[--engine-report FILE]\n",
+                   "[--engine-report FILE] [--engine-cache]\n",
                    argv[0]);
       return 2;
     }
@@ -625,7 +747,8 @@ int main(int argc, char** argv) {
 
   if (engine_jobs > 0) {
     try {
-      engine_chaos(engine_jobs, seed, fault_seed, engine_report);
+      engine_chaos(engine_jobs, seed, fault_seed, engine_report,
+                   engine_cache);
     } catch (const std::exception& e) {
       fail(std::string("engine chaos threw: ") + e.what());
     }
