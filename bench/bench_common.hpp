@@ -12,7 +12,7 @@
 
 #include "graph/generators.hpp"
 #include "obs/clock.hpp"
-#include "obs/json.hpp"
+#include "util/json_writer.hpp"
 #include "util/random.hpp"
 
 namespace defender::bench {
@@ -76,8 +76,9 @@ inline void verdict(bool ok, const std::string& summary) {
 ///   BENCH_JSON {"experiment":"E17","case":"grid 4x5","n":20,...}
 ///
 /// so `grep '^BENCH_JSON '` extracts a JSONL stream from any bench log.
-/// Keys are inserted in call order; values use obs/json.hpp formatting
-/// (NaN/Inf become null, strings are escaped).
+/// Keys are inserted in call order; rendering delegates to the repo-wide
+/// util::JsonWriter (NaN/Inf become null, strings are escaped), so bench
+/// lines, job reports, and serve responses share one formatting rule.
 class JsonLine {
  public:
   JsonLine(const std::string& experiment, const std::string& case_name) {
@@ -86,33 +87,33 @@ class JsonLine {
   }
 
   JsonLine& str(const std::string& key, const std::string& value) {
-    return raw(key, "\"" + obs::json_escape(value) + "\"");
+    writer_.str(key, value);
+    return *this;
   }
   JsonLine& num(const std::string& key, double value) {
-    return raw(key, obs::json_number(value));
+    writer_.num(key, value);
+    return *this;
   }
   JsonLine& num(const std::string& key, std::uint64_t value) {
-    return raw(key, std::to_string(value));
+    writer_.num(key, value);
+    return *this;
   }
   JsonLine& num(const std::string& key, int value) {
-    return raw(key, std::to_string(value));
+    writer_.num(key, value);
+    return *this;
   }
   JsonLine& boolean(const std::string& key, bool value) {
-    return raw(key, value ? "true" : "false");
+    writer_.boolean(key, value);
+    return *this;
   }
 
   /// Writes the line and a trailing newline. One emit per case.
   void emit(std::ostream& os = std::cout) const {
-    os << "BENCH_JSON {" << body_ << "}\n";
+    os << "BENCH_JSON " << writer_.object() << "\n";
   }
 
  private:
-  JsonLine& raw(const std::string& key, const std::string& rendered) {
-    if (!body_.empty()) body_ += ',';
-    body_ += "\"" + obs::json_escape(key) + "\":" + rendered;
-    return *this;
-  }
-  std::string body_;
+  util::JsonWriter writer_;
 };
 
 /// Starts a per-case wall clock; pair with `case_line` below.

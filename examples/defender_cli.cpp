@@ -83,7 +83,10 @@
 #include "graph/io.hpp"
 #include "matching/edge_cover.hpp"
 #include "obs/context.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
 #include "util/assert.hpp"
+#include "util/json_writer.hpp"
 
 namespace {
 
@@ -304,6 +307,103 @@ int run_batch(const defender::graph::Graph& g,
   return report.degraded == 0 ? 0 : 1;
 }
 
+/// Remote mode: ship the --batch jobs to a defender_serve instance
+/// (docs/SERVE.md) instead of solving locally. Every response line is
+/// echoed to stdout; result lines are also appended to `report_path`
+/// (JSONL) so transcripts from interrupted and uninterrupted runs can be
+/// compared per request id. Returns 0 when every admitted job's result
+/// arrived, 1 when any request was rejected, 3 when the server went away
+/// first (e.g. it drained mid-batch — the rest arrive via the server's
+/// --resume-report after restart).
+int run_connect(const defender::graph::Graph& g,
+                const std::vector<BatchLine>& lines,
+                const std::string& address, const std::string& client_name,
+                const std::string& report_path) {
+  using namespace defender;
+  Solved<serve::LineClient> connected = serve::LineClient::connect(address);
+  if (!connected.ok()) return fail_invalid(connected.status.message);
+  serve::LineClient client = std::move(connected.result);
+
+  std::ofstream report;
+  if (!report_path.empty()) {
+    report.open(report_path, std::ios::trunc);
+    if (!report) return fail_invalid("cannot write report " + report_path);
+  }
+
+  std::string edges = "[";
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    const graph::Edge& edge = g.edge(e);
+    if (e != 0) edges += ',';
+    edges += '[' + std::to_string(edge.u) + ',' + std::to_string(edge.v) +
+             ']';
+  }
+  edges += ']';
+  std::string unit_weights = "[";
+  for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+    if (v != 0) unit_weights += ',';
+    unit_weights += '1';
+  }
+  unit_weights += ']';
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const BatchLine& line = lines[i];
+    util::JsonWriter w;
+    w.str("type", "solve");
+    w.str("id", "job" + std::to_string(i));
+    w.str("client", client_name);
+    w.str("solver", engine::to_string(line.solver));
+    w.num("n", static_cast<std::uint64_t>(g.num_vertices()));
+    w.num("k", static_cast<std::uint64_t>(line.k));
+    w.num("attackers", static_cast<std::uint64_t>(line.nu));
+    w.raw("edges", edges);
+    if (engine::is_weighted(line.solver)) w.raw("weights", unit_weights);
+    w.num("tolerance", line.tolerance);
+    w.num("iters", static_cast<std::uint64_t>(line.budget_iters));
+    const Status sent = client.send_line(w.object());
+    if (!sent.ok()) return fail_invalid(sent.message);
+  }
+
+  // Responses interleave: one ack/error per request (roughly immediate)
+  // plus one result per *acked* request whenever its solve finishes.
+  std::size_t admission_replies = 0, acks = 0, rejections = 0, results = 0;
+  bool server_gone = false;
+  while (admission_replies < lines.size() || results < acks) {
+    const Solved<std::string> received = client.recv_line(120.0);
+    if (!received.ok()) {
+      std::cerr << "defender_cli: server connection: "
+                << received.status.to_string() << '\n';
+      server_gone = true;
+      break;
+    }
+    std::cout << received.result << '\n';
+    const Solved<serve::JsonValue> doc = serve::parse_json(received.result);
+    const serve::JsonValue* type =
+        doc.ok() ? doc.result.find("type") : nullptr;
+    const std::string kind =
+        type != nullptr && type->kind == serve::JsonValue::Kind::kString
+            ? type->string
+            : "";
+    if (kind == "ack") {
+      ++admission_replies;
+      ++acks;
+    } else if (kind == "error") {
+      ++admission_replies;
+      ++rejections;
+    } else if (kind == "result") {
+      ++results;
+      if (report.is_open()) {
+        report << received.result << '\n';
+        report.flush();
+      }
+    }
+  }
+
+  std::cerr << "defender_cli: " << acks << " admitted, " << rejections
+            << " rejected, " << results << " results\n";
+  if (server_gone && results < acks) return 3;
+  return rejections == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -313,6 +413,7 @@ int main(int argc, char** argv) {
   std::string file, trace_path, chrome_trace_path;
   std::string save_checkpoint_path, resume_checkpoint_path;
   std::string batch_path, retry_spec, cache_path;
+  std::string connect_address, connect_client = "cli", report_path;
   std::size_t pool_workers = 1;
   std::size_t cache_capacity = cache::kDefaultCacheCapacity;
   double fault_rate = 0.0;
@@ -355,6 +456,12 @@ int main(int argc, char** argv) {
       cache_capacity = std::strtoul(argv[++i], nullptr, 10);
       if (cache_capacity == 0)
         return fail_invalid("--cache-size must be positive");
+    } else if (arg == "--connect" && i + 1 < argc) {
+      connect_address = argv[++i];
+    } else if (arg == "--client" && i + 1 < argc) {
+      connect_client = argv[++i];
+    } else if (arg == "--report" && i + 1 < argc) {
+      report_path = argv[++i];
     } else if (arg == "--metrics") {
       dump_metrics = true;
     } else if (arg == "--dot") {
@@ -413,6 +520,9 @@ int main(int argc, char** argv) {
   }
   const graph::Graph& g = parsed.result;
 
+  if (!connect_address.empty() && batch_path.empty())
+    return fail_invalid("--connect requires --batch (the jobs to ship)");
+
   // Batch engine mode: run the jobs through the resilient SolveEngine pool
   // and skip the single-board analysis entirely.
   if (!batch_path.empty()) {
@@ -424,6 +534,11 @@ int main(int argc, char** argv) {
       std::cerr << "defender_cli: " << lines.status.to_string() << '\n';
       return 2;
     }
+    // Remote batch: ship the jobs to a defender_serve instance instead of
+    // running the local engine (docs/SERVE.md).
+    if (!connect_address.empty())
+      return run_connect(g, lines.result, connect_address, connect_client,
+                         report_path);
     engine::EngineConfig config;
     config.workers = pool_workers;
     if (!retry_spec.empty()) {

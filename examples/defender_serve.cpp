@@ -1,0 +1,287 @@
+// defender_serve — a long-lived solve service over the SolveEngine.
+//
+// Listens on TCP (--tcp HOST:PORT, dotted IPv4, port 0 = ephemeral)
+// and/or a Unix socket (--unix PATH) for JSONL requests (one JSON object
+// per line; grammar in docs/SERVE.md) and routes solve jobs through a
+// shared worker pool with one canonical-form solve cache:
+//
+//   {"type":"solve","id":"j1","client":"alice","solver":"double-oracle",
+//    "n":6,"k":2,"attackers":3,"edges":[[0,1],[1,2],...],"iters":200}
+//
+// Robustness features (the reason this binary exists):
+//   * admission control: a bounded queue with high/low watermarks; at the
+//     high watermark solves are rejected with status "overloaded" and a
+//     retry_after_ms hint instead of buffering without bound;
+//   * per-client quotas: --rate/--burst token bucket and --max-inflight
+//     cap, plus weighted-fair dequeue (--weight CLIENT=W) so one greedy
+//     client cannot starve the rest;
+//   * graceful drain: SIGTERM (or a {"type":"shutdown"} request) stops
+//     admission, lets running jobs finish for --drain-deadline seconds,
+//     cancels the stragglers, and writes every unfinished job — with its
+//     solver checkpoint where one was truthfully captured — to the
+//     --drain-manifest file ("defender-drain v1"). A restarted server
+//     passed --resume FILE re-admits those jobs and, because the engine
+//     is deterministic, their results are bit-identical to an
+//     uninterrupted run; they land in the --resume-report JSONL file
+//     keyed by the original request ids;
+//   * observability: {"type":"metrics"} returns the full metrics registry
+//     as JSON; --metrics dumps it on exit.
+//
+// Usage: defender_serve [--tcp HOST:PORT] [--unix PATH] [--jobs N]
+//                       [--queue-high N] [--queue-low N]
+//                       [--rate R] [--burst N] [--max-inflight N]
+//                       [--retry-after-ms MS] [--drain-deadline S]
+//                       [--max-budget-iters N] [--weight CLIENT=W]...
+//                       [--retry-ladder SPEC] [--cache FILE]
+//                       [--cache-size N] [--resume FILE]
+//                       [--resume-report FILE] [--drain-manifest FILE]
+//                       [--port-file FILE] [--metrics]
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "cache/cache.hpp"
+#include "engine/retry.hpp"
+#include "obs/metrics.hpp"
+#include "serve/drain.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+defender::serve::SolveServer* g_server = nullptr;
+
+extern "C" void on_signal(int) {
+  // request_shutdown() is async-signal-safe (atomic store + write(2)).
+  if (g_server != nullptr) g_server->request_shutdown();
+}
+
+void usage() {
+  std::cerr
+      << "usage: defender_serve [--tcp HOST:PORT] [--unix PATH]\n"
+         "                      [--jobs N] [--queue-high N] [--queue-low N]\n"
+         "                      [--rate R] [--burst N] [--max-inflight N]\n"
+         "                      [--retry-after-ms MS] [--drain-deadline S]\n"
+         "                      [--max-budget-iters N] [--weight CLIENT=W]\n"
+         "                      [--retry-ladder SPEC] [--cache FILE]\n"
+         "                      [--cache-size N] [--resume FILE]\n"
+         "                      [--resume-report FILE]\n"
+         "                      [--drain-manifest FILE] [--port-file FILE]\n"
+         "                      [--metrics]\n"
+         "  Serves JSONL solve requests (docs/SERVE.md). SIGTERM drains\n"
+         "  gracefully: unfinished jobs (with checkpoints) are written to\n"
+         "  the --drain-manifest file; restart with --resume FILE to\n"
+         "  finish them bit-identically, results to --resume-report.\n";
+}
+
+int fail(const std::string& message) {
+  std::cerr << "defender_serve: "
+            << defender::Status::make(defender::StatusCode::kInvalidInput,
+                                      message)
+                   .to_string()
+            << '\n';
+  return 2;
+}
+
+bool parse_count_arg(const char* arg, std::size_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(arg, &end, 10);
+  if (end == arg || *end != '\0') return false;
+  *out = static_cast<std::size_t>(v);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace defender;
+
+  serve::ServerConfig config;
+  std::string retry_spec, cache_path, resume_path, resume_report_path;
+  std::string drain_manifest_path, port_file_path;
+  std::size_t cache_capacity = cache::kDefaultCacheCapacity;
+  bool dump_metrics = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tcp" && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      const std::size_t colon = spec.rfind(':');
+      if (colon == std::string::npos || colon == 0)
+        return fail("--tcp needs HOST:PORT, got " + spec);
+      config.tcp_host = spec.substr(0, colon);
+      std::size_t port = 0;
+      if (!parse_count_arg(spec.c_str() + colon + 1, &port) || port > 65535)
+        return fail("bad TCP port in " + spec);
+      config.tcp_port = static_cast<std::uint16_t>(port);
+    } else if (arg == "--unix" && i + 1 < argc) {
+      config.unix_path = argv[++i];
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      if (!parse_count_arg(argv[++i], &config.service.workers))
+        return fail("bad --jobs");
+    } else if (arg == "--queue-high" && i + 1 < argc) {
+      if (!parse_count_arg(argv[++i], &config.service.queue_high_watermark))
+        return fail("bad --queue-high");
+    } else if (arg == "--queue-low" && i + 1 < argc) {
+      if (!parse_count_arg(argv[++i], &config.service.queue_low_watermark))
+        return fail("bad --queue-low");
+    } else if (arg == "--rate" && i + 1 < argc) {
+      config.service.tokens_per_second = std::strtod(argv[++i], nullptr);
+      if (!(config.service.tokens_per_second >= 0))
+        return fail("--rate must be >= 0");
+    } else if (arg == "--burst" && i + 1 < argc) {
+      config.service.token_burst = std::strtod(argv[++i], nullptr);
+      if (!(config.service.token_burst >= 1))
+        return fail("--burst must be >= 1");
+    } else if (arg == "--max-inflight" && i + 1 < argc) {
+      if (!parse_count_arg(argv[++i],
+                           &config.service.max_inflight_per_client))
+        return fail("bad --max-inflight");
+    } else if (arg == "--retry-after-ms" && i + 1 < argc) {
+      config.service.retry_after_ms = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--drain-deadline" && i + 1 < argc) {
+      config.service.drain_deadline_seconds = std::strtod(argv[++i], nullptr);
+      if (!(config.service.drain_deadline_seconds >= 0))
+        return fail("--drain-deadline must be >= 0");
+    } else if (arg == "--max-budget-iters" && i + 1 < argc) {
+      if (!parse_count_arg(argv[++i],
+                           &config.service.max_budget_iterations))
+        return fail("bad --max-budget-iters");
+    } else if (arg == "--weight" && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0)
+        return fail("--weight needs CLIENT=W, got " + spec);
+      const double w = std::strtod(spec.c_str() + eq + 1, nullptr);
+      if (!(w > 0)) return fail("--weight weight must be > 0");
+      config.service.client_weights[spec.substr(0, eq)] = w;
+    } else if (arg == "--retry-ladder" && i + 1 < argc) {
+      retry_spec = argv[++i];
+    } else if (arg == "--cache" && i + 1 < argc) {
+      cache_path = argv[++i];
+    } else if (arg == "--cache-size" && i + 1 < argc) {
+      if (!parse_count_arg(argv[++i], &cache_capacity) ||
+          cache_capacity == 0)
+        return fail("--cache-size must be positive");
+    } else if (arg == "--resume" && i + 1 < argc) {
+      resume_path = argv[++i];
+    } else if (arg == "--resume-report" && i + 1 < argc) {
+      resume_report_path = argv[++i];
+    } else if (arg == "--drain-manifest" && i + 1 < argc) {
+      drain_manifest_path = argv[++i];
+    } else if (arg == "--port-file" && i + 1 < argc) {
+      port_file_path = argv[++i];
+    } else if (arg == "--metrics") {
+      dump_metrics = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+
+  if (!retry_spec.empty()) {
+    const Solved<engine::RetryPolicy> ladder =
+        engine::RetryPolicy::try_parse(retry_spec);
+    if (!ladder.ok()) return fail(ladder.status.message);
+    config.service.engine.retry = ladder.result;
+  }
+  config.service.engine.metrics = &obs::MetricsRegistry::global();
+
+  // Shared canonical-form cache across every request (docs/CACHE.md):
+  // isomorphic boards submitted by different clients cost one solve.
+  std::unique_ptr<cache::SolveCache> solve_cache;
+  if (!cache_path.empty()) {
+    cache::CacheConfig cache_config;
+    cache_config.capacity = cache_capacity;
+    cache_config.metrics = config.service.engine.metrics;
+    solve_cache = std::make_unique<cache::SolveCache>(cache_config);
+    if (std::ifstream in(cache_path); in) {
+      std::ostringstream text;
+      text << in.rdbuf();
+      const Status merged = solve_cache->merge_text(text.str());
+      if (!merged.ok())
+        return fail("cache file " + cache_path + ": " + merged.describe());
+    }
+    config.service.engine.cache = solve_cache.get();
+  }
+
+  std::ofstream resume_report;
+  if (!resume_report_path.empty()) {
+    resume_report.open(resume_report_path, std::ios::trunc);
+    if (!resume_report)
+      return fail("cannot write resume report " + resume_report_path);
+    config.on_orphan = [&resume_report](const std::string& client,
+                                        const std::string& line) {
+      (void)client;
+      resume_report << line << '\n';
+      resume_report.flush();
+    };
+  }
+
+  serve::SolveServer server(std::move(config));
+  const Status started = server.start();
+  if (!started.ok()) return fail(started.message);
+
+  if (!port_file_path.empty() && server.tcp_port() != 0) {
+    std::ofstream port_out(port_file_path, std::ios::trunc);
+    if (!port_out) return fail("cannot write port file " + port_file_path);
+    port_out << server.tcp_port() << '\n';
+  }
+
+  std::size_t resumed = 0;
+  if (!resume_path.empty()) {
+    std::ifstream in(resume_path);
+    if (!in) return fail("cannot open drain manifest " + resume_path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    const Solved<serve::DrainManifest> manifest =
+        serve::try_parse_drain_manifest(text.str());
+    if (!manifest.ok()) {
+      std::cerr << "defender_serve: " << manifest.status.to_string() << '\n';
+      return 2;
+    }
+    resumed = server.resume(manifest.result);
+  }
+
+  g_server = &server;
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::cout << "defender_serve: listening";
+  if (server.tcp_port() != 0) std::cout << " tcp=" << server.tcp_port();
+  if (resumed > 0) std::cout << " resumed=" << resumed;
+  std::cout << std::endl;  // flush: smoke scripts wait for this line
+
+  const serve::DrainManifest manifest = server.run();
+  g_server = nullptr;
+
+  if (!drain_manifest_path.empty()) {
+    std::ofstream out(drain_manifest_path, std::ios::trunc);
+    if (!out)
+      return fail("cannot write drain manifest " + drain_manifest_path);
+    out << serve::to_text(manifest);
+  }
+
+  if (solve_cache != nullptr) {
+    std::ofstream out(cache_path, std::ios::trunc);
+    if (!out) return fail("cannot write cache file " + cache_path);
+    out << solve_cache->to_text();
+  }
+
+  std::cout << "defender_serve: drained " << manifest.jobs.size()
+            << " unfinished job(s)";
+  if (!drain_manifest_path.empty() && !manifest.jobs.empty())
+    std::cout << " -> " << drain_manifest_path;
+  std::cout << '\n';
+  if (dump_metrics)
+    std::cout << obs::MetricsRegistry::global().to_json() << '\n';
+  return 0;
+}

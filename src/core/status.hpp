@@ -44,6 +44,10 @@ enum class StatusCode {
   /// cancellation). Best-so-far bounds, and — via the resumable entry
   /// points — a checkpoint the solve can later resume from.
   kCancelled,
+  /// The serving layer refused to admit the request: the queue is at its
+  /// high watermark or a per-client quota tripped. The rejection carries
+  /// a retry-after hint; the job was never enqueued, so retrying is safe.
+  kOverloaded,
 };
 
 /// Every StatusCode, in enum order. The compile-time audit below keeps
@@ -56,6 +60,7 @@ inline constexpr StatusCode kAllStatusCodes[] = {
     StatusCode::kInfeasible,
     StatusCode::kInvalidInput,
     StatusCode::kCancelled,
+    StatusCode::kOverloaded,
 };
 inline constexpr std::size_t kStatusCodeCount =
     sizeof(kAllStatusCodes) / sizeof(kAllStatusCodes[0]);
@@ -70,6 +75,7 @@ constexpr const char* to_string(StatusCode code) {
     case StatusCode::kInfeasible: return "infeasible";
     case StatusCode::kInvalidInput: return "invalid-input";
     case StatusCode::kCancelled: return "cancelled";
+    case StatusCode::kOverloaded: return "overloaded";
   }
   return "unknown";
 }
@@ -106,7 +112,7 @@ constexpr bool status_codes_round_trip() {
 }
 }  // namespace status_detail
 static_assert(kStatusCodeCount ==
-                  static_cast<std::size_t>(StatusCode::kCancelled) + 1,
+                  static_cast<std::size_t>(StatusCode::kOverloaded) + 1,
               "kAllStatusCodes must list every StatusCode");
 static_assert(status_detail::status_codes_round_trip(),
               "every StatusCode must round-trip through to_string / "

@@ -19,6 +19,7 @@
 #include "sim/fictitious_play.hpp"
 #include "sim/multiplicative_weights.hpp"
 #include "util/assert.hpp"
+#include "util/json_writer.hpp"
 
 namespace defender::engine {
 
@@ -328,7 +329,8 @@ std::optional<core::SolverKind> warm_kind_for(JobSolver solver) {
 /// warm-index snapshot (nullptr = no warm starts).
 JobResult run_ladder(const SolveJob& job, std::size_t job_index,
                      CancelToken* token, const EngineConfig& config,
-                     bool allow_stall, const cache::WarmSnapshot* warm) {
+                     bool allow_stall, const cache::WarmSnapshot* warm,
+                     const JobRunHooks* hooks = nullptr) {
   JobResult out;
   out.job_index = job_index;
   out.solver = job.solver;
@@ -343,13 +345,21 @@ JobResult run_ladder(const SolveJob& job, std::size_t job_index,
     return out;
   }
 
+  // Drain resume (serve path): seed attempt 1 from the service-provided
+  // checkpoint. The cache is bypassed for the whole resumed job so the
+  // continuation reproduces exactly what the uninterrupted solve would
+  // have reported, independent of what the cache holds at restart.
+  const core::SolverCheckpoint* drain_resume =
+      hooks != nullptr ? hooks->resume : nullptr;
+
   // Canonical-form routing: solve the relabeled twin so isomorphic jobs
   // (and cache hits) are bit-identical. A failure to canonicalize —
   // there is no expected one — degrades to the raw labeling rather than
   // the job.
   const bool cache_eligible = config.cache != nullptr &&
                               !job.fault_plan.armed() &&
-                              !config.collect_convergence;
+                              !config.collect_convergence &&
+                              drain_resume == nullptr;
   std::optional<CanonicalRoute> route;
   if (config.canonicalize || config.cache != nullptr) {
     try {
@@ -418,11 +428,27 @@ JobResult run_ladder(const SolveJob& job, std::size_t job_index,
   const std::size_t max_attempts = std::max<std::size_t>(1, policy.max_attempts);
   JobSolver solver = job.solver;
   double tolerance = job.tolerance;
+  // `budget` is the ladder anchor the growth rungs scale; `segment` is
+  // what the next attempt actually runs with. They only differ on a
+  // drain-resumed first attempt, whose segment is charged the iterations
+  // the checkpoint already consumed — growth still anchors on the job's
+  // ORIGINAL budget, so a resumed job's rung trajectory (and therefore
+  // its JobResult) is bit-identical to an uninterrupted run's.
   SolveBudget budget = job.budget;
   budget.cancel = token;
+  SolveBudget segment = budget;
   const std::size_t hedge_horizon = job.budget.max_iterations;
   core::SolverCheckpoint checkpoint;
   bool resume_next = false;
+  if (drain_resume != nullptr) {
+    checkpoint = *drain_resume;
+    resume_next = true;
+    if (segment.max_iterations != 0) {
+      const std::size_t consumed =
+          std::min(checkpoint.iterations, segment.max_iterations - 1);
+      segment.max_iterations -= consumed;
+    }
+  }
   bool rescaled = false;
   bool fell_back = false;
   AttemptAction action = AttemptAction::kInitial;
@@ -472,7 +498,7 @@ JobResult run_ladder(const SolveJob& job, std::size_t job_index,
 
     AttemptOutput r;
     try {
-      r = run_attempt(work, solver, tolerance, budget, hedge_horizon,
+      r = run_attempt(work, solver, tolerance, segment, hedge_horizon,
                       resume_next ? &checkpoint : nullptr, want_profiles,
                       obs, fctx.has_value() ? &*fctx : nullptr);
     } catch (const std::exception& e) {
@@ -538,6 +564,7 @@ JobResult run_ladder(const SolveJob& job, std::size_t job_index,
         break;
       budget = grow_budget(budget, policy.budget_growth);
       budget.cancel = token;
+      segment = budget;
       if (solver == JobSolver::kZeroSumLp || !r.captured) {
         resume_next = false;
         action = AttemptAction::kEnlarge;
@@ -554,6 +581,7 @@ JobResult run_ladder(const SolveJob& job, std::size_t job_index,
       tolerance = tolerance * policy.tolerance_scale;
       rescaled = true;
       resume_next = false;
+      segment = budget;
       action = AttemptAction::kRescale;
       continue;
     }
@@ -566,6 +594,7 @@ JobResult run_ladder(const SolveJob& job, std::size_t job_index,
         tolerance = job.tolerance;
         budget = job.budget;
         budget.cancel = token;
+        segment = budget;
         resume_next = false;
         action = AttemptAction::kFallback;
         continue;
@@ -621,6 +650,21 @@ JobResult run_ladder(const SolveJob& job, std::size_t job_index,
     config.cache->store(route->key, std::move(entry));
   }
 
+  // Drain capture: export the checkpoint only when it truthfully restarts
+  // the job — a clean kCancelled first attempt of the submitted solver,
+  // no armed fault plan (fault counters reset on resume, so a faulted
+  // continuation would diverge). Everything else re-runs fresh, which the
+  // determinism contract makes bit-identical anyway.
+  if (hooks != nullptr) {
+    const bool capturable =
+        hooks->capture != nullptr && checkpoint_captured &&
+        out.status.code == StatusCode::kCancelled &&
+        out.attempts.size() == 1 && !out.fallback_used &&
+        !job.fault_plan.armed();
+    if (hooks->captured != nullptr) *hooks->captured = capturable;
+    if (capturable) *hooks->capture = std::move(checkpoint);
+  }
+
   if (config.metrics != nullptr) {
     config.metrics->counter("engine.jobs").add(1);
     if (!out.ok()) config.metrics->counter("engine.jobs_degraded").add(1);
@@ -634,77 +678,42 @@ JobResult run_ladder(const SolveJob& job, std::size_t job_index,
   return out;
 }
 
-/// Minimal JSON string escaping for status messages and names.
-void append_json_string(std::string* out, std::string_view s) {
-  out->push_back('"');
-  for (char c : s) {
-    switch (c) {
-      case '"': *out += "\\\""; break;
-      case '\\': *out += "\\\\"; break;
-      case '\n': *out += "\\n"; break;
-      case '\t': *out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          *out += buf;
-        } else {
-          out->push_back(c);
-        }
-    }
-  }
-  out->push_back('"');
-}
-
-void append_json_double(std::string* out, double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  *out += buf;
-}
-
 }  // namespace
 
 std::string JobResult::to_json() const {
-  std::string j = "{\"job\":" + std::to_string(job_index);
-  j += ",\"solver\":";
-  append_json_string(&j, engine::to_string(solver));
-  j += ",\"status\":";
-  append_json_string(&j, defender::to_string(status.code));
-  j += ",\"message\":";
-  append_json_string(&j, status.message);
-  j += ",\"value\":";
-  append_json_double(&j, value);
-  j += ",\"lower\":";
-  append_json_double(&j, lower_bound);
-  j += ",\"upper\":";
-  append_json_double(&j, upper_bound);
-  j += ",\"iterations\":" + std::to_string(iterations);
-  j += ",\"fallback\":" + std::string(fallback_used ? "true" : "false");
-  j += ",\"watchdog_killed\":" +
-       std::string(watchdog_killed ? "true" : "false");
-  j += ",\"faults\":" + std::to_string(faults_injected);
-  j += ",\"attempts\":[";
-  for (std::size_t i = 0; i < attempts.size(); ++i) {
-    const AttemptRecord& a = attempts[i];
-    if (i > 0) j += ',';
-    j += "{\"attempt\":" + std::to_string(a.attempt);
-    j += ",\"action\":";
-    append_json_string(&j, engine::to_string(a.action));
-    j += ",\"solver\":";
-    append_json_string(&j, engine::to_string(a.solver));
-    j += ",\"outcome\":";
-    append_json_string(&j, defender::to_string(a.outcome));
-    j += ",\"value\":";
-    append_json_double(&j, a.value);
-    j += ",\"lower\":";
-    append_json_double(&j, a.lower);
-    j += ",\"upper\":";
-    append_json_double(&j, a.upper);
-    j += ",\"iterations\":" + std::to_string(a.iterations);
-    j += '}';
+  // Rendered through the repo-wide util::JsonWriter so JobReport JSONL,
+  // bench lines, and serve responses share one escaping/number rule. No
+  // elapsed timing is included, so for a fixed job the line is a pure
+  // function of the job — serve's drain-determinism smoke test compares
+  // these lines byte for byte across an interrupted and a clean run.
+  util::JsonWriter w;
+  w.num("job", static_cast<std::uint64_t>(job_index));
+  w.str("solver", engine::to_string(solver));
+  w.str("status", defender::to_string(status.code));
+  w.str("message", status.message);
+  w.num("value", value);
+  w.num("lower", lower_bound);
+  w.num("upper", upper_bound);
+  w.num("iterations", static_cast<std::uint64_t>(iterations));
+  w.boolean("fallback", fallback_used);
+  w.boolean("watchdog_killed", watchdog_killed);
+  w.num("faults", faults_injected);
+  std::vector<std::string> rendered;
+  rendered.reserve(attempts.size());
+  for (const AttemptRecord& a : attempts) {
+    util::JsonWriter aw;
+    aw.num("attempt", static_cast<std::uint64_t>(a.attempt));
+    aw.str("action", engine::to_string(a.action));
+    aw.str("solver", engine::to_string(a.solver));
+    aw.str("outcome", defender::to_string(a.outcome));
+    aw.num("value", a.value);
+    aw.num("lower", a.lower);
+    aw.num("upper", a.upper);
+    aw.num("iterations", static_cast<std::uint64_t>(a.iterations));
+    rendered.push_back(aw.object());
   }
-  j += "]}";
-  return j;
+  w.raw("attempts", util::JsonWriter::array(rendered));
+  return w.object();
 }
 
 std::string BatchReport::to_jsonl() const {
@@ -725,6 +734,38 @@ JobResult SolveEngine::run_serial(const SolveJob& job,
     warm = config_.cache->warm_snapshot();
   return run_ladder(job, job_index, nullptr, config_, /*allow_stall=*/false,
                     warm.has_value() ? &*warm : nullptr);
+}
+
+JobResult SolveEngine::run_one(const SolveJob& job, std::size_t job_index,
+                               const JobRunHooks& hooks) const {
+  if (hooks.captured != nullptr) *hooks.captured = false;
+  if (hooks.resume != nullptr && job.solver == JobSolver::kZeroSumLp) {
+    // The LP route has no checkpoint; a manifest claiming one is hostile
+    // or corrupt. Reject instead of silently solving under a reduced
+    // first-segment budget (which would diverge from a clean run).
+    JobResult out;
+    out.job_index = job_index;
+    out.solver = job.solver;
+    const double vub = value_upper_bound(job);
+    out.lower_bound = 0;
+    out.upper_bound = vub;
+    out.value = 0.5 * vub;
+    out.status = Status::make(StatusCode::kInvalidInput,
+                              "zero-sum-lp has no checkpoint to resume");
+    return out;
+  }
+  // No warm snapshot: run_one serves one job at a time, and a warm start
+  // taken at dispatch time would make resume trajectories depend on what
+  // the cache happened to hold — exactly what drain determinism forbids.
+  JobResult result = run_ladder(job, job_index, hooks.cancel, config_,
+                                /*allow_stall=*/false, nullptr, &hooks);
+  if (config_.metrics != nullptr) {
+    if (hooks.resume != nullptr)
+      config_.metrics->counter("engine.drain_resumes").add(1);
+    if (hooks.captured != nullptr && *hooks.captured)
+      config_.metrics->counter("engine.drain_checkpoints").add(1);
+  }
+  return result;
 }
 
 CanonicalJobKey canonical_key_for_job(const SolveJob& job) {
@@ -766,6 +807,11 @@ BatchReport SolveEngine::run(const std::vector<SolveJob>& jobs) {
   std::atomic<bool> stop{false};
   obs::MetricsRegistry* metrics = config_.metrics;
 
+  // Gauge lifecycle: queue_depth/inflight are published on enqueue (batch
+  // start), every dequeue (claim), and every completion, and all three
+  // gauges — batch_active included — read zero once run() returns, so a
+  // drained process exports a quiescent registry (pinned by the serve
+  // gauge-lifecycle test).
   const auto publish_gauges = [&]() {
     if (metrics == nullptr) return;
     const std::size_t claimed = std::min(next.load(), jobs.size());
@@ -774,6 +820,7 @@ BatchReport SolveEngine::run(const std::vector<SolveJob>& jobs) {
     metrics->gauge("engine.inflight")
         .set(static_cast<double>(inflight.load()));
   };
+  if (metrics != nullptr) metrics->gauge("engine.batch_active").set(1);
   publish_gauges();
 
   // Warm-start snapshot, taken ONCE before any job runs: entries stored
@@ -859,6 +906,7 @@ BatchReport SolveEngine::run(const std::vector<SolveJob>& jobs) {
   stop.store(true, std::memory_order_release);
   if (watchdog.joinable()) watchdog.join();
   publish_gauges();
+  if (metrics != nullptr) metrics->gauge("engine.batch_active").set(0);
 
   for (const JobResult& r : report.results) {
     if (r.ok()) ++report.completed;

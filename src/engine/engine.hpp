@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "cache/cache.hpp"
+#include "core/checkpoint.hpp"
 #include "engine/job.hpp"
 #include "engine/retry.hpp"
 #include "obs/context.hpp"
@@ -113,6 +114,29 @@ struct BatchReport {
   std::string to_jsonl() const;
 };
 
+/// Hooks for running one job outside a batch — the serve layer's per-job
+/// entry point (src/serve/service.cpp). All pointers are optional.
+struct JobRunHooks {
+  /// External cancellation: the serve layer cancels through this token on
+  /// a client `cancel` request or when the drain deadline expires.
+  CancelToken* cancel = nullptr;
+  /// Resume the FIRST attempt from this checkpoint (a drained job being
+  /// restored from a "defender-drain v1" manifest). The iterations the
+  /// checkpoint already consumed are charged against the first segment's
+  /// budget, and ladder growth anchors on the job's ORIGINAL budget, so a
+  /// resumed job walks exactly the rung trajectory — and reports the
+  /// bit-identical JobResult — of an uninterrupted run. The cache is
+  /// bypassed entirely while resuming.
+  const core::SolverCheckpoint* resume = nullptr;
+  /// When the job ends kCancelled on a clean first attempt (no fallback,
+  /// no armed fault plan), its checkpoint lands here and *captured is set
+  /// true — the drain path's raw material. Jobs that cannot be captured
+  /// truthfully (faulted, mid-ladder, LP route) leave *captured false and
+  /// must be re-run fresh instead.
+  core::SolverCheckpoint* capture = nullptr;
+  bool* captured = nullptr;
+};
+
 /// The pool. Construct once, run() any number of batches sequentially;
 /// run() itself is synchronous and must not be called concurrently.
 class SolveEngine {
@@ -127,6 +151,15 @@ class SolveEngine {
   /// watchdog — the serial reference the chaos harness compares pool
   /// results against bit-for-bit.
   JobResult run_serial(const SolveJob& job, std::size_t job_index) const;
+
+  /// Runs one job on the calling thread with external cancel/resume/
+  /// capture hooks — the serve layer's entry point. Thread-safe: may be
+  /// called concurrently from any number of service workers (each job is
+  /// fully isolated; the attached cache and metrics are thread-safe).
+  /// Warm starts are never used on this path, so resume trajectories can
+  /// never depend on what the cache held at dispatch time.
+  JobResult run_one(const SolveJob& job, std::size_t job_index,
+                    const JobRunHooks& hooks) const;
 
   const EngineConfig& config() const { return config_; }
 

@@ -1,48 +1,24 @@
-// Minimal JSON emission helpers shared by the trace sinks, the metrics
-// exporter, and the bench harness's machine-readable output. Emission only
-// — parsing lives in the tests that validate the emitted documents.
+// JSON emission helpers for the trace sinks and the metrics exporter.
+// These are thin aliases of the repo-wide helpers in util/json_writer.hpp
+// (the single source of truth for escaping and number formatting) kept so
+// existing obs call sites and their include paths stay stable.
 #pragma once
 
-#include <cmath>
-#include <cstdio>
 #include <string>
 #include <string_view>
+
+#include "util/json_writer.hpp"
 
 namespace defender::obs {
 
 /// Escapes `s` for inclusion inside a JSON string literal (quotes not
 /// included).
 inline std::string json_escape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char ch : s) {
-    switch (ch) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(ch) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
-          out += buf;
-        } else {
-          out += ch;
-        }
-    }
-  }
-  return out;
+  return util::json_escape(s);
 }
 
 /// Renders a double as a JSON number. NaN/Inf are not representable in
 /// JSON; they become null (consumers treat null as "not measured").
-inline std::string json_number(double v) {
-  if (!std::isfinite(v)) return "null";
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  return buf;
-}
+inline std::string json_number(double v) { return util::json_number(v); }
 
 }  // namespace defender::obs

@@ -1,0 +1,172 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace defender::serve {
+
+namespace {
+
+Solved<LineClient> connect_error(const std::string& what) {
+  Solved<LineClient> out;
+  out.status = Status::make(StatusCode::kInvalidInput, what);
+  return out;
+}
+
+}  // namespace
+
+LineClient::~LineClient() { close(); }
+
+LineClient::LineClient(LineClient&& other) noexcept
+    : fd_(other.fd_), rbuf_(std::move(other.rbuf_)) {
+  other.fd_ = -1;
+}
+
+LineClient& LineClient::operator=(LineClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    rbuf_ = std::move(other.rbuf_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void LineClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rbuf_.clear();
+}
+
+Solved<LineClient> LineClient::connect(const std::string& address) {
+  int fd = -1;
+  if (address.rfind("unix:", 0) == 0) {
+    const std::string path = address.substr(5);
+    sockaddr_un addr{};
+    if (path.empty() || path.size() >= sizeof(addr.sun_path))
+      return connect_error("bad unix socket path: " + path);
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+      return connect_error(std::string("socket: ") + std::strerror(errno));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return connect_error("connect(" + path + "): " + err);
+    }
+  } else {
+    const std::size_t colon = address.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= address.size())
+      return connect_error(
+          "bad address (need host:port or unix:/path): " + address);
+    const std::string host = address.substr(0, colon);
+    const std::string port_token = address.substr(colon + 1);
+    unsigned long port = 0;
+    for (const char c : port_token) {
+      if (c < '0' || c > '9') return connect_error("bad port: " + port_token);
+      port = port * 10 + static_cast<unsigned long>(c - '0');
+      if (port > 65535) return connect_error("bad port: " + port_token);
+    }
+    if (port == 0) return connect_error("bad port: " + port_token);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+      return connect_error("bad host (need a dotted IPv4 address): " + host);
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+      return connect_error(std::string("socket: ") + std::strerror(errno));
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return connect_error("connect(" + address + "): " + err);
+    }
+  }
+
+  Solved<LineClient> out;
+  out.result.fd_ = fd;
+  out.status = Status::make_ok();
+  return out;
+}
+
+Status LineClient::send_line(const std::string& line) {
+  if (fd_ < 0)
+    return Status::make(StatusCode::kInvalidInput, "not connected");
+  std::string framed = line;
+  framed += '\n';
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n =
+        ::send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::make(StatusCode::kInvalidInput,
+                        std::string("send: ") + std::strerror(errno));
+  }
+  return Status::make_ok();
+}
+
+Solved<std::string> LineClient::recv_line(double timeout_seconds) {
+  Solved<std::string> out;
+  if (fd_ < 0) {
+    out.status = Status::make(StatusCode::kInvalidInput, "not connected");
+    return out;
+  }
+  for (;;) {
+    const std::size_t nl = rbuf_.find('\n');
+    if (nl != std::string::npos) {
+      out.result = rbuf_.substr(0, nl);
+      rbuf_.erase(0, nl + 1);
+      out.status = Status::make_ok();
+      return out;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int timeout_ms =
+        timeout_seconds < 0
+            ? -1
+            : static_cast<int>(timeout_seconds * 1000.0 + 0.5);
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc == 0) {
+      out.status =
+          Status::make(StatusCode::kDeadlineExceeded, "recv timeout");
+      return out;
+    }
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      out.status = Status::make(StatusCode::kInvalidInput,
+                                std::string("poll: ") + std::strerror(errno));
+      return out;
+    }
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      rbuf_.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    out.status = Status::make(
+        StatusCode::kInvalidInput,
+        n == 0 ? "connection closed"
+               : std::string("recv: ") + std::strerror(errno));
+    return out;
+  }
+}
+
+}  // namespace defender::serve

@@ -1,0 +1,42 @@
+// LineClient: a small blocking JSONL client for defender_serve, used by
+// the defender_cli --connect mode, the loopback tests, and the smoke
+// scripts. One connection, one request line out, response lines back with
+// a deadline. Intentionally synchronous — the concurrency story lives on
+// the server side.
+#pragma once
+
+#include <string>
+
+#include "core/status.hpp"
+
+namespace defender::serve {
+
+class LineClient {
+ public:
+  LineClient() = default;
+  ~LineClient();
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+  LineClient(LineClient&& other) noexcept;
+  LineClient& operator=(LineClient&& other) noexcept;
+
+  /// Connects to "host:port" (dotted IPv4) or "unix:/path/to.sock".
+  static Solved<LineClient> connect(const std::string& address);
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Writes one request line ('\n' appended). Blocking.
+  Status send_line(const std::string& line);
+
+  /// Reads the next response line, waiting up to `timeout_seconds`.
+  /// kDeadlineExceeded on timeout, kInvalidInput on disconnect.
+  Solved<std::string> recv_line(double timeout_seconds = 30.0);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string rbuf_;
+};
+
+}  // namespace defender::serve

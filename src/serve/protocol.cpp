@@ -1,0 +1,600 @@
+#include "serve/protocol.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "util/json_writer.hpp"
+
+namespace defender::serve {
+
+namespace {
+
+/// Parser state for the hardened recursive-descent JSON reader.
+struct JsonParser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::size_t nodes = 0;
+  std::string error;
+  std::size_t error_at = 0;
+
+  bool fail(const std::string& what) {
+    if (error.empty()) {
+      error = what;
+      error_at = pos + 1;  // 1-based byte offset
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos;
+    }
+  }
+
+  bool count_node() {
+    if (++nodes > kMaxRequestNodes) return fail("too many JSON nodes");
+    return true;
+  }
+
+  bool parse_value(JsonValue* out, std::size_t depth);
+
+  bool parse_literal(std::string_view word, JsonValue* out, JsonValue v) {
+    if (text.substr(pos, word.size()) != word)
+      return fail("unrecognized token");
+    pos += word.size();
+    *out = std::move(v);
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (pos >= text.size() || text[pos] != '"')
+      return fail("expected '\"'");
+    ++pos;
+    out->clear();
+    while (true) {
+      if (pos >= text.size()) return fail("unterminated string");
+      if (out->size() > kMaxRequestStringBytes)
+        return fail("string too long");
+      const unsigned char c = static_cast<unsigned char>(text[pos]);
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (c < 0x20) return fail("raw control character in string");
+      if (c != '\\') {
+        out->push_back(static_cast<char>(c));
+        ++pos;
+        continue;
+      }
+      // Escape sequence.
+      ++pos;
+      if (pos >= text.size()) return fail("unterminated escape");
+      const char e = text[pos];
+      ++pos;
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          if (!parse_hex4(&cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: require a low surrogate pair.
+            if (pos + 1 >= text.size() || text[pos] != '\\' ||
+                text[pos + 1] != 'u')
+              return fail("lone high surrogate");
+            pos += 2;
+            std::uint32_t lo = 0;
+            if (!parse_hex4(&lo)) return false;
+            if (lo < 0xDC00 || lo > 0xDFFF)
+              return fail("invalid low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return fail("lone low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: return fail("invalid escape character");
+      }
+    }
+  }
+
+  bool parse_hex4(std::uint32_t* out) {
+    if (pos + 4 > text.size()) return fail("truncated \\u escape");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text[pos + static_cast<std::size_t>(i)];
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else
+        return fail("non-hex digit in \\u escape");
+    }
+    pos += 4;
+    *out = v;
+    return true;
+  }
+
+  static void append_utf8(std::string* out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  bool parse_number(JsonValue* out) {
+    const std::size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    // RFC 8259 grammar audit before strtod: no leading '+', no leading
+    // zeros, no bare '.', no hex.
+    if (pos >= text.size() ||
+        !(text[pos] >= '0' && text[pos] <= '9'))
+      return fail("malformed number");
+    if (text[pos] == '0' && pos + 1 < text.size() && text[pos + 1] >= '0' &&
+        text[pos + 1] <= '9')
+      return fail("leading zero in number");
+    while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+    if (pos < text.size() && text[pos] == '.') {
+      ++pos;
+      if (pos >= text.size() || !(text[pos] >= '0' && text[pos] <= '9'))
+        return fail("malformed fraction");
+      while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      if (pos >= text.size() || !(text[pos] >= '0' && text[pos] <= '9'))
+        return fail("malformed exponent");
+      while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+    }
+    const std::string token(text.substr(start, pos - start));
+    errno = 0;
+    char* rest = nullptr;
+    const double v = std::strtod(token.c_str(), &rest);
+    if (rest == nullptr || *rest != '\0')
+      return fail("malformed number");
+    // Overflow clamps to +-inf; keep it (field validators reject
+    // non-finite where finiteness matters).
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = v;
+    return true;
+  }
+};
+
+bool JsonParser::parse_value(JsonValue* out, std::size_t depth) {
+  if (depth > kMaxRequestDepth) return fail("nesting too deep");
+  if (!count_node()) return false;
+  skip_ws();
+  if (pos >= text.size()) return fail("unexpected end of input");
+  const char c = text[pos];
+  switch (c) {
+    case 'n':
+      return parse_literal("null", out, JsonValue{});
+    case 't': {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      return parse_literal("true", out, std::move(v));
+    }
+    case 'f': {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = false;
+      return parse_literal("false", out, std::move(v));
+    }
+    case '"': {
+      out->kind = JsonValue::Kind::kString;
+      return parse_string(&out->string);
+    }
+    case '[': {
+      ++pos;
+      out->kind = JsonValue::Kind::kArray;
+      skip_ws();
+      if (pos < text.size() && text[pos] == ']') {
+        ++pos;
+        return true;
+      }
+      while (true) {
+        JsonValue item;
+        if (!parse_value(&item, depth + 1)) return false;
+        out->items.push_back(std::move(item));
+        skip_ws();
+        if (pos >= text.size()) return fail("unterminated array");
+        if (text[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        if (text[pos] == ']') {
+          ++pos;
+          return true;
+        }
+        return fail("expected ',' or ']' in array");
+      }
+    }
+    case '{': {
+      ++pos;
+      out->kind = JsonValue::Kind::kObject;
+      skip_ws();
+      if (pos < text.size() && text[pos] == '}') {
+        ++pos;
+        return true;
+      }
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(&key)) return false;
+        for (const auto& [existing, unused] : out->members) {
+          (void)unused;
+          if (existing == key) return fail("duplicate object key");
+        }
+        skip_ws();
+        if (pos >= text.size() || text[pos] != ':')
+          return fail("expected ':' after object key");
+        ++pos;
+        JsonValue value;
+        if (!parse_value(&value, depth + 1)) return false;
+        out->members.emplace_back(std::move(key), std::move(value));
+        skip_ws();
+        if (pos >= text.size()) return fail("unterminated object");
+        if (text[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        if (text[pos] == '}') {
+          ++pos;
+          return true;
+        }
+        return fail("expected ',' or '}' in object");
+      }
+    }
+    default:
+      if (c == '-' || (c >= '0' && c <= '9')) return parse_number(out);
+      return fail("unrecognized token");
+  }
+}
+
+Solved<Request> request_error(const std::string& what) {
+  Solved<Request> out;
+  out.status = Status::make(StatusCode::kInvalidInput, "request: " + what);
+  return out;
+}
+
+/// Reads a required non-negative integer field, capped.
+bool read_count(const JsonValue& doc, std::string_view key, std::size_t cap,
+                std::size_t* out, std::string* err) {
+  const JsonValue* v = doc.find(key);
+  if (v == nullptr) return true;  // caller handles required-ness
+  if (v->kind != JsonValue::Kind::kNumber || !std::isfinite(v->number) ||
+      v->number < 0 || v->number != std::floor(v->number) ||
+      v->number > static_cast<double>(cap)) {
+    *err = "field '" + std::string(key) + "' must be an integer in [0, " +
+           std::to_string(cap) + "]";
+    return false;
+  }
+  *out = static_cast<std::size_t>(v->number);
+  return true;
+}
+
+bool read_finite(const JsonValue& doc, std::string_view key, double* out,
+                 std::string* err) {
+  const JsonValue* v = doc.find(key);
+  if (v == nullptr) return true;
+  if (v->kind != JsonValue::Kind::kNumber || !std::isfinite(v->number)) {
+    *err = "field '" + std::string(key) + "' must be a finite number";
+    return false;
+  }
+  *out = v->number;
+  return true;
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+Solved<JsonValue> parse_json(std::string_view text) {
+  Solved<JsonValue> out;
+  if (text.size() > kMaxRequestBytes) {
+    out.status = Status::make(
+        StatusCode::kInvalidInput,
+        "request exceeds " + std::to_string(kMaxRequestBytes) + " bytes");
+    return out;
+  }
+  JsonParser parser;
+  parser.text = text;
+  JsonValue value;
+  if (!parser.parse_value(&value, 0)) {
+    out.status = Status::make(StatusCode::kInvalidInput,
+                              "byte " + std::to_string(parser.error_at) +
+                                  ": " + parser.error);
+    return out;
+  }
+  parser.skip_ws();
+  if (parser.pos != text.size()) {
+    out.status = Status::make(
+        StatusCode::kInvalidInput,
+        "byte " + std::to_string(parser.pos + 1) + ": trailing garbage");
+    return out;
+  }
+  out.result = std::move(value);
+  out.status = Status::make_ok();
+  return out;
+}
+
+bool valid_id(std::string_view id) {
+  if (id.empty() || id.size() > kMaxIdBytes) return false;
+  for (const char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                    c == ':' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+Solved<Request> try_parse_request(const std::string& line) {
+  Solved<JsonValue> doc = parse_json(line);
+  if (!doc.status.ok()) {
+    Solved<Request> out;
+    out.status = doc.status;
+    return out;
+  }
+  const JsonValue& root = doc.result;
+  if (root.kind != JsonValue::Kind::kObject)
+    return request_error("top-level value must be an object");
+
+  Request req;
+  const JsonValue* type = root.find("type");
+  if (type == nullptr || type->kind != JsonValue::Kind::kString)
+    return request_error("missing string field 'type'");
+  if (type->string == "solve") req.type = RequestType::kSolve;
+  else if (type->string == "cancel") req.type = RequestType::kCancel;
+  else if (type->string == "metrics") req.type = RequestType::kMetrics;
+  else if (type->string == "ping") req.type = RequestType::kPing;
+  else if (type->string == "shutdown") req.type = RequestType::kShutdown;
+  else return request_error("unknown type '" + type->string + "'");
+
+  const JsonValue* id = root.find("id");
+  if (id == nullptr || id->kind != JsonValue::Kind::kString ||
+      !valid_id(id->string))
+    return request_error(
+        "field 'id' must match [A-Za-z0-9_.:-]{1,64}");
+  req.id = id->string;
+
+  const JsonValue* client = root.find("client");
+  if (client == nullptr || client->kind != JsonValue::Kind::kString ||
+      !valid_id(client->string))
+    return request_error(
+        "field 'client' must match [A-Za-z0-9_.:-]{1,64}");
+  req.client = client->string;
+
+  std::string err;
+  if (req.type == RequestType::kCancel) {
+    const JsonValue* target = root.find("cancel");
+    if (target == nullptr || target->kind != JsonValue::Kind::kString ||
+        !valid_id(target->string))
+      return request_error(
+          "cancel requests need a 'cancel' field naming the solve id");
+    req.cancel_id = target->string;
+  }
+
+  if (req.type != RequestType::kSolve) {
+    Solved<Request> out;
+    out.result = std::move(req);
+    out.status = Status::make_ok();
+    return out;
+  }
+
+  // ---- solve fields ----
+  const JsonValue* solver = root.find("solver");
+  if (solver == nullptr || solver->kind != JsonValue::Kind::kString ||
+      !engine::try_parse_job_solver(solver->string, &req.solver))
+    return request_error("field 'solver' must name a job solver");
+
+  if (root.find("n") == nullptr) return request_error("missing field 'n'");
+  if (!read_count(root, "n", kMaxRequestVertices, &req.n, &err))
+    return request_error(err);
+  if (req.n == 0) return request_error("field 'n' must be >= 1");
+  if (!read_count(root, "k", kMaxRequestEdges, &req.k, &err))
+    return request_error(err);
+  if (req.k == 0) return request_error("field 'k' must be >= 1");
+  if (!read_count(root, "attackers", kMaxRequestAttackers, &req.attackers,
+                  &err))
+    return request_error(err);
+  if (req.attackers == 0)
+    return request_error("field 'attackers' must be >= 1");
+
+  const JsonValue* edges = root.find("edges");
+  if (edges == nullptr || edges->kind != JsonValue::Kind::kArray)
+    return request_error("missing array field 'edges'");
+  if (edges->items.size() > kMaxRequestEdges)
+    return request_error("more than " + std::to_string(kMaxRequestEdges) +
+                         " edges");
+  req.edges.reserve(edges->items.size());
+  for (const JsonValue& e : edges->items) {
+    if (e.kind != JsonValue::Kind::kArray || e.items.size() != 2 ||
+        e.items[0].kind != JsonValue::Kind::kNumber ||
+        e.items[1].kind != JsonValue::Kind::kNumber)
+      return request_error("each edge must be a [u, v] pair");
+    const double du = e.items[0].number;
+    const double dv = e.items[1].number;
+    if (!std::isfinite(du) || !std::isfinite(dv) || du < 0 || dv < 0 ||
+        du != std::floor(du) || dv != std::floor(dv) ||
+        du >= static_cast<double>(req.n) ||
+        dv >= static_cast<double>(req.n))
+      return request_error("edge endpoints must be integers in [0, n)");
+    const std::size_t u = static_cast<std::size_t>(du);
+    const std::size_t v = static_cast<std::size_t>(dv);
+    if (u == v) return request_error("self-loops are not allowed");
+    req.edges.emplace_back(u, v);
+  }
+  if (req.edges.empty()) return request_error("field 'edges' is empty");
+
+  const JsonValue* weights = root.find("weights");
+  if (weights != nullptr) {
+    if (weights->kind != JsonValue::Kind::kArray ||
+        weights->items.size() > kMaxRequestVertices)
+      return request_error("field 'weights' must be an array of <= " +
+                           std::to_string(kMaxRequestVertices) + " numbers");
+    req.weights.reserve(weights->items.size());
+    for (const JsonValue& w : weights->items) {
+      if (w.kind != JsonValue::Kind::kNumber || !std::isfinite(w.number) ||
+          w.number < 0)
+        return request_error("weights must be finite numbers >= 0");
+      req.weights.push_back(w.number);
+    }
+  }
+  if (engine::is_weighted(req.solver)) {
+    if (req.weights.size() != req.n)
+      return request_error("weighted solvers need exactly n weights");
+  } else if (!req.weights.empty()) {
+    return request_error("solver takes no weights");
+  }
+
+  if (!read_finite(root, "tolerance", &req.tolerance, &err))
+    return request_error(err);
+  if (req.tolerance < 0)
+    return request_error("field 'tolerance' must be >= 0");
+  constexpr std::size_t kMaxBudget =
+      std::numeric_limits<std::size_t>::max() / 4;
+  if (!read_count(root, "iters", kMaxBudget, &req.max_iterations, &err))
+    return request_error(err);
+  if (!read_finite(root, "wall_seconds", &req.wall_clock_seconds, &err))
+    return request_error(err);
+  if (req.wall_clock_seconds < 0)
+    return request_error("field 'wall_seconds' must be >= 0");
+  std::size_t oracle = 0;
+  if (!read_count(root, "oracle_nodes", kMaxBudget, &oracle, &err))
+    return request_error(err);
+  req.oracle_node_budget = oracle;
+
+  // Reject unknown top-level keys so typos fail loudly instead of being
+  // silently ignored (e.g. "iterations" vs "iters").
+  static constexpr std::string_view kKnown[] = {
+      "type", "id", "client", "cancel", "solver", "n", "k", "attackers",
+      "edges", "weights", "tolerance", "iters", "wall_seconds",
+      "oracle_nodes"};
+  for (const auto& [key, value] : root.members) {
+    (void)value;
+    bool known = false;
+    for (const std::string_view k : kKnown)
+      if (key == k) known = true;
+    if (!known) return request_error("unknown field '" + key + "'");
+  }
+
+  Solved<Request> out;
+  out.result = std::move(req);
+  out.status = Status::make_ok();
+  return out;
+}
+
+Status to_job(const Request& request,
+              std::optional<engine::SolveJob>* out) {
+  out->reset();
+  try {
+    graph::GraphBuilder builder(request.n);
+    for (const auto& [u, v] : request.edges)
+      builder.add_edge(static_cast<graph::Vertex>(u),
+                       static_cast<graph::Vertex>(v));
+    graph::Graph g = builder.build();
+    if (g.has_isolated_vertex())
+      return Status::make(StatusCode::kInvalidInput,
+                          "board has an isolated vertex");
+    if (request.k > g.num_edges())
+      return Status::make(StatusCode::kInvalidInput,
+                          "k exceeds the board's edge count");
+    core::TupleGame game(std::move(g), request.k, request.attackers);
+    engine::SolveJob job(std::move(game));
+    job.solver = request.solver;
+    job.tolerance = request.tolerance;
+    job.budget.max_iterations = request.max_iterations;
+    job.budget.wall_clock_seconds = request.wall_clock_seconds;
+    job.budget.oracle_node_budget = request.oracle_node_budget;
+    job.weights = request.weights;
+    out->emplace(std::move(job));
+    return Status::make_ok();
+  } catch (const std::exception& e) {
+    return Status::make(StatusCode::kInvalidInput,
+                        std::string("board rejected: ") + e.what());
+  }
+}
+
+std::string ack_response(std::string_view id) {
+  util::JsonWriter w;
+  w.str("id", id);
+  w.str("type", "ack");
+  return w.object();
+}
+
+std::string error_response(std::string_view id, StatusCode code,
+                           std::string_view message, double retry_after_ms) {
+  util::JsonWriter w;
+  w.str("id", id);
+  w.str("type", "error");
+  w.str("status", defender::to_string(code));
+  w.str("message", message);
+  if (retry_after_ms > 0) w.num("retry_after_ms", retry_after_ms);
+  return w.object();
+}
+
+std::string result_response(std::string_view id,
+                            const engine::JobResult& result) {
+  util::JsonWriter w;
+  w.str("id", id);
+  w.str("type", "result");
+  w.raw("result", result.to_json());
+  return w.object();
+}
+
+std::string metrics_response(std::string_view id,
+                             const obs::MetricsRegistry& registry) {
+  util::JsonWriter w;
+  w.str("id", id);
+  w.str("type", "metrics");
+  w.raw("metrics", registry.to_json());
+  return w.object();
+}
+
+std::string pong_response(std::string_view id) {
+  util::JsonWriter w;
+  w.str("id", id);
+  w.str("type", "pong");
+  return w.object();
+}
+
+std::string shutdown_response(std::string_view id) {
+  util::JsonWriter w;
+  w.str("id", id);
+  w.str("type", "shutdown");
+  return w.object();
+}
+
+}  // namespace defender::serve

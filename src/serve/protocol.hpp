@@ -1,0 +1,145 @@
+// The defender_serve wire protocol: line-delimited JSON requests and
+// responses (one complete JSON object per line, no framing beyond '\n').
+//
+// Request parsing is hostile-input hardened like every other parser in
+// the repo (core/checkpoint, cache/cache, the CLI batch reader):
+// overflow-safe counts via strtoull/strtod, allocation caps on every
+// declared size, bounded nesting depth and node counts, and kInvalidInput
+// errors that carry the byte offset of the first malformed token — never
+// a crash, hang, or unbounded allocation. The full grammar lives in
+// docs/SERVE.md.
+//
+// Emission goes through util/json_writer.hpp, the same helper that
+// renders bench lines and JobResult reports, so responses cannot drift in
+// escaping or number formatting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/status.hpp"
+#include "engine/job.hpp"
+#include "obs/metrics.hpp"
+
+namespace defender::serve {
+
+/// Hard caps on a single request line. A line over kMaxRequestBytes is
+/// rejected before parsing; the rest bound what a syntactically valid
+/// document can make the parser allocate.
+inline constexpr std::size_t kMaxRequestBytes = 1 << 16;
+inline constexpr std::size_t kMaxRequestDepth = 16;
+inline constexpr std::size_t kMaxRequestNodes = 16 * 1024;
+inline constexpr std::size_t kMaxRequestStringBytes = 4096;
+/// Client and request ids: [A-Za-z0-9_.:-], 1..64 bytes. Restricting the
+/// charset keeps ids safe to embed in the line-oriented drain manifest
+/// and in log lines without any escaping.
+inline constexpr std::size_t kMaxIdBytes = 64;
+/// Board caps for solve requests.
+inline constexpr std::size_t kMaxRequestVertices = 4096;
+inline constexpr std::size_t kMaxRequestEdges = 65536;
+inline constexpr std::size_t kMaxRequestAttackers = 4096;
+
+/// A parsed JSON value (the mini-DOM the request decoder walks). Object
+/// member order is preserved; duplicate keys are rejected at parse time.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> items;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject
+
+  /// Member lookup on an object; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+};
+
+/// Hardened parse of one complete JSON document. `text` must contain
+/// exactly one JSON value (trailing whitespace allowed, trailing garbage
+/// rejected). Errors carry the 1-based byte offset.
+Solved<JsonValue> parse_json(std::string_view text);
+
+/// True when `id` is a valid client/request id: [A-Za-z0-9_.:-]{1,64}.
+bool valid_id(std::string_view id);
+
+/// What a request asks for.
+enum class RequestType { kSolve, kCancel, kMetrics, kPing, kShutdown };
+
+constexpr const char* to_string(RequestType type) {
+  switch (type) {
+    case RequestType::kSolve: return "solve";
+    case RequestType::kCancel: return "cancel";
+    case RequestType::kMetrics: return "metrics";
+    case RequestType::kPing: return "ping";
+    case RequestType::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+/// One decoded request. `client` and `id` are always set and valid_id().
+/// The solve fields are populated only for kSolve.
+struct Request {
+  RequestType type = RequestType::kPing;
+  std::string client;
+  std::string id;
+
+  // kSolve: the board (explicit edge list), solver, and budget.
+  engine::JobSolver solver = engine::JobSolver::kDoubleOracle;
+  std::size_t n = 0;
+  std::size_t k = 1;
+  std::size_t attackers = 1;
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  std::vector<double> weights;
+  double tolerance = 1e-9;
+  std::size_t max_iterations = 0;
+  double wall_clock_seconds = 0;
+  std::uint64_t oracle_node_budget = 0;
+
+  // kCancel: the id of the solve to cancel (same client).
+  std::string cancel_id;
+};
+
+/// Decodes one request line. Any malformation — bad JSON, unknown type,
+/// missing/invalid ids, out-of-range board shape, edge endpoints >= n,
+/// weight count mismatch — returns kInvalidInput with a message naming
+/// the offending field; never a crash.
+Solved<Request> try_parse_request(const std::string& line);
+
+/// Builds the engine job a kSolve request describes into `*out`. The
+/// request was already validated, but board assembly can still reject
+/// (isolated vertices, k > m, ...) — those surface as kInvalidInput too.
+/// (SolveJob is not default-constructible, hence the optional out-param.)
+Status to_job(const Request& request, std::optional<engine::SolveJob>* out);
+
+// ---- Response emission (single-line JSON, no trailing newline) ----
+
+/// {"id":...,"type":"ack"} — a solve was admitted to the queue.
+std::string ack_response(std::string_view id);
+
+/// {"id":...,"type":"error","status":...,"message":...,
+///  "retry_after_ms":...} — retry_after_ms is included only when > 0
+/// (kOverloaded rejections carry the backoff hint).
+std::string error_response(std::string_view id, StatusCode code,
+                           std::string_view message,
+                           double retry_after_ms = 0);
+
+/// {"id":...,"type":"result","result":{...JobResult::to_json()...}}.
+std::string result_response(std::string_view id,
+                            const engine::JobResult& result);
+
+/// {"id":...,"type":"metrics","metrics":{...registry JSON...}}.
+std::string metrics_response(std::string_view id,
+                             const obs::MetricsRegistry& registry);
+
+/// {"id":...,"type":"pong"}.
+std::string pong_response(std::string_view id);
+
+/// {"id":...,"type":"shutdown"} — acknowledges a shutdown request.
+std::string shutdown_response(std::string_view id);
+
+}  // namespace defender::serve

@@ -1,0 +1,475 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace defender::serve {
+
+namespace {
+
+Status sys_error(const std::string& what) {
+  return Status::make(StatusCode::kInvalidInput,
+                      what + ": " + std::strerror(errno));
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) return false;
+  ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  return true;
+}
+
+void close_fd(int* fd) {
+  if (*fd >= 0) {
+    ::close(*fd);
+    *fd = -1;
+  }
+}
+
+}  // namespace
+
+/// One client connection: the socket, the partially-read request line,
+/// and the pending response bytes.
+struct SolveServer::Connection {
+  int fd = -1;
+  std::uint64_t id = 0;
+  std::string rbuf;
+  std::string wbuf;
+  /// Flush wbuf, then close (set after a shutdown acknowledgement).
+  bool closing = false;
+};
+
+SolveServer::SolveServer(ServerConfig config) : config_(std::move(config)) {
+  if (config_.service.engine.metrics == nullptr)
+    config_.service.engine.metrics = &own_metrics_;
+  service_ = std::make_unique<SolveService>(config_.service);
+}
+
+SolveServer::~SolveServer() {
+  // service_ (declared last) is destroyed first, joining every worker, so
+  // no callback can touch the outbox once we tear the sockets down.
+  service_.reset();
+  for (auto& [id, conn] : connections_) close_fd(&conn->fd);
+  connections_.clear();
+  close_fd(&listen_tcp_);
+  close_fd(&listen_unix_);
+  close_fd(&wake_read_);
+  close_fd(&wake_write_);
+  if (!bound_unix_path_.empty()) ::unlink(bound_unix_path_.c_str());
+}
+
+Status SolveServer::start() {
+  if (config_.tcp_host.empty() && config_.unix_path.empty())
+    return Status::make(StatusCode::kInvalidInput,
+                        "no listener configured (need a TCP host or a "
+                        "unix socket path)");
+
+  int pipe_fds[2] = {-1, -1};
+  if (::pipe(pipe_fds) != 0) return sys_error("pipe");
+  wake_read_ = pipe_fds[0];
+  wake_write_ = pipe_fds[1];
+  if (!set_nonblocking(wake_read_) || !set_nonblocking(wake_write_))
+    return sys_error("fcntl(self-pipe)");
+
+  if (!config_.tcp_host.empty()) {
+    listen_tcp_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_tcp_ < 0) return sys_error("socket(tcp)");
+    const int one = 1;
+    ::setsockopt(listen_tcp_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(config_.tcp_port);
+    if (::inet_pton(AF_INET, config_.tcp_host.c_str(), &addr.sin_addr) != 1)
+      return Status::make(StatusCode::kInvalidInput,
+                          "bad TCP host (need a dotted IPv4 address): " +
+                              config_.tcp_host);
+    if (::bind(listen_tcp_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0)
+      return sys_error("bind(" + config_.tcp_host + ":" +
+                       std::to_string(config_.tcp_port) + ")");
+    if (::listen(listen_tcp_, 64) != 0) return sys_error("listen(tcp)");
+    if (!set_nonblocking(listen_tcp_)) return sys_error("fcntl(tcp)");
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_tcp_, reinterpret_cast<sockaddr*>(&bound),
+                      &len) == 0)
+      bound_tcp_port_ = ntohs(bound.sin_port);
+  }
+
+  if (!config_.unix_path.empty()) {
+    sockaddr_un addr{};
+    if (config_.unix_path.size() >= sizeof(addr.sun_path))
+      return Status::make(StatusCode::kInvalidInput,
+                          "unix socket path too long: " + config_.unix_path);
+    listen_unix_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_unix_ < 0) return sys_error("socket(unix)");
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, config_.unix_path.c_str(),
+                config_.unix_path.size() + 1);
+    ::unlink(config_.unix_path.c_str());  // stale socket from a past run
+    if (::bind(listen_unix_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0)
+      return sys_error("bind(" + config_.unix_path + ")");
+    if (::listen(listen_unix_, 64) != 0) return sys_error("listen(unix)");
+    if (!set_nonblocking(listen_unix_)) return sys_error("fcntl(unix)");
+    bound_unix_path_ = config_.unix_path;
+  }
+
+  return Status::make_ok();
+}
+
+void SolveServer::wake() {
+  if (wake_write_ < 0) return;
+  const char byte = 'w';
+  // EAGAIN means a wake is already pending — that is all we need.
+  [[maybe_unused]] const ssize_t rc = ::write(wake_write_, &byte, 1);
+}
+
+void SolveServer::request_shutdown() {
+  // Async-signal-safe: one atomic store and one write(2).
+  shutdown_requested_.store(true, std::memory_order_release);
+  if (wake_write_ >= 0) {
+    const char byte = 's';
+    [[maybe_unused]] const ssize_t rc = ::write(wake_write_, &byte, 1);
+  }
+}
+
+std::size_t SolveServer::resume(const DrainManifest& manifest) {
+  // One service-level resume per job so each callback knows its request
+  // id and can render the exact result line the original client would
+  // have received.
+  std::size_t total = 0;
+  for (const DrainedJob& job : manifest.jobs) {
+    DrainManifest single;
+    single.version = manifest.version;
+    single.jobs.push_back(job);
+    total += service_->resume(
+        single, [this, client = job.client,
+                 id = job.request_id](const engine::JobResult& result) {
+          OutMsg msg;
+          msg.conn = 0;  // no connection: always the orphan path
+          msg.client = client;
+          msg.line = result_response(id, result);
+          {
+            std::lock_guard<std::mutex> lock(outbox_mu_);
+            outbox_.push_back(std::move(msg));
+          }
+          wake();
+        });
+  }
+  return total;
+}
+
+void SolveServer::queue_write(Connection& conn, std::string line) {
+  conn.wbuf += line;
+  conn.wbuf += '\n';
+}
+
+void SolveServer::handle_line(Connection& conn, const std::string& line) {
+  bool blank = true;
+  for (const char c : line)
+    if (!std::isspace(static_cast<unsigned char>(c))) blank = false;
+  if (blank) return;
+
+  const Solved<Request> parsed = try_parse_request(line);
+  if (!parsed.status.ok()) {
+    queue_write(conn,
+                error_response("", StatusCode::kInvalidInput,
+                               parsed.status.message));
+    return;
+  }
+  const Request& req = parsed.result;
+
+  switch (req.type) {
+    case RequestType::kPing:
+      queue_write(conn, pong_response(req.id));
+      return;
+    case RequestType::kMetrics:
+      queue_write(conn,
+                  metrics_response(req.id, *config_.service.engine.metrics));
+      return;
+    case RequestType::kShutdown:
+      queue_write(conn, shutdown_response(req.id));
+      request_shutdown();
+      return;
+    case RequestType::kCancel:
+      if (service_->cancel(req.client, req.cancel_id))
+        queue_write(conn, ack_response(req.id));
+      else
+        queue_write(conn, error_response(req.id, StatusCode::kInvalidInput,
+                                         "no active job with id '" +
+                                             req.cancel_id +
+                                             "' for this client"));
+      return;
+    case RequestType::kSolve:
+      break;
+  }
+
+  const std::uint64_t conn_id = conn.id;
+  const std::string client = req.client;
+  const std::string id = req.id;
+  const Admission admission = service_->submit(
+      req, [this, conn_id, client, id](const engine::JobResult& result) {
+        OutMsg msg;
+        msg.conn = conn_id;
+        msg.client = client;
+        msg.line = result_response(id, result);
+        {
+          std::lock_guard<std::mutex> lock(outbox_mu_);
+          outbox_.push_back(std::move(msg));
+        }
+        wake();
+      });
+  if (admission.admitted())
+    queue_write(conn, ack_response(req.id));
+  else
+    queue_write(conn, error_response(req.id, admission.code,
+                                     admission.message,
+                                     admission.retry_after_ms));
+}
+
+void SolveServer::drain_outbox() {
+  std::vector<OutMsg> pending;
+  {
+    std::lock_guard<std::mutex> lock(outbox_mu_);
+    pending.swap(outbox_);
+  }
+  for (OutMsg& msg : pending) {
+    const auto it =
+        msg.conn == 0 ? connections_.end() : connections_.find(msg.conn);
+    if (it == connections_.end()) {
+      if (config_.on_orphan) config_.on_orphan(msg.client, msg.line);
+      continue;
+    }
+    queue_write(*it->second, std::move(msg.line));
+  }
+}
+
+/// Returns false when the connection died mid-write.
+bool SolveServer::flush_writes(Connection& conn) {
+  while (!conn.wbuf.empty()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.wbuf.data(), conn.wbuf.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.wbuf.erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    return false;
+  }
+  return true;
+}
+
+void SolveServer::close_connection(std::uint64_t id, const char* why) {
+  (void)why;
+  const auto it = connections_.find(id);
+  if (it == connections_.end()) return;
+  close_fd(&it->second->fd);
+  connections_.erase(it);
+}
+
+DrainManifest SolveServer::run() {
+  DrainManifest manifest;
+  std::thread drainer;
+  std::atomic<bool> drain_started{false};
+  std::atomic<bool> drain_done{false};
+
+  const auto accept_on = [&](int listener) {
+    for (;;) {
+      const int fd = ::accept(listener, nullptr, nullptr);
+      if (fd < 0) return;
+      if (connections_.size() >= config_.max_connections) {
+        ::close(fd);
+        continue;
+      }
+      if (!set_nonblocking(fd)) {
+        ::close(fd);
+        continue;
+      }
+      auto conn = std::make_unique<Connection>();
+      conn->fd = fd;
+      conn->id = next_connection_id_++;
+      connections_.emplace(conn->id, std::move(conn));
+    }
+  };
+
+  for (;;) {
+    if (shutdown_requested_.load(std::memory_order_acquire) &&
+        !drain_started.load()) {
+      drain_started.store(true);
+      close_fd(&listen_tcp_);
+      close_fd(&listen_unix_);
+      if (!bound_unix_path_.empty()) {
+        ::unlink(bound_unix_path_.c_str());
+        bound_unix_path_.clear();
+      }
+      // Drain on a helper thread so the IO loop keeps delivering the
+      // results of jobs that beat the drain deadline.
+      drainer = std::thread([&] {
+        manifest = service_->drain();
+        drain_done.store(true, std::memory_order_release);
+        wake();
+      });
+    }
+
+    drain_outbox();
+
+    if (drain_done.load(std::memory_order_acquire)) break;
+
+    std::vector<pollfd> fds;
+    std::vector<std::uint64_t> fd_conn;  // conn id per pollfd (0 = none)
+    fds.push_back({wake_read_, POLLIN, 0});
+    fd_conn.push_back(0);
+    if (listen_tcp_ >= 0) {
+      fds.push_back({listen_tcp_, POLLIN, 0});
+      fd_conn.push_back(0);
+    }
+    if (listen_unix_ >= 0) {
+      fds.push_back({listen_unix_, POLLIN, 0});
+      fd_conn.push_back(0);
+    }
+    for (const auto& [id, conn] : connections_) {
+      short events = 0;
+      if (!conn->closing) events |= POLLIN;
+      if (!conn->wbuf.empty()) events |= POLLOUT;
+      fds.push_back({conn->fd, events, 0});
+      fd_conn.push_back(id);
+    }
+
+    ::poll(fds.data(), fds.size(), 200);
+
+    if ((fds[0].revents & POLLIN) != 0) {
+      char buf[256];
+      while (::read(wake_read_, buf, sizeof(buf)) > 0) {
+      }
+    }
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+      if (fd_conn[i] != 0) continue;
+      if ((fds[i].revents & POLLIN) != 0) accept_on(fds[i].fd);
+    }
+
+    std::vector<std::uint64_t> to_close;
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+      const std::uint64_t id = fd_conn[i];
+      if (id == 0) continue;
+      const auto it = connections_.find(id);
+      if (it == connections_.end()) continue;
+      Connection& conn = *it->second;
+
+      if ((fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+          (fds[i].revents & POLLIN) == 0) {
+        to_close.push_back(id);
+        continue;
+      }
+
+      if ((fds[i].revents & POLLIN) != 0) {
+        bool dead = false;
+        for (;;) {
+          char buf[4096];
+          const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+          if (n > 0) {
+            conn.rbuf.append(buf, static_cast<std::size_t>(n));
+            continue;
+          }
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          dead = true;  // orderly EOF or hard error
+          break;
+        }
+        // A request line longer than the protocol cap can never parse;
+        // answer once with an error and close. The cap applies whether
+        // the oversize line is still accumulating (no newline yet) or
+        // arrived whole within one read batch.
+        const auto reject_oversize = [&] {
+          queue_write(conn,
+                      error_response("", StatusCode::kInvalidInput,
+                                     "request line exceeds " +
+                                         std::to_string(kMaxRequestBytes) +
+                                         " bytes"));
+          conn.closing = true;
+          conn.rbuf.clear();
+        };
+        std::size_t start = 0;
+        while (!conn.closing) {
+          const std::size_t nl = conn.rbuf.find('\n', start);
+          if (nl == std::string::npos) break;
+          if (nl - start > kMaxRequestBytes) {
+            reject_oversize();
+            start = 0;
+            break;
+          }
+          handle_line(conn, conn.rbuf.substr(start, nl - start));
+          start = nl + 1;
+        }
+        if (conn.closing) conn.rbuf.clear();
+        conn.rbuf.erase(0, std::min(start, conn.rbuf.size()));
+        if (!conn.closing && conn.rbuf.size() > kMaxRequestBytes)
+          reject_oversize();
+        if (dead) {
+          to_close.push_back(id);
+          continue;
+        }
+      }
+
+      if (!conn.wbuf.empty() && !flush_writes(conn)) {
+        to_close.push_back(id);
+        continue;
+      }
+      if (conn.wbuf.size() > config_.max_write_buffer_bytes) {
+        // Slow-client guard: never let one stuck reader hold the
+        // service's memory or block result delivery.
+        to_close.push_back(id);
+        continue;
+      }
+      if (conn.closing && conn.wbuf.empty()) to_close.push_back(id);
+    }
+    for (const std::uint64_t id : to_close)
+      close_connection(id, "io");
+  }
+
+  if (drainer.joinable()) drainer.join();
+
+  // Final delivery pass: flush response bytes (results that beat the
+  // drain deadline) with a bounded grace period, then disconnect.
+  drain_outbox();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  for (;;) {
+    bool any_pending = false;
+    for (const auto& [id, conn] : connections_)
+      if (!conn->wbuf.empty()) any_pending = true;
+    if (!any_pending || std::chrono::steady_clock::now() > deadline) break;
+    std::vector<pollfd> fds;
+    std::vector<std::uint64_t> fd_conn;
+    for (const auto& [id, conn] : connections_) {
+      if (conn->wbuf.empty()) continue;
+      fds.push_back({conn->fd, POLLOUT, 0});
+      fd_conn.push_back(id);
+    }
+    ::poll(fds.data(), fds.size(), 100);
+    std::vector<std::uint64_t> to_close;
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      const auto it = connections_.find(fd_conn[i]);
+      if (it == connections_.end()) continue;
+      if (!flush_writes(*it->second)) to_close.push_back(fd_conn[i]);
+    }
+    for (const std::uint64_t id : to_close) close_connection(id, "flush");
+  }
+  for (auto& [id, conn] : connections_) close_fd(&conn->fd);
+  connections_.clear();
+  return manifest;
+}
+
+}  // namespace defender::serve

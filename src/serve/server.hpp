@@ -1,0 +1,132 @@
+// SolveServer: the socket front end of defender_serve.
+//
+// One IO thread multiplexes every connection with poll(2): it accepts on
+// the TCP and/or Unix-domain listeners, splits inbound bytes into JSONL
+// request lines, routes them through the SolveService, and flushes
+// response lines from per-connection write buffers. Worker threads never
+// touch a socket — they render the response line and push it onto a
+// server-side outbox, then wake the IO thread through a self-pipe. A
+// connection whose write buffer exceeds `max_write_buffer_bytes` (a slow
+// or stuck reader) is disconnected rather than allowed to wedge the
+// service; its undelivered results go to the orphan callback.
+//
+// Shutdown (request_shutdown(), which is async-signal-safe, or an inbound
+// "shutdown" request) flips the server into drain mode: the listeners
+// close, new solves are rejected kOverloaded, the service drains on a
+// background thread while the IO loop keeps delivering the results of
+// jobs that beat the drain deadline, and run() finally returns the
+// "defender-drain v1" manifest for the caller to persist.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/drain.hpp"
+#include "serve/service.hpp"
+
+namespace defender::serve {
+
+struct ServerConfig {
+  /// TCP listener; empty host disables TCP. Port 0 binds an ephemeral
+  /// port (read it back with tcp_port() after start()).
+  std::string tcp_host;
+  std::uint16_t tcp_port = 0;
+  /// Unix-domain listener; empty path disables it. A stale socket file at
+  /// the path is removed before binding.
+  std::string unix_path;
+  std::size_t max_connections = 64;
+  /// Slow-client guard: a connection whose pending-write buffer exceeds
+  /// this is dropped (workers are never blocked by a slow reader).
+  std::size_t max_write_buffer_bytes = 4u << 20;
+  /// Results whose connection is gone (disconnect, slow-client drop) and
+  /// results of manifest-resumed jobs land here as fully rendered
+  /// result_response() lines — the same bytes the client would have
+  /// received, so a restart's resume-report is directly comparable to a
+  /// live client's transcript. May be empty.
+  std::function<void(const std::string& client, const std::string& line)>
+      on_orphan;
+  ServiceConfig service;
+};
+
+class SolveServer {
+ public:
+  explicit SolveServer(ServerConfig config);
+  ~SolveServer();
+  SolveServer(const SolveServer&) = delete;
+  SolveServer& operator=(const SolveServer&) = delete;
+
+  /// Binds and listens on the configured endpoints. kInvalidInput when
+  /// neither endpoint is configured or a bind fails.
+  Status start();
+
+  /// The bound TCP port (resolves port 0), 0 when TCP is disabled.
+  std::uint16_t tcp_port() const { return bound_tcp_port_; }
+
+  /// Re-admits a drain manifest's jobs before serving traffic; their
+  /// results go to the orphan callback. Returns jobs re-admitted.
+  std::size_t resume(const DrainManifest& manifest);
+
+  /// Serves until shutdown is requested, then drains and returns the
+  /// manifest of unfinished jobs. Call from the owning thread after
+  /// start().
+  DrainManifest run();
+
+  /// Requests graceful drain. Async-signal-safe (one write(2) to the
+  /// self-pipe) — safe to call from a SIGTERM handler or any thread.
+  void request_shutdown();
+
+  /// The service, for tests that poke admission state directly.
+  SolveService& service() { return *service_; }
+
+ private:
+  struct Connection;
+
+  void wake();
+  void handle_line(Connection& conn, const std::string& line);
+  void queue_write(Connection& conn, std::string line);
+  void drain_outbox();
+  void close_connection(std::uint64_t id, const char* why);
+  bool flush_writes(Connection& conn);
+
+  ServerConfig config_;
+  /// Fallback registry so "metrics" requests always have a target.
+  obs::MetricsRegistry own_metrics_;
+
+  int listen_tcp_ = -1;
+  int listen_unix_ = -1;
+  int wake_read_ = -1;
+  int wake_write_ = -1;
+  std::uint16_t bound_tcp_port_ = 0;
+  std::string bound_unix_path_;
+
+  std::map<std::uint64_t, std::unique_ptr<Connection>> connections_;
+  std::uint64_t next_connection_id_ = 1;
+  std::atomic<bool> shutdown_requested_{false};
+
+  /// Worker-thread → IO-thread handoff: a rendered response line plus
+  /// enough context to reroute it to the orphan callback when its
+  /// connection is already gone. Connection id 0 = always orphaned
+  /// (manifest-resumed jobs). Drained under outbox_mu_ after a self-pipe
+  /// wake.
+  struct OutMsg {
+    std::uint64_t conn = 0;
+    std::string client;
+    std::string line;
+  };
+  std::mutex outbox_mu_;
+  std::vector<OutMsg> outbox_;
+
+  /// Declared last so its worker pool joins before the outbox (which its
+  /// callbacks write) is destroyed.
+  std::unique_ptr<SolveService> service_;
+};
+
+}  // namespace defender::serve

@@ -1,0 +1,490 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace defender::serve {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+}  // namespace
+
+/// One admitted job, from enqueue to delivery or manifest.
+struct SolveService::Task {
+  explicit Task(engine::SolveJob j) : job(std::move(j)) {}
+
+  std::string client;
+  std::string id;
+  std::size_t job_index = 0;
+  Request spec;  // retained verbatim for the drain manifest
+  engine::SolveJob job;
+  ResultFn on_result;
+  CancelToken cancel;
+  std::optional<core::SolverCheckpoint> resume_checkpoint;
+  bool client_cancelled = false;
+};
+
+/// Per-client fair-queuing and quota state.
+struct SolveService::ClientState {
+  std::deque<std::shared_ptr<Task>> queue;
+  /// Queued + running jobs (the max-inflight quota counts both).
+  std::size_t inflight = 0;
+  /// Weighted-fair virtual time: advances 1/weight per serviced job.
+  double virtual_time = 0;
+  double weight = 1.0;
+  /// Token bucket.
+  double tokens = 0;
+  bool bucket_started = false;
+  Clock::time_point last_refill{};
+};
+
+SolveService::SolveService(ServiceConfig config)
+    : config_(std::move(config)), engine_([&] {
+        engine::EngineConfig ec = config_.engine;
+        ec.cache_warm_start = false;  // run_one never warm-starts
+        return ec;
+      }()) {
+  const std::size_t workers = std::max<std::size_t>(1, config_.workers);
+  if (config_.queue_low_watermark > config_.queue_high_watermark)
+    config_.queue_low_watermark = config_.queue_high_watermark;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    publish_gauges_locked();
+  }
+  workers_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+SolveService::~SolveService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    for (const std::shared_ptr<Task>& task : running_)
+      task->cancel.request_cancel();
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void SolveService::publish_gauges_locked() {
+  obs::MetricsRegistry* metrics = config_.engine.metrics;
+  if (metrics == nullptr) return;
+  metrics->gauge("serve.queue_depth").set(static_cast<double>(queued_total_));
+  metrics->gauge("serve.inflight").set(static_cast<double>(running_.size()));
+  metrics->gauge("serve.draining").set(draining_ ? 1 : 0);
+  metrics->gauge("serve.admitting").set(admitting_ && !draining_ ? 1 : 0);
+}
+
+Admission SolveService::submit(const Request& request, ResultFn on_result) {
+  obs::MetricsRegistry* metrics = config_.engine.metrics;
+  const auto reject = [&](StatusCode code, std::string message,
+                          double retry_ms) {
+    if (metrics != nullptr) {
+      metrics->counter("serve.rejected").add(1);
+      if (code == StatusCode::kOverloaded)
+        metrics->counter("serve.rejected_overload").add(1);
+      else
+        metrics->counter("serve.rejected_invalid").add(1);
+    }
+    return Admission{code, std::move(message), retry_ms};
+  };
+
+  if (request.type != RequestType::kSolve)
+    return reject(StatusCode::kInvalidInput, "not a solve request", 0);
+  if (request.max_iterations > config_.max_budget_iterations)
+    return reject(StatusCode::kInvalidInput,
+                  "iteration budget exceeds the service cap of " +
+                      std::to_string(config_.max_budget_iterations),
+                  0);
+
+  // Build the job before taking the lock: board assembly is the expensive
+  // part, and a malformed board must reject as kInvalidInput regardless
+  // of load.
+  std::optional<engine::SolveJob> built;
+  const Status build_status = to_job(request, &built);
+  if (!build_status.ok())
+    return reject(StatusCode::kInvalidInput, build_status.message, 0);
+
+  std::shared_ptr<Task> task = std::make_shared<Task>(std::move(*built));
+  task->client = request.client;
+  task->id = request.id;
+  task->spec = request;
+  task->on_result = std::move(on_result);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_ || drained_ || stop_)
+      return reject(StatusCode::kOverloaded, "service is draining",
+                    config_.retry_after_ms);
+
+    // Watermark hysteresis: stop admitting at high, resume below low.
+    if (queued_total_ >= config_.queue_high_watermark) admitting_ = false;
+    else if (queued_total_ < config_.queue_low_watermark) admitting_ = true;
+    if (!admitting_) {
+      publish_gauges_locked();
+      return reject(StatusCode::kOverloaded,
+                    "queue at high watermark (" +
+                        std::to_string(queued_total_) + " queued)",
+                    config_.retry_after_ms);
+    }
+
+    ClientState& client = clients_[request.client];
+    if (client.weight <= 0) client.weight = 1.0;
+    if (const auto it = config_.client_weights.find(request.client);
+        it != config_.client_weights.end() && it->second > 0)
+      client.weight = it->second;
+
+    // Max-inflight quota (queued + running).
+    if (config_.max_inflight_per_client > 0 &&
+        client.inflight >= config_.max_inflight_per_client) {
+      if (metrics != nullptr) metrics->counter("serve.quota_hits").add(1);
+      return reject(StatusCode::kOverloaded,
+                    "client has " + std::to_string(client.inflight) +
+                        " jobs inflight (cap " +
+                        std::to_string(config_.max_inflight_per_client) + ")",
+                    config_.retry_after_ms);
+    }
+
+    // Token bucket.
+    if (config_.tokens_per_second > 0) {
+      const Clock::time_point now = Clock::now();
+      if (!client.bucket_started) {
+        client.bucket_started = true;
+        client.tokens = std::max(1.0, config_.token_burst);
+        client.last_refill = now;
+      } else {
+        client.tokens = std::min(
+            std::max(1.0, config_.token_burst),
+            client.tokens + config_.tokens_per_second *
+                                seconds_between(client.last_refill, now));
+        client.last_refill = now;
+      }
+      if (client.tokens < 1.0) {
+        if (metrics != nullptr) metrics->counter("serve.quota_hits").add(1);
+        const double wait_ms =
+            (1.0 - client.tokens) / config_.tokens_per_second * 1e3;
+        return reject(StatusCode::kOverloaded, "client rate limit",
+                      std::max(1.0, wait_ms));
+      }
+      client.tokens -= 1.0;
+    }
+
+    // Duplicate active ids would make cancel ambiguous.
+    for (const std::shared_ptr<Task>& queued : client.queue)
+      if (queued->id == request.id)
+        return reject(StatusCode::kInvalidInput,
+                      "request id is already active for this client", 0);
+    for (const std::shared_ptr<Task>& running : running_)
+      if (running->client == request.client && running->id == request.id)
+        return reject(StatusCode::kInvalidInput,
+                      "request id is already active for this client", 0);
+
+    task->job_index = job_index_counter_++;
+    client.queue.push_back(task);
+    ++client.inflight;
+    ++queued_total_;
+    if (metrics != nullptr) metrics->counter("serve.admitted").add(1);
+    publish_gauges_locked();
+  }
+  cv_work_.notify_one();
+  return Admission{};
+}
+
+engine::JobResult SolveService::synthesize_cancelled(const Task& task) const {
+  engine::JobResult result;
+  result.job_index = task.job_index;
+  result.solver = task.job.solver;
+  double upper = 1.0;
+  for (const double w : task.job.weights) upper = std::max(upper, w);
+  result.lower_bound = 0;
+  result.upper_bound = upper;
+  result.value = 0.5 * upper;
+  result.status =
+      Status::make(StatusCode::kCancelled, "cancelled before start");
+  return result;
+}
+
+bool SolveService::cancel(const std::string& client_id,
+                          const std::string& request_id) {
+  std::shared_ptr<Task> to_deliver;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = clients_.find(client_id);
+    if (it != clients_.end()) {
+      std::deque<std::shared_ptr<Task>>& queue = it->second.queue;
+      for (auto qit = queue.begin(); qit != queue.end(); ++qit) {
+        if ((*qit)->id == request_id) {
+          to_deliver = *qit;
+          to_deliver->client_cancelled = true;
+          queue.erase(qit);
+          --it->second.inflight;
+          --queued_total_;
+          if (to_deliver->on_result) ++deliveries_inflight_;
+          publish_gauges_locked();
+          break;
+        }
+      }
+    }
+    if (to_deliver == nullptr) {
+      for (const std::shared_ptr<Task>& running : running_) {
+        if (running->client == client_id && running->id == request_id) {
+          running->client_cancelled = true;
+          running->cancel.request_cancel();
+          if (config_.engine.metrics != nullptr)
+            config_.engine.metrics->counter("serve.cancelled").add(1);
+          return true;
+        }
+      }
+      return false;
+    }
+  }
+  // A queued job cancels synchronously: deliver outside the lock.
+  if (config_.engine.metrics != nullptr)
+    config_.engine.metrics->counter("serve.cancelled").add(1);
+  if (to_deliver->on_result) {
+    to_deliver->on_result(synthesize_cancelled(*to_deliver));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --deliveries_inflight_;
+    }
+    cv_drained_.notify_all();
+  }
+  return true;
+}
+
+std::shared_ptr<SolveService::Task> SolveService::pick_task_locked() {
+  // Weighted fair queuing: serve the non-empty client with the smallest
+  // virtual time (ties broken lexicographically by client id, so the
+  // dequeue order is a pure function of the queue contents).
+  ClientState* best = nullptr;
+  for (auto& [name, state] : clients_) {
+    (void)name;
+    if (state.queue.empty()) continue;
+    if (best == nullptr || state.virtual_time < best->virtual_time)
+      best = &state;
+  }
+  if (best == nullptr) return nullptr;
+  std::shared_ptr<Task> task = best->queue.front();
+  best->queue.pop_front();
+  best->virtual_time += 1.0 / std::max(1e-9, best->weight);
+  --queued_total_;
+  return task;
+}
+
+void SolveService::worker_loop() {
+  obs::MetricsRegistry* metrics = config_.engine.metrics;
+  while (true) {
+    std::shared_ptr<Task> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] { return stop_ || queued_total_ > 0; });
+      if (stop_) return;
+      task = pick_task_locked();
+      if (task == nullptr) continue;
+      running_.push_back(task);
+      publish_gauges_locked();
+    }
+
+    engine::JobRunHooks hooks;
+    hooks.cancel = &task->cancel;
+    hooks.resume = task->resume_checkpoint.has_value()
+                       ? &*task->resume_checkpoint
+                       : nullptr;
+    core::SolverCheckpoint checkpoint;
+    bool captured = false;
+    hooks.capture = &checkpoint;
+    hooks.captured = &captured;
+
+    const Clock::time_point started = Clock::now();
+    engine::JobResult result =
+        engine_.run_one(task->job, task->job_index, hooks);
+    if (metrics != nullptr)
+      metrics->histogram("serve.job_ms")
+          .observe(seconds_between(started, Clock::now()) * 1e3);
+
+    finish_task(task, std::move(result), captured, std::move(checkpoint));
+  }
+}
+
+void SolveService::finish_task(const std::shared_ptr<Task>& task,
+                               engine::JobResult result, bool captured,
+                               core::SolverCheckpoint checkpoint) {
+  obs::MetricsRegistry* metrics = config_.engine.metrics;
+  bool deliver = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_.erase(std::remove(running_.begin(), running_.end(), task),
+                   running_.end());
+    const auto it = clients_.find(task->client);
+    if (it != clients_.end() && it->second.inflight > 0)
+      --it->second.inflight;
+
+    // Cancel-vs-drain resolution, made atomically under the lock so every
+    // job lands in EXACTLY one place: a client-cancelled job is delivered
+    // (truthful kCancelled), a drain-cancelled job is manifested, and
+    // anything that finished on its own is delivered normally.
+    if (result.status.code == StatusCode::kCancelled &&
+        (draining_ || stop_) && !task->client_cancelled) {
+      DrainedJob drained;
+      drained.client = task->client;
+      drained.request_id = task->id;
+      drained.job_index = task->job_index;
+      drained.spec = task->spec;
+      if (captured) drained.checkpoint_text = core::to_text(checkpoint);
+      drained_jobs_.push_back(std::move(drained));
+      deliver = false;
+      if (metrics != nullptr) metrics->counter("serve.drained").add(1);
+    } else if (metrics != nullptr) {
+      metrics->counter("serve.completed").add(1);
+    }
+    if (deliver && task->on_result) ++deliveries_inflight_;
+    publish_gauges_locked();
+  }
+  cv_drained_.notify_all();
+  if (deliver && task->on_result) {
+    task->on_result(result);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --deliveries_inflight_;
+    }
+    cv_drained_.notify_all();
+  }
+}
+
+DrainManifest SolveService::drain(double deadline_seconds) {
+  if (deadline_seconds < 0) deadline_seconds = config_.drain_deadline_seconds;
+  obs::MetricsRegistry* metrics = config_.engine.metrics;
+  DrainManifest manifest;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (draining_ || drained_) return manifest;  // idempotent
+  draining_ = true;
+  admitting_ = false;
+  publish_gauges_locked();
+
+  // Sweep still-queued jobs straight into the manifest: they have not
+  // started, so they re-run fresh on the resuming process.
+  for (auto& [name, state] : clients_) {
+    (void)name;
+    while (!state.queue.empty()) {
+      const std::shared_ptr<Task> task = state.queue.front();
+      state.queue.pop_front();
+      if (state.inflight > 0) --state.inflight;
+      --queued_total_;
+      DrainedJob drained;
+      drained.client = task->client;
+      drained.request_id = task->id;
+      drained.job_index = task->job_index;
+      drained.spec = task->spec;
+      // A drained-before-restart job that itself carried a resume
+      // checkpoint keeps it: double-drain must not lose progress.
+      if (task->resume_checkpoint.has_value())
+        drained.checkpoint_text = core::to_text(*task->resume_checkpoint);
+      drained_jobs_.push_back(std::move(drained));
+      if (metrics != nullptr) metrics->counter("serve.drained").add(1);
+    }
+  }
+  publish_gauges_locked();
+
+  // Grace window: let running jobs finish under the deadline.
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(
+                             std::max(0.0, deadline_seconds)));
+  cv_drained_.wait_until(lock, deadline, [&] { return running_.empty(); });
+
+  // Cancel the stragglers; their workers will checkpoint and manifest
+  // them (finish_task sees draining_). Cancellation is cooperative and
+  // the solvers poll every iteration, so this wait is bounded. Also wait
+  // out deliveries already in flight: once drain() returns, the caller
+  // may destroy its result sinks.
+  for (const std::shared_ptr<Task>& task : running_)
+    task->cancel.request_cancel();
+  cv_drained_.wait(
+      lock, [&] { return running_.empty() && deliveries_inflight_ == 0; });
+
+  std::sort(drained_jobs_.begin(), drained_jobs_.end(),
+            [](const DrainedJob& a, const DrainedJob& b) {
+              return a.job_index < b.job_index;
+            });
+  manifest.jobs = std::move(drained_jobs_);
+  drained_jobs_.clear();
+  draining_ = false;
+  drained_ = true;
+  publish_gauges_locked();
+  return manifest;
+}
+
+std::size_t SolveService::resume(const DrainManifest& manifest,
+                                 ResultFn on_result) {
+  obs::MetricsRegistry* metrics = config_.engine.metrics;
+  std::size_t admitted = 0;
+  for (const DrainedJob& drained : manifest.jobs) {
+    std::optional<engine::SolveJob> built;
+    const Status build_status = to_job(drained.spec, &built);
+    if (!build_status.ok()) {
+      // The manifest parser validates specs, so this is defensive: a job
+      // that cannot be rebuilt is reported, not silently dropped.
+      engine::JobResult result;
+      result.job_index = drained.job_index;
+      result.status = build_status;
+      if (on_result) on_result(result);
+      continue;
+    }
+    std::shared_ptr<Task> task = std::make_shared<Task>(std::move(*built));
+    task->client = drained.client;
+    task->id = drained.request_id;
+    task->job_index = drained.job_index;
+    task->spec = drained.spec;
+    task->on_result = on_result;
+    if (!drained.checkpoint_text.empty()) {
+      Solved<core::SolverCheckpoint> parsed =
+          core::try_parse_checkpoint(drained.checkpoint_text);
+      if (parsed.status.ok())
+        task->resume_checkpoint = std::move(parsed.result);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (draining_ || drained_ || stop_) break;
+      ClientState& client = clients_[task->client];
+      if (client.weight <= 0) client.weight = 1.0;
+      client.queue.push_back(task);
+      ++client.inflight;
+      ++queued_total_;
+      job_index_counter_ =
+          std::max(job_index_counter_, task->job_index + 1);
+      publish_gauges_locked();
+    }
+    cv_work_.notify_one();
+    ++admitted;
+    if (metrics != nullptr) metrics->counter("serve.resumed").add(1);
+  }
+  return admitted;
+}
+
+bool SolveService::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+std::size_t SolveService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_total_;
+}
+
+std::size_t SolveService::running_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_.size();
+}
+
+std::string SolveService::metrics_json() const {
+  if (config_.engine.metrics == nullptr) return "{}";
+  return config_.engine.metrics->to_json();
+}
+
+}  // namespace defender::serve

@@ -1,0 +1,170 @@
+// SolveService: the transport-independent heart of defender_serve.
+//
+// Routes solve requests from many concurrent clients through one
+// SolveEngine (engine::run_one) with a shared canonical-form cache,
+// adding the service-level robustness the batch engine does not have:
+//
+//   Admission control   bounded queue with high/low watermarks and
+//                       hysteresis — at the high watermark new solves get
+//                       an explicit kOverloaded rejection carrying a
+//                       retry-after hint, never unbounded buffering.
+//   Per-client quotas   a token-bucket rate limit and a max-inflight cap
+//                       per client id; rejections are kOverloaded with a
+//                       hint, and serve.quota_hits counts them.
+//   Fair dequeue        weighted fair queuing across client ids (virtual
+//                       time = jobs serviced / weight, lexicographic
+//                       tie-break) so one greedy client cannot starve the
+//                       rest. FIFO within a client.
+//   Graceful drain      drain() stops admitting, sweeps still-queued jobs
+//                       into a "defender-drain v1" manifest, gives
+//                       running jobs a deadline to finish, cancels the
+//                       stragglers and manifests their checkpoints. A
+//                       fresh service resumes the manifest bit-identically
+//                       (engine::JobRunHooks — see docs/SERVE.md).
+//
+// Every callback (result delivery) runs OUTSIDE the service mutex, so a
+// slow consumer can never block the worker pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "engine/engine.hpp"
+#include "serve/drain.hpp"
+#include "serve/protocol.hpp"
+
+namespace defender::serve {
+
+/// Service-wide configuration; plain data.
+struct ServiceConfig {
+  /// Service worker threads (each runs engine::run_one jobs end to end).
+  std::size_t workers = 2;
+  /// Queue watermarks: solves are rejected kOverloaded once the queued
+  /// count reaches `queue_high_watermark`, and admission resumes only
+  /// after it sinks back below `queue_low_watermark` (hysteresis, so the
+  /// service does not flap at the boundary).
+  std::size_t queue_high_watermark = 64;
+  std::size_t queue_low_watermark = 32;
+  /// Per-client cap on queued+running jobs. 0 = unlimited.
+  std::size_t max_inflight_per_client = 8;
+  /// Per-client token bucket: `tokens_per_second` refill (0 = unlimited)
+  /// with a `token_burst` cap. One token per solve.
+  double tokens_per_second = 0;
+  double token_burst = 16;
+  /// The retry-after hint attached to watermark rejections, in ms.
+  double retry_after_ms = 250;
+  /// Default drain deadline (overridable per drain() call).
+  double drain_deadline_seconds = 5;
+  /// Cap on a request's iteration budget; larger asks are kInvalidInput.
+  std::size_t max_budget_iterations = 1'000'000;
+  /// Per-client weights for the fair dequeue; absent clients weigh 1.
+  std::map<std::string, double> client_weights;
+  /// Engine configuration (retry ladder, metrics/tracer sinks, shared
+  /// cache). `workers` and `cache_warm_start` are ignored on this path —
+  /// the service owns its pool, and run_one never warm-starts.
+  engine::EngineConfig engine;
+};
+
+/// Outcome of a submit(): admitted (kOk) or rejected with the reason.
+struct Admission {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  /// For kOverloaded: how long the client should back off, in ms.
+  double retry_after_ms = 0;
+  bool admitted() const { return code == StatusCode::kOk; }
+};
+
+/// Delivery callback for one job's terminal result. Invoked exactly once
+/// for every admitted job that is not swept into a drain manifest, from a
+/// worker thread, outside all service locks.
+using ResultFn = std::function<void(const engine::JobResult& result)>;
+
+class SolveService {
+ public:
+  explicit SolveService(ServiceConfig config);
+  ~SolveService();
+  SolveService(const SolveService&) = delete;
+  SolveService& operator=(const SolveService&) = delete;
+
+  /// Admission-controlled submission of a kSolve request. On kOk the job
+  /// was enqueued and `on_result` will eventually fire (unless the job is
+  /// drained into a manifest first).
+  Admission submit(const Request& request, ResultFn on_result);
+
+  /// Requests cancellation of an admitted job. A still-queued job is
+  /// removed and delivered immediately as kCancelled; a running job's
+  /// CancelToken fires and its (truthful, best-so-far) result is
+  /// delivered when the solver yields. False when no such job is active.
+  bool cancel(const std::string& client, const std::string& request_id);
+
+  /// Graceful drain: stop admitting, manifest the still-queued jobs, let
+  /// running jobs finish for `deadline_seconds` (< 0 uses the config
+  /// default), then cancel stragglers and manifest their checkpoints.
+  /// Returns the manifest, jobs sorted by job_index. Idempotent: a second
+  /// call returns an empty manifest. All serve gauges read zero on
+  /// return.
+  DrainManifest drain(double deadline_seconds = -1);
+
+  /// Re-admits every job of a drain manifest (bypassing admission control
+  /// — the jobs were admitted before the restart), preserving original
+  /// job indices so resumed results are bit-identical. Call before
+  /// serving new traffic. Returns the number of jobs re-admitted.
+  std::size_t resume(const DrainManifest& manifest, ResultFn on_result);
+
+  bool draining() const;
+  /// Queued (not yet running) jobs, all clients.
+  std::size_t queue_depth() const;
+  /// Currently running jobs.
+  std::size_t running_count() const;
+
+  /// The metrics registry rendered as JSON ("{}" when none attached).
+  std::string metrics_json() const;
+
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct Task;
+  struct ClientState;
+
+  void worker_loop();
+  std::shared_ptr<Task> pick_task_locked();
+  void publish_gauges_locked();
+  void finish_task(const std::shared_ptr<Task>& task,
+                   engine::JobResult result, bool captured,
+                   core::SolverCheckpoint checkpoint);
+  engine::JobResult synthesize_cancelled(const Task& task) const;
+
+  ServiceConfig config_;
+  engine::SolveEngine engine_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_drained_;
+  std::map<std::string, ClientState> clients_;
+  std::vector<std::shared_ptr<Task>> running_;
+  std::vector<DrainedJob> drained_jobs_;
+  std::size_t queued_total_ = 0;
+  std::size_t job_index_counter_ = 0;
+  /// Result callbacks currently executing outside the lock. drain() waits
+  /// for this to reach zero so "drain returned" implies every admitted
+  /// job's delivery has COMPLETED, not merely been scheduled — otherwise
+  /// a caller could tear down its sink while a delivery is in flight.
+  std::size_t deliveries_inflight_ = 0;
+  bool admitting_ = true;
+  bool draining_ = false;
+  bool drained_ = false;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace defender::serve

@@ -1,0 +1,295 @@
+// Wire-protocol hardening: the JSONL request parser must reject every
+// malformed, hostile, or over-budget document with kInvalidInput (never a
+// crash or unbounded allocation), and every response builder must emit
+// valid RFC 8259 JSON. Mirrors the hardened-parse suites for checkpoint
+// and cache files.
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "../obs/json_check.hpp"
+#include "engine/job.hpp"
+#include "obs/metrics.hpp"
+#include "serve_test_util.hpp"
+
+namespace defender::serve {
+namespace {
+
+std::string solve_line(const std::string& extra = "") {
+  return "{\"type\":\"solve\",\"id\":\"j1\",\"client\":\"alice\","
+         "\"solver\":\"double-oracle\",\"n\":4,\"k\":1,\"attackers\":1,"
+         "\"edges\":[[0,1],[1,2],[2,3],[3,0]]" +
+         extra + "}";
+}
+
+// ---- parse_json ----
+
+TEST(ServeJson, ParsesScalarsArraysAndObjects) {
+  EXPECT_TRUE(parse_json("null").ok());
+  EXPECT_TRUE(parse_json("true").ok());
+  EXPECT_TRUE(parse_json("-1.5e3").ok());
+  EXPECT_TRUE(parse_json("\"a\\u0041b\"").ok());
+  EXPECT_TRUE(parse_json("[1,[2,[3]]]").ok());
+  const Solved<JsonValue> doc = parse_json("{\"a\":1,\"b\":[true,null]}");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_NE(doc.result.find("b"), nullptr);
+  EXPECT_EQ(doc.result.find("b")->items.size(), 2u);
+  EXPECT_EQ(doc.result.find("missing"), nullptr);
+}
+
+TEST(ServeJson, RejectsMalformedDocumentsWithByteOffsets) {
+  const char* bad[] = {
+      "",           "{",           "[1,]",       "{\"a\":}",
+      "{\"a\" 1}",  "tru",         "01",         "1.",
+      "+1",         "\"\\x\"",     "\"\\u12\"",  "\"unterminated",
+      "{\"a\":1,}", "[1 2]",       "nul",        "{1:2}",
+  };
+  for (const char* text : bad) {
+    const Solved<JsonValue> doc = parse_json(text);
+    EXPECT_FALSE(doc.ok()) << text;
+    EXPECT_EQ(doc.status.code, StatusCode::kInvalidInput) << text;
+    EXPECT_NE(doc.status.message.find("byte "), std::string::npos) << text;
+  }
+}
+
+TEST(ServeJson, RejectsTrailingGarbage) {
+  const Solved<JsonValue> doc = parse_json("{} extra");
+  EXPECT_FALSE(doc.ok());
+  EXPECT_NE(doc.status.message.find("trailing garbage"), std::string::npos);
+}
+
+TEST(ServeJson, RejectsDuplicateObjectKeys) {
+  EXPECT_FALSE(parse_json("{\"a\":1,\"a\":2}").ok());
+}
+
+TEST(ServeJson, BoundsNestingDepth) {
+  std::string deep;
+  for (std::size_t i = 0; i <= kMaxRequestDepth; ++i) deep += '[';
+  deep += '1';
+  for (std::size_t i = 0; i <= kMaxRequestDepth; ++i) deep += ']';
+  EXPECT_FALSE(parse_json(deep).ok());
+  // One level inside the cap parses.
+  std::string ok;
+  for (std::size_t i = 0; i + 1 < kMaxRequestDepth; ++i) ok += '[';
+  ok += '1';
+  for (std::size_t i = 0; i + 1 < kMaxRequestDepth; ++i) ok += ']';
+  EXPECT_TRUE(parse_json(ok).ok());
+}
+
+TEST(ServeJson, BoundsNodeCountAndLineBytes) {
+  std::string many = "[";
+  for (std::size_t i = 0; i <= kMaxRequestNodes; ++i) {
+    if (i != 0) many += ',';
+    many += '1';
+    if (many.size() > kMaxRequestBytes) break;  // whichever cap hits first
+  }
+  many += ']';
+  EXPECT_FALSE(parse_json(many).ok());
+
+  const std::string oversize(kMaxRequestBytes + 1, ' ');
+  const Solved<JsonValue> doc = parse_json(oversize);
+  EXPECT_FALSE(doc.ok());
+  EXPECT_NE(doc.status.message.find("exceeds"), std::string::npos);
+}
+
+TEST(ServeJson, BoundsStringBytes) {
+  const std::string long_string =
+      "\"" + std::string(kMaxRequestStringBytes + 1, 'a') + "\"";
+  EXPECT_FALSE(parse_json(long_string).ok());
+}
+
+// ---- valid_id ----
+
+TEST(ServeProtocol, ValidIdCharsetAndLength) {
+  EXPECT_TRUE(valid_id("alice"));
+  EXPECT_TRUE(valid_id("A-Z_0.9:x"));
+  EXPECT_TRUE(valid_id(std::string(kMaxIdBytes, 'a')));
+  EXPECT_FALSE(valid_id(""));
+  EXPECT_FALSE(valid_id(std::string(kMaxIdBytes + 1, 'a')));
+  EXPECT_FALSE(valid_id("has space"));
+  EXPECT_FALSE(valid_id("new\nline"));
+  EXPECT_FALSE(valid_id("quote\""));
+  EXPECT_FALSE(valid_id("slash/"));
+}
+
+// ---- try_parse_request ----
+
+TEST(ServeProtocol, SolveRequestRoundTrips) {
+  const Solved<Request> req = try_parse_request(solve_line(
+      ",\"tolerance\":1e-6,\"iters\":500,\"wall_seconds\":2.5,"
+      "\"oracle_nodes\":1000"));
+  ASSERT_TRUE(req.ok()) << req.status.to_string();
+  EXPECT_EQ(req.result.type, RequestType::kSolve);
+  EXPECT_EQ(req.result.client, "alice");
+  EXPECT_EQ(req.result.id, "j1");
+  EXPECT_EQ(req.result.solver, engine::JobSolver::kDoubleOracle);
+  EXPECT_EQ(req.result.n, 4u);
+  EXPECT_EQ(req.result.k, 1u);
+  EXPECT_EQ(req.result.edges.size(), 4u);
+  EXPECT_EQ(req.result.tolerance, 1e-6);
+  EXPECT_EQ(req.result.max_iterations, 500u);
+  EXPECT_EQ(req.result.wall_clock_seconds, 2.5);
+  EXPECT_EQ(req.result.oracle_node_budget, 1000u);
+}
+
+TEST(ServeProtocol, ControlRequestsRoundTrip) {
+  const Solved<Request> ping = try_parse_request(
+      "{\"type\":\"ping\",\"id\":\"p1\",\"client\":\"c\"}");
+  ASSERT_TRUE(ping.ok());
+  EXPECT_EQ(ping.result.type, RequestType::kPing);
+
+  const Solved<Request> cancel = try_parse_request(
+      "{\"type\":\"cancel\",\"id\":\"c1\",\"client\":\"c\","
+      "\"cancel\":\"j1\"}");
+  ASSERT_TRUE(cancel.ok());
+  EXPECT_EQ(cancel.result.type, RequestType::kCancel);
+  EXPECT_EQ(cancel.result.cancel_id, "j1");
+}
+
+TEST(ServeProtocol, RejectsHostileRequests) {
+  const struct {
+    const char* why;
+    std::string line;
+  } cases[] = {
+      {"not an object", "[1,2,3]"},
+      {"missing type", "{\"id\":\"a\",\"client\":\"c\"}"},
+      {"unknown type",
+       "{\"type\":\"exec\",\"id\":\"a\",\"client\":\"c\"}"},
+      {"missing id", "{\"type\":\"ping\",\"client\":\"c\"}"},
+      {"bad id charset",
+       "{\"type\":\"ping\",\"id\":\"a b\",\"client\":\"c\"}"},
+      {"bad client",
+       "{\"type\":\"ping\",\"id\":\"a\",\"client\":\"\"}"},
+      {"cancel without target",
+       "{\"type\":\"cancel\",\"id\":\"a\",\"client\":\"c\"}"},
+      {"unknown solver", "{\"type\":\"solve\",\"id\":\"a\",\"client\":\"c\","
+                         "\"solver\":\"simplex\",\"n\":2,\"edges\":[[0,1]]}"},
+      {"missing n", "{\"type\":\"solve\",\"id\":\"a\",\"client\":\"c\","
+                    "\"solver\":\"hedge\",\"edges\":[[0,1]]}"},
+      {"n zero", "{\"type\":\"solve\",\"id\":\"a\",\"client\":\"c\","
+                 "\"solver\":\"hedge\",\"n\":0,\"edges\":[[0,1]]}"},
+      {"n over cap",
+       "{\"type\":\"solve\",\"id\":\"a\",\"client\":\"c\","
+       "\"solver\":\"hedge\",\"n\":99999999,\"edges\":[[0,1]]}"},
+      {"fractional n", "{\"type\":\"solve\",\"id\":\"a\",\"client\":\"c\","
+                       "\"solver\":\"hedge\",\"n\":2.5,\"edges\":[[0,1]]}"},
+      {"edge endpoint out of range",
+       "{\"type\":\"solve\",\"id\":\"a\",\"client\":\"c\","
+       "\"solver\":\"hedge\",\"n\":2,\"edges\":[[0,2]]}"},
+      {"negative endpoint",
+       "{\"type\":\"solve\",\"id\":\"a\",\"client\":\"c\","
+       "\"solver\":\"hedge\",\"n\":2,\"edges\":[[-1,0]]}"},
+      {"self loop", "{\"type\":\"solve\",\"id\":\"a\",\"client\":\"c\","
+                    "\"solver\":\"hedge\",\"n\":2,\"edges\":[[1,1]]}"},
+      {"edge not a pair",
+       "{\"type\":\"solve\",\"id\":\"a\",\"client\":\"c\","
+       "\"solver\":\"hedge\",\"n\":2,\"edges\":[[0,1,2]]}"},
+      {"empty edges", "{\"type\":\"solve\",\"id\":\"a\",\"client\":\"c\","
+                      "\"solver\":\"hedge\",\"n\":2,\"edges\":[]}"},
+      {"weighted solver without weights",
+       "{\"type\":\"solve\",\"id\":\"a\",\"client\":\"c\","
+       "\"solver\":\"weighted-fictitious-play\",\"n\":2,"
+       "\"edges\":[[0,1]]}"},
+      {"unweighted solver with weights",
+       "{\"type\":\"solve\",\"id\":\"a\",\"client\":\"c\","
+       "\"solver\":\"hedge\",\"n\":2,\"edges\":[[0,1]],"
+       "\"weights\":[1,1]}"},
+      {"negative weight",
+       "{\"type\":\"solve\",\"id\":\"a\",\"client\":\"c\","
+       "\"solver\":\"weighted-fictitious-play\",\"n\":2,"
+       "\"edges\":[[0,1]],\"weights\":[1,-1]}"},
+      {"negative tolerance",
+       "{\"type\":\"solve\",\"id\":\"a\",\"client\":\"c\","
+       "\"solver\":\"hedge\",\"n\":2,\"edges\":[[0,1]],"
+       "\"tolerance\":-1}"},
+      {"non-finite wall clock",
+       "{\"type\":\"solve\",\"id\":\"a\",\"client\":\"c\","
+       "\"solver\":\"hedge\",\"n\":2,\"edges\":[[0,1]],"
+       "\"wall_seconds\":1e999}"},
+      {"unknown key (typo fails loudly)",
+       "{\"type\":\"solve\",\"id\":\"a\",\"client\":\"c\","
+       "\"solver\":\"hedge\",\"n\":2,\"edges\":[[0,1]],"
+       "\"iterations\":5}"},
+  };
+  for (const auto& c : cases) {
+    const Solved<Request> req = try_parse_request(c.line);
+    EXPECT_FALSE(req.ok()) << c.why;
+    EXPECT_EQ(req.status.code, StatusCode::kInvalidInput) << c.why;
+  }
+}
+
+// ---- to_job ----
+
+TEST(ServeProtocol, ToJobBuildsTheRequestedJob) {
+  const serve::Request req = serve_test::cycle_request(
+      "c", "j", 6, engine::JobSolver::kFictitiousPlay, 500, 1e-3);
+  std::optional<engine::SolveJob> job;
+  ASSERT_TRUE(to_job(req, &job).ok());
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(job->solver, engine::JobSolver::kFictitiousPlay);
+  EXPECT_EQ(job->game.graph().num_vertices(), 6u);
+  EXPECT_EQ(job->game.k(), 2u);
+  EXPECT_EQ(job->budget.max_iterations, 500u);
+  EXPECT_EQ(job->tolerance, 1e-3);
+}
+
+TEST(ServeProtocol, ToJobRejectsBoardsTheGameCannotHost) {
+  // Isolated vertex: n=3 but only one edge.
+  serve::Request req = serve_test::quick_request("c", "j");
+  req.n = 3;
+  req.edges = {{0, 1}};
+  req.k = 1;
+  std::optional<engine::SolveJob> job;
+  EXPECT_EQ(to_job(req, &job).code, StatusCode::kInvalidInput);
+  EXPECT_FALSE(job.has_value());
+
+  // k larger than the board's edge count.
+  serve::Request big_k = serve_test::quick_request("c", "j2");
+  big_k.k = 500;
+  EXPECT_EQ(to_job(big_k, &job).code, StatusCode::kInvalidInput);
+}
+
+// ---- response builders ----
+
+bool is_valid(const std::string& doc) {
+  defender::test_json::Parser parser(doc);
+  return parser.valid();
+}
+
+TEST(ServeProtocol, ResponsesAreValidJson) {
+  EXPECT_TRUE(is_valid(ack_response("j1")));
+  EXPECT_TRUE(is_valid(pong_response("p1")));
+  EXPECT_TRUE(is_valid(shutdown_response("s1")));
+  EXPECT_TRUE(is_valid(error_response("e1", StatusCode::kOverloaded,
+                                      "queue full \"now\"\n", 250)));
+  obs::MetricsRegistry registry;
+  registry.counter("serve.admitted").add(3);
+  registry.gauge("serve.queue_depth").set(2);
+  EXPECT_TRUE(is_valid(metrics_response("m1", registry)));
+
+  engine::JobResult result;
+  result.status = Status::make(StatusCode::kOk, "done");
+  EXPECT_TRUE(is_valid(result_response("r1", result)));
+}
+
+TEST(ServeProtocol, ErrorResponseCarriesRetryAfterOnlyWhenPositive) {
+  const std::string hinted =
+      error_response("e", StatusCode::kOverloaded, "busy", 125.5);
+  EXPECT_NE(hinted.find("\"retry_after_ms\":125.5"), std::string::npos);
+  const std::string plain =
+      error_response("e", StatusCode::kInvalidInput, "bad");
+  EXPECT_EQ(plain.find("retry_after_ms"), std::string::npos);
+}
+
+TEST(ServeProtocol, ResponsesEscapeHostileIds) {
+  // Ids are validated on the request path, but the builders must still be
+  // safe for any string (error responses echo ids from malformed lines).
+  const std::string doc =
+      error_response("evil\"\n\\id", StatusCode::kInvalidInput, "x");
+  EXPECT_TRUE(is_valid(doc)) << doc;
+}
+
+}  // namespace
+}  // namespace defender::serve

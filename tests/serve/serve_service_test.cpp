@@ -1,0 +1,401 @@
+// SolveService behavior: admission control with watermark hysteresis,
+// per-client quotas (token bucket + max-inflight), weighted-fair dequeue
+// order, cancellation, drain gauge lifecycle, and the engine-side gauge
+// lifecycle (engine.batch_active / engine.queue_depth / engine.inflight
+// return to zero after every batch).
+#include "serve/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "engine/retry.hpp"
+#include "obs/metrics.hpp"
+#include "serve_test_util.hpp"
+
+namespace defender::serve {
+namespace {
+
+using serve_test::Collector;
+using serve_test::quick_request;
+using serve_test::slow_request;
+
+/// Spins until the service reports `n` running jobs (worker pickup is
+/// asynchronous); fails the test on timeout instead of hanging.
+void wait_for_running(const SolveService& service, std::size_t n,
+                      double seconds = 30.0) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(seconds);
+  while (service.running_count() < n) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "service never reached " << n << " running jobs";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+double gauge_value(const obs::MetricsRegistry& registry,
+                   const std::string& name) {
+  for (const obs::MetricSnapshot& m : registry.snapshot())
+    if (m.name == name && m.kind == obs::MetricSnapshot::Kind::kGauge)
+      return m.value;
+  return -1;  // absent
+}
+
+std::uint64_t counter_value(const obs::MetricsRegistry& registry,
+                            const std::string& name) {
+  for (const obs::MetricSnapshot& m : registry.snapshot())
+    if (m.name == name && m.kind == obs::MetricSnapshot::Kind::kCounter)
+      return m.count;
+  return 0;
+}
+
+TEST(SolveService, AdmitsSolvesAndDeliversResults) {
+  obs::MetricsRegistry registry;
+  ServiceConfig config;
+  config.workers = 2;
+  config.engine.metrics = &registry;
+  SolveService service(config);
+
+  Collector collector;
+  for (int i = 0; i < 4; ++i) {
+    const Request req = quick_request("alice", "q" + std::to_string(i));
+    const Admission admission =
+        service.submit(req, collector.sink("alice", req.id));
+    ASSERT_TRUE(admission.admitted()) << admission.message;
+  }
+  ASSERT_TRUE(collector.wait_for(4));
+  for (const auto& [key, result] : collector.results) {
+    EXPECT_EQ(result.status.code, StatusCode::kOk) << key;
+    EXPECT_GE(result.value, result.lower_bound);
+    EXPECT_LE(result.value, result.upper_bound);
+  }
+  EXPECT_EQ(counter_value(registry, "serve.admitted"), 4u);
+  EXPECT_EQ(counter_value(registry, "serve.completed"), 4u);
+  EXPECT_EQ(counter_value(registry, "serve.rejected"), 0u);
+}
+
+TEST(SolveService, RejectsNonSolveAndOverBudgetRequests) {
+  ServiceConfig config;
+  config.max_budget_iterations = 1000;
+  SolveService service(config);
+
+  Request ping;
+  ping.type = RequestType::kPing;
+  ping.client = "c";
+  ping.id = "p";
+  EXPECT_EQ(service.submit(ping, nullptr).code, StatusCode::kInvalidInput);
+
+  Request greedy = quick_request("c", "g");
+  greedy.max_iterations = 1001;
+  const Admission admission = service.submit(greedy, nullptr);
+  EXPECT_EQ(admission.code, StatusCode::kInvalidInput);
+  EXPECT_NE(admission.message.find("cap"), std::string::npos);
+
+  // Build failures (board the game cannot host) reject as kInvalidInput.
+  Request bad = quick_request("c", "b");
+  bad.k = 500;
+  EXPECT_EQ(service.submit(bad, nullptr).code, StatusCode::kInvalidInput);
+}
+
+TEST(SolveService, WatermarkHysteresisRejectsAndRecovers) {
+  obs::MetricsRegistry registry;
+  ServiceConfig config;
+  config.workers = 1;
+  config.queue_high_watermark = 4;
+  config.queue_low_watermark = 2;
+  config.retry_after_ms = 125;
+  config.engine.metrics = &registry;
+  SolveService service(config);
+
+  Collector collector;
+  // Park the single worker on a long cancellable job.
+  ASSERT_TRUE(service
+                  .submit(slow_request("blocker", "slow"),
+                          collector.sink("blocker", "slow"))
+                  .admitted());
+  wait_for_running(service, 1);
+
+  // Fill the queue to the high watermark.
+  for (int i = 0; i < 4; ++i) {
+    const Request req = quick_request("alice", "q" + std::to_string(i));
+    ASSERT_TRUE(
+        service.submit(req, collector.sink("alice", req.id)).admitted());
+  }
+  ASSERT_EQ(service.queue_depth(), 4u);
+
+  // At the watermark: kOverloaded with the configured retry-after hint.
+  const Admission rejected =
+      service.submit(quick_request("alice", "q4"), nullptr);
+  EXPECT_EQ(rejected.code, StatusCode::kOverloaded);
+  EXPECT_EQ(rejected.retry_after_ms, 125);
+  EXPECT_NE(rejected.message.find("watermark"), std::string::npos);
+  EXPECT_EQ(gauge_value(registry, "serve.admitting"), 0);
+
+  // Hysteresis: dropping to 3 queued (>= low watermark) still rejects.
+  EXPECT_TRUE(service.cancel("alice", "q0"));
+  ASSERT_EQ(service.queue_depth(), 3u);
+  EXPECT_EQ(service.submit(quick_request("alice", "q5"), nullptr).code,
+            StatusCode::kOverloaded);
+
+  // Below the low watermark admission resumes.
+  EXPECT_TRUE(service.cancel("alice", "q1"));
+  EXPECT_TRUE(service.cancel("alice", "q2"));
+  ASSERT_EQ(service.queue_depth(), 1u);
+  EXPECT_TRUE(service
+                  .submit(quick_request("alice", "q6"),
+                          collector.sink("alice", "q6"))
+                  .admitted());
+  EXPECT_EQ(gauge_value(registry, "serve.admitting"), 1);
+  EXPECT_EQ(counter_value(registry, "serve.rejected_overload"), 2u);
+
+  // Unblock and finish cleanly.
+  EXPECT_TRUE(service.cancel("blocker", "slow"));
+  // slow + q0..q2 cancelled + q3 + q6 = 6 deliveries with a sink.
+  ASSERT_TRUE(collector.wait_for(6));
+}
+
+TEST(SolveService, TokenBucketRateLimitsPerClient) {
+  obs::MetricsRegistry registry;
+  ServiceConfig config;
+  config.workers = 1;
+  config.tokens_per_second = 0.001;  // effectively no refill mid-test
+  config.token_burst = 2;
+  config.engine.metrics = &registry;
+  SolveService service(config);
+
+  Collector collector;
+  ASSERT_TRUE(service
+                  .submit(quick_request("alice", "a0"),
+                          collector.sink("alice", "a0"))
+                  .admitted());
+  ASSERT_TRUE(service
+                  .submit(quick_request("alice", "a1"),
+                          collector.sink("alice", "a1"))
+                  .admitted());
+  const Admission rejected =
+      service.submit(quick_request("alice", "a2"), nullptr);
+  EXPECT_EQ(rejected.code, StatusCode::kOverloaded);
+  EXPECT_GT(rejected.retry_after_ms, 0);
+  EXPECT_NE(rejected.message.find("rate limit"), std::string::npos);
+
+  // The bucket is per client: bob is unaffected by alice's spend.
+  EXPECT_TRUE(service
+                  .submit(quick_request("bob", "b0"),
+                          collector.sink("bob", "b0"))
+                  .admitted());
+  EXPECT_EQ(counter_value(registry, "serve.quota_hits"), 1u);
+  ASSERT_TRUE(collector.wait_for(3));
+}
+
+TEST(SolveService, MaxInflightCapsQueuedPlusRunning) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.max_inflight_per_client = 2;
+  SolveService service(config);
+
+  Collector collector;
+  ASSERT_TRUE(service
+                  .submit(slow_request("alice", "s0"),
+                          collector.sink("alice", "s0"))
+                  .admitted());
+  wait_for_running(service, 1);
+  ASSERT_TRUE(service
+                  .submit(quick_request("alice", "s1"),
+                          collector.sink("alice", "s1"))
+                  .admitted());
+  // 1 running + 1 queued = at the cap.
+  const Admission rejected =
+      service.submit(quick_request("alice", "s2"), nullptr);
+  EXPECT_EQ(rejected.code, StatusCode::kOverloaded);
+  EXPECT_NE(rejected.message.find("inflight"), std::string::npos);
+  // Other clients are unaffected.
+  EXPECT_TRUE(service
+                  .submit(quick_request("bob", "b0"),
+                          collector.sink("bob", "b0"))
+                  .admitted());
+
+  EXPECT_TRUE(service.cancel("alice", "s0"));
+  ASSERT_TRUE(collector.wait_for(3));
+  // With the slot freed the client can submit again.
+  EXPECT_TRUE(service
+                  .submit(quick_request("alice", "s2"),
+                          collector.sink("alice", "s2"))
+                  .admitted());
+  ASSERT_TRUE(collector.wait_for(4));
+}
+
+TEST(SolveService, WeightedFairDequeueOrderIsDeterministic) {
+  // One worker, parked on a cancellable job while we stage the queues:
+  // client "a" at weight 4, client "b" at weight 1. Virtual times step
+  // 1/4 vs 1 per dequeue, ties break lexicographically, so the dequeue
+  // (== delivery) order is exactly a1 b1 a2 a3 a4 b2 b3 b4.
+  ServiceConfig config;
+  config.workers = 1;
+  config.client_weights["a"] = 4;
+  config.client_weights["b"] = 1;
+  SolveService service(config);
+
+  Collector collector;
+  ASSERT_TRUE(service
+                  .submit(slow_request("z", "block"),
+                          collector.sink("z", "block"))
+                  .admitted());
+  wait_for_running(service, 1);
+
+  for (int i = 1; i <= 4; ++i) {
+    const Request a = quick_request("a", "a" + std::to_string(i));
+    const Request b = quick_request("b", "b" + std::to_string(i));
+    ASSERT_TRUE(service.submit(a, collector.sink("a", a.id)).admitted());
+    ASSERT_TRUE(service.submit(b, collector.sink("b", b.id)).admitted());
+  }
+  ASSERT_EQ(service.queue_depth(), 8u);
+  ASSERT_TRUE(service.cancel("z", "block"));
+  ASSERT_TRUE(collector.wait_for(9));
+
+  const std::vector<std::string> expected = {
+      "z/block", "a/a1", "b/b1", "a/a2", "a/a3",
+      "a/a4",    "b/b2", "b/b3", "b/b4"};
+  EXPECT_EQ(collector.order, expected);
+}
+
+TEST(SolveService, DuplicateActiveIdsRejectedUntilTerminal) {
+  ServiceConfig config;
+  config.workers = 1;
+  SolveService service(config);
+
+  Collector collector;
+  ASSERT_TRUE(service
+                  .submit(slow_request("c", "dup"),
+                          collector.sink("c", "dup"))
+                  .admitted());
+  const Admission dup = service.submit(slow_request("c", "dup"), nullptr);
+  EXPECT_EQ(dup.code, StatusCode::kInvalidInput);
+  EXPECT_NE(dup.message.find("already active"), std::string::npos);
+
+  EXPECT_TRUE(service.cancel("c", "dup"));
+  ASSERT_TRUE(collector.wait_for(1));
+  // Terminal ids are reusable.
+  EXPECT_TRUE(service
+                  .submit(quick_request("c", "dup"),
+                          collector.sink("c", "dup2"))
+                  .admitted());
+  ASSERT_TRUE(collector.wait_for(2));
+}
+
+TEST(SolveService, CancelSemantics) {
+  ServiceConfig config;
+  config.workers = 1;
+  SolveService service(config);
+
+  Collector collector;
+  EXPECT_FALSE(service.cancel("nobody", "nothing"));
+
+  // Running: truthful kCancelled with a sound bracket.
+  ASSERT_TRUE(service
+                  .submit(slow_request("c", "run"),
+                          collector.sink("c", "run"))
+                  .admitted());
+  wait_for_running(service, 1);
+  // Queued behind it: synthesized kCancelled without ever running.
+  ASSERT_TRUE(service
+                  .submit(quick_request("c", "queued"),
+                          collector.sink("c", "queued"))
+                  .admitted());
+  EXPECT_TRUE(service.cancel("c", "queued"));
+  EXPECT_TRUE(service.cancel("c", "run"));
+  ASSERT_TRUE(collector.wait_for(2));
+  EXPECT_FALSE(service.cancel("c", "run"))
+      << "cancel finds nothing once the job is terminal";
+  const engine::JobResult& queued = collector.results.at("c/queued");
+  EXPECT_EQ(queued.status.code, StatusCode::kCancelled);
+  EXPECT_EQ(queued.iterations, 0u);
+  const engine::JobResult& run = collector.results.at("c/run");
+  EXPECT_EQ(run.status.code, StatusCode::kCancelled);
+  EXPECT_LE(run.lower_bound, run.value);
+  EXPECT_GE(run.upper_bound, run.value);
+}
+
+TEST(SolveService, GaugesZeroAfterDrainAndSubmitsRejected) {
+  obs::MetricsRegistry registry;
+  ServiceConfig config;
+  config.workers = 2;
+  config.engine.metrics = &registry;
+  SolveService service(config);
+
+  Collector collector;
+  for (int i = 0; i < 3; ++i) {
+    const Request req = slow_request("c", "s" + std::to_string(i));
+    ASSERT_TRUE(
+        service.submit(req, collector.sink("c", req.id)).admitted());
+  }
+  wait_for_running(service, 2);
+  EXPECT_EQ(gauge_value(registry, "serve.inflight"), 2);
+  EXPECT_EQ(gauge_value(registry, "serve.queue_depth"), 1);
+
+  const DrainManifest manifest = service.drain(0.0);
+  EXPECT_EQ(manifest.jobs.size(), 3u);
+  EXPECT_FALSE(service.draining()) << "drain is complete, not in progress";
+
+  // Every serve gauge reads zero after a completed drain.
+  EXPECT_EQ(gauge_value(registry, "serve.queue_depth"), 0);
+  EXPECT_EQ(gauge_value(registry, "serve.inflight"), 0);
+  EXPECT_EQ(gauge_value(registry, "serve.draining"), 0);
+  EXPECT_EQ(gauge_value(registry, "serve.admitting"), 0);
+  EXPECT_EQ(counter_value(registry, "serve.drained"), 3u);
+
+  // Post-drain submits are rejected, and a second drain is empty.
+  EXPECT_EQ(service.submit(quick_request("c", "late"), nullptr).code,
+            StatusCode::kOverloaded);
+  EXPECT_TRUE(service.drain(0.0).jobs.empty());
+}
+
+TEST(SolveService, DrainManifestOrderedByJobIndexAndResumable) {
+  ServiceConfig config;
+  config.workers = 1;
+  SolveService service(config);
+
+  Collector collector;
+  for (int i = 0; i < 4; ++i) {
+    const Request req = slow_request("c", "j" + std::to_string(i));
+    ASSERT_TRUE(
+        service.submit(req, collector.sink("c", req.id)).admitted());
+  }
+  const DrainManifest manifest = service.drain(0.0);
+  ASSERT_EQ(manifest.jobs.size(), 4u);
+  for (std::size_t i = 1; i < manifest.jobs.size(); ++i)
+    EXPECT_LT(manifest.jobs[i - 1].job_index, manifest.jobs[i].job_index);
+  // The manifest round-trips through its text form losslessly.
+  const Solved<DrainManifest> parsed =
+      try_parse_drain_manifest(to_text(manifest));
+  ASSERT_TRUE(parsed.ok()) << parsed.status.to_string();
+  EXPECT_EQ(to_text(parsed.result), to_text(manifest));
+}
+
+TEST(EngineGauges, BatchGaugesReturnToZeroAfterEveryBatch) {
+  obs::MetricsRegistry registry;
+  engine::EngineConfig config;
+  config.workers = 3;
+  config.metrics = &registry;
+  engine::SolveEngine engine(config);
+
+  std::vector<engine::SolveJob> jobs;
+  for (int i = 0; i < 6; ++i) {
+    std::optional<engine::SolveJob> built;
+    ASSERT_TRUE(to_job(quick_request("c", "g"), &built).ok());
+    jobs.push_back(std::move(*built));
+  }
+  for (int round = 0; round < 2; ++round) {
+    const engine::BatchReport report = engine.run(jobs);
+    EXPECT_EQ(report.results.size(), jobs.size());
+    EXPECT_EQ(gauge_value(registry, "engine.batch_active"), 0) << round;
+    EXPECT_EQ(gauge_value(registry, "engine.queue_depth"), 0) << round;
+    EXPECT_EQ(gauge_value(registry, "engine.inflight"), 0) << round;
+  }
+}
+
+}  // namespace
+}  // namespace defender::serve

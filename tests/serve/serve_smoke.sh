@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# End-to-end drain/restart smoke for defender_serve (docs/SERVE.md).
+#
+#   1. Reference run: solve the smoke batch uninterrupted, transcript A.
+#   2. Interrupted run: SIGTERM the server as soon as the first result
+#      lands, so the in-flight jobs are checkpointed into a drain
+#      manifest and the queued ones are swept along (transcript B1).
+#   3. Restart with --resume: the unfinished jobs finish into the
+#      --resume-report (transcript B2).
+#   4. sort(B1 + B2) must be BYTE-IDENTICAL to sort(A): the engine's
+#      determinism contract says an interrupted-and-resumed batch reports
+#      exactly what the uninterrupted batch reported.
+#
+# Environment: DEFENDER_SERVE_BIN and DEFENDER_CLI_BIN point at the built
+# binaries (set by the ctest registration in tests/CMakeLists.txt).
+set -u
+
+SERVE_BIN="${DEFENDER_SERVE_BIN:?DEFENDER_SERVE_BIN not set}"
+CLI_BIN="${DEFENDER_CLI_BIN:?DEFENDER_CLI_BIN not set}"
+DATA_DIR="$(cd "$(dirname "$0")/../data" && pwd)"
+BOARD="$DATA_DIR/board_serve_smoke.txt"
+BATCH="$DATA_DIR/batch_serve_smoke.txt"
+JOBS=4  # lines in $BATCH
+
+WORK="$(mktemp -d)"
+SERVER_PID=""
+CLIENT_PID=""
+cleanup() {
+  [ -n "$CLIENT_PID" ] && kill "$CLIENT_PID" 2>/dev/null
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null
+  wait 2>/dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+die() {
+  echo "serve_smoke: FAIL: $*" >&2
+  echo "--- server logs ---" >&2
+  cat "$WORK"/server*.log 2>/dev/null >&2
+  exit 1
+}
+
+# Waits for $1 to exist, be non-empty, and (as a port file) readable.
+wait_file() {
+  for _ in $(seq 1 100); do
+    [ -s "$1" ] && return 0
+    sleep 0.1
+  done
+  return 1
+}
+
+# Waits until file $1 has at least $2 lines.
+wait_lines() {
+  for _ in $(seq 1 600); do
+    [ "$(wc -l < "$1" 2>/dev/null || echo 0)" -ge "$2" ] && return 0
+    sleep 0.1
+  done
+  return 1
+}
+
+start_server() { # args: port-file log-file extra-args...
+  local port_file="$1" log_file="$2"
+  shift 2
+  "$SERVE_BIN" --tcp 127.0.0.1:0 --jobs 2 --retry-ladder attempts=1 \
+    --port-file "$port_file" "$@" > "$log_file" 2>&1 &
+  SERVER_PID=$!
+  wait_file "$port_file" || die "server never wrote $port_file"
+}
+
+stop_server() {
+  kill -TERM "$SERVER_PID" 2>/dev/null
+  wait "$SERVER_PID"
+  local code=$?
+  SERVER_PID=""
+  [ "$code" -eq 0 ] || die "server exited $code on SIGTERM"
+}
+
+# ---- 1. uninterrupted reference run -> report A ----
+start_server "$WORK/port_a" "$WORK/server_a.log"
+"$CLI_BIN" --batch "$BATCH" --connect "127.0.0.1:$(cat "$WORK/port_a")" \
+  --client smoke --report "$WORK/A" "$BOARD" > /dev/null \
+  || die "reference client failed"
+stop_server
+[ "$(wc -l < "$WORK/A")" -eq "$JOBS" ] \
+  || die "reference run delivered $(wc -l < "$WORK/A")/$JOBS results"
+
+# ---- 2. interrupted run: SIGTERM after the first result -> B1 ----
+# --drain-deadline 0.2 so the still-running jobs are cancelled (and
+# checkpointed) promptly instead of finishing inside the grace window.
+start_server "$WORK/port_b" "$WORK/server_b.log" \
+  --drain-manifest "$WORK/manifest" --drain-deadline 0.2
+"$CLI_BIN" --batch "$BATCH" --connect "127.0.0.1:$(cat "$WORK/port_b")" \
+  --client smoke --report "$WORK/B1" "$BOARD" > /dev/null 2>&1 &
+CLIENT_PID=$!
+wait_lines "$WORK/B1" 1 || die "no result arrived before the kill window"
+stop_server
+wait "$CLIENT_PID" 2>/dev/null
+CLIENT_PID=""
+
+[ -s "$WORK/manifest" ] || die "drain produced no manifest"
+grep -q '^defender-drain v1$' "$WORK/manifest" \
+  || die "manifest missing its version header"
+B1_COUNT=$(wc -l < "$WORK/B1")
+MANIFESTED=$(grep -c '^job ' "$WORK/manifest")
+[ $((B1_COUNT + MANIFESTED)) -eq "$JOBS" ] \
+  || die "delivered($B1_COUNT) + manifested($MANIFESTED) != $JOBS"
+# The kill landed while jobs were mid-first-attempt, so at least one
+# manifested job must carry a real checkpoint block.
+grep -q '^checkpoint [1-9]' "$WORK/manifest" \
+  || die "no checkpointed job in the manifest (drain missed the capture)"
+
+# ---- 3. restart with --resume -> B2 ----
+: > "$WORK/B2"
+start_server "$WORK/port_c" "$WORK/server_c.log" \
+  --resume "$WORK/manifest" --resume-report "$WORK/B2"
+wait_lines "$WORK/B2" "$MANIFESTED" \
+  || die "resumed server delivered $(wc -l < "$WORK/B2")/$MANIFESTED"
+stop_server
+grep -q '^defender_serve: drained 0 ' "$WORK/server_c.log" \
+  || die "resumed server still had unfinished jobs at shutdown"
+
+# ---- 4. byte-identical union ----
+sort "$WORK/A" > "$WORK/want"
+cat "$WORK/B1" "$WORK/B2" | sort > "$WORK/got"
+if ! diff -u "$WORK/want" "$WORK/got" > "$WORK/diff"; then
+  cat "$WORK/diff" >&2
+  die "resumed results differ from the uninterrupted run"
+fi
+
+echo "serve_smoke: OK ($B1_COUNT delivered before SIGTERM, $MANIFESTED resumed, bit-identical union)"
+exit 0

@@ -1,0 +1,300 @@
+// Loopback SolveServer coverage over both transports: TCP (ephemeral
+// port) and a Unix-domain socket. Drives the JSONL protocol end to end
+// with LineClient — ping, metrics, solve/ack/result, cancel, hostile
+// lines, the oversize-line guard, and a clean shutdown handshake whose
+// run() returns the drain manifest.
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "../obs/json_check.hpp"
+#include "engine/retry.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve_test_util.hpp"
+
+namespace defender::serve {
+namespace {
+
+std::string solve_line(const std::string& id, std::size_t iters = 200) {
+  return "{\"type\":\"solve\",\"id\":\"" + id +
+         "\",\"client\":\"tester\",\"solver\":\"double-oracle\","
+         "\"n\":6,\"k\":2,\"attackers\":1,"
+         "\"edges\":[[0,1],[1,2],[2,3],[3,4],[4,5],[5,0]],"
+         "\"iters\":" +
+         std::to_string(iters) + "}";
+}
+
+/// Reads lines until one parses with the wanted id+type (solve traffic
+/// interleaves acks and results); fails after `max_lines`.
+std::string await_type(LineClient& client, const std::string& id,
+                       const std::string& type, int max_lines = 20) {
+  for (int i = 0; i < max_lines; ++i) {
+    Solved<std::string> line = client.recv_line(30.0);
+    EXPECT_TRUE(line.status.ok()) << line.status.to_string();
+    if (!line.status.ok()) return "";
+    const Solved<JsonValue> doc = parse_json(line.result);
+    EXPECT_TRUE(doc.ok()) << line.result;
+    const JsonValue* got_id = doc.result.find("id");
+    const JsonValue* got_type = doc.result.find("type");
+    if (got_id != nullptr && got_id->string == id && got_type != nullptr &&
+        got_type->string == type)
+      return line.result;
+  }
+  ADD_FAILURE() << "no '" << type << "' response for id " << id;
+  return "";
+}
+
+struct RunningServer {
+  explicit RunningServer(ServerConfig config)
+      : server(std::move(config)) {
+    const Status started = server.start();
+    EXPECT_TRUE(started.ok()) << started.to_string();
+    io = std::thread([this] { manifest = server.run(); });
+  }
+  ~RunningServer() {
+    if (io.joinable()) {
+      server.request_shutdown();
+      io.join();
+    }
+  }
+  SolveServer server;
+  std::thread io;
+  DrainManifest manifest;
+};
+
+ServerConfig tcp_config() {
+  ServerConfig config;
+  config.tcp_host = "127.0.0.1";
+  config.tcp_port = 0;  // ephemeral
+  config.service.workers = 2;
+  config.service.engine.retry = engine::RetryPolicy::none();
+  return config;
+}
+
+TEST(SolveServer, StartRejectsConfigWithoutEndpoints) {
+  SolveServer server{ServerConfig{}};
+  EXPECT_EQ(server.start().code, StatusCode::kInvalidInput);
+}
+
+TEST(SolveServer, TcpPingSolveCancelMetrics) {
+  RunningServer running(tcp_config());
+  const std::string address =
+      "127.0.0.1:" + std::to_string(running.server.tcp_port());
+  Solved<LineClient> client = LineClient::connect(address);
+  ASSERT_TRUE(client.status.ok()) << client.status.to_string();
+
+  // ping -> pong
+  ASSERT_TRUE(client.result
+                  .send_line("{\"type\":\"ping\",\"id\":\"p1\","
+                             "\"client\":\"tester\"}")
+                  .ok());
+  EXPECT_FALSE(await_type(client.result, "p1", "pong").empty());
+
+  // solve -> ack then result, result embeds a JobResult document.
+  ASSERT_TRUE(client.result.send_line(solve_line("s1")).ok());
+  EXPECT_FALSE(await_type(client.result, "s1", "ack").empty());
+  const std::string result_line = await_type(client.result, "s1", "result");
+  ASSERT_FALSE(result_line.empty());
+  {
+    defender::test_json::Parser parser(result_line);
+    EXPECT_TRUE(parser.valid()) << result_line;
+    const Solved<JsonValue> doc = parse_json(result_line);
+    ASSERT_TRUE(doc.ok());
+    const JsonValue* result = doc.result.find("result");
+    ASSERT_NE(result, nullptr);
+    const JsonValue* status = result->find("status");
+    ASSERT_NE(status, nullptr);
+    EXPECT_EQ(status->string, "ok");
+  }
+
+  // cancel of an unknown id -> error (nothing active).
+  ASSERT_TRUE(client.result
+                  .send_line("{\"type\":\"cancel\",\"id\":\"c1\","
+                             "\"client\":\"tester\",\"cancel\":\"ghost\"}")
+                  .ok());
+  const std::string cancel_error = await_type(client.result, "c1", "error");
+  EXPECT_NE(cancel_error.find("invalid-input"), std::string::npos)
+      << cancel_error;
+
+  // cancel of a long-running solve -> ack, then a kCancelled result.
+  ASSERT_TRUE(client.result
+                  .send_line("{\"type\":\"solve\",\"id\":\"s2\","
+                             "\"client\":\"tester\","
+                             "\"solver\":\"fictitious-play\",\"n\":6,"
+                             "\"k\":2,\"attackers\":1,\"edges\":"
+                             "[[0,1],[1,2],[2,3],[3,4],[4,5],[5,0]],"
+                             "\"iters\":1000000,\"tolerance\":1e-15}")
+                  .ok());
+  EXPECT_FALSE(await_type(client.result, "s2", "ack").empty());
+  ASSERT_TRUE(client.result
+                  .send_line("{\"type\":\"cancel\",\"id\":\"c2\","
+                             "\"client\":\"tester\",\"cancel\":\"s2\"}")
+                  .ok());
+  EXPECT_FALSE(await_type(client.result, "c2", "ack").empty());
+  const std::string cancelled = await_type(client.result, "s2", "result");
+  EXPECT_NE(cancelled.find("cancelled"), std::string::npos) << cancelled;
+
+  // metrics -> a valid JSON registry dump with the serve instruments.
+  ASSERT_TRUE(client.result
+                  .send_line("{\"type\":\"metrics\",\"id\":\"m1\","
+                             "\"client\":\"tester\"}")
+                  .ok());
+  const std::string metrics = await_type(client.result, "m1", "metrics");
+  ASSERT_FALSE(metrics.empty());
+  defender::test_json::Parser parser(metrics);
+  EXPECT_TRUE(parser.valid());
+  EXPECT_NE(metrics.find("serve.admitted"), std::string::npos);
+}
+
+TEST(SolveServer, HostileLinesGetErrorsWithoutKillingTheConnection) {
+  RunningServer running(tcp_config());
+  Solved<LineClient> client = LineClient::connect(
+      "127.0.0.1:" + std::to_string(running.server.tcp_port()));
+  ASSERT_TRUE(client.status.ok());
+
+  const char* hostile[] = {
+      "not json at all",
+      "{\"type\":\"solve\"}",
+      "{\"type\":\"warp\",\"id\":\"x\",\"client\":\"c\"}",
+      "[1,2,3]",
+      "{\"type\":\"solve\",\"id\":\"x\",\"client\":\"c\","
+      "\"solver\":\"double-oracle\",\"n\":3,\"k\":1,\"attackers\":1,"
+      "\"edges\":[[0,7]]}",
+  };
+  for (const char* line : hostile) {
+    ASSERT_TRUE(client.result.send_line(line).ok()) << line;
+    Solved<std::string> response = client.result.recv_line(30.0);
+    ASSERT_TRUE(response.status.ok()) << line;
+    const Solved<JsonValue> doc = parse_json(response.result);
+    ASSERT_TRUE(doc.ok()) << response.result;
+    const JsonValue* type = doc.result.find("type");
+    ASSERT_NE(type, nullptr);
+    EXPECT_EQ(type->string, "error") << line;
+  }
+  // The connection survived all of it.
+  ASSERT_TRUE(client.result
+                  .send_line("{\"type\":\"ping\",\"id\":\"still-here\","
+                             "\"client\":\"c\"}")
+                  .ok());
+  EXPECT_FALSE(await_type(client.result, "still-here", "pong").empty());
+}
+
+TEST(SolveServer, OversizeLineIsRejectedAndDisconnected) {
+  RunningServer running(tcp_config());
+  Solved<LineClient> client = LineClient::connect(
+      "127.0.0.1:" + std::to_string(running.server.tcp_port()));
+  ASSERT_TRUE(client.status.ok());
+
+  const std::string huge =
+      "{\"type\":\"ping\",\"pad\":\"" +
+      std::string(kMaxRequestBytes + 1024, 'a') + "\"}";
+  ASSERT_TRUE(client.result.send_line(huge).ok());
+  const Solved<std::string> response = client.result.recv_line(30.0);
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_NE(response.result.find("error"), std::string::npos);
+  // The server closes an over-limit connection after the error.
+  const Solved<std::string> after = client.result.recv_line(10.0);
+  EXPECT_EQ(after.status.code, StatusCode::kInvalidInput);
+}
+
+TEST(SolveServer, UnixSocketServesAndShutdownReturnsManifest) {
+  const std::string path =
+      "/tmp/defender_serve_test_" + std::to_string(::getpid()) + ".sock";
+  ServerConfig config;
+  config.unix_path = path;
+  config.service.workers = 1;
+  config.service.engine.retry = engine::RetryPolicy::none();
+
+  DrainManifest manifest;
+  {
+    RunningServer running(std::move(config));
+    Solved<LineClient> client = LineClient::connect("unix:" + path);
+    ASSERT_TRUE(client.status.ok()) << client.status.to_string();
+
+    ASSERT_TRUE(client.result.send_line(solve_line("u1")).ok());
+    EXPECT_FALSE(await_type(client.result, "u1", "ack").empty());
+    EXPECT_FALSE(await_type(client.result, "u1", "result").empty());
+
+    // Queue long jobs, then ask for shutdown: the unfinished ones must
+    // come back in run()'s manifest.
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(
+          client.result.send_line(solve_line("long" + std::to_string(i),
+                                             1'000'000))
+              .ok());
+    }
+    ASSERT_TRUE(client.result
+                    .send_line("{\"type\":\"shutdown\",\"id\":\"bye\","
+                               "\"client\":\"tester\"}")
+                    .ok());
+    running.io.join();
+    manifest = running.manifest;
+  }
+  std::remove(path.c_str());
+
+  // The long jobs were double-oracle on C_6 with a huge budget — they
+  // finish fast, so the manifest can legitimately be empty; what must
+  // hold is that it parses and accounts only for "long*" ids.
+  for (const DrainedJob& job : manifest.jobs) {
+    EXPECT_EQ(job.client, "tester");
+    EXPECT_EQ(job.request_id.rfind("long", 0), 0u) << job.request_id;
+  }
+  const Solved<DrainManifest> parsed =
+      try_parse_drain_manifest(to_text(manifest));
+  EXPECT_TRUE(parsed.ok()) << parsed.status.to_string();
+}
+
+TEST(SolveServer, ShutdownDrainsQueuedSolvesIntoManifestOverTcp) {
+  ServerConfig config = tcp_config();
+  config.service.workers = 1;
+  RunningServer running(std::move(config));
+  Solved<LineClient> client = LineClient::connect(
+      "127.0.0.1:" + std::to_string(running.server.tcp_port()));
+  ASSERT_TRUE(client.status.ok());
+
+  // One genuinely slow job to occupy the worker plus queued followers.
+  std::vector<std::string> lines;
+  lines.push_back(
+      "{\"type\":\"solve\",\"id\":\"slow0\",\"client\":\"tester\","
+      "\"solver\":\"fictitious-play\",\"n\":12,\"k\":2,\"attackers\":1,"
+      "\"edges\":[[0,1],[1,2],[2,3],[3,4],[4,5],[5,6],[6,7],[7,8],"
+      "[8,9],[9,10],[10,11],[11,0]],\"iters\":1000000,"
+      "\"tolerance\":1e-15}");
+  for (int i = 1; i <= 3; ++i)
+    lines.push_back(
+        "{\"type\":\"solve\",\"id\":\"slow" + std::to_string(i) +
+        "\",\"client\":\"tester\",\"solver\":\"fictitious-play\","
+        "\"n\":12,\"k\":2,\"attackers\":1,"
+        "\"edges\":[[0,1],[1,2],[2,3],[3,4],[4,5],[5,6],[6,7],[7,8],"
+        "[8,9],[9,10],[10,11],[11,0]],\"iters\":1000000,"
+        "\"tolerance\":1e-15}");
+  for (const std::string& line : lines) {
+    ASSERT_TRUE(client.result.send_line(line).ok());
+    EXPECT_FALSE(
+        await_type(client.result,
+                   line.substr(line.find("slow"), 5), "ack")
+            .empty());
+  }
+
+  running.server.request_shutdown();
+  running.io.join();
+
+  // All four jobs were unfinished: each is either manifested or (if it
+  // beat the drain deadline) delivered — and at least the queued ones
+  // cannot have finished on a single blocked worker.
+  EXPECT_GE(running.manifest.jobs.size(), 3u);
+  const Solved<DrainManifest> parsed =
+      try_parse_drain_manifest(to_text(running.manifest));
+  ASSERT_TRUE(parsed.ok()) << parsed.status.to_string();
+}
+
+}  // namespace
+}  // namespace defender::serve

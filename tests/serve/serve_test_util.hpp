@@ -1,0 +1,91 @@
+// Shared fixtures for the serve suite: canned solve requests over small
+// cycle boards and a thread-safe result collector that records delivery
+// order (the observable the fairness and drain tests assert on).
+#pragma once
+
+#include <condition_variable>
+#include <chrono>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/job.hpp"
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
+
+namespace defender::serve_test {
+
+/// A solve request for the k-tuple game on the cycle C_n. Fictitious play
+/// with a huge budget makes a deliberately long-running job; double oracle
+/// with a small budget converges in milliseconds.
+inline serve::Request cycle_request(const std::string& client,
+                                    const std::string& id, std::size_t n,
+                                    engine::JobSolver solver,
+                                    std::size_t iters,
+                                    double tolerance = 1e-9) {
+  serve::Request req;
+  req.type = serve::RequestType::kSolve;
+  req.client = client;
+  req.id = id;
+  req.solver = solver;
+  req.n = n;
+  req.k = 2;
+  req.attackers = 1;
+  for (std::size_t i = 0; i < n; ++i) req.edges.emplace_back(i, (i + 1) % n);
+  req.tolerance = tolerance;
+  req.max_iterations = iters;
+  if (engine::is_weighted(solver)) req.weights.assign(n, 1.0);
+  return req;
+}
+
+/// A fast request: double oracle on C_6, converges well within budget.
+inline serve::Request quick_request(const std::string& client,
+                                    const std::string& id) {
+  return cycle_request(client, id, 6, engine::JobSolver::kDoubleOracle, 200);
+}
+
+/// A slow request: fictitious play chasing an unreachable tolerance for
+/// many iterations — ideally hundreds of milliseconds of work, cancellable
+/// within one poll batch. The budget sits exactly at the service's default
+/// max_budget_iterations cap so submits are admitted unmodified.
+inline serve::Request slow_request(const std::string& client,
+                                   const std::string& id,
+                                   std::size_t iters = 1'000'000) {
+  return cycle_request(client, id, 12, engine::JobSolver::kFictitiousPlay,
+                       iters, 1e-15);
+}
+
+/// Thread-safe terminal-result sink keyed by "client/id".
+struct Collector {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::map<std::string, engine::JobResult> results;
+  std::vector<std::string> order;  // delivery order of keys
+
+  serve::ResultFn sink(const std::string& client, const std::string& id) {
+    const std::string key = client + "/" + id;
+    return [this, key](const engine::JobResult& result) {
+      std::lock_guard<std::mutex> lock(mu);
+      results.emplace(key, result);
+      order.push_back(key);
+      cv.notify_all();
+    };
+  }
+
+  std::size_t count() {
+    std::lock_guard<std::mutex> lock(mu);
+    return results.size();
+  }
+
+  /// Waits until `n` results have been delivered (generous deadline so a
+  /// wedged service fails the test instead of hanging ctest).
+  bool wait_for(std::size_t n, double seconds = 60.0) {
+    std::unique_lock<std::mutex> lock(mu);
+    return cv.wait_for(lock, std::chrono::duration<double>(seconds),
+                       [&] { return results.size() >= n; });
+  }
+};
+
+}  // namespace defender::serve_test

@@ -49,21 +49,40 @@
 // to SolveCache::merge_text: any outcome but a crash/throw is fine, and
 // whatever loads must re-serialize and re-parse losslessly.
 //
+// Serve fuzz mode (--serve-fuzz N): N mutated request lines and drain
+// manifests through the hardened serve parsers (parse_json,
+// try_parse_request + to_job, try_parse_drain_manifest). No crashes, no
+// exceptions, and every ACCEPTED manifest is a to_text/parse fixed point.
+//
+// Serve soak mode (--serve-soak SECONDS): a live SolveService under
+// sustained three-client overload — truthful kOverloaded rejections with
+// retry hints, exactly-once delivery accounting against the final drain
+// manifest, weighted-fair throughput, gauges zero after drain. On
+// failure --serve-report FILE captures metrics + per-client tallies as a
+// JSONL artifact for CI upload.
+//
 // Usage: stress_defender [--instances N] [--fuzz-iters N] [--seed S]
 //                        [--trace FILE.jsonl] [--fault-rate R]
 //                        [--fault-seed S] [--fault-plans DIR]
 //                        [--engine-jobs N] [--engine-report FILE]
-//                        [--engine-cache]
+//                        [--engine-cache] [--serve-fuzz N]
+//                        [--serve-soak SECONDS] [--serve-report FILE]
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <set>
 #include <string>
+#include <thread>
 #include <unordered_set>
 #include <vector>
 
@@ -79,6 +98,9 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "obs/context.hpp"
+#include "serve/drain.hpp"
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
 #include "sim/fictitious_play.hpp"
 #include "sim/multiplicative_weights.hpp"
 #include "util/assert.hpp"
@@ -477,6 +499,262 @@ void fuzz_parsers(util::Rng& rng, std::size_t iterations) {
 }
 
 // ---------------------------------------------------------------------------
+// Serve fuzz: hostile request lines and drain manifests through the
+// hardened serve parsers (docs/SERVE.md). Any outcome but a crash or an
+// exception is acceptable; whatever the manifest parser ACCEPTS must be a
+// to_text/parse fixed point, and any accepted solve request must build
+// (or cleanly reject) through to_job.
+
+/// A valid drain manifest (one plain job, one double-drained job) as a
+/// mutation seed, so the fuzzer spends its budget inside the grammar
+/// instead of bouncing off the version header.
+std::string serve_manifest_seed() {
+  serve::DrainManifest manifest;
+  serve::DrainedJob job;
+  job.client = "fuzz";
+  job.request_id = "seed-0";
+  job.job_index = 0;
+  job.spec.type = serve::RequestType::kSolve;
+  job.spec.client = "fuzz";
+  job.spec.id = "seed-0";
+  job.spec.solver = engine::JobSolver::kDoubleOracle;
+  job.spec.n = 4;
+  job.spec.k = 2;
+  job.spec.attackers = 1;
+  job.spec.edges = {{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  job.spec.max_iterations = 60;
+  manifest.jobs.push_back(job);
+  job.request_id = "seed-1";
+  job.job_index = 1;
+  job.spec.id = "seed-1";
+  job.spec.solver = engine::JobSolver::kWeightedFictitiousPlay;
+  job.spec.weights = {1.0, 2.0, 1.0, 1.5};
+  manifest.jobs.push_back(job);
+  return serve::to_text(manifest);
+}
+
+void serve_fuzz(util::Rng& rng, std::size_t iterations) {
+  const std::vector<std::string> corpus = {
+      "{\"type\":\"solve\",\"id\":\"a\",\"client\":\"c\",\"solver\":"
+      "\"double-oracle\",\"n\":6,\"k\":2,\"attackers\":1,\"edges\":"
+      "[[0,1],[1,2],[2,3],[3,4],[4,5],[5,0]],\"iters\":200}",
+      "{\"type\":\"solve\",\"id\":\"w\",\"client\":\"c\",\"solver\":"
+      "\"weighted-fictitious-play\",\"n\":3,\"k\":1,\"attackers\":1,"
+      "\"edges\":[[0,1],[1,2],[2,0]],\"weights\":[1.0,2.5,0.5],"
+      "\"tolerance\":1e-6,\"iters\":1000,\"wall_seconds\":0.5}",
+      "{\"type\":\"cancel\",\"id\":\"x\",\"client\":\"c\",\"cancel\":\"a\"}",
+      "{\"type\":\"ping\",\"id\":\"p\",\"client\":\"c\"}",
+      "{\"type\":\"metrics\",\"id\":\"m\",\"client\":\"c\"}",
+      "{\"type\":\"shutdown\",\"id\":\"s\",\"client\":\"c\"}",
+      serve_manifest_seed(),
+  };
+  // Serve-grammar tokens worth splicing into random positions: header
+  // words the manifest parser keys on, JSON structure, and boundary
+  // numerals for the count fields.
+  static const char* kServeHostile[] = {
+      "job 0 c id",     "spec double-oracle 4 2 1 1e-9 60 0 0",
+      "edges 4 0 1",    "weights 2 1.0 2.0",
+      "checkpoint 1",   "defender-drain v1",
+      "end",            "\"type\":\"solve\"",
+      "[[0,1]",         "1e309",
+      "-1",             "18446744073709551616",
+  };
+
+  for (std::size_t i = 0; i < iterations; ++i) {
+    std::string input = corpus[static_cast<std::size_t>(
+        rng.range(0, static_cast<std::int64_t>(corpus.size()) - 1))];
+    const int mutations = static_cast<int>(rng.range(1, 4));
+    for (int j = 0; j < mutations; ++j) {
+      if (rng.range(0, 3) == 0 && !input.empty()) {
+        const std::size_t pos = static_cast<std::size_t>(
+            rng.range(0, static_cast<std::int64_t>(input.size())));
+        input.insert(pos, kServeHostile[rng.range(0, 11)]);
+        if (input.size() > kMaxFuzzBytes) input.resize(kMaxFuzzBytes);
+      } else {
+        mutate(input, rng);
+      }
+    }
+
+    try {
+      (void)serve::parse_json(input);
+    } catch (const std::exception& e) {
+      fail("serve fuzz iter " + std::to_string(i) +
+           ": parse_json threw: " + e.what());
+    }
+    try {
+      const Solved<serve::Request> parsed = serve::try_parse_request(input);
+      if (parsed.ok() && parsed.result.type == serve::RequestType::kSolve) {
+        std::optional<engine::SolveJob> built;
+        (void)serve::to_job(parsed.result, &built);
+      }
+    } catch (const std::exception& e) {
+      fail("serve fuzz iter " + std::to_string(i) +
+           ": try_parse_request threw: " + e.what());
+    }
+    try {
+      const Solved<serve::DrainManifest> parsed =
+          serve::try_parse_drain_manifest(input);
+      if (parsed.ok()) {
+        const std::string text = serve::to_text(parsed.result);
+        const Solved<serve::DrainManifest> again =
+            serve::try_parse_drain_manifest(text);
+        if (!again.ok() || serve::to_text(again.result) != text)
+          fail("serve fuzz iter " + std::to_string(i) +
+               ": accepted manifest is not a to_text/parse fixed point");
+      }
+    } catch (const std::exception& e) {
+      fail("serve fuzz iter " + std::to_string(i) +
+           ": try_parse_drain_manifest threw: " + e.what());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Serve soak: a SolveService under sustained multi-client overload.
+//
+// Three clients (one carrying fair-queue weight 3) hammer submits against
+// a deliberately small queue for the soak duration. The acceptance bar:
+// every rejection is a truthful kOverloaded with a positive retry hint,
+// every admitted job is delivered exactly once (or swept into the final
+// drain manifest), the weighted client's delivered share reflects its
+// weight, and every serve gauge reads zero after the drain. On failure
+// the metrics registry and per-client tallies are dumped to
+// --serve-report as a JSONL artifact.
+
+struct SoakClientTally {
+  std::atomic<std::size_t> admitted{0};
+  std::atomic<std::size_t> rejected_overload{0};
+  std::atomic<std::size_t> delivered{0};
+};
+
+void serve_soak(double seconds, const std::string& report_path) {
+  obs::MetricsRegistry metrics;
+  serve::ServiceConfig config;
+  config.workers = 4;
+  config.queue_high_watermark = 16;
+  config.queue_low_watermark = 8;
+  config.max_inflight_per_client = 8;
+  config.client_weights["heavy"] = 3.0;
+  config.engine.retry = engine::RetryPolicy::none();
+  config.engine.metrics = &metrics;
+  serve::SolveService service(config);
+
+  const char* kClients[] = {"heavy", "light", "burst"};
+  std::map<std::string, SoakClientTally> tallies;
+  for (const char* c : kClients) tallies[c];
+  std::mutex delivered_mu;
+  std::set<std::string> delivered_keys;
+  std::atomic<std::size_t> double_deliveries{0};
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(seconds);
+  std::vector<std::thread> submitters;
+  for (const char* name : kClients) {
+    submitters.emplace_back([&, name] {
+      SoakClientTally& tally = tallies[name];
+      util::Rng thread_rng(std::hash<std::string>{}(name));
+      std::size_t next_id = 0;
+      while (std::chrono::steady_clock::now() < deadline) {
+        serve::Request req;
+        req.type = serve::RequestType::kSolve;
+        req.client = name;
+        req.id = "soak-" + std::to_string(next_id++);
+        // Fictitious play chasing an unreachable tolerance: ~a
+        // millisecond per job, so the workers (not the submitters) are
+        // the bottleneck and the weighted-fair dequeue governs
+        // throughput.
+        req.solver = engine::JobSolver::kFictitiousPlay;
+        req.n = 6;
+        req.k = 2;
+        req.attackers = 1;
+        for (std::size_t v = 0; v < req.n; ++v)
+          req.edges.emplace_back(v, (v + 1) % req.n);
+        req.tolerance = 1e-15;
+        req.max_iterations =
+            static_cast<std::size_t>(5000 + thread_rng.range(0, 5000));
+        const std::string key = std::string(name) + "/" + req.id;
+        const serve::Admission admission = service.submit(
+            req, [&tally, &delivered_mu, &delivered_keys,
+                  &double_deliveries, key](const engine::JobResult&) {
+              tally.delivered.fetch_add(1);
+              std::lock_guard<std::mutex> lock(delivered_mu);
+              if (!delivered_keys.insert(key).second)
+                double_deliveries.fetch_add(1);
+            });
+        if (admission.admitted()) {
+          tally.admitted.fetch_add(1);
+        } else if (admission.code == StatusCode::kOverloaded) {
+          tally.rejected_overload.fetch_add(1);
+          if (admission.retry_after_ms <= 0)
+            fail("serve soak: overload rejection without a retry hint");
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        } else {
+          fail("serve soak: unexpected rejection (" +
+               std::string(to_string(admission.code)) +
+               "): " + admission.message);
+        }
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  const serve::DrainManifest manifest = service.drain(-1);
+
+  std::size_t total_admitted = 0;
+  std::size_t total_delivered = 0;
+  for (const char* c : kClients) {
+    total_admitted += tallies[c].admitted.load();
+    total_delivered += tallies[c].delivered.load();
+  }
+  if (double_deliveries.load() > 0)
+    fail("serve soak: " + std::to_string(double_deliveries.load()) +
+         " double deliveries");
+  if (total_delivered + manifest.jobs.size() != total_admitted)
+    fail("serve soak: delivered " + std::to_string(total_delivered) +
+         " + manifested " + std::to_string(manifest.jobs.size()) +
+         " != admitted " + std::to_string(total_admitted));
+  // Weighted fairness, asserted loosely enough to be timing-robust: the
+  // weight-3 client must out-deliver each weight-1 client under
+  // saturation (exact WFQ ratios are pinned by serve_service_test).
+  const std::size_t heavy = tallies["heavy"].delivered.load();
+  const std::size_t light = tallies["light"].delivered.load();
+  const std::size_t burst = tallies["burst"].delivered.load();
+  if (total_admitted > 100 && (heavy <= light || heavy <= burst))
+    fail("serve soak: weight-3 client delivered " + std::to_string(heavy) +
+         " vs " + std::to_string(light) + "/" + std::to_string(burst));
+  for (const char* gauge :
+       {"serve.queue_depth", "serve.inflight", "serve.draining",
+        "serve.admitting"}) {
+    for (const obs::MetricSnapshot& snap : metrics.snapshot())
+      if (snap.name == gauge && snap.value != 0)
+        fail(std::string("serve soak: gauge ") + gauge +
+             " nonzero after drain");
+  }
+
+  const bool failed = failures > 0;
+  if (!report_path.empty() && failed) {
+    if (std::FILE* f = std::fopen(report_path.c_str(), "w")) {
+      const std::string metrics_json = metrics.to_json();
+      std::fprintf(f, "{\"metrics\":%s}\n", metrics_json.c_str());
+      for (const char* c : kClients)
+        std::fprintf(f,
+                     "{\"client\":\"%s\",\"admitted\":%zu,"
+                     "\"rejected_overload\":%zu,\"delivered\":%zu}\n",
+                     c, tallies[c].admitted.load(),
+                     tallies[c].rejected_overload.load(),
+                     tallies[c].delivered.load());
+      std::fclose(f);
+      std::fprintf(stderr, "serve soak artifact -> %s\n",
+                   report_path.c_str());
+    }
+  }
+  std::printf(
+      "serve soak: %zus, admitted %zu (heavy %zu / light %zu / burst %zu "
+      "delivered), %zu manifested\n",
+      static_cast<std::size_t>(seconds), total_admitted, heavy, light,
+      burst, manifest.jobs.size());
+}
+
+// ---------------------------------------------------------------------------
 // Engine chaos: batch isolation under concurrency + deterministic faults.
 
 /// Builds the fixed 200-job engine batch: random boards, all six solver
@@ -640,6 +918,9 @@ int main(int argc, char** argv) {
   std::size_t engine_jobs = 0;  // workers; 0 = engine chaos off
   std::string engine_report;
   bool engine_cache = false;
+  std::size_t serve_fuzz_iters = 0;
+  double serve_soak_seconds = 0;
+  std::string serve_report;
   for (int i = 1; i < argc; ++i) {
     const auto next_value = [&](const char* flag) -> long long {
       if (i + 1 >= argc) {
@@ -693,12 +974,32 @@ int main(int argc, char** argv) {
       engine_report = argv[++i];
     } else if (std::strcmp(argv[i], "--engine-cache") == 0) {
       engine_cache = true;
+    } else if (std::strcmp(argv[i], "--serve-fuzz") == 0) {
+      serve_fuzz_iters = static_cast<std::size_t>(next_value("--serve-fuzz"));
+    } else if (std::strcmp(argv[i], "--serve-soak") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --serve-soak\n");
+        return 2;
+      }
+      serve_soak_seconds = std::atof(argv[++i]);
+      if (!(serve_soak_seconds >= 0)) {
+        std::fprintf(stderr, "--serve-soak must be >= 0 seconds\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--serve-report") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --serve-report\n");
+        return 2;
+      }
+      serve_report = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--instances N] [--fuzz-iters N] [--seed S] "
                    "[--trace FILE.jsonl] [--fault-rate R] [--fault-seed S] "
                    "[--fault-plans DIR] [--engine-jobs N] "
-                   "[--engine-report FILE] [--engine-cache]\n",
+                   "[--engine-report FILE] [--engine-cache] "
+                   "[--serve-fuzz N] [--serve-soak SECONDS] "
+                   "[--serve-report FILE]\n",
                    argv[0]);
       return 2;
     }
@@ -756,6 +1057,19 @@ int main(int argc, char** argv) {
 
   fuzz_parsers(rng, fuzz_iters);
   std::printf("fuzz: %zu parser inputs survived\n", fuzz_iters);
+
+  if (serve_fuzz_iters > 0) {
+    serve_fuzz(rng, serve_fuzz_iters);
+    std::printf("serve fuzz: %zu request/manifest inputs survived\n",
+                serve_fuzz_iters);
+  }
+  if (serve_soak_seconds > 0) {
+    try {
+      serve_soak(serve_soak_seconds, serve_report);
+    } catch (const std::exception& e) {
+      fail(std::string("serve soak threw: ") + e.what());
+    }
+  }
 
   if (g_obs != nullptr) {
     tracer.flush();

@@ -1,0 +1,95 @@
+// RFC 8259 pin for util/json_writer.hpp — the single JSON emitter behind
+// bench lines, JobResult reports, trace sinks, the metrics exporter, and
+// the serve protocol. Every escaping and number-formatting rule is pinned
+// here so an emitter change that would desynchronize stored artifacts
+// (cache files, drain manifests, JSONL reports) fails a test instead of
+// shipping.
+#include "util/json_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "../obs/json_check.hpp"
+
+namespace defender::util {
+namespace {
+
+TEST(JsonWriter, EscapesEveryControlAndQuoteCharacter) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\rc\td"), "a\\nb\\rc\\td");
+  // Control characters without a short escape become \u00xx.
+  EXPECT_EQ(json_escape(std::string("a\x01z", 3)), "a\\u0001z");
+  EXPECT_EQ(json_escape(std::string("\x1f", 1)), "\\u001f");
+  // NUL embedded in a std::string is escaped, not truncated.
+  EXPECT_EQ(json_escape(std::string("a\0b", 3)), "a\\u0000b");
+  // Bytes >= 0x20 pass through verbatim (UTF-8 payloads untouched).
+  EXPECT_EQ(json_escape("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(JsonWriter, NumbersRoundTripThroughStrtod) {
+  // %.17g is enough digits for bit-exact double round-trips.
+  const double values[] = {0.0,
+                           1.0,
+                           -1.5,
+                           1.0 / 3.0,
+                           6.02214076e23,
+                           5e-324,
+                           std::numeric_limits<double>::max(),
+                           -0.3333333333333333};
+  for (const double v : values) {
+    const std::string rendered = json_number(v);
+    EXPECT_EQ(std::strtod(rendered.c_str(), nullptr), v) << rendered;
+  }
+}
+
+TEST(JsonWriter, NonFiniteNumbersBecomeNull) {
+  EXPECT_EQ(json_number(std::nan("")), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonWriter, ObjectMembersKeepCallOrder) {
+  JsonWriter w;
+  w.str("name", "x").num("count", std::uint64_t{7}).boolean("ok", true);
+  EXPECT_EQ(w.object(), "{\"name\":\"x\",\"count\":7,\"ok\":true}");
+  EXPECT_FALSE(w.empty());
+  EXPECT_EQ(w.body(), "\"name\":\"x\",\"count\":7,\"ok\":true");
+}
+
+TEST(JsonWriter, EmptyObjectAndEmptyArray) {
+  JsonWriter w;
+  EXPECT_TRUE(w.empty());
+  EXPECT_EQ(w.object(), "{}");
+  EXPECT_EQ(JsonWriter::array({}), "[]");
+  EXPECT_EQ(JsonWriter::array({"1", "\"a\""}), "[1,\"a\"]");
+}
+
+TEST(JsonWriter, HostileKeysAndValuesStillProduceValidJson) {
+  JsonWriter w;
+  w.str("quote\"key", "line\nbreak\ttab\\slash\"quote");
+  w.num("tiny", 5e-324);
+  w.num("nan_becomes_null", std::nan(""));
+  w.raw("nested", JsonWriter::array({"[1,2]", "{\"a\":null}"}));
+  const std::string doc = w.object();
+  defender::test_json::Parser parser(doc);
+  EXPECT_TRUE(parser.valid()) << doc;
+}
+
+TEST(JsonWriter, EveryControlByteYieldsValidJson) {
+  for (int c = 0; c < 0x20; ++c) {
+    JsonWriter w;
+    w.str("k", std::string(1, static_cast<char>(c)));
+    const std::string doc = w.object();
+    defender::test_json::Parser parser(doc);
+    EXPECT_TRUE(parser.valid()) << "control byte " << c << ": " << doc;
+  }
+}
+
+}  // namespace
+}  // namespace defender::util
