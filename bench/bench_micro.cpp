@@ -5,6 +5,12 @@
 // evaluation, equilibrium construction, verification, and the LP baseline.
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
 #include "bench_common.hpp"
 #include "core/atuple.hpp"
 #include "core/characterization.hpp"
@@ -13,6 +19,8 @@
 #include "core/zero_sum.hpp"
 #include "fault/fault.hpp"
 #include "graph/generators.hpp"
+#include "io/atomic_file.hpp"
+#include "io/envelope.hpp"
 #include "obs/context.hpp"
 #include "sim/playout.hpp"
 #include "util/random.hpp"
@@ -172,6 +180,82 @@ void BM_Playouts(benchmark::State& state) {
 }
 BENCHMARK(BM_Playouts);
 
+// --------------------------------------------------------------------------
+// Durable artifact writes (docs/DURABILITY.md): what the crash-safe
+// publish protocol costs over a bare buffered write, with and without the
+// fsyncs that make it power-loss durable. Arg is log2(payload bytes).
+
+/// One scratch directory per process, created lazily.
+const std::string& bench_io_dir() {
+  static const std::string dir = [] {
+    char tmpl[] = "/tmp/defender-bench-io-XXXXXX";
+    const char* made = mkdtemp(tmpl);
+    return std::string(made != nullptr ? made : "/tmp");
+  }();
+  return dir;
+}
+
+std::string bench_payload(std::size_t bytes) {
+  std::string payload;
+  payload.reserve(bytes);
+  while (payload.size() < bytes)
+    payload += "tuple 2 0 1\ntuple 2 2 3\nvertices 2 0 4\n";
+  payload.resize(bytes);
+  return payload;
+}
+
+void BM_DurableWrite_BareOfstream(benchmark::State& state) {
+  const std::string payload =
+      bench_payload(std::size_t{1} << state.range(0));
+  const std::string path = bench_io_dir() + "/bare.txt";
+  for (auto _ : state) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << payload;
+    benchmark::DoNotOptimize(out.good());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_DurableWrite_BareOfstream)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_DurableWrite_AtomicNoFsync(benchmark::State& state) {
+  const std::string payload =
+      bench_payload(std::size_t{1} << state.range(0));
+  const std::string path = bench_io_dir() + "/atomic.txt";
+  io::AtomicWriteOptions opts;
+  opts.fsync = false;
+  for (auto _ : state) {
+    const std::string wrapped =
+        io::wrap_artifact("defender-checkpoint", payload);
+    benchmark::DoNotOptimize(io::atomic_write_file(path, wrapped, opts).ok());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_DurableWrite_AtomicNoFsync)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_DurableWrite_AtomicFsync(benchmark::State& state) {
+  const std::string payload =
+      bench_payload(std::size_t{1} << state.range(0));
+  const std::string path = bench_io_dir() + "/durable.txt";
+  for (auto _ : state) {
+    const std::string wrapped =
+        io::wrap_artifact("defender-checkpoint", payload);
+    benchmark::DoNotOptimize(io::atomic_write_file(path, wrapped, {}).ok());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_DurableWrite_AtomicFsync)->Arg(12)->Arg(16)->Arg(20);
+
+/// Back-to-back timing of `reps` writes for the BENCH_JSON comparison.
+template <typename WriteOnce>
+double write_reps_seconds(int reps, WriteOnce&& write_once) {
+  const auto t0 = bench::case_clock();
+  for (int i = 0; i < reps; ++i) benchmark::DoNotOptimize(write_once());
+  return obs::Clock::seconds_since(t0);
+}
+
 // Direct null-vs-armed timing for the BENCH_JSON line below: google-benchmark
 // reports each side separately, but the overhead claim is a ratio, so we
 // measure both sides back to back over the same instance.
@@ -214,6 +298,47 @@ int main(int argc, char** argv) {
       .num("null_fault_ms", null_s * 1e3)
       .num("armed_fault_ms", armed_s * 1e3)
       .num("overhead_pct", 100.0 * (armed_s - null_s) / null_s)
+      .emit();
+
+  // Durable-write cost triple (docs/DURABILITY.md): bare buffered write
+  // vs the atomic envelope publish without fsync vs the full power-loss-
+  // durable protocol, over a checkpoint-sized 64 KiB payload.
+  constexpr std::size_t kIoBytes = 64u << 10;
+  constexpr int kIoReps = 50;
+  const std::string payload = bench_payload(kIoBytes);
+  const std::string dir = bench_io_dir();
+  const auto bare = [&] {
+    std::ofstream out(dir + "/json-bare.txt",
+                      std::ios::binary | std::ios::trunc);
+    out << payload;
+    return out.good();
+  };
+  io::AtomicWriteOptions no_fsync;
+  no_fsync.fsync = false;
+  const auto atomic_fast = [&] {
+    return io::atomic_write_file(
+               dir + "/json-atomic.txt",
+               io::wrap_artifact("defender-checkpoint", payload), no_fsync)
+        .ok();
+  };
+  const auto atomic_durable = [&] {
+    return io::atomic_write_file(
+               dir + "/json-durable.txt",
+               io::wrap_artifact("defender-checkpoint", payload), {})
+        .ok();
+  };
+  write_reps_seconds(5, bare);  // warm-up
+  const double bare_s = write_reps_seconds(kIoReps, bare);
+  const double atomic_s = write_reps_seconds(kIoReps, atomic_fast);
+  const double durable_s = write_reps_seconds(kIoReps, atomic_durable);
+  bench::JsonLine("micro", "durable write overhead")
+      .num("reps", kIoReps)
+      .num("payload_bytes", static_cast<double>(kIoBytes))
+      .num("bare_ofstream_ms", bare_s * 1e3)
+      .num("atomic_no_fsync_ms", atomic_s * 1e3)
+      .num("atomic_fsync_ms", durable_s * 1e3)
+      .num("fsync_cost_ms_per_write",
+           (durable_s - atomic_s) * 1e3 / kIoReps)
       .emit();
   return 0;
 }

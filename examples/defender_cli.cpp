@@ -73,6 +73,7 @@
 #include "core/checkpoint.hpp"
 #include "core/double_oracle.hpp"
 #include "fault/fault.hpp"
+#include "io/durable.hpp"
 #include "core/payoff.hpp"
 #include "core/perfect_matching_ne.hpp"
 #include "core/pure_ne.hpp"
@@ -140,6 +141,20 @@ int fail_invalid(const std::string& message) {
                    .to_string()
             << '\n';
   return 2;
+}
+
+/// Non-zero exit for an already-structured status (io-error and friends).
+int fail_status(const defender::Status& status) {
+  std::cerr << "defender_cli: " << status.to_string() << '\n';
+  return 2;
+}
+
+/// Surfaces what artifact recovery had to do (fallback, salvage,
+/// quarantine) so a shrunken cache or older checkpoint is never silent.
+void log_recovery(const char* what, const defender::io::LoadReport& report) {
+  if (report.recovered)
+    std::cerr << "defender_cli: " << what << " recovered: " << report.note
+              << '\n';
 }
 
 /// One parsed line of a --batch file: "<solver> <k> <nu> <budget-iters>
@@ -398,6 +413,14 @@ int run_connect(const defender::graph::Graph& g,
     }
   }
 
+  if (report.is_open()) {
+    report.flush();
+    if (!report)
+      return fail_status(defender::Status::make(
+          defender::StatusCode::kIoError,
+          "report '" + report_path + "' hit a write error"));
+  }
+
   std::cerr << "defender_cli: " << acks << " admitted, " << rejections
             << " rejected, " << results << " results\n";
   if (server_gone && results < acks) return 3;
@@ -562,13 +585,12 @@ int main(int argc, char** argv) {
       cache_config.capacity = cache_capacity;
       cache_config.metrics = ctx.metrics;
       solve_cache = std::make_unique<cache::SolveCache>(cache_config);
-      if (std::ifstream cache_in(cache_path); cache_in) {
-        std::ostringstream text;
-        text << cache_in.rdbuf();
-        const Status merged = solve_cache->merge_text(text.str());
-        if (!merged.ok())
-          return fail_invalid("cache file " + cache_path + ": " +
-                              merged.describe());
+      if (io::artifact_present(cache_path)) {
+        io::LoadReport report;
+        const Status loaded =
+            cache::load_cache_file(cache_path, solve_cache.get(), &report);
+        if (!loaded.ok()) return fail_status(loaded);
+        log_recovery("cache store", report);
       }
       config.cache = solve_cache.get();
     }
@@ -579,10 +601,10 @@ int main(int argc, char** argv) {
                              budget.wall_clock_seconds, fault_rate,
                              fault_seed);
     if (solve_cache != nullptr) {
-      std::ofstream cache_out(cache_path, std::ios::trunc);
-      if (!cache_out)
-        return fail_invalid("cannot write cache file " + cache_path);
-      cache_out << solve_cache->to_text();
+      // Atomic checksummed rewrite: a crash here costs at most this run's
+      // new entries, never the store that existed before the batch.
+      const Status saved = cache::save_cache_file(cache_path, *solve_cache);
+      if (!saved.ok()) return fail_status(saved);
       const cache::CacheStats cs = solve_cache->stats();
       std::cout << "\nCache: " << solve_cache->size() << " entries -> "
                 << cache_path << " (" << cs.hits << " hits, " << cs.misses
@@ -682,17 +704,11 @@ int main(int argc, char** argv) {
   core::SolverCheckpoint resumed, captured;
   core::ResumeHooks hooks;
   if (!resume_checkpoint_path.empty()) {
-    std::ifstream in(resume_checkpoint_path);
-    if (!in)
-      return fail_invalid("cannot open checkpoint " + resume_checkpoint_path);
-    std::ostringstream text;
-    text << in.rdbuf();
+    io::LoadReport report;
     const Solved<core::SolverCheckpoint> parsed_cp =
-        core::try_parse_checkpoint(text.str());
-    if (!parsed_cp.ok()) {
-      std::cerr << "defender_cli: " << parsed_cp.status.to_string() << '\n';
-      return 2;
-    }
+        core::load_checkpoint_file(resume_checkpoint_path, &report);
+    if (!parsed_cp.ok()) return fail_status(parsed_cp.status);
+    log_recovery("checkpoint", report);
     resumed = parsed_cp.result;
     hooks.resume = &resumed;
   }
@@ -722,10 +738,13 @@ int main(int argc, char** argv) {
   }
   if (hooks.capture != nullptr &&
       solved.status.code != StatusCode::kInvalidInput) {
-    std::ofstream out(save_checkpoint_path);
-    if (!out)
-      return fail_invalid("cannot write checkpoint " + save_checkpoint_path);
-    out << core::to_text(captured);
+    // Durable save through the same fault context as the solve, so an
+    // armed --fault-rate plan exercises the io-* sites too.
+    io::AtomicWriteOptions write_opts;
+    write_opts.fault = fault_ptr;
+    const Status saved =
+        core::save_checkpoint_file(save_checkpoint_path, captured, write_opts);
+    if (!saved.ok()) return fail_status(saved);
     std::cout << "  checkpoint (" << captured.iterations
               << " iterations) -> " << save_checkpoint_path << '\n';
   }

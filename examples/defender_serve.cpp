@@ -47,6 +47,7 @@
 
 #include "cache/cache.hpp"
 #include "engine/retry.hpp"
+#include "io/durable.hpp"
 #include "obs/metrics.hpp"
 #include "serve/drain.hpp"
 #include "serve/server.hpp"
@@ -85,6 +86,19 @@ int fail(const std::string& message) {
                    .to_string()
             << '\n';
   return 2;
+}
+
+int fail_status(const defender::Status& status) {
+  std::cerr << "defender_serve: " << status.to_string() << '\n';
+  return 2;
+}
+
+/// Logs what artifact recovery had to do, so a fallback or salvage is
+/// visible in the service log instead of silently shrinking state.
+void log_recovery(const char* what, const defender::io::LoadReport& report) {
+  if (report.recovered)
+    std::cerr << "defender_serve: " << what << " recovered: " << report.note
+              << '\n';
 }
 
 bool parse_count_arg(const char* arg, std::size_t* out) {
@@ -202,12 +216,12 @@ int main(int argc, char** argv) {
     cache_config.capacity = cache_capacity;
     cache_config.metrics = config.service.engine.metrics;
     solve_cache = std::make_unique<cache::SolveCache>(cache_config);
-    if (std::ifstream in(cache_path); in) {
-      std::ostringstream text;
-      text << in.rdbuf();
-      const Status merged = solve_cache->merge_text(text.str());
-      if (!merged.ok())
-        return fail("cache file " + cache_path + ": " + merged.describe());
+    if (io::artifact_present(cache_path)) {
+      io::LoadReport report;
+      const Status loaded =
+          cache::load_cache_file(cache_path, solve_cache.get(), &report);
+      if (!loaded.ok()) return fail_status(loaded);
+      log_recovery("cache store", report);
     }
     config.service.engine.cache = solve_cache.get();
   }
@@ -230,23 +244,20 @@ int main(int argc, char** argv) {
   if (!started.ok()) return fail(started.message);
 
   if (!port_file_path.empty() && server.tcp_port() != 0) {
-    std::ofstream port_out(port_file_path, std::ios::trunc);
-    if (!port_out) return fail("cannot write port file " + port_file_path);
-    port_out << server.tcp_port() << '\n';
+    // Checked write: a short write here would leave smoke scripts waiting
+    // on a port that was never fully published.
+    const Status wrote = io::write_file_checked(
+        port_file_path, std::to_string(server.tcp_port()) + "\n");
+    if (!wrote.ok()) return fail_status(wrote);
   }
 
   std::size_t resumed = 0;
   if (!resume_path.empty()) {
-    std::ifstream in(resume_path);
-    if (!in) return fail("cannot open drain manifest " + resume_path);
-    std::ostringstream text;
-    text << in.rdbuf();
+    io::LoadReport report;
     const Solved<serve::DrainManifest> manifest =
-        serve::try_parse_drain_manifest(text.str());
-    if (!manifest.ok()) {
-      std::cerr << "defender_serve: " << manifest.status.to_string() << '\n';
-      return 2;
-    }
+        serve::load_drain_manifest_file(resume_path, &report);
+    if (!manifest.ok()) return fail_status(manifest.status);
+    log_recovery("drain manifest", report);
     resumed = server.resume(manifest.result);
   }
 
@@ -263,17 +274,27 @@ int main(int argc, char** argv) {
   const serve::DrainManifest manifest = server.run();
   g_server = nullptr;
 
+  // Both exit artifacts go through the atomic checksummed protocol
+  // (docs/DURABILITY.md): a crash or full disk mid-write can cost at most
+  // this generation, never the previous one — and a failure is a loud
+  // non-zero exit naming the path, never a silently torn file.
   if (!drain_manifest_path.empty()) {
-    std::ofstream out(drain_manifest_path, std::ios::trunc);
-    if (!out)
-      return fail("cannot write drain manifest " + drain_manifest_path);
-    out << serve::to_text(manifest);
+    const Status saved =
+        serve::save_drain_manifest_file(drain_manifest_path, manifest);
+    if (!saved.ok()) return fail_status(saved);
   }
 
   if (solve_cache != nullptr) {
-    std::ofstream out(cache_path, std::ios::trunc);
-    if (!out) return fail("cannot write cache file " + cache_path);
-    out << solve_cache->to_text();
+    const Status saved = cache::save_cache_file(cache_path, *solve_cache);
+    if (!saved.ok()) return fail_status(saved);
+  }
+
+  if (resume_report.is_open()) {
+    resume_report.flush();
+    if (!resume_report)
+      return fail_status(Status::make(
+          StatusCode::kIoError,
+          "resume report '" + resume_report_path + "' hit a write error"));
   }
 
   std::cout << "defender_serve: drained " << manifest.jobs.size()

@@ -318,6 +318,61 @@ CacheStats SolveCache::stats() const {
   return stats_;
 }
 
+namespace {
+
+/// The per-entry block shared by to_text (one multi-entry document) and
+/// to_record_texts (one single-entry document per record) — the two MUST
+/// serialize an entry byte-identically or the durable store would not
+/// round-trip against merge_text.
+void append_entry_block(std::ostringstream& os, const CachedSolve& e) {
+  os << "entry\n";
+  os << "board " << e.n << ' ' << e.edges.size() << ' ' << e.k << ' '
+     << e.num_attackers << ' ' << (e.exact_form ? 1 : 0) << '\n';
+  os << "solver " << e.solver << '\n';
+  os << "params " << format_double(e.tolerance) << ' ' << e.max_iterations
+     << ' ' << format_double(e.wall_clock_seconds) << ' '
+     << e.oracle_node_budget << '\n';
+  os << "edges";
+  for (const graph::Edge& edge : e.edges)
+    os << ' ' << edge.u << ' ' << edge.v;
+  os << '\n';
+  os << "weights " << e.weights.size();
+  for (double w : e.weights) os << ' ' << format_double(w);
+  os << '\n';
+  os << "status " << e.iterations << ' ' << format_double(e.residual)
+     << '\n';
+  os << "message " << e.message << '\n';
+  os << "value " << format_double(e.value) << ' ' << format_double(e.lower)
+     << ' ' << format_double(e.upper) << '\n';
+  os << "attempt " << format_double(e.attempt_value) << ' '
+     << format_double(e.attempt_lower) << ' '
+     << format_double(e.attempt_upper) << '\n';
+  os << "profiles " << (e.has_profiles ? 1 : 0) << '\n';
+  if (e.has_profiles) {
+    os << "defender " << e.defender_support.size();
+    for (double p : e.defender_probs) os << ' ' << format_double(p);
+    os << '\n';
+    for (const core::Tuple& t : e.defender_support) {
+      os << "tuple " << t.size();
+      for (graph::EdgeId edge : t) os << ' ' << edge;
+      os << '\n';
+    }
+    os << "attacker " << e.attacker_support.size();
+    for (std::size_t i = 0; i < e.attacker_support.size(); ++i)
+      os << ' ' << e.attacker_support[i] << ' '
+         << format_double(e.attacker_probs[i]);
+    os << '\n';
+  }
+  std::size_t checkpoint_lines = 0;
+  for (char c : e.checkpoint_text)
+    if (c == '\n') ++checkpoint_lines;
+  os << "checkpoint " << checkpoint_lines << '\n';
+  os << e.checkpoint_text;
+  os << "end\n";
+}
+
+}  // namespace
+
 std::string SolveCache::to_text() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;
@@ -325,54 +380,27 @@ std::string SolveCache::to_text() const {
   os << "entries " << lru_.size() << '\n';
   // Least recently used first: merge_text stores in file order, so the
   // last (most recent) entry ends up at the LRU front again.
-  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-    const CachedSolve& e = it->solve;
-    os << "entry\n";
-    os << "board " << e.n << ' ' << e.edges.size() << ' ' << e.k << ' '
-       << e.num_attackers << ' ' << (e.exact_form ? 1 : 0) << '\n';
-    os << "solver " << e.solver << '\n';
-    os << "params " << format_double(e.tolerance) << ' ' << e.max_iterations
-       << ' ' << format_double(e.wall_clock_seconds) << ' '
-       << e.oracle_node_budget << '\n';
-    os << "edges";
-    for (const graph::Edge& edge : e.edges)
-      os << ' ' << edge.u << ' ' << edge.v;
-    os << '\n';
-    os << "weights " << e.weights.size();
-    for (double w : e.weights) os << ' ' << format_double(w);
-    os << '\n';
-    os << "status " << e.iterations << ' ' << format_double(e.residual)
-       << '\n';
-    os << "message " << e.message << '\n';
-    os << "value " << format_double(e.value) << ' ' << format_double(e.lower)
-       << ' ' << format_double(e.upper) << '\n';
-    os << "attempt " << format_double(e.attempt_value) << ' '
-       << format_double(e.attempt_lower) << ' '
-       << format_double(e.attempt_upper) << '\n';
-    os << "profiles " << (e.has_profiles ? 1 : 0) << '\n';
-    if (e.has_profiles) {
-      os << "defender " << e.defender_support.size();
-      for (double p : e.defender_probs) os << ' ' << format_double(p);
-      os << '\n';
-      for (const core::Tuple& t : e.defender_support) {
-        os << "tuple " << t.size();
-        for (graph::EdgeId edge : t) os << ' ' << edge;
-        os << '\n';
-      }
-      os << "attacker " << e.attacker_support.size();
-      for (std::size_t i = 0; i < e.attacker_support.size(); ++i)
-        os << ' ' << e.attacker_support[i] << ' '
-           << format_double(e.attacker_probs[i]);
-      os << '\n';
-    }
-    std::size_t checkpoint_lines = 0;
-    for (char c : e.checkpoint_text)
-      if (c == '\n') ++checkpoint_lines;
-    os << "checkpoint " << checkpoint_lines << '\n';
-    os << e.checkpoint_text;
-    os << "end\n";
-  }
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it)
+    append_entry_block(os, it->solve);
   return os.str();
+}
+
+std::vector<std::string> SolveCache::to_record_texts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> records;
+  records.reserve(lru_.size());
+  // Same LRU-first order as to_text: replaying the records through
+  // merge_text reconstructs the same recency order, and a torn tail
+  // costs the most recently used entries last-written, never the whole
+  // store.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    std::ostringstream os;
+    os << "defender-cache v" << kCacheFormatVersion << '\n';
+    os << "entries 1\n";
+    append_entry_block(os, it->solve);
+    records.push_back(os.str());
+  }
+  return records;
 }
 
 Status SolveCache::merge_text(const std::string& text) {
@@ -651,6 +679,33 @@ Status SolveCache::merge_text(const std::string& text) {
     store_locked(key, std::move(e));
   }
 
+  return Status::make_ok();
+}
+
+Status save_cache_file(const std::string& path, const SolveCache& cache,
+                       const io::AtomicWriteOptions& opts) {
+  return io::save_record_artifact(path, kCacheArtifactFormat,
+                                  cache.to_record_texts(), opts);
+}
+
+Status load_cache_file(const std::string& path, SolveCache* cache,
+                       io::LoadReport* report) {
+  io::LoadOptions load;
+  // Probe each record with the real parser (into a scratch cache) before
+  // accepting it: a record whose checksum verifies but whose content the
+  // store parser rejects truncates the candidate there, the same as a
+  // torn tail.
+  load.validate = [](const std::string& record) {
+    SolveCache probe(CacheConfig{.capacity = kMaxCacheParseEntries});
+    return probe.merge_text(record);
+  };
+  Solved<std::vector<std::string>> records =
+      io::load_record_artifact(path, kCacheArtifactFormat, load, report);
+  if (!records.ok()) return records.status;
+  for (const std::string& record : records.result) {
+    const Status merged = cache->merge_text(record);
+    if (!merged.ok()) return merged;
+  }
   return Status::make_ok();
 }
 

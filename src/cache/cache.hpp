@@ -56,6 +56,7 @@
 #include "core/configuration.hpp"
 #include "core/status.hpp"
 #include "graph/graph.hpp"
+#include "io/durable.hpp"
 #include "obs/metrics.hpp"
 
 namespace defender::cache {
@@ -200,6 +201,13 @@ class SolveCache {
   /// reconstructs the same recency order).
   std::string to_text() const;
 
+  /// Per-entry serialization for the record-framed durable store: one
+  /// complete single-entry "defender-cache v1" document per entry, in the
+  /// same LRU-first order as to_text(). Each record stands alone, so a
+  /// torn store salvages its intact prefix entry by entry
+  /// (docs/DURABILITY.md).
+  std::vector<std::string> to_record_texts() const;
+
   /// Parses a persistent store and inserts every entry. Hardened:
   /// malformed input returns kInvalidInput with the offending 1-based
   /// line number and leaves already-merged entries in place.
@@ -237,5 +245,25 @@ class SolveCache {
 /// same text make_key derives at probe time (%.17g round-trips make this
 /// bit-stable across save/load).
 CacheKey key_from_entry(const CachedSolve& entry);
+
+/// Envelope format tag for cache-store artifacts on disk.
+inline constexpr std::string_view kCacheArtifactFormat = "defender-cache";
+
+/// Durably persists the cache as a record-framed artifact (one record per
+/// entry, CRC32C per record) published with the atomic dual-generation
+/// protocol. kIoError names the path; the previous on-disk generation is
+/// never damaged by a failed save.
+Status save_cache_file(const std::string& path, const SolveCache& cache,
+                       const io::AtomicWriteOptions& opts = {});
+
+/// Loads a persistent store into `cache` with recovery: a torn or
+/// bit-rotted current generation falls back to a complete `<path>.tmp` or
+/// `<path>.prev` (quarantining the corrupt file), and when no complete
+/// generation survives, the intact record prefix is salvaged. Legacy
+/// unwrapped "defender-cache v1" files read through transparently.
+/// Already-merged entries stay merged on a non-kOk return, matching
+/// merge_text.
+Status load_cache_file(const std::string& path, SolveCache* cache,
+                       io::LoadReport* report = nullptr);
 
 }  // namespace defender::cache

@@ -275,4 +275,31 @@ Solved<SolverCheckpoint> try_parse_checkpoint(const std::string& text) {
   return out;
 }
 
+Status save_checkpoint_file(const std::string& path,
+                            const SolverCheckpoint& checkpoint,
+                            const io::AtomicWriteOptions& opts) {
+  return io::save_artifact(path, kCheckpointArtifactFormat,
+                           to_text(checkpoint), opts);
+}
+
+Solved<SolverCheckpoint> load_checkpoint_file(const std::string& path,
+                                              io::LoadReport* report) {
+  io::LoadOptions load;
+  // The probe parse doubles as the acceptance test: a candidate file only
+  // counts as a loadable generation if the real checkpoint parser takes
+  // it, so corruption that slips past the envelope (legacy files, a bit
+  // flip landing in the header) still cannot be returned.
+  load.validate = [](const std::string& payload) {
+    return try_parse_checkpoint(payload).status;
+  };
+  Solved<std::string> payload =
+      io::load_artifact(path, kCheckpointArtifactFormat, load, report);
+  if (!payload.ok()) {
+    Solved<SolverCheckpoint> out;
+    out.status = payload.status;
+    return out;
+  }
+  return try_parse_checkpoint(payload.result);
+}
+
 }  // namespace defender::core

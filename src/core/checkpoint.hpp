@@ -32,6 +32,7 @@
 #include "core/configuration.hpp"
 #include "core/status.hpp"
 #include "graph/graph.hpp"
+#include "io/durable.hpp"
 
 namespace defender::core {
 
@@ -132,5 +133,24 @@ struct ResumeHooks {
   /// path — including kOk — so a killed solve can always continue.
   SolverCheckpoint* capture = nullptr;
 };
+
+/// Envelope format tag for checkpoint artifacts on disk.
+inline constexpr std::string_view kCheckpointArtifactFormat =
+    "defender-checkpoint";
+
+/// Durably persists a checkpoint: CRC32C envelope + atomic dual-generation
+/// write (docs/DURABILITY.md). kIoError names the path on any failure —
+/// the previous on-disk generation is never damaged.
+Status save_checkpoint_file(const std::string& path,
+                            const SolverCheckpoint& checkpoint,
+                            const io::AtomicWriteOptions& opts = {});
+
+/// Loads a checkpoint with recovery: corrupt current generations are
+/// quarantined to `<path>.corrupt` and the load falls back to a complete
+/// `<path>.tmp` or `<path>.prev`; legacy unwrapped checkpoint files read
+/// through transparently. `report` (optional) receives the recovery story.
+Solved<SolverCheckpoint> load_checkpoint_file(const std::string& path,
+                                              io::LoadReport* report =
+                                                  nullptr);
 
 }  // namespace defender::core

@@ -48,6 +48,11 @@ enum class StatusCode {
   /// high watermark or a per-client quota tripped. The rejection carries
   /// a retry-after hint; the job was never enqueued, so retrying is safe.
   kOverloaded,
+  /// A filesystem operation failed (open/write/fsync/rename), or a durable
+  /// artifact on disk was torn/bit-rotted beyond what recovery could
+  /// repair. The message names the path. Solver state is unaffected —
+  /// this code only ever comes out of the io layer and its callers.
+  kIoError,
 };
 
 /// Every StatusCode, in enum order. The compile-time audit below keeps
@@ -61,6 +66,7 @@ inline constexpr StatusCode kAllStatusCodes[] = {
     StatusCode::kInvalidInput,
     StatusCode::kCancelled,
     StatusCode::kOverloaded,
+    StatusCode::kIoError,
 };
 inline constexpr std::size_t kStatusCodeCount =
     sizeof(kAllStatusCodes) / sizeof(kAllStatusCodes[0]);
@@ -76,6 +82,7 @@ constexpr const char* to_string(StatusCode code) {
     case StatusCode::kInvalidInput: return "invalid-input";
     case StatusCode::kCancelled: return "cancelled";
     case StatusCode::kOverloaded: return "overloaded";
+    case StatusCode::kIoError: return "io-error";
   }
   return "unknown";
 }
@@ -112,7 +119,7 @@ constexpr bool status_codes_round_trip() {
 }
 }  // namespace status_detail
 static_assert(kStatusCodeCount ==
-                  static_cast<std::size_t>(StatusCode::kOverloaded) + 1,
+                  static_cast<std::size_t>(StatusCode::kIoError) + 1,
               "kAllStatusCodes must list every StatusCode");
 static_assert(status_detail::status_codes_round_trip(),
               "every StatusCode must round-trip through to_string / "

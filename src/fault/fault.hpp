@@ -34,6 +34,19 @@
 //                     solve, so the engine watchdog must kill and degrade
 //                     that job while the rest of the batch proceeds
 //                     (evaluated by src/engine, not the solvers).
+//   kIoShortWrite     cuts an artifact write short at a deterministic
+//                     byte offset, leaving a torn temp sibling — the
+//                     atomic-rename protocol must keep the previous
+//                     generation readable (evaluated by src/io).
+//   kIoEnospc         simulated ENOSPC mid-write of an artifact temp
+//                     sibling; same debris shape as a short write but
+//                     reported as a disk-full error.
+//   kIoRenameFail     fails the final rename that publishes an artifact;
+//                     the complete temp sibling is left for the recovery
+//                     loader to adopt.
+//   kIoBitFlip        silently flips one bit of the outgoing artifact
+//                     image; the write reports success and only the
+//                     CRC32C envelope can catch it at load time.
 //
 // Every decision is a pure function of (plan seed, site, per-site call
 // counter), so a fault schedule is fully described by its plan — a failing
@@ -62,6 +75,10 @@ enum class FaultSite {
   kClockSkew,
   kDeadlineStarve,
   kWorkerStall,
+  kIoShortWrite,
+  kIoEnospc,
+  kIoRenameFail,
+  kIoBitFlip,
 };
 
 inline constexpr FaultSite kAllFaultSites[] = {
@@ -69,7 +86,9 @@ inline constexpr FaultSite kAllFaultSites[] = {
     FaultSite::kOracleGarble,    FaultSite::kMassPerturb,
     FaultSite::kLpPivotPerturb,  FaultSite::kLpForceUnstable,
     FaultSite::kClockSkew,       FaultSite::kDeadlineStarve,
-    FaultSite::kWorkerStall,
+    FaultSite::kWorkerStall,     FaultSite::kIoShortWrite,
+    FaultSite::kIoEnospc,        FaultSite::kIoRenameFail,
+    FaultSite::kIoBitFlip,
 };
 inline constexpr std::size_t kFaultSiteCount =
     sizeof(kAllFaultSites) / sizeof(kAllFaultSites[0]);
@@ -86,6 +105,10 @@ constexpr const char* to_string(FaultSite site) {
     case FaultSite::kClockSkew: return "clock-skew";
     case FaultSite::kDeadlineStarve: return "deadline-starve";
     case FaultSite::kWorkerStall: return "worker-stall";
+    case FaultSite::kIoShortWrite: return "io-short-write";
+    case FaultSite::kIoEnospc: return "io-enospc";
+    case FaultSite::kIoRenameFail: return "io-rename-fail";
+    case FaultSite::kIoBitFlip: return "io-bit-flip";
   }
   return "unknown";
 }
@@ -119,7 +142,7 @@ constexpr bool fault_sites_round_trip() {
 }
 }  // namespace detail
 static_assert(kFaultSiteCount ==
-                  static_cast<std::size_t>(FaultSite::kWorkerStall) + 1,
+                  static_cast<std::size_t>(FaultSite::kIoBitFlip) + 1,
               "kAllFaultSites must list every FaultSite");
 static_assert(detail::fault_sites_round_trip(),
               "every FaultSite must round-trip through to_string / "

@@ -1,0 +1,212 @@
+#include "io/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace defender::io {
+
+namespace {
+
+Status io_error(std::string message) {
+  return Status::make(StatusCode::kIoError, std::move(message));
+}
+
+std::string errno_text() { return std::strerror(errno); }
+
+/// Directory that contains `path` ("." for a bare filename).
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+/// fsyncs the directory containing `path`, making a rename inside it
+/// durable. Required by POSIX for the rename to survive power loss; a
+/// plain rename is only guaranteed ordered, not persisted.
+Status fsync_parent_dir(const std::string& path) {
+  const std::string dir = parent_dir(path);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0)
+    return io_error("cannot open directory '" + dir +
+                    "' for fsync: " + errno_text());
+  Status status = Status::make_ok();
+  if (::fsync(fd) != 0)
+    status = io_error("fsync of directory '" + dir +
+                      "' failed: " + errno_text());
+  ::close(fd);
+  return status;
+}
+
+/// Full write loop (write(2) may write short without error under signals
+/// or quota). Returns bytes written; < size means a hard error.
+std::size_t write_all(int fd, const char* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;
+    done += static_cast<std::size_t>(n);
+  }
+  return done;
+}
+
+/// Writes `bytes` to a freshly-truncated `path`, optionally fsyncing.
+/// `limit` < bytes.size() simulates a short write / mid-write kill: the
+/// file is left holding exactly the prefix.
+Status write_out(const std::string& path, std::string_view bytes,
+                 std::size_t limit, bool fsync) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0)
+    return io_error("cannot open '" + path +
+                    "' for writing: " + errno_text());
+  const std::size_t want = limit < bytes.size() ? limit : bytes.size();
+  Status status = Status::make_ok();
+  if (write_all(fd, bytes.data(), want) != want)
+    status = io_error("write to '" + path + "' failed: " + errno_text());
+  if (status.ok() && fsync && ::fsync(fd) != 0)
+    status = io_error("fsync of '" + path + "' failed: " + errno_text());
+  if (::close(fd) != 0 && status.ok())
+    status = io_error("close of '" + path + "' failed: " + errno_text());
+  return status;
+}
+
+}  // namespace
+
+Status atomic_write_file(const std::string& path, std::string_view bytes,
+                         const AtomicWriteOptions& opts) {
+  // Evaluate every io-* site exactly once per call, in fixed order, no
+  // matter which (if any) fires — per-site counters stay aligned across
+  // runs, so a failing plan replays bit-for-bit.
+  const bool flip = fault::fault_fires(opts.fault, fault::FaultSite::kIoBitFlip);
+  const bool torn =
+      fault::fault_fires(opts.fault, fault::FaultSite::kIoShortWrite);
+  const bool enospc =
+      fault::fault_fires(opts.fault, fault::FaultSite::kIoEnospc);
+  const bool rename_fails =
+      fault::fault_fires(opts.fault, fault::FaultSite::kIoRenameFail);
+
+  const std::string tmp = temp_path(path);
+
+  // Silent bit rot: flip one bit of the outgoing image and carry on as if
+  // nothing happened. Only the checksum envelope can catch this.
+  std::string flipped;
+  std::string_view image = bytes;
+  if (flip && !bytes.empty()) {
+    flipped.assign(bytes);
+    const std::uint64_t draw = opts.fault->aux(fault::FaultSite::kIoBitFlip);
+    const std::size_t pos = static_cast<std::size_t>(draw % flipped.size());
+    flipped[pos] = static_cast<char>(
+        static_cast<unsigned char>(flipped[pos]) ^
+        static_cast<unsigned char>(1u << ((draw >> 32) % 8)));
+    image = flipped;
+  }
+
+  // A short write or ENOSPC kills the temp write partway and leaves the
+  // partial sibling as debris — the destination is never touched.
+  if (torn || enospc) {
+    const auto site = torn ? fault::FaultSite::kIoShortWrite
+                           : fault::FaultSite::kIoEnospc;
+    const std::size_t cut =
+        image.empty()
+            ? 0
+            : static_cast<std::size_t>(opts.fault->aux(site) % image.size());
+    (void)write_out(tmp, image, cut, /*fsync=*/false);
+    return io_error(std::string("injected ") +
+                    fault::to_string(site) + " writing '" + path + "' (" +
+                    std::to_string(cut) + "/" +
+                    std::to_string(image.size()) + " bytes)");
+  }
+
+  // Simulated SIGKILL mid-write of the temp sibling.
+  if (opts.crash_point == CrashPoint::kDuringTempWrite) {
+    (void)write_out(tmp, image, opts.crash_byte, /*fsync=*/false);
+    return io_error("simulated crash writing '" + tmp + "' at byte " +
+                    std::to_string(opts.crash_byte));
+  }
+
+  Status status = write_out(tmp, image, image.size(), opts.fsync);
+  if (!status.ok()) return status;
+
+  if (opts.crash_point == CrashPoint::kAfterTempWrite)
+    return io_error("simulated crash after temp write of '" + tmp + "'");
+
+  // Dual-generation: move the current generation aside before the final
+  // rename so a torn/bit-rotted new current always has a complete
+  // predecessor to fall back to.
+  if (opts.keep_backup && file_exists(path)) {
+    status = rename_file(path, backup_path(path), opts.fsync);
+    if (!status.ok()) return status;
+  }
+
+  if (opts.crash_point == CrashPoint::kAfterBackupRename)
+    return io_error("simulated crash before final rename of '" + path + "'");
+
+  if (rename_fails)
+    return io_error("injected io-rename-fail publishing '" + path + "'");
+
+  status = rename_file(tmp, path, opts.fsync);
+  if (!status.ok()) return status;
+
+  if (opts.crash_point == CrashPoint::kAfterFinalRename)
+    return io_error("simulated crash after final rename of '" + path + "'");
+
+  return Status::make_ok();
+}
+
+Status write_file_checked(const std::string& path, std::string_view bytes) {
+  return write_out(path, bytes, bytes.size(), /*fsync=*/false);
+}
+
+Solved<std::string> read_file(const std::string& path) {
+  Solved<std::string> out;
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    out.status = io_error("cannot open '" + path +
+                          "' for reading: " + errno_text());
+    return out;
+  }
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      out.status = io_error("read of '" + path + "' failed: " + errno_text());
+      ::close(fd);
+      return out;
+    }
+    if (n == 0) break;
+    out.result.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status rename_file(const std::string& from, const std::string& to,
+                   bool fsync_dir) {
+  if (::rename(from.c_str(), to.c_str()) != 0)
+    return io_error("rename '" + from + "' -> '" + to +
+                    "' failed: " + errno_text());
+  if (fsync_dir) return fsync_parent_dir(to);
+  return Status::make_ok();
+}
+
+Status remove_file(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT)
+    return io_error("unlink of '" + path + "' failed: " + errno_text());
+  return Status::make_ok();
+}
+
+}  // namespace defender::io

@@ -1,0 +1,118 @@
+// Atomic, fsync-durable file replacement.
+//
+// The classic crash-safe publish protocol (write temp sibling → fsync the
+// file → rename into place → fsync the directory), plus two extensions
+// the rest of the durability layer depends on:
+//
+//   * dual-generation writes: when the destination already exists it is
+//     first renamed to `<path>.prev`, so a reader always has a complete
+//     previous generation to fall back to if the new current file turns
+//     out torn or bit-rotted (io/durable.hpp implements that fallback);
+//
+//   * deterministic failure injection: the four io-* FaultSites from
+//     src/fault (short write, ENOSPC, rename failure, silent bit flip)
+//     and a CrashPoint that simulates SIGKILL at a chosen protocol stage
+//     or byte offset, leaving exactly the on-disk debris a real crash
+//     would. stress_defender --io-chaos drives both to prove the
+//     write/recover pair never loses an acknowledged generation.
+//
+// Failure semantics mirror the real world: an injected short write,
+// ENOSPC, or rename failure returns kIoError and leaves the destination
+// untouched (debris only in `<path>.tmp`); an injected bit flip is
+// SILENT — the write reports success and the corruption is only caught
+// by the checksum envelope at load time, which is the point.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "core/status.hpp"
+#include "fault/fault.hpp"
+
+namespace defender::io {
+
+/// Temp-sibling / previous-generation / quarantine suffixes. All artifact
+/// machinery derives sibling names from these so tests and operators see
+/// one convention.
+inline constexpr std::string_view kTempSuffix = ".tmp";
+inline constexpr std::string_view kBackupSuffix = ".prev";
+inline constexpr std::string_view kQuarantineSuffix = ".corrupt";
+
+inline std::string temp_path(const std::string& path) {
+  return path + std::string(kTempSuffix);
+}
+inline std::string backup_path(const std::string& path) {
+  return path + std::string(kBackupSuffix);
+}
+inline std::string quarantine_path(const std::string& path) {
+  return path + std::string(kQuarantineSuffix);
+}
+
+/// Simulated SIGKILL stage for crash-durability sweeps. The write stops
+/// dead at the named point, returns kIoError, and leaves exactly the
+/// debris a real kill would: no cleanup, no rollback.
+enum class CrashPoint {
+  kNone,
+  /// Killed mid-write of the temp sibling after `crash_byte` bytes.
+  kDuringTempWrite,
+  /// Killed after the temp file is complete (and fsynced) but before any
+  /// rename.
+  kAfterTempWrite,
+  /// Killed between the backup rename (path -> path.prev) and the final
+  /// rename — the window where the destination name does not exist.
+  kAfterBackupRename,
+  /// Killed after the final rename: the new generation is durable even
+  /// though the writer never got to report success.
+  kAfterFinalRename,
+};
+
+struct AtomicWriteOptions {
+  /// fsync the temp file and the directory. Off only for tests/sweeps
+  /// where durability against power loss is not under test (the rename
+  /// ordering is exercised either way).
+  bool fsync = true;
+  /// Keep the previous generation as `<path>.prev` (dual-generation
+  /// writes). On by default; the recovery loader depends on it.
+  bool keep_backup = true;
+  /// Deterministic fault injection for the io-* sites; null = no faults.
+  fault::FaultContext* fault = nullptr;
+  /// Simulated kill stage (tests only).
+  CrashPoint crash_point = CrashPoint::kNone;
+  /// Byte offset for CrashPoint::kDuringTempWrite.
+  std::size_t crash_byte = 0;
+};
+
+/// Atomically replaces `path` with `bytes` via the temp-sibling protocol.
+/// On success the new generation is durable (modulo opts.fsync) and the
+/// prior generation, if any, survives as `<path>.prev`. On failure the
+/// prior current file is never damaged — at worst a `<path>.tmp` sibling
+/// is left behind (and, for a crash inside the rename window, the current
+/// name may be missing while `.tmp`/`.prev` hold complete copies; the
+/// recovery loader repairs both). kIoError messages always name the path.
+Status atomic_write_file(const std::string& path, std::string_view bytes,
+                         const AtomicWriteOptions& opts = {});
+
+/// Non-atomic but *checked* write for low-stakes outputs (report files,
+/// the serve port file): every write and the final flush/close are
+/// verified, so a short write can never be reported as success. kIoError
+/// names the path.
+Status write_file_checked(const std::string& path, std::string_view bytes);
+
+/// Reads a whole file. kIoError (naming the path) when it cannot be
+/// opened or read.
+Solved<std::string> read_file(const std::string& path);
+
+/// True when `path` exists (any file type).
+bool file_exists(const std::string& path);
+
+/// rename(2) wrapper; kIoError names both paths. When `fsync_dir` is set
+/// the destination's parent directory is fsynced so the rename itself is
+/// durable.
+Status rename_file(const std::string& from, const std::string& to,
+                   bool fsync_dir);
+
+/// Best-effort unlink; missing file is not an error.
+Status remove_file(const std::string& path);
+
+}  // namespace defender::io

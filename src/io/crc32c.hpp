@@ -1,0 +1,57 @@
+// CRC32C (Castagnoli) — the checksum under every durable artifact.
+//
+// The artifact envelope (io/envelope.hpp) seals its payload with CRC32C,
+// the same polynomial iSCSI, ext4 metadata, and LevelDB/RocksDB use for
+// torn-write and bit-rot detection: it detects all single-bit errors and
+// all burst errors up to 32 bits, which is exactly the failure shape a
+// short write or a flipped sector produces. Plain table-driven software
+// implementation (constexpr table, no intrinsics) so it is portable and
+// usable in constant expressions; artifact files are small enough
+// (checkpoints, cache stores, drain manifests) that hardware CRC would
+// be noise next to the fsync cost (docs/DURABILITY.md has numbers).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace defender::io {
+
+namespace detail {
+
+/// Reflected Castagnoli polynomial (0x1EDC6F41 bit-reversed).
+inline constexpr std::uint32_t kCrc32cPolyReflected = 0x82F63B78u;
+
+constexpr std::array<std::uint32_t, 256> make_crc32c_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit)
+      crc = (crc & 1u) != 0 ? kCrc32cPolyReflected ^ (crc >> 1) : crc >> 1;
+    table[i] = crc;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32cTable =
+    make_crc32c_table();
+
+}  // namespace detail
+
+/// CRC32C of `data`. The well-known check value holds:
+/// crc32c("123456789") == 0xE3069283 (asserted below, so a table or
+/// polynomial regression cannot compile).
+constexpr std::uint32_t crc32c(std::string_view data) {
+  std::uint32_t crc = ~std::uint32_t{0};
+  for (const char ch : data)
+    crc = detail::kCrc32cTable[(crc ^ static_cast<unsigned char>(ch)) &
+                               0xFFu] ^
+          (crc >> 8);
+  return ~crc;
+}
+
+static_assert(crc32c("123456789") == 0xE3069283u,
+              "CRC32C check value mismatch — wrong polynomial or table");
+static_assert(crc32c("") == 0u, "CRC32C of the empty string must be 0");
+
+}  // namespace defender::io

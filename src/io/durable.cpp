@@ -1,0 +1,301 @@
+#include "io/durable.hpp"
+
+#include "io/envelope.hpp"
+
+namespace defender::io {
+
+namespace {
+
+Status io_error(std::string message) {
+  return Status::make(StatusCode::kIoError, std::move(message));
+}
+
+void add_note(std::string* note, const std::string& line) {
+  if (!note->empty()) *note += "; ";
+  *note += line;
+}
+
+/// Moves a corrupt current generation out of the next save's way while
+/// preserving it for post-mortem. Best-effort: a failed quarantine must
+/// not block recovery (the fallback generations are still intact).
+void quarantine(const std::string& path, const LoadOptions& opts,
+                LoadReport* report) {
+  if (!opts.quarantine) return;
+  if (rename_file(path, quarantine_path(path), /*fsync_dir=*/false).ok()) {
+    report->quarantined = true;
+    add_note(&report->note,
+             "quarantined corrupt '" + path + "' to '" +
+                 quarantine_path(path) + "'");
+  }
+}
+
+/// One single-payload candidate: read, unwrap, validate. Returns kOk with
+/// the payload only when the file is provably complete AND the consumer's
+/// probe parse accepts it.
+Solved<std::string> try_candidate(const std::string& file,
+                                  std::string_view format,
+                                  const LoadOptions& opts, bool* enveloped) {
+  Solved<std::string> raw = read_file(file);
+  if (!raw.ok()) return raw;
+  Solved<UnwrappedArtifact> unwrapped = unwrap_artifact(raw.result, format);
+  if (!unwrapped.ok()) {
+    Solved<std::string> out;
+    out.status = unwrapped.status;
+    return out;
+  }
+  if (opts.validate) {
+    const Status probe = unwrapped.result.payload.empty() && !unwrapped.result.enveloped
+                             ? io_error("empty file")
+                             : opts.validate(unwrapped.result.payload);
+    if (!probe.ok()) {
+      Solved<std::string> out;
+      out.status = Status::make(StatusCode::kInvalidInput,
+                                "payload rejected by consumer parse: " +
+                                    probe.message);
+      return out;
+    }
+  }
+  *enveloped = unwrapped.result.enveloped;
+  Solved<std::string> out;
+  out.result = std::move(unwrapped.result.payload);
+  return out;
+}
+
+}  // namespace
+
+Status save_artifact(const std::string& path, std::string_view format,
+                     std::string_view payload,
+                     const AtomicWriteOptions& opts) {
+  return atomic_write_file(path, wrap_artifact(format, payload), opts);
+}
+
+Status save_record_artifact(const std::string& path, std::string_view format,
+                            const std::vector<std::string>& records,
+                            const AtomicWriteOptions& opts) {
+  return atomic_write_file(path, wrap_record_artifact(format, records), opts);
+}
+
+Solved<std::string> load_artifact(const std::string& path,
+                                  std::string_view format,
+                                  const LoadOptions& opts,
+                                  LoadReport* report) {
+  LoadReport local;
+  LoadReport* rep = report != nullptr ? report : &local;
+  *rep = LoadReport{};
+  Solved<std::string> out;
+  std::string failures;
+
+  // Current generation.
+  if (file_exists(path)) {
+    bool enveloped = false;
+    Solved<std::string> current = try_candidate(path, format, opts, &enveloped);
+    if (current.ok()) {
+      rep->source = LoadSource::kCurrent;
+      rep->enveloped = enveloped;
+      return current;
+    }
+    add_note(&failures, "'" + path + "': " + current.status.message);
+    add_note(&rep->note, "current generation rejected (" +
+                             current.status.message + ")");
+    quarantine(path, opts, rep);
+    rep->recovered = true;
+  } else {
+    add_note(&failures, "'" + path + "': missing");
+  }
+
+  // Complete-but-unpublished temp generation: finish the interrupted
+  // publish by renaming it into place.
+  const std::string tmp = temp_path(path);
+  if (opts.adopt_temp && file_exists(tmp)) {
+    bool enveloped = false;
+    Solved<std::string> adopted = try_candidate(tmp, format, opts, &enveloped);
+    if (adopted.ok()) {
+      rep->recovered = true;
+      rep->source = LoadSource::kAdoptedTemp;
+      rep->enveloped = enveloped;
+      if (rename_file(tmp, path, /*fsync_dir=*/true).ok())
+        add_note(&rep->note, "adopted complete temp '" + tmp + "'");
+      else
+        add_note(&rep->note, "loaded complete temp '" + tmp +
+                                 "' (adoption rename failed)");
+      return adopted;
+    }
+    add_note(&failures, "'" + tmp + "': " + adopted.status.message);
+  }
+
+  // Previous generation.
+  const std::string prev = backup_path(path);
+  if (file_exists(prev)) {
+    bool enveloped = false;
+    Solved<std::string> backup = try_candidate(prev, format, opts, &enveloped);
+    if (backup.ok()) {
+      rep->recovered = true;
+      rep->source = LoadSource::kBackup;
+      rep->enveloped = enveloped;
+      add_note(&rep->note, "fell back to previous generation '" + prev + "'");
+      return backup;
+    }
+    add_note(&failures, "'" + prev + "': " + backup.status.message);
+  }
+
+  out.status = io_error("no loadable generation of '" + path + "' (" +
+                        failures + ")");
+  add_note(&rep->note, "no loadable generation");
+  return out;
+}
+
+namespace {
+
+/// Outcome of probing one record-store candidate file.
+struct RecordCandidate {
+  bool readable = false;   ///< file existed and was read
+  bool header_ok = false;  ///< envelope header was usable
+  bool complete = false;   ///< every declared record intact + validated
+  bool enveloped = false;
+  std::vector<std::string> records;  ///< intact validated prefix
+  std::size_t declared = 0;
+  std::string error;
+};
+
+RecordCandidate probe_records(const std::string& file, std::string_view format,
+                              const LoadOptions& opts) {
+  RecordCandidate cand;
+  Solved<std::string> raw = read_file(file);
+  if (!raw.ok()) {
+    cand.error = raw.status.message;
+    return cand;
+  }
+  cand.readable = true;
+  Solved<UnwrappedRecords> unwrapped =
+      unwrap_record_artifact(raw.result, format);
+  if (!unwrapped.ok()) {
+    cand.error = unwrapped.status.message;
+    return cand;
+  }
+  cand.header_ok = true;
+  cand.enveloped = unwrapped.result.enveloped;
+  cand.declared = unwrapped.result.declared;
+  bool torn = unwrapped.result.torn;
+  // Consumer probe parse per record; a failing record truncates the
+  // candidate there, exactly like a torn tail (the framing after a record
+  // the consumer rejects is suspect too).
+  for (std::string& record : unwrapped.result.records) {
+    if (opts.validate) {
+      const Status probe = opts.validate(record);
+      if (!probe.ok()) {
+        torn = true;
+        if (cand.error.empty())
+          cand.error = "record " + std::to_string(cand.records.size() + 1) +
+                       " rejected by consumer parse: " + probe.message;
+        break;
+      }
+    }
+    cand.records.push_back(std::move(record));
+  }
+  if (torn && cand.error.empty())
+    cand.error = "torn tail: " +
+                 std::to_string(cand.declared - cand.records.size()) + " of " +
+                 std::to_string(cand.declared) + " records lost";
+  cand.complete = !torn;
+  return cand;
+}
+
+}  // namespace
+
+Solved<std::vector<std::string>> load_record_artifact(
+    const std::string& path, std::string_view format, const LoadOptions& opts,
+    LoadReport* report) {
+  LoadReport local;
+  LoadReport* rep = report != nullptr ? report : &local;
+  *rep = LoadReport{};
+  Solved<std::vector<std::string>> out;
+  std::string failures;
+
+  RecordCandidate current;
+  if (file_exists(path)) {
+    current = probe_records(path, format, opts);
+    if (current.complete) {
+      rep->source = LoadSource::kCurrent;
+      rep->enveloped = current.enveloped;
+      rep->salvaged = current.records.size();
+      out.result = std::move(current.records);
+      return out;
+    }
+    add_note(&failures, "'" + path + "': " + current.error);
+    add_note(&rep->note,
+             "current generation damaged (" + current.error + ")");
+    rep->recovered = true;
+  } else {
+    add_note(&failures, "'" + path + "': missing");
+  }
+
+  // A complete unpublished temp beats both the backup and any salvage:
+  // it is the newest complete generation on disk.
+  const std::string tmp = temp_path(path);
+  if (opts.adopt_temp && file_exists(tmp)) {
+    RecordCandidate adopted = probe_records(tmp, format, opts);
+    if (adopted.complete) {
+      rep->recovered = true;
+      rep->source = LoadSource::kAdoptedTemp;
+      rep->enveloped = adopted.enveloped;
+      rep->salvaged = adopted.records.size();
+      if (current.readable) quarantine(path, opts, rep);
+      if (rename_file(tmp, path, /*fsync_dir=*/true).ok())
+        add_note(&rep->note, "adopted complete temp '" + tmp + "'");
+      else
+        add_note(&rep->note, "loaded complete temp '" + tmp +
+                                 "' (adoption rename failed)");
+      out.result = std::move(adopted.records);
+      return out;
+    }
+    add_note(&failures, "'" + tmp + "': " + adopted.error);
+  }
+
+  // Complete previous generation. Preferred over the torn current's
+  // prefix: the store serializes LRU-first, so a torn tail loses the
+  // most-recently-used entries — an intact full previous generation is
+  // worth more than a cold prefix of the new one.
+  const std::string prev = backup_path(path);
+  if (file_exists(prev)) {
+    RecordCandidate backup = probe_records(prev, format, opts);
+    if (backup.complete) {
+      rep->recovered = true;
+      rep->source = LoadSource::kBackup;
+      rep->enveloped = backup.enveloped;
+      rep->salvaged = backup.records.size();
+      if (current.readable) quarantine(path, opts, rep);
+      add_note(&rep->note, "fell back to previous generation '" + prev + "'");
+      out.result = std::move(backup.records);
+      return out;
+    }
+    add_note(&failures, "'" + prev + "': " + backup.error);
+  }
+
+  // No complete generation anywhere: salvage the torn current's intact,
+  // checksum-verified prefix if it has anything in it.
+  if (current.header_ok && !current.records.empty()) {
+    rep->recovered = true;
+    rep->source = LoadSource::kCurrent;
+    rep->enveloped = current.enveloped;
+    rep->salvaged = current.records.size();
+    rep->dropped = current.declared - current.records.size();
+    add_note(&rep->note, "salvaged " + std::to_string(rep->salvaged) + " of " +
+                             std::to_string(current.declared) +
+                             " records from torn '" + path + "'");
+    out.result = std::move(current.records);
+    return out;
+  }
+  if (current.readable) quarantine(path, opts, rep);
+
+  out.status = io_error("no loadable generation of '" + path + "' (" +
+                        failures + ")");
+  add_note(&rep->note, "no loadable generation");
+  return out;
+}
+
+bool artifact_present(const std::string& path) {
+  return file_exists(path) || file_exists(temp_path(path)) ||
+         file_exists(backup_path(path));
+}
+
+}  // namespace defender::io

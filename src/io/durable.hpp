@@ -1,0 +1,123 @@
+// Durable artifact save/load: envelope + atomic replace + recovery.
+//
+// This is the layer the artifact owners (core/checkpoint, cache,
+// serve/drain) actually call. A save seals the payload in the CRC32C
+// envelope (io/envelope.hpp) and publishes it with the atomic
+// dual-generation protocol (io/atomic_file.hpp). A load walks the
+// generations newest-first and refuses to return anything that is not
+// provably complete:
+//
+//   <path>          the current generation
+//   <path>.tmp      a complete-but-unpublished generation (a crash or
+//                   injected rename failure after the temp write) —
+//                   adopted: renamed into place, zero work lost
+//   <path>.prev     the previous generation kept by dual-generation
+//                   writes — the fallback when the current file is torn
+//                   or bit-rotted
+//
+// A corrupt current generation is quarantined to `<path>.corrupt`
+// (preserved for post-mortem, out of the way of the next save) before
+// falling back. Acceptance requires BOTH the envelope checks (framing +
+// checksum) AND the caller's validator — a probe parse by the real
+// consumer — so a bit flip that happens to knock the header into
+// legacy-passthrough shape still cannot smuggle garbage through.
+//
+// Record stores (the solve cache) use the record-framed envelope: when
+// the tail is torn, a complete previous generation is preferred (the
+// store serializes LRU-first, so the torn tail holds the most valuable
+// entries — an intact older generation usually dominates the salvaged
+// prefix), and only when no complete generation survives is the intact
+// prefix salvaged record by record.
+//
+// Every recovery action is reported in LoadReport so callers can log
+// what the layer survived; "it loaded" is never silently ambiguous.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.hpp"
+#include "io/atomic_file.hpp"
+
+namespace defender::io {
+
+/// Which generation a load ultimately returned.
+enum class LoadSource {
+  /// The current file, intact (or its salvaged prefix for record stores).
+  kCurrent,
+  /// A complete `<path>.tmp` left by an interrupted publish, renamed into
+  /// place during the load.
+  kAdoptedTemp,
+  /// The `<path>.prev` previous generation.
+  kBackup,
+};
+
+/// What recovery had to do to produce the returned payload.
+struct LoadReport {
+  LoadSource source = LoadSource::kCurrent;
+  /// False when the accepted file was a legacy unwrapped artifact.
+  bool enveloped = false;
+  /// True when anything other than a clean current-generation load
+  /// happened (adoption, fallback, salvage, quarantine).
+  bool recovered = false;
+  /// True when a corrupt current generation was moved to `<path>.corrupt`.
+  bool quarantined = false;
+  /// Record stores only: records returned from / dropped off a torn tail.
+  std::size_t salvaged = 0;
+  std::size_t dropped = 0;
+  /// Human-readable recovery story for logs ("current checksum mismatch
+  /// (...); fell back to previous generation").
+  std::string note;
+};
+
+/// Probe parse by the artifact's real consumer: non-kOk rejects the
+/// candidate even if its envelope verifies.
+using ArtifactValidator = std::function<Status(const std::string& payload)>;
+
+struct LoadOptions {
+  ArtifactValidator validate;
+  /// Move a corrupt current generation to `<path>.corrupt`.
+  bool quarantine = true;
+  /// Rename a complete, valid `<path>.tmp` into place.
+  bool adopt_temp = true;
+};
+
+/// Seals `payload` in a checksummed envelope tagged `format` and publishes
+/// it atomically at `path` (previous generation kept as `<path>.prev`).
+Status save_artifact(const std::string& path, std::string_view format,
+                     std::string_view payload,
+                     const AtomicWriteOptions& opts = {});
+
+/// Record-framed variant for multi-record stores.
+Status save_record_artifact(const std::string& path, std::string_view format,
+                            const std::vector<std::string>& records,
+                            const AtomicWriteOptions& opts = {});
+
+/// Loads the newest provably-complete generation of `path` (see file
+/// comment for the walk order and quarantine/adoption side effects).
+/// kIoError when no generation passes — the message concatenates what was
+/// wrong with each candidate. `report` (optional) receives the recovery
+/// story even on failure.
+Solved<std::string> load_artifact(const std::string& path,
+                                  std::string_view format,
+                                  const LoadOptions& opts = {},
+                                  LoadReport* report = nullptr);
+
+/// Record-store variant: returns the records of the newest acceptable
+/// generation, preferring complete generations over salvaged prefixes.
+/// The validator runs per record; a record that fails it truncates the
+/// candidate at that point exactly like a torn tail. An empty store
+/// (zero records) is a valid result when the file genuinely holds zero.
+Solved<std::vector<std::string>> load_record_artifact(
+    const std::string& path, std::string_view format,
+    const LoadOptions& opts = {}, LoadReport* report = nullptr);
+
+/// True when any generation of the artifact exists on disk (current,
+/// unpublished temp, or previous) — the cold-start probe callers use
+/// before deciding to resume.
+bool artifact_present(const std::string& path);
+
+}  // namespace defender::io

@@ -1,0 +1,117 @@
+// The "defender-artifact v1" checksummed envelope.
+//
+// Every load-bearing on-disk format in this repo ("defender-checkpoint
+// v1", "defender-cache v1", "defender-drain v1") is line-oriented text
+// with hardened parsing — but none of them can tell a *complete* document
+// from a torn one: a crash mid-write leaves a prefix that at best fails
+// to parse and at worst parses as a smaller, silently wrong artifact.
+// The envelope closes that hole with byte-exact framing and a CRC32C
+// seal over the payload:
+//
+//   defender-artifact v1
+//   format <name>             e.g. defender-checkpoint
+//   bytes <N>
+//   <N raw payload bytes, verbatim>
+//   crc32c <8 lowercase hex digits>
+//   end
+//
+// A reader can therefore prove (a) the payload is exactly the N bytes the
+// writer intended (truncation detection), (b) no bit of it changed in
+// flight or at rest (CRC32C catches every single-bit flip and every
+// 32-bit burst), and (c) it is looking at the format it expects (cross-
+// format confusion is rejected before the payload parser runs).
+//
+// Record-framed variant ("defender-artifact-log v1") for multi-record
+// stores like the solve cache, where a torn tail should salvage the
+// intact prefix instead of rejecting the whole store:
+//
+//   defender-artifact-log v1
+//   format <name>
+//   records <N>
+//   record <bytes> <crc32c>   (one frame per record, then the raw bytes)
+//   ...
+//   end
+//
+// Legacy read-through: text that does not begin with an envelope header
+// is passed through verbatim (enveloped = false) so stores written before
+// this layer existed keep loading. The caller's payload validator (see
+// io/durable.hpp) is the backstop that keeps a torn *envelope header*
+// from masquerading as a legacy file.
+//
+// unwrap never throws; every corruption comes back as kInvalidInput with
+// a message naming the failure (torn payload, checksum mismatch, format
+// mismatch, trailing garbage) so recovery code can log what it survived.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.hpp"
+
+namespace defender::io {
+
+/// Envelope version written by wrap_*; unwrap_* rejects any other.
+inline constexpr std::uint32_t kArtifactEnvelopeVersion = 1;
+
+/// Cap on a declared payload/record size, bounding what a hostile header
+/// can make a reader allocate (64 MiB — an order of magnitude above the
+/// largest store the repo writes).
+inline constexpr std::size_t kMaxArtifactBytes = 64u << 20;
+
+/// Cap on a declared record count in a record-framed artifact.
+inline constexpr std::size_t kMaxArtifactRecords = 1'000'000;
+
+/// Seals `payload` in a "defender-artifact v1" envelope tagged `format`.
+std::string wrap_artifact(std::string_view format, std::string_view payload);
+
+/// Seals `records` in a "defender-artifact-log v1" record-framed envelope.
+std::string wrap_record_artifact(std::string_view format,
+                                 const std::vector<std::string>& records);
+
+/// Result of unwrapping a single-payload artifact.
+struct UnwrappedArtifact {
+  std::string payload;
+  /// False when the input carried no envelope (legacy read-through).
+  bool enveloped = false;
+  /// The format name the envelope declared (empty for legacy input).
+  std::string format;
+};
+
+/// Verifies and strips the envelope. Legacy input (no envelope header)
+/// passes through verbatim with enveloped = false. kInvalidInput when the
+/// envelope is present but torn, checksum-corrupt, of an unsupported
+/// version, tagged with a format other than `expect_format` (when
+/// non-empty), or followed by trailing garbage.
+Solved<UnwrappedArtifact> unwrap_artifact(std::string_view text,
+                                          std::string_view expect_format);
+
+/// Result of unwrapping a record-framed artifact.
+struct UnwrappedRecords {
+  std::vector<std::string> records;
+  bool enveloped = false;
+  std::string format;
+  /// Records the header declared (== records.size() when intact; for
+  /// legacy input, 1).
+  std::size_t declared = 0;
+  /// True when the tail was torn or corrupt and `records` holds only the
+  /// intact, checksum-verified prefix.
+  bool torn = false;
+  /// declared - records.size() when torn.
+  std::size_t dropped = 0;
+};
+
+/// Verifies and strips a record-framed envelope. A torn or bit-rotted
+/// tail does NOT fail the call: every record whose frame and checksum
+/// verify is returned (in order) with torn = true and the drop count —
+/// the caller decides whether a salvaged prefix beats falling back to a
+/// previous generation (io/durable.hpp prefers the complete previous
+/// generation when one exists). kInvalidInput only when the header
+/// itself is unusable (unsupported version, format mismatch). Legacy
+/// input passes through as one verbatim record.
+Solved<UnwrappedRecords> unwrap_record_artifact(
+    std::string_view text, std::string_view expect_format);
+
+}  // namespace defender::io

@@ -298,4 +298,29 @@ Solved<DrainManifest> try_parse_drain_manifest(const std::string& text) {
   return out;
 }
 
+Status save_drain_manifest_file(const std::string& path,
+                                const DrainManifest& manifest,
+                                const io::AtomicWriteOptions& opts) {
+  return io::save_artifact(path, kDrainArtifactFormat, to_text(manifest),
+                           opts);
+}
+
+Solved<DrainManifest> load_drain_manifest_file(const std::string& path,
+                                               io::LoadReport* report) {
+  io::LoadOptions load;
+  // A candidate only counts as loadable if the real manifest parser (which
+  // also validates every embedded checkpoint) accepts it.
+  load.validate = [](const std::string& payload) {
+    return try_parse_drain_manifest(payload).status;
+  };
+  Solved<std::string> payload =
+      io::load_artifact(path, kDrainArtifactFormat, load, report);
+  if (!payload.ok()) {
+    Solved<DrainManifest> out;
+    out.status = payload.status;
+    return out;
+  }
+  return try_parse_drain_manifest(payload.result);
+}
+
 }  // namespace defender::serve

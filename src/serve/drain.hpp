@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/status.hpp"
+#include "io/durable.hpp"
 #include "serve/protocol.hpp"
 
 namespace defender::serve {
@@ -58,5 +59,21 @@ std::string to_text(const DrainManifest& manifest);
 /// validated with core::try_parse_checkpoint at parse time, so a manifest
 /// that parses kOk is fully resumable.
 Solved<DrainManifest> try_parse_drain_manifest(const std::string& text);
+
+/// Envelope format tag for drain-manifest artifacts on disk.
+inline constexpr std::string_view kDrainArtifactFormat = "defender-drain";
+
+/// Durably persists a manifest: CRC32C envelope + atomic dual-generation
+/// write, so a crash mid-drain can never leave a torn manifest as the
+/// only copy of the batch's unfinished jobs (docs/DURABILITY.md).
+Status save_drain_manifest_file(const std::string& path,
+                                const DrainManifest& manifest,
+                                const io::AtomicWriteOptions& opts = {});
+
+/// Loads a manifest with recovery (quarantine, temp adoption, `.prev`
+/// fallback) and transparent legacy read-through of unwrapped files.
+Solved<DrainManifest> load_drain_manifest_file(const std::string& path,
+                                               io::LoadReport* report =
+                                                   nullptr);
 
 }  // namespace defender::serve

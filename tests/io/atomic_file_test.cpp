@@ -1,0 +1,393 @@
+// Atomic publish protocol and recovery walk, pinned stage by stage: the
+// exact on-disk debris each simulated crash / injected io-* fault leaves,
+// and how load_artifact / load_record_artifact repair it (adoption,
+// quarantine, `.prev` fallback, prefix salvage) — docs/DURABILITY.md.
+#include "io/atomic_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "io/durable.hpp"
+#include "io/envelope.hpp"
+
+namespace defender::io {
+namespace {
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/defender-io-test-XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    // Best-effort cleanup of the handful of fixed names tests use.
+    for (const char* name :
+         {"a.txt", "a.txt.tmp", "a.txt.prev", "a.txt.corrupt"}) {
+      unlink((dir_ + "/" + name).c_str());
+    }
+    rmdir(dir_.c_str());
+  }
+
+  std::string path() const { return dir_ + "/a.txt"; }
+
+  static AtomicWriteOptions fast() {
+    AtomicWriteOptions o;
+    o.fsync = false;  // durability-against-power-loss not under test here
+    return o;
+  }
+
+  std::string dir_;
+};
+
+std::string must_read(const std::string& p) {
+  const Solved<std::string> got = read_file(p);
+  EXPECT_TRUE(got.ok()) << got.status.describe();
+  return got.result;
+}
+
+// ---------------------------------------------------------------------------
+// The happy path and the checked primitives
+
+TEST_F(AtomicFileTest, FirstWriteCreatesOnlyTheFile) {
+  ASSERT_TRUE(atomic_write_file(path(), "gen1\n", fast()).ok());
+  EXPECT_EQ(must_read(path()), "gen1\n");
+  EXPECT_FALSE(file_exists(temp_path(path())));
+  EXPECT_FALSE(file_exists(backup_path(path())));
+}
+
+TEST_F(AtomicFileTest, SecondWriteKeepsThePreviousGeneration) {
+  ASSERT_TRUE(atomic_write_file(path(), "gen1\n", fast()).ok());
+  ASSERT_TRUE(atomic_write_file(path(), "gen2\n", fast()).ok());
+  EXPECT_EQ(must_read(path()), "gen2\n");
+  EXPECT_EQ(must_read(backup_path(path())), "gen1\n");
+  EXPECT_FALSE(file_exists(temp_path(path())));
+}
+
+TEST_F(AtomicFileTest, KeepBackupOffLeavesNoPrev) {
+  ASSERT_TRUE(atomic_write_file(path(), "gen1\n", fast()).ok());
+  AtomicWriteOptions o = fast();
+  o.keep_backup = false;
+  ASSERT_TRUE(atomic_write_file(path(), "gen2\n", o).ok());
+  EXPECT_EQ(must_read(path()), "gen2\n");
+  EXPECT_FALSE(file_exists(backup_path(path())));
+}
+
+TEST_F(AtomicFileTest, CheckedWriteAndReadRoundTrip) {
+  std::string bytes = "line\n";
+  bytes += '\0';
+  bytes += "tail";
+  ASSERT_TRUE(write_file_checked(path(), bytes).ok());
+  EXPECT_EQ(must_read(path()), bytes);
+}
+
+TEST_F(AtomicFileTest, ReadOfMissingFileIsIoErrorNamingThePath) {
+  const Solved<std::string> got = read_file(path());
+  EXPECT_EQ(got.status.code, StatusCode::kIoError);
+  EXPECT_NE(got.status.message.find(path()), std::string::npos)
+      << got.status.message;
+}
+
+TEST_F(AtomicFileTest, WriteIntoMissingDirectoryFailsLoudly) {
+  const Status s =
+      atomic_write_file(dir_ + "/no-such-dir/a.txt", "x", fast());
+  EXPECT_EQ(s.code, StatusCode::kIoError);
+}
+
+// ---------------------------------------------------------------------------
+// Simulated SIGKILL at each protocol stage: exact debris, old generation
+// never damaged.
+
+TEST_F(AtomicFileTest, CrashDuringTempWriteLeavesTornTempOnly) {
+  ASSERT_TRUE(atomic_write_file(path(), "gen1\n", fast()).ok());
+  AtomicWriteOptions o = fast();
+  o.crash_point = CrashPoint::kDuringTempWrite;
+  o.crash_byte = 3;
+  EXPECT_EQ(atomic_write_file(path(), "gen2!\n", o).code,
+            StatusCode::kIoError);
+  EXPECT_EQ(must_read(path()), "gen1\n");                // untouched
+  EXPECT_EQ(must_read(temp_path(path())), "gen");        // torn prefix
+  EXPECT_FALSE(file_exists(backup_path(path())));
+}
+
+TEST_F(AtomicFileTest, CrashAfterTempWriteLeavesCompleteUnpublishedTemp) {
+  ASSERT_TRUE(atomic_write_file(path(), "gen1\n", fast()).ok());
+  AtomicWriteOptions o = fast();
+  o.crash_point = CrashPoint::kAfterTempWrite;
+  EXPECT_EQ(atomic_write_file(path(), "gen2\n", o).code,
+            StatusCode::kIoError);
+  EXPECT_EQ(must_read(path()), "gen1\n");
+  EXPECT_EQ(must_read(temp_path(path())), "gen2\n");
+}
+
+TEST_F(AtomicFileTest, CrashAfterBackupRenameLeavesNoCurrentName) {
+  ASSERT_TRUE(atomic_write_file(path(), "gen1\n", fast()).ok());
+  AtomicWriteOptions o = fast();
+  o.crash_point = CrashPoint::kAfterBackupRename;
+  EXPECT_EQ(atomic_write_file(path(), "gen2\n", o).code,
+            StatusCode::kIoError);
+  // The window where the destination name is briefly absent — both
+  // generations still exist under sibling names.
+  EXPECT_FALSE(file_exists(path()));
+  EXPECT_EQ(must_read(backup_path(path())), "gen1\n");
+  EXPECT_EQ(must_read(temp_path(path())), "gen2\n");
+}
+
+TEST_F(AtomicFileTest, CrashAfterFinalRenameIsDurableDespiteTheError) {
+  ASSERT_TRUE(atomic_write_file(path(), "gen1\n", fast()).ok());
+  AtomicWriteOptions o = fast();
+  o.crash_point = CrashPoint::kAfterFinalRename;
+  EXPECT_EQ(atomic_write_file(path(), "gen2\n", o).code,
+            StatusCode::kIoError);
+  EXPECT_EQ(must_read(path()), "gen2\n");
+  EXPECT_EQ(must_read(backup_path(path())), "gen1\n");
+  EXPECT_FALSE(file_exists(temp_path(path())));
+}
+
+// ---------------------------------------------------------------------------
+// Injected io-* faults: truthful kIoError (or deliberate silence for the
+// bit flip), destination never damaged.
+
+fault::FaultContext armed(fault::FaultSite site) {
+  fault::FaultPlan plan;
+  plan.seed = 7;
+  plan.rate_of(site) = 1.0;
+  return fault::FaultContext(plan);
+}
+
+TEST_F(AtomicFileTest, ShortWriteFaultLeavesTornTempAndOldCurrent) {
+  ASSERT_TRUE(atomic_write_file(path(), "gen1\n", fast()).ok());
+  fault::FaultContext ctx = armed(fault::FaultSite::kIoShortWrite);
+  AtomicWriteOptions o = fast();
+  o.fault = &ctx;
+  const Status s = atomic_write_file(path(), "gen2gen2gen2\n", o);
+  EXPECT_EQ(s.code, StatusCode::kIoError);
+  EXPECT_NE(s.message.find("io-short-write"), std::string::npos)
+      << s.message;
+  EXPECT_EQ(must_read(path()), "gen1\n");
+  ASSERT_TRUE(file_exists(temp_path(path())));
+  EXPECT_LT(must_read(temp_path(path())).size(), 13u);
+}
+
+TEST_F(AtomicFileTest, EnospcFaultLeavesOldCurrent) {
+  ASSERT_TRUE(atomic_write_file(path(), "gen1\n", fast()).ok());
+  fault::FaultContext ctx = armed(fault::FaultSite::kIoEnospc);
+  AtomicWriteOptions o = fast();
+  o.fault = &ctx;
+  const Status s = atomic_write_file(path(), "gen2gen2gen2\n", o);
+  EXPECT_EQ(s.code, StatusCode::kIoError);
+  EXPECT_NE(s.message.find("io-enospc"), std::string::npos) << s.message;
+  EXPECT_EQ(must_read(path()), "gen1\n");
+}
+
+TEST_F(AtomicFileTest, RenameFaultLeavesBothGenerationsUnderSiblingNames) {
+  ASSERT_TRUE(atomic_write_file(path(), "gen1\n", fast()).ok());
+  fault::FaultContext ctx = armed(fault::FaultSite::kIoRenameFail);
+  AtomicWriteOptions o = fast();
+  o.fault = &ctx;
+  const Status s = atomic_write_file(path(), "gen2\n", o);
+  EXPECT_EQ(s.code, StatusCode::kIoError);
+  EXPECT_NE(s.message.find("io-rename-fail"), std::string::npos)
+      << s.message;
+  // The failure strikes the FINAL rename, after the backup rename already
+  // moved the old generation aside: the current name is briefly absent but
+  // both generations survive complete under sibling names (the recovery
+  // loader adopts the temp).
+  EXPECT_FALSE(file_exists(path()));
+  EXPECT_EQ(must_read(backup_path(path())), "gen1\n");
+  EXPECT_EQ(must_read(temp_path(path())), "gen2\n");
+}
+
+TEST_F(AtomicFileTest, BitFlipFaultIsSilentAndCorruptsExactlyOneBit) {
+  fault::FaultContext ctx = armed(fault::FaultSite::kIoBitFlip);
+  AtomicWriteOptions o = fast();
+  o.fault = &ctx;
+  const std::string image = "gen1gen1gen1\n";
+  ASSERT_TRUE(atomic_write_file(path(), image, o).ok());  // reports success!
+  const std::string on_disk = must_read(path());
+  ASSERT_EQ(on_disk.size(), image.size());
+  int differing_bits = 0;
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    unsigned diff = static_cast<unsigned char>(on_disk[i]) ^
+                    static_cast<unsigned char>(image[i]);
+    for (; diff != 0; diff &= diff - 1) ++differing_bits;
+  }
+  EXPECT_EQ(differing_bits, 1);
+  EXPECT_EQ(ctx.injected(fault::FaultSite::kIoBitFlip), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// The recovery walk over envelope-sealed artifacts
+
+constexpr std::string_view kFmt = "defender-checkpoint";
+
+Status save(const std::string& p, const std::string& payload,
+            const AtomicWriteOptions& o) {
+  return save_artifact(p, kFmt, payload, o);
+}
+
+TEST_F(AtomicFileTest, CleanLoadReportsNoRecovery) {
+  ASSERT_TRUE(save(path(), "gen1\n", fast()).ok());
+  LoadReport report;
+  const Solved<std::string> got = load_artifact(path(), kFmt, {}, &report);
+  ASSERT_TRUE(got.ok()) << got.status.describe();
+  EXPECT_EQ(got.result, "gen1\n");
+  EXPECT_EQ(report.source, LoadSource::kCurrent);
+  EXPECT_TRUE(report.enveloped);
+  EXPECT_FALSE(report.recovered);
+}
+
+TEST_F(AtomicFileTest, CompleteTempIsAdoptedAndRenamedIntoPlace) {
+  // Debris of a crash between temp write and final rename, current never
+  // published: the load adopts the temp, losing zero acknowledged work.
+  ASSERT_TRUE(write_file_checked(temp_path(path()),
+                                 wrap_artifact(kFmt, "gen2\n"))
+                  .ok());
+  LoadReport report;
+  const Solved<std::string> got = load_artifact(path(), kFmt, {}, &report);
+  ASSERT_TRUE(got.ok()) << got.status.describe();
+  EXPECT_EQ(got.result, "gen2\n");
+  EXPECT_EQ(report.source, LoadSource::kAdoptedTemp);
+  EXPECT_TRUE(report.recovered);
+  EXPECT_TRUE(file_exists(path()));              // renamed into place
+  EXPECT_FALSE(file_exists(temp_path(path())));  // gone from the old name
+}
+
+TEST_F(AtomicFileTest, TornCurrentIsQuarantinedAndPrevWins) {
+  ASSERT_TRUE(save(path(), "gen1\n", fast()).ok());
+  ASSERT_TRUE(save(path(), "gen2\n", fast()).ok());
+  // Tear the current generation in place (simulating post-publish media
+  // damage): gen2 is destroyed outright, so the surviving generation is
+  // gen1 under `.prev`.
+  const std::string torn = wrap_artifact(kFmt, "gen3\n").substr(0, 30);
+  ASSERT_TRUE(write_file_checked(path(), torn).ok());
+  LoadReport report;
+  const Solved<std::string> got = load_artifact(path(), kFmt, {}, &report);
+  ASSERT_TRUE(got.ok()) << got.status.describe();
+  EXPECT_EQ(got.result, "gen1\n");
+  EXPECT_EQ(report.source, LoadSource::kBackup);
+  EXPECT_TRUE(report.quarantined);
+  EXPECT_EQ(must_read(quarantine_path(path())), torn);  // kept for forensics
+  EXPECT_FALSE(report.note.empty());
+}
+
+TEST_F(AtomicFileTest, ValidatorRejectionForcesFallback) {
+  ASSERT_TRUE(save(path(), "good payload\n", fast()).ok());
+  ASSERT_TRUE(save(path(), "BAD payload\n", fast()).ok());
+  LoadOptions opts;
+  // A consumer probe parse that rejects the newer generation even though
+  // its envelope verifies (e.g. a half-rolled-out format change).
+  opts.validate = [](const std::string& payload) {
+    if (payload.rfind("BAD", 0) == 0)
+      return Status::make(StatusCode::kInvalidInput, "probe parse failed");
+    return Status::make_ok();
+  };
+  LoadReport report;
+  const Solved<std::string> got =
+      load_artifact(path(), kFmt, opts, &report);
+  ASSERT_TRUE(got.ok()) << got.status.describe();
+  EXPECT_EQ(got.result, "good payload\n");
+  EXPECT_EQ(report.source, LoadSource::kBackup);
+}
+
+TEST_F(AtomicFileTest, LegacyUnwrappedFileLoadsWithEnvelopedFalse) {
+  ASSERT_TRUE(write_file_checked(path(), "legacy text\n").ok());
+  LoadReport report;
+  const Solved<std::string> got = load_artifact(path(), kFmt, {}, &report);
+  ASSERT_TRUE(got.ok()) << got.status.describe();
+  EXPECT_EQ(got.result, "legacy text\n");
+  EXPECT_FALSE(report.enveloped);
+}
+
+TEST_F(AtomicFileTest, AllGenerationsCorruptIsIoErrorListingEachCandidate) {
+  ASSERT_TRUE(save(path(), "gen1\n", fast()).ok());
+  ASSERT_TRUE(save(path(), "gen2\n", fast()).ok());
+  const std::string torn = wrap_artifact(kFmt, "x\n").substr(0, 25);
+  ASSERT_TRUE(write_file_checked(path(), torn).ok());
+  ASSERT_TRUE(write_file_checked(backup_path(path()), torn).ok());
+  const Solved<std::string> got = load_artifact(path(), kFmt);
+  EXPECT_EQ(got.status.code, StatusCode::kIoError);
+  EXPECT_NE(got.status.message.find(path()), std::string::npos)
+      << got.status.message;
+}
+
+TEST_F(AtomicFileTest, ArtifactPresentSeesAnyGeneration) {
+  EXPECT_FALSE(artifact_present(path()));
+  ASSERT_TRUE(write_file_checked(backup_path(path()), "x").ok());
+  EXPECT_TRUE(artifact_present(path()));
+}
+
+// ---------------------------------------------------------------------------
+// Record stores: complete generations beat salvage; salvage is exact
+
+std::vector<std::string> gen_records(const std::string& tag, std::size_t n) {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(tag + " record " + std::to_string(i) + "\n");
+  return out;
+}
+
+TEST_F(AtomicFileTest, TornRecordTailPrefersCompletePreviousGeneration) {
+  const std::vector<std::string> gen1 = gen_records("gen1", 2);
+  const std::vector<std::string> gen2 = gen_records("gen2", 3);
+  ASSERT_TRUE(save_record_artifact(path(), kFmt, gen1, fast()).ok());
+  ASSERT_TRUE(save_record_artifact(path(), kFmt, gen2, fast()).ok());
+  const std::string wrapped = wrap_record_artifact(kFmt, gen2);
+  // Tear inside the LAST record: 2 of gen2's records are salvageable, but
+  // the complete gen1 must win (LRU-first serialization puts the most
+  // valuable entries in the torn tail — see io/durable.hpp).
+  const std::size_t cut = wrapped.rfind("gen2 record 2") + 5;
+  ASSERT_TRUE(write_file_checked(path(), wrapped.substr(0, cut)).ok());
+  LoadReport report;
+  const Solved<std::vector<std::string>> got =
+      load_record_artifact(path(), kFmt, {}, &report);
+  ASSERT_TRUE(got.ok()) << got.status.describe();
+  EXPECT_EQ(got.result, gen1);
+  EXPECT_EQ(report.source, LoadSource::kBackup);
+  EXPECT_TRUE(report.quarantined);
+}
+
+TEST_F(AtomicFileTest, SalvageIsExactPrefixWhenNoCompleteGenerationExists) {
+  const std::vector<std::string> gen = gen_records("solo", 3);
+  const std::string wrapped = wrap_record_artifact(kFmt, gen);
+  const std::size_t cut = wrapped.rfind("solo record 2") + 5;
+  ASSERT_TRUE(write_file_checked(path(), wrapped.substr(0, cut)).ok());
+  LoadReport report;
+  const Solved<std::vector<std::string>> got =
+      load_record_artifact(path(), kFmt, {}, &report);
+  ASSERT_TRUE(got.ok()) << got.status.describe();
+  ASSERT_EQ(got.result.size(), 2u);
+  EXPECT_EQ(got.result[0], gen[0]);
+  EXPECT_EQ(got.result[1], gen[1]);
+  EXPECT_EQ(report.salvaged, 2u);
+  EXPECT_EQ(report.dropped, 1u);
+  EXPECT_TRUE(report.recovered);
+}
+
+TEST_F(AtomicFileTest, PerRecordValidatorTruncatesLikeATornTail) {
+  const std::vector<std::string> gen = gen_records("val", 3);
+  ASSERT_TRUE(save_record_artifact(path(), kFmt, gen, fast()).ok());
+  remove_file(backup_path(path()));
+  LoadOptions opts;
+  opts.validate = [](const std::string& record) {
+    if (record.find("record 1") != std::string::npos)
+      return Status::make(StatusCode::kInvalidInput, "probe rejected");
+    return Status::make_ok();
+  };
+  LoadReport report;
+  const Solved<std::vector<std::string>> got =
+      load_record_artifact(path(), kFmt, opts, &report);
+  ASSERT_TRUE(got.ok()) << got.status.describe();
+  ASSERT_EQ(got.result.size(), 1u);
+  EXPECT_EQ(got.result[0], gen[0]);
+  EXPECT_EQ(report.dropped, 2u);
+}
+
+}  // namespace
+}  // namespace defender::io

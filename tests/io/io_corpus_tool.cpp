@@ -1,0 +1,215 @@
+// Generator for the corrupt-artifact golden corpus under tests/data/io/
+// (plus the legacy tests/data/drain_v1.golden.txt). Run once, by hand,
+// when the envelope format or a payload format INTENTIONALLY changes:
+//
+//   ./io_corpus_tool <repo>/tests/data
+//
+// and commit the result. recovery_corpus_test loads the committed files —
+// it never regenerates them, so envelope/format drift breaks loudly.
+//
+// Every file is fully deterministic: fixed payloads, fixed truncation
+// points (a fraction of the wrapped size), fixed bit-flip positions
+// (middle of a payload region found by substring search).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "core/checkpoint.hpp"
+#include "io/atomic_file.hpp"
+#include "io/envelope.hpp"
+#include "serve/drain.hpp"
+
+namespace defender {
+namespace {
+
+int g_failures = 0;
+
+void emit(const std::string& path, const std::string& bytes) {
+  const Status s = io::write_file_checked(path, bytes);
+  if (!s.ok()) {
+    std::fprintf(stderr, "io_corpus_tool: %s\n", s.describe().c_str());
+    ++g_failures;
+    return;
+  }
+  std::printf("wrote %-45s %zu bytes\n", path.c_str(), bytes.size());
+}
+
+/// Flips bit 0 of the byte `offset` positions past the first occurrence
+/// of `anchor` — a stable way to land corruption inside a payload region
+/// regardless of header-size drift.
+std::string bit_flip_after(std::string bytes, const std::string& anchor,
+                           std::size_t offset) {
+  const std::size_t pos = bytes.find(anchor);
+  if (pos == std::string::npos || pos + offset >= bytes.size()) {
+    std::fprintf(stderr, "io_corpus_tool: bad flip anchor '%s'\n",
+                 anchor.c_str());
+    ++g_failures;
+    return bytes;
+  }
+  bytes[pos + offset] = static_cast<char>(bytes[pos + offset] ^ 0x01);
+  return bytes;
+}
+
+/// The checkpoint payload: the same document checkpoint_v1.golden.txt
+/// pins, round-tripped through the parser so the corpus tracks the
+/// canonical serialization, not this string literal.
+std::string checkpoint_payload() {
+  const std::string literal =
+      "defender-checkpoint v1\n"
+      "solver hedge\n"
+      "game 5 6 2\n"
+      "progress 7 100 16 1\n"
+      "bracket 0.25 0.5\n"
+      "tuples 2\n"
+      "tuple 2 0 1\n"
+      "tuple 2 2 3\n"
+      "vertices 2 0 4\n"
+      "attacker 3 0.125 -1.5 2\n"
+      "defender 2 0.5 0.75\n"
+      "average 2 1 0\n"
+      "end\n";
+  const Solved<core::SolverCheckpoint> parsed =
+      core::try_parse_checkpoint(literal);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "io_corpus_tool: checkpoint seed rejected: %s\n",
+                 parsed.status.describe().c_str());
+    ++g_failures;
+    return literal;
+  }
+  return core::to_text(parsed.result);
+}
+
+/// Three cache entries spanning the optional blocks (weights, profiles,
+/// checkpoint), stored oldest-first so the record order is pinned.
+std::vector<std::string> cache_records() {
+  cache::SolveCache store;
+  for (std::size_t i = 0; i < 3; ++i) {
+    cache::CachedSolve e;
+    e.n = 4 + i;
+    e.k = 2;
+    e.num_attackers = 1;
+    e.solver = "double-oracle";
+    e.tolerance = 1e-9;
+    e.max_iterations = 60 + i;
+    e.edges = {{0, 1}, {1, 2}, {2, 3}};
+    e.message = "converged";
+    e.iterations = 5 + i;
+    e.value = e.lower = e.upper = 0.25 + 0.125 * static_cast<double>(i);
+    e.attempt_value = e.attempt_lower = e.attempt_upper = e.value;
+    if (i == 1) e.checkpoint_text = "defender-checkpoint v1\nkind double-oracle\n";
+    if (i == 2) {
+      e.has_profiles = true;
+      e.defender_support = {{0, 2}, {1, 2}};
+      e.defender_probs = {0.5, 0.5};
+      e.attacker_support = {0, 3};
+      e.attacker_probs = {0.5, 0.5};
+    }
+    store.store(cache::key_from_entry(e), e);
+  }
+  return store.to_record_texts();
+}
+
+/// A two-job drain manifest (one plain, one weighted) — the legacy golden
+/// and the wrapped corpus share it.
+std::string drain_payload() {
+  serve::DrainManifest manifest;
+  serve::DrainedJob job;
+  job.client = "corpus";
+  job.request_id = "job-0";
+  job.job_index = 0;
+  job.spec.type = serve::RequestType::kSolve;
+  job.spec.client = "corpus";
+  job.spec.id = "job-0";
+  job.spec.solver = engine::JobSolver::kDoubleOracle;
+  job.spec.n = 4;
+  job.spec.k = 2;
+  job.spec.attackers = 1;
+  job.spec.edges = {{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  job.spec.max_iterations = 60;
+  manifest.jobs.push_back(job);
+  job.request_id = "job-1";
+  job.job_index = 1;
+  job.spec.id = "job-1";
+  job.spec.solver = engine::JobSolver::kWeightedFictitiousPlay;
+  job.spec.weights = {1.0, 2.0, 1.0, 1.5};
+  manifest.jobs.push_back(job);
+  const std::string text = serve::to_text(manifest);
+  const Solved<serve::DrainManifest> parsed =
+      serve::try_parse_drain_manifest(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "io_corpus_tool: drain seed rejected: %s\n",
+                 parsed.status.describe().c_str());
+    ++g_failures;
+  }
+  return text;
+}
+
+}  // namespace
+}  // namespace defender
+
+int main(int argc, char** argv) {
+  using namespace defender;
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <tests/data directory>\n", argv[0]);
+    return 2;
+  }
+  const std::string data = argv[1];
+  const std::string io = data + "/io";
+
+  // -- checkpoint (single-payload envelope) --------------------------------
+  const std::string ckpt = checkpoint_payload();
+  const std::string ckpt_wrapped =
+      io::wrap_artifact(core::kCheckpointArtifactFormat, ckpt);
+  emit(io + "/checkpoint_wrapped.golden.txt", ckpt_wrapped);
+  // Torn mid-payload: enough header survives that the file still LOOKS
+  // enveloped — truncation detection, not magic sniffing, must reject it.
+  emit(io + "/checkpoint_truncated.txt",
+       ckpt_wrapped.substr(0, ckpt_wrapped.size() * 3 / 5));
+  // One flipped bit inside the payload ("solver hedge" line): framing
+  // intact, CRC32C is the only witness.
+  emit(io + "/checkpoint_bitflip.txt",
+       bit_flip_after(ckpt_wrapped, "solver hedge", 7));
+
+  // -- cache store (record-framed envelope) --------------------------------
+  const std::vector<std::string> records = cache_records();
+  const std::string cache_wrapped =
+      io::wrap_record_artifact(cache::kCacheArtifactFormat, records);
+  emit(io + "/cache_wrapped.golden.txt", cache_wrapped);
+  // Locate the third record's raw bytes (records differ past their common
+  // document header, so the full-text search is unambiguous).
+  const std::size_t third = cache_wrapped.find(records[2]);
+  if (third == std::string::npos || records.size() != 3) {
+    std::fprintf(stderr, "io_corpus_tool: unexpected cache framing\n");
+    return 1;
+  }
+  // Torn inside the THIRD record: records 0 and 1 remain salvageable.
+  emit(io + "/cache_torn_tail.txt",
+       cache_wrapped.substr(0, third + records[2].size() / 2));
+  // One flipped bit inside the LAST record's bytes: same salvage shape,
+  // caught by the per-record checksum instead of the frame length.
+  std::string flipped_cache = cache_wrapped;
+  flipped_cache[third + records[2].size() / 2] =
+      static_cast<char>(flipped_cache[third + records[2].size() / 2] ^ 0x01);
+  emit(io + "/cache_bitflip.txt", flipped_cache);
+
+  // -- drain manifest ------------------------------------------------------
+  const std::string drain = drain_payload();
+  // The legacy golden: a bare v1 manifest exactly as pre-durability
+  // builds wrote it (read-through cover in recovery_corpus_test).
+  emit(data + "/drain_v1.golden.txt", drain);
+  const std::string drain_wrapped =
+      io::wrap_artifact(serve::kDrainArtifactFormat, drain);
+  emit(io + "/drain_wrapped.golden.txt", drain_wrapped);
+  emit(io + "/drain_truncated.txt",
+       drain_wrapped.substr(0, drain_wrapped.size() / 2));
+  emit(io + "/drain_bitflip.txt",
+       bit_flip_after(drain_wrapped, "spec double-oracle", 5));
+
+  if (g_failures != 0) {
+    std::fprintf(stderr, "io_corpus_tool: %d failure(s)\n", g_failures);
+    return 1;
+  }
+  std::printf("io_corpus_tool: corpus complete\n");
+  return 0;
+}

@@ -1,0 +1,267 @@
+// Loads the committed corrupt-artifact corpus (tests/data/io/, generated
+// once by io_corpus_tool) through the real consumer loaders and pins the
+// recovery behavior for every format: quarantine of damaged currents,
+// fallback to the previous generation, record-prefix salvage for the
+// cache store, and legacy read-through of pre-durability files.
+//
+// Corpus files are COPIED into a scratch directory first: recovery has
+// side effects (quarantine renames, temp adoption) that must never touch
+// the committed corpus.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "core/checkpoint.hpp"
+#include "io/atomic_file.hpp"
+#include "io/durable.hpp"
+#include "serve/drain.hpp"
+
+namespace defender {
+namespace {
+
+class RecoveryCorpusTest : public ::testing::Test {
+ public:
+  static std::string corpus(const std::string& name) {
+    return std::string(DEFENDER_TEST_DATA_DIR) + "/" + name;
+  }
+
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/defender-corpus-test-XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    for (const std::string& p : placed_) {
+      unlink(p.c_str());
+      unlink(io::temp_path(p).c_str());
+      unlink(io::backup_path(p).c_str());
+      unlink(io::quarantine_path(p).c_str());
+    }
+    rmdir(dir_.c_str());
+  }
+
+  /// Copies a committed corpus file to `dst_name` inside the scratch dir
+  /// and returns the destination path.
+  std::string place(const std::string& corpus_name,
+                    const std::string& dst_name) {
+    const Solved<std::string> bytes = io::read_file(corpus(corpus_name));
+    EXPECT_TRUE(bytes.ok()) << bytes.status.describe();
+    const std::string dst = dir_ + "/" + dst_name;
+    EXPECT_TRUE(io::write_file_checked(dst, bytes.result).ok());
+    if (dst_name.find(".prev") == std::string::npos &&
+        dst_name.find(".tmp") == std::string::npos)
+      placed_.push_back(dst);
+    return dst;
+  }
+
+  std::string dir_;
+  std::vector<std::string> placed_;
+};
+
+/// to_text of the checkpoint every corpus variant encodes (the legacy
+/// golden is the payload the wrapped/corrupt variants were built from).
+std::string golden_checkpoint_text() {
+  const Solved<std::string> legacy =
+      io::read_file(RecoveryCorpusTest::corpus("checkpoint_v1.golden.txt"));
+  EXPECT_TRUE(legacy.ok()) << legacy.status.describe();
+  const Solved<core::SolverCheckpoint> parsed =
+      core::try_parse_checkpoint(legacy.result);
+  EXPECT_TRUE(parsed.ok()) << parsed.status.describe();
+  return core::to_text(parsed.result);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint artifacts
+
+TEST_F(RecoveryCorpusTest, WrappedCheckpointLoadsClean) {
+  const std::string path = place("io/checkpoint_wrapped.golden.txt", "ckpt");
+  io::LoadReport report;
+  const Solved<core::SolverCheckpoint> got =
+      core::load_checkpoint_file(path, &report);
+  ASSERT_TRUE(got.ok()) << got.status.describe();
+  EXPECT_EQ(core::to_text(got.result), golden_checkpoint_text());
+  EXPECT_TRUE(report.enveloped);
+  EXPECT_FALSE(report.recovered);
+}
+
+TEST_F(RecoveryCorpusTest, LegacyCheckpointReadsThrough) {
+  const std::string path = place("checkpoint_v1.golden.txt", "ckpt");
+  io::LoadReport report;
+  const Solved<core::SolverCheckpoint> got =
+      core::load_checkpoint_file(path, &report);
+  ASSERT_TRUE(got.ok()) << got.status.describe();
+  EXPECT_FALSE(report.enveloped);
+  EXPECT_FALSE(report.recovered);
+  EXPECT_EQ(core::to_text(got.result), golden_checkpoint_text());
+}
+
+TEST_F(RecoveryCorpusTest, TruncatedCheckpointAloneFailsAndQuarantines) {
+  const std::string path = place("io/checkpoint_truncated.txt", "ckpt");
+  io::LoadReport report;
+  const Solved<core::SolverCheckpoint> got =
+      core::load_checkpoint_file(path, &report);
+  EXPECT_EQ(got.status.code, StatusCode::kIoError);
+  EXPECT_TRUE(report.quarantined);
+  EXPECT_TRUE(io::file_exists(io::quarantine_path(path)));
+  EXPECT_FALSE(io::file_exists(path));
+}
+
+TEST_F(RecoveryCorpusTest, TruncatedCheckpointFallsBackToPrev) {
+  const std::string path = place("io/checkpoint_truncated.txt", "ckpt");
+  place("io/checkpoint_wrapped.golden.txt", "ckpt.prev");
+  io::LoadReport report;
+  const Solved<core::SolverCheckpoint> got =
+      core::load_checkpoint_file(path, &report);
+  ASSERT_TRUE(got.ok()) << got.status.describe();
+  EXPECT_EQ(core::to_text(got.result), golden_checkpoint_text());
+  EXPECT_EQ(report.source, io::LoadSource::kBackup);
+  EXPECT_TRUE(report.quarantined);
+  EXPECT_TRUE(io::file_exists(io::quarantine_path(path)));
+}
+
+TEST_F(RecoveryCorpusTest, BitFlippedCheckpointFallsBackToLegacyPrev) {
+  // Mixed-generation fallback: the damaged current is enveloped, the
+  // surviving previous generation predates the envelope entirely.
+  const std::string path = place("io/checkpoint_bitflip.txt", "ckpt");
+  place("checkpoint_v1.golden.txt", "ckpt.prev");
+  io::LoadReport report;
+  const Solved<core::SolverCheckpoint> got =
+      core::load_checkpoint_file(path, &report);
+  ASSERT_TRUE(got.ok()) << got.status.describe();
+  EXPECT_EQ(core::to_text(got.result), golden_checkpoint_text());
+  EXPECT_EQ(report.source, io::LoadSource::kBackup);
+  EXPECT_FALSE(report.enveloped);
+  EXPECT_TRUE(report.quarantined);
+}
+
+TEST_F(RecoveryCorpusTest, CompleteTempCheckpointIsAdopted) {
+  const std::string path = dir_ + "/ckpt";
+  placed_.push_back(path);
+  place("io/checkpoint_wrapped.golden.txt", "ckpt.tmp");
+  io::LoadReport report;
+  const Solved<core::SolverCheckpoint> got =
+      core::load_checkpoint_file(path, &report);
+  ASSERT_TRUE(got.ok()) << got.status.describe();
+  EXPECT_EQ(report.source, io::LoadSource::kAdoptedTemp);
+  EXPECT_TRUE(io::file_exists(path));
+  EXPECT_FALSE(io::file_exists(io::temp_path(path)));
+}
+
+// ---------------------------------------------------------------------------
+// Cache-store artifacts (record-framed)
+
+TEST_F(RecoveryCorpusTest, WrappedCacheStoreLoadsAllEntries) {
+  const std::string path = place("io/cache_wrapped.golden.txt", "cache");
+  cache::SolveCache store;
+  io::LoadReport report;
+  const Status s = cache::load_cache_file(path, &store, &report);
+  ASSERT_TRUE(s.ok()) << s.describe();
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_TRUE(report.enveloped);
+  EXPECT_FALSE(report.recovered);
+}
+
+TEST_F(RecoveryCorpusTest, LegacyCacheStoreReadsThrough) {
+  const std::string path = place("cache_v1.golden.txt", "cache");
+  cache::SolveCache store;
+  io::LoadReport report;
+  const Status s = cache::load_cache_file(path, &store, &report);
+  ASSERT_TRUE(s.ok()) << s.describe();
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_FALSE(report.enveloped);
+}
+
+TEST_F(RecoveryCorpusTest, TornCacheTailSalvagesExactPrefix) {
+  const std::string path = place("io/cache_torn_tail.txt", "cache");
+  cache::SolveCache store;
+  io::LoadReport report;
+  const Status s = cache::load_cache_file(path, &store, &report);
+  ASSERT_TRUE(s.ok()) << s.describe();
+  EXPECT_EQ(store.size(), 2u);  // records 0 and 1; the torn record 2 lost
+  EXPECT_EQ(report.salvaged, 2u);
+  EXPECT_EQ(report.dropped, 1u);
+  EXPECT_TRUE(report.recovered);
+}
+
+TEST_F(RecoveryCorpusTest, BitFlippedCacheRecordSalvagesPrefix) {
+  const std::string path = place("io/cache_bitflip.txt", "cache");
+  cache::SolveCache store;
+  io::LoadReport report;
+  const Status s = cache::load_cache_file(path, &store, &report);
+  ASSERT_TRUE(s.ok()) << s.describe();
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(report.dropped, 1u);
+}
+
+TEST_F(RecoveryCorpusTest, TornCacheWithCompletePrevPrefersPrev) {
+  const std::string path = place("io/cache_torn_tail.txt", "cache");
+  place("io/cache_wrapped.golden.txt", "cache.prev");
+  cache::SolveCache store;
+  io::LoadReport report;
+  const Status s = cache::load_cache_file(path, &store, &report);
+  ASSERT_TRUE(s.ok()) << s.describe();
+  // All three entries: the complete previous generation beats the
+  // two-record salvage of the torn current.
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(report.source, io::LoadSource::kBackup);
+  EXPECT_TRUE(report.quarantined);
+}
+
+// ---------------------------------------------------------------------------
+// Drain-manifest artifacts
+
+TEST_F(RecoveryCorpusTest, WrappedDrainManifestLoadsClean) {
+  const std::string path = place("io/drain_wrapped.golden.txt", "drain");
+  io::LoadReport report;
+  const Solved<serve::DrainManifest> got =
+      serve::load_drain_manifest_file(path, &report);
+  ASSERT_TRUE(got.ok()) << got.status.describe();
+  ASSERT_EQ(got.result.jobs.size(), 2u);
+  EXPECT_EQ(got.result.jobs[0].request_id, "job-0");
+  EXPECT_EQ(got.result.jobs[1].request_id, "job-1");
+  EXPECT_TRUE(report.enveloped);
+}
+
+TEST_F(RecoveryCorpusTest, LegacyDrainManifestReadsThrough) {
+  const std::string path = place("drain_v1.golden.txt", "drain");
+  io::LoadReport report;
+  const Solved<serve::DrainManifest> got =
+      serve::load_drain_manifest_file(path, &report);
+  ASSERT_TRUE(got.ok()) << got.status.describe();
+  EXPECT_EQ(got.result.jobs.size(), 2u);
+  EXPECT_FALSE(report.enveloped);
+}
+
+TEST_F(RecoveryCorpusTest, TruncatedDrainFallsBackToPrev) {
+  const std::string path = place("io/drain_truncated.txt", "drain");
+  place("io/drain_wrapped.golden.txt", "drain.prev");
+  io::LoadReport report;
+  const Solved<serve::DrainManifest> got =
+      serve::load_drain_manifest_file(path, &report);
+  ASSERT_TRUE(got.ok()) << got.status.describe();
+  EXPECT_EQ(got.result.jobs.size(), 2u);
+  EXPECT_EQ(report.source, io::LoadSource::kBackup);
+  EXPECT_TRUE(report.quarantined);
+}
+
+TEST_F(RecoveryCorpusTest, BitFlippedDrainAloneFailsTruthfully) {
+  const std::string path = place("io/drain_bitflip.txt", "drain");
+  io::LoadReport report;
+  const Solved<serve::DrainManifest> got =
+      serve::load_drain_manifest_file(path, &report);
+  // No fallback generation: the load must FAIL (naming the path), never
+  // hand back a manifest parsed from corrupt bytes.
+  EXPECT_EQ(got.status.code, StatusCode::kIoError);
+  EXPECT_NE(got.status.message.find(path), std::string::npos)
+      << got.status.message;
+  EXPECT_TRUE(report.quarantined);
+}
+
+}  // namespace
+}  // namespace defender

@@ -54,6 +54,17 @@
 // try_parse_request + to_job, try_parse_drain_manifest). No crashes, no
 // exceptions, and every ACCEPTED manifest is a to_text/parse fixed point.
 //
+// Io chaos mode (--io-chaos): crash-durability sweep over the three
+// artifact save paths (checkpoint, cache store, drain manifest). A
+// simulated SIGKILL at every byte offset of each wrapped image plus the
+// rename-window stages, then armed io-* fault plans over dozens of
+// alternating saves, reloading through the real consumer loaders after
+// every attempt. Invariant: the reload is always the previous durable
+// generation or the complete attempted one, bit for bit — never garbage
+// — and for the record-framed cache store a torn sole generation always
+// salvages a byte-exact record prefix. --io-artifacts DIR keeps the
+// on-disk debris in DIR for CI upload (docs/DURABILITY.md).
+//
 // Serve soak mode (--serve-soak SECONDS): a live SolveService under
 // sustained three-client overload — truthful kOverloaded rejections with
 // retry hints, exactly-once delivery accounting against the final drain
@@ -67,6 +78,8 @@
 //                        [--engine-jobs N] [--engine-report FILE]
 //                        [--engine-cache] [--serve-fuzz N]
 //                        [--serve-soak SECONDS] [--serve-report FILE]
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -76,6 +89,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -97,6 +111,9 @@
 #include "engine/engine.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "io/atomic_file.hpp"
+#include "io/durable.hpp"
+#include "io/envelope.hpp"
 #include "obs/context.hpp"
 #include "serve/drain.hpp"
 #include "serve/protocol.hpp"
@@ -905,6 +922,456 @@ void engine_chaos(std::size_t workers, std::uint64_t seed,
       report.faulted_jobs);
 }
 
+// --------------------------------------------------------------------------
+// io chaos (--io-chaos): crash-durability sweep over the three artifact
+// save paths (docs/DURABILITY.md).
+//
+// Two campaigns per artifact (checkpoint, cache store, drain manifest):
+//
+//  1. Kill sweep: publish gen1 cleanly, then attempt gen2 with a
+//     simulated SIGKILL at EVERY byte offset of the wrapped image, plus
+//     the three rename-window stages. After every kill the consumer-level
+//     reload must yield gen1 or gen2 bit-for-bit (canonical to_text
+//     compare), reload again identically (recovery converges), and accept
+//     a fresh clean save afterwards (debris never bricks the store).
+//
+//  2. Armed io-* plans: a deterministic FaultPlan arming io-short-write /
+//     io-enospc / io-rename-fail / io-bit-flip over dozens of alternating
+//     saves through ONE fault context, reloading after every attempt.
+//     Invariant: the reload is either the attempted generation or the
+//     last durably-loaded one — never a third artifact, never garbage.
+//
+// The cache store additionally gets a torn-tail salvage sweep: a torn
+// record image planted as the only generation must reload as a byte-exact
+// record PREFIX of the attempted store (or fail truthfully) at every cut.
+
+/// One artifact family under io chaos, reduced to what the sweep needs:
+/// save/load through the REAL consumer entry points, canonical texts for
+/// the bit-for-bit compare, and the wrapped on-disk image (for offsets).
+struct IoChaosArtifact {
+  std::string name;
+  std::string gen1;  ///< canonical to_text of generation 1
+  std::string gen2;  ///< canonical to_text of generation 2
+  std::string wrapped_gen2;  ///< full on-disk image of gen2
+  /// Serializes the generation with canonical text `text` to `path`.
+  std::function<Status(const std::string& path, const std::string& text,
+                       const io::AtomicWriteOptions&)>
+      save;
+  /// Loads `path` through the consumer loader, returns canonical text.
+  std::function<Solved<std::string>(const std::string& path)> load;
+};
+
+core::SolverCheckpoint io_chaos_checkpoint(std::size_t iteration) {
+  const std::string text =
+      "defender-checkpoint v1\n"
+      "solver hedge\n"
+      "game 5 6 2\n"
+      "progress " +
+      std::to_string(iteration) +
+      " 100 16 1\n"
+      "bracket 0.25 0.5\n"
+      "tuples 2\n"
+      "tuple 2 0 1\n"
+      "tuple 2 2 3\n"
+      "vertices 2 0 4\n"
+      "attacker 3 0.125 -1.5 2\n"
+      "defender 2 0.5 0.75\n"
+      "average 2 1 0\n"
+      "end\n";
+  const Solved<core::SolverCheckpoint> parsed =
+      core::try_parse_checkpoint(text);
+  if (!parsed.ok()) fail("io chaos: checkpoint seed rejected");
+  return parsed.result;
+}
+
+/// Fills `store` with `entries` deterministic cache entries.
+void io_chaos_fill_cache(cache::SolveCache& store, std::size_t entries) {
+  for (std::size_t i = 0; i < entries; ++i) {
+    cache::CachedSolve e;
+    e.n = 4 + i;
+    e.k = 2;
+    e.num_attackers = 1;
+    e.solver = "double-oracle";
+    e.tolerance = 1e-9;
+    e.max_iterations = 60 + i;
+    e.edges = {{0, 1}, {1, 2}, {2, 3}};
+    e.message = "converged";
+    e.iterations = 5 + i;
+    e.value = e.lower = e.upper = 0.25 + 0.0625 * static_cast<double>(i);
+    e.attempt_value = e.attempt_lower = e.attempt_upper = e.value;
+    store.store(cache::key_from_entry(e), e);
+  }
+}
+
+serve::DrainManifest io_chaos_manifest(std::size_t jobs) {
+  serve::DrainManifest manifest;
+  for (std::size_t i = 0; i < jobs; ++i) {
+    serve::DrainedJob job;
+    job.client = "iochaos";
+    job.request_id = "job-" + std::to_string(i);
+    job.job_index = i;
+    job.spec.type = serve::RequestType::kSolve;
+    job.spec.client = job.client;
+    job.spec.id = job.request_id;
+    job.spec.solver = engine::JobSolver::kDoubleOracle;
+    job.spec.n = 4 + i;
+    job.spec.k = 2;
+    job.spec.attackers = 1;
+    job.spec.edges = {{0, 1}, {1, 2}, {2, 3}};
+    job.spec.max_iterations = 60;
+    manifest.jobs.push_back(std::move(job));
+  }
+  return manifest;
+}
+
+/// The three artifact families, each bound to its real save/load pair.
+std::vector<IoChaosArtifact> io_chaos_artifacts() {
+  std::vector<IoChaosArtifact> out;
+
+  {
+    IoChaosArtifact a;
+    a.name = "checkpoint";
+    a.gen1 = core::to_text(io_chaos_checkpoint(7));
+    a.gen2 = core::to_text(io_chaos_checkpoint(8));
+    a.wrapped_gen2 =
+        io::wrap_artifact(core::kCheckpointArtifactFormat, a.gen2);
+    a.save = [](const std::string& path, const std::string& text,
+                const io::AtomicWriteOptions& opts) {
+      const Solved<core::SolverCheckpoint> parsed =
+          core::try_parse_checkpoint(text);
+      if (!parsed.ok()) return parsed.status;
+      return core::save_checkpoint_file(path, parsed.result, opts);
+    };
+    a.load = [](const std::string& path) {
+      Solved<std::string> out_text;
+      const Solved<core::SolverCheckpoint> got =
+          core::load_checkpoint_file(path);
+      if (!got.ok()) {
+        out_text.status = got.status;
+        return out_text;
+      }
+      out_text.result = core::to_text(got.result);
+      return out_text;
+    };
+    out.push_back(std::move(a));
+  }
+
+  {
+    IoChaosArtifact a;
+    a.name = "cache";
+    cache::SolveCache gen1, gen2;
+    io_chaos_fill_cache(gen1, 1);
+    io_chaos_fill_cache(gen2, 3);
+    a.gen1 = gen1.to_text();
+    a.gen2 = gen2.to_text();
+    a.wrapped_gen2 = io::wrap_record_artifact(cache::kCacheArtifactFormat,
+                                              gen2.to_record_texts());
+    a.save = [](const std::string& path, const std::string& text,
+                const io::AtomicWriteOptions& opts) {
+      cache::SolveCache store;
+      const Status merged = store.merge_text(text);
+      if (!merged.ok()) return merged;
+      return cache::save_cache_file(path, store, opts);
+    };
+    a.load = [](const std::string& path) {
+      Solved<std::string> out_text;
+      cache::SolveCache store;
+      const Status s = cache::load_cache_file(path, &store);
+      if (!s.ok()) {
+        out_text.status = s;
+        return out_text;
+      }
+      out_text.result = store.to_text();
+      return out_text;
+    };
+    out.push_back(std::move(a));
+  }
+
+  {
+    IoChaosArtifact a;
+    a.name = "drain";
+    a.gen1 = serve::to_text(io_chaos_manifest(1));
+    a.gen2 = serve::to_text(io_chaos_manifest(2));
+    a.wrapped_gen2 = io::wrap_artifact(serve::kDrainArtifactFormat, a.gen2);
+    a.save = [](const std::string& path, const std::string& text,
+                const io::AtomicWriteOptions& opts) {
+      const Solved<serve::DrainManifest> parsed =
+          serve::try_parse_drain_manifest(text);
+      if (!parsed.ok()) return parsed.status;
+      return serve::save_drain_manifest_file(path, parsed.result, opts);
+    };
+    a.load = [](const std::string& path) {
+      Solved<std::string> out_text;
+      const Solved<serve::DrainManifest> got =
+          serve::load_drain_manifest_file(path);
+      if (!got.ok()) {
+        out_text.status = got.status;
+        return out_text;
+      }
+      out_text.result = serve::to_text(got.result);
+      return out_text;
+    };
+    out.push_back(std::move(a));
+  }
+
+  return out;
+}
+
+/// Clears every generation/debris name of `path`.
+void io_chaos_reset(const std::string& path) {
+  io::remove_file(path);
+  io::remove_file(io::temp_path(path));
+  io::remove_file(io::backup_path(path));
+  io::remove_file(io::quarantine_path(path));
+}
+
+/// Reload after a kill/fault. The result must be EXACTLY one of the two
+/// generations; a second reload must agree (recovery converges); and a
+/// clean save must still work afterwards (debris never bricks the path).
+void io_chaos_check_reload(const IoChaosArtifact& a, const std::string& path,
+                           const std::string& what) {
+  const Solved<std::string> first = a.load(path);
+  if (!first.ok()) {
+    fail("io chaos [" + a.name + "] " + what +
+         ": reload failed: " + first.status.message);
+    return;
+  }
+  if (first.result != a.gen1 && first.result != a.gen2) {
+    fail("io chaos [" + a.name + "] " + what +
+         ": reload is neither generation (" +
+         std::to_string(first.result.size()) + " bytes)");
+    return;
+  }
+  const Solved<std::string> second = a.load(path);
+  if (!second.ok() || second.result != first.result) {
+    fail("io chaos [" + a.name + "] " + what +
+         ": second reload diverged from the first");
+    return;
+  }
+  io::AtomicWriteOptions clean;
+  clean.fsync = false;
+  const Status resaved = a.save(path, a.gen2, clean);
+  if (!resaved.ok()) {
+    fail("io chaos [" + a.name + "] " + what +
+         ": clean save after recovery failed: " + resaved.message);
+    return;
+  }
+  const Solved<std::string> after = a.load(path);
+  if (!after.ok() || after.result != a.gen2)
+    fail("io chaos [" + a.name + "] " + what +
+         ": store did not accept a clean save after recovery");
+}
+
+/// Campaign 1: gen1 durable, then a simulated kill at every byte offset
+/// of gen2's publish, plus the three rename-window stages.
+void io_chaos_kill_sweep(const IoChaosArtifact& a, const std::string& dir) {
+  const std::string path = dir + "/" + a.name + ".artifact";
+  std::size_t kills = 0;
+  for (std::size_t cut = 0; cut <= a.wrapped_gen2.size(); ++cut) {
+    io_chaos_reset(path);
+    io::AtomicWriteOptions clean;
+    clean.fsync = false;
+    Status s = a.save(path, a.gen1, clean);
+    if (!s.ok()) {
+      fail("io chaos [" + a.name + "]: clean gen1 save failed: " + s.message);
+      return;
+    }
+    io::AtomicWriteOptions kill = clean;
+    kill.crash_point = io::CrashPoint::kDuringTempWrite;
+    kill.crash_byte = cut;
+    s = a.save(path, a.gen2, kill);
+    if (s.ok()) {
+      fail("io chaos [" + a.name + "]: kill at byte " + std::to_string(cut) +
+           " reported success");
+      return;
+    }
+    ++kills;
+    io_chaos_check_reload(a, path, "kill at byte " + std::to_string(cut));
+    if (failures > 0) return;  // first broken offset names itself; stop
+  }
+  for (const io::CrashPoint stage :
+       {io::CrashPoint::kAfterTempWrite, io::CrashPoint::kAfterBackupRename,
+        io::CrashPoint::kAfterFinalRename}) {
+    io_chaos_reset(path);
+    io::AtomicWriteOptions clean;
+    clean.fsync = false;
+    if (!a.save(path, a.gen1, clean).ok()) {
+      fail("io chaos [" + a.name + "]: clean gen1 save failed");
+      return;
+    }
+    io::AtomicWriteOptions kill = clean;
+    kill.crash_point = stage;
+    if (a.save(path, a.gen2, kill).ok()) {
+      fail("io chaos [" + a.name + "]: stage kill reported success");
+      return;
+    }
+    ++kills;
+    io_chaos_check_reload(
+        a, path,
+        "stage kill " + std::to_string(static_cast<int>(stage)));
+    if (failures > 0) return;
+  }
+  std::printf("io chaos [%s]: %zu kills survived (image %zu bytes)\n",
+              a.name.c_str(), kills, a.wrapped_gen2.size());
+}
+
+/// Campaign 2: alternating saves under an armed io-* fault plan, one
+/// context across the whole run, reload after every attempt. The reload
+/// must equal the attempted generation or the last durably-loaded one.
+void io_chaos_fault_plan(const IoChaosArtifact& a, const std::string& dir,
+                         std::uint64_t fault_seed) {
+  const std::string path = dir + "/" + a.name + ".faulted";
+  constexpr std::size_t kSeeds = 5;
+  constexpr std::size_t kSavesPerSeed = 40;
+  std::uint64_t injected_total = 0;
+  std::size_t clean_saves = 0;
+  for (std::size_t s = 0; s < kSeeds; ++s) {
+    io_chaos_reset(path);
+    io::AtomicWriteOptions clean;
+    clean.fsync = false;
+    if (!a.save(path, a.gen1, clean).ok()) {
+      fail("io chaos [" + a.name + "]: base save failed");
+      return;
+    }
+    std::string last_durable = a.gen1;
+
+    fault::FaultPlan plan;
+    plan.seed = fault_seed + s;
+    plan.rate_of(fault::FaultSite::kIoShortWrite) = 0.2;
+    plan.rate_of(fault::FaultSite::kIoEnospc) = 0.1;
+    plan.rate_of(fault::FaultSite::kIoRenameFail) = 0.2;
+    plan.rate_of(fault::FaultSite::kIoBitFlip) = 0.15;
+    fault::FaultContext ctx(plan);
+
+    for (std::size_t i = 0; i < kSavesPerSeed; ++i) {
+      const std::string& attempted = (i % 2 == 0) ? a.gen2 : a.gen1;
+      io::AtomicWriteOptions faulted;
+      faulted.fsync = false;
+      faulted.fault = &ctx;
+      const std::uint64_t flips_before =
+          ctx.injected(fault::FaultSite::kIoBitFlip);
+      const Status saved = a.save(path, attempted, faulted);
+      if (saved.ok()) ++clean_saves;
+      const Solved<std::string> loaded = a.load(path);
+      if (!loaded.ok()) {
+        fail("io chaos [" + a.name + "] plan seed " + std::to_string(s) +
+             " save " + std::to_string(i) +
+             ": reload failed: " + loaded.status.message +
+             "\n  replay plan:\n" + plan.to_text());
+        return;
+      }
+      if (loaded.result != attempted && loaded.result != last_durable) {
+        fail("io chaos [" + a.name + "] plan seed " + std::to_string(s) +
+             " save " + std::to_string(i) +
+             ": reload is neither the attempted nor the last durable "
+             "generation\n  replay plan:\n" +
+             plan.to_text());
+        return;
+      }
+      // An acknowledged save MUST be the attempted generation — unless an
+      // injected SILENT bit flip corrupted it, in which case the reload
+      // legitimately fell back (that is the checksum doing its job).
+      if (saved.ok() && loaded.result != attempted &&
+          ctx.injected(fault::FaultSite::kIoBitFlip) == flips_before) {
+        fail("io chaos [" + a.name + "] plan seed " + std::to_string(s) +
+             " save " + std::to_string(i) +
+             ": acknowledged save did not survive reload\n  replay plan:\n" +
+             plan.to_text());
+        return;
+      }
+      last_durable = loaded.result;
+    }
+    injected_total += ctx.total_injected();
+  }
+  std::printf(
+      "io chaos [%s]: %zu faulted saves (%zu acknowledged, %llu injections) "
+      "never lost a generation\n",
+      a.name.c_str(), kSeeds * kSavesPerSeed, clean_saves,
+      static_cast<unsigned long long>(injected_total));
+}
+
+/// Campaign 3 (cache only): a torn record image as the ONLY generation
+/// must salvage a byte-exact record prefix — or fail truthfully — at
+/// every cut offset.
+void io_chaos_salvage_sweep(const std::string& dir) {
+  cache::SolveCache gen2;
+  io_chaos_fill_cache(gen2, 3);
+  const std::vector<std::string> records = gen2.to_record_texts();
+  const std::string wrapped =
+      io::wrap_record_artifact(cache::kCacheArtifactFormat, records);
+  const std::string path = dir + "/cache.salvage";
+  std::size_t salvages = 0, refusals = 0;
+  for (std::size_t cut = 0; cut < wrapped.size(); ++cut) {
+    io_chaos_reset(path);
+    if (!io::write_file_checked(path, wrapped.substr(0, cut)).ok()) {
+      fail("io chaos [salvage]: planting torn image failed");
+      return;
+    }
+    cache::SolveCache loaded;
+    io::LoadReport report;
+    const Status s = cache::load_cache_file(path, &loaded, &report);
+    if (!s.ok()) {
+      ++refusals;  // nothing salvageable: truthful failure is fine
+      continue;
+    }
+    const std::vector<std::string> got = loaded.to_record_texts();
+    if (got.size() > records.size()) {
+      fail("io chaos [salvage]: cut " + std::to_string(cut) +
+           " salvaged MORE records than were written");
+      return;
+    }
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      if (got[i] != records[i]) {
+        fail("io chaos [salvage]: cut " + std::to_string(cut) + " record " +
+             std::to_string(i) + " is not a byte-exact prefix record");
+        return;
+      }
+    }
+    ++salvages;
+  }
+  std::printf(
+      "io chaos [salvage]: %zu cuts -> %zu exact-prefix salvages, %zu "
+      "truthful refusals\n",
+      wrapped.size(), salvages, refusals);
+}
+
+/// Entry point for --io-chaos. `dir` empty = private mkdtemp scratch
+/// (removed when everything passes); non-empty = caller-owned directory
+/// whose debris CI uploads on failure.
+void io_chaos(std::string dir, std::uint64_t fault_seed) {
+  bool scratch = false;
+  if (dir.empty()) {
+    char tmpl[] = "/tmp/defender-io-chaos-XXXXXX";
+    if (mkdtemp(tmpl) == nullptr) {
+      fail("io chaos: cannot create scratch directory");
+      return;
+    }
+    dir = tmpl;
+    scratch = true;
+  }
+  const std::vector<IoChaosArtifact> artifacts = io_chaos_artifacts();
+  for (const IoChaosArtifact& a : artifacts) {
+    if (failures > 0) break;
+    io_chaos_kill_sweep(a, dir);
+    if (failures > 0) break;
+    io_chaos_fault_plan(a, dir, fault_seed);
+  }
+  if (failures == 0) io_chaos_salvage_sweep(dir);
+  if (failures > 0) {
+    std::fprintf(stderr, "io chaos: on-disk debris kept in %s\n",
+                 dir.c_str());
+    return;
+  }
+  if (scratch) {
+    for (const IoChaosArtifact& a : artifacts) {
+      io_chaos_reset(dir + "/" + a.name + ".artifact");
+      io_chaos_reset(dir + "/" + a.name + ".faulted");
+    }
+    io_chaos_reset(dir + "/cache.salvage");
+    rmdir(dir.c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -921,6 +1388,8 @@ int main(int argc, char** argv) {
   std::size_t serve_fuzz_iters = 0;
   double serve_soak_seconds = 0;
   std::string serve_report;
+  bool io_chaos_enabled = false;
+  std::string io_artifacts_dir;
   for (int i = 1; i < argc; ++i) {
     const auto next_value = [&](const char* flag) -> long long {
       if (i + 1 >= argc) {
@@ -992,6 +1461,14 @@ int main(int argc, char** argv) {
         return 2;
       }
       serve_report = argv[++i];
+    } else if (std::strcmp(argv[i], "--io-chaos") == 0) {
+      io_chaos_enabled = true;
+    } else if (std::strcmp(argv[i], "--io-artifacts") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --io-artifacts\n");
+        return 2;
+      }
+      io_artifacts_dir = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--instances N] [--fuzz-iters N] [--seed S] "
@@ -999,7 +1476,8 @@ int main(int argc, char** argv) {
                    "[--fault-plans DIR] [--engine-jobs N] "
                    "[--engine-report FILE] [--engine-cache] "
                    "[--serve-fuzz N] [--serve-soak SECONDS] "
-                   "[--serve-report FILE]\n",
+                   "[--serve-report FILE] [--io-chaos] "
+                   "[--io-artifacts DIR]\n",
                    argv[0]);
       return 2;
     }
@@ -1053,6 +1531,17 @@ int main(int argc, char** argv) {
     } catch (const std::exception& e) {
       fail(std::string("engine chaos threw: ") + e.what());
     }
+  }
+
+  if (io_chaos_enabled) {
+    try {
+      io_chaos(io_artifacts_dir, fault_seed);
+    } catch (const std::exception& e) {
+      fail(std::string("io chaos threw: ") + e.what());
+    }
+    if (failures == 0)
+      std::printf("io chaos: kill sweep + fault plans survived on all "
+                  "three artifact paths\n");
   }
 
   fuzz_parsers(rng, fuzz_iters);
