@@ -19,6 +19,8 @@
 #include "engine/job.hpp"
 #include "engine/retry.hpp"
 #include "fault/fault.hpp"
+#include "supervise/supervisor.hpp"
+#include "supervise/worker.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -93,7 +95,10 @@ bool results_identical(const engine::JobResult& a,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // This binary hosts subprocess pool workers for the isolation-overhead
+  // rows (the supervisor re-execs it); no-op unless exec'd as a worker.
+  defender::supervise::worker_trampoline(argc, argv);
   bench::banner("E21 — batch engine: worker-count-invariant results, "
                 "throughput, per-job isolation",
                 "a fixed-seed batch is bit-identical at 1/4/8 workers; a "
@@ -213,6 +218,56 @@ int main() {
            static_cast<std::uint64_t>(iso_report.deadline_kills))
       .num("faulted_jobs",
            static_cast<std::uint64_t>(iso_report.faulted_jobs))
+      .emit();
+
+  // --- Process isolation overhead (docs/SUPERVISION.md): the same
+  // 64-job batch through the in-process pool and the supervised
+  // subprocess pool at the same worker count. Fault plans are stripped so
+  // the pair measures pure isolation cost (fork/exec amortized over the
+  // pool's lifetime, job/result framing, heartbeat traffic) rather than
+  // injected chaos, and the determinism contract is asserted on the side:
+  // process-mode results must be bit-identical to in-process ones.
+  std::vector<engine::SolveJob> clean_jobs = build_throughput_batch();
+  for (engine::SolveJob& job : clean_jobs) job.fault_plan = fault::FaultPlan{};
+  constexpr std::size_t kIsoWorkers = 4;
+
+  engine::EngineConfig inproc_config;
+  inproc_config.workers = kIsoWorkers;
+  engine::SolveEngine inproc(inproc_config);
+  inproc.run(clean_jobs);  // warm-up
+  const auto t_inproc = bench::case_clock();
+  const engine::BatchReport inproc_report = inproc.run(clean_jobs);
+  const double inproc_s = obs::Clock::seconds_since(t_inproc);
+
+  supervise::PoolConfig pool_config;
+  pool_config.workers = kIsoWorkers;
+  supervise::WorkerPool pool(pool_config);
+  pool.run(clean_jobs);  // warm-up (workers forked, pages faulted)
+  const auto t_pool = bench::case_clock();
+  const supervise::SupervisedReport pool_report = pool.run(clean_jobs);
+  const double pool_s = obs::Clock::seconds_since(t_pool);
+
+  bool process_identical = true;
+  for (std::size_t i = 0; i < clean_jobs.size(); ++i)
+    process_identical =
+        process_identical && results_identical(inproc_report.results[i],
+                                               pool_report.batch.results[i]);
+  all_ok = all_ok && process_identical &&
+           pool_report.worker_restarts == 0 &&
+           pool_report.quarantined_jobs == 0;
+  std::cout << "process isolation: in-process "
+            << util::fixed(inproc_s * 1e3, 1) << " ms vs subprocess "
+            << util::fixed(pool_s * 1e3, 1) << " ms ("
+            << util::fixed(100.0 * (pool_s - inproc_s) / inproc_s, 1)
+            << "% overhead), bit-identical="
+            << (process_identical ? "yes" : "NO") << '\n';
+  bench::case_line("E21", "process isolation overhead", ref_board, 2, t_pool)
+      .num("workers", static_cast<std::uint64_t>(kIsoWorkers))
+      .num("jobs", static_cast<std::uint64_t>(clean_jobs.size()))
+      .num("inprocess_ms", inproc_s * 1e3)
+      .num("subprocess_ms", pool_s * 1e3)
+      .num("overhead_pct", 100.0 * (pool_s - inproc_s) / inproc_s)
+      .boolean("identical", process_identical)
       .emit();
 
   bench::verdict(all_ok,

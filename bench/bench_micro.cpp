@@ -17,12 +17,15 @@
 #include "core/double_oracle.hpp"
 #include "core/payoff.hpp"
 #include "core/zero_sum.hpp"
+#include "engine/engine.hpp"
+#include "engine/job.hpp"
 #include "fault/fault.hpp"
 #include "graph/generators.hpp"
 #include "io/atomic_file.hpp"
 #include "io/envelope.hpp"
 #include "obs/context.hpp"
 #include "sim/playout.hpp"
+#include "supervise/wire.hpp"
 #include "util/random.hpp"
 
 namespace {
@@ -179,6 +182,78 @@ void BM_Playouts(benchmark::State& state) {
                           10000);
 }
 BENCHMARK(BM_Playouts);
+
+// --------------------------------------------------------------------------
+// Supervise IPC framing (docs/SUPERVISION.md): what shipping a job to a
+// subprocess worker costs before any solving happens — serialize the
+// SolveJob to its wire frame, seal it in the checksummed envelope, feed
+// it back through the FrameReader, and reconstruct the job. Arg is the
+// grid side, so the board (and payload) scales quadratically.
+
+void BM_IpcRoundTrip_Job(benchmark::State& state) {
+  const std::size_t side = static_cast<std::size_t>(state.range(0));
+  const graph::Graph g = graph::grid_graph(side, side);
+  engine::SolveJob job(core::TupleGame(g, 2, 1));
+  job.budget = SolveBudget::iterations(100);
+  const engine::EngineConfig config;
+  std::size_t frame_bytes = 0;
+  for (auto _ : state) {
+    const supervise::JobFrame frame =
+        supervise::frame_from_job(job, 7, config);
+    const std::string sealed =
+        supervise::make_frame(supervise::kJobFormat,
+                              supervise::to_text(frame));
+    frame_bytes = sealed.size();
+    supervise::FrameReader reader;
+    reader.feed(sealed.data(), sealed.size());
+    supervise::FrameReader::Frame out;
+    if (reader.next(&out, nullptr) != supervise::FrameReader::Next::kFrame) {
+      state.SkipWithError("job frame did not round-trip");
+      return;
+    }
+    const Solved<supervise::JobFrame> parsed =
+        supervise::try_parse_job_frame(out.payload);
+    std::optional<engine::SolveJob> back;
+    benchmark::DoNotOptimize(
+        supervise::job_from_frame(parsed.result, &back).ok());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(frame_bytes));
+}
+BENCHMARK(BM_IpcRoundTrip_Job)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_IpcRoundTrip_Result(benchmark::State& state) {
+  // A result frame shaped like a retried job: two attempt records plus a
+  // closed bracket, the common worst case on the result pipe.
+  supervise::ResultFrame frame;
+  frame.job_index = 7;
+  frame.dispatch = 1;
+  frame.result.value = 0.625;
+  frame.result.lower_bound = 0.5;
+  frame.result.upper_bound = 0.625;
+  frame.result.iterations = 4'000;
+  frame.result.attempts.resize(2);
+  frame.result.attempts[1].attempt = 1;
+  std::size_t frame_bytes = 0;
+  for (auto _ : state) {
+    const std::string sealed =
+        supervise::make_frame(supervise::kResultFormat,
+                              supervise::to_text(frame));
+    frame_bytes = sealed.size();
+    supervise::FrameReader reader;
+    reader.feed(sealed.data(), sealed.size());
+    supervise::FrameReader::Frame out;
+    if (reader.next(&out, nullptr) != supervise::FrameReader::Next::kFrame) {
+      state.SkipWithError("result frame did not round-trip");
+      return;
+    }
+    benchmark::DoNotOptimize(
+        supervise::try_parse_result_frame(out.payload).ok());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(frame_bytes));
+}
+BENCHMARK(BM_IpcRoundTrip_Result);
 
 // --------------------------------------------------------------------------
 // Durable artifact writes (docs/DURABILITY.md): what the crash-safe

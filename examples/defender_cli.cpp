@@ -38,7 +38,11 @@
 //     "attempts=3,grow=4,scale=10,fallback=on,backoff-ms=0,cap-ms=1000";
 //   * --deadline, --fault-rate, --fault-seed apply per job in batch mode
 //     (the deadline becomes each job's watchdog; fault plans derive
-//     per-job seeds so schedules are independent of worker count).
+//     per-job seeds so schedules are independent of worker count);
+//   * --isolate        run the batch through a supervised subprocess pool
+//     (docs/SUPERVISION.md): a crashing or hanging solver kills a worker
+//     process, never the CLI; non-faulted results stay bit-identical to
+//     the in-process engine.
 //
 // Canonical-form solve cache (see docs/CACHE.md):
 //   * --cache FILE     arm a SolveCache for the batch: isomorphic jobs
@@ -54,15 +58,19 @@
 //                     [--save-checkpoint FILE] [--resume-checkpoint FILE]
 //                     [--batch FILE] [--jobs N] [--retry-ladder SPEC]
 //                     [--cache FILE] [--cache-size N] [FILE]
+#include <algorithm>
 #include <cerrno>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cache/cache.hpp"
@@ -86,6 +94,8 @@
 #include "obs/context.hpp"
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
+#include "supervise/supervisor.hpp"
+#include "supervise/worker.hpp"
 #include "util/assert.hpp"
 #include "util/json_writer.hpp"
 
@@ -102,7 +112,8 @@ void usage() {
                "[--resume-checkpoint FILE]\n"
                "                    [--batch FILE] [--jobs N] "
                "[--retry-ladder SPEC]\n"
-               "                    [--cache FILE] [--cache-size N] [FILE]\n"
+               "                    [--isolate] [--cache FILE] "
+               "[--cache-size N] [FILE]\n"
             << "  FILE holds 'n m' then one 'u v' line per edge; stdin when "
                "omitted.\n"
             << "  --budget-iters / --deadline bound the game-value solve; "
@@ -292,13 +303,31 @@ int run_batch(const defender::graph::Graph& g,
     jobs.push_back(std::move(job));
   }
 
-  engine::SolveEngine pool(config);
-  const engine::BatchReport report = pool.run(jobs);
+  engine::BatchReport report;
+  std::optional<supervise::SupervisedReport> supervised;
+  if (config.isolation == engine::IsolationMode::kProcess) {
+    // Process isolation: a supervised subprocess pool replaces the thread
+    // pool; non-faulted results are bit-identical (docs/SUPERVISION.md).
+    supervise::PoolConfig pool_config;
+    pool_config.workers =
+        config.workers == 0
+            ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+            : config.workers;
+    pool_config.engine = config;
+    pool_config.metrics = config.metrics;
+    supervise::WorkerPool pool(pool_config);
+    supervised = pool.run(jobs);
+    report = supervised->batch;
+  } else {
+    engine::SolveEngine pool(config);
+    report = pool.run(jobs);
+  }
 
   std::cout << "Batch: " << jobs.size() << " jobs, "
             << (config.workers == 0 ? std::string("auto")
                                     : std::to_string(config.workers))
-            << " workers, ladder " << config.retry.to_string() << "\n\n";
+            << (supervised.has_value() ? " isolated workers" : " workers")
+            << ", ladder " << config.retry.to_string() << "\n\n";
   std::printf("%4s  %-24s  %-20s  %10s  %-25s  %8s  %s\n", "job", "solver",
               "status", "value", "bracket", "attempts", "flags");
   for (const engine::JobResult& r : report.results) {
@@ -319,6 +348,13 @@ int run_batch(const defender::graph::Graph& g,
       "jobs, %.3fs\n",
       report.completed, report.degraded, report.retries,
       report.deadline_kills, report.faulted_jobs, report.elapsed_seconds);
+  if (supervised.has_value())
+    std::printf(
+        "Supervision: %zu worker restarts, %zu quarantined, %zu heartbeat "
+        "misses, %zu checkpoints streamed, %zu resumed dispatches\n",
+        supervised->worker_restarts, supervised->quarantined_jobs,
+        supervised->heartbeat_misses, supervised->checkpoints_streamed,
+        supervised->resumed_dispatches);
   return report.degraded == 0 ? 0 : 1;
 }
 
@@ -335,6 +371,9 @@ int run_connect(const defender::graph::Graph& g,
                 const std::string& address, const std::string& client_name,
                 const std::string& report_path) {
   using namespace defender;
+  // Process-wide: the server closing mid-write (a drain, a crash) must
+  // surface as a send error on this connection, not kill the CLI.
+  std::signal(SIGPIPE, SIG_IGN);
   Solved<serve::LineClient> connected = serve::LineClient::connect(address);
   if (!connected.ok()) return fail_invalid(connected.status.message);
   serve::LineClient client = std::move(connected.result);
@@ -431,8 +470,13 @@ int run_connect(const defender::graph::Graph& g,
 
 int main(int argc, char** argv) {
   using namespace defender;
+
+  // Worker re-exec entry point: when a supervised pool forked this binary
+  // as a worker, this call never returns. Must precede everything else.
+  supervise::worker_trampoline(argc, argv);
+
   std::size_t k = 2, nu = 4;
-  bool dot = false, dump_metrics = false;
+  bool dot = false, dump_metrics = false, isolate = false;
   std::string file, trace_path, chrome_trace_path;
   std::string save_checkpoint_path, resume_checkpoint_path;
   std::string batch_path, retry_spec, cache_path;
@@ -485,6 +529,8 @@ int main(int argc, char** argv) {
       connect_client = argv[++i];
     } else if (arg == "--report" && i + 1 < argc) {
       report_path = argv[++i];
+    } else if (arg == "--isolate") {
+      isolate = true;
     } else if (arg == "--metrics") {
       dump_metrics = true;
     } else if (arg == "--dot") {
@@ -545,6 +591,17 @@ int main(int argc, char** argv) {
 
   if (!connect_address.empty() && batch_path.empty())
     return fail_invalid("--connect requires --batch (the jobs to ship)");
+  if (isolate && batch_path.empty())
+    return fail_invalid("--isolate requires --batch (it isolates the "
+                        "engine pool, not the single-board analysis)");
+  if (isolate && !connect_address.empty())
+    return fail_invalid("--isolate cannot be combined with --connect "
+                        "(isolation is server-side: defender_serve "
+                        "--isolate-workers)");
+  if (isolate && !cache_path.empty())
+    return fail_invalid("--cache cannot be combined with --isolate: "
+                        "subprocess workers are cache-less, so the store "
+                        "would silently stop filling");
 
   // Batch engine mode: run the jobs through the resilient SolveEngine pool
   // and skip the single-board analysis entirely.
@@ -564,6 +621,7 @@ int main(int argc, char** argv) {
                          report_path);
     engine::EngineConfig config;
     config.workers = pool_workers;
+    if (isolate) config.isolation = engine::IsolationMode::kProcess;
     if (!retry_spec.empty()) {
       const Solved<engine::RetryPolicy> ladder =
           engine::RetryPolicy::try_parse(retry_spec);

@@ -27,6 +27,12 @@
 //   * observability: {"type":"metrics"} returns the full metrics registry
 //     as JSON; --metrics dumps it on exit.
 //
+//   * process isolation: --isolate-workers routes every solve through a
+//     supervised subprocess pool (docs/SUPERVISION.md) so a crashing or
+//     hanging solver kills a worker process, never the service; crashed
+//     jobs are retried (resuming from streamed checkpoints) and poison
+//     jobs are quarantined with status "worker-crashed".
+//
 // Usage: defender_serve [--tcp HOST:PORT] [--unix PATH] [--jobs N]
 //                       [--queue-high N] [--queue-low N]
 //                       [--rate R] [--burst N] [--max-inflight N]
@@ -35,7 +41,8 @@
 //                       [--retry-ladder SPEC] [--cache FILE]
 //                       [--cache-size N] [--resume FILE]
 //                       [--resume-report FILE] [--drain-manifest FILE]
-//                       [--port-file FILE] [--metrics]
+//                       [--port-file FILE] [--isolate-workers] [--metrics]
+#include <algorithm>
 #include <csignal>
 #include <cstdint>
 #include <cstdlib>
@@ -51,6 +58,8 @@
 #include "obs/metrics.hpp"
 #include "serve/drain.hpp"
 #include "serve/server.hpp"
+#include "supervise/supervisor.hpp"
+#include "supervise/worker.hpp"
 
 namespace {
 
@@ -72,7 +81,7 @@ void usage() {
          "                      [--cache-size N] [--resume FILE]\n"
          "                      [--resume-report FILE]\n"
          "                      [--drain-manifest FILE] [--port-file FILE]\n"
-         "                      [--metrics]\n"
+         "                      [--isolate-workers] [--metrics]\n"
          "  Serves JSONL solve requests (docs/SERVE.md). SIGTERM drains\n"
          "  gracefully: unfinished jobs (with checkpoints) are written to\n"
          "  the --drain-manifest file; restart with --resume FILE to\n"
@@ -114,11 +123,21 @@ bool parse_count_arg(const char* arg, std::size_t* out) {
 int main(int argc, char** argv) {
   using namespace defender;
 
+  // Worker re-exec entry point: when the supervisor forked this binary as
+  // a pool worker, this call never returns. Must precede everything else.
+  supervise::worker_trampoline(argc, argv);
+
+  // Process-wide, before any socket or pipe exists: a peer (client socket
+  // or supervised worker) dying mid-write must surface as EPIPE, not kill
+  // the service.
+  std::signal(SIGPIPE, SIG_IGN);
+
   serve::ServerConfig config;
   std::string retry_spec, cache_path, resume_path, resume_report_path;
   std::string drain_manifest_path, port_file_path;
   std::size_t cache_capacity = cache::kDefaultCacheCapacity;
   bool dump_metrics = false;
+  bool isolate_workers = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -189,6 +208,8 @@ int main(int argc, char** argv) {
       drain_manifest_path = argv[++i];
     } else if (arg == "--port-file" && i + 1 < argc) {
       port_file_path = argv[++i];
+    } else if (arg == "--isolate-workers") {
+      isolate_workers = true;
     } else if (arg == "--metrics") {
       dump_metrics = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -207,6 +228,28 @@ int main(int argc, char** argv) {
     config.service.engine.retry = ladder.result;
   }
   config.service.engine.metrics = &obs::MetricsRegistry::global();
+
+  if (isolate_workers && !cache_path.empty())
+    return fail("--cache cannot be combined with --isolate-workers: "
+                "subprocess workers are cache-less, so a shared cache "
+                "would silently stop filling");
+
+  // Subprocess isolation: one supervised pool, sized like the service
+  // thread pool, consumed through the isolated_run hook.
+  std::unique_ptr<supervise::WorkerPool> worker_pool;
+  if (isolate_workers) {
+    supervise::PoolConfig pool_config;
+    pool_config.workers = std::max<std::size_t>(1, config.service.workers);
+    pool_config.engine = config.service.engine;
+    pool_config.metrics = config.service.engine.metrics;
+    worker_pool = std::make_unique<supervise::WorkerPool>(pool_config);
+    supervise::WorkerPool* pool = worker_pool.get();
+    config.service.isolated_run =
+        [pool](const engine::SolveJob& job, std::size_t job_index,
+               const engine::JobRunHooks& hooks) {
+          return pool->run_one(job, job_index, hooks);
+        };
+  }
 
   // Shared canonical-form cache across every request (docs/CACHE.md):
   // isomorphic boards submitted by different clients cost one solve.
@@ -264,7 +307,6 @@ int main(int argc, char** argv) {
   g_server = &server;
   std::signal(SIGTERM, on_signal);
   std::signal(SIGINT, on_signal);
-  std::signal(SIGPIPE, SIG_IGN);
 
   std::cout << "defender_serve: listening";
   if (server.tcp_port() != 0) std::cout << " tcp=" << server.tcp_port();

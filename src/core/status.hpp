@@ -53,6 +53,12 @@ enum class StatusCode {
   /// repair. The message names the path. Solver state is unaffected —
   /// this code only ever comes out of the io layer and its callers.
   kIoError,
+  /// A process-isolated worker died (or was force-killed after a hang)
+  /// while running this job, repeatedly enough that the supervisor
+  /// quarantined the job instead of crash-looping the pool. The result
+  /// carries only the a-priori bracket; the message names the kill count.
+  /// Emitted by src/supervise only.
+  kWorkerCrashed,
 };
 
 /// Every StatusCode, in enum order. The compile-time audit below keeps
@@ -67,6 +73,7 @@ inline constexpr StatusCode kAllStatusCodes[] = {
     StatusCode::kCancelled,
     StatusCode::kOverloaded,
     StatusCode::kIoError,
+    StatusCode::kWorkerCrashed,
 };
 inline constexpr std::size_t kStatusCodeCount =
     sizeof(kAllStatusCodes) / sizeof(kAllStatusCodes[0]);
@@ -83,6 +90,7 @@ constexpr const char* to_string(StatusCode code) {
     case StatusCode::kCancelled: return "cancelled";
     case StatusCode::kOverloaded: return "overloaded";
     case StatusCode::kIoError: return "io-error";
+    case StatusCode::kWorkerCrashed: return "worker-crashed";
   }
   return "unknown";
 }
@@ -119,7 +127,7 @@ constexpr bool status_codes_round_trip() {
 }
 }  // namespace status_detail
 static_assert(kStatusCodeCount ==
-                  static_cast<std::size_t>(StatusCode::kIoError) + 1,
+                  static_cast<std::size_t>(StatusCode::kWorkerCrashed) + 1,
               "kAllStatusCodes must list every StatusCode");
 static_assert(status_detail::status_codes_round_trip(),
               "every StatusCode must round-trip through to_string / "

@@ -50,6 +50,19 @@
 
 namespace defender::engine {
 
+/// How batch jobs are isolated from one another. kThread is the
+/// SolveEngine pool in this translation unit; kProcess asks for the
+/// supervised subprocess pool (src/supervise, docs/SUPERVISION.md), which
+/// reads this config and survives worker segfaults, aborts, and OOM
+/// kills. SolveEngine::run() itself always runs thread-mode; callers that
+/// honour kProcess (defender_cli --isolate, defender_serve
+/// --isolate-workers) construct a supervise::WorkerPool from the same
+/// EngineConfig instead.
+enum class IsolationMode {
+  kThread,
+  kProcess,
+};
+
 /// Engine-wide configuration; plain data.
 struct EngineConfig {
   /// Worker threads. 0 = one per hardware thread; the pool never spawns
@@ -87,6 +100,9 @@ struct EngineConfig {
   /// from entries stored mid-batch — keeping results worker-count
   /// invariant (though NOT identical to a cold cache-off run).
   bool cache_warm_start = false;
+  /// Requested isolation level (see IsolationMode). Consumed by the
+  /// supervise layer; SolveEngine::run() ignores it.
+  IsolationMode isolation = IsolationMode::kThread;
 };
 
 /// Outcome of one run(): per-job results in submission order plus batch

@@ -43,12 +43,25 @@ Solved<FaultPlan> parse_error(std::size_t line, const std::string& what) {
 
 }  // namespace
 
+bool FaultContext::scheduled(const FaultPlan& plan, FaultSite site,
+                             std::uint64_t evaluation) {
+  const auto i = static_cast<std::size_t>(site);
+  const double r = plan.rate[i];
+  if (r <= 0) return false;
+  return to_unit(draw(plan.seed, i, evaluation)) < r;
+}
+
+std::uint64_t FaultContext::scheduled_aux(const FaultPlan& plan,
+                                          FaultSite site,
+                                          std::uint64_t evaluation) {
+  const auto i = static_cast<std::size_t>(site);
+  return draw(plan.seed, kFaultSiteCount + i, evaluation);
+}
+
 bool FaultContext::fires(FaultSite site) {
   const auto i = static_cast<std::size_t>(site);
   const std::uint64_t n = evals_[i]++;
-  const double r = plan_.rate[i];
-  if (r <= 0) return false;
-  if (to_unit(draw(plan_.seed, i, n)) >= r) return false;
+  if (!scheduled(plan_, site, n)) return false;
   ++fires_[i];
   return true;
 }
@@ -56,7 +69,7 @@ bool FaultContext::fires(FaultSite site) {
 std::uint64_t FaultContext::aux(FaultSite site) {
   const auto i = static_cast<std::size_t>(site);
   const std::uint64_t n = aux_[i]++;
-  return draw(plan_.seed, kFaultSiteCount + i, n);
+  return scheduled_aux(plan_, site, n);
 }
 
 std::string FaultContext::summary() const {

@@ -47,6 +47,15 @@
 //   kIoBitFlip        silently flips one bit of the outgoing artifact
 //                     image; the write reports success and only the
 //                     CRC32C envelope can catch it at load time.
+//   kWorkerCrash      hard-kills a process-isolated solve worker (SIGKILL
+//                     on itself) right after it accepts a job, so the
+//                     supervisor must detect the death, restart the
+//                     worker, and re-dispatch or quarantine the job
+//                     (evaluated by src/supervise, not the solvers).
+//   kWorkerHang       makes a process-isolated worker stop heartbeating
+//                     and ignore SIGTERM, forcing the supervisor through
+//                     its full heartbeat-deadline → SIGTERM → SIGKILL
+//                     escalation (evaluated by src/supervise).
 //
 // Every decision is a pure function of (plan seed, site, per-site call
 // counter), so a fault schedule is fully described by its plan — a failing
@@ -79,6 +88,8 @@ enum class FaultSite {
   kIoEnospc,
   kIoRenameFail,
   kIoBitFlip,
+  kWorkerCrash,
+  kWorkerHang,
 };
 
 inline constexpr FaultSite kAllFaultSites[] = {
@@ -88,7 +99,8 @@ inline constexpr FaultSite kAllFaultSites[] = {
     FaultSite::kClockSkew,       FaultSite::kDeadlineStarve,
     FaultSite::kWorkerStall,     FaultSite::kIoShortWrite,
     FaultSite::kIoEnospc,        FaultSite::kIoRenameFail,
-    FaultSite::kIoBitFlip,
+    FaultSite::kIoBitFlip,       FaultSite::kWorkerCrash,
+    FaultSite::kWorkerHang,
 };
 inline constexpr std::size_t kFaultSiteCount =
     sizeof(kAllFaultSites) / sizeof(kAllFaultSites[0]);
@@ -109,6 +121,8 @@ constexpr const char* to_string(FaultSite site) {
     case FaultSite::kIoEnospc: return "io-enospc";
     case FaultSite::kIoRenameFail: return "io-rename-fail";
     case FaultSite::kIoBitFlip: return "io-bit-flip";
+    case FaultSite::kWorkerCrash: return "worker-crash";
+    case FaultSite::kWorkerHang: return "worker-hang";
   }
   return "unknown";
 }
@@ -142,7 +156,7 @@ constexpr bool fault_sites_round_trip() {
 }
 }  // namespace detail
 static_assert(kFaultSiteCount ==
-                  static_cast<std::size_t>(FaultSite::kIoBitFlip) + 1,
+                  static_cast<std::size_t>(FaultSite::kWorkerHang) + 1,
               "kAllFaultSites must list every FaultSite");
 static_assert(detail::fault_sites_round_trip(),
               "every FaultSite must round-trip through to_string / "
@@ -200,6 +214,20 @@ class FaultContext {
   /// Deterministic auxiliary draw for the site (poison selection, index
   /// choice, skew magnitude); advances its own per-site counter.
   std::uint64_t aux(FaultSite site);
+
+  /// Stateless form of fires(): whether evaluation number `evaluation`
+  /// (0-based) of `site` is scheduled to fail under `plan`. fires() is
+  /// exactly scheduled(plan(), site, n) for the n-th call. The supervise
+  /// layer uses this to decide worker-crash/worker-hang faults from the
+  /// plan alone, without touching the job's own FaultContext counters —
+  /// so a job's faults_injected stays bit-identical to a serial run.
+  static bool scheduled(const FaultPlan& plan, FaultSite site,
+                        std::uint64_t evaluation);
+
+  /// Stateless form of aux(): the auxiliary draw paired with evaluation
+  /// number `evaluation` of `site`.
+  static std::uint64_t scheduled_aux(const FaultPlan& plan, FaultSite site,
+                                     std::uint64_t evaluation);
 
   const FaultPlan& plan() const { return plan_; }
 

@@ -303,7 +303,9 @@ void SolveService::worker_loop() {
 
     const Clock::time_point started = Clock::now();
     engine::JobResult result =
-        engine_.run_one(task->job, task->job_index, hooks);
+        config_.isolated_run
+            ? config_.isolated_run(task->job, task->job_index, hooks)
+            : engine_.run_one(task->job, task->job_index, hooks);
     if (metrics != nullptr)
       metrics->histogram("serve.job_ms")
           .observe(seconds_between(started, Clock::now()) * 1e3);

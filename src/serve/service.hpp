@@ -73,6 +73,17 @@ struct ServiceConfig {
   /// cache). `workers` and `cache_warm_start` are ignored on this path —
   /// the service owns its pool, and run_one never warm-starts.
   engine::EngineConfig engine;
+  /// Optional process-isolation hook. When set, service worker threads
+  /// delegate each job here instead of calling the in-process engine —
+  /// defender_serve --isolate-workers points this at a
+  /// supervise::WorkerPool::run_one so a crashing solve kills a subprocess,
+  /// not the service. The hook must honor the engine::run_one JobRunHooks
+  /// contract (cancel observed, resume consumed, capture filled on a
+  /// cancelled exit) so drain manifests keep round-tripping bit-identically.
+  std::function<engine::JobResult(const engine::SolveJob& job,
+                                  std::size_t job_index,
+                                  const engine::JobRunHooks& hooks)>
+      isolated_run;
 };
 
 /// Outcome of a submit(): admitted (kOk) or rejected with the reason.

@@ -1,0 +1,865 @@
+#include "supervise/wire.hpp"
+
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "fault/fault.hpp"
+#include "graph/graph.hpp"
+#include "io/envelope.hpp"
+
+namespace defender::supervise {
+
+namespace {
+
+template <typename T>
+Solved<T> parse_error(const char* what_frame, std::size_t line,
+                      const std::string& what) {
+  Solved<T> out;
+  out.status = Status::make(StatusCode::kInvalidInput,
+                            std::string(what_frame) + " line " +
+                                std::to_string(line) + ": " + what);
+  return out;
+}
+
+bool parse_count(const std::string& token, std::uint64_t cap,
+                 std::uint64_t* out) {
+  if (token.empty() || token[0] == '-') return false;
+  errno = 0;
+  char* rest = nullptr;
+  const unsigned long long v = std::strtoull(token.c_str(), &rest, 10);
+  if (errno != 0 || rest == token.c_str() || *rest != '\0') return false;
+  if (v > cap) return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool parse_size(const std::string& token, std::size_t cap, std::size_t* out) {
+  std::uint64_t v = 0;
+  if (!parse_count(token, cap, &v)) return false;
+  *out = static_cast<std::size_t>(v);
+  return true;
+}
+
+bool parse_finite(const std::string& token, double* out) {
+  if (token.empty()) return false;
+  errno = 0;
+  char* rest = nullptr;
+  const double v = std::strtod(token.c_str(), &rest);
+  if (errno != 0 || rest == token.c_str() || *rest != '\0' ||
+      !std::isfinite(v))
+    return false;
+  *out = v;
+  return true;
+}
+
+bool parse_flag(const std::string& token, bool* out) {
+  if (token == "0") {
+    *out = false;
+    return true;
+  }
+  if (token == "1") {
+    *out = true;
+    return true;
+  }
+  return false;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Number of '\n'-terminated lines in a verbatim text block.
+std::size_t count_lines(const std::string& text) {
+  std::size_t lines = 0;
+  bool pending = false;
+  for (const char c : text) {
+    pending = true;
+    if (c == '\n') {
+      ++lines;
+      pending = false;
+    }
+  }
+  if (pending) ++lines;
+  return lines;
+}
+
+void emit_block(std::ostringstream& os, const char* key,
+                const std::string& text) {
+  os << key << ' ' << count_lines(text) << '\n';
+  if (!text.empty()) {
+    os << text;
+    if (text.back() != '\n') os << '\n';
+  }
+}
+
+constexpr engine::AttemptAction kAllAttemptActions[] = {
+    engine::AttemptAction::kInitial, engine::AttemptAction::kResume,
+    engine::AttemptAction::kEnlarge, engine::AttemptAction::kRescale,
+    engine::AttemptAction::kFallback,
+};
+
+bool try_parse_attempt_action(const std::string& name,
+                              engine::AttemptAction* out) {
+  for (engine::AttemptAction a : kAllAttemptActions) {
+    if (name == engine::to_string(a)) {
+      *out = a;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Line-by-line cursor over a payload, mirroring the drain-manifest
+/// parser: next() skips blank lines, next_raw() copies verbatim-block
+/// lines byte for byte.
+struct Cursor {
+  std::istringstream is;
+  std::string line;
+  std::size_t line_no = 0;
+
+  explicit Cursor(const std::string& text) : is(text) {}
+
+  bool next() {
+    while (std::getline(is, line)) {
+      ++line_no;
+      bool blank = true;
+      for (char ch : line)
+        if (!std::isspace(static_cast<unsigned char>(ch))) blank = false;
+      if (!blank) return true;
+    }
+    return false;
+  }
+
+  bool next_raw() {
+    if (!std::getline(is, line)) return false;
+    ++line_no;
+    return true;
+  }
+
+  /// Reads a "<key> <line-count>" header plus that many verbatim lines.
+  bool read_block(const std::string& key, std::string* out,
+                  std::string* what) {
+    if (!next()) {
+      *what = "missing '" + key + "' block";
+      return false;
+    }
+    std::istringstream ls(line);
+    std::string k, count_token;
+    std::size_t lines = 0;
+    if (!(ls >> k >> count_token) || k != key ||
+        !parse_size(count_token, kMaxWireBlockLines, &lines)) {
+      *what = "expected '" + key + " <line-count>'";
+      return false;
+    }
+    out->clear();
+    for (std::size_t i = 0; i < lines; ++i) {
+      if (!next_raw()) {
+        *what = "truncated '" + key + "' block";
+        return false;
+      }
+      out->append(line);
+      out->push_back('\n');
+    }
+    return true;
+  }
+};
+
+constexpr std::uint64_t kMaxIndex =
+    std::numeric_limits<std::uint64_t>::max() / 4;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// JobFrame
+
+std::string to_text(const JobFrame& frame) {
+  std::ostringstream os;
+  os << "supervise-job v1\n";
+  os << "job " << frame.job_index << ' ' << frame.dispatch << '\n';
+  os << "solver " << engine::to_string(frame.solver) << '\n';
+  os << "tolerance " << format_double(frame.tolerance) << '\n';
+  os << "budget " << frame.max_iterations << ' '
+     << format_double(frame.wall_clock_seconds) << ' '
+     << frame.oracle_node_budget << '\n';
+  os << "watchdog " << format_double(frame.watchdog_seconds) << '\n';
+  os << "options " << (frame.collect_convergence ? 1 : 0) << ' '
+     << (frame.canonicalize ? 1 : 0) << '\n';
+  os << "retry " << frame.retry.to_string() << '\n';
+  os << "stream " << format_double(frame.stream_interval_seconds) << '\n';
+  os << "board " << frame.n << ' ' << frame.k << ' ' << frame.attackers
+     << '\n';
+  os << "edges " << frame.edges.size();
+  for (const auto& [u, v] : frame.edges) os << ' ' << u << ' ' << v;
+  os << '\n';
+  os << "weights " << frame.weights.size();
+  for (const double w : frame.weights) os << ' ' << format_double(w);
+  os << '\n';
+  emit_block(os, "fault-plan", frame.fault_plan_text);
+  emit_block(os, "checkpoint", frame.checkpoint_text);
+  os << "end\n";
+  return os.str();
+}
+
+Solved<JobFrame> try_parse_job_frame(const std::string& text) {
+  const auto err = [](std::size_t line, const std::string& what) {
+    return parse_error<JobFrame>("supervise-job", line, what);
+  };
+  Cursor c(text);
+  if (!c.next()) return err(1, "empty input");
+  if (c.line != "supervise-job v1")
+    return err(c.line_no, "missing 'supervise-job v1' header");
+
+  JobFrame frame;
+  std::string what;
+
+  if (!c.next()) return err(c.line_no + 1, "missing 'job' line");
+  {
+    std::istringstream ls(c.line);
+    std::string key, index_token, dispatch_token;
+    std::uint64_t index = 0;
+    if (!(ls >> key >> index_token >> dispatch_token) || key != "job" ||
+        !parse_count(index_token, kMaxIndex, &index) ||
+        !parse_count(dispatch_token, kMaxIndex, &frame.dispatch))
+      return err(c.line_no, "expected 'job <index> <dispatch>'");
+    frame.job_index = static_cast<std::size_t>(index);
+  }
+
+  if (!c.next()) return err(c.line_no + 1, "missing 'solver' line");
+  {
+    std::istringstream ls(c.line);
+    std::string key, name;
+    if (!(ls >> key >> name) || key != "solver" ||
+        !engine::try_parse_job_solver(name, &frame.solver))
+      return err(c.line_no, "expected 'solver <name>'");
+  }
+
+  if (!c.next()) return err(c.line_no + 1, "missing 'tolerance' line");
+  {
+    std::istringstream ls(c.line);
+    std::string key, value;
+    if (!(ls >> key >> value) || key != "tolerance" ||
+        !parse_finite(value, &frame.tolerance) || frame.tolerance < 0)
+      return err(c.line_no, "expected 'tolerance <non-negative>'");
+  }
+
+  if (!c.next()) return err(c.line_no + 1, "missing 'budget' line");
+  {
+    std::istringstream ls(c.line);
+    std::string key, iters, wall, oracle;
+    if (!(ls >> key >> iters >> wall >> oracle) || key != "budget" ||
+        !parse_size(iters, kMaxIndex, &frame.max_iterations) ||
+        !parse_finite(wall, &frame.wall_clock_seconds) ||
+        frame.wall_clock_seconds < 0 ||
+        !parse_count(oracle, kMaxIndex, &frame.oracle_node_budget))
+      return err(c.line_no, "expected 'budget <iters> <wall> <oracle>'");
+  }
+
+  if (!c.next()) return err(c.line_no + 1, "missing 'watchdog' line");
+  {
+    std::istringstream ls(c.line);
+    std::string key, value;
+    if (!(ls >> key >> value) || key != "watchdog" ||
+        !parse_finite(value, &frame.watchdog_seconds) ||
+        frame.watchdog_seconds < 0)
+      return err(c.line_no, "expected 'watchdog <seconds>'");
+  }
+
+  if (!c.next()) return err(c.line_no + 1, "missing 'options' line");
+  {
+    std::istringstream ls(c.line);
+    std::string key, conv, canon;
+    if (!(ls >> key >> conv >> canon) || key != "options" ||
+        !parse_flag(conv, &frame.collect_convergence) ||
+        !parse_flag(canon, &frame.canonicalize))
+      return err(c.line_no, "expected 'options <0|1> <0|1>'");
+  }
+
+  if (!c.next()) return err(c.line_no + 1, "missing 'retry' line");
+  {
+    std::istringstream ls(c.line);
+    std::string key, spec;
+    if (!(ls >> key >> spec) || key != "retry")
+      return err(c.line_no, "expected 'retry <spec>'");
+    Solved<engine::RetryPolicy> parsed = engine::RetryPolicy::try_parse(spec);
+    if (!parsed.ok())
+      return err(c.line_no, "bad retry spec: " + parsed.status.message);
+    frame.retry = parsed.result;
+  }
+
+  if (!c.next()) return err(c.line_no + 1, "missing 'stream' line");
+  {
+    std::istringstream ls(c.line);
+    std::string key, value;
+    if (!(ls >> key >> value) || key != "stream" ||
+        !parse_finite(value, &frame.stream_interval_seconds) ||
+        frame.stream_interval_seconds < 0)
+      return err(c.line_no, "expected 'stream <seconds>'");
+  }
+
+  if (!c.next()) return err(c.line_no + 1, "missing 'board' line");
+  {
+    std::istringstream ls(c.line);
+    std::string key, sn, sk, sa;
+    if (!(ls >> key >> sn >> sk >> sa) || key != "board" ||
+        !parse_size(sn, kMaxWireVertices, &frame.n) || frame.n == 0 ||
+        !parse_size(sk, kMaxWireEdges, &frame.k) || frame.k == 0 ||
+        !parse_size(sa, kMaxWireVertices, &frame.attackers) ||
+        frame.attackers == 0)
+      return err(c.line_no, "expected 'board <n> <k> <attackers>'");
+  }
+
+  if (!c.next()) return err(c.line_no + 1, "missing 'edges' line");
+  {
+    std::istringstream ls(c.line);
+    std::string key, count_token;
+    std::size_t count = 0;
+    if (!(ls >> key >> count_token) || key != "edges" ||
+        !parse_size(count_token, kMaxWireEdges, &count))
+      return err(c.line_no, "expected 'edges <count> [u v ...]'");
+    frame.edges.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      std::string su, sv;
+      std::uint64_t u = 0, v = 0;
+      if (!(ls >> su >> sv) || !parse_count(su, kMaxWireVertices, &u) ||
+          !parse_count(sv, kMaxWireVertices, &v))
+        return err(c.line_no, "malformed edge list");
+      frame.edges.emplace_back(static_cast<std::uint32_t>(u),
+                               static_cast<std::uint32_t>(v));
+    }
+    std::string extra;
+    if (ls >> extra) return err(c.line_no, "trailing tokens on 'edges'");
+  }
+
+  if (!c.next()) return err(c.line_no + 1, "missing 'weights' line");
+  {
+    std::istringstream ls(c.line);
+    std::string key, count_token;
+    std::size_t count = 0;
+    if (!(ls >> key >> count_token) || key != "weights" ||
+        !parse_size(count_token, kMaxWireVertices, &count))
+      return err(c.line_no, "expected 'weights <count> [w ...]'");
+    frame.weights.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      std::string sw;
+      double w = 0;
+      if (!(ls >> sw) || !parse_finite(sw, &w))
+        return err(c.line_no, "malformed weight list");
+      frame.weights.push_back(w);
+    }
+    std::string extra;
+    if (ls >> extra) return err(c.line_no, "trailing tokens on 'weights'");
+  }
+
+  if (!c.read_block("fault-plan", &frame.fault_plan_text, &what))
+    return err(c.line_no, what);
+  if (!c.read_block("checkpoint", &frame.checkpoint_text, &what))
+    return err(c.line_no, what);
+
+  if (!c.next() || c.line != "end")
+    return err(c.line_no + 1, "missing 'end' trailer");
+
+  Solved<JobFrame> out;
+  out.result = std::move(frame);
+  out.status = Status::make_ok();
+  return out;
+}
+
+JobFrame frame_from_job(const engine::SolveJob& job, std::size_t job_index,
+                        const engine::EngineConfig& config) {
+  JobFrame frame;
+  frame.job_index = job_index;
+  frame.solver = job.solver;
+  frame.tolerance = job.tolerance;
+  frame.max_iterations = job.budget.max_iterations;
+  frame.wall_clock_seconds = job.budget.wall_clock_seconds;
+  frame.oracle_node_budget = job.budget.oracle_node_budget;
+  frame.watchdog_seconds = job.watchdog_seconds;
+  frame.collect_convergence = config.collect_convergence;
+  frame.canonicalize = config.canonicalize;
+  frame.retry = config.retry;
+  const graph::Graph& g = job.game.graph();
+  frame.n = g.num_vertices();
+  frame.k = job.game.k();
+  frame.attackers = job.game.num_attackers();
+  frame.edges.reserve(g.num_edges());
+  for (const graph::Edge& e : g.edges()) frame.edges.emplace_back(e.u, e.v);
+  frame.weights = job.weights;
+  if (job.fault_plan.armed()) frame.fault_plan_text = job.fault_plan.to_text();
+  return frame;
+}
+
+Status job_from_frame(const JobFrame& frame,
+                      std::optional<engine::SolveJob>* out) {
+  out->reset();
+  try {
+    graph::GraphBuilder builder(frame.n);
+    for (const auto& [u, v] : frame.edges) builder.add_edge(u, v);
+    graph::Graph g = builder.build();
+    if (g.has_isolated_vertex())
+      return Status::make(StatusCode::kInvalidInput,
+                          "job frame board has an isolated vertex");
+    if (frame.k > g.num_edges())
+      return Status::make(StatusCode::kInvalidInput,
+                          "job frame k exceeds edge count");
+    core::TupleGame game(std::move(g), frame.k, frame.attackers);
+    engine::SolveJob job(std::move(game));
+    job.solver = frame.solver;
+    job.tolerance = frame.tolerance;
+    job.budget.max_iterations = frame.max_iterations;
+    job.budget.wall_clock_seconds = frame.wall_clock_seconds;
+    job.budget.oracle_node_budget = frame.oracle_node_budget;
+    job.watchdog_seconds = frame.watchdog_seconds;
+    job.weights = frame.weights;
+    if (!frame.fault_plan_text.empty()) {
+      Solved<fault::FaultPlan> plan =
+          fault::FaultPlan::try_parse(frame.fault_plan_text);
+      if (!plan.ok())
+        return Status::make(StatusCode::kInvalidInput,
+                            "job frame fault plan: " + plan.status.message);
+      job.fault_plan = plan.result;
+    }
+    out->emplace(std::move(job));
+    return Status::make_ok();
+  } catch (const std::exception& e) {
+    return Status::make(StatusCode::kInvalidInput,
+                        std::string("job frame rejected: ") + e.what());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ResultFrame
+
+std::string to_text(const ResultFrame& frame) {
+  const engine::JobResult& r = frame.result;
+  std::ostringstream os;
+  os << "supervise-result v1\n";
+  os << "job " << frame.job_index << ' ' << frame.dispatch << '\n';
+  os << "solver " << engine::to_string(r.solver) << '\n';
+  os << "status " << defender::to_string(r.status.code) << ' '
+     << r.status.iterations << ' ' << format_double(r.status.residual) << ' '
+     << format_double(r.status.elapsed_seconds) << '\n';
+  os << "message";
+  if (!r.status.message.empty()) os << ' ' << r.status.message;
+  os << '\n';
+  os << "value " << format_double(r.value) << ' '
+     << format_double(r.lower_bound) << ' ' << format_double(r.upper_bound)
+     << '\n';
+  os << "iterations " << r.iterations << '\n';
+  os << "flags " << (r.fallback_used ? 1 : 0) << ' '
+     << (r.watchdog_killed ? 1 : 0) << ' ' << r.faults_injected << ' '
+     << r.convergence_samples << '\n';
+  os << "attempts " << r.attempts.size() << '\n';
+  for (const engine::AttemptRecord& a : r.attempts) {
+    os << "attempt " << a.attempt << ' ' << engine::to_string(a.action)
+       << ' ' << engine::to_string(a.solver) << ' '
+       << defender::to_string(a.outcome) << ' ' << format_double(a.value)
+       << ' ' << format_double(a.lower) << ' ' << format_double(a.upper)
+       << ' ' << a.iterations << ' ' << format_double(a.elapsed_seconds)
+       << '\n';
+  }
+  emit_block(os, "checkpoint", frame.checkpoint_text);
+  os << "end\n";
+  return os.str();
+}
+
+Solved<ResultFrame> try_parse_result_frame(const std::string& text) {
+  const auto err = [](std::size_t line, const std::string& what) {
+    return parse_error<ResultFrame>("supervise-result", line, what);
+  };
+  Cursor c(text);
+  if (!c.next()) return err(1, "empty input");
+  if (c.line != "supervise-result v1")
+    return err(c.line_no, "missing 'supervise-result v1' header");
+
+  ResultFrame frame;
+  engine::JobResult& r = frame.result;
+  std::string what;
+
+  if (!c.next()) return err(c.line_no + 1, "missing 'job' line");
+  {
+    std::istringstream ls(c.line);
+    std::string key, index_token, dispatch_token;
+    std::uint64_t index = 0;
+    if (!(ls >> key >> index_token >> dispatch_token) || key != "job" ||
+        !parse_count(index_token, kMaxIndex, &index) ||
+        !parse_count(dispatch_token, kMaxIndex, &frame.dispatch))
+      return err(c.line_no, "expected 'job <index> <dispatch>'");
+    frame.job_index = static_cast<std::size_t>(index);
+    r.job_index = frame.job_index;
+  }
+
+  if (!c.next()) return err(c.line_no + 1, "missing 'solver' line");
+  {
+    std::istringstream ls(c.line);
+    std::string key, name;
+    if (!(ls >> key >> name) || key != "solver" ||
+        !engine::try_parse_job_solver(name, &r.solver))
+      return err(c.line_no, "expected 'solver <name>'");
+  }
+
+  if (!c.next()) return err(c.line_no + 1, "missing 'status' line");
+  {
+    std::istringstream ls(c.line);
+    std::string key, code, iters, residual, elapsed;
+    std::size_t it = 0;
+    if (!(ls >> key >> code >> iters >> residual >> elapsed) ||
+        key != "status" || !try_parse_status_code(code, &r.status.code) ||
+        !parse_size(iters, kMaxIndex, &it) ||
+        !parse_finite(residual, &r.status.residual) ||
+        !parse_finite(elapsed, &r.status.elapsed_seconds))
+      return err(c.line_no,
+                 "expected 'status <code> <iters> <residual> <elapsed>'");
+    r.status.iterations = it;
+  }
+
+  if (!c.next()) return err(c.line_no + 1, "missing 'message' line");
+  {
+    if (c.line.rfind("message", 0) != 0)
+      return err(c.line_no, "expected 'message [text]'");
+    if (c.line.size() > 8)
+      r.status.message = c.line.substr(8);
+    else if (c.line != "message" && c.line != "message ")
+      return err(c.line_no, "expected 'message [text]'");
+  }
+
+  if (!c.next()) return err(c.line_no + 1, "missing 'value' line");
+  {
+    std::istringstream ls(c.line);
+    std::string key, sv, sl, su;
+    if (!(ls >> key >> sv >> sl >> su) || key != "value" ||
+        !parse_finite(sv, &r.value) || !parse_finite(sl, &r.lower_bound) ||
+        !parse_finite(su, &r.upper_bound))
+      return err(c.line_no, "expected 'value <v> <lower> <upper>'");
+  }
+
+  if (!c.next()) return err(c.line_no + 1, "missing 'iterations' line");
+  {
+    std::istringstream ls(c.line);
+    std::string key, token;
+    if (!(ls >> key >> token) || key != "iterations" ||
+        !parse_size(token, kMaxIndex, &r.iterations))
+      return err(c.line_no, "expected 'iterations <n>'");
+  }
+
+  if (!c.next()) return err(c.line_no + 1, "missing 'flags' line");
+  {
+    std::istringstream ls(c.line);
+    std::string key, fb, wd, faults, conv;
+    if (!(ls >> key >> fb >> wd >> faults >> conv) || key != "flags" ||
+        !parse_flag(fb, &r.fallback_used) ||
+        !parse_flag(wd, &r.watchdog_killed) ||
+        !parse_count(faults, kMaxIndex, &r.faults_injected) ||
+        !parse_size(conv, kMaxIndex, &r.convergence_samples))
+      return err(c.line_no,
+                 "expected 'flags <fallback> <watchdog> <faults> <conv>'");
+  }
+
+  if (!c.next()) return err(c.line_no + 1, "missing 'attempts' line");
+  std::size_t attempt_count = 0;
+  {
+    std::istringstream ls(c.line);
+    std::string key, token;
+    if (!(ls >> key >> token) || key != "attempts" ||
+        !parse_size(token, kMaxWireAttempts, &attempt_count))
+      return err(c.line_no, "expected 'attempts <count>'");
+  }
+  r.attempts.reserve(attempt_count);
+  for (std::size_t i = 0; i < attempt_count; ++i) {
+    if (!c.next()) return err(c.line_no + 1, "truncated attempt list");
+    std::istringstream ls(c.line);
+    std::string key, sattempt, saction, ssolver, soutcome, sv, sl, su, sit,
+        selapsed;
+    engine::AttemptRecord a;
+    if (!(ls >> key >> sattempt >> saction >> ssolver >> soutcome >> sv >>
+          sl >> su >> sit >> selapsed) ||
+        key != "attempt" || !parse_size(sattempt, kMaxIndex, &a.attempt) ||
+        !try_parse_attempt_action(saction, &a.action) ||
+        !engine::try_parse_job_solver(ssolver, &a.solver) ||
+        !try_parse_status_code(soutcome, &a.outcome) ||
+        !parse_finite(sv, &a.value) || !parse_finite(sl, &a.lower) ||
+        !parse_finite(su, &a.upper) ||
+        !parse_size(sit, kMaxIndex, &a.iterations) ||
+        !parse_finite(selapsed, &a.elapsed_seconds))
+      return err(c.line_no, "malformed 'attempt' line");
+    r.attempts.push_back(a);
+  }
+
+  if (!c.read_block("checkpoint", &frame.checkpoint_text, &what))
+    return err(c.line_no, what);
+
+  if (!c.next() || c.line != "end")
+    return err(c.line_no + 1, "missing 'end' trailer");
+
+  Solved<ResultFrame> out;
+  out.result = std::move(frame);
+  out.status = Status::make_ok();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// HeartbeatFrame / CheckpointFrame / CancelFrame / HelloFrame
+
+std::string to_text(const HeartbeatFrame& frame) {
+  std::ostringstream os;
+  os << "supervise-heartbeat v1\nseq " << frame.sequence << "\nend\n";
+  return os.str();
+}
+
+Solved<HeartbeatFrame> try_parse_heartbeat_frame(const std::string& text) {
+  const auto err = [](std::size_t line, const std::string& what) {
+    return parse_error<HeartbeatFrame>("supervise-heartbeat", line, what);
+  };
+  Cursor c(text);
+  if (!c.next()) return err(1, "empty input");
+  if (c.line != "supervise-heartbeat v1")
+    return err(c.line_no, "missing 'supervise-heartbeat v1' header");
+  HeartbeatFrame frame;
+  if (!c.next()) return err(c.line_no + 1, "missing 'seq' line");
+  {
+    std::istringstream ls(c.line);
+    std::string key, token;
+    if (!(ls >> key >> token) || key != "seq" ||
+        !parse_count(token, kMaxIndex, &frame.sequence))
+      return err(c.line_no, "expected 'seq <n>'");
+  }
+  if (!c.next() || c.line != "end")
+    return err(c.line_no + 1, "missing 'end' trailer");
+  Solved<HeartbeatFrame> out;
+  out.result = frame;
+  out.status = Status::make_ok();
+  return out;
+}
+
+std::string to_text(const CheckpointFrame& frame) {
+  std::ostringstream os;
+  os << "supervise-checkpoint v1\n";
+  os << "job " << frame.job_index << ' ' << frame.dispatch << '\n';
+  emit_block(os, "checkpoint", frame.checkpoint_text);
+  os << "end\n";
+  return os.str();
+}
+
+Solved<CheckpointFrame> try_parse_checkpoint_frame(const std::string& text) {
+  const auto err = [](std::size_t line, const std::string& what) {
+    return parse_error<CheckpointFrame>("supervise-checkpoint", line, what);
+  };
+  Cursor c(text);
+  if (!c.next()) return err(1, "empty input");
+  if (c.line != "supervise-checkpoint v1")
+    return err(c.line_no, "missing 'supervise-checkpoint v1' header");
+  CheckpointFrame frame;
+  std::string what;
+  if (!c.next()) return err(c.line_no + 1, "missing 'job' line");
+  {
+    std::istringstream ls(c.line);
+    std::string key, index_token, dispatch_token;
+    std::uint64_t index = 0;
+    if (!(ls >> key >> index_token >> dispatch_token) || key != "job" ||
+        !parse_count(index_token, kMaxIndex, &index) ||
+        !parse_count(dispatch_token, kMaxIndex, &frame.dispatch))
+      return err(c.line_no, "expected 'job <index> <dispatch>'");
+    frame.job_index = static_cast<std::size_t>(index);
+  }
+  if (!c.read_block("checkpoint", &frame.checkpoint_text, &what))
+    return err(c.line_no, what);
+  if (!c.next() || c.line != "end")
+    return err(c.line_no + 1, "missing 'end' trailer");
+  Solved<CheckpointFrame> out;
+  out.result = std::move(frame);
+  out.status = Status::make_ok();
+  return out;
+}
+
+bool try_parse_cancel_reason(std::string_view name, CancelReason* out) {
+  for (CancelReason r : {CancelReason::kWatchdog, CancelReason::kExternal,
+                         CancelReason::kShutdown}) {
+    if (name == to_string(r)) {
+      *out = r;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string to_text(const CancelFrame& frame) {
+  std::ostringstream os;
+  os << "supervise-cancel v1\n";
+  os << "job " << frame.job_index << ' ' << frame.dispatch << '\n';
+  os << "reason " << to_string(frame.reason) << '\n';
+  os << "end\n";
+  return os.str();
+}
+
+Solved<CancelFrame> try_parse_cancel_frame(const std::string& text) {
+  const auto err = [](std::size_t line, const std::string& what) {
+    return parse_error<CancelFrame>("supervise-cancel", line, what);
+  };
+  Cursor c(text);
+  if (!c.next()) return err(1, "empty input");
+  if (c.line != "supervise-cancel v1")
+    return err(c.line_no, "missing 'supervise-cancel v1' header");
+  CancelFrame frame;
+  if (!c.next()) return err(c.line_no + 1, "missing 'job' line");
+  {
+    std::istringstream ls(c.line);
+    std::string key, index_token, dispatch_token;
+    std::uint64_t index = 0;
+    if (!(ls >> key >> index_token >> dispatch_token) || key != "job" ||
+        !parse_count(index_token, kMaxIndex, &index) ||
+        !parse_count(dispatch_token, kMaxIndex, &frame.dispatch))
+      return err(c.line_no, "expected 'job <index> <dispatch>'");
+    frame.job_index = static_cast<std::size_t>(index);
+  }
+  if (!c.next()) return err(c.line_no + 1, "missing 'reason' line");
+  {
+    std::istringstream ls(c.line);
+    std::string key, name;
+    if (!(ls >> key >> name) || key != "reason" ||
+        !try_parse_cancel_reason(name, &frame.reason))
+      return err(c.line_no, "expected 'reason <watchdog|external|shutdown>'");
+  }
+  if (!c.next() || c.line != "end")
+    return err(c.line_no + 1, "missing 'end' trailer");
+  Solved<CancelFrame> out;
+  out.result = frame;
+  out.status = Status::make_ok();
+  return out;
+}
+
+std::string to_text(const HelloFrame& frame) {
+  std::ostringstream os;
+  os << "supervise-hello v1\npid " << frame.pid << "\nend\n";
+  return os.str();
+}
+
+Solved<HelloFrame> try_parse_hello_frame(const std::string& text) {
+  const auto err = [](std::size_t line, const std::string& what) {
+    return parse_error<HelloFrame>("supervise-hello", line, what);
+  };
+  Cursor c(text);
+  if (!c.next()) return err(1, "empty input");
+  if (c.line != "supervise-hello v1")
+    return err(c.line_no, "missing 'supervise-hello v1' header");
+  HelloFrame frame;
+  if (!c.next()) return err(c.line_no + 1, "missing 'pid' line");
+  {
+    std::istringstream ls(c.line);
+    std::string key, token;
+    std::uint64_t pid = 0;
+    if (!(ls >> key >> token) || key != "pid" ||
+        !parse_count(token, kMaxIndex, &pid))
+      return err(c.line_no, "expected 'pid <n>'");
+    frame.pid = static_cast<std::int64_t>(pid);
+  }
+  if (!c.next() || c.line != "end")
+    return err(c.line_no + 1, "missing 'end' trailer");
+  Solved<HelloFrame> out;
+  out.result = frame;
+  out.status = Status::make_ok();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Pipe framing
+
+std::string make_frame(std::string_view format, const std::string& payload) {
+  return io::wrap_artifact(format, payload);
+}
+
+bool write_frame(int fd, std::string_view format, const std::string& payload) {
+  const std::string frame = make_frame(format, payload);
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::write(fd, frame.data() + off, frame.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void FrameReader::feed(const char* data, std::size_t len) {
+  if (corrupt_) return;
+  buf_.append(data, len);
+}
+
+FrameReader::Next FrameReader::next(Frame* out, std::string* error) {
+  const auto fail = [&](const std::string& what) {
+    corrupt_ = true;
+    corrupt_what_ = what;
+    if (error != nullptr) *error = what;
+    return Next::kCorrupt;
+  };
+  if (corrupt_) {
+    if (error != nullptr) *error = corrupt_what_;
+    return Next::kCorrupt;
+  }
+  if (buf_.empty()) return Next::kNeedMore;
+
+  // A pipe carries only envelopes: the buffer must be a prefix of
+  // "defender-artifact v1\nformat <name>\nbytes <N>\n...". Reject early
+  // the moment the buffered bytes cannot extend to a valid header.
+  static constexpr std::string_view kHeader = "defender-artifact v1\n";
+  const std::size_t probe = std::min(buf_.size(), kHeader.size());
+  if (std::string_view(buf_).substr(0, probe) != kHeader.substr(0, probe))
+    return fail("stream does not begin with a defender-artifact header");
+  if (buf_.size() < kHeader.size()) return Next::kNeedMore;
+
+  // Locate the three header lines. An unreasonably long prefix without
+  // them is corruption, not patience.
+  constexpr std::size_t kMaxHeaderBytes = 256;
+  const std::size_t nl1 = kHeader.size() - 1;
+  const std::size_t nl2 = buf_.find('\n', nl1 + 1);
+  if (nl2 == std::string::npos) {
+    if (buf_.size() > kMaxHeaderBytes) return fail("oversized frame header");
+    return Next::kNeedMore;
+  }
+  const std::size_t nl3 = buf_.find('\n', nl2 + 1);
+  if (nl3 == std::string::npos) {
+    if (buf_.size() > kMaxHeaderBytes) return fail("oversized frame header");
+    return Next::kNeedMore;
+  }
+
+  const std::string format_line = buf_.substr(nl1 + 1, nl2 - nl1 - 1);
+  const std::string bytes_line = buf_.substr(nl2 + 1, nl3 - nl2 - 1);
+  if (format_line.rfind("format ", 0) != 0)
+    return fail("malformed frame 'format' line");
+  const std::string format = format_line.substr(7);
+  if (format.empty() || format.find(' ') != std::string::npos)
+    return fail("malformed frame format name");
+  if (bytes_line.rfind("bytes ", 0) != 0)
+    return fail("malformed frame 'bytes' line");
+  std::uint64_t declared = 0;
+  if (!parse_count(bytes_line.substr(6), io::kMaxArtifactBytes, &declared))
+    return fail("frame declares an invalid payload size");
+
+  // crc32c <8 hex>\n end\n
+  constexpr std::size_t kTrailerBytes = 7 + 8 + 1 + 4;
+  const std::size_t total =
+      nl3 + 1 + static_cast<std::size_t>(declared) + kTrailerBytes;
+  if (buf_.size() < total) return Next::kNeedMore;
+
+  const std::string frame_text = buf_.substr(0, total);
+  Solved<io::UnwrappedArtifact> unwrapped =
+      io::unwrap_artifact(frame_text, format);
+  if (!unwrapped.ok() || !unwrapped.result.enveloped)
+    return fail("frame failed envelope verification: " +
+                unwrapped.status.message);
+  buf_.erase(0, total);
+  out->format = format;
+  out->payload = std::move(unwrapped.result.payload);
+  return Next::kFrame;
+}
+
+}  // namespace defender::supervise

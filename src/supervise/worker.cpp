@@ -1,0 +1,396 @@
+#include "supervise/worker.hpp"
+
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "core/checkpoint.hpp"
+#include "engine/engine.hpp"
+#include "fault/fault.hpp"
+#include "supervise/wire.hpp"
+
+namespace defender::supervise {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// State shared between the worker's main (solve) thread and its aux
+/// (heartbeat / control / stream-tick) thread.
+struct WorkerState {
+  int result_fd = -1;
+  double heartbeat_interval = 0.05;
+
+  /// Serializes result-pipe writes (results from the main thread,
+  /// heartbeats and streamed checkpoints from either).
+  std::mutex write_mu;
+
+  std::mutex mu;
+  /// Active solve segment, registered by the main thread. The aux thread
+  /// fires this token on a supervisor cancel or a stream tick.
+  CancelToken* active = nullptr;
+  std::size_t job_index = 0;
+  std::uint64_t dispatch = 0;
+  bool stream_enabled = false;
+  Clock::time_point next_tick{};
+  double stream_interval = 0;
+  /// Set when the cancel came from the supervisor (terminal), as opposed
+  /// to a local stream tick (capture-and-resume).
+  bool supervisor_cancel = false;
+  /// A cancel frame that arrived between segments; applied at the next
+  /// matching registration.
+  bool pending_cancel = false;
+  std::size_t pending_job = 0;
+  std::uint64_t pending_dispatch = 0;
+  /// worker-hang fault: stop heartbeating.
+  bool hang = false;
+  std::uint64_t hb_seq = 0;
+};
+
+bool send_payload(WorkerState& st, const char* format,
+                  const std::string& payload) {
+  std::lock_guard<std::mutex> lock(st.write_mu);
+  return write_frame(st.result_fd, format, payload);
+}
+
+/// Aux thread: heartbeats, control-pipe cancels, stream ticks. Exits the
+/// whole process when the supervisor disappears (control pipe EOF) — an
+/// orphaned worker must not outlive its pool.
+void aux_thread_main(WorkerState* st, int control_fd) {
+  FrameReader reader;
+  char buf[4096];
+  const auto hb_interval = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(st->heartbeat_interval));
+  Clock::time_point next_heartbeat = Clock::now();
+  for (;;) {
+    Clock::time_point now = Clock::now();
+    Clock::time_point wake = next_heartbeat;
+    {
+      std::lock_guard<std::mutex> lock(st->mu);
+      if (st->active != nullptr && st->stream_enabled &&
+          st->next_tick < wake)
+        wake = st->next_tick;
+    }
+    int timeout_ms = 0;
+    if (wake > now)
+      timeout_ms = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(wake - now)
+              .count() +
+          1);
+    struct pollfd pfd {};
+    pfd.fd = control_fd;
+    pfd.events = POLLIN;
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) {
+      if ((pfd.revents & POLLIN) != 0) {
+        const ssize_t n = ::read(control_fd, buf, sizeof(buf));
+        if (n == 0) std::_Exit(0);  // supervisor closed the control pipe
+        if (n < 0) {
+          if (errno != EINTR && errno != EAGAIN) std::_Exit(0);
+        } else {
+          reader.feed(buf, static_cast<std::size_t>(n));
+        }
+        FrameReader::Frame frame;
+        std::string error;
+        FrameReader::Next next;
+        while ((next = reader.next(&frame, &error)) ==
+               FrameReader::Next::kFrame) {
+          if (frame.format != kCancelFormat) continue;
+          Solved<CancelFrame> cancel = try_parse_cancel_frame(frame.payload);
+          if (!cancel.ok()) continue;
+          std::lock_guard<std::mutex> lock(st->mu);
+          if (st->active != nullptr &&
+              cancel.result.job_index == st->job_index &&
+              cancel.result.dispatch == st->dispatch) {
+            st->supervisor_cancel = true;
+            st->active->request_cancel();
+          } else {
+            st->pending_cancel = true;
+            st->pending_job = cancel.result.job_index;
+            st->pending_dispatch = cancel.result.dispatch;
+          }
+        }
+        if (next == FrameReader::Next::kCorrupt) {
+          std::fprintf(stderr, "defender-worker: control stream corrupt: %s\n",
+                       error.c_str());
+          std::_Exit(2);
+        }
+      }
+      if ((pfd.revents & (POLLHUP | POLLERR | POLLNVAL)) != 0) std::_Exit(0);
+    }
+    now = Clock::now();
+    if (now >= next_heartbeat) {
+      bool hang;
+      std::uint64_t seq;
+      {
+        std::lock_guard<std::mutex> lock(st->mu);
+        hang = st->hang;
+        seq = st->hb_seq++;
+      }
+      if (!hang) {
+        HeartbeatFrame hb;
+        hb.sequence = seq;
+        if (!send_payload(*st, kHeartbeatFormat, to_text(hb))) std::_Exit(0);
+      }
+      next_heartbeat = now + hb_interval;
+    }
+    {
+      std::lock_guard<std::mutex> lock(st->mu);
+      if (st->active != nullptr && st->stream_enabled &&
+          now >= st->next_tick) {
+        st->active->request_cancel();
+        st->next_tick =
+            now + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(st->stream_interval));
+      }
+    }
+  }
+}
+
+void register_segment(WorkerState& st, const JobFrame& frame,
+                      CancelToken* token, bool streaming) {
+  std::lock_guard<std::mutex> lock(st.mu);
+  st.job_index = frame.job_index;
+  st.dispatch = frame.dispatch;
+  st.stream_enabled = streaming;
+  st.stream_interval = frame.stream_interval_seconds;
+  st.next_tick = Clock::now() +
+                 std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double>(
+                         frame.stream_interval_seconds));
+  st.active = token;
+  if (st.pending_cancel && st.pending_job == frame.job_index &&
+      st.pending_dispatch == frame.dispatch) {
+    st.pending_cancel = false;
+    st.supervisor_cancel = true;
+    token->request_cancel();
+  }
+}
+
+/// Returns whether the supervisor (as opposed to a stream tick) cancelled
+/// the segment.
+bool unregister_segment(WorkerState& st) {
+  std::lock_guard<std::mutex> lock(st.mu);
+  st.active = nullptr;
+  return st.supervisor_cancel;
+}
+
+double weight_upper_bound(const std::vector<double>& weights) {
+  double ub = 1.0;
+  for (double w : weights)
+    if (w > ub) ub = w;
+  return ub;
+}
+
+void run_job(WorkerState& st, const JobFrame& frame) {
+  // The worker-crash / worker-hang sites fire BEFORE the solve, decided
+  // purely from (plan, dispatch counter) — deterministic, and invisible
+  // to the job's own FaultContext.
+  if (!frame.fault_plan_text.empty()) {
+    Solved<fault::FaultPlan> plan =
+        fault::FaultPlan::try_parse(frame.fault_plan_text);
+    if (plan.ok()) {
+      if (fault::FaultContext::scheduled(
+              plan.result, fault::FaultSite::kWorkerCrash, frame.dispatch)) {
+        // SIGKILL (not SIGSEGV) so sanitizer builds die the same hard,
+        // handler-less death a real segfault produces in production.
+        ::raise(SIGKILL);
+      }
+      if (fault::FaultContext::scheduled(
+              plan.result, fault::FaultSite::kWorkerHang, frame.dispatch)) {
+        {
+          std::lock_guard<std::mutex> lock(st.mu);
+          st.hang = true;
+        }
+        std::signal(SIGTERM, SIG_IGN);
+        for (;;) ::pause();  // only SIGKILL ends this
+      }
+    }
+  }
+
+  ResultFrame out;
+  out.job_index = frame.job_index;
+  out.dispatch = frame.dispatch;
+
+  std::optional<engine::SolveJob> job;
+  const Status job_status = job_from_frame(frame, &job);
+  if (!job_status.ok() || !job.has_value()) {
+    out.result.job_index = frame.job_index;
+    out.result.solver = frame.solver;
+    out.result.status = job_status;
+    out.result.lower_bound = 0;
+    out.result.upper_bound = weight_upper_bound(frame.weights);
+    out.result.value = 0;
+    send_payload(st, kResultFormat, to_text(out));
+    return;
+  }
+
+  // Observability-null, cache-less engine: all shared sinks live in the
+  // supervisor process. Retry / convergence / canonicalize flags travel
+  // in the frame because they shape the result.
+  engine::EngineConfig config;
+  config.workers = 1;
+  config.retry = frame.retry;
+  config.collect_convergence = frame.collect_convergence;
+  config.canonicalize = frame.canonicalize;
+  engine::SolveEngine eng(config);
+
+  std::optional<core::SolverCheckpoint> resume;
+  if (!frame.checkpoint_text.empty()) {
+    Solved<core::SolverCheckpoint> parsed =
+        core::try_parse_checkpoint(frame.checkpoint_text);
+    // An unparseable resume checkpoint downgrades to a cold start — the
+    // determinism contract makes the fresh run bit-identical anyway.
+    if (parsed.ok()) resume = std::move(parsed.result);
+  }
+
+  // Checkpoint streaming runs the solve in tick-cancelled segments,
+  // leaning on the PR-6 resume contract (resumed result bit-identical to
+  // uninterrupted). The LP has no checkpoint, and armed plans can never
+  // capture truthfully, so neither streams.
+  bool streaming = frame.stream_interval_seconds > 0 &&
+                   frame.solver != engine::JobSolver::kZeroSumLp &&
+                   !job->fault_plan.armed();
+
+  engine::JobResult result;
+  std::string captured_text;
+  {
+    std::lock_guard<std::mutex> lock(st.mu);
+    st.supervisor_cancel = false;
+  }
+  for (;;) {
+    CancelToken token;
+    core::SolverCheckpoint cap;
+    bool captured = false;
+    engine::JobRunHooks hooks;
+    hooks.cancel = &token;
+    hooks.resume = resume.has_value() ? &*resume : nullptr;
+    hooks.capture = &cap;
+    hooks.captured = &captured;
+    register_segment(st, frame, &token, streaming);
+    result = eng.run_one(*job, frame.job_index, hooks);
+    const bool terminal_cancel = unregister_segment(st);
+    if (terminal_cancel) {
+      // Supervisor-requested (watchdog / external / shutdown): the
+      // kCancelled result is the job's truthful outcome. A cleanly
+      // captured checkpoint rides back for the serve layer's drain.
+      if (captured) captured_text = core::to_text(cap);
+      break;
+    }
+    if (result.status.code == StatusCode::kCancelled) {
+      if (captured) {
+        // Our own stream tick: persist the checkpoint with the
+        // supervisor, then resume in place.
+        captured_text = core::to_text(cap);
+        CheckpointFrame ckpt;
+        ckpt.job_index = frame.job_index;
+        ckpt.dispatch = frame.dispatch;
+        ckpt.checkpoint_text = captured_text;
+        if (!send_payload(st, kCheckpointFormat, to_text(ckpt)))
+          std::_Exit(0);
+        captured_text.clear();
+        resume = std::move(cap);
+        continue;
+      }
+      // Tick landed where capture is impossible (mid-ladder). Disable
+      // streaming and re-run fresh — determinism makes the re-run
+      // bit-identical to an uninterrupted solve.
+      streaming = false;
+      resume.reset();
+      continue;
+    }
+    break;
+  }
+  out.result = std::move(result);
+  out.checkpoint_text = std::move(captured_text);
+  send_payload(st, kResultFormat, to_text(out));
+}
+
+}  // namespace
+
+void worker_main(int job_fd, int result_fd, int control_fd,
+                 double heartbeat_interval_seconds) {
+  // Pipe-backed fds have no MSG_NOSIGNAL: a dead supervisor must surface
+  // as EPIPE on write, not SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  WorkerState st;
+  st.result_fd = result_fd;
+  st.heartbeat_interval =
+      heartbeat_interval_seconds > 0 ? heartbeat_interval_seconds : 0.05;
+
+  HelloFrame hello;
+  hello.pid = static_cast<std::int64_t>(::getpid());
+  if (!send_payload(st, kHelloFormat, to_text(hello))) std::_Exit(0);
+
+  std::thread aux(aux_thread_main, &st, control_fd);
+  aux.detach();  // the process exits via _Exit; nothing to join
+
+  FrameReader reader;
+  char buf[65536];
+  for (;;) {
+    const ssize_t n = ::read(job_fd, buf, sizeof(buf));
+    if (n == 0) std::_Exit(0);  // supervisor closed the job pipe: shutdown
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      std::_Exit(0);
+    }
+    reader.feed(buf, static_cast<std::size_t>(n));
+    FrameReader::Frame frame;
+    std::string error;
+    FrameReader::Next next;
+    while ((next = reader.next(&frame, &error)) ==
+           FrameReader::Next::kFrame) {
+      if (frame.format != kJobFormat) {
+        std::fprintf(stderr, "defender-worker: unexpected frame '%s'\n",
+                     frame.format.c_str());
+        std::_Exit(2);
+      }
+      Solved<JobFrame> parsed = try_parse_job_frame(frame.payload);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "defender-worker: bad job frame: %s\n",
+                     parsed.status.message.c_str());
+        std::_Exit(2);
+      }
+      run_job(st, parsed.result);
+    }
+    if (next == FrameReader::Next::kCorrupt) {
+      std::fprintf(stderr, "defender-worker: job stream corrupt: %s\n",
+                   error.c_str());
+      std::_Exit(2);
+    }
+  }
+}
+
+void worker_trampoline(int argc, char** argv) {
+  if (argc < 6 || std::strcmp(argv[1], kWorkerSentinel) != 0) return;
+  long fds[3] = {0, 0, 0};
+  for (int i = 0; i < 3; ++i) {
+    errno = 0;
+    char* rest = nullptr;
+    fds[i] = std::strtol(argv[2 + i], &rest, 10);
+    if (errno != 0 || rest == argv[2 + i] || *rest != '\0' || fds[i] < 0)
+      std::_Exit(127);
+  }
+  errno = 0;
+  char* rest = nullptr;
+  const long hb_ms = std::strtol(argv[5], &rest, 10);
+  if (errno != 0 || rest == argv[5] || *rest != '\0' || hb_ms <= 0)
+    std::_Exit(127);
+  worker_main(static_cast<int>(fds[0]), static_cast<int>(fds[1]),
+              static_cast<int>(fds[2]),
+              static_cast<double>(hb_ms) / 1000.0);
+}
+
+}  // namespace defender::supervise

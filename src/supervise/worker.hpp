@@ -1,0 +1,47 @@
+// Worker side of the supervised subprocess pool.
+//
+// The supervisor (supervisor.hpp) spawns workers by re-exec'ing the host
+// binary (/proc/self/exe) with a sentinel argv. Any binary that
+// constructs a WorkerPool must therefore call worker_trampoline() first
+// thing in main(): when the sentinel is present the call becomes the
+// worker's entire life — it runs the job loop on the inherited pipe fds
+// and _exits without ever returning — and when it is absent the call is
+// a no-op.
+//
+// Worker structure (docs/SUPERVISION.md):
+//   main thread   reads "supervise-job" frames off the job pipe, runs
+//                 each through a private SolveEngine (observability-null,
+//                 cache-less — the parent owns all shared state), and
+//                 writes the "supervise-result" frame. EOF on the job
+//                 pipe is the shutdown signal.
+//   aux thread    owns liveness: emits "supervise-heartbeat" frames at
+//                 the configured interval, reads cancel frames off the
+//                 control pipe (firing the active segment's CancelToken),
+//                 and fires checkpoint-stream ticks so long solves leave
+//                 resumable "supervise-checkpoint" frames behind them.
+//
+// The worker-crash / worker-hang fault sites are evaluated here, from
+// the job's plan and its dispatch counter alone
+// (fault::FaultContext::scheduled), before the solve starts — the job's
+// own FaultContext is never touched, so faults_injected and every other
+// JobResult field stay bit-identical to an in-process run.
+#pragma once
+
+namespace defender::supervise {
+
+/// Sentinel argv[1] that turns any pool-hosting binary into a worker.
+inline constexpr char kWorkerSentinel[] = "--defender-supervise-worker";
+
+/// Call first in main(). No-op unless argv matches
+///   <exe> --defender-supervise-worker <job_fd> <result_fd> <control_fd>
+///         <heartbeat_ms>
+/// in which case this runs the worker loop and never returns.
+void worker_trampoline(int argc, char** argv);
+
+/// The worker loop itself: reads job frames from `job_fd`, writes
+/// results/heartbeats/checkpoints to `result_fd`, reads cancels from
+/// `control_fd`. Never returns (exits the process via _Exit).
+[[noreturn]] void worker_main(int job_fd, int result_fd, int control_fd,
+                              double heartbeat_interval_seconds);
+
+}  // namespace defender::supervise

@@ -201,6 +201,96 @@ TEST(FaultContext, SeedsProduceDifferentSchedules) {
 }
 
 // ---------------------------------------------------------------------------
+// The supervise-layer sites (worker-crash / worker-hang) and the stateless
+// schedule predicate they are decided through.
+
+TEST(FaultPlanText, WorkerSitesParseByName) {
+  // Handwritten plan text naming the supervise-layer sites — the exact
+  // text a chaos harness replays from a failing run's JobReport.
+  const std::string text =
+      "fault-plan v1\n"
+      "seed 99\n"
+      "rate worker-crash 0.5\n"
+      "rate worker-hang 0.25\n"
+      "end\n";
+  const auto parsed = fault::FaultPlan::try_parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status.to_string();
+  EXPECT_EQ(parsed.result.seed, 99u);
+  EXPECT_EQ(parsed.result.rate_of(fault::FaultSite::kWorkerCrash), 0.5);
+  EXPECT_EQ(parsed.result.rate_of(fault::FaultSite::kWorkerHang), 0.25);
+  EXPECT_TRUE(parsed.result.armed());
+
+  // And bit-exactly through the full to_text round trip.
+  const auto reparsed = fault::FaultPlan::try_parse(parsed.result.to_text());
+  ASSERT_TRUE(reparsed.ok());
+  for (fault::FaultSite s : fault::kAllFaultSites)
+    EXPECT_EQ(reparsed.result.rate_of(s), parsed.result.rate_of(s))
+        << fault::to_string(s);
+
+  // Out-of-range rates on the new sites are rejected like any other.
+  EXPECT_FALSE(fault::FaultPlan::try_parse(
+                   "fault-plan v1\nseed 1\nrate worker-crash 1.5\nend\n")
+                   .ok());
+  EXPECT_FALSE(fault::FaultPlan::try_parse(
+                   "fault-plan v1\nseed 1\nrate worker-hang -1\nend\n")
+                   .ok());
+}
+
+TEST(FaultContext, ScheduledMatchesFiresCallForCall) {
+  // The stateless predicate IS the stateful decision: fires()'s n-th call
+  // equals scheduled(plan, site, n), so the supervisor and worker can
+  // both evaluate a job's crash schedule without perturbing the job's own
+  // counters.
+  fault::FaultPlan plan;
+  plan.seed = 0xC0FFEE;
+  plan.set_all(0.5);
+  fault::FaultContext ctx(plan);
+  for (std::uint64_t n = 0; n < 500; ++n) {
+    for (fault::FaultSite s : fault::kAllFaultSites) {
+      ASSERT_EQ(ctx.fires(s), fault::FaultContext::scheduled(plan, s, n))
+          << fault::to_string(s) << " @" << n;
+      ASSERT_EQ(ctx.aux(s), fault::FaultContext::scheduled_aux(plan, s, n))
+          << fault::to_string(s) << " @" << n;
+    }
+  }
+}
+
+TEST(FaultContext, ScheduledIsStatelessAndPure) {
+  fault::FaultPlan plan;
+  plan.seed = 31337;
+  plan.rate_of(fault::FaultSite::kWorkerCrash) = 0.5;
+  plan.rate_of(fault::FaultSite::kWorkerHang) = 0.5;
+
+  // Same (plan, site, evaluation) -> same answer, every time, and
+  // evaluating the predicate never advances anything.
+  fault::FaultContext untouched(plan);
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    for (std::uint64_t n = 0; n < 64; ++n) {
+      const bool crash = fault::FaultContext::scheduled(
+          plan, fault::FaultSite::kWorkerCrash, n);
+      const bool again = fault::FaultContext::scheduled(
+          plan, fault::FaultSite::kWorkerCrash, n);
+      EXPECT_EQ(crash, again);
+    }
+  }
+  EXPECT_EQ(untouched.evaluations(fault::FaultSite::kWorkerCrash), 0u);
+  EXPECT_EQ(untouched.total_injected(), 0u);
+
+  // Rate 0 never schedules; rate 1 always does.
+  fault::FaultPlan off;
+  off.seed = 31337;
+  fault::FaultPlan on;
+  on.seed = 31337;
+  on.set_all(1.0);
+  for (std::uint64_t n = 0; n < 64; ++n) {
+    EXPECT_FALSE(fault::FaultContext::scheduled(
+        off, fault::FaultSite::kWorkerCrash, n));
+    EXPECT_TRUE(fault::FaultContext::scheduled(
+        on, fault::FaultSite::kWorkerHang, n));
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Null-context bit-identity: an armed-but-silent FaultContext (all rates 0)
 // must leave every budgeted solver's output bit-for-bit identical to the
 // null-pointer run — the same zero-cost contract the obs layer keeps.

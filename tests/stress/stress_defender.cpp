@@ -78,6 +78,8 @@
 //                        [--engine-jobs N] [--engine-report FILE]
 //                        [--engine-cache] [--serve-fuzz N]
 //                        [--serve-soak SECONDS] [--serve-report FILE]
+//                        [--supervise-chaos] [--supervise-report FILE]
+#include <signal.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -120,6 +122,8 @@
 #include "serve/service.hpp"
 #include "sim/fictitious_play.hpp"
 #include "sim/multiplicative_weights.hpp"
+#include "supervise/supervisor.hpp"
+#include "supervise/worker.hpp"
 #include "util/assert.hpp"
 #include "util/random.hpp"
 
@@ -1372,9 +1376,297 @@ void io_chaos(std::string dir, std::uint64_t fault_seed) {
   }
 }
 
+// --------------------------------------------------------------------------
+// Supervise chaos (--supervise-chaos): the subprocess worker pool under
+// worker kills landing at arbitrary instants (docs/SUPERVISION.md).
+//
+// Three phases:
+//
+//  1. Armed sweep: a mixed batch where jobs carry worker-crash /
+//     worker-hang plans. Whether a dispatch dies is a pure function of
+//     the plan (FaultContext::scheduled), so the harness computes the
+//     expected fate of every job up front: a job whose first
+//     max_job_crashes dispatches all die must be quarantined with a
+//     truthful kWorkerCrashed; every survivor must come out bit-equal to
+//     a serial in-process solve (the in-process engine never evaluates
+//     the worker-* sites, so an armed plan is inert there).
+//
+//  2. External SIGKILL chaos: a clean batch while a killer thread
+//     SIGKILLs random live workers mid-flight. max_job_crashes is raised
+//     above the kill budget so bad luck cannot quarantine anything: the
+//     batch must complete with every result bit-identical to an
+//     uninterrupted serial run.
+//
+//  3. Recovery: the pool climbs back to full strength (restarts are
+//     asynchronous under capped backoff, so strength is polled, not
+//     asserted synchronously) and a follow-up clean batch is all-ok.
+
+/// Polls for `ok` to become true; worker restarts are eventual.
+bool supervise_eventually(const std::function<bool()>& ok,
+                          double seconds = 10.0) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (ok()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return ok();
+}
+
+/// True when dispatch `d` of a job under `plan` is scheduled to kill its
+/// worker — the SAME pure predicate the worker consults, so the harness
+/// and the pool can never disagree about a job's fate.
+bool supervise_kill_scheduled(const fault::FaultPlan& plan, std::uint64_t d) {
+  return fault::FaultContext::scheduled(plan, fault::FaultSite::kWorkerCrash,
+                                        d) ||
+         fault::FaultContext::scheduled(plan, fault::FaultSite::kWorkerHang,
+                                        d);
+}
+
+/// Phase-1 batch: 48 random boards, all six solvers; every fourth job is
+/// armed with worker-crash, every eighth with worker-hang, and two
+/// explicit rate-1.0 poison jobs are guaranteed quarantine.
+std::vector<engine::SolveJob> build_supervise_batch(std::uint64_t seed,
+                                                    std::uint64_t fault_seed) {
+  util::Rng rng(seed ^ 0x5afe5u);
+  std::vector<engine::SolveJob> jobs;
+  constexpr std::size_t kJobs = 48;
+  jobs.reserve(kJobs);
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    const graph::Graph g = random_board(rng);
+    const std::size_t nu = static_cast<std::size_t>(rng.range(1, 3));
+    const std::size_t want =
+        std::min<std::size_t>(static_cast<std::size_t>(rng.range(1, 4)),
+                              g.num_edges());
+    engine::SolveJob job(core::TupleGame(g, pick_k(g, want, nu), nu));
+    job.solver = engine::kAllJobSolvers[i % engine::kJobSolverCount];
+    job.budget = SolveBudget::iterations(60);
+    job.tolerance = (job.solver == engine::JobSolver::kFictitiousPlay ||
+                     job.solver == engine::JobSolver::kWeightedFictitiousPlay ||
+                     job.solver == engine::JobSolver::kHedge)
+                        ? 1e-2
+                        : 1e-9;
+    if (engine::is_weighted(job.solver)) {
+      const std::size_t n = job.game.graph().num_vertices();
+      for (std::size_t v = 0; v < n; ++v)
+        job.weights.push_back(1.0 + 0.125 * static_cast<double>(v % 8));
+    }
+    job.fault_plan.seed = engine::derive_job_seed(fault_seed, i);
+    if (i == 9 || i == 29) {
+      job.fault_plan.rate_of(fault::FaultSite::kWorkerCrash) = 1.0;  // poison
+    } else if (i % 4 == 0) {
+      job.fault_plan.rate_of(fault::FaultSite::kWorkerCrash) = 0.5;
+    } else if (i % 8 == 2) {
+      job.fault_plan.rate_of(fault::FaultSite::kWorkerHang) = 0.5;
+    }
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+/// Compares a pool result to its serial truth bit for bit.
+void supervise_expect_serial(const engine::JobResult& r,
+                             const engine::JobResult& t,
+                             const std::string& tag) {
+  check(r.status.code == t.status.code, tag + ": status drifted");
+  check(r.status.message == t.status.message, tag + ": message drifted");
+  check(r.status.iterations == t.status.iterations,
+        tag + ": iteration count drifted");
+  check(r.value == t.value, tag + ": value drifted");
+  check(r.lower_bound == t.lower_bound, tag + ": lower drifted");
+  check(r.upper_bound == t.upper_bound, tag + ": upper drifted");
+  check(r.iterations == t.iterations, tag + ": solver iterations drifted");
+  check(r.attempts.size() == t.attempts.size(),
+        tag + ": attempt history drifted");
+  check(r.faults_injected == t.faults_injected,
+        tag + ": fault count drifted");
+}
+
+void supervise_chaos(std::uint64_t seed, std::uint64_t fault_seed,
+                     const std::string& report_path) {
+  const int failures_before = failures;
+
+  // ---- Phase 1: deterministic armed sweep -------------------------------
+  const std::vector<engine::SolveJob> jobs =
+      build_supervise_batch(seed, fault_seed);
+
+  engine::EngineConfig serial_config;
+  serial_config.workers = 1;
+  engine::SolveEngine serial(serial_config);
+  const engine::BatchReport truth = serial.run(jobs);
+
+  supervise::PoolConfig config;
+  config.workers = 4;
+  // Short escalation clocks: worker-hang shields SIGTERM, so every hang
+  // costs a full heartbeat timeout + grace before SIGKILL reclaims it.
+  config.heartbeat_interval_seconds = 0.02;
+  config.heartbeat_timeout_seconds = 0.5;
+  config.term_grace_seconds = 0.2;
+
+  std::size_t expected_quarantined = 0;
+  std::size_t expected_kills = 0;
+  std::vector<bool> expect_quarantine(jobs.size(), false);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    bool all_die = true;
+    for (std::uint64_t d = 0; d < config.max_job_crashes; ++d) {
+      if (!supervise_kill_scheduled(jobs[i].fault_plan, d)) {
+        all_die = false;
+        break;  // this dispatch survives and completes the job
+      }
+      ++expected_kills;
+    }
+    expect_quarantine[i] = all_die;
+    if (all_die) ++expected_quarantined;
+  }
+
+  supervise::SupervisedReport report;
+  {
+    supervise::WorkerPool pool(config);
+    report = pool.run(jobs);
+    check(report.batch.results.size() == jobs.size(),
+          "supervise: result count");
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const engine::JobResult& r = report.batch.results[i];
+      const std::string tag = "supervise job " + std::to_string(i);
+      check(r.job_index == i, tag + ": index");
+      if (expect_quarantine[i]) {
+        check(r.status.code == StatusCode::kWorkerCrashed,
+              tag + ": poison job not quarantined");
+        check(!r.status.message.empty(), tag + ": quarantine needs a story");
+        check(r.attempts.empty(), tag + ": fabricated attempt history");
+        check(r.lower_bound <= r.value && r.value <= r.upper_bound,
+              tag + ": quarantine bracket insane");
+      } else {
+        // Survivors — including jobs recovered after a scheduled kill —
+        // must be bit-identical to the serial in-process engine.
+        supervise_expect_serial(r, truth.results[i], tag);
+      }
+    }
+    check(report.quarantined_jobs == expected_quarantined,
+          "supervise: quarantine count " +
+              std::to_string(report.quarantined_jobs) + " != expected " +
+              std::to_string(expected_quarantined));
+    // Every scheduled kill is answered with a restart; the last restarts
+    // may still be in their backoff windows when run() returns.
+    supervise::WorkerPool* pool_ptr = &pool;
+    const std::size_t want_kills = expected_kills;
+    check(supervise_eventually([pool_ptr, want_kills] {
+            return pool_ptr->worker_restarts() == want_kills;
+          }),
+          "supervise: restarts " + std::to_string(pool.worker_restarts()) +
+              " != scheduled kills " + std::to_string(want_kills));
+    check(supervise_eventually([pool_ptr] {
+            return pool_ptr->worker_pids().size() == 4;
+          }),
+          "supervise: pool never recovered full strength");
+  }
+  std::printf(
+      "supervise chaos: armed sweep — %zu jobs, %zu scheduled kills, "
+      "%zu quarantined (%zu restarts, %zu heartbeat misses)\n",
+      jobs.size(), expected_kills, report.quarantined_jobs,
+      report.worker_restarts, report.heartbeat_misses);
+
+  // ---- Phase 2: external SIGKILLs at arbitrary instants -----------------
+  // Clean long-running jobs; a killer thread SIGKILLs random live workers
+  // mid-batch. The kill budget stays far below max_job_crashes, so every
+  // job must complete — and bit-identically to an uninterrupted serial
+  // run, whether it was re-run from scratch or resumed from a streamed
+  // checkpoint.
+  std::vector<engine::SolveJob> clean;
+  {
+    util::Rng rng(seed ^ 0x51660u);
+    for (std::size_t i = 0; i < 32; ++i) {
+      const graph::Graph g = random_board(rng);
+      const std::size_t nu = static_cast<std::size_t>(rng.range(1, 3));
+      const std::size_t want =
+          std::min<std::size_t>(static_cast<std::size_t>(rng.range(1, 4)),
+                                g.num_edges());
+      engine::SolveJob job(core::TupleGame(g, pick_k(g, want, nu), nu));
+      job.solver = (i % 2 == 0) ? engine::JobSolver::kFictitiousPlay
+                                : engine::JobSolver::kHedge;
+      job.budget = SolveBudget::iterations(40'000);
+      job.tolerance = 0.0;  // run the full budget: kills land mid-solve
+      clean.push_back(std::move(job));
+    }
+  }
+  const engine::BatchReport clean_truth = serial.run(clean);
+
+  supervise::PoolConfig chaos_config;
+  chaos_config.workers = 4;
+  chaos_config.max_job_crashes = 1'000;  // external kills never quarantine
+  chaos_config.stream_interval_seconds = 0.05;  // exercise resume paths
+  std::size_t kills_delivered = 0;
+  {
+    supervise::WorkerPool pool(chaos_config);
+    std::atomic<bool> batch_done{false};
+    util::Rng kill_rng(seed ^ 0xdeadu);
+    std::thread killer([&] {
+      constexpr std::size_t kKillBudget = 12;
+      while (!batch_done.load() && kills_delivered < kKillBudget) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            static_cast<int>(kill_rng.range(20, 60))));
+        const std::vector<pid_t> pids = pool.worker_pids();
+        if (pids.empty()) continue;
+        const pid_t victim = pids[static_cast<std::size_t>(
+            kill_rng.range(0, static_cast<long long>(pids.size()) - 1))];
+        if (::kill(victim, SIGKILL) == 0) ++kills_delivered;
+      }
+    });
+    const supervise::SupervisedReport chaos_report = pool.run(clean);
+    batch_done.store(true);
+    killer.join();
+
+    check(chaos_report.batch.results.size() == clean.size(),
+          "supervise sigkill: result count");
+    check(chaos_report.quarantined_jobs == 0,
+          "supervise sigkill: external kills must never quarantine");
+    for (std::size_t i = 0; i < clean.size(); ++i)
+      supervise_expect_serial(chaos_report.batch.results[i],
+                              clean_truth.results[i],
+                              "supervise sigkill job " + std::to_string(i));
+    // Every delivered kill is eventually answered with a restart (a kill
+    // can even land in the gap between run() returning and the killer
+    // noticing, so the report snapshot may lag — poll the pool).
+    supervise::WorkerPool* pool_ptr = &pool;
+    const std::size_t want_restarts = kills_delivered;
+    check(supervise_eventually([pool_ptr, want_restarts] {
+            return pool_ptr->worker_restarts() >= want_restarts;
+          }),
+          "supervise sigkill: " + std::to_string(kills_delivered) +
+              " kills but only " + std::to_string(pool.worker_restarts()) +
+              " restarts");
+
+    // ---- Phase 3: recovery — full strength, then a clean batch --------
+    check(supervise_eventually([pool_ptr] {
+            return pool_ptr->worker_pids().size() == 4;
+          }),
+          "supervise sigkill: pool never recovered full strength");
+    std::vector<engine::SolveJob> after(clean.begin(), clean.begin() + 4);
+    const supervise::SupervisedReport after_report = pool.run(after);
+    for (std::size_t i = 0; i < after.size(); ++i)
+      supervise_expect_serial(after_report.batch.results[i],
+                              clean_truth.results[i],
+                              "supervise after job " + std::to_string(i));
+    std::printf(
+        "supervise chaos: sigkill phase — %zu kills delivered, %zu "
+        "restarts, %zu resumed dispatches, batch + follow-up bit-identical "
+        "to serial\n",
+        kills_delivered, chaos_report.worker_restarts,
+        chaos_report.resumed_dispatches);
+  }
+
+  if (failures > failures_before && !report_path.empty()) {
+    std::ofstream out(report_path, std::ios::binary);
+    out << report.batch.to_jsonl();
+    std::fprintf(stderr, "supervise: wrote JobReport JSONL to %s\n",
+                 report_path.c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  supervise::worker_trampoline(argc, argv);
   std::size_t instances = 200;
   std::size_t fuzz_iters = 10'000;
   std::uint64_t seed = 0xdefe2026ULL;
@@ -1390,6 +1682,8 @@ int main(int argc, char** argv) {
   std::string serve_report;
   bool io_chaos_enabled = false;
   std::string io_artifacts_dir;
+  bool supervise_chaos_enabled = false;
+  std::string supervise_report;
   for (int i = 1; i < argc; ++i) {
     const auto next_value = [&](const char* flag) -> long long {
       if (i + 1 >= argc) {
@@ -1469,6 +1763,14 @@ int main(int argc, char** argv) {
         return 2;
       }
       io_artifacts_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--supervise-chaos") == 0) {
+      supervise_chaos_enabled = true;
+    } else if (std::strcmp(argv[i], "--supervise-report") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --supervise-report\n");
+        return 2;
+      }
+      supervise_report = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--instances N] [--fuzz-iters N] [--seed S] "
@@ -1477,7 +1779,8 @@ int main(int argc, char** argv) {
                    "[--engine-report FILE] [--engine-cache] "
                    "[--serve-fuzz N] [--serve-soak SECONDS] "
                    "[--serve-report FILE] [--io-chaos] "
-                   "[--io-artifacts DIR]\n",
+                   "[--io-artifacts DIR] [--supervise-chaos] "
+                   "[--supervise-report FILE]\n",
                    argv[0]);
       return 2;
     }
@@ -1542,6 +1845,14 @@ int main(int argc, char** argv) {
     if (failures == 0)
       std::printf("io chaos: kill sweep + fault plans survived on all "
                   "three artifact paths\n");
+  }
+
+  if (supervise_chaos_enabled) {
+    try {
+      supervise_chaos(seed, fault_seed, supervise_report);
+    } catch (const std::exception& e) {
+      fail(std::string("supervise chaos threw: ") + e.what());
+    }
   }
 
   fuzz_parsers(rng, fuzz_iters);

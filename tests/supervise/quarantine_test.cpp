@@ -1,0 +1,202 @@
+// Crash-loop and poison-job coverage for the supervised pool: a job that
+// kills its worker once is recovered bit-identically, a job that kills
+// its worker `max_job_crashes` times is quarantined with a truthful
+// kWorkerCrashed result, the pool restarts workers under backoff and
+// stays at full strength, and hung workers walk the SIGTERM -> SIGKILL
+// escalation (docs/SUPERVISION.md).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "core/game.hpp"
+#include "engine/engine.hpp"
+#include "engine/job.hpp"
+#include "fault/fault.hpp"
+#include "graph/generators.hpp"
+#include "supervise/supervisor.hpp"
+#include "supervise/worker.hpp"
+
+namespace defender::supervise {
+namespace {
+
+engine::SolveJob make_job(engine::JobSolver solver =
+                              engine::JobSolver::kDoubleOracle) {
+  engine::SolveJob job{core::TupleGame(graph::cycle_graph(6), 2, 2)};
+  job.solver = solver;
+  job.budget = SolveBudget::iterations(400);
+  return job;
+}
+
+/// Polls for `ok` to become true: worker restarts happen asynchronously
+/// under capped backoff, so full pool strength is EVENTUAL, not a
+/// postcondition of run().
+bool eventually(const std::function<bool()>& ok, double seconds = 5.0) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (ok()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return ok();
+}
+
+/// A plan that fires `site` on exactly the listed dispatch indices, found
+/// by seed search against the pure schedule predicate — the same function
+/// the worker consults, so the test and the worker can never disagree.
+fault::FaultPlan plan_firing_on(fault::FaultSite site, bool on_dispatch0,
+                                bool on_dispatch1) {
+  fault::FaultPlan plan;
+  plan.rate_of(site) = 0.5;
+  for (std::uint64_t seed = 1; seed < 100'000; ++seed) {
+    plan.seed = seed;
+    if (fault::FaultContext::scheduled(plan, site, 0) == on_dispatch0 &&
+        fault::FaultContext::scheduled(plan, site, 1) == on_dispatch1)
+      return plan;
+  }
+  ADD_FAILURE() << "no seed found for the requested schedule";
+  return plan;
+}
+
+TEST(Quarantine, CrashOnceIsRecoveredBitIdentically) {
+  engine::SolveJob job = make_job();
+  job.fault_plan =
+      plan_firing_on(fault::FaultSite::kWorkerCrash, true, false);
+
+  // Serial truth: the in-process engine never evaluates worker-crash, so
+  // the armed plan leaves the result untouched (faults_injected == 0).
+  engine::EngineConfig serial_config;
+  serial_config.workers = 1;
+  engine::SolveEngine serial(serial_config);
+  const engine::BatchReport truth = serial.run({job});
+  ASSERT_TRUE(truth.results[0].ok());
+
+  PoolConfig config;
+  config.workers = 1;
+  WorkerPool pool(config);
+  const SupervisedReport report = pool.run({job});
+  ASSERT_EQ(report.batch.results.size(), 1u);
+  const engine::JobResult& r = report.batch.results[0];
+  EXPECT_EQ(r.status.code, StatusCode::kOk) << r.status.to_string();
+  EXPECT_EQ(r.value, truth.results[0].value);
+  EXPECT_EQ(r.lower_bound, truth.results[0].lower_bound);
+  EXPECT_EQ(r.upper_bound, truth.results[0].upper_bound);
+  EXPECT_EQ(r.iterations, truth.results[0].iterations);
+  EXPECT_EQ(r.faults_injected, truth.results[0].faults_injected);
+  EXPECT_EQ(report.worker_restarts, 1u);
+  EXPECT_EQ(report.quarantined_jobs, 0u);
+}
+
+TEST(Quarantine, PoisonJobIsQuarantinedAndTheBatchSurvives) {
+  // Job 1 kills its worker on every dispatch; jobs 0 and 2 are clean.
+  std::vector<engine::SolveJob> jobs;
+  jobs.push_back(make_job(engine::JobSolver::kDoubleOracle));
+  engine::SolveJob poison = make_job();
+  poison.fault_plan.seed = 7;
+  poison.fault_plan.rate_of(fault::FaultSite::kWorkerCrash) = 1.0;
+  jobs.push_back(poison);
+  jobs.push_back(make_job(engine::JobSolver::kZeroSumLp));
+
+  engine::EngineConfig serial_config;
+  serial_config.workers = 1;
+  engine::SolveEngine serial(serial_config);
+  const engine::BatchReport truth = serial.run(jobs);
+
+  PoolConfig config;
+  config.workers = 2;
+  WorkerPool pool(config);
+  const SupervisedReport report = pool.run(jobs);
+  ASSERT_EQ(report.batch.results.size(), 3u);
+
+  // The poison job: truthful terminal kWorkerCrashed, a-priori bracket,
+  // no fabricated attempt history.
+  const engine::JobResult& q = report.batch.results[1];
+  EXPECT_EQ(q.status.code, StatusCode::kWorkerCrashed)
+      << q.status.to_string();
+  EXPECT_FALSE(q.status.message.empty());
+  EXPECT_EQ(q.lower_bound, 0.0);
+  EXPECT_GT(q.upper_bound, 0.0);
+  EXPECT_GE(q.value, q.lower_bound);
+  EXPECT_LE(q.value, q.upper_bound);
+  EXPECT_TRUE(q.attempts.empty());
+  EXPECT_EQ(report.quarantined_jobs, 1u);
+  // Default max_job_crashes = 2: the poison job killed its worker twice.
+  // Both deaths are answered with a restart, but the second may still be
+  // in its backoff window when run() returns.
+  EXPECT_GE(report.worker_restarts, 1u);
+  EXPECT_TRUE(eventually([&] { return pool.worker_restarts() == 2; }))
+      << pool.worker_restarts();
+
+  // Non-faulted neighbours: bit-identical to the serial engine.
+  for (const std::size_t i : {std::size_t{0}, std::size_t{2}}) {
+    const engine::JobResult& r = report.batch.results[i];
+    const engine::JobResult& t = truth.results[i];
+    EXPECT_EQ(r.status.code, t.status.code);
+    EXPECT_EQ(r.value, t.value);
+    EXPECT_EQ(r.lower_bound, t.lower_bound);
+    EXPECT_EQ(r.upper_bound, t.upper_bound);
+    EXPECT_EQ(r.iterations, t.iterations);
+    EXPECT_EQ(r.attempts.size(), t.attempts.size());
+  }
+
+  // The pool recovers to full strength and still serves clean work.
+  EXPECT_TRUE(eventually([&] { return pool.worker_pids().size() == 2; }))
+      << pool.worker_pids().size();
+  const SupervisedReport after = pool.run({make_job()});
+  ASSERT_EQ(after.batch.results.size(), 1u);
+  EXPECT_TRUE(after.batch.results[0].ok());
+}
+
+TEST(Quarantine, ConfigurableCrashThreshold) {
+  engine::SolveJob poison = make_job();
+  poison.fault_plan.seed = 3;
+  poison.fault_plan.rate_of(fault::FaultSite::kWorkerCrash) = 1.0;
+
+  PoolConfig config;
+  config.workers = 1;
+  config.max_job_crashes = 4;
+  WorkerPool pool(config);
+  const SupervisedReport report = pool.run({poison});
+  const engine::JobResult& r = report.batch.results[0];
+  EXPECT_EQ(r.status.code, StatusCode::kWorkerCrashed);
+  // Four kills were attributed before giving up; every death eventually
+  // gets its restart (the last may outlive run()'s return).
+  EXPECT_TRUE(eventually([&] { return pool.worker_restarts() == 4; }))
+      << pool.worker_restarts();
+  EXPECT_EQ(pool.quarantined_jobs(), 1u);
+}
+
+TEST(Quarantine, HungWorkerWalksTheEscalation) {
+  // worker-hang suppresses heartbeats and shields SIGTERM, so only the
+  // heartbeat deadline + SIGKILL escalation can reclaim the worker.
+  engine::SolveJob hang = make_job();
+  hang.fault_plan.seed = 11;
+  hang.fault_plan.rate_of(fault::FaultSite::kWorkerHang) = 1.0;
+
+  PoolConfig config;
+  config.workers = 1;
+  config.heartbeat_interval_seconds = 0.02;
+  config.heartbeat_timeout_seconds = 0.4;
+  config.term_grace_seconds = 0.2;
+  WorkerPool pool(config);
+  const SupervisedReport report = pool.run({hang});
+  ASSERT_EQ(report.batch.results.size(), 1u);
+  EXPECT_EQ(report.batch.results[0].status.code, StatusCode::kWorkerCrashed);
+  EXPECT_GE(report.heartbeat_misses, 2u);
+  // Both hang kills restart the worker, but the second restart may still
+  // be in its backoff window when run() returns.
+  EXPECT_GE(report.worker_restarts, 1u);
+  EXPECT_TRUE(eventually([&] { return pool.worker_restarts() == 2; }))
+      << pool.worker_restarts();
+
+  // Escalation over, the pool still serves clean work.
+  const SupervisedReport after = pool.run({make_job()});
+  EXPECT_TRUE(after.batch.results[0].ok());
+}
+
+}  // namespace
+}  // namespace defender::supervise

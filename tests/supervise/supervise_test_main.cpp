@@ -1,0 +1,13 @@
+// Custom gtest main for the supervise suites: these binaries HOST pool
+// workers (the supervisor re-execs /proc/self/exe), so the worker
+// trampoline must run before anything else — including gtest's own
+// argument parsing, which would reject the sentinel argv.
+#include <gtest/gtest.h>
+
+#include "supervise/worker.hpp"
+
+int main(int argc, char** argv) {
+  defender::supervise::worker_trampoline(argc, argv);
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
