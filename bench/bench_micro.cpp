@@ -7,9 +7,11 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "core/atuple.hpp"
@@ -23,6 +25,9 @@
 #include "graph/generators.hpp"
 #include "io/atomic_file.hpp"
 #include "io/envelope.hpp"
+#include "lp/matrix_game.hpp"
+#include "lp/simplex_reference.hpp"
+#include "lp/tableau.hpp"
 #include "obs/context.hpp"
 #include "sim/playout.hpp"
 #include "supervise/wire.hpp"
@@ -87,6 +92,163 @@ void BM_ZeroSumLp(benchmark::State& state) {
   state.counters["tuples"] = static_cast<double>(game.num_tuples());
 }
 BENCHMARK(BM_ZeroSumLp)->Arg(6)->Arg(10)->Arg(14);
+
+// --------------------------------------------------------------------------
+// The simplex pivot pair (docs/SIMPLEX.md): the pre-rewrite vector-of-
+// vectors pivot kernel against the flat-tableau SimplexCore::pivot, on
+// identical data. Both sides run dyadic tableaus — integer entries,
+// identity basic block, pivot elements that are small powers of two — so
+// every pivot is floating-point exact and pivot(0, m) followed by
+// pivot(0, 0) restores the tableau bit-for-bit: iterations never drift,
+// and both kernels chew on the same bytes forever.
+
+constexpr double kPivotBenchEps = 1e-9;
+
+/// Entry (i, j) of the shared dyadic bench tableau with m constraint rows:
+/// an identity basic block in columns [0, m), an entering column at m whose
+/// pivot element is 2, and small deterministic integers elsewhere.
+double dyadic_entry(std::size_t i, std::size_t j, std::size_t m) {
+  if (j < m) return i == j ? 1.0 : 0.0;
+  if (j == m) return i == 0 ? 2.0 : 1.0;
+  return static_cast<double>(static_cast<int>((i * 31 + j * 17) % 9) - 4);
+}
+
+/// Replica of the pre-rewrite pivot kernel over per-row heap vectors (the
+/// original Tableau class is internal to simplex_reference.cpp; this
+/// reproduces its storage shape and arithmetic exactly).
+struct ReferencePivotTableau {
+  std::vector<std::vector<double>> t;
+  std::vector<std::size_t> basis;
+
+  explicit ReferencePivotTableau(std::size_t m) {
+    const std::size_t width = 2 * m + 1;
+    t.assign(m + 1, std::vector<double>(width));
+    basis.assign(m, 0);
+    for (std::size_t i = 0; i <= m; ++i)
+      for (std::size_t j = 0; j < width; ++j) t[i][j] = dyadic_entry(i, j, m);
+    for (std::size_t i = 0; i < m; ++i) basis[i] = i;
+  }
+
+  void pivot(std::size_t row, std::size_t col) {
+    std::vector<double>& pr = t[row];
+    const double p = pr[col];
+    for (double& v : pr) v /= p;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (i == row) continue;
+      std::vector<double>& ri = t[i];
+      const double f = ri[col];
+      if (std::abs(f) < kPivotBenchEps) continue;
+      for (std::size_t j = 0; j < ri.size(); ++j) ri[j] -= f * pr[j];
+    }
+    basis[row] = col;
+  }
+};
+
+lp::Simplex flat_pivot_tableau(std::size_t m) {
+  const std::size_t width = 2 * m + 1;
+  lp::Simplex s(m, width);
+  lp::SimplexCore core = s.core();
+  for (std::size_t i = 0; i <= m; ++i)
+    for (std::size_t j = 0; j < width; ++j)
+      core.at(i, j) = dyadic_entry(i, j, m);
+  for (std::size_t i = 0; i < m; ++i) core.set_basis(i, i);
+  return s;
+}
+
+void BM_Pivot_Reference(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  ReferencePivotTableau rt(m);
+  for (auto _ : state) {
+    rt.pivot(0, m);
+    rt.pivot(0, 0);
+    benchmark::DoNotOptimize(rt.t[0][2 * m]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_Pivot_Reference)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Pivot_Flat(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  lp::Simplex s = flat_pivot_tableau(m);
+  lp::SimplexCore core = s.core();
+  for (auto _ : state) {
+    core.pivot(0, m, kPivotBenchEps);
+    core.pivot(0, 0, kPivotBenchEps);
+    benchmark::DoNotOptimize(core.at(0, 2 * m));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_Pivot_Flat)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
+
+// End-to-end complement: the full two-phase solve_max on a dense synthetic
+// LP, flat core versus the preserved reference implementation (the live
+// bit-compatibility oracle — tests/lp/simplex_differential_test.cpp proves
+// the outputs identical, so this pair times the same work).
+lp::Matrix solve_bench_matrix(std::size_t n) {
+  util::Rng rng(20260808);
+  lp::Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      a.at(i, j) = rng.uniform(1.0, 2.0);  // positive => bounded, feasible
+  return a;
+}
+
+void BM_SolveMax_Reference(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const lp::Matrix a = solve_bench_matrix(n);
+  const std::vector<double> ones(n, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        lp::reference::solve_max(a, ones, ones).objective);
+  }
+}
+BENCHMARK(BM_SolveMax_Reference)->Arg(16)->Arg(48);
+
+void BM_SolveMax_Flat(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const lp::Matrix a = solve_bench_matrix(n);
+  const std::vector<double> ones(n, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lp::solve_max(a, ones, ones).objective);
+  }
+}
+BENCHMARK(BM_SolveMax_Flat)->Arg(16)->Arg(48);
+
+/// Back-to-back timing of `reps` exact pivot/unpivot pairs for the
+/// BENCH_JSON speedup line below.
+double reference_pivot_seconds(std::size_t m, int reps) {
+  ReferencePivotTableau rt(m);
+  const auto t0 = bench::case_clock();
+  for (int i = 0; i < reps; ++i) {
+    rt.pivot(0, m);
+    rt.pivot(0, 0);
+    benchmark::DoNotOptimize(rt.t[0][2 * m]);
+  }
+  return obs::Clock::seconds_since(t0);
+}
+
+double flat_pivot_seconds(std::size_t m, int reps) {
+  lp::Simplex s = flat_pivot_tableau(m);
+  lp::SimplexCore core = s.core();
+  const auto t0 = bench::case_clock();
+  for (int i = 0; i < reps; ++i) {
+    core.pivot(0, m, kPivotBenchEps);
+    core.pivot(0, 0, kPivotBenchEps);
+    benchmark::DoNotOptimize(core.at(0, 2 * m));
+  }
+  return obs::Clock::seconds_since(t0);
+}
+
+/// Back-to-back timing of `reps` full two-phase solves for the same line
+/// (the end-to-end comparison, where the flat core's single allocation and
+/// construction path actually pay off).
+double solve_pair_seconds(lp::LpSolveFn solve, const lp::Matrix& a,
+                          std::span<const double> ones, int reps) {
+  const auto t0 = bench::case_clock();
+  for (int i = 0; i < reps; ++i)
+    benchmark::DoNotOptimize(solve(a, ones, ones, {}).objective);
+  return obs::Clock::seconds_since(t0);
+}
 
 // The observability overhead pair: the same double-oracle solve with the
 // default null ObsContext versus a fully wired context (tracer with a
@@ -414,6 +576,61 @@ int main(int argc, char** argv) {
       .num("atomic_fsync_ms", durable_s * 1e3)
       .num("fsync_cost_ms_per_write",
            (durable_s - atomic_s) * 1e3 / kIoReps)
+      .emit();
+
+  // Simplex pivot speedup (docs/SIMPLEX.md): the flat-tableau core against
+  // the pre-rewrite vector-of-vectors substrate, measured back to back at
+  // two levels. pivot_* times the bare elimination kernel on identical
+  // dyadic data — bit-compatibility forces the same arithmetic in the same
+  // order, so this pair is expected near parity and exists to catch
+  // regressions in either direction. solve_* times the full two-phase
+  // solve_max, where the rewrite's single allocation, construction path,
+  // and adjacent index arrays actually pay off — that ratio is the headline
+  // speedup. bounds_checked reports whether DEF_TABLEAU_CHECK asserts are
+  // compiled in — it must be 0 in a Release bench, proving the hot loop
+  // carries no index checking.
+  constexpr std::size_t kPivotRows = 64;
+  constexpr int kPivotReps = 4000;
+  constexpr std::size_t kSolveN = 48;
+  constexpr int kSolveReps = 200;
+  const lp::Matrix solve_a = solve_bench_matrix(kSolveN);
+  const std::vector<double> solve_ones(kSolveN, 1.0);
+  reference_pivot_seconds(kPivotRows, 50);  // warm-up
+  flat_pivot_seconds(kPivotRows, 50);       // warm-up
+  solve_pair_seconds(&lp::reference::solve_max, solve_a, solve_ones, 5);
+  solve_pair_seconds(&lp::solve_max, solve_a, solve_ones, 5);
+  // Alternating min-of-5: the sides differ by a few percent (pivot) to a
+  // few tens of percent (solve), which a noisy box would otherwise bury;
+  // the minimum of interleaved passes is the standard robust estimator.
+  double ref_pivot_s = 1e300;
+  double flat_pivot_s = 1e300;
+  double ref_solve_s = 1e300;
+  double flat_solve_s = 1e300;
+  for (int pass = 0; pass < 5; ++pass) {
+    ref_pivot_s =
+        std::min(ref_pivot_s, reference_pivot_seconds(kPivotRows, kPivotReps));
+    flat_pivot_s =
+        std::min(flat_pivot_s, flat_pivot_seconds(kPivotRows, kPivotReps));
+    ref_solve_s = std::min(
+        ref_solve_s, solve_pair_seconds(&lp::reference::solve_max, solve_a,
+                                        solve_ones, kSolveReps));
+    flat_solve_s = std::min(
+        flat_solve_s,
+        solve_pair_seconds(&lp::solve_max, solve_a, solve_ones, kSolveReps));
+  }
+  bench::JsonLine("micro", "simplex pivot speedup")
+      .num("rows", static_cast<int>(kPivotRows))
+      .num("width", static_cast<int>(2 * kPivotRows + 1))
+      .num("pivots", 2 * kPivotReps)
+      .num("pivot_reference_ms", ref_pivot_s * 1e3)
+      .num("pivot_flat_ms", flat_pivot_s * 1e3)
+      .num("pivot_speedup", ref_pivot_s / flat_pivot_s)
+      .num("solve_n", static_cast<int>(kSolveN))
+      .num("solve_reps", kSolveReps)
+      .num("solve_reference_ms", ref_solve_s * 1e3)
+      .num("solve_flat_ms", flat_solve_s * 1e3)
+      .num("speedup", ref_solve_s / flat_solve_s)
+      .num("bounds_checked", lp::kTableauBoundsChecked ? 1 : 0)
       .emit();
   return 0;
 }

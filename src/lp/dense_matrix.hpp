@@ -22,6 +22,15 @@ class Matrix {
   double& at(std::size_t r, std::size_t c);
   double at(std::size_t r, std::size_t c) const;
 
+  /// Row `r` as a raw pointer (cols() doubles, contiguous). One check per
+  /// row instead of one per element — the fast path for kernels that walk
+  /// whole rows, like the simplex tableau fill and the matrix-vector loops.
+  const double* row(std::size_t r) const { return data_.data() + r * cols_; }
+  double* row(std::size_t r) { return data_.data() + r * cols_; }
+
+  /// The full row-major payload (rows() * cols() doubles).
+  const double* data() const { return data_.data(); }
+
   /// Transposed copy.
   Matrix transposed() const;
 

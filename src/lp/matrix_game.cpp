@@ -65,6 +65,14 @@ MatrixGameSolution assemble(const Matrix& payoff, const LpSolution& lp,
 Solved<MatrixGameSolution> solve_matrix_game_budgeted(
     const Matrix& payoff, const SolveBudget& budget, obs::ObsContext* obs,
     fault::FaultContext* fault) {
+  return solve_matrix_game_budgeted_with(&solve_max, payoff, budget, obs,
+                                         fault);
+}
+
+Solved<MatrixGameSolution> solve_matrix_game_budgeted_with(
+    LpSolveFn solve, const Matrix& payoff, const SolveBudget& budget,
+    obs::ObsContext* obs, fault::FaultContext* fault) {
+  DEF_REQUIRE(solve != nullptr, "matrix-game solve needs an LP backend");
   const std::size_t rows = payoff.rows();
   const std::size_t cols = payoff.cols();
   BudgetMeter meter(budget);
@@ -86,7 +94,7 @@ Solved<MatrixGameSolution> solve_matrix_game_budgeted(
   options.obs = obs;
   options.fault = fault;
   options.cancel = budget.cancel;
-  LpSolution lp = solve_max(a, b, c, options);
+  LpSolution lp = solve(a, b, c, options);
 
   Solved<MatrixGameSolution> out;
   out.result = assemble(payoff, lp, shift);

@@ -74,6 +74,22 @@ Solved<MatrixGameSolution> solve_matrix_game_budgeted(
     const Matrix& payoff, const SolveBudget& budget,
     obs::ObsContext* obs = nullptr, fault::FaultContext* fault = nullptr);
 
+/// LP backend signature of the matrix-game solver: exactly lp::solve_max's
+/// options overload.
+using LpSolveFn = LpSolution (*)(const Matrix&, std::span<const double>,
+                                 std::span<const double>,
+                                 const SimplexOptions&);
+
+/// solve_matrix_game_budgeted with an explicit LP backend. Production code
+/// always uses the overload above (which forwards &solve_max); the test
+/// layer passes lp::reference::solve_max here so checkpoint/chaos and
+/// differential suites can compare complete game brackets — shift, LP,
+/// strategy cleaning, security levels, status mapping — across the two
+/// simplex substrates bit-for-bit.
+Solved<MatrixGameSolution> solve_matrix_game_budgeted_with(
+    LpSolveFn solve, const Matrix& payoff, const SolveBudget& budget,
+    obs::ObsContext* obs = nullptr, fault::FaultContext* fault = nullptr);
+
 /// Best-response value check: the payoff the row player earns by playing
 /// `row_strategy` against the column player's best pure counter-strategy.
 double row_security_level(const Matrix& payoff,

@@ -1,59 +1,59 @@
-#include "lp/simplex.hpp"
+// The original (pre-flat-tableau) two-phase simplex, verbatim. See
+// simplex_reference.hpp for why this copy exists and when it is removed.
+#include "lp/simplex_reference.hpp"
 
 #include <algorithm>
 #include <cmath>
 #include <limits>
 
 #include "fault/fault.hpp"
-#include "lp/tableau.hpp"
 #include "obs/clock.hpp"
 #include "util/assert.hpp"
 
-namespace defender::lp {
+namespace defender::lp::reference {
 
 namespace {
 
 /// How the pivot loop ended.
 enum class IterateOutcome { kDone, kUnbounded, kBudget };
 
-/// Two-phase simplex driver over the flat tableau (lp/tableau.hpp): columns =
-/// structural + slack + artificial + rhs, textbook pivoting with Dantzig
-/// pricing and a Bland's-rule fallback.
-///
-/// Bit-compatibility: every floating-point operation below happens in the
-/// same order as in lp::reference::solve_max (the previous vector-of-vectors
-/// implementation, kept for one PR as a live oracle) — only the storage
-/// underneath changed. The differential suite in tests/lp asserts this.
-class FlatTableau {
+/// Dense tableau: `rows_` constraint rows plus one objective row, columns =
+/// structural + slack + artificial + rhs. Implements textbook pivoting with
+/// Dantzig pricing and a Bland's-rule fallback.
+class Tableau {
  public:
   /// `eps` is the reduced-cost/zero tolerance; `ratio_eps` the pivot-element
   /// acceptance threshold of the ratio test (raised on the stabilizing
   /// re-solve so tiny, round-off-amplifying pivots are rejected).
-  FlatTableau(const Matrix& a, std::span<const double> b,
-              std::span<const double> c, double eps, double ratio_eps,
-              std::size_t max_pivots, double deadline_seconds,
-              CancelToken* cancel)
-      : m_(a.rows()), n_(a.cols()), num_art_(count_negative(b)),
-        cols_(n_ + m_ + num_art_ + 1), rhs_col_(cols_ - 1),
-        art_start_(n_ + m_), eps_(eps), ratio_eps_(ratio_eps),
+  Tableau(const Matrix& a, std::span<const double> b,
+          std::span<const double> c, double eps, double ratio_eps,
+          std::size_t max_pivots, double deadline_seconds,
+          CancelToken* cancel)
+      : m_(a.rows()), n_(a.cols()), eps_(eps), ratio_eps_(ratio_eps),
         max_pivots_(max_pivots), deadline_seconds_(deadline_seconds),
-        cancel_(cancel), store_(m_, cols_), core_(store_.core()) {
+        cancel_(cancel) {
     // Column layout: [0, n) structural, [n, n+m) slack,
-    // [n+m, n+m+num_art) artificial, last column rhs. The managed Simplex
-    // zero-initialized everything; only the nonzeros get written.
+    // [n+m, n+m+num_art) artificial, last column rhs.
+    num_art_ = 0;
+    for (std::size_t i = 0; i < m_; ++i)
+      if (b[i] < 0) ++num_art_;
+    cols_ = n_ + m_ + num_art_ + 1;
+    rhs_col_ = cols_ - 1;
+    t_.assign(m_ + 1, std::vector<double>(cols_, 0.0));
+    basis_.assign(m_, 0);
+    art_start_ = n_ + m_;
+
     std::size_t next_art = art_start_;
     for (std::size_t i = 0; i < m_; ++i) {
       const double sign = b[i] < 0 ? -1.0 : 1.0;
-      double* __restrict row = core_.row(i);
-      const double* __restrict arow = a.row(i);
-      for (std::size_t j = 0; j < n_; ++j) row[j] = sign * arow[j];
-      row[n_ + i] = sign;  // slack keeps its identity; the row flips
-      row[rhs_col_] = sign * b[i];
+      for (std::size_t j = 0; j < n_; ++j) t_[i][j] = sign * a.at(i, j);
+      t_[i][n_ + i] = sign;  // slack keeps its identity; the row flips
+      t_[i][rhs_col_] = sign * b[i];
       if (b[i] < 0) {
-        row[next_art] = 1.0;
-        core_.set_basis(i, next_art++);
+        t_[i][next_art] = 1.0;
+        basis_[i] = next_art++;
       } else {
-        core_.set_basis(i, n_ + i);
+        basis_[i] = n_ + i;
       }
     }
     c_.assign(c.begin(), c.end());
@@ -65,12 +65,12 @@ class FlatTableau {
     infeasible_ = false;
     if (num_art_ == 0) return IterateOutcome::kDone;
     // Objective: maximize -sum(artificials). Price out the artificial basis.
-    double* obj = core_.zrow();
-    std::fill_n(obj, cols_, 0.0);
+    auto& obj = t_[m_];
+    std::fill(obj.begin(), obj.end(), 0.0);
     for (std::size_t j = art_start_; j < art_start_ + num_art_; ++j)
       obj[j] = 1.0;  // row stores z - c; c = -1 on artificials
     for (std::size_t i = 0; i < m_; ++i)
-      if (basis(i) >= art_start_) core_.axpy_into_objective(i, -1.0);
+      if (basis_[i] >= art_start_) add_row_to_obj(i, -1.0);
     const IterateOutcome out = iterate(/*allow_artificial=*/true);
     if (out == IterateOutcome::kUnbounded) {
       // Impossible in phase 1 (objective bounded by 0); mirror the legacy
@@ -79,7 +79,7 @@ class FlatTableau {
       return IterateOutcome::kDone;
     }
     if (out == IterateOutcome::kBudget) return out;
-    if (core_.zrow()[rhs_col_] < -eps_) {  // artificials stuck positive
+    if (t_[m_][rhs_col_] < -eps_) {  // artificials stuck positive
       infeasible_ = true;
       return IterateOutcome::kDone;
     }
@@ -89,13 +89,13 @@ class FlatTableau {
 
   /// Phase 2 on the real objective.
   IterateOutcome phase2() {
-    double* obj = core_.zrow();
-    std::fill_n(obj, cols_, 0.0);
+    auto& obj = t_[m_];
+    std::fill(obj.begin(), obj.end(), 0.0);
     for (std::size_t j = 0; j < n_; ++j) obj[j] = -c_[j];
     for (std::size_t i = 0; i < m_; ++i) {
-      if (core_.is_dropped(i)) continue;
-      const std::size_t bj = basis(i);
-      if (bj < n_ && c_[bj] != 0.0) core_.axpy_into_objective(i, c_[bj]);
+      if (dropped(i)) continue;
+      const std::size_t bj = basis_[i];
+      if (bj < n_ && c_[bj] != 0.0) add_row_to_obj(i, c_[bj]);
     }
     return iterate(/*allow_artificial=*/false);
   }
@@ -106,32 +106,22 @@ class FlatTableau {
   LpSolution extract() const {
     LpSolution s;
     s.status = LpStatus::kOptimal;
-    s.objective = core_.zrow()[rhs_col_];
+    s.objective = t_[m_][rhs_col_];
     s.x.assign(n_, 0.0);
     for (std::size_t i = 0; i < m_; ++i) {
-      if (core_.is_dropped(i)) continue;
-      if (basis(i) < n_) s.x[basis(i)] = core_.at(i, rhs_col_);
+      if (dropped(i)) continue;
+      if (basis_[i] < n_) s.x[basis_[i]] = t_[i][rhs_col_];
     }
     // Dual price of constraint i = reduced cost of its slack column.
     s.duals.assign(m_, 0.0);
-    const double* z = core_.zrow();
-    for (std::size_t i = 0; i < m_; ++i) s.duals[i] = z[n_ + i];
+    for (std::size_t i = 0; i < m_; ++i) s.duals[i] = t_[m_][n_ + i];
     s.pivots = pivots_;
     return s;
   }
 
  private:
-  static std::size_t count_negative(std::span<const double> b) {
-    std::size_t n = 0;
-    for (double bi : b)
-      if (bi < 0) ++n;
-    return n;
-  }
-
-  /// Basic column of row `i` as a size, for comparisons against the column
-  /// layout bounds. Only valid for non-dropped rows.
-  std::size_t basis(std::size_t i) const {
-    return static_cast<std::size_t>(core_.basic_var(i));
+  bool dropped(std::size_t row) const {
+    return basis_[row] == std::numeric_limits<std::size_t>::max();
   }
 
   bool budget_exhausted() const {
@@ -147,8 +137,21 @@ class FlatTableau {
     return false;
   }
 
+  /// obj += factor * row  (prices a basic variable out of the z-row).
+  void add_row_to_obj(std::size_t row, double factor) {
+    for (std::size_t j = 0; j < cols_; ++j) t_[m_][j] += factor * t_[row][j];
+  }
+
   void pivot(std::size_t row, std::size_t col) {
-    core_.pivot(row, col, eps_);
+    const double p = t_[row][col];
+    for (std::size_t j = 0; j < cols_; ++j) t_[row][j] /= p;
+    for (std::size_t i = 0; i <= m_; ++i) {
+      if (i == row) continue;
+      const double f = t_[i][col];
+      if (std::abs(f) < eps_) continue;
+      for (std::size_t j = 0; j < cols_; ++j) t_[i][j] -= f * t_[row][j];
+    }
+    basis_[row] = col;
     ++pivots_;
   }
 
@@ -162,15 +165,14 @@ class FlatTableau {
     // Bland's rule; reset on any strict improvement.
     constexpr std::size_t kDegenerateLimit = 40;
     std::size_t degenerate_run = 0;
-    double last_objective = core_.zrow()[rhs_col_];
+    double last_objective = t_[m_][rhs_col_];
     while (true) {
       if (budget_exhausted()) return IterateOutcome::kBudget;
       const bool use_bland = degenerate_run >= kDegenerateLimit;
-      const double* z = core_.zrow();
       std::size_t enter = cols_;
       if (use_bland) {
         for (std::size_t j = 0; j < limit; ++j) {
-          if (z[j] < -eps_) {
+          if (t_[m_][j] < -eps_) {
             enter = j;
             break;
           }
@@ -178,8 +180,8 @@ class FlatTableau {
       } else {
         double most_negative = -eps_;
         for (std::size_t j = 0; j < limit; ++j) {
-          if (z[j] < most_negative) {
-            most_negative = z[j];
+          if (t_[m_][j] < most_negative) {
+            most_negative = t_[m_][j];
             enter = j;
           }
         }
@@ -193,15 +195,15 @@ class FlatTableau {
       std::size_t leave = m_;
       double best_ratio = std::numeric_limits<double>::infinity();
       for (std::size_t i = 0; i < m_; ++i) {
-        if (core_.is_dropped(i) || core_.at(i, enter) <= ratio_eps_) continue;
-        const double ratio = core_.at(i, rhs_col_) / core_.at(i, enter);
+        if (dropped(i) || t_[i][enter] <= ratio_eps_) continue;
+        const double ratio = t_[i][rhs_col_] / t_[i][enter];
         if (ratio < best_ratio - eps_) {
           best_ratio = ratio;
           leave = i;
         } else if (ratio < best_ratio + eps_ && leave != m_) {
           const bool prefer =
-              use_bland ? basis(i) < basis(leave)
-                        : core_.at(i, enter) > core_.at(leave, enter);
+              use_bland ? basis_[i] < basis_[leave]
+                        : t_[i][enter] > t_[leave][enter];
           if (prefer) {
             best_ratio = std::min(best_ratio, ratio);
             leave = i;
@@ -210,7 +212,7 @@ class FlatTableau {
       }
       if (leave == m_) return IterateOutcome::kUnbounded;
       pivot(leave, enter);
-      const double objective = core_.zrow()[rhs_col_];
+      const double objective = t_[m_][rhs_col_];
       if (objective > last_objective + eps_) {
         degenerate_run = 0;
         last_objective = objective;
@@ -224,17 +226,16 @@ class FlatTableau {
   /// level zero: pivot them out where possible, mark redundant rows dropped.
   void pivot_out_artificials() {
     for (std::size_t i = 0; i < m_; ++i) {
-      if (core_.is_dropped(i) || basis(i) < art_start_) continue;
+      if (dropped(i) || basis_[i] < art_start_) continue;
       std::size_t col = cols_;
-      const double* row = core_.row(i);
       for (std::size_t j = 0; j < art_start_; ++j) {
-        if (std::abs(row[j]) > eps_) {
+        if (std::abs(t_[i][j]) > eps_) {
           col = j;
           break;
         }
       }
       if (col == cols_) {
-        core_.drop_row(i);  // redundant row
+        basis_[i] = std::numeric_limits<std::size_t>::max();  // redundant row
       } else {
         pivot(i, col);
       }
@@ -252,11 +253,11 @@ class FlatTableau {
   std::size_t max_pivots_;
   double deadline_seconds_;
   CancelToken* cancel_ = nullptr;
-  Simplex store_;         // the one flat allocation
-  SimplexCore core_;      // unmanaged view over store_
   obs::Clock::Micros start_us_ = obs::Clock::now_micros();
   std::size_t pivots_ = 0;
   bool infeasible_ = false;
+  std::vector<std::vector<double>> t_;  // m_+1 rows; last is the z-row
+  std::vector<std::size_t> basis_;
   std::vector<double> c_;
 };
 
@@ -265,8 +266,8 @@ class FlatTableau {
 LpSolution run_simplex(const Matrix& a, std::span<const double> b,
                        std::span<const double> c,
                        const SimplexOptions& options, double ratio_eps) {
-  FlatTableau tab(a, b, c, options.pivot_tolerance, ratio_eps,
-                  options.max_pivots, options.deadline_seconds, options.cancel);
+  Tableau tab(a, b, c, options.pivot_tolerance, ratio_eps,
+              options.max_pivots, options.deadline_seconds, options.cancel);
   const IterateOutcome p1 = tab.phase1();
   if (p1 == IterateOutcome::kBudget) {
     LpSolution s = tab.extract();
@@ -293,60 +294,6 @@ LpSolution run_simplex(const Matrix& a, std::span<const double> b,
   }
   return tab.extract();
 }
-
-}  // namespace
-
-const char* to_string(LpStatus status) {
-  switch (status) {
-    case LpStatus::kOptimal:
-      return "optimal";
-    case LpStatus::kInfeasible:
-      return "infeasible";
-    case LpStatus::kUnbounded:
-      return "unbounded";
-    case LpStatus::kIterationLimit:
-      return "iteration-limit";
-    case LpStatus::kNumericallyUnstable:
-      return "numerically-unstable";
-  }
-  return "unknown";
-}
-
-LpResiduals lp_residuals(const Matrix& a, std::span<const double> b,
-                         std::span<const double> c,
-                         std::span<const double> x,
-                         std::span<const double> duals) {
-  DEF_REQUIRE(x.size() == a.cols() && duals.size() == a.rows(),
-              "residual check needs one x per column and one dual per row");
-  // A corrupted point must never pass: std::max(acc, NaN) keeps acc, so a
-  // NaN coordinate would otherwise sail through the residual loops below.
-  for (double xi : x) {
-    if (!std::isfinite(xi))
-      return {std::numeric_limits<double>::infinity(),
-              std::numeric_limits<double>::infinity()};
-  }
-  for (double yi : duals) {
-    if (!std::isfinite(yi))
-      return {std::numeric_limits<double>::infinity(),
-              std::numeric_limits<double>::infinity()};
-  }
-  LpResiduals r;
-  for (double xi : x) r.max_primal_residual = std::max(r.max_primal_residual, -xi);
-  double primal_obj = 0;
-  for (std::size_t j = 0; j < a.cols(); ++j) primal_obj += c[j] * x[j];
-  double dual_obj = 0;
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    double row = 0;
-    const double* arow = a.row(i);
-    for (std::size_t j = 0; j < a.cols(); ++j) row += arow[j] * x[j];
-    r.max_primal_residual = std::max(r.max_primal_residual, row - b[i]);
-    dual_obj += b[i] * duals[i];
-  }
-  r.duality_gap = std::abs(primal_obj - dual_obj);
-  return r;
-}
-
-namespace {
 
 /// Instrumented epilogue: one branch on the nullable context, then spans
 /// and lp.* metrics. Kept out of the solve path so the null-obs route is
@@ -449,7 +396,7 @@ LpSolution solve_max(const Matrix& a, std::span<const double> b,
 
 LpSolution solve_max(const Matrix& a, std::span<const double> b,
                      std::span<const double> c) {
-  return solve_max(a, b, c, SimplexOptions{});
+  return reference::solve_max(a, b, c, SimplexOptions{});
 }
 
-}  // namespace defender::lp
+}  // namespace defender::lp::reference

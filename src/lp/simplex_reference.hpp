@@ -1,0 +1,43 @@
+// The pre-flat-tableau two-phase simplex, kept in-tree for ONE PR as a
+// live bit-compatibility oracle.
+//
+// This is the original vector-of-vectors implementation of solve_max,
+// moved verbatim into the `defender::lp::reference` namespace. It is
+// compiled into its own library (defender::lp_reference) that only the
+// test layer links — the differential suite
+// (tests/lp/simplex_differential_test.cpp), the checkpoint/chaos
+// regressions, the stress harness, and the bench_micro /
+// bench_e8_lp_crosscheck binaries — never into the production solvers.
+//
+// Why a live oracle instead of a frozen golden file: the differential
+// suite proves the flat-tableau core (lp/tableau.hpp, lp/simplex.cpp)
+// bit-equal to THIS code on the stress-harness board corpus, under every
+// sanitizer, on every platform CI runs — including platforms where a
+// golden file recorded elsewhere would be stale.
+//
+// Removal plan (docs/SIMPLEX.md): once the differential suite has ridden
+// one full PR cycle green, this file, its library, and the reference
+// benches are deleted; the differential tests then pin the flat core
+// against recorded values only.
+#pragma once
+
+#include <span>
+
+#include "lp/dense_matrix.hpp"
+#include "lp/simplex.hpp"
+
+namespace defender::lp::reference {
+
+/// The original solve_max: identical contract, statuses, residual/duality
+/// guards, fault hooks (kLpPivotPerturb / kLpForceUnstable), cancellation
+/// polls, and observability epilogue as lp::solve_max — differing only in
+/// the tableau substrate underneath.
+LpSolution solve_max(const Matrix& a, std::span<const double> b,
+                     std::span<const double> c,
+                     const SimplexOptions& options);
+
+/// Default-options overload, mirroring lp::solve_max.
+LpSolution solve_max(const Matrix& a, std::span<const double> b,
+                     std::span<const double> c);
+
+}  // namespace defender::lp::reference

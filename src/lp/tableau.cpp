@@ -1,0 +1,47 @@
+#include "lp/tableau.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace defender::lp {
+
+std::size_t Simplex::index_bytes(std::size_t rows, std::size_t width) {
+  // Both index arrays, rounded up so the tableau doubles that follow are
+  // naturally aligned.
+  const std::size_t raw = sizeof(TableauIndex) * (rows + width);
+  return (raw + alignof(double) - 1) & ~(alignof(double) - 1);
+}
+
+Simplex::Simplex(std::size_t rows, std::size_t width)
+    : rows_(rows), width_(width) {
+  DEF_REQUIRE(width >= 1, "a simplex tableau needs at least the rhs column");
+  DEF_REQUIRE(rows + width <
+                  static_cast<std::size_t>(
+                      std::numeric_limits<TableauIndex>::max()),
+              "tableau dimensions overflow the 32-bit basis indices");
+  stride_ = (width_ + kRowAlignDoubles - 1) / kRowAlignDoubles *
+            kRowAlignDoubles;
+  // Keep large rows off page-aliasing strides: if consecutive rows land a
+  // near-multiple of 4 KiB apart, the elimination loop's stores to row i
+  // 4K-alias its loads from the pivot row and the pivot kernel stalls on
+  // store-forwarding conflicts (measured ~25% at width 513, where the
+  // 32-byte-rounded stride is 4128 bytes). Padding the stride to an odd
+  // multiple of 64 bytes (stride ≡ 8 mod 16 doubles) makes k*stride cycle
+  // through all 64 page-offset cache lines before repeating, so no two
+  // nearby rows share a line offset. Same trick as BLAS leading-dimension
+  // padding; the pad lanes are dead space the width-bounded loops never
+  // touch, so numerics are unaffected.
+  if (stride_ >= 64 && stride_ % 16 != 8)
+    stride_ += (8 + 16 - stride_ % 16) % 16;
+  bytes_ = index_bytes(rows_, width_) + sizeof(double) * (rows_ + 1) * stride_;
+  // make_unique value-initializes: the tableau starts as all +0.0 (the
+  // exact state the old vector-of-vectors construction produced) and the
+  // pad lanes stay zero forever.
+  memory_ = std::make_unique<std::byte[]>(bytes_);
+  std::fill_n(basic_var_ptr(), rows_, kTableauNone);
+  std::fill_n(var_row_ptr(), width_, kTableauNone);
+}
+
+}  // namespace defender::lp

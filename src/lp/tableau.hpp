@@ -1,0 +1,247 @@
+// Flat simplex tableau: the storage substrate of the LP hot path.
+//
+// Every solver in the library bottoms out in dense two-phase simplex
+// pivots, so the tableau is laid out the way high-performance simplex
+// cores (LoopModels) do it:
+//
+//   * ONE contiguous allocation per solve, holding the basic-variable
+//     index array (one entry per constraint row), the variable->row index
+//     array (one entry per column), and the (rows+1) x width tableau in a
+//     strided row-major view — no per-row vectors, no pointer chasing;
+//   * an UNMANAGED core (`SimplexCore`) that is nothing but raw spans over
+//     caller-owned storage, so the pivot loops compile to stride-1 walks
+//     over doubles the vectorizer can handle;
+//   * a MANAGED owner (`Simplex`) that performs the single allocation and
+//     demotes to the unmanaged core without copying — `core()` aliases the
+//     same bytes, it never clones them;
+//   * assert-only checking: index validation lives behind
+//     DEF_TABLEAU_CHECK, which compiles to nothing under NDEBUG (Release)
+//     and to a real assert in debug/sanitizer builds. The bounds-checked
+//     `lp::Matrix` stays the safe API at the library boundary; inside the
+//     pivot loop there is no checking to pay for.
+//
+// Bit-compatibility contract: the pivot kernels below perform the exact
+// floating-point operations, in the exact order, of the original
+// vector-of-vectors tableau (kept in-tree for one PR as
+// `lp::reference::solve_max`, see simplex_reference.hpp). The differential
+// suite in tests/lp/simplex_differential_test.cpp asserts bit-equality on
+// the stress-harness board corpus; see docs/SIMPLEX.md for the layout and
+// the removal plan.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace defender::lp {
+
+/// Index type of the basis arrays. 32-bit on purpose: a tableau with 2^31
+/// columns would be ~16 EiB of doubles, far past anything this dense core
+/// is for, and the narrow indices halve the index-array footprint.
+using TableauIndex = std::int32_t;
+
+/// Sentinel for "no basis entry": a dropped (redundant) constraint row in
+/// the basic-variable array, or a nonbasic column in the variable->row
+/// array.
+inline constexpr TableauIndex kTableauNone = -1;
+
+/// True when the core's index checks are compiled in. Release builds
+/// (NDEBUG) compile them out entirely — verified by the differential suite
+/// and reported by bench_micro's BENCH_JSON line.
+#ifndef NDEBUG
+inline constexpr bool kTableauBoundsChecked = true;
+#define DEF_TABLEAU_CHECK(cond) assert(cond)
+#else
+inline constexpr bool kTableauBoundsChecked = false;
+#define DEF_TABLEAU_CHECK(cond) ((void)0)
+#endif
+
+/// Unmanaged simplex core: raw views over caller-owned storage. Copying a
+/// SimplexCore copies the VIEW, never the data — it is the demoted form of
+/// a managed `Simplex` (or of any other storage that honors the layout).
+///
+/// Geometry: `rows` constraint rows plus one objective row (the z-row, at
+/// index `rows`), each `width` doubles wide, consecutive rows `stride`
+/// doubles apart (stride >= width; the pad, if any, is dead space).
+class SimplexCore {
+ public:
+  SimplexCore() = default;
+  SimplexCore(double* tableau, TableauIndex* basic_var, TableauIndex* var_row,
+              std::size_t rows, std::size_t width, std::size_t stride)
+      : t_(tableau), basic_var_(basic_var), var_row_(var_row), rows_(rows),
+        width_(width), stride_(stride) {
+    DEF_TABLEAU_CHECK(stride >= width);
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t width() const { return width_; }
+  std::size_t stride() const { return stride_; }
+
+  /// Constraint row `i` for i < rows(); the objective row for i == rows().
+  double* row(std::size_t i) {
+    DEF_TABLEAU_CHECK(i <= rows_);
+    return t_ + i * stride_;
+  }
+  const double* row(std::size_t i) const {
+    DEF_TABLEAU_CHECK(i <= rows_);
+    return t_ + i * stride_;
+  }
+  /// The objective (z) row.
+  double* zrow() { return row(rows_); }
+  const double* zrow() const { return row(rows_); }
+
+  double& at(std::size_t i, std::size_t j) {
+    DEF_TABLEAU_CHECK(j < width_);
+    return row(i)[j];
+  }
+  double at(std::size_t i, std::size_t j) const {
+    DEF_TABLEAU_CHECK(j < width_);
+    return row(i)[j];
+  }
+
+  /// Column basic in constraint row `i`, or kTableauNone for a dropped row.
+  TableauIndex basic_var(std::size_t i) const {
+    DEF_TABLEAU_CHECK(i < rows_);
+    return basic_var_[i];
+  }
+  /// Row in which column `j` is basic, or kTableauNone when nonbasic.
+  TableauIndex var_row(std::size_t j) const {
+    DEF_TABLEAU_CHECK(j < width_);
+    return var_row_[j];
+  }
+  bool is_dropped(std::size_t i) const { return basic_var(i) == kTableauNone; }
+
+  /// Makes column `col` basic in row `row_i`, keeping both index arrays
+  /// consistent (the previous basic column of the row becomes nonbasic).
+  void set_basis(std::size_t row_i, std::size_t col) {
+    DEF_TABLEAU_CHECK(row_i < rows_ && col < width_);
+    // An entering column must not be basic in a DIFFERENT row — the simplex
+    // never selects one (basic columns have exactly-zero reduced cost), and
+    // allowing it here would silently desynchronize the two index arrays.
+    DEF_TABLEAU_CHECK(var_row_[col] == kTableauNone ||
+                      var_row_[col] == static_cast<TableauIndex>(row_i));
+    const TableauIndex old = basic_var_[row_i];
+    if (old != kTableauNone) var_row_[old] = kTableauNone;
+    basic_var_[row_i] = static_cast<TableauIndex>(col);
+    var_row_[col] = static_cast<TableauIndex>(row_i);
+  }
+
+  /// Marks constraint row `row_i` dropped (a redundant row discovered while
+  /// pivoting out artificials); its basic column becomes nonbasic.
+  void drop_row(std::size_t row_i) {
+    DEF_TABLEAU_CHECK(row_i < rows_);
+    const TableauIndex old = basic_var_[row_i];
+    if (old != kTableauNone) var_row_[old] = kTableauNone;
+    basic_var_[row_i] = kTableauNone;
+  }
+
+  /// One simplex pivot on element (row_i, col): normalizes the pivot row,
+  /// eliminates the pivot column from every other row including the z-row,
+  /// and updates the basis arrays. `zero_eps` skips elimination of rows
+  /// whose pivot-column entry is already (numerically) zero — the exact
+  /// acceptance test of the original implementation, preserved for
+  /// bit-compatibility.
+  ///
+  /// The loops are deliberately stride-1 over `width()` with __restrict'd
+  /// row pointers: each is a straight-line elementwise walk the compiler
+  /// vectorizes (divpd / mulpd+subpd), with no bounds checks in release.
+  void pivot(std::size_t row_i, std::size_t col, double zero_eps) {
+    DEF_TABLEAU_CHECK(row_i < rows_ && col < width_);
+    double* __restrict pr = row(row_i);
+    const double p = pr[col];
+    const std::size_t w = width_;
+    for (std::size_t j = 0; j < w; ++j) pr[j] /= p;
+    for (std::size_t i = 0; i <= rows_; ++i) {
+      if (i == row_i) continue;
+      double* __restrict ri = row(i);
+      const double f = ri[col];
+      if (std::abs(f) < zero_eps) continue;
+      for (std::size_t j = 0; j < w; ++j) ri[j] -= f * pr[j];
+    }
+    set_basis(row_i, col);
+  }
+
+  /// z += factor * row_i (prices a basic variable out of the z-row).
+  void axpy_into_objective(std::size_t row_i, double factor) {
+    DEF_TABLEAU_CHECK(row_i < rows_);
+    const double* __restrict src = row(row_i);
+    double* __restrict dst = zrow();
+    const std::size_t w = width_;
+    for (std::size_t j = 0; j < w; ++j) dst[j] += factor * src[j];
+  }
+
+ private:
+  double* t_ = nullptr;
+  TableauIndex* basic_var_ = nullptr;
+  TableauIndex* var_row_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t width_ = 0;
+  std::size_t stride_ = 0;
+};
+
+/// Managed tableau owner: performs the single flat allocation
+///
+///   [ basic_var: rows x TableauIndex | var_row: width x TableauIndex |
+///     pad to alignof(double) | tableau: (rows+1) x stride doubles ]
+///
+/// zero-initialized, with both index arrays set to kTableauNone. Demotes
+/// to the unmanaged `SimplexCore` via core(), which aliases this storage —
+/// mutations through the core are visible through the owner and vice
+/// versa, and no bytes are ever copied by the demotion.
+class Simplex {
+ public:
+  /// A tableau for `rows` constraint rows (plus the z-row) of `width`
+  /// columns. The row stride is `width` rounded up to kRowAlignDoubles so
+  /// consecutive rows start on a 32-byte boundary.
+  Simplex(std::size_t rows, std::size_t width);
+
+  Simplex(const Simplex&) = delete;
+  Simplex& operator=(const Simplex&) = delete;
+  Simplex(Simplex&&) = default;
+  Simplex& operator=(Simplex&&) = default;
+
+  std::size_t rows() const { return rows_; }
+  std::size_t width() const { return width_; }
+  std::size_t stride() const { return stride_; }
+
+  /// Demotes to the unmanaged core over this object's storage (aliasing,
+  /// never copying).
+  SimplexCore core() {
+    return SimplexCore(tableau_ptr(), basic_var_ptr(), var_row_ptr(), rows_,
+                       width_, stride_);
+  }
+
+  /// Total bytes of the (single) allocation; exposed so the property suite
+  /// can assert the one-allocation layout.
+  std::size_t allocation_bytes() const { return bytes_; }
+  /// Byte offset of the tableau doubles inside the allocation (the index
+  /// arrays occupy [0, tableau_offset())).
+  std::size_t tableau_offset() const { return index_bytes(rows_, width_); }
+  /// Base address of the allocation (the basic-variable index array).
+  const std::byte* memory() const { return memory_.get(); }
+
+  /// Doubles per row so each row starts 32-byte aligned relative to the
+  /// tableau base — the natural AVX vector width.
+  static constexpr std::size_t kRowAlignDoubles = 4;
+
+ private:
+  static std::size_t index_bytes(std::size_t rows, std::size_t width);
+
+  double* tableau_ptr() {
+    return reinterpret_cast<double*>(memory_.get() + tableau_offset());
+  }
+  TableauIndex* basic_var_ptr() {
+    return reinterpret_cast<TableauIndex*>(memory_.get());
+  }
+  TableauIndex* var_row_ptr() { return basic_var_ptr() + rows_; }
+
+  std::size_t rows_ = 0;
+  std::size_t width_ = 0;
+  std::size_t stride_ = 0;
+  std::size_t bytes_ = 0;
+  std::unique_ptr<std::byte[]> memory_;
+};
+
+}  // namespace defender::lp

@@ -1,0 +1,74 @@
+// The stress-harness board corpus, shared between the stress binary and the
+// differential test suites.
+//
+// `random_board` is THE generator zoo of tests/stress/stress_defender.cpp:
+// thirteen board families, each small enough that every solver route
+// terminates quickly. The differential simplex suite (tests/lp) replays the
+// same corpus through `core::coverage_matrix`, so "bit-equal on the stress
+// corpus" in docs/SIMPLEX.md means bit-equal on exactly the boards the
+// stress harness throws at the full solver stack.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "core/game.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace defender::test_corpus {
+
+/// Tuple-space cap keeping the exact LP small and fast (mirrors the stress
+/// harness bound).
+inline constexpr std::uint64_t kMaxLpTuples = 2'000;
+
+/// Draws one board from the generator zoo (small enough that every solver
+/// route terminates quickly).
+inline graph::Graph random_board(util::Rng& rng) {
+  switch (rng.range(0, 12)) {
+    case 0: return graph::path_graph(static_cast<std::size_t>(rng.range(4, 9)));
+    case 1: return graph::cycle_graph(static_cast<std::size_t>(rng.range(4, 9)));
+    case 2: return graph::complete_graph(static_cast<std::size_t>(rng.range(4, 6)));
+    case 3:
+      return graph::complete_bipartite(
+          static_cast<std::size_t>(rng.range(2, 4)),
+          static_cast<std::size_t>(rng.range(2, 4)));
+    case 4: return graph::star_graph(static_cast<std::size_t>(rng.range(3, 8)));
+    case 5:
+      return graph::grid_graph(2, static_cast<std::size_t>(rng.range(2, 4)));
+    case 6: return graph::wheel_graph(static_cast<std::size_t>(rng.range(4, 7)));
+    case 7: return graph::ladder_graph(static_cast<std::size_t>(rng.range(2, 5)));
+    case 8: return graph::petersen_graph();
+    case 9: return graph::hypercube_graph(3);
+    case 10:
+      return graph::random_tree(static_cast<std::size_t>(rng.range(4, 10)), rng);
+    case 11:
+      return graph::random_connected(
+          static_cast<std::size_t>(rng.range(5, 9)), 0.5, rng);
+    default:
+      return graph::barabasi_albert(
+          static_cast<std::size_t>(rng.range(5, 10)), 2, rng);
+  }
+}
+
+/// Largest k <= `want` whose C(m, k) fits the LP cap.
+inline std::size_t pick_k(const graph::Graph& g, std::size_t want,
+                          std::size_t nu) {
+  for (std::size_t k = want; k >= 1; --k) {
+    const core::TupleGame game(g, k, nu);
+    if (game.num_tuples() <= kMaxLpTuples) return k;
+  }
+  return 1;
+}
+
+/// One random tuple game over the zoo, with k capped so the LP enumerates.
+inline core::TupleGame random_game(util::Rng& rng) {
+  const graph::Graph g = random_board(rng);
+  const std::size_t nu = static_cast<std::size_t>(rng.range(1, 3));
+  const std::size_t want = std::min<std::size_t>(
+      static_cast<std::size_t>(rng.range(1, 4)), g.num_edges());
+  return core::TupleGame(g, pick_k(g, want, nu), nu);
+}
+
+}  // namespace defender::test_corpus

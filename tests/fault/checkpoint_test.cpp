@@ -14,6 +14,8 @@
 //    horizon is rejected as kInvalidInput instead of corrupting a solve.
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <sstream>
@@ -26,7 +28,11 @@
 #include "core/double_oracle.hpp"
 #include "core/game.hpp"
 #include "core/status.hpp"
+#include "core/zero_sum.hpp"
+#include "fault/fault.hpp"
 #include "graph/generators.hpp"
+#include "lp/matrix_game.hpp"
+#include "lp/simplex_reference.hpp"
 #include "sim/fictitious_play.hpp"
 #include "sim/multiplicative_weights.hpp"
 
@@ -623,6 +629,134 @@ TEST(CancelResume, AlreadyCancelledTokenStopsAtTheFirstPoll) {
   const auto resumed = core::solve_double_oracle_resumable(
       game, 1e-9, SolveBudget::iterations(100), resume);
   EXPECT_TRUE(resumed.ok()) << resumed.status.to_string();
+}
+
+// ---------------------------------------------------------------------------
+// Flat-tableau regression (docs/SIMPLEX.md): interrupted and fault-armed LP
+// solves on the new core must reproduce the reference path's matrix-game
+// brackets bit-for-bit, so every checkpoint captured above an LP truncation
+// carries exactly the bounds the old implementation would have written.
+// The `defender-checkpoint v1` golden stays pinned byte-for-byte by
+// CheckpointText.GoldenSnapshotIsStable regardless of the LP substrate.
+
+std::uint64_t double_bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+void expect_brackets_bit_equal(const Solved<lp::MatrixGameSolution>& flat,
+                               const Solved<lp::MatrixGameSolution>& ref,
+                               const std::string& tag) {
+  EXPECT_EQ(flat.status.code, ref.status.code) << tag;
+  EXPECT_EQ(flat.status.iterations, ref.status.iterations) << tag;
+  EXPECT_EQ(double_bits(flat.result.lower_bound),
+            double_bits(ref.result.lower_bound))
+      << tag << ": lower bound " << flat.result.lower_bound << " vs "
+      << ref.result.lower_bound;
+  EXPECT_EQ(double_bits(flat.result.upper_bound),
+            double_bits(ref.result.upper_bound))
+      << tag << ": upper bound " << flat.result.upper_bound << " vs "
+      << ref.result.upper_bound;
+  EXPECT_EQ(double_bits(flat.result.value), double_bits(ref.result.value))
+      << tag << ": value";
+}
+
+TEST(LpKillResume, KillAtPivotIMatchesReferenceBrackets) {
+  // Kill the matrix-game LP at every pivot budget from 1 to one past the
+  // full solve; the truncated brackets the checkpoint layer would persist
+  // must match the reference substrate exactly at every stop.
+  const core::TupleGame game(graph::petersen_graph(), 2, 1);
+  const lp::Matrix payoff = core::coverage_matrix(game);
+  const auto full = lp::solve_matrix_game_budgeted_with(
+      &lp::solve_max, payoff, SolveBudget::unlimited_budget());
+  ASSERT_TRUE(full.ok()) << full.status.to_string();
+  ASSERT_GT(full.status.iterations, 2u)
+      << "instance too easy to exercise a mid-pivot kill";
+  for (std::size_t i = 1; i <= full.status.iterations + 1; ++i) {
+    const auto flat = lp::solve_matrix_game_budgeted_with(
+        &lp::solve_max, payoff, SolveBudget::iterations(i));
+    const auto ref = lp::solve_matrix_game_budgeted_with(
+        &lp::reference::solve_max, payoff, SolveBudget::iterations(i));
+    expect_brackets_bit_equal(flat, ref,
+                              "kill at pivot " + std::to_string(i));
+  }
+  // An LP re-solve with the budget restored IS the resume (the tableau is
+  // rebuilt deterministically); it must land exactly on the full solve.
+  const auto resumed = lp::solve_matrix_game_budgeted_with(
+      &lp::solve_max, payoff,
+      SolveBudget::iterations(full.status.iterations + 1));
+  expect_brackets_bit_equal(resumed, full, "budget-restored re-solve");
+}
+
+TEST(LpKillResume, FaultSitesMatchReferenceBrackets) {
+  // Both lp-* sites, armed at rate 1.0. Fault decisions are pure functions
+  // of (seed, site, per-site counter), so a fresh context per substrate
+  // replays the identical schedule.
+  const core::TupleGame game(graph::grid_graph(2, 3), 2, 1);
+  const lp::Matrix payoff = core::coverage_matrix(game);
+  for (const fault::FaultSite site : {fault::FaultSite::kLpPivotPerturb,
+                                      fault::FaultSite::kLpForceUnstable}) {
+    fault::FaultPlan plan;
+    plan.seed = 0xc0ffee ^ static_cast<std::uint64_t>(site);
+    plan.rate_of(site) = 1.0;
+    fault::FaultContext flat_ctx(plan);
+    const auto flat = lp::solve_matrix_game_budgeted_with(
+        &lp::solve_max, payoff, SolveBudget::unlimited_budget(), nullptr,
+        &flat_ctx);
+    fault::FaultContext ref_ctx(plan);
+    const auto ref = lp::solve_matrix_game_budgeted_with(
+        &lp::reference::solve_max, payoff, SolveBudget::unlimited_budget(),
+        nullptr, &ref_ctx);
+    expect_brackets_bit_equal(
+        flat, ref,
+        std::string("armed site ") + fault::to_string(site));
+    // The forced-unstable site must actually demote — proving the fault
+    // path is live on the new core, not silently skipped.
+    if (site == fault::FaultSite::kLpForceUnstable)
+      EXPECT_EQ(flat.status.code, StatusCode::kNumericallyUnstable);
+  }
+}
+
+TEST(LpKillResume, FaultArmedDoubleOracleKillResumeIsDeterministic) {
+  // Chaos + checkpoint on the new core: a double oracle whose every
+  // subgame LP is forced unstable, killed at iteration 2 and resumed
+  // through the text format, must reproduce the uninterrupted faulted run.
+  // kLpForceUnstable fires on every evaluation at rate 1.0 regardless of
+  // the per-site counter, so the interrupted and uninterrupted runs see
+  // the same fault schedule.
+  const core::TupleGame game(graph::petersen_graph(), 2, 1);
+  fault::FaultPlan plan;
+  plan.seed = 20260808;
+  plan.rate_of(fault::FaultSite::kLpForceUnstable) = 1.0;
+
+  fault::FaultContext full_ctx(plan);
+  const auto full = core::solve_double_oracle_resumable(
+      game, 1e-9, SolveBudget::iterations(30), core::ResumeHooks{}, nullptr,
+      &full_ctx);
+  ASSERT_TRUE(std::isfinite(full.result.lower_bound));
+  ASSERT_TRUE(std::isfinite(full.result.upper_bound));
+
+  fault::FaultContext killed_ctx(plan);
+  core::SolverCheckpoint cp;
+  core::ResumeHooks capture;
+  capture.capture = &cp;
+  const auto killed = core::solve_double_oracle_resumable(
+      game, 1e-9, SolveBudget::iterations(2), capture, nullptr, &killed_ctx);
+  ASSERT_EQ(killed.status.code, StatusCode::kIterationLimit)
+      << killed.status.to_string();
+
+  const core::SolverCheckpoint restored = through_text(cp);
+  core::ResumeHooks resume;
+  resume.resume = &restored;
+  fault::FaultContext resumed_ctx(plan);
+  const auto resumed = core::solve_double_oracle_resumable(
+      game, 1e-9, SolveBudget::iterations(28), resume, nullptr, &resumed_ctx);
+
+  EXPECT_EQ(resumed.status.code, full.status.code);
+  EXPECT_EQ(resumed.result.iterations, full.result.iterations);
+  EXPECT_EQ(double_bits(resumed.result.value),
+            double_bits(full.result.value));
+  EXPECT_EQ(double_bits(resumed.result.lower_bound),
+            double_bits(full.result.lower_bound));
+  EXPECT_EQ(double_bits(resumed.result.upper_bound),
+            double_bits(full.result.upper_bound));
 }
 
 }  // namespace

@@ -1,0 +1,205 @@
+// Property suite for the flat simplex tableau (lp/tableau.hpp).
+//
+// Three invariants, fuzzed over 10k random tableaus each:
+//   * pivot-then-unpivot restores the ENTIRE allocation bit-for-bit —
+//     tableau doubles, pad lanes, and both basis index arrays. The fuzzer
+//     draws dyadic-rational instances (integer entries, power-of-two pivot
+//     elements) so every floating-point operation in both pivots is exact
+//     and the restore claim is algebra, not tolerance;
+//   * the basis index arrays stay a (partial) permutation under arbitrary
+//     legal pivot sequences: basic_var and var_row remain mutual inverses
+//     with no duplicated basic column;
+//   * managed -> unmanaged demotion aliases the owner's storage: the core's
+//     rows live inside the one allocation, writes through either view are
+//     visible through the other, and demotion copies zero bytes.
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lp/tableau.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace defender;
+
+/// A random dyadic-rational tableau: integer entries in [-8, 8] everywhere,
+/// columns [0, rows) forming an identity basic set, and every prospective
+/// pivot element forced to +/- 2^k for k in {0, 1, 2}. All pivot arithmetic
+/// on such an instance is exact in double precision.
+lp::Simplex random_dyadic_tableau(util::Rng& rng, std::size_t rows,
+                                  std::size_t width) {
+  lp::Simplex s(rows, width);
+  lp::SimplexCore core = s.core();
+  for (std::size_t i = 0; i <= rows; ++i) {
+    double* row = core.row(i);
+    for (std::size_t j = 0; j < width; ++j)
+      row[j] = static_cast<double>(rng.range(-8, 8));
+  }
+  // Identity basic columns 0..rows-1 (z-row entry zero, like a priced-out
+  // basis).
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t r = 0; r <= rows; ++r) core.at(r, i) = 0.0;
+    core.at(i, i) = 1.0;
+    core.set_basis(i, i);
+  }
+  return s;
+}
+
+TEST(TableauPropertyTest, PivotThenUnpivotRestoresBitForBit) {
+  util::Rng rng(0xd1ad1c);
+  for (int iter = 0; iter < 10'000; ++iter) {
+    const std::size_t rows = static_cast<std::size_t>(rng.range(1, 6));
+    const std::size_t width =
+        rows + 1 + static_cast<std::size_t>(rng.range(1, 6));
+    lp::Simplex s = random_dyadic_tableau(rng, rows, width);
+    lp::SimplexCore core = s.core();
+
+    const std::size_t r = static_cast<std::size_t>(rng.range(
+        0, static_cast<std::int64_t>(rows) - 1));
+    // Entering column: any nonbasic column, with a power-of-two pivot
+    // element so the normalization divide is exact.
+    const std::size_t c = rows + static_cast<std::size_t>(rng.range(
+        0, static_cast<std::int64_t>(width - rows) - 1));
+    const double sign = rng.bernoulli(0.5) ? 1.0 : -1.0;
+    core.at(r, c) = sign * static_cast<double>(1 << rng.range(0, 2));
+
+    std::vector<std::byte> snapshot(s.allocation_bytes());
+    std::memcpy(snapshot.data(), s.memory(), snapshot.size());
+
+    // Forward pivot brings column c into the basis in row r; the reverse
+    // pivot on (r, r) — the column that just left — undoes it. With dyadic
+    // data both are exact, so the whole allocation (doubles, pad lanes, and
+    // both index arrays) must come back byte-identical.
+    core.pivot(r, c, /*zero_eps=*/1e-9);
+    EXPECT_NE(0, std::memcmp(snapshot.data(), s.memory(), snapshot.size()))
+        << "iter " << iter << ": forward pivot was a no-op";
+    core.pivot(r, r, /*zero_eps=*/1e-9);
+    EXPECT_EQ(0, std::memcmp(snapshot.data(), s.memory(), snapshot.size()))
+        << "iter " << iter << ": pivot/unpivot did not restore the tableau "
+        << "(rows=" << rows << ", width=" << width << ", r=" << r
+        << ", c=" << c << ")";
+  }
+}
+
+/// basic_var and var_row must stay mutual inverses — no column basic in two
+/// rows, no stale var_row entry — under arbitrary legal pivot sequences,
+/// including dropped rows.
+TEST(TableauPropertyTest, BasisArraysStayAPermutation) {
+  util::Rng rng(0xba515);
+  for (int iter = 0; iter < 10'000; ++iter) {
+    const std::size_t rows = static_cast<std::size_t>(rng.range(1, 5));
+    const std::size_t width =
+        rows + 1 + static_cast<std::size_t>(rng.range(1, 5));
+    lp::Simplex s = random_dyadic_tableau(rng, rows, width);
+    lp::SimplexCore core = s.core();
+
+    const int pivots = static_cast<int>(rng.range(0, 6));
+    for (int p = 0; p < pivots; ++p) {
+      const std::size_t r = static_cast<std::size_t>(
+          rng.range(0, static_cast<std::int64_t>(rows) - 1));
+      if (rng.bernoulli(0.1)) {
+        core.drop_row(r);
+        continue;
+      }
+      if (core.is_dropped(r)) continue;
+      // Pick a column with a safely large pivot element; regenerate one if
+      // the row has none.
+      const std::size_t c = static_cast<std::size_t>(
+          rng.range(0, static_cast<std::int64_t>(width) - 1));
+      // A column basic in a different row never enters (its reduced cost is
+      // exactly zero in the real algorithm); honor that precondition here.
+      if (core.var_row(c) != lp::kTableauNone &&
+          core.var_row(c) != static_cast<lp::TableauIndex>(r))
+        continue;
+      if (std::abs(core.at(r, c)) < 0.5) core.at(r, c) = 2.0;
+      core.pivot(r, c, 1e-9);
+    }
+
+    // Invariant: the two arrays are mutual inverses.
+    std::vector<int> seen(width, 0);
+    for (std::size_t i = 0; i < rows; ++i) {
+      const lp::TableauIndex b = core.basic_var(i);
+      if (b == lp::kTableauNone) continue;  // dropped row
+      ASSERT_GE(b, 0);
+      ASSERT_LT(static_cast<std::size_t>(b), width);
+      ++seen[static_cast<std::size_t>(b)];
+      EXPECT_EQ(core.var_row(static_cast<std::size_t>(b)),
+                static_cast<lp::TableauIndex>(i))
+          << "iter " << iter << ": var_row out of sync for basic column "
+          << b;
+    }
+    for (std::size_t j = 0; j < width; ++j) {
+      EXPECT_LE(seen[j], 1) << "iter " << iter << ": column " << j
+                            << " basic in two rows";
+      const lp::TableauIndex vr = core.var_row(j);
+      if (vr == lp::kTableauNone) {
+        EXPECT_EQ(seen[j], 0);
+      } else {
+        ASSERT_GE(vr, 0);
+        ASSERT_LT(static_cast<std::size_t>(vr), rows);
+        EXPECT_EQ(core.basic_var(static_cast<std::size_t>(vr)),
+                  static_cast<lp::TableauIndex>(j))
+            << "iter " << iter << ": basic_var out of sync for column " << j;
+      }
+    }
+  }
+}
+
+TEST(TableauPropertyTest, DemotionAliasesTheSameStorage) {
+  util::Rng rng(0xa11a5);
+  for (int iter = 0; iter < 10'000; ++iter) {
+    const std::size_t rows = static_cast<std::size_t>(rng.range(1, 6));
+    const std::size_t width =
+        rows + 1 + static_cast<std::size_t>(rng.range(1, 8));
+    lp::Simplex s(rows, width);
+    lp::SimplexCore core = s.core();
+
+    // Geometry: one allocation, tableau doubles right after the (aligned)
+    // index block, rows `stride` apart with stride >= width.
+    EXPECT_GE(s.stride(), width);
+    EXPECT_EQ(s.stride() % lp::Simplex::kRowAlignDoubles, 0u);
+    const std::byte* base = s.memory();
+    const auto* tableau =
+        reinterpret_cast<const double*>(base + s.tableau_offset());
+    EXPECT_EQ(core.row(0), tableau) << "core does not alias the allocation";
+    for (std::size_t i = 0; i <= rows; ++i) {
+      const auto* row_bytes = reinterpret_cast<const std::byte*>(core.row(i));
+      EXPECT_GE(row_bytes, base);
+      EXPECT_LE(row_bytes + width * sizeof(double),
+                base + s.allocation_bytes())
+          << "row " << i << " escapes the single allocation";
+      EXPECT_EQ(core.row(i), core.row(0) + i * s.stride());
+    }
+
+    // Writes through one demoted view are visible through another and
+    // through a copied view: they are all the same bytes.
+    const std::size_t i = static_cast<std::size_t>(
+        rng.range(0, static_cast<std::int64_t>(rows)));
+    const std::size_t j = static_cast<std::size_t>(
+        rng.range(0, static_cast<std::int64_t>(width) - 1));
+    const double v = static_cast<double>(iter) + 0.25;
+    core.at(i, j) = v;
+    lp::SimplexCore again = s.core();
+    EXPECT_EQ(again.at(i, j), v);
+    lp::SimplexCore copy = again;  // copies the view, not the data
+    copy.at(i, j) = v + 1.0;
+    EXPECT_EQ(core.at(i, j), v + 1.0)
+        << "copied view did not alias the same storage";
+  }
+}
+
+/// The release-mode checking policy is a compile-time fact; pin it so a
+/// build-system change that silently turns asserts on in Release (or off
+/// under sanitizers) fails loudly.
+TEST(TableauPropertyTest, BoundsCheckFlagTracksNdebug) {
+#ifdef NDEBUG
+  EXPECT_FALSE(lp::kTableauBoundsChecked);
+#else
+  EXPECT_TRUE(lp::kTableauBoundsChecked);
+#endif
+}
+
+}  // namespace

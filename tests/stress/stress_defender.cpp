@@ -84,6 +84,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -103,6 +104,7 @@
 #include <vector>
 
 #include "cache/cache.hpp"
+#include "common/board_corpus.hpp"
 #include "core/atuple.hpp"
 #include "core/checkpoint.hpp"
 #include "core/double_oracle.hpp"
@@ -116,6 +118,8 @@
 #include "io/atomic_file.hpp"
 #include "io/durable.hpp"
 #include "io/envelope.hpp"
+#include "lp/matrix_game.hpp"
+#include "lp/simplex_reference.hpp"
 #include "obs/context.hpp"
 #include "serve/drain.hpp"
 #include "serve/protocol.hpp"
@@ -136,7 +140,7 @@ obs::ObsContext* g_obs = nullptr;
 
 constexpr double kValueTolerance = 1e-6;
 /// Keep C(m, k) at most this, so the exact LP stays small and fast.
-constexpr std::uint64_t kMaxLpTuples = 2'000;
+constexpr std::uint64_t kMaxLpTuples = test_corpus::kMaxLpTuples;
 /// Fuzz inputs are length-limited to keep each iteration O(small).
 constexpr std::size_t kMaxFuzzBytes = 2'048;
 
@@ -151,42 +155,38 @@ void check(bool ok, const std::string& what) {
   if (!ok) fail(what);
 }
 
-/// Draws one board from the generator zoo (small enough that every solver
-/// route terminates quickly).
-graph::Graph random_board(util::Rng& rng) {
-  switch (rng.range(0, 12)) {
-    case 0: return graph::path_graph(static_cast<std::size_t>(rng.range(4, 9)));
-    case 1: return graph::cycle_graph(static_cast<std::size_t>(rng.range(4, 9)));
-    case 2: return graph::complete_graph(static_cast<std::size_t>(rng.range(4, 6)));
-    case 3:
-      return graph::complete_bipartite(
-          static_cast<std::size_t>(rng.range(2, 4)),
-          static_cast<std::size_t>(rng.range(2, 4)));
-    case 4: return graph::star_graph(static_cast<std::size_t>(rng.range(3, 8)));
-    case 5:
-      return graph::grid_graph(2, static_cast<std::size_t>(rng.range(2, 4)));
-    case 6: return graph::wheel_graph(static_cast<std::size_t>(rng.range(4, 7)));
-    case 7: return graph::ladder_graph(static_cast<std::size_t>(rng.range(2, 5)));
-    case 8: return graph::petersen_graph();
-    case 9: return graph::hypercube_graph(3);
-    case 10:
-      return graph::random_tree(static_cast<std::size_t>(rng.range(4, 10)), rng);
-    case 11:
-      return graph::random_connected(
-          static_cast<std::size_t>(rng.range(5, 9)), 0.5, rng);
-    default:
-      return graph::barabasi_albert(
-          static_cast<std::size_t>(rng.range(5, 10)), 2, rng);
-  }
-}
+// The board zoo lives in tests/common/board_corpus.hpp now, shared with the
+// differential simplex suite so "the stress corpus" means one thing.
+using test_corpus::pick_k;
+using test_corpus::random_board;
 
-/// Largest k <= `want` whose C(m, k) fits the LP cap.
-std::size_t pick_k(const graph::Graph& g, std::size_t want, std::size_t nu) {
-  for (std::size_t k = want; k >= 1; --k) {
-    const core::TupleGame game(g, k, nu);
-    if (game.num_tuples() <= kMaxLpTuples) return k;
-  }
-  return 1;
+/// Flat-vs-reference LP bit-equality on this instance's coverage matrix:
+/// the stress-harness arm of the differential simplex suite (tests/lp),
+/// re-checked here on every sweep so corpus drift cannot open a gap the
+/// unit suite no longer covers.
+void check_simplex_differential(const core::TupleGame& game,
+                                const std::string& tag,
+                                fault::FaultContext* flat_fault = nullptr,
+                                fault::FaultContext* ref_fault = nullptr) {
+  const lp::Matrix payoff = core::coverage_matrix(game);
+  const auto flat = lp::solve_matrix_game_budgeted_with(
+      &lp::solve_max, payoff, SolveBudget::unlimited_budget(), g_obs,
+      flat_fault);
+  const auto ref = lp::solve_matrix_game_budgeted_with(
+      &lp::reference::solve_max, payoff, SolveBudget::unlimited_budget(),
+      g_obs, ref_fault);
+  check(flat.status.code == ref.status.code,
+        tag + ": flat/reference simplex status diverged (" +
+            flat.status.describe() + " vs " + ref.status.describe() + ")");
+  const auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+  check(bits(flat.result.value) == bits(ref.result.value) &&
+            bits(flat.result.lower_bound) == bits(ref.result.lower_bound) &&
+            bits(flat.result.upper_bound) == bits(ref.result.upper_bound),
+        tag + ": flat/reference simplex bracket diverged ([" +
+            std::to_string(flat.result.lower_bound) + ", " +
+            std::to_string(flat.result.upper_bound) + "] vs [" +
+            std::to_string(ref.result.lower_bound) + ", " +
+            std::to_string(ref.result.upper_bound) + "])");
 }
 
 void differential_instance(util::Rng& rng, std::size_t index) {
@@ -200,6 +200,10 @@ void differential_instance(util::Rng& rng, std::size_t index) {
                           std::to_string(g.num_vertices()) + ", m=" +
                           std::to_string(g.num_edges()) + ", k=" +
                           std::to_string(game.k()) + ")";
+
+  // Route 0: flat-tableau simplex vs the preserved reference substrate,
+  // bit for bit (docs/SIMPLEX.md).
+  check_simplex_differential(game, tag);
 
   // Route 1: exact LP over the enumerated tuple space.
   const double lp_value = core::solve_zero_sum(game).value;
@@ -295,6 +299,15 @@ void chaos_instance(util::Rng& rng, std::size_t index, double fault_rate,
   fault::FaultPlan plan;
   plan.seed = fault_seed ^ (0x9e3779b97f4a7c15ULL * (index + 1));
   plan.set_all(fault_rate);
+
+  // Armed differential: under the same plan (fresh contexts replay the
+  // identical per-site schedule), the flat and reference simplex substrates
+  // must produce bit-equal brackets even while the lp-* sites fire.
+  {
+    fault::FaultContext flat_ctx(plan);
+    fault::FaultContext ref_ctx(plan);
+    check_simplex_differential(game, tag + " [armed]", &flat_ctx, &ref_ctx);
+  }
 
   const int failures_before = failures;
   fault::FaultContext do_ctx(plan);
